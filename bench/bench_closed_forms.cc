@@ -1,0 +1,124 @@
+// Experiment E5: closed formulas (Props 4.2/4.4/5.2) vs the generic DPs on
+// single-relation queries — same values, different cost. google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/closed_forms.h"
+#include "shapcq/shapley/count_distinct.h"
+#include "shapcq/shapley/min_max.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+namespace {
+
+Database SingleRelation(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value(i), Value((i * 31) % 23 - 7)});
+  }
+  return db;
+}
+
+AggregateQuery Make(AggregateFunction alpha) {
+  return AggregateQuery{MustParseQuery("Q(i, v) <- R(i, v)"), MakeTauId(1),
+                        std::move(alpha)};
+}
+
+void BM_ClosedFormMax(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::Max());
+  for (auto _ : state) {
+    auto r = ClosedFormMax(a, db, 0);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ClosedFormMax)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GenericDpMax(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::Max());
+  for (auto _ : state) {
+    auto r = ScoreViaSumK(a, db, 0, MinMaxSumK);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GenericDpMax)->Arg(64)->Arg(128);
+
+void BM_ClosedFormAvg(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::Avg());
+  for (auto _ : state) {
+    auto r = ClosedFormAvg(a, db, 0);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ClosedFormAvg)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GenericDpAvg(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::Avg());
+  for (auto _ : state) {
+    auto r = ScoreViaSumK(a, db, 0, AvgQuantileSumK);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GenericDpAvg)->Arg(16)->Arg(32);
+
+void BM_ClosedFormCDist(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::CountDistinct());
+  for (auto _ : state) {
+    auto r = ClosedFormCountDistinct(a, db, 0);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ClosedFormCDist)->Arg(64)->Arg(1024);
+
+void BM_GenericDpCDist(benchmark::State& state) {
+  Database db = SingleRelation(static_cast<int>(state.range(0)));
+  AggregateQuery a = Make(AggregateFunction::CountDistinct());
+  for (auto _ : state) {
+    auto r = ScoreViaSumK(a, db, 0, CountDistinctSumK);
+    SHAPCQ_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GenericDpCDist)->Arg(64)->Arg(256);
+
+// Correctness gate: abort the whole benchmark binary if the closed forms
+// and the DPs ever disagree.
+void VerifyAgreement() {
+  Database db = SingleRelation(24);
+  AggregateQuery max_q = Make(AggregateFunction::Max());
+  AggregateQuery avg_q = Make(AggregateFunction::Avg());
+  AggregateQuery cd_q = Make(AggregateFunction::CountDistinct());
+  for (FactId f : {FactId{0}, FactId{7}, FactId{23}}) {
+    SHAPCQ_CHECK(*ClosedFormMax(max_q, db, f) ==
+                 *ScoreViaSumK(max_q, db, f, MinMaxSumK));
+    SHAPCQ_CHECK(*ClosedFormAvg(avg_q, db, f) ==
+                 *ScoreViaSumK(avg_q, db, f, AvgQuantileSumK));
+    SHAPCQ_CHECK(*ClosedFormCountDistinct(cd_q, db, f) ==
+                 *ScoreViaSumK(cd_q, db, f, CountDistinctSumK));
+  }
+}
+
+}  // namespace
+}  // namespace shapcq
+
+int main(int argc, char** argv) {
+  shapcq::VerifyAgreement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

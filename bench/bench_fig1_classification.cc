@@ -1,0 +1,128 @@
+// Experiment E1: reproduce Figure 1 of the paper.
+//
+// Recomputes, from the implementation, (a) the classification of the
+// figure's example CQs, (b) the containment chain of the four hierarchy
+// classes, and (c) the tractability-frontier annotation of every aggregate
+// function, and prints them as a table. A mismatch with the paper would
+// print MISMATCH and exit nonzero.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/solver.h"
+
+using namespace shapcq;  // NOLINT
+
+int main() {
+  int mismatches = 0;
+  std::printf("E1: Figure 1 — containment among CQ classes and tractability "
+              "frontiers\n");
+  bench::Rule('=');
+
+  // (a) Example CQs of Figure 1, annotated with the class the figure
+  // places them in.
+  struct ExampleRow {
+    const char* query;
+    HierarchyClass expected;
+  };
+  std::vector<ExampleRow> examples = {
+      {"Q(x) <- R(x), S(x, y)", HierarchyClass::kSqHierarchical},
+      {"Q(x, y) <- R(x), S(x, y)", HierarchyClass::kQHierarchical},
+      {"Q(y) <- R(x), S(x, y)", HierarchyClass::kAllHierarchical},
+      {"Q(x) <- R(x), S(x, y), T(y)", HierarchyClass::kExistsHierarchical},
+      {"Q() <- R(x), S(x, y), T(y)", HierarchyClass::kGeneral},
+  };
+  std::printf("%-36s %-22s %-22s %s\n", "example CQ (Figure 1)",
+              "computed class", "paper class", "verdict");
+  bench::Rule();
+  for (const ExampleRow& row : examples) {
+    ConjunctiveQuery q = MustParseQuery(row.query);
+    HierarchyClass computed = Classify(q);
+    bool ok = computed == row.expected;
+    if (!ok) ++mismatches;
+    std::printf("%-36s %-22s %-22s %s\n", row.query,
+                HierarchyClassName(computed),
+                HierarchyClassName(row.expected), ok ? "ok" : "MISMATCH");
+  }
+
+  // (b) Containment chain over a query gallery.
+  std::printf("\nContainment chain (sq -> q -> all -> exists) over a gallery "
+              "of %d CQs: ", 12);
+  std::vector<std::string> gallery = {
+      "Q(x) <- R(x), S(x, y)",        "Q(x, y) <- R(x), S(x, y)",
+      "Q(y) <- R(x), S(x, y)",        "Q(x) <- R(x), S(x, y), T(y)",
+      "Q() <- R(x), S(x, y), T(y)",   "Q(x) <- R(x, y), S(y)",
+      "Q(x, y) <- R(x, y), S(y)",     "Q(x, z) <- R(x, y), S(y), T(z)",
+      "Q(x) <- R(x)",                 "Q(x, y) <- R(x, y)",
+      "Q(a, b) <- R(a, b, c), S(b)",  "Q(x, z) <- R(x), T(z)",
+  };
+  bool chain_ok = true;
+  for (const std::string& text : gallery) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    if (IsSqHierarchical(q) && !IsQHierarchical(q)) chain_ok = false;
+    if (IsQHierarchical(q) && !IsAllHierarchical(q)) chain_ok = false;
+    if (IsAllHierarchical(q) && !IsExistsHierarchical(q)) chain_ok = false;
+  }
+  std::printf("%s\n", chain_ok ? "ok" : "MISMATCH");
+  if (!chain_ok) ++mismatches;
+
+  // (c) Tractability frontier per aggregate (the box annotations).
+  struct FrontierRow {
+    AggregateFunction alpha;
+    HierarchyClass expected;
+  };
+  std::vector<FrontierRow> frontiers = {
+      {AggregateFunction::Sum(), HierarchyClass::kExistsHierarchical},
+      {AggregateFunction::Count(), HierarchyClass::kExistsHierarchical},
+      {AggregateFunction::CountDistinct(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::Min(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::Max(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::Avg(), HierarchyClass::kQHierarchical},
+      {AggregateFunction::Median(), HierarchyClass::kQHierarchical},
+      {AggregateFunction::Quantile(Rational(BigInt(1), BigInt(4))),
+       HierarchyClass::kQHierarchical},
+      {AggregateFunction::HasDuplicates(), HierarchyClass::kSqHierarchical},
+  };
+  std::printf("\n%-16s %-24s %-24s %s\n", "aggregate", "computed frontier",
+              "paper frontier", "verdict");
+  bench::Rule();
+  for (const FrontierRow& row : frontiers) {
+    HierarchyClass computed = TractabilityFrontier(row.alpha);
+    bool ok = computed == row.expected;
+    if (!ok) ++mismatches;
+    std::printf("%-16s %-24s %-24s %s\n", row.alpha.ToString().c_str(),
+                HierarchyClassName(computed),
+                HierarchyClassName(row.expected), ok ? "ok" : "MISMATCH");
+  }
+
+  // (d) Frontier membership of each example CQ per aggregate — the body of
+  // the figure read as a matrix.
+  std::printf("\nFrontier membership matrix (1 = inside / tractable for "
+              "every localized tau):\n%-36s", "CQ \\ aggregate");
+  std::vector<AggregateFunction> columns = {
+      AggregateFunction::Sum(), AggregateFunction::Max(),
+      AggregateFunction::Avg(), AggregateFunction::HasDuplicates()};
+  for (const AggregateFunction& alpha : columns) {
+    std::printf(" %8s", alpha.ToString().c_str());
+  }
+  std::printf("\n");
+  bench::Rule();
+  for (const ExampleRow& row : examples) {
+    ConjunctiveQuery q = MustParseQuery(row.query);
+    std::printf("%-36s", row.query);
+    for (const AggregateFunction& alpha : columns) {
+      std::printf(" %8d", IsInsideFrontier(alpha, q) ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+
+  bench::Rule('=');
+  std::printf("E1 result: %s (%d mismatches)\n",
+              mismatches == 0 ? "REPRODUCED" : "FAILED", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Experiment E7: the Boolean membership baseline (Livshits et al.), i.e.
+// the innermost subroutine of every engine: satisfaction-count scaling on
+// hierarchical Boolean CQs. google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+namespace {
+
+Database MakeDb(int n, int groups) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(i % groups)});
+  }
+  for (int g = 0; g < groups; ++g) db.AddEndogenous("S", {Value(g)});
+  return db;
+}
+
+void BM_SatisfactionCounts(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = MakeDb(n, n / 4 + 1);
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x, y), S(y)");
+  for (auto _ : state) {
+    auto counts = SatisfactionCounts(q, db);
+    SHAPCQ_CHECK(counts.ok());
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_SatisfactionCounts)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MembershipShapley(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = MakeDb(n, n / 4 + 1);
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x, y), S(y)");
+  for (auto _ : state) {
+    auto score = MembershipScore(q, db, /*fact=*/0);
+    SHAPCQ_CHECK(score.ok());
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_MembershipShapley)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MembershipDeepQuery(benchmark::State& state) {
+  // Three-level hierarchy: R(x), S(x, y), T(x, y, z).
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("T", {Value(i % 3), Value(i % 9), Value(i)});
+  }
+  for (int i = 0; i < 9; ++i) {
+    db.AddEndogenous("S", {Value(i % 3), Value(i)});
+  }
+  for (int i = 0; i < 3; ++i) db.AddEndogenous("R", {Value(i)});
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x), S(x, y), T(x, y, z)");
+  for (auto _ : state) {
+    auto counts = SatisfactionCounts(q, db);
+    SHAPCQ_CHECK(counts.ok());
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_MembershipDeepQuery)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace shapcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Experiment E11: the Section 7.3 monotone-monoid extension in practice.
+//
+// Max(x + z) over the Cartesian product Q(x, z) <- R(x), T(z): τ is not
+// localized on any atom, so the localized engines cannot run; the paper's
+// Section 7.3 argument (implemented in min_max_monoid) makes it polynomial
+// anyway. The table contrasts the monoid engine with brute force and shows
+// the engine scaling far beyond the enumeration horizon.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/min_max_monoid.h"
+#include "shapcq/shapley/score.h"
+
+using namespace shapcq;  // NOLINT
+
+namespace {
+
+Database MakeDb(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(i % 5 - 2)});
+    db.AddEndogenous("T", {Value(i), Value((i * 3) % 7 - 3)});
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: Max(x + z) over the Cartesian product Q(x, z) <- R(i, x), "
+              "T(j, z) — non-localized tau (Section 7.3)\n");
+  bench::Rule('=');
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(i, x), T(j, z)");
+  AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
+                           AggregateFunction::Max()};
+  SumKEngine engine = [&q](const AggregateQuery&, const Database& d) {
+    return MonoidMinMaxSumK(q, MonoidKind::kPlus, {0, 1}, /*is_max=*/true, d);
+  };
+  std::printf("%6s %10s %18s %18s %10s\n", "n/side", "players",
+              "monoid DP (ms)", "brute force (ms)", "agree");
+  bench::Rule();
+  for (int n : {4, 6, 8, 10}) {
+    Database db = MakeDb(n);
+    FactId probe = db.EndogenousFacts().front();
+    Rational dp_value, bf_value;
+    double dp_ms = bench::TimeMs(
+        [&] { dp_value = *ScoreViaSumK(reference, db, probe, engine); });
+    double bf_ms = bench::TimeMs(
+        [&] { bf_value = *BruteForceScore(reference, db, probe); });
+    std::printf("%6d %10d %18.2f %18.2f %10s\n", n, db.num_endogenous(),
+                dp_ms, bf_ms, dp_value == bf_value ? "yes" : "MISMATCH");
+    if (dp_value != bf_value) return 1;
+  }
+  std::printf("beyond the brute-force horizon (monoid DP only):\n");
+  for (int n : {40, 80, 160}) {
+    Database db = MakeDb(n);
+    FactId probe = db.EndogenousFacts().front();
+    double dp_ms = bench::TimeMs([&] {
+      auto r = ScoreViaSumK(reference, db, probe, engine);
+      if (!r.ok()) std::abort();
+    });
+    std::printf("%6d %10d %18.2f %18s\n", n, db.num_endogenous(), dp_ms,
+                "(2^n infeasible)");
+  }
+  bench::Rule('=');
+  std::printf("E11 result: the monotone-monoid structure restores "
+              "polynomial exact computation for a value function no "
+              "localized engine can handle.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Small shared helpers for the experiment binaries (E1..E9).
+
+#ifndef SHAPCQ_BENCH_BENCH_UTIL_H_
+#define SHAPCQ_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace shapcq::bench {
+
+// Wall-clock milliseconds of one invocation.
+inline double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+inline void Rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace shapcq::bench
+
+#endif  // SHAPCQ_BENCH_BENCH_UTIL_H_

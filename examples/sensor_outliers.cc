@@ -1,0 +1,83 @@
+// Sensor network scenario: Min/Max and CountDistinct attribution.
+//
+// Readings(sensor, value) are endogenous (each reading is a player);
+// Mounted(sensor, zone) and Zone(zone) are exogenous infrastructure. We ask
+// which reading is responsible for the maximum reported value in monitored
+// zones, for the minimum, and for the number of distinct alarm codes:
+//
+//   Q(r, v) <- Readings(r, v), Mounted(r, z), Zone(z)
+//
+// atoms(z) = {Mounted, Zone} overlaps atoms(r) = {Readings, Mounted}
+// without nesting, so the query is ∃-hierarchical (z is the only
+// existential variable) but not all-hierarchical: Min/Max are OUTSIDE
+// their frontier and the solver falls back to brute force. Dropping the
+// Zone atom gives an all-hierarchical query where the exact DP runs. The
+// example shows both, plus a null player (an unmounted sensor's reading).
+
+#include <cstdio>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/solver.h"
+
+using namespace shapcq;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  // Readings: sensor id, value (endogenous).
+  const std::vector<std::pair<int, int>> readings = {
+      {1, 20}, {1, 35}, {2, 35}, {2, 80}, {3, -5}, {3, 12}, {4, 80},
+  };
+  for (const auto& [sensor, value] : readings) {
+    db.AddEndogenous("Readings", {Value(sensor), Value(value)});
+  }
+  // Infrastructure (exogenous): sensor 4 is unmounted.
+  db.AddExogenous("Mounted", {Value(1), Value("north")});
+  db.AddExogenous("Mounted", {Value(2), Value("north")});
+  db.AddExogenous("Mounted", {Value(3), Value("south")});
+  db.AddExogenous("Zone", {Value("north")});
+  db.AddExogenous("Zone", {Value("south")});
+
+  ConjunctiveQuery monitored =
+      MustParseQuery("Q(r, v) <- Readings(r, v), Mounted(r, z), Zone(z)");
+  ConjunctiveQuery all_readings =
+      MustParseQuery("Q(r, v) <- Readings(r, v), Mounted(r, z)");
+
+  auto report = [&db](const char* title, const ConjunctiveQuery& q,
+                      AggregateFunction alpha) {
+    AggregateQuery a{q, MakeTauId(1), alpha};
+    ShapleySolver solver(a);
+    std::printf("%s\n  %s\n  A(D) = %s\n", title, a.ToString().c_str(),
+                a.Evaluate(db).ToString().c_str());
+    auto scores = solver.ComputeAll(db);
+    if (!scores.ok()) {
+      std::printf("  error: %s\n\n", scores.status().ToString().c_str());
+      return;
+    }
+    for (const auto& [fact, result] : *scores) {
+      std::printf("  %-24s %12.5f   [%s]\n",
+                  db.fact(fact).ToString().c_str(), result.approximation,
+                  result.algorithm.c_str());
+    }
+    std::printf("\n");
+  };
+
+  report("Max over monitored readings (not all-hierarchical -> fallback):",
+         monitored, AggregateFunction::Max());
+  report("Max over mounted readings (all-hierarchical -> exact DP):",
+         all_readings, AggregateFunction::Max());
+  report("Min over mounted readings:", all_readings,
+         AggregateFunction::Min());
+  report("Distinct reported values (CountDistinct):", all_readings,
+         AggregateFunction::CountDistinct());
+
+  // A has-duplicates check on an sq-hierarchical variant: do two sensors
+  // report the same value?
+  ConjunctiveQuery per_reading = MustParseQuery("Q(r, v) <- Readings(r, v)");
+  report("Has-duplicates over raw readings (sq-hierarchical):", per_reading,
+         AggregateFunction::HasDuplicates());
+  return 0;
+}

@@ -1,0 +1,211 @@
+// shapcq_cli: command-line Shapley attribution over CSV data.
+//
+// Usage:
+//   shapcq_cli --query 'Q(p, s) <- Earns(p, s), Took(p, c)'
+//              --agg avg --tau id:2
+//              --endo Took=took.csv --exo Earns=earns.csv
+//              [--score banzhaf] [--method auto|exact|brute|mc]
+//              [--expected <p>]   (also print E[A] over the uniform
+//                                  tuple-independent DB with probability p)
+//
+// Aggregates: sum count cdist min max avg median qnt:<a>/<b> dup
+// Value functions: id:<i>  relu:<i>  gt:<i>:<b>  const:<c>   (i is 1-based)
+//
+// Prints the classification of the query, the tractability verdict, and the
+// attribution of every endogenous fact.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/csv.h"
+#include "shapcq/data/database.h"
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/report.h"
+#include "shapcq/shapley/solver.h"
+
+using namespace shapcq;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "shapcq_cli: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<AggregateFunction> ParseAggregate(const std::string& text) {
+  if (text == "sum") return AggregateFunction::Sum();
+  if (text == "count") return AggregateFunction::Count();
+  if (text == "cdist") return AggregateFunction::CountDistinct();
+  if (text == "min") return AggregateFunction::Min();
+  if (text == "max") return AggregateFunction::Max();
+  if (text == "avg") return AggregateFunction::Avg();
+  if (text == "median") return AggregateFunction::Median();
+  if (text == "dup") return AggregateFunction::HasDuplicates();
+  if (text.rfind("qnt:", 0) == 0) {
+    StatusOr<Rational> q = Rational::FromString(text.substr(4));
+    if (!q.ok()) return q.status();
+    if (!(*q > Rational(0) && *q < Rational(1))) {
+      return InvalidArgumentError("quantile must be in (0,1)");
+    }
+    return AggregateFunction::Quantile(*q);
+  }
+  return InvalidArgumentError("unknown aggregate: " + text);
+}
+
+StatusOr<ValueFunctionPtr> ParseTau(const std::string& text) {
+  auto index_after = [&text](size_t prefix) -> StatusOr<int> {
+    StatusOr<BigInt> i = BigInt::FromString(text.substr(prefix));
+    if (!i.ok()) return i.status();
+    if (i->ToInt64() < 1) return InvalidArgumentError("1-based index");
+    return static_cast<int>(i->ToInt64()) - 1;
+  };
+  if (text.rfind("id:", 0) == 0) {
+    StatusOr<int> i = index_after(3);
+    if (!i.ok()) return i.status();
+    return MakeTauId(*i);
+  }
+  if (text.rfind("relu:", 0) == 0) {
+    StatusOr<int> i = index_after(5);
+    if (!i.ok()) return i.status();
+    return MakeTauReLU(*i);
+  }
+  if (text.rfind("gt:", 0) == 0) {
+    size_t second_colon = text.find(':', 3);
+    if (second_colon == std::string::npos) {
+      return InvalidArgumentError("expected gt:<i>:<b>");
+    }
+    StatusOr<BigInt> i = BigInt::FromString(text.substr(3, second_colon - 3));
+    if (!i.ok()) return i.status();
+    StatusOr<Rational> b = Rational::FromString(text.substr(second_colon + 1));
+    if (!b.ok()) return b.status();
+    return MakeTauGreaterThan(static_cast<int>(i->ToInt64()) - 1, *b);
+  }
+  if (text.rfind("const:", 0) == 0) {
+    StatusOr<Rational> c = Rational::FromString(text.substr(6));
+    if (!c.ok()) return c.status();
+    return MakeConstantTau(*c);
+  }
+  return InvalidArgumentError("unknown value function: " + text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string query_text;
+  std::string agg_text = "sum";
+  std::string tau_text = "const:1";
+  std::string score_text = "shapley";
+  std::string method_text = "auto";
+  std::string expected_text;
+  std::vector<std::pair<std::string, bool>> loads;  // "Rel=path", endogenous
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--query needs a value");
+      query_text = v;
+    } else if (arg == "--agg") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--agg needs a value");
+      agg_text = v;
+    } else if (arg == "--tau") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--tau needs a value");
+      tau_text = v;
+    } else if (arg == "--endo" || arg == "--exo") {
+      const char* v = next();
+      if (v == nullptr) return Fail(arg + " needs Rel=path");
+      loads.emplace_back(v, arg == "--endo");
+    } else if (arg == "--score") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--score needs a value");
+      score_text = v;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--method needs a value");
+      method_text = v;
+    } else if (arg == "--expected") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--expected needs a probability");
+      expected_text = v;
+    } else {
+      return Fail("unknown argument: " + arg);
+    }
+  }
+  if (query_text.empty()) return Fail("--query is required");
+
+  StatusOr<ConjunctiveQuery> query = ParseQuery(query_text);
+  if (!query.ok()) return Fail(query.status().ToString());
+  StatusOr<AggregateFunction> alpha = ParseAggregate(agg_text);
+  if (!alpha.ok()) return Fail(alpha.status().ToString());
+  StatusOr<ValueFunctionPtr> tau = ParseTau(tau_text);
+  if (!tau.ok()) return Fail(tau.status().ToString());
+
+  Database db;
+  for (const auto& [spec, endogenous] : loads) {
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos) return Fail("expected Rel=path: " + spec);
+    Status loaded = LoadCsvFileIntoDatabase(&db, spec.substr(0, eq),
+                                            spec.substr(eq + 1), endogenous);
+    if (!loaded.ok()) return Fail(loaded.ToString());
+  }
+  if (db.num_endogenous() == 0) return Fail("no endogenous facts loaded");
+
+  SolverOptions options;
+  if (score_text == "banzhaf") {
+    options.score = ScoreKind::kBanzhaf;
+  } else if (score_text != "shapley") {
+    return Fail("unknown score: " + score_text);
+  }
+  std::map<std::string, SolveMethod> methods = {
+      {"auto", SolveMethod::kAuto},
+      {"exact", SolveMethod::kExactOnly},
+      {"brute", SolveMethod::kBruteForce},
+      {"mc", SolveMethod::kMonteCarlo},
+  };
+  auto method = methods.find(method_text);
+  if (method == methods.end()) return Fail("unknown method: " + method_text);
+  options.method = method->second;
+
+  AggregateQuery a{*query, *tau, *alpha};
+  std::printf("aggregate query : %s\n", a.ToString().c_str());
+  std::printf("query class     : %s\n",
+              HierarchyClassName(Classify(*query)));
+  std::printf("frontier verdict: %s\n\n",
+              IsInsideFrontier(*alpha, *query)
+                  ? "inside (PTIME for every localized tau)"
+                  : "outside (hard for some tau; exact may still work for "
+                    "this tau, else fallback)");
+  std::printf("A(D) = %s\n\n", a.Evaluate(db).ToString().c_str());
+
+  ShapleySolver solver(a);
+  if (!expected_text.empty()) {
+    StatusOr<Rational> p = Rational::FromString(expected_text);
+    if (!p.ok()) return Fail(p.status().ToString());
+    if (*p < Rational(0) || *p > Rational(1)) {
+      return Fail("--expected probability must be in [0, 1]");
+    }
+    auto series = solver.ComputeSumKSeries(db);
+    if (!series.ok()) return Fail(series.status().ToString());
+    Rational expected = ExpectedValueFromSumK(*series, *p);
+    std::printf("E[A] over uniform TID with p = %s: %s (= %.6f)\n\n",
+                p->ToString().c_str(), expected.ToString().c_str(),
+                expected.ToDouble());
+  }
+  auto results = solver.ComputeAll(db, options);
+  if (!results.ok()) return Fail(results.status().ToString());
+  ReportOptions report;
+  report.show_relation_totals = true;
+  std::fputs(FormatAttributionReport(db, *results, report).c_str(), stdout);
+  std::printf("\n%s\n", SummarizeAttribution(db, *results).c_str());
+  return 0;
+}

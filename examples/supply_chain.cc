@@ -1,0 +1,94 @@
+// Supply-chain scenario at a scale only the exact engines can handle.
+//
+// 60 endogenous shipment facts over Ships(supplier, part): which shipment
+// contributes most to the number of DISTINCT part categories available
+// (CountDistinct), and to the maximum shipped unit price (Max)? The query
+//
+//   Q(s, p, cat, price) <- Ships(s, p), Part(p, cat, price)
+//
+// is q-hierarchical (every variable is free; atoms(p) = {Ships, Part}
+// dominates atoms(s), atoms(cat), atoms(price)), so the value functions are
+// localized on Part through the join on p. With 60 players, 2^60
+// enumeration is absurd; the exact DPs answer in seconds. The example also
+// saves/loads the database through the text serialization round-trip.
+
+#include <cstdio>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/data/db_io.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/report.h"
+#include "shapcq/shapley/solver.h"
+
+using namespace shapcq;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  // 24 parts in 6 categories with prices; exogenous catalog.
+  const int kParts = 12;
+  for (int p = 0; p < kParts; ++p) {
+    db.AddExogenous("Part", {Value(p), Value("cat" + std::to_string(p % 6)),
+                             Value((p * 37) % 90 + 10)});
+  }
+  // 60 endogenous shipments: 5 suppliers × 12 parts.
+  for (int s = 0; s < 5; ++s) {
+    for (int p = 0; p < kParts; ++p) {
+      db.AddEndogenous("Ships", {Value("sup" + std::to_string(s)), Value(p)});
+    }
+  }
+  std::printf("database: %d facts (%d endogenous shipments)\n\n",
+              db.num_facts(), db.num_endogenous());
+
+  ConjunctiveQuery q =
+      MustParseQuery("Q(s, p, cat, price) <- Ships(s, p), Part(p, cat, price)");
+
+  // τ reads the price (4th head position): localized on Part.
+  AggregateQuery max_price{q, MakeTauId(3), AggregateFunction::Max()};
+  ShapleySolver max_solver(max_price);
+  auto max_scores = max_solver.ComputeAll(db);
+  if (!max_scores.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 max_scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Max shipped price attribution (exact, %s):\n",
+              (*max_scores)[0].second.algorithm.c_str());
+  ReportOptions top5;
+  top5.max_rows = 5;
+  std::fputs(FormatAttributionReport(db, *max_scores, top5).c_str(), stdout);
+  std::printf("%s\n\n", SummarizeAttribution(db, *max_scores).c_str());
+
+  // CountDistinct over categories: τ maps the category string to a numeric
+  // code via a callback localized on Part (position 3 of the head).
+  auto category_code = MakeCallbackTau(
+      [](const Tuple& answer) {
+        const std::string& cat = answer[2].AsString();
+        return Rational(static_cast<int64_t>(cat.back() - '0'));
+      },
+      {2}, "category-code");
+  AggregateQuery distinct_cats{q, category_code,
+                               AggregateFunction::CountDistinct()};
+  ShapleySolver cdist_solver(distinct_cats);
+  auto cdist_scores = cdist_solver.ComputeAll(db);
+  if (!cdist_scores.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 cdist_scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Distinct-category attribution (exact, %s):\n",
+              (*cdist_scores)[0].second.algorithm.c_str());
+  std::fputs(FormatAttributionReport(db, *cdist_scores, top5).c_str(),
+             stdout);
+
+  // Round-trip the database through the text format.
+  std::string serialized = SerializeDatabase(db);
+  auto reloaded = ParseDatabase(serialized);
+  std::printf("\nserialization round-trip: %s (%zu bytes)\n",
+              reloaded.ok() && reloaded->num_facts() == db.num_facts()
+                  ? "ok"
+                  : "FAILED",
+              serialized.size());
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "shapcq/agg/value_function.h"
+
+#include <algorithm>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+class ConstantTau : public ValueFunction {
+ public:
+  explicit ConstantTau(Rational c) : c_(std::move(c)) {}
+  Rational Evaluate(const Tuple&) const override { return c_; }
+  std::vector<int> DependsOn() const override { return {}; }
+  std::string ToString() const override {
+    return "const(" + c_.ToString() + ")";
+  }
+
+ private:
+  Rational c_;
+};
+
+class TauId : public ValueFunction {
+ public:
+  explicit TauId(int head_index) : head_index_(head_index) {
+    SHAPCQ_CHECK(head_index >= 0);
+  }
+  Rational Evaluate(const Tuple& answer) const override {
+    SHAPCQ_CHECK(head_index_ < static_cast<int>(answer.size()));
+    return answer[static_cast<size_t>(head_index_)].AsRational();
+  }
+  std::vector<int> DependsOn() const override { return {head_index_}; }
+  bool is_injective() const override { return true; }
+  std::string ToString() const override {
+    return "tau_id^" + std::to_string(head_index_ + 1);
+  }
+
+ private:
+  int head_index_;
+};
+
+class TauGreaterThan : public ValueFunction {
+ public:
+  TauGreaterThan(int head_index, Rational b)
+      : head_index_(head_index), b_(std::move(b)) {
+    SHAPCQ_CHECK(head_index >= 0);
+  }
+  Rational Evaluate(const Tuple& answer) const override {
+    SHAPCQ_CHECK(head_index_ < static_cast<int>(answer.size()));
+    return answer[static_cast<size_t>(head_index_)].AsRational() > b_
+               ? Rational(1)
+               : Rational(0);
+  }
+  std::vector<int> DependsOn() const override { return {head_index_}; }
+  std::string ToString() const override {
+    return "tau_>" + b_.ToString() + "^" + std::to_string(head_index_ + 1);
+  }
+
+ private:
+  int head_index_;
+  Rational b_;
+};
+
+class TauReLU : public ValueFunction {
+ public:
+  explicit TauReLU(int head_index) : head_index_(head_index) {
+    SHAPCQ_CHECK(head_index >= 0);
+  }
+  Rational Evaluate(const Tuple& answer) const override {
+    SHAPCQ_CHECK(head_index_ < static_cast<int>(answer.size()));
+    Rational v = answer[static_cast<size_t>(head_index_)].AsRational();
+    return v > Rational(0) ? v : Rational(0);
+  }
+  std::vector<int> DependsOn() const override { return {head_index_}; }
+  std::string ToString() const override {
+    return "tau_ReLU^" + std::to_string(head_index_ + 1);
+  }
+
+ private:
+  int head_index_;
+};
+
+class ComposedTau : public ValueFunction {
+ public:
+  ComposedTau(std::function<Rational(const Rational&)> gamma,
+              ValueFunctionPtr inner, std::string name)
+      : gamma_(std::move(gamma)), inner_(std::move(inner)),
+        name_(std::move(name)) {
+    SHAPCQ_CHECK(inner_ != nullptr);
+  }
+  Rational Evaluate(const Tuple& answer) const override {
+    return gamma_(inner_->Evaluate(answer));
+  }
+  std::vector<int> DependsOn() const override { return inner_->DependsOn(); }
+  std::string ToString() const override {
+    return name_ + " o " + inner_->ToString();
+  }
+
+ private:
+  std::function<Rational(const Rational&)> gamma_;
+  ValueFunctionPtr inner_;
+  std::string name_;
+};
+
+class CallbackTau : public ValueFunction {
+ public:
+  CallbackTau(std::function<Rational(const Tuple&)> fn,
+              std::vector<int> depends_on, std::string name)
+      : fn_(std::move(fn)), depends_on_(std::move(depends_on)),
+        name_(std::move(name)) {}
+  Rational Evaluate(const Tuple& answer) const override { return fn_(answer); }
+  std::vector<int> DependsOn() const override { return depends_on_; }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::function<Rational(const Tuple&)> fn_;
+  std::vector<int> depends_on_;
+  std::string name_;
+};
+
+}  // namespace
+
+ValueFunctionPtr MakeConstantTau(Rational c) {
+  return std::make_shared<ConstantTau>(std::move(c));
+}
+
+ValueFunctionPtr MakeTauId(int head_index) {
+  return std::make_shared<TauId>(head_index);
+}
+
+ValueFunctionPtr MakeTauGreaterThan(int head_index, Rational b) {
+  return std::make_shared<TauGreaterThan>(head_index, std::move(b));
+}
+
+ValueFunctionPtr MakeTauReLU(int head_index) {
+  return std::make_shared<TauReLU>(head_index);
+}
+
+ValueFunctionPtr MakeComposedTau(
+    std::function<Rational(const Rational&)> gamma, ValueFunctionPtr inner,
+    std::string name) {
+  return std::make_shared<ComposedTau>(std::move(gamma), std::move(inner),
+                                       std::move(name));
+}
+
+ValueFunctionPtr MakeCallbackTau(std::function<Rational(const Tuple&)> fn,
+                                 std::vector<int> depends_on,
+                                 std::string name) {
+  return std::make_shared<CallbackTau>(std::move(fn), std::move(depends_on),
+                                       std::move(name));
+}
+
+std::vector<int> LocalizationAtoms(const ConjunctiveQuery& q,
+                                   const ValueFunction& tau) {
+  std::vector<int> depends_on = tau.DependsOn();
+  std::vector<int> result;
+  for (int a = 0; a < static_cast<int>(q.atoms().size()); ++a) {
+    const Atom& atom = q.atoms()[static_cast<size_t>(a)];
+    bool covers_all = true;
+    for (int position : depends_on) {
+      SHAPCQ_CHECK(position >= 0 && position < q.arity());
+      const std::string& head_var = q.head()[static_cast<size_t>(position)];
+      if (!atom.ContainsVariable(head_var)) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) result.push_back(a);
+  }
+  return result;
+}
+
+Rational EvaluateTauOnFact(const ConjunctiveQuery& q, int atom_index,
+                           const ValueFunction& tau, const Tuple& fact_args) {
+  SHAPCQ_CHECK(atom_index >= 0 &&
+               atom_index < static_cast<int>(q.atoms().size()));
+  const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
+  SHAPCQ_CHECK(static_cast<int>(fact_args.size()) == atom.arity());
+  Tuple answer(static_cast<size_t>(q.arity()), Value(0));
+  for (int position : tau.DependsOn()) {
+    const std::string& head_var = q.head()[static_cast<size_t>(position)];
+    std::vector<int> atom_positions = atom.PositionsOf(head_var);
+    SHAPCQ_CHECK(!atom_positions.empty() &&
+                 "tau is not localized on this atom");
+    answer[static_cast<size_t>(position)] =
+        fact_args[static_cast<size_t>(atom_positions[0])];
+  }
+  return tau.Evaluate(answer);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,82 @@
+// Value functions τ : Const^ar(Q) -> Q (rationals).
+//
+// A value function maps each query answer to a number. The paper's
+// algorithms assume τ is *localized*: determined by the tuple of a single
+// atom of the query. Here localization is a derived property: each value
+// function declares which head positions it depends on (DependsOn), and
+// LocalizationAtoms(q, τ) lists the atoms containing all of those head
+// variables. τ ≡ c depends on nothing and is localized on every atom.
+//
+// Built-ins match the paper's Equations (2)-(4):
+//   τ_id^i(t)   = t[i]
+//   τ_{>b}^i(t) = 1 if t[i] > b else 0
+//   τ_ReLU^i(t) = t[i] if t[i] > 0 else 0
+
+#ifndef SHAPCQ_AGG_VALUE_FUNCTION_H_
+#define SHAPCQ_AGG_VALUE_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapcq/data/value.h"
+#include "shapcq/query/cq.h"
+#include "shapcq/util/rational.h"
+
+namespace shapcq {
+
+class ValueFunction {
+ public:
+  virtual ~ValueFunction() = default;
+
+  // The τ-value of an answer tuple.
+  virtual Rational Evaluate(const Tuple& answer) const = 0;
+
+  // Head positions (0-based) the value depends on; empty for constants.
+  // Positions outside this list never affect Evaluate.
+  virtual std::vector<int> DependsOn() const = 0;
+
+  // True if the function is injective on the values of its depended
+  // positions (e.g. τ_id). Enables the Section 7.1 rewrite of
+  // CDist ∘ τ ∘ Q to Count ∘ τ ∘ Q for unary heads, where distinct answers
+  // are guaranteed distinct values. Conservative default: false.
+  virtual bool is_injective() const { return false; }
+
+  virtual std::string ToString() const = 0;
+};
+
+using ValueFunctionPtr = std::shared_ptr<const ValueFunction>;
+
+// τ ≡ c.
+ValueFunctionPtr MakeConstantTau(Rational c);
+// τ_id^i: the i-th head value (must be numeric at evaluation time).
+ValueFunctionPtr MakeTauId(int head_index);
+// τ_{>b}^i.
+ValueFunctionPtr MakeTauGreaterThan(int head_index, Rational b);
+// τ_ReLU^i.
+ValueFunctionPtr MakeTauReLU(int head_index);
+// γ ∘ τ for a user function γ (Theorem 7.1 experiments); `name` is used in
+// ToString.
+ValueFunctionPtr MakeComposedTau(std::function<Rational(const Rational&)> gamma,
+                                 ValueFunctionPtr inner, std::string name);
+// Fully general callback over the answer tuple with declared dependencies.
+ValueFunctionPtr MakeCallbackTau(std::function<Rational(const Tuple&)> fn,
+                                 std::vector<int> depends_on,
+                                 std::string name);
+
+// Indices of the atoms of `q` on which `tau` is localized: atoms containing
+// every head variable that `tau` depends on. Empty if none (then `tau` is
+// not localized and only brute-force engines apply).
+std::vector<int> LocalizationAtoms(const ConjunctiveQuery& q,
+                                   const ValueFunction& tau);
+
+// Evaluates τ on a fact of atom `atom_index`: the answer positions that τ
+// depends on are read off the fact (via the atom's variables); the rest are
+// filled with 0. Requires that `atom_index` is a localization atom of τ.
+Rational EvaluateTauOnFact(const ConjunctiveQuery& q, int atom_index,
+                           const ValueFunction& tau, const Tuple& fact_args);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_AGG_VALUE_FUNCTION_H_

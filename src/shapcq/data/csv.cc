@@ -1,0 +1,132 @@
+#include "shapcq/data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace shapcq {
+
+namespace {
+
+// Converts an unquoted CSV field to a Value: int64 if it parses fully as a
+// decimal integer, double if it parses fully as a float, else string.
+Value FieldToValue(const std::string& field) {
+  if (field.empty()) return Value(std::string());
+  errno = 0;
+  char* end = nullptr;
+  long long as_int = std::strtoll(field.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    return Value(static_cast<int64_t>(as_int));
+  }
+  errno = 0;
+  end = nullptr;
+  double as_double = std::strtod(field.c_str(), &end);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    return Value(as_double);
+  }
+  return Value(field);
+}
+
+}  // namespace
+
+StatusOr<Tuple> ParseCsvLine(std::string_view line) {
+  Tuple tuple;
+  size_t pos = 0;
+  bool expecting_field = true;
+  while (expecting_field) {
+    // Skip leading spaces.
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos < line.size() && line[pos] == '"') {
+      // Quoted field.
+      ++pos;
+      std::string field;
+      bool closed = false;
+      while (pos < line.size()) {
+        if (line[pos] == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            field.push_back('"');
+            pos += 2;
+          } else {
+            ++pos;
+            closed = true;
+            break;
+          }
+        } else {
+          field.push_back(line[pos]);
+          ++pos;
+        }
+      }
+      if (!closed) return InvalidArgumentError("unterminated quoted field");
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      if (pos < line.size() && line[pos] != ',') {
+        return InvalidArgumentError("garbage after quoted field");
+      }
+      tuple.push_back(Value(std::move(field)));
+    } else {
+      size_t comma = line.find(',', pos);
+      size_t end = comma == std::string_view::npos ? line.size() : comma;
+      std::string field(line.substr(pos, end - pos));
+      // Trim trailing spaces.
+      while (!field.empty() && field.back() == ' ') field.pop_back();
+      tuple.push_back(FieldToValue(field));
+      pos = end;
+    }
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      expecting_field = true;
+    } else {
+      expecting_field = false;
+    }
+  }
+  return tuple;
+}
+
+StatusOr<std::vector<Tuple>> ParseCsv(std::string_view text) {
+  std::vector<Tuple> rows;
+  size_t start = 0;
+  int line_number = 0;
+  while (start <= text.size()) {
+    size_t newline = text.find('\n', start);
+    size_t end = newline == std::string_view::npos ? text.size() : newline;
+    std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line[0] != '#') {
+      StatusOr<Tuple> tuple = ParseCsvLine(line);
+      if (!tuple.ok()) {
+        return InvalidArgumentError("line " + std::to_string(line_number) +
+                                    ": " + tuple.status().message());
+      }
+      if (!rows.empty() && rows.front().size() != tuple->size()) {
+        return InvalidArgumentError("line " + std::to_string(line_number) +
+                                    ": inconsistent column count");
+      }
+      rows.push_back(std::move(tuple).value());
+    }
+    if (newline == std::string_view::npos) break;
+    start = newline + 1;
+  }
+  return rows;
+}
+
+Status LoadCsvIntoDatabase(Database* db, const std::string& relation,
+                           std::string_view text, bool endogenous) {
+  StatusOr<std::vector<Tuple>> rows = ParseCsv(text);
+  if (!rows.ok()) return rows.status();
+  for (Tuple& row : *rows) {
+    db->AddFact(relation, std::move(row), endogenous);
+  }
+  return Status::Ok();
+}
+
+Status LoadCsvFileIntoDatabase(Database* db, const std::string& relation,
+                               const std::string& path, bool endogenous) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open file: " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return LoadCsvIntoDatabase(db, relation, contents.str(), endogenous);
+}
+
+}  // namespace shapcq

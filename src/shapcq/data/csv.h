@@ -1,0 +1,36 @@
+// CSV ingestion for example programs.
+//
+// Minimal CSV dialect: comma-separated, optional double-quoted fields with
+// "" escapes, '#' comment lines, blank lines skipped. Unquoted fields that
+// parse as integers/doubles become numeric Values; everything else is a
+// string Value (quoted fields are always strings).
+
+#ifndef SHAPCQ_DATA_CSV_H_
+#define SHAPCQ_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shapcq/data/database.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Parses CSV text into tuples. All rows must have the same width.
+StatusOr<std::vector<Tuple>> ParseCsv(std::string_view text);
+
+// Parses one CSV line (no newline handling) into a tuple.
+StatusOr<Tuple> ParseCsvLine(std::string_view line);
+
+// Loads `text` as facts of `relation` into `db`.
+Status LoadCsvIntoDatabase(Database* db, const std::string& relation,
+                           std::string_view text, bool endogenous);
+
+// Reads `path` and loads it as facts of `relation`.
+Status LoadCsvFileIntoDatabase(Database* db, const std::string& relation,
+                               const std::string& path, bool endogenous);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_CSV_H_

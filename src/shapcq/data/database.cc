@@ -1,0 +1,153 @@
+#include "shapcq/data/database.h"
+
+#include <algorithm>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+std::string Fact::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Schema::Schema(std::vector<RelationSchema> relations) {
+  for (RelationSchema& r : relations) {
+    AddRelation(r.name, r.arity);
+  }
+}
+
+void Schema::AddRelation(const std::string& name, int arity) {
+  SHAPCQ_CHECK(arity >= 0);
+  auto [it, inserted] = arity_by_name_.emplace(name, arity);
+  SHAPCQ_CHECK(inserted && "duplicate relation name in schema");
+  (void)it;
+  relations_.push_back(RelationSchema{name, arity});
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return arity_by_name_.count(name) > 0;
+}
+
+int Schema::Arity(const std::string& name) const {
+  auto it = arity_by_name_.find(name);
+  SHAPCQ_CHECK(it != arity_by_name_.end());
+  return it->second;
+}
+
+FactId Database::AddFact(const std::string& relation, Tuple args,
+                         bool endogenous) {
+  auto arity_it = arity_by_relation_.find(relation);
+  if (arity_it == arity_by_relation_.end()) {
+    arity_by_relation_.emplace(relation, static_cast<int>(args.size()));
+    relation_names_.push_back(relation);
+  } else {
+    SHAPCQ_CHECK(arity_it->second == static_cast<int>(args.size()) &&
+                 "fact arity conflicts with relation arity");
+  }
+  auto& index = fact_index_[relation];
+  SHAPCQ_CHECK(index.find(args) == index.end() && "duplicate fact");
+  FactId id = static_cast<FactId>(facts_.size());
+  index.emplace(args, id);
+  facts_by_relation_[relation].push_back(id);
+  if (endogenous) ++num_endogenous_;
+  facts_.push_back(Fact{relation, std::move(args), endogenous});
+  return id;
+}
+
+const Fact& Database::fact(FactId id) const {
+  SHAPCQ_CHECK(id >= 0 && id < static_cast<FactId>(facts_.size()));
+  return facts_[static_cast<size_t>(id)];
+}
+
+StatusOr<FactId> Database::FindFact(const std::string& relation,
+                                    const Tuple& args) const {
+  auto rel_it = fact_index_.find(relation);
+  if (rel_it == fact_index_.end()) {
+    return NotFoundError("unknown relation: " + relation);
+  }
+  auto fact_it = rel_it->second.find(args);
+  if (fact_it == rel_it->second.end()) {
+    return NotFoundError("fact not present: " + relation +
+                         TupleToString(args));
+  }
+  return fact_it->second;
+}
+
+bool Database::Contains(const std::string& relation, const Tuple& args) const {
+  return FindFact(relation, args).ok();
+}
+
+const std::vector<FactId>& Database::FactsOf(
+    const std::string& relation) const {
+  static const std::vector<FactId> kEmpty;
+  auto it = facts_by_relation_.find(relation);
+  return it == facts_by_relation_.end() ? kEmpty : it->second;
+}
+
+int Database::Arity(const std::string& relation) const {
+  auto it = arity_by_relation_.find(relation);
+  SHAPCQ_CHECK(it != arity_by_relation_.end());
+  return it->second;
+}
+
+std::vector<FactId> Database::EndogenousFacts() const {
+  std::vector<FactId> out;
+  out.reserve(static_cast<size_t>(num_endogenous_));
+  for (FactId id = 0; id < num_facts(); ++id) {
+    if (facts_[static_cast<size_t>(id)].endogenous) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<FactId> Database::ExogenousFacts() const {
+  std::vector<FactId> out;
+  for (FactId id = 0; id < num_facts(); ++id) {
+    if (!facts_[static_cast<size_t>(id)].endogenous) out.push_back(id);
+  }
+  return out;
+}
+
+Database Database::WithFactExogenous(FactId id) const {
+  SHAPCQ_CHECK(fact(id).endogenous);
+  Database copy = *this;
+  copy.facts_[static_cast<size_t>(id)].endogenous = false;
+  --copy.num_endogenous_;
+  return copy;
+}
+
+Database Database::WithoutFact(FactId id, std::vector<FactId>* old_to_new) const {
+  SHAPCQ_CHECK(id >= 0 && id < num_facts());
+  Database result;
+  if (old_to_new != nullptr) {
+    old_to_new->assign(static_cast<size_t>(num_facts()), -1);
+  }
+  for (FactId old_id = 0; old_id < num_facts(); ++old_id) {
+    if (old_id == id) continue;
+    const Fact& f = facts_[static_cast<size_t>(old_id)];
+    FactId new_id = result.AddFact(f.relation, f.args, f.endogenous);
+    if (old_to_new != nullptr) {
+      (*old_to_new)[static_cast<size_t>(old_id)] = new_id;
+    }
+  }
+  return result;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (bool endogenous : {true, false}) {
+    for (const Fact& f : facts_) {
+      if (f.endogenous != endogenous) continue;
+      out += f.ToString();
+      out += endogenous ? "  [endo]\n" : "  [exo]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,120 @@
+// Relational database with endogenous/exogenous facts.
+//
+// A Database is a set of facts over named relations. Each fact is marked
+// endogenous (a Shapley player) or exogenous (taken for granted), following
+// the model of Livshits et al. and the paper. Facts get stable FactIds; the
+// Shapley engines identify players by FactId.
+
+#ifndef SHAPCQ_DATA_DATABASE_H_
+#define SHAPCQ_DATA_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/data/value.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Index of a fact within its Database; stable across the database's lifetime.
+using FactId = int32_t;
+
+struct Fact {
+  std::string relation;
+  Tuple args;
+  bool endogenous = true;
+
+  // Renders "R(1, 'a')".
+  std::string ToString() const;
+};
+
+// Schema of one relation.
+struct RelationSchema {
+  std::string name;
+  int arity = 0;
+};
+
+// A database schema: relation name -> arity.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<RelationSchema> relations);
+
+  // Adds a relation; aborts if the name is already present.
+  void AddRelation(const std::string& name, int arity);
+
+  bool HasRelation(const std::string& name) const;
+  // Returns the arity; aborts if unknown.
+  int Arity(const std::string& name) const;
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, int> arity_by_name_;
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  // Adds a fact; aborts if an identical (relation, args) fact exists or if
+  // the arity conflicts with earlier facts of the same relation.
+  FactId AddFact(const std::string& relation, Tuple args,
+                 bool endogenous = true);
+  // Convenience for endogenous/exogenous insertion.
+  FactId AddEndogenous(const std::string& relation, Tuple args) {
+    return AddFact(relation, std::move(args), /*endogenous=*/true);
+  }
+  FactId AddExogenous(const std::string& relation, Tuple args) {
+    return AddFact(relation, std::move(args), /*endogenous=*/false);
+  }
+
+  int num_facts() const { return static_cast<int>(facts_.size()); }
+  const Fact& fact(FactId id) const;
+  // Looks up a fact id; returns kNotFound if absent.
+  StatusOr<FactId> FindFact(const std::string& relation,
+                            const Tuple& args) const;
+  bool Contains(const std::string& relation, const Tuple& args) const;
+
+  // All fact ids of one relation (empty vector for unknown relations).
+  const std::vector<FactId>& FactsOf(const std::string& relation) const;
+  // All relation names present, in first-insertion order.
+  const std::vector<std::string>& relation_names() const {
+    return relation_names_;
+  }
+  // Arity of a relation as observed from its facts; aborts if unknown.
+  int Arity(const std::string& relation) const;
+
+  // Endogenous fact ids, ascending.
+  std::vector<FactId> EndogenousFacts() const;
+  // Exogenous fact ids, ascending.
+  std::vector<FactId> ExogenousFacts() const;
+  int num_endogenous() const { return num_endogenous_; }
+
+  // Returns a copy where fact `id` is exogenous (the database F of the
+  // paper's Section 3.2). Fact ids are preserved.
+  Database WithFactExogenous(FactId id) const;
+  // Returns a copy without fact `id` (the database G). Fact ids are NOT
+  // preserved; use the returned mapping old->new (-1 for the removed fact).
+  Database WithoutFact(FactId id, std::vector<FactId>* old_to_new) const;
+
+  // Renders the whole database, one fact per line, endogenous first.
+  std::string ToString() const;
+
+ private:
+  std::vector<Fact> facts_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, std::vector<FactId>> facts_by_relation_;
+  std::unordered_map<std::string, int> arity_by_relation_;
+  // Key: relation + '\0' + hash-friendly encoding handled via nested map.
+  std::unordered_map<std::string,
+                     std::unordered_map<Tuple, FactId, TupleHash>>
+      fact_index_;
+  int num_endogenous_ = 0;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_DATABASE_H_

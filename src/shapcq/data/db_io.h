@@ -1,0 +1,37 @@
+// Plain-text database serialization.
+//
+// Format: one fact per line, '+' prefix for endogenous facts, '-' for
+// exogenous, followed by the fact in the CQ constant syntax:
+//
+//   +Earns('ann', 95000)
+//   -Took('ann', 101)
+//   # comments and blank lines are skipped
+//
+// Round-trips through Database exactly (fact order preserved, so FactIds
+// are stable across save/load).
+
+#ifndef SHAPCQ_DATA_DB_IO_H_
+#define SHAPCQ_DATA_DB_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "shapcq/data/database.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Serializes `db` in the line format above (facts in FactId order).
+std::string SerializeDatabase(const Database& db);
+
+// Parses the line format; returns INVALID_ARGUMENT with a line number on
+// malformed input.
+StatusOr<Database> ParseDatabase(std::string_view text);
+
+// File variants.
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+StatusOr<Database> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_DB_IO_H_

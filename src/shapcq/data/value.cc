@@ -1,0 +1,127 @@
+#include "shapcq/data/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+int64_t Value::AsInt() const {
+  SHAPCQ_CHECK(kind() == Kind::kInt);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  SHAPCQ_CHECK(kind() == Kind::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  SHAPCQ_CHECK(kind() == Kind::kString);
+  return std::get<std::string>(data_);
+}
+
+Rational Value::AsRational() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return Rational(std::get<int64_t>(data_));
+    case Kind::kDouble:
+      return Rational::FromDouble(std::get<double>(data_));
+    case Kind::kString:
+      SHAPCQ_CHECK(false && "AsRational on a string value");
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case Kind::kDouble: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g",
+                    std::get<double>(data_));
+      return buffer;
+    }
+    case Kind::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+int Value::Compare(const Value& lhs, const Value& rhs) {
+  bool lhs_numeric = lhs.is_numeric();
+  bool rhs_numeric = rhs.is_numeric();
+  if (lhs_numeric != rhs_numeric) return lhs_numeric ? -1 : 1;
+  if (!lhs_numeric) {
+    const std::string& a = lhs.AsString();
+    const std::string& b = rhs.AsString();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // Numeric comparison. int-vs-int stays exact; mixed goes through double,
+  // which is exact for the magnitudes used in this library's databases.
+  if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+    int64_t a = std::get<int64_t>(lhs.data_);
+    int64_t b = std::get<int64_t>(rhs.data_);
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  double a = lhs.kind() == Kind::kInt
+                 ? static_cast<double>(std::get<int64_t>(lhs.data_))
+                 : std::get<double>(lhs.data_);
+  double b = rhs.kind() == Kind::kInt
+                 ? static_cast<double>(std::get<int64_t>(rhs.data_))
+                 : std::get<double>(rhs.data_);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return std::hash<int64_t>{}(std::get<int64_t>(data_));
+    case Kind::kDouble: {
+      double d = std::get<double>(data_);
+      // Hash doubles that hold integral values like the equal int, so that
+      // Hash is compatible with Compare-equality across kinds.
+      if (d >= -9.2e18 && d <= 9.2e18 && d == std::floor(d)) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case Kind::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_)) ^
+             0x9e3779b97f4a7c15ull;
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t TupleHash::operator()(const Tuple& tuple) const {
+  size_t seed = 0x12345678u + tuple.size();
+  for (const Value& value : tuple) {
+    seed ^= value.Hash() + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+}  // namespace shapcq

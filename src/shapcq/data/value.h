@@ -1,0 +1,97 @@
+// Value: the constant domain of shapcq databases.
+//
+// The paper assumes an abstract infinite domain Const. We support 64-bit
+// integers, doubles, and strings, with a deterministic total order across
+// kinds (int64 and double compare numerically; numbers sort before strings).
+// Value functions convert numeric values to exact Rationals.
+
+#ifndef SHAPCQ_DATA_VALUE_H_
+#define SHAPCQ_DATA_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "shapcq/util/rational.h"
+
+namespace shapcq {
+
+class Value {
+ public:
+  enum class Kind { kInt, kDouble, kString };
+
+  // Default: integer 0.
+  Value() : data_(int64_t{0}) {}
+  // Intentionally implicit: literals should work wherever Value is expected.
+  Value(int64_t v) : data_(v) {}                       // NOLINT
+  Value(int v) : data_(static_cast<int64_t>(v)) {}     // NOLINT
+  Value(double v) : data_(v) {}                        // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}        // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}      // NOLINT
+
+  Kind kind() const { return static_cast<Kind>(data_.index()); }
+  bool is_numeric() const { return kind() != Kind::kString; }
+
+  int64_t AsInt() const;          // requires kind() == kInt
+  double AsDouble() const;        // requires kind() == kDouble
+  const std::string& AsString() const;  // requires kind() == kString
+
+  // Numeric value as an exact rational; requires is_numeric() and, for
+  // doubles, finiteness.
+  Rational AsRational() const;
+
+  // Rendering: integers as-is, doubles via shortest round-trip-ish format,
+  // strings single-quoted (matching the CQ parser's constant syntax).
+  std::string ToString() const;
+
+  // Total order: numerics compare by numeric value (int 2 == double 2.0),
+  // all numerics sort before all strings, strings lexicographically.
+  static int Compare(const Value& lhs, const Value& rhs);
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Value& value);
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+// A database/query-answer tuple.
+using Tuple = std::vector<Value>;
+
+// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& value) const { return value.Hash(); }
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_VALUE_H_

@@ -1,0 +1,117 @@
+#include "shapcq/hierarchy/classification.h"
+
+#include <algorithm>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Containment relation over sorted atom-index vectors.
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool AreDisjoint(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsHierarchicalWrt(const ConjunctiveQuery& q,
+                       const std::vector<std::string>& variables) {
+  std::vector<std::vector<int>> atom_sets;
+  atom_sets.reserve(variables.size());
+  for (const std::string& variable : variables) {
+    atom_sets.push_back(q.AtomsContaining(variable));
+  }
+  for (size_t i = 0; i < atom_sets.size(); ++i) {
+    for (size_t j = i + 1; j < atom_sets.size(); ++j) {
+      const std::vector<int>& a = atom_sets[i];
+      const std::vector<int>& b = atom_sets[j];
+      if (!IsSubset(a, b) && !IsSubset(b, a) && !AreDisjoint(a, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsExistsHierarchical(const ConjunctiveQuery& q) {
+  return IsHierarchicalWrt(q, q.existential_variables());
+}
+
+bool IsAllHierarchical(const ConjunctiveQuery& q) {
+  return IsHierarchicalWrt(q, q.variables());
+}
+
+bool IsQHierarchical(const ConjunctiveQuery& q) {
+  if (!IsAllHierarchical(q)) return false;
+  // No existential x and free y with atoms(Q,y) ⊊ atoms(Q,x).
+  for (const std::string& x : q.existential_variables()) {
+    std::vector<int> atoms_x = q.AtomsContaining(x);
+    for (const std::string& y : q.free_variables()) {
+      std::vector<int> atoms_y = q.AtomsContaining(y);
+      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsSqHierarchical(const ConjunctiveQuery& q) {
+  if (!IsAllHierarchical(q)) return false;
+  // No free y whose atom set is strictly contained in that of any variable.
+  for (const std::string& y : q.free_variables()) {
+    std::vector<int> atoms_y = q.AtomsContaining(y);
+    for (const std::string& x : q.variables()) {
+      if (x == y) continue;
+      std::vector<int> atoms_x = q.AtomsContaining(x);
+      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+HierarchyClass Classify(const ConjunctiveQuery& q) {
+  if (!IsExistsHierarchical(q)) return HierarchyClass::kGeneral;
+  if (!IsAllHierarchical(q)) return HierarchyClass::kExistsHierarchical;
+  if (!IsQHierarchical(q)) return HierarchyClass::kAllHierarchical;
+  if (!IsSqHierarchical(q)) return HierarchyClass::kQHierarchical;
+  return HierarchyClass::kSqHierarchical;
+}
+
+const char* HierarchyClassName(HierarchyClass c) {
+  switch (c) {
+    case HierarchyClass::kGeneral:
+      return "general";
+    case HierarchyClass::kExistsHierarchical:
+      return "exists-hierarchical";
+    case HierarchyClass::kAllHierarchical:
+      return "all-hierarchical";
+    case HierarchyClass::kQHierarchical:
+      return "q-hierarchical";
+    case HierarchyClass::kSqHierarchical:
+      return "sq-hierarchical";
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+bool AtLeast(HierarchyClass query_class, HierarchyClass required) {
+  return static_cast<int>(query_class) >= static_cast<int>(required);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,59 @@
+// Hierarchy classification of conjunctive queries (Section 2 of the paper).
+//
+// A CQ Q is hierarchical w.r.t. a variable set V if for all x, y in V the
+// atom sets atoms(Q,x) and atoms(Q,y) are nested or disjoint. The paper's
+// dichotomies are stated in terms of four nested classes:
+//
+//   sq-hierarchical ⊆ q-hierarchical ⊆ all-hierarchical ⊆ ∃-hierarchical
+//
+// * ∃-hierarchical: hierarchical w.r.t. the existential variables.
+// * all-hierarchical: hierarchical w.r.t. all variables.
+// * q-hierarchical: all-hierarchical, and there is no existential x and
+//   free y with atoms(Q,y) ⊊ atoms(Q,x)  [Berkholz-Keppeler-Schweikardt].
+// * sq-hierarchical: all-hierarchical, and no *free* variable has an atom
+//   set strictly contained in that of any other variable (Section 6).
+//
+// All classes coincide for Boolean CQs.
+
+#ifndef SHAPCQ_HIERARCHY_CLASSIFICATION_H_
+#define SHAPCQ_HIERARCHY_CLASSIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "shapcq/query/cq.h"
+
+namespace shapcq {
+
+// True iff atoms(Q,x) and atoms(Q,y) are nested or disjoint for all
+// x, y in `variables`.
+bool IsHierarchicalWrt(const ConjunctiveQuery& q,
+                       const std::vector<std::string>& variables);
+
+bool IsExistsHierarchical(const ConjunctiveQuery& q);
+bool IsAllHierarchical(const ConjunctiveQuery& q);
+bool IsQHierarchical(const ConjunctiveQuery& q);
+bool IsSqHierarchical(const ConjunctiveQuery& q);
+
+// The most specific class a query belongs to; the classes are linearly
+// ordered by containment. kGeneral means not even ∃-hierarchical.
+enum class HierarchyClass {
+  kGeneral = 0,
+  kExistsHierarchical = 1,
+  kAllHierarchical = 2,
+  kQHierarchical = 3,
+  kSqHierarchical = 4,
+};
+
+HierarchyClass Classify(const ConjunctiveQuery& q);
+
+// "general", "exists-hierarchical", ...
+const char* HierarchyClassName(HierarchyClass c);
+
+// True if `query_class` is at least as specific as `required`
+// (e.g., an sq-hierarchical query is also q-hierarchical).
+bool AtLeast(HierarchyClass query_class, HierarchyClass required);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_HIERARCHY_CLASSIFICATION_H_

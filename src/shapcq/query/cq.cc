@@ -1,0 +1,242 @@
+#include "shapcq/query/cq.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+Term Term::Variable(std::string name) {
+  SHAPCQ_CHECK(!name.empty());
+  Term t;
+  t.is_variable_ = true;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Constant(Value value) {
+  Term t;
+  t.is_variable_ = false;
+  t.value_ = std::move(value);
+  return t;
+}
+
+const std::string& Term::variable() const {
+  SHAPCQ_CHECK(is_variable_);
+  return name_;
+}
+
+const Value& Term::constant() const {
+  SHAPCQ_CHECK(!is_variable_);
+  return value_;
+}
+
+std::string Term::ToString() const {
+  return is_variable_ ? name_ : value_.ToString();
+}
+
+bool Atom::ContainsVariable(const std::string& name) const {
+  for (const Term& term : terms) {
+    if (term.is_variable() && term.variable() == name) return true;
+  }
+  return false;
+}
+
+std::vector<int> Atom::PositionsOf(const std::string& name) const {
+  std::vector<int> positions;
+  for (int i = 0; i < arity(); ++i) {
+    if (terms[static_cast<size_t>(i)].is_variable() &&
+        terms[static_cast<size_t>(i)].variable() == name) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+bool Atom::is_ground() const {
+  for (const Term& term : terms) {
+    if (term.is_variable()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+StatusOr<ConjunctiveQuery> ConjunctiveQuery::Create(
+    std::string name, std::vector<std::string> head, std::vector<Atom> body) {
+  if (body.empty()) {
+    return InvalidArgumentError("a conjunctive query needs at least one atom");
+  }
+  std::unordered_set<std::string> body_variables;
+  for (const Atom& atom : body) {
+    if (atom.relation.empty()) {
+      return InvalidArgumentError("atom with empty relation name");
+    }
+    for (const Term& term : atom.terms) {
+      if (term.is_variable()) body_variables.insert(term.variable());
+    }
+  }
+  for (const std::string& head_var : head) {
+    if (head_var.empty()) {
+      return InvalidArgumentError("empty head variable name");
+    }
+    if (body_variables.count(head_var) == 0) {
+      return InvalidArgumentError("unsafe query: head variable '" + head_var +
+                                  "' does not occur in the body");
+    }
+  }
+  ConjunctiveQuery q;
+  q.name_ = std::move(name);
+  q.head_ = std::move(head);
+  q.atoms_ = std::move(body);
+  q.RebuildCaches();
+  return q;
+}
+
+bool ConjunctiveQuery::IsFreeVariable(const std::string& name) const {
+  return std::find(head_.begin(), head_.end(), name) != head_.end();
+}
+
+bool ConjunctiveQuery::HasVariable(const std::string& name) const {
+  return std::find(variables_.begin(), variables_.end(), name) !=
+         variables_.end();
+}
+
+std::vector<int> ConjunctiveQuery::AtomsContaining(
+    const std::string& name) const {
+  std::vector<int> indices;
+  for (int i = 0; i < static_cast<int>(atoms_.size()); ++i) {
+    if (atoms_[static_cast<size_t>(i)].ContainsVariable(name)) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+bool ConjunctiveQuery::HasSelfJoin() const {
+  std::unordered_set<std::string> seen;
+  for (const Atom& atom : atoms_) {
+    if (!seen.insert(atom.relation).second) return true;
+  }
+  return false;
+}
+
+std::vector<int> ConjunctiveQuery::AtomsOf(const std::string& relation) const {
+  std::vector<int> indices;
+  for (int i = 0; i < static_cast<int>(atoms_.size()); ++i) {
+    if (atoms_[static_cast<size_t>(i)].relation == relation) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+ConjunctiveQuery ConjunctiveQuery::AsBoolean() const {
+  ConjunctiveQuery q = *this;
+  q.head_.clear();
+  q.RebuildCaches();
+  return q;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Bind(const std::string& name,
+                                        const Value& a) const {
+  SHAPCQ_CHECK(HasVariable(name));
+  ConjunctiveQuery q;
+  q.name_ = name_;
+  for (const std::string& head_var : head_) {
+    if (head_var != name) q.head_.push_back(head_var);
+  }
+  q.atoms_ = atoms_;
+  for (Atom& atom : q.atoms_) {
+    for (Term& term : atom.terms) {
+      if (term.is_variable() && term.variable() == name) {
+        term = Term::Constant(a);
+      }
+    }
+  }
+  q.RebuildCaches();
+  return q;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Project(
+    const std::vector<int>& atom_indices,
+    std::vector<int>* kept_head_positions) const {
+  SHAPCQ_CHECK(!atom_indices.empty());
+  ConjunctiveQuery q;
+  q.name_ = name_;
+  std::unordered_set<std::string> kept_variables;
+  for (int index : atom_indices) {
+    SHAPCQ_CHECK(index >= 0 && index < static_cast<int>(atoms_.size()));
+    const Atom& atom = atoms_[static_cast<size_t>(index)];
+    q.atoms_.push_back(atom);
+    for (const Term& term : atom.terms) {
+      if (term.is_variable()) kept_variables.insert(term.variable());
+    }
+  }
+  if (kept_head_positions != nullptr) kept_head_positions->clear();
+  for (int position = 0; position < static_cast<int>(head_.size());
+       ++position) {
+    const std::string& head_var = head_[static_cast<size_t>(position)];
+    if (kept_variables.count(head_var) > 0) {
+      q.head_.push_back(head_var);
+      if (kept_head_positions != nullptr) {
+        kept_head_positions->push_back(position);
+      }
+    }
+  }
+  q.RebuildCaches();
+  return q;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_[i];
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+void ConjunctiveQuery::RebuildCaches() {
+  variables_.clear();
+  free_variables_.clear();
+  existential_variables_.clear();
+  std::unordered_set<std::string> seen;
+  auto add_variable = [this, &seen](const std::string& name) {
+    if (seen.insert(name).second) variables_.push_back(name);
+  };
+  for (const std::string& head_var : head_) add_variable(head_var);
+  for (const Atom& atom : atoms_) {
+    for (const Term& term : atom.terms) {
+      if (term.is_variable()) add_variable(term.variable());
+    }
+  }
+  std::unordered_set<std::string> head_set(head_.begin(), head_.end());
+  std::unordered_set<std::string> added_free;
+  for (const std::string& head_var : head_) {
+    if (added_free.insert(head_var).second) {
+      free_variables_.push_back(head_var);
+    }
+  }
+  for (const std::string& variable : variables_) {
+    if (head_set.count(variable) == 0) {
+      existential_variables_.push_back(variable);
+    }
+  }
+}
+
+}  // namespace shapcq

@@ -1,0 +1,133 @@
+// Conjunctive queries.
+//
+// A CQ has the form  Q(x1,...,xk) <- R1(z1), ..., Rq(zq)  where the head
+// lists free variables and each body atom mixes variables and constants.
+// This module provides the representation plus the structural accessors the
+// paper's algorithms need: vars(Q), varsF(Q), vars∃(Q), atoms(Q, x),
+// self-join detection, safety (range restriction), and residual queries
+// Q_{x -> a}.
+
+#ifndef SHAPCQ_QUERY_CQ_H_
+#define SHAPCQ_QUERY_CQ_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shapcq/data/value.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// One position in an atom: either a variable (by name) or a constant.
+class Term {
+ public:
+  static Term Variable(std::string name);
+  static Term Constant(Value value);
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+  const std::string& variable() const;  // requires is_variable()
+  const Value& constant() const;        // requires is_constant()
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.name_ == b.name_ : a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Term() = default;
+  bool is_variable_ = false;
+  std::string name_;
+  Value value_;
+};
+
+// One body atom R(z1,...,zm).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  int arity() const { return static_cast<int>(terms.size()); }
+  bool ContainsVariable(const std::string& name) const;
+  // Positions (0-based) where `name` occurs.
+  std::vector<int> PositionsOf(const std::string& name) const;
+  bool is_ground() const;  // no variables
+  std::string ToString() const;
+};
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  // Builds a CQ; returns an error if the query is unsafe (a head variable
+  // missing from the body) or malformed (empty body, head constants are not
+  // supported: the head is a list of variable names, possibly repeated).
+  static StatusOr<ConjunctiveQuery> Create(std::string name,
+                                           std::vector<std::string> head,
+                                           std::vector<Atom> body);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& head() const { return head_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  int arity() const { return static_cast<int>(head_.size()); }
+  bool is_boolean() const { return head_.empty(); }
+
+  // All variables, in first-occurrence order (head first, then body).
+  const std::vector<std::string>& variables() const { return variables_; }
+  // Free (head) variables, deduplicated, in head order.
+  const std::vector<std::string>& free_variables() const {
+    return free_variables_;
+  }
+  // Existential variables, in first-occurrence order.
+  const std::vector<std::string>& existential_variables() const {
+    return existential_variables_;
+  }
+  bool IsFreeVariable(const std::string& name) const;
+  bool HasVariable(const std::string& name) const;
+
+  // Indices into atoms() of the atoms containing `name` (the paper's
+  // atoms(Q, x)).
+  std::vector<int> AtomsContaining(const std::string& name) const;
+
+  // True if some relation name repeats in the body.
+  bool HasSelfJoin() const;
+
+  // Indices of atoms over `relation` (0 or 1 entries when self-join-free).
+  std::vector<int> AtomsOf(const std::string& relation) const;
+
+  // The Boolean version of this query (all variables existential).
+  ConjunctiveQuery AsBoolean() const;
+
+  // The residual query Q_{x -> a}: every body occurrence of `x` becomes the
+  // constant `a`; if `x` is free it is removed from the head. Requires that
+  // `x` is a variable of the query.
+  ConjunctiveQuery Bind(const std::string& name, const Value& a) const;
+
+  // Builds a sub-query from a subset of atoms. Head variables that occur in
+  // the kept atoms stay in the head (in original order); others are dropped.
+  // `kept_head_positions`, if non-null, receives the original head positions
+  // that survive.
+  ConjunctiveQuery Project(const std::vector<int>& atom_indices,
+                           std::vector<int>* kept_head_positions) const;
+
+  // Renders "Q(x, y) <- R(x, y), S(y)".
+  std::string ToString() const;
+
+ private:
+  void RebuildCaches();
+
+  std::string name_ = "Q";
+  std::vector<std::string> head_;
+  std::vector<Atom> atoms_;
+  // Caches (derived from head_/atoms_).
+  std::vector<std::string> variables_;
+  std::vector<std::string> free_variables_;
+  std::vector<std::string> existential_variables_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_CQ_H_

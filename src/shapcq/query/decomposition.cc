@@ -1,0 +1,189 @@
+#include "shapcq/query/decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "shapcq/query/evaluator.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+int FactSubset::CountEndogenous() const {
+  int count = 0;
+  for (FactId id : facts) {
+    if (db->fact(id).endogenous) ++count;
+  }
+  return count;
+}
+
+std::vector<FactId> FactSubset::EndogenousFacts() const {
+  std::vector<FactId> out;
+  for (FactId id : facts) {
+    if (db->fact(id).endogenous) out.push_back(id);
+  }
+  return out;
+}
+
+FactSubset AllFacts(const Database& db) {
+  FactSubset subset;
+  subset.db = &db;
+  subset.facts.reserve(static_cast<size_t>(db.num_facts()));
+  for (FactId id = 0; id < db.num_facts(); ++id) subset.facts.push_back(id);
+  return subset;
+}
+
+std::vector<std::string> RootVariables(const ConjunctiveQuery& q) {
+  std::vector<std::string> roots;
+  int num_atoms = static_cast<int>(q.atoms().size());
+  for (const std::string& variable : q.variables()) {
+    if (static_cast<int>(q.AtomsContaining(variable).size()) == num_atoms) {
+      roots.push_back(variable);
+    }
+  }
+  return roots;
+}
+
+std::vector<std::vector<int>> ConnectedComponents(const ConjunctiveQuery& q) {
+  int n = static_cast<int>(q.atoms().size());
+  // Union-find over atoms.
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    parent[static_cast<size_t>(find(a))] = find(b);
+  };
+  for (const std::string& variable : q.variables()) {
+    std::vector<int> touching = q.AtomsContaining(variable);
+    for (size_t i = 1; i < touching.size(); ++i) {
+      unite(touching[0], touching[i]);
+    }
+  }
+  std::unordered_map<int, std::vector<int>> groups;
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    int root = find(i);
+    if (groups.find(root) == groups.end()) order.push_back(root);
+    groups[root].push_back(i);
+  }
+  std::vector<std::vector<int>> components;
+  components.reserve(order.size());
+  for (int root : order) components.push_back(std::move(groups[root]));
+  return components;
+}
+
+bool IsGround(const ConjunctiveQuery& q) { return q.variables().empty(); }
+
+int AtomIndexOf(const ConjunctiveQuery& q, const std::string& relation) {
+  std::vector<int> indices = q.AtomsOf(relation);
+  SHAPCQ_CHECK(indices.size() <= 1 && "self-join encountered");
+  return indices.empty() ? -1 : indices[0];
+}
+
+std::vector<Value> CandidateValues(const ConjunctiveQuery& q,
+                                   const std::string& x,
+                                   const FactSubset& subset) {
+  SHAPCQ_CHECK(q.HasVariable(x));
+  // Group subset facts by relation once.
+  std::unordered_map<std::string, std::vector<FactId>> by_relation;
+  for (FactId id : subset.facts) {
+    by_relation[subset.db->fact(id).relation].push_back(id);
+  }
+  bool first = true;
+  std::set<Value> candidates;
+  for (const Atom& atom : q.atoms()) {
+    std::vector<int> positions = atom.PositionsOf(x);
+    for (int position : positions) {
+      std::set<Value> column;
+      auto it = by_relation.find(atom.relation);
+      if (it != by_relation.end()) {
+        for (FactId id : it->second) {
+          column.insert(
+              subset.db->fact(id).args[static_cast<size_t>(position)]);
+        }
+      }
+      if (first) {
+        candidates = std::move(column);
+        first = false;
+      } else {
+        std::set<Value> intersection;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              column.begin(), column.end(),
+                              std::inserter(intersection,
+                                            intersection.begin()));
+        candidates = std::move(intersection);
+      }
+      if (candidates.empty()) return {};
+    }
+  }
+  SHAPCQ_CHECK(!first && "variable does not occur in the query body");
+  return std::vector<Value>(candidates.begin(), candidates.end());
+}
+
+std::vector<FactId> FactsConsistentWith(const ConjunctiveQuery& q,
+                                        const std::string& x, const Value& a,
+                                        const FactSubset& subset) {
+  SHAPCQ_CHECK(!q.HasSelfJoin());
+  Binding binding;
+  binding.emplace(x, a);
+  std::vector<FactId> out;
+  for (FactId id : subset.facts) {
+    const Fact& fact = subset.db->fact(id);
+    int atom_index = AtomIndexOf(q, fact.relation);
+    if (atom_index < 0) continue;
+    const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
+    if (MatchesAtom(atom, fact.args, binding)) out.push_back(id);
+  }
+  return out;
+}
+
+RelevanceSplit SplitRelevant(const ConjunctiveQuery& q,
+                             const FactSubset& subset) {
+  SHAPCQ_CHECK(!q.HasSelfJoin());
+  RelevanceSplit split;
+  split.relevant.db = subset.db;
+  Binding empty;
+  for (FactId id : subset.facts) {
+    const Fact& fact = subset.db->fact(id);
+    int atom_index = AtomIndexOf(q, fact.relation);
+    bool relevant = false;
+    if (atom_index >= 0) {
+      const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
+      relevant = MatchesAtom(atom, fact.args, empty);
+    }
+    if (relevant) {
+      split.relevant.facts.push_back(id);
+    } else if (fact.endogenous) {
+      ++split.irrelevant_endogenous;
+    } else {
+      ++split.irrelevant_exogenous;
+    }
+  }
+  return split;
+}
+
+FactSubset FactsOfQueryRelations(const ConjunctiveQuery& q,
+                                 const FactSubset& subset) {
+  SHAPCQ_CHECK(!q.HasSelfJoin());
+  std::unordered_set<std::string> relations;
+  for (const Atom& atom : q.atoms()) relations.insert(atom.relation);
+  FactSubset out;
+  out.db = subset.db;
+  for (FactId id : subset.facts) {
+    if (relations.count(subset.db->fact(id).relation) > 0) {
+      out.facts.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace shapcq

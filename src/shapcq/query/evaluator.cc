@@ -1,0 +1,198 @@
+#include "shapcq/query/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+bool MatchesAtom(const Atom& atom, const Tuple& fact_args,
+                 const Binding& binding) {
+  Binding scratch = binding;
+  return MatchAtom(atom, fact_args, &scratch);
+}
+
+bool MatchAtom(const Atom& atom, const Tuple& fact_args, Binding* binding) {
+  SHAPCQ_CHECK(static_cast<int>(fact_args.size()) == atom.arity());
+  // Record locally-introduced bindings so we can roll back on mismatch.
+  std::vector<std::string> introduced;
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& term = atom.terms[static_cast<size_t>(i)];
+    const Value& value = fact_args[static_cast<size_t>(i)];
+    if (term.is_constant()) {
+      if (term.constant() != value) {
+        for (const std::string& name : introduced) binding->erase(name);
+        return false;
+      }
+      continue;
+    }
+    auto [it, inserted] = binding->emplace(term.variable(), value);
+    if (inserted) {
+      introduced.push_back(term.variable());
+    } else if (it->second != value) {
+      for (const std::string& name : introduced) binding->erase(name);
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Backtracking join. Atom order: greedily pick the atom with the fewest
+// candidate facts times unbound variables first (a cheap heuristic that is
+// plenty for laptop-scale synthetic databases).
+class BacktrackingJoin {
+ public:
+  BacktrackingJoin(const ConjunctiveQuery& q, const Database& db)
+      : q_(q), db_(db) {}
+
+  std::vector<Homomorphism> Run() {
+    results_.clear();
+    Binding binding;
+    std::vector<FactId> used(q_.atoms().size(), -1);
+    std::vector<bool> done(q_.atoms().size(), false);
+    Recurse(&binding, &used, &done, 0);
+    return std::move(results_);
+  }
+
+ private:
+  int PickNextAtom(const Binding& binding, const std::vector<bool>& done) {
+    int best = -1;
+    long best_score = -1;
+    for (int i = 0; i < static_cast<int>(q_.atoms().size()); ++i) {
+      if (done[static_cast<size_t>(i)]) continue;
+      const Atom& atom = q_.atoms()[static_cast<size_t>(i)];
+      long unbound = 0;
+      for (const Term& term : atom.terms) {
+        if (term.is_variable() && binding.count(term.variable()) == 0) {
+          ++unbound;
+        }
+      }
+      long candidates =
+          static_cast<long>(db_.FactsOf(atom.relation).size());
+      long score = candidates * (unbound + 1);
+      if (best == -1 || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  void Recurse(Binding* binding, std::vector<FactId>* used,
+               std::vector<bool>* done, size_t depth) {
+    if (depth == q_.atoms().size()) {
+      Homomorphism hom;
+      hom.binding = *binding;
+      hom.answer.reserve(q_.head().size());
+      for (const std::string& head_var : q_.head()) {
+        auto it = binding->find(head_var);
+        SHAPCQ_CHECK(it != binding->end());
+        hom.answer.push_back(it->second);
+      }
+      hom.used_facts = *used;
+      results_.push_back(std::move(hom));
+      return;
+    }
+    int atom_index = PickNextAtom(*binding, *done);
+    SHAPCQ_CHECK(atom_index >= 0);
+    const Atom& atom = q_.atoms()[static_cast<size_t>(atom_index)];
+    (*done)[static_cast<size_t>(atom_index)] = true;
+    for (FactId fact_id : db_.FactsOf(atom.relation)) {
+      Binding saved = *binding;
+      if (MatchAtom(atom, db_.fact(fact_id).args, binding)) {
+        (*used)[static_cast<size_t>(atom_index)] = fact_id;
+        Recurse(binding, used, done, depth + 1);
+        (*used)[static_cast<size_t>(atom_index)] = -1;
+      }
+      *binding = std::move(saved);
+    }
+    (*done)[static_cast<size_t>(atom_index)] = false;
+  }
+
+  const ConjunctiveQuery& q_;
+  const Database& db_;
+  std::vector<Homomorphism> results_;
+};
+
+}  // namespace
+
+std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
+                                                 const Database& db) {
+  BacktrackingJoin join(q, db);
+  return join.Run();
+}
+
+std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db) {
+  std::set<Tuple> distinct;
+  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
+    distinct.insert(hom.answer);
+  }
+  return std::vector<Tuple>(distinct.begin(), distinct.end());
+}
+
+SubsetEvaluator::SubsetEvaluator(const ConjunctiveQuery& q,
+                                 const Database& db) {
+  players_ = db.EndogenousFacts();
+  num_players_ = static_cast<int>(players_.size());
+  SHAPCQ_CHECK(num_players_ <= 62 &&
+               "SubsetEvaluator is for brute-force-sized instances");
+  player_index_.assign(static_cast<size_t>(db.num_facts()), -1);
+  for (int i = 0; i < num_players_; ++i) {
+    player_index_[static_cast<size_t>(players_[static_cast<size_t>(i)])] = i;
+  }
+  // Group homomorphisms by answer; collect minimal endogenous support masks.
+  std::map<Tuple, std::vector<uint64_t>> masks_by_answer;
+  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
+    uint64_t mask = 0;
+    for (FactId fact_id : hom.used_facts) {
+      int player = player_index_[static_cast<size_t>(fact_id)];
+      if (player >= 0) mask |= uint64_t{1} << player;
+    }
+    masks_by_answer[hom.answer].push_back(mask);
+  }
+  for (auto& [answer, masks] : masks_by_answer) {
+    // Keep only minimal masks (drop supersets) to speed up subset checks.
+    std::sort(masks.begin(), masks.end(),
+              [](uint64_t a, uint64_t b) {
+                int pa = __builtin_popcountll(a);
+                int pb = __builtin_popcountll(b);
+                return pa != pb ? pa < pb : a < b;
+              });
+    std::vector<uint64_t> minimal;
+    for (uint64_t mask : masks) {
+      bool dominated = false;
+      for (uint64_t kept : minimal) {
+        if ((kept & mask) == kept) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) minimal.push_back(mask);
+    }
+    answers_.push_back(AnswerInfo{answer, std::move(minimal)});
+  }
+}
+
+int SubsetEvaluator::PlayerIndex(FactId id) const {
+  SHAPCQ_CHECK(id >= 0 && id < static_cast<FactId>(player_index_.size()));
+  return player_index_[static_cast<size_t>(id)];
+}
+
+std::vector<Tuple> SubsetEvaluator::AnswersFor(uint64_t mask) const {
+  std::vector<Tuple> out;
+  for (const AnswerInfo& info : answers_) {
+    for (uint64_t support : info.supports) {
+      if ((support & mask) == support) {
+        out.push_back(info.answer);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,89 @@
+// CQ evaluation: answers and homomorphisms.
+//
+// The evaluator computes Q(D) under standard CQ semantics and can also
+// enumerate all homomorphisms together with the facts they use. The Shapley
+// brute-force engine relies on the homomorphism list: an answer is alive in
+// a sub-database E ∪ D_x iff some homomorphism producing it uses only facts
+// of E ∪ D_x, which reduces to a subset check over endogenous fact sets.
+
+#ifndef SHAPCQ_QUERY_EVALUATOR_H_
+#define SHAPCQ_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/data/database.h"
+#include "shapcq/data/value.h"
+#include "shapcq/query/cq.h"
+
+namespace shapcq {
+
+// Variable binding built during evaluation.
+using Binding = std::unordered_map<std::string, Value>;
+
+// One homomorphism from a CQ to a database.
+struct Homomorphism {
+  Binding binding;
+  Tuple answer;                  // head variables under `binding`
+  std::vector<FactId> used_facts;  // one per atom, in atom order
+};
+
+// Tests whether `fact_args` matches `atom` under (and extending) `binding`:
+// constants must equal, repeated variables must agree, and variables bound
+// in `binding` must agree with their values. On success, returns true and
+// extends `binding` with the atom's newly bound variables.
+bool MatchAtom(const Atom& atom, const Tuple& fact_args, Binding* binding);
+
+// Read-only variant: no binding extension.
+bool MatchesAtom(const Atom& atom, const Tuple& fact_args,
+                 const Binding& binding);
+
+// Computes the answer set Q(D) (distinct tuples, in some deterministic
+// order).
+std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db);
+
+// Enumerates all homomorphisms from Q to D.
+std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
+                                                 const Database& db);
+
+// Evaluates Q over the sub-database D_x ∪ E where E is given as a set of
+// endogenous fact ids (bitmask over `endo_index`, see below). Exogenous
+// facts of `db` are always available. `endo_position[fact_id]` gives the
+// bit position of an endogenous fact or -1. Used by brute-force engines.
+class SubsetEvaluator {
+ public:
+  SubsetEvaluator(const ConjunctiveQuery& q, const Database& db);
+
+  // Number of endogenous facts (bit positions).
+  int num_players() const { return num_players_; }
+  // The bit position of endogenous fact `id` in masks; -1 for exogenous.
+  int PlayerIndex(FactId id) const;
+  // Fact id of a player bit.
+  FactId PlayerFact(int player) const { return players_[static_cast<size_t>(player)]; }
+
+  // Distinct answers of Q over D_x ∪ E for the player subset `mask`.
+  // Deterministic order (by answer tuple).
+  std::vector<Tuple> AnswersFor(uint64_t mask) const;
+
+  struct AnswerInfo {
+    Tuple answer;
+    // Minimal endogenous-support masks: the answer is alive iff some mask
+    // is a subset of the player mask.
+    std::vector<uint64_t> supports;
+  };
+
+  // All potential answers with their minimal supports (for engines that
+  // precompute per-answer data, e.g. τ values).
+  const std::vector<AnswerInfo>& answers() const { return answers_; }
+
+ private:
+  int num_players_ = 0;
+  std::vector<FactId> players_;
+  std::vector<int> player_index_;  // by fact id
+  std::vector<AnswerInfo> answers_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_EVALUATOR_H_

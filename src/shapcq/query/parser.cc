@@ -1,0 +1,205 @@
+#include "shapcq/query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Hand-written recursive-descent parser over a string view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<ConjunctiveQuery> Parse() {
+    SkipSpace();
+    StatusOr<std::string> name = ParseIdentifier("query name");
+    if (!name.ok()) return name.status();
+    StatusOr<std::vector<std::string>> head = ParseHead();
+    if (!head.ok()) return head.status();
+    SkipSpace();
+    if (!ConsumeArrow()) {
+      return Error("expected '<-' or ':-' after the query head");
+    }
+    std::vector<Atom> atoms;
+    while (true) {
+      SkipSpace();
+      StatusOr<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      atoms.push_back(std::move(atom).value());
+      SkipSpace();
+      if (!Consume(',')) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return ConjunctiveQuery::Create(std::move(name).value(),
+                                    std::move(head).value(),
+                                    std::move(atoms));
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(message + " (at offset " +
+                                std::to_string(pos_) + " of \"" +
+                                std::string(text_) + "\")");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeArrow() {
+    if (pos_ + 1 < text_.size() &&
+        (text_[pos_] == '<' || text_[pos_] == ':') &&
+        text_[pos_ + 1] == '-') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentifierStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentifierChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  StatusOr<std::string> ParseIdentifier(const std::string& what) {
+    SkipSpace();
+    if (pos_ >= text_.size() || !IsIdentifierStart(text_[pos_])) {
+      return Error("expected " + what);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentifierChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::vector<std::string>> ParseHead() {
+    SkipSpace();
+    if (!Consume('(')) return Error("expected '(' after the query name");
+    std::vector<std::string> head;
+    SkipSpace();
+    if (Consume(')')) return head;
+    while (true) {
+      StatusOr<std::string> var = ParseIdentifier("head variable");
+      if (!var.ok()) return var.status();
+      head.push_back(std::move(var).value());
+      SkipSpace();
+      if (Consume(')')) return head;
+      if (!Consume(',')) return Error("expected ',' or ')' in the head");
+    }
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    StatusOr<std::string> relation = ParseIdentifier("relation name");
+    if (!relation.ok()) return relation.status();
+    SkipSpace();
+    if (!Consume('(')) return Error("expected '(' after relation name");
+    Atom atom;
+    atom.relation = std::move(relation).value();
+    SkipSpace();
+    if (Consume(')')) return atom;
+    while (true) {
+      StatusOr<Term> term = ParseTerm();
+      if (!term.ok()) return term.status();
+      atom.terms.push_back(std::move(term).value());
+      SkipSpace();
+      if (Consume(')')) return atom;
+      if (!Consume(',')) return Error("expected ',' or ')' in an atom");
+    }
+  }
+
+  StatusOr<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("expected a term");
+    char c = text_[pos_];
+    if (c == '\'' || c == '"') return ParseStringConstant(c);
+    if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumberConstant();
+    }
+    if (IsIdentifierStart(c)) {
+      StatusOr<std::string> name = ParseIdentifier("variable");
+      if (!name.ok()) return name.status();
+      return Term::Variable(std::move(name).value());
+    }
+    return Error("expected a variable or constant");
+  }
+
+  StatusOr<Term> ParseStringConstant(char quote) {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      value.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string constant");
+    ++pos_;  // closing quote
+    return Term::Constant(Value(std::move(value)));
+  }
+
+  StatusOr<Term> ParseNumberConstant() {
+    size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool saw_digit = false;
+    bool saw_dot = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        saw_digit = true;
+        ++pos_;
+      } else if (c == '.' && !saw_dot) {
+        saw_dot = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) return Error("malformed number");
+    std::string literal(text_.substr(start, pos_ - start));
+    if (saw_dot) {
+      return Term::Constant(Value(std::strtod(literal.c_str(), nullptr)));
+    }
+    return Term::Constant(
+        Value(static_cast<int64_t>(std::strtoll(literal.c_str(), nullptr, 10))));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+ConjunctiveQuery MustParseQuery(std::string_view text) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "MustParseQuery: %s\n",
+                 query.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(query).value();
+}
+
+}  // namespace shapcq

@@ -1,0 +1,37 @@
+// Text syntax for conjunctive queries.
+//
+// Grammar (whitespace-insensitive):
+//
+//   query  := head ("<-" | ":-") atom ("," atom)*
+//   head   := NAME "(" [ VAR ("," VAR)* ] ")"
+//   atom   := NAME "(" [ term ("," term)* ] ")"
+//   term   := VAR | NUMBER | STRING
+//
+// NAME and VAR are identifiers ([A-Za-z_][A-Za-z0-9_]*); every bare
+// identifier in a body position is a variable (Datalog convention).
+// NUMBER is an optionally signed integer or decimal; STRING is single- or
+// double-quoted. Examples:
+//
+//   Q(x) <- R(x, y), S(y)
+//   Q() <- R(x), S(x, 'blue'), T(3)
+
+#ifndef SHAPCQ_QUERY_PARSER_H_
+#define SHAPCQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "shapcq/query/cq.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Parses `text` into a ConjunctiveQuery; returns INVALID_ARGUMENT with a
+// position-annotated message on malformed input.
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+// Parses or aborts; for tests and examples with known-good literals.
+ConjunctiveQuery MustParseQuery(std::string_view text);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_PARSER_H_

@@ -1,0 +1,45 @@
+// Answer-count distributions for q-hierarchical CQs.
+//
+// For a sub-problem (Q', D') of the generic algorithm, computes the map
+//
+//   N(k, ℓ) = #{ E ⊆ D'_n, |E| = k : |Q'(E ∪ D'_x)| = ℓ },
+//
+// the "non-R side" data structure of Section 5.1. The recursion prefers
+// free root variables (answer sets of the slices are disjoint, so sizes
+// add); once the head is fully bound the query is Boolean and the
+// distribution collapses to satisfaction counts; cross products multiply
+// answer counts. This is exactly where the q-hierarchical property is
+// needed: it guarantees a free root variable exists whenever the connected
+// query is non-Boolean.
+
+#ifndef SHAPCQ_SHAPLEY_ANSWER_COUNTS_H_
+#define SHAPCQ_SHAPLEY_ANSWER_COUNTS_H_
+
+#include <map>
+#include <utility>
+
+#include "shapcq/query/cq.h"
+#include "shapcq/query/decomposition.h"
+#include "shapcq/util/bigint.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+// Sparse (k, ℓ) -> count map. Entries with zero counts are absent; for each
+// k the entries sum to C(m, k).
+using AnswerCountMap = std::map<std::pair<int, int>, BigInt>;
+
+// Computes the distribution for `q` over the facts of `facts` (which must
+// all match their atoms). Requires q self-join-free and q-hierarchical;
+// aborts otherwise (callers validate first).
+AnswerCountMap AnswerCountDistribution(const ConjunctiveQuery& q,
+                                       const FactSubset& facts,
+                                       Combinatorics* comb);
+
+// Adds `pad` endogenous facts that never affect answers (k-convolution).
+AnswerCountMap PadAnswerCounts(const AnswerCountMap& counts, int pad,
+                               Combinatorics* comb);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_ANSWER_COUNTS_H_

@@ -1,0 +1,41 @@
+// Avg and Qnt_q over q-hierarchical CQs (Section 5.1, Appendix D).
+//
+// Instantiates the generic algorithm with the quintuple data structure
+//
+//   P[Q', D'](a, k, ℓ<, ℓ=, ℓ>) = #{ E ∈ (D'_n choose k) :
+//       the bag (τ ∘ Q')(E ∪ D'_x) has exactly ℓ= copies of a,
+//       ℓ< elements < a and ℓ> elements > a },
+//
+// for anchors a over the τ-values of the full query's answers. Free root
+// variables keep the answer sets of the slices disjoint (the quintuples
+// add); cross products multiply the bag by the partner's answer count; the
+// "non-R" side uses answer-count distributions (answer_counts.h). The final
+// series follow the paper's formulas:
+//
+//   sum_k(Avg)   = Σ_a Σ_ℓ  a · ℓ= / (ℓ< + ℓ= + ℓ>) · P(a, k, ℓ)
+//   sum_k(Qnt_q) = Σ_a Σ_ℓ  a · f_q(ℓ<, ℓ=, ℓ>)      · P(a, k, ℓ).
+
+#ifndef SHAPCQ_SHAPLEY_AVG_QUANTILE_H_
+#define SHAPCQ_SHAPLEY_AVG_QUANTILE_H_
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// sum_k series for A = Avg ∘ τ ∘ Q or Qnt_q ∘ τ ∘ Q. Returns UNSUPPORTED
+// unless the query is self-join-free and q-hierarchical and τ is localized
+// on some atom of Q.
+StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
+                                     const Database& db);
+
+// The paper's f_q(ℓ<, ℓ=, ℓ>): the contribution (0, 1/2 or 1) of the anchor
+// to the q-quantile of a bag with that profile. Exposed for testing.
+Rational QuantileContribution(const Rational& q, int64_t less, int64_t equal,
+                              int64_t greater);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_AVG_QUANTILE_H_

@@ -1,0 +1,177 @@
+#include "shapcq/shapley/brute_force.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "shapcq/query/evaluator.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+// Precomputed evaluation context: answers with minimal endogenous supports
+// and their τ values.
+class MaskAggregator {
+ public:
+  MaskAggregator(const AggregateQuery& a, const Database& db)
+      : evaluator_(a.query, db), alpha_(a.alpha) {
+    for (const auto& info : evaluator_.answers()) {
+      taus_.push_back(a.tau->Evaluate(info.answer));
+    }
+  }
+
+  const SubsetEvaluator& evaluator() const { return evaluator_; }
+  int num_players() const { return evaluator_.num_players(); }
+
+  // A(E ∪ D_x) for the subset given by `mask`.
+  Rational Evaluate(uint64_t mask) const {
+    std::vector<Rational> bag;
+    const auto& answers = evaluator_.answers();
+    for (size_t i = 0; i < answers.size(); ++i) {
+      for (uint64_t support : answers[i].supports) {
+        if ((support & mask) == support) {
+          bag.push_back(taus_[i]);
+          break;
+        }
+      }
+    }
+    return alpha_.Apply(bag);
+  }
+
+ private:
+  SubsetEvaluator evaluator_;
+  AggregateFunction alpha_;
+  std::vector<Rational> taus_;
+};
+
+Status CheckSize(const Database& db) {
+  if (db.num_endogenous() > kBruteForceMaxPlayers) {
+    return UnsupportedError(
+        "brute force limited to " + std::to_string(kBruteForceMaxPlayers) +
+        " endogenous facts, got " + std::to_string(db.num_endogenous()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<SumKSeries> BruteForceSumK(const AggregateQuery& a,
+                                    const Database& db) {
+  Status size_ok = CheckSize(db);
+  if (!size_ok.ok()) return size_ok;
+  MaskAggregator aggregator(a, db);
+  int n = aggregator.num_players();
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Rational value = aggregator.Evaluate(mask);
+    if (!value.is_zero()) {
+      series[static_cast<size_t>(__builtin_popcountll(mask))] += value;
+    }
+  }
+  return series;
+}
+
+StatusOr<Rational> BruteForceScore(const AggregateQuery& a, const Database& db,
+                                   FactId fact, ScoreKind kind) {
+  Status size_ok = CheckSize(db);
+  if (!size_ok.ok()) return size_ok;
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  MaskAggregator aggregator(a, db);
+  int n = aggregator.num_players();
+  int player = aggregator.evaluator().PlayerIndex(fact);
+  SHAPCQ_CHECK(player >= 0);
+  uint64_t fact_bit = uint64_t{1} << player;
+  Combinatorics comb;
+  Rational score;
+  // Enumerate subsets E of D_n \ {f}: masks without the fact's bit.
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (mask & fact_bit) continue;
+    Rational delta =
+        aggregator.Evaluate(mask | fact_bit) - aggregator.Evaluate(mask);
+    if (delta.is_zero()) continue;
+    switch (kind) {
+      case ScoreKind::kShapley:
+        score += comb.ShapleyCoefficient(n, __builtin_popcountll(mask)) *
+                 delta;
+        break;
+      case ScoreKind::kBanzhaf:
+        score += delta;
+        break;
+    }
+  }
+  if (kind == ScoreKind::kBanzhaf && n > 1) {
+    score /= Rational(BigInt::TwoPow(static_cast<uint64_t>(n - 1)));
+  }
+  return score;
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> BruteForceScoreAll(
+    const AggregateQuery& a, const Database& db, ScoreKind kind) {
+  Status size_ok = CheckSize(db);
+  if (!size_ok.ok()) return size_ok;
+  MaskAggregator aggregator(a, db);
+  int n = aggregator.num_players();
+  Combinatorics comb;
+  // Cache A over all masks once (each mask evaluated exactly once).
+  std::vector<Rational> values(uint64_t{1} << n);
+  for (uint64_t mask = 0; mask < values.size(); ++mask) {
+    values[mask] = aggregator.Evaluate(mask);
+  }
+  std::vector<std::pair<FactId, Rational>> scores;
+  for (int player = 0; player < n; ++player) {
+    uint64_t fact_bit = uint64_t{1} << player;
+    Rational score;
+    for (uint64_t mask = 0; mask < values.size(); ++mask) {
+      if (mask & fact_bit) continue;
+      Rational delta = values[mask | fact_bit] - values[mask];
+      if (delta.is_zero()) continue;
+      switch (kind) {
+        case ScoreKind::kShapley:
+          score += comb.ShapleyCoefficient(n, __builtin_popcountll(mask)) *
+                   delta;
+          break;
+        case ScoreKind::kBanzhaf:
+          score += delta;
+          break;
+      }
+    }
+    if (kind == ScoreKind::kBanzhaf && n > 1) {
+      score /= Rational(BigInt::TwoPow(static_cast<uint64_t>(n - 1)));
+    }
+    scores.emplace_back(aggregator.evaluator().PlayerFact(player),
+                        std::move(score));
+  }
+  return scores;
+}
+
+StatusOr<Rational> BruteForceShapleyByPermutations(const AggregateQuery& a,
+                                                   const Database& db,
+                                                   FactId fact) {
+  if (db.num_endogenous() > 9) {
+    return UnsupportedError("permutation enumeration limited to 9 players");
+  }
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  MaskAggregator aggregator(a, db);
+  int n = aggregator.num_players();
+  int player = aggregator.evaluator().PlayerIndex(fact);
+  SHAPCQ_CHECK(player >= 0);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rational total;
+  int64_t permutations = 0;
+  do {
+    uint64_t mask = 0;
+    for (int p : order) {
+      if (p == player) break;
+      mask |= uint64_t{1} << p;
+    }
+    total += aggregator.Evaluate(mask | (uint64_t{1} << player)) -
+             aggregator.Evaluate(mask);
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return total / Rational(permutations);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,129 @@
+#include "shapcq/shapley/closed_forms.h"
+
+#include <map>
+#include <set>
+
+#include "shapcq/agg/value_function.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+Status CheckShape(const AggregateQuery& a, const Database& db) {
+  if (!ClosedFormApplies(a, db)) {
+    return UnsupportedError(
+        "closed form requires Q(x...) <- R(x...) with all facts endogenous");
+  }
+  return Status::Ok();
+}
+
+// τ-values of all facts, in fact-id order.
+std::vector<Rational> FactValues(const AggregateQuery& a, const Database& db) {
+  std::vector<Rational> values;
+  values.reserve(static_cast<size_t>(db.num_facts()));
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    values.push_back(a.tau->Evaluate(db.fact(id).args));
+  }
+  return values;
+}
+
+}  // namespace
+
+bool ClosedFormApplies(const AggregateQuery& a, const Database& db) {
+  const ConjunctiveQuery& q = a.query;
+  if (q.atoms().size() != 1) return false;
+  const Atom& atom = q.atoms()[0];
+  // All terms are distinct variables and the head repeats them verbatim.
+  std::set<std::string> seen;
+  std::vector<std::string> atom_vars;
+  for (const Term& term : atom.terms) {
+    if (!term.is_variable()) return false;
+    if (!seen.insert(term.variable()).second) return false;
+    atom_vars.push_back(term.variable());
+  }
+  if (q.head() != atom_vars) return false;
+  // All facts endogenous and of that relation.
+  if (db.num_endogenous() != db.num_facts()) return false;
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (db.fact(id).relation != atom.relation) return false;
+  }
+  return db.num_facts() > 0;
+}
+
+StatusOr<Rational> ClosedFormCountDistinct(const AggregateQuery& a,
+                                           const Database& db, FactId fact) {
+  Status shape = CheckShape(a, db);
+  if (!shape.ok()) return shape;
+  std::vector<Rational> values = FactValues(a, db);
+  const Rational& mine = values[static_cast<size_t>(fact)];
+  int64_t same = 0;
+  for (const Rational& value : values) {
+    if (value == mine) ++same;
+  }
+  return Rational(BigInt(1), BigInt(same));
+}
+
+StatusOr<Rational> ClosedFormMax(const AggregateQuery& a, const Database& db,
+                                 FactId fact) {
+  Status shape = CheckShape(a, db);
+  if (!shape.ok()) return shape;
+  std::vector<Rational> values = FactValues(a, db);
+  const Rational& mine = values[static_cast<size_t>(fact)];
+  int64_t n = db.num_facts();
+  Combinatorics comb;
+  // Distinct values below τ(t) with their cumulative fact counts.
+  std::map<Rational, int64_t> multiplicity;
+  for (const Rational& value : values) ++multiplicity[value];
+  Rational result = mine / Rational(n);
+  int64_t below = 0;  // #facts with τ < a, maintained over ascending a
+  for (const auto& [value, count] : multiplicity) {
+    if (value >= mine) break;
+    int64_t le = below + count;  // m[≤ a]
+    Rational weight;
+    for (int64_t k = 1; k <= n - 1; ++k) {
+      BigInt delta = comb.Binomial(le, k) - comb.Binomial(below, k);
+      if (!delta.is_zero()) {
+        weight += comb.ShapleyCoefficient(n, k) * Rational(delta);
+      }
+    }
+    result += (mine - value) * weight;
+    below = le;
+  }
+  return result;
+}
+
+StatusOr<Rational> ClosedFormMin(const AggregateQuery& a, const Database& db,
+                                 FactId fact) {
+  // Min(B) = −Max(−B): negate the value function, reuse Prop. 4.4.
+  AggregateQuery negated{
+      a.query,
+      MakeComposedTau([](const Rational& v) { return -v; }, a.tau, "negate"),
+      AggregateFunction::Max()};
+  StatusOr<Rational> result = ClosedFormMax(negated, db, fact);
+  if (!result.ok()) return result.status();
+  return -*result;
+}
+
+StatusOr<Rational> ClosedFormAvg(const AggregateQuery& a, const Database& db,
+                                 FactId fact) {
+  Status shape = CheckShape(a, db);
+  if (!shape.ok()) return shape;
+  std::vector<Rational> values = FactValues(a, db);
+  int64_t n = db.num_facts();
+  Combinatorics comb;
+  Rational harmonic = comb.Harmonic(n);
+  Rational result =
+      harmonic / Rational(n) * values[static_cast<size_t>(fact)];
+  if (n > 1) {
+    Rational others;
+    for (FactId id = 0; id < db.num_facts(); ++id) {
+      if (id != fact) others += values[static_cast<size_t>(id)];
+    }
+    result -= (harmonic - Rational(1)) / Rational(n * (n - 1)) * others;
+  }
+  return result;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,71 @@
+#include "shapcq/shapley/count_distinct.h"
+
+#include <set>
+
+#include "shapcq/agg/value_function.h"
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
+                                       const Database& db) {
+  if (a.alpha.kind() != AggKind::kCountDistinct) {
+    return UnsupportedError("CountDistinctSumK handles CountDistinct only");
+  }
+  if (a.query.HasSelfJoin()) {
+    return UnsupportedError("CountDistinct requires a self-join-free CQ");
+  }
+  if (!IsAllHierarchical(a.query)) {
+    return UnsupportedError("CountDistinct requires an all-hierarchical CQ: " +
+                            a.query.ToString());
+  }
+  std::vector<int> localization = LocalizationAtoms(a.query, *a.tau);
+  if (localization.empty()) {
+    return UnsupportedError("value function is not localized on any atom of " +
+                            a.query.ToString());
+  }
+  const std::string& relation =
+      a.query.atoms()[static_cast<size_t>(localization[0])].relation;
+  const int atom_index = localization[0];
+
+  // The distinct values actually realized by answers.
+  std::set<Rational> values;
+  for (const Tuple& answer : Evaluate(a.query, db)) {
+    values.insert(a.tau->Evaluate(answer));
+  }
+
+  Combinatorics comb;
+  int n = db.num_endogenous();
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  ConjunctiveQuery q_bool = a.query.AsBoolean();
+  for (const Rational& value : values) {
+    // D_value: remove localization-relation facts with a different τ-value.
+    Database d_value;
+    int removed_endogenous = 0;
+    for (FactId id = 0; id < db.num_facts(); ++id) {
+      const Fact& fact = db.fact(id);
+      if (fact.relation == relation &&
+          EvaluateTauOnFact(a.query, atom_index, *a.tau, fact.args) != value) {
+        if (fact.endogenous) ++removed_endogenous;
+        continue;
+      }
+      d_value.AddFact(fact.relation, fact.args, fact.endogenous);
+    }
+    StatusOr<std::vector<BigInt>> counts = SatisfactionCounts(q_bool, d_value);
+    if (!counts.ok()) return counts.status();
+    std::vector<BigInt> padded =
+        PadCounts(*counts, removed_endogenous, &comb);
+    SHAPCQ_CHECK(static_cast<int>(padded.size()) == n + 1);
+    for (int k = 0; k <= n; ++k) {
+      series[static_cast<size_t>(k)] += Rational(padded[static_cast<size_t>(k)]);
+    }
+  }
+  return series;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,31 @@
+// CountDistinct over all-hierarchical CQs (Section 4.1, Lemma 4.3).
+//
+// CDist decomposes into indicator games: CDist(B) = Σ_a χ_a(B), and the
+// indicator game for value a is the Boolean membership game over the
+// database D_a obtained by deleting the facts of the localization relation
+// whose τ-value differs from a. Hence
+//
+//   sum_k(CDist ∘ τ ∘ Q, D) = Σ_a pad(c(Q_bool, D_a), removed_a)[k],
+//
+// where c are satisfaction counts and pad re-inserts the removed endogenous
+// facts as never-satisfying padding.
+
+#ifndef SHAPCQ_SHAPLEY_COUNT_DISTINCT_H_
+#define SHAPCQ_SHAPLEY_COUNT_DISTINCT_H_
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// sum_k series for A = CDist ∘ τ ∘ Q. Returns UNSUPPORTED unless the
+// aggregate is CountDistinct, the query is self-join-free and
+// all-hierarchical, and τ is localized on some atom of Q.
+StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
+                                       const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_COUNT_DISTINCT_H_

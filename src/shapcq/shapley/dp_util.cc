@@ -1,0 +1,44 @@
+#include "shapcq/shapley/dp_util.h"
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+std::vector<BigInt> Convolve(const std::vector<BigInt>& a,
+                             const std::vector<BigInt>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<BigInt> out(a.size() + b.size() - 1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_zero()) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (b[j].is_zero()) continue;
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<BigInt> BinomialVector(int m, Combinatorics* comb) {
+  SHAPCQ_CHECK(m >= 0);
+  std::vector<BigInt> out(static_cast<size_t>(m) + 1);
+  for (int k = 0; k <= m; ++k) {
+    out[static_cast<size_t>(k)] = comb->Binomial(m, k);
+  }
+  return out;
+}
+
+std::vector<BigInt> PadCounts(const std::vector<BigInt>& counts, int pad,
+                              Combinatorics* comb) {
+  if (pad == 0) return counts;
+  return Convolve(counts, BinomialVector(pad, comb));
+}
+
+std::vector<BigInt> SubtractCounts(const std::vector<BigInt>& a,
+                                   const std::vector<BigInt>& b) {
+  SHAPCQ_CHECK(a.size() == b.size());
+  std::vector<BigInt> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace shapcq

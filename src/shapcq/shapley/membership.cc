@@ -1,0 +1,189 @@
+#include "shapcq/shapley/membership.h"
+
+#include <string>
+
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/decomposition.h"
+#include "shapcq/shapley/dp_util.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+// Recursive satisfaction-count solver. `facts` contains only facts that
+// match their atom in `q` under the bindings accumulated so far. Returns a
+// vector of length (#endogenous facts in `facts`) + 1.
+class MembershipSolver {
+ public:
+  explicit MembershipSolver(Combinatorics* comb) : comb_(comb) {}
+
+  std::vector<BigInt> Solve(const ConjunctiveQuery& q,
+                            const FactSubset& facts) {
+    if (IsGround(q)) return SolveGround(q, facts);
+    std::vector<std::string> roots = RootVariables(q);
+    if (!roots.empty()) return SolveRoot(q, roots[0], facts);
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    SHAPCQ_CHECK(components.size() > 1 &&
+                 "connected non-ground hierarchical CQ must have a root "
+                 "variable");
+    return SolveCrossProduct(q, components, facts);
+  }
+
+ private:
+  // All atoms ground: Q is true iff every atom's fact is present.
+  std::vector<BigInt> SolveGround(const ConjunctiveQuery& q,
+                                  const FactSubset& facts) {
+    int m = facts.CountEndogenous();
+    std::vector<BigInt> counts(static_cast<size_t>(m) + 1, BigInt(0));
+    int required_endogenous = 0;
+    for (const Atom& atom : q.atoms()) {
+      Tuple args;
+      args.reserve(atom.terms.size());
+      for (const Term& term : atom.terms) args.push_back(term.constant());
+      // Find the fact within the subset.
+      bool found = false;
+      bool endogenous = false;
+      for (FactId id : facts.facts) {
+        const Fact& fact = facts.db->fact(id);
+        if (fact.relation == atom.relation && fact.args == args) {
+          found = true;
+          endogenous = fact.endogenous;
+          break;
+        }
+      }
+      if (!found) return counts;  // never satisfiable: all zero
+      if (endogenous) ++required_endogenous;
+    }
+    for (int k = required_endogenous; k <= m; ++k) {
+      counts[static_cast<size_t>(k)] =
+          comb_->Binomial(m - required_endogenous, k - required_endogenous);
+    }
+    return counts;
+  }
+
+  // Root variable: split by the value of x; satisfaction is a disjunction
+  // over disjoint sub-databases, so unsatisfying counts multiply.
+  std::vector<BigInt> SolveRoot(const ConjunctiveQuery& q,
+                                const std::string& x,
+                                const FactSubset& facts) {
+    int total_endogenous = facts.CountEndogenous();
+    std::vector<Value> values = CandidateValues(q, x, facts);
+    std::vector<BigInt> unsat = {BigInt(1)};
+    int covered_endogenous = 0;
+    for (const Value& a : values) {
+      FactSubset sub;
+      sub.db = facts.db;
+      sub.facts = FactsConsistentWith(q, x, a, facts);
+      int sub_endogenous = sub.CountEndogenous();
+      covered_endogenous += sub_endogenous;
+      std::vector<BigInt> sat = Solve(q.Bind(x, a), sub);
+      std::vector<BigInt> sub_unsat =
+          SubtractCounts(BinomialVector(sub_endogenous, comb_), sat);
+      unsat = Convolve(unsat, sub_unsat);
+    }
+    // Facts not consistent with any candidate value can never participate:
+    // they pad the unsatisfying counts.
+    int pad = total_endogenous - covered_endogenous;
+    SHAPCQ_CHECK(pad >= 0);
+    unsat = PadCounts(unsat, pad, comb_);
+    SHAPCQ_CHECK(static_cast<int>(unsat.size()) == total_endogenous + 1);
+    return SubtractCounts(BinomialVector(total_endogenous, comb_), unsat);
+  }
+
+  // Cross product: satisfaction is a conjunction over components with
+  // disjoint relations, so satisfying counts multiply.
+  std::vector<BigInt> SolveCrossProduct(
+      const ConjunctiveQuery& q, const std::vector<std::vector<int>>& components,
+      const FactSubset& facts) {
+    std::vector<BigInt> counts = {BigInt(1)};
+    int covered_endogenous = 0;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      counts = Convolve(counts, Solve(sub_q, sub));
+    }
+    // Components cover all atoms, hence all facts of q's relations.
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    return counts;
+  }
+
+  Combinatorics* comb_;
+};
+
+}  // namespace
+
+std::vector<BigInt> SatisfactionCountsOnSubset(const ConjunctiveQuery& q,
+                                               const FactSubset& facts,
+                                               Combinatorics* comb) {
+  MembershipSolver solver(comb);
+  return solver.Solve(q.is_boolean() ? q : q.AsBoolean(), facts);
+}
+
+StatusOr<std::vector<BigInt>> SatisfactionCounts(const ConjunctiveQuery& q,
+                                                 const Database& db) {
+  if (q.HasSelfJoin()) {
+    return UnsupportedError("satisfaction counts require a self-join-free CQ");
+  }
+  // The DP treats all variables as existential; hierarchy w.r.t. all
+  // variables is exactly what the recursion needs.
+  if (!IsAllHierarchical(q)) {
+    return UnsupportedError("satisfaction counts require a hierarchical CQ: " +
+                            q.ToString());
+  }
+  Combinatorics comb;
+  ConjunctiveQuery q_bool = q.is_boolean() ? q : q.AsBoolean();
+  RelevanceSplit split = SplitRelevant(q_bool, AllFacts(db));
+  MembershipSolver solver(&comb);
+  std::vector<BigInt> counts = solver.Solve(q_bool, split.relevant);
+  counts = PadCounts(counts, split.irrelevant_endogenous, &comb);
+  SHAPCQ_CHECK(static_cast<int>(counts.size()) == db.num_endogenous() + 1);
+  return counts;
+}
+
+StatusOr<Rational> AnswerMembershipScore(const ConjunctiveQuery& q,
+                                         const Database& db,
+                                         const Tuple& answer, FactId fact,
+                                         ScoreKind kind) {
+  if (static_cast<int>(answer.size()) != q.arity()) {
+    return InvalidArgumentError("answer arity does not match the query head");
+  }
+  // Bind the head to the answer; repeated head variables must agree.
+  ConjunctiveQuery bound = q;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    const std::string& head_var = q.head()[i];
+    if (bound.IsFreeVariable(head_var)) {
+      bound = bound.Bind(head_var, answer[i]);
+    } else if (!bound.HasVariable(head_var)) {
+      // Already bound earlier: verify consistency against the original head.
+      for (size_t j = 0; j < i; ++j) {
+        if (q.head()[j] == head_var && answer[j] != answer[i]) {
+          return InvalidArgumentError(
+              "answer disagrees on a repeated head variable");
+        }
+      }
+    }
+  }
+  SHAPCQ_CHECK(bound.is_boolean());
+  return MembershipScore(bound, db, fact, kind);
+}
+
+StatusOr<Rational> MembershipScore(const ConjunctiveQuery& q,
+                                   const Database& db, FactId fact,
+                                   ScoreKind kind) {
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  Database with_f_exogenous = db.WithFactExogenous(fact);
+  Database without_f = db.WithoutFact(fact, /*old_to_new=*/nullptr);
+  StatusOr<std::vector<BigInt>> counts_f =
+      SatisfactionCounts(q, with_f_exogenous);
+  if (!counts_f.ok()) return counts_f.status();
+  StatusOr<std::vector<BigInt>> counts_g = SatisfactionCounts(q, without_f);
+  if (!counts_g.ok()) return counts_g.status();
+  SumKSeries series_f(counts_f->begin(), counts_f->end());
+  SumKSeries series_g(counts_g->begin(), counts_g->end());
+  return ScoreFromSumK(series_f, series_g, kind);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,304 @@
+#include "shapcq/shapley/min_max.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/agg/value_function.h"
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/decomposition.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+// The paper's P[Q', D'] for sub-problems containing the localization
+// relation: per anchor (τ-value, ascending), the per-size counts of subsets
+// whose maximum equals that anchor. Subsets with an empty answer set are
+// implicit: C(m, k) − Σ_anchors count.
+struct MaxStructure {
+  // by_anchor[i][k], every row has length num_endogenous + 1.
+  std::vector<std::vector<BigInt>> by_anchor;
+  int num_endogenous = 0;
+};
+
+class MaxSolver {
+ public:
+  MaxSolver(const ConjunctiveQuery& original, const ValueFunction& tau,
+            const std::string& relation, std::vector<Rational> anchors,
+            Combinatorics* comb)
+      : tau_(tau), relation_(relation), anchors_(std::move(anchors)),
+        comb_(comb), head_arity_(original.arity()) {
+    for (int position = 0; position < original.arity(); ++position) {
+      positions_of_head_var_[original.head()[static_cast<size_t>(position)]]
+          .push_back(position);
+    }
+    depends_on_ = tau_.DependsOn();
+  }
+
+  // Partial original-head assignment; nullopt = not yet bound.
+  using PartialHead = std::vector<std::optional<Value>>;
+
+  PartialHead EmptyHead() const {
+    return PartialHead(static_cast<size_t>(head_arity_));
+  }
+
+  MaxStructure Solve(const ConjunctiveQuery& q, const FactSubset& facts,
+                     const PartialHead& head) {
+    SHAPCQ_CHECK(AtomIndexOf(q, relation_) >= 0);
+    if (AllDependedBound(head)) return SolveValueFixed(q, facts, head);
+    std::vector<std::string> roots = RootVariables(q);
+    if (!roots.empty()) return SolveRoot(q, roots[0], facts, head);
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    SHAPCQ_CHECK(components.size() > 1);
+    return SolveCrossProduct(q, components, facts, head);
+  }
+
+  // Zero structure over zero facts (identity for combine_∪).
+  MaxStructure Empty() const {
+    MaxStructure s;
+    s.num_endogenous = 0;
+    s.by_anchor.assign(anchors_.size(), {BigInt(0)});
+    return s;
+  }
+
+  // Adds `pad` endogenous facts that never affect the answers.
+  MaxStructure Pad(MaxStructure s, int pad) const {
+    if (pad == 0) return s;
+    for (auto& row : s.by_anchor) row = PadCounts(row, pad, comb_);
+    s.num_endogenous += pad;
+    return s;
+  }
+
+  // combine_∪ (Appendix C): over disjoint sub-databases, the union's maximum
+  // is a iff both sides are ≤ a (or empty) and at least one side equals a.
+  MaxStructure CombineUnion(const MaxStructure& lhs,
+                            const MaxStructure& rhs) const {
+    MaxStructure out;
+    out.num_endogenous = lhs.num_endogenous + rhs.num_endogenous;
+    size_t num_anchors = anchors_.size();
+    out.by_anchor.assign(num_anchors,
+                         std::vector<BigInt>(
+                             static_cast<size_t>(out.num_endogenous) + 1));
+    // N_le[i][k] = #subsets with max ≤ anchor i or empty; N_lt strict.
+    std::vector<std::vector<BigInt>> lhs_le = AtMostCounts(lhs);
+    std::vector<std::vector<BigInt>> rhs_le = AtMostCounts(rhs);
+    for (size_t i = 0; i < num_anchors; ++i) {
+      const std::vector<BigInt>& lhs_eq = lhs.by_anchor[i];
+      const std::vector<BigInt>& rhs_eq = rhs.by_anchor[i];
+      std::vector<BigInt> lhs_lt = lhs_le[i];
+      for (size_t k = 0; k < lhs_lt.size(); ++k) lhs_lt[k] -= lhs_eq[k];
+      // max = a: (lhs = a, rhs ≤ a or empty) or (lhs < a or empty, rhs = a).
+      std::vector<BigInt> part1 = Convolve(lhs_eq, rhs_le[i]);
+      std::vector<BigInt> part2 = Convolve(lhs_lt, rhs_eq);
+      for (size_t k = 0; k < out.by_anchor[i].size(); ++k) {
+        out.by_anchor[i][k] = part1[k] + part2[k];
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool AllDependedBound(const PartialHead& head) const {
+    for (int position : depends_on_) {
+      if (!head[static_cast<size_t>(position)].has_value()) return false;
+    }
+    return true;
+  }
+
+  int AnchorIndexOf(const Rational& value) const {
+    auto it = std::lower_bound(anchors_.begin(), anchors_.end(), value);
+    if (it == anchors_.end() || *it != value) return -1;
+    return static_cast<int>(it - anchors_.begin());
+  }
+
+  // All τ-relevant head positions are bound: every answer of this
+  // sub-problem has the same τ-value, so the structure collapses to
+  // satisfaction counts tagged with one anchor.
+  MaxStructure SolveValueFixed(const ConjunctiveQuery& q,
+                               const FactSubset& facts,
+                               const PartialHead& head) {
+    Tuple answer(static_cast<size_t>(head_arity_), Value(0));
+    for (int position : depends_on_) {
+      answer[static_cast<size_t>(position)] =
+          *head[static_cast<size_t>(position)];
+    }
+    Rational value = tau_.Evaluate(answer);
+    std::vector<BigInt> sat = SatisfactionCountsOnSubset(q, facts, comb_);
+    MaxStructure out;
+    out.num_endogenous = static_cast<int>(sat.size()) - 1;
+    out.by_anchor.assign(anchors_.size(),
+                         std::vector<BigInt>(sat.size()));
+    int anchor = AnchorIndexOf(value);
+    if (anchor >= 0) {
+      out.by_anchor[static_cast<size_t>(anchor)] = std::move(sat);
+    } else {
+      // A value outside the anchor set can never be realized by an answer
+      // of the full database, so no subset may satisfy the query here.
+      for (const BigInt& count : sat) SHAPCQ_CHECK(count.is_zero());
+    }
+    return out;
+  }
+
+  MaxStructure SolveRoot(const ConjunctiveQuery& q, const std::string& x,
+                         const FactSubset& facts, const PartialHead& head) {
+    int total_endogenous = facts.CountEndogenous();
+    MaxStructure acc = Empty();
+    int covered_endogenous = 0;
+    for (const Value& a : CandidateValues(q, x, facts)) {
+      FactSubset sub;
+      sub.db = facts.db;
+      sub.facts = FactsConsistentWith(q, x, a, facts);
+      covered_endogenous += sub.CountEndogenous();
+      PartialHead sub_head = head;
+      auto it = positions_of_head_var_.find(x);
+      if (it != positions_of_head_var_.end()) {
+        for (int position : it->second) {
+          sub_head[static_cast<size_t>(position)] = a;
+        }
+      }
+      acc = CombineUnion(acc, Solve(q.Bind(x, a), sub, sub_head));
+    }
+    return Pad(std::move(acc), total_endogenous - covered_endogenous);
+  }
+
+  // combine_× (Appendix C): the factor holding the localization relation
+  // carries the value structure; all other factors gate by non-emptiness.
+  MaxStructure SolveCrossProduct(const ConjunctiveQuery& q,
+                                 const std::vector<std::vector<int>>& components,
+                                 const FactSubset& facts,
+                                 const PartialHead& head) {
+    int r_atom = AtomIndexOf(q, relation_);
+    MaxStructure value_side;
+    std::vector<BigInt> other_sat = {BigInt(1)};
+    int covered_endogenous = 0;
+    bool found = false;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      bool holds_r = std::find(component.begin(), component.end(), r_atom) !=
+                     component.end();
+      if (holds_r) {
+        found = true;
+        value_side = Solve(sub_q, sub, head);
+      } else {
+        other_sat = Convolve(other_sat,
+                             SatisfactionCountsOnSubset(sub_q, sub, comb_));
+      }
+    }
+    SHAPCQ_CHECK(found);
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    MaxStructure out;
+    out.num_endogenous = facts.CountEndogenous();
+    out.by_anchor.reserve(anchors_.size());
+    for (const std::vector<BigInt>& row : value_side.by_anchor) {
+      std::vector<BigInt> combined = Convolve(row, other_sat);
+      combined.resize(static_cast<size_t>(out.num_endogenous) + 1);
+      out.by_anchor.push_back(std::move(combined));
+    }
+    return out;
+  }
+
+  // Per anchor i: counts of subsets with max ≤ anchor i or empty answers.
+  std::vector<std::vector<BigInt>> AtMostCounts(const MaxStructure& s) const {
+    size_t width = static_cast<size_t>(s.num_endogenous) + 1;
+    std::vector<std::vector<BigInt>> result(anchors_.size(),
+                                            std::vector<BigInt>(width));
+    // Running prefix over anchors.
+    std::vector<BigInt> prefix(width);
+    std::vector<BigInt> total(width);
+    for (size_t i = 0; i < anchors_.size(); ++i) {
+      for (size_t k = 0; k < width; ++k) total[k] += s.by_anchor[i][k];
+    }
+    for (size_t i = 0; i < anchors_.size(); ++i) {
+      for (size_t k = 0; k < width; ++k) {
+        prefix[k] += s.by_anchor[i][k];
+        // empty-answer subsets: C(m,k) − total.
+        result[i][k] = prefix[k] + comb_->Binomial(s.num_endogenous,
+                                                   static_cast<int64_t>(k)) -
+                       total[k];
+      }
+    }
+    return result;
+  }
+
+  const ValueFunction& tau_;
+  const std::string& relation_;
+  std::vector<Rational> anchors_;  // ascending
+  Combinatorics* comb_;
+  int head_arity_;
+  std::vector<int> depends_on_;
+  std::unordered_map<std::string, std::vector<int>> positions_of_head_var_;
+};
+
+StatusOr<SumKSeries> MaxSumK(const AggregateQuery& a, const Database& db) {
+  std::vector<int> localization = LocalizationAtoms(a.query, *a.tau);
+  if (localization.empty()) {
+    return UnsupportedError("value function is not localized on any atom of " +
+                            a.query.ToString());
+  }
+  const std::string relation =
+      a.query.atoms()[static_cast<size_t>(localization[0])].relation;
+  // Anchors: distinct τ-values over the answers of the full database.
+  std::set<Rational> anchor_set;
+  for (const Tuple& answer : Evaluate(a.query, db)) {
+    anchor_set.insert(a.tau->Evaluate(answer));
+  }
+  int n = db.num_endogenous();
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  if (anchor_set.empty()) return series;  // no answers ever: sum_k = 0
+  std::vector<Rational> anchors(anchor_set.begin(), anchor_set.end());
+  Combinatorics comb;
+  MaxSolver solver(a.query, *a.tau, relation, anchors, &comb);
+  RelevanceSplit split = SplitRelevant(a.query, AllFacts(db));
+  MaxStructure top =
+      solver.Solve(a.query, split.relevant, solver.EmptyHead());
+  top = solver.Pad(std::move(top), split.irrelevant_endogenous);
+  SHAPCQ_CHECK(top.num_endogenous == n);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    for (int k = 0; k <= n; ++k) {
+      const BigInt& count = top.by_anchor[i][static_cast<size_t>(k)];
+      if (!count.is_zero()) {
+        series[static_cast<size_t>(k)] += anchors[i] * Rational(count);
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db) {
+  if (a.alpha.kind() != AggKind::kMin && a.alpha.kind() != AggKind::kMax) {
+    return UnsupportedError("MinMaxSumK handles Min and Max only");
+  }
+  if (a.query.HasSelfJoin()) {
+    return UnsupportedError("Min/Max requires a self-join-free CQ");
+  }
+  if (!IsAllHierarchical(a.query)) {
+    return UnsupportedError("Min/Max requires an all-hierarchical CQ: " +
+                            a.query.ToString());
+  }
+  if (a.alpha.kind() == AggKind::kMax) return MaxSumK(a, db);
+  // Min(B) = −Max(−B), and both send ∅ to 0.
+  AggregateQuery negated{
+      a.query,
+      MakeComposedTau([](const Rational& v) { return -v; }, a.tau, "negate"),
+      AggregateFunction::Max()};
+  StatusOr<SumKSeries> series = MaxSumK(negated, db);
+  if (!series.ok()) return series.status();
+  for (Rational& value : *series) value = -value;
+  return series;
+}
+
+}  // namespace shapcq

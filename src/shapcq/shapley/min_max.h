@@ -1,0 +1,28 @@
+// Min and Max over all-hierarchical CQs (Section 4.2, Appendix C).
+//
+// Instantiates the generic algorithm of Figure 2 with the data structure
+// P[Q', D'](a, k) = number of k-subsets E of D'_n such that
+// max (τ ∘ Q')(E ∪ D'_x) = a, for anchors a drawn from the τ-values of the
+// full query's answers. Sub-problems without the localization relation use
+// plain satisfaction counts; combine_∪ composes maxima over disjoint
+// sub-databases and combine_× gates by non-emptiness of the other factors.
+// Min runs Max on the negated value function.
+
+#ifndef SHAPCQ_SHAPLEY_MIN_MAX_H_
+#define SHAPCQ_SHAPLEY_MIN_MAX_H_
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// sum_k series for A = Min ∘ τ ∘ Q or Max ∘ τ ∘ Q. Returns UNSUPPORTED
+// unless the query is self-join-free and all-hierarchical and τ is
+// localized on some atom of Q.
+StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_MIN_MAX_H_

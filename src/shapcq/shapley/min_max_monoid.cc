@@ -1,0 +1,420 @@
+#include "shapcq/shapley/min_max_monoid.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/decomposition.h"
+#include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+// A partial monoid value: nullopt is the fold identity (no positions in
+// scope contributed yet).
+using PartialValue = std::optional<Rational>;
+
+Rational Combine(MonoidKind kind, const Rational& a, const Rational& b) {
+  switch (kind) {
+    case MonoidKind::kPlus:
+      return a + b;
+    case MonoidKind::kMax:
+      return a > b ? a : b;
+    case MonoidKind::kMin:
+      return a < b ? a : b;
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+PartialValue Fold(MonoidKind kind, const PartialValue& a,
+                  const PartialValue& b) {
+  if (!a.has_value()) return b;
+  if (!b.has_value()) return a;
+  return Combine(kind, *a, *b);
+}
+
+// Rows keyed by the maximum partial value over the sub-problem's answers;
+// subsets with no answers are implicit (C(m,k) − Σ rows).
+struct MonoidStructure {
+  std::map<PartialValue, std::vector<BigInt>> rows;
+  int num_endogenous = 0;
+};
+
+class MonoidSolver {
+ public:
+  MonoidSolver(const ConjunctiveQuery& original, MonoidKind kind,
+               const std::vector<int>& positions, Combinatorics* comb)
+      : kind_(kind), comb_(comb) {
+    for (int position : positions) {
+      SHAPCQ_CHECK(position >= 0 && position < original.arity());
+      positions_of_var_[original.head()[static_cast<size_t>(position)]]
+          .push_back(position);
+    }
+  }
+
+  // `scope`: the monoid head variables still unbound in this sub-problem
+  // (with multiplicity via positions); `acc`: the fold of already-bound
+  // scope values.
+  MonoidStructure Solve(const ConjunctiveQuery& q, const FactSubset& facts,
+                        std::set<std::string> scope, PartialValue acc) {
+    if (scope.empty()) return SolveScopeDone(q, facts, acc);
+    std::vector<std::string> roots = RootVariables(q);
+    if (!roots.empty()) {
+      return SolveRoot(q, roots[0], facts, std::move(scope), std::move(acc));
+    }
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    SHAPCQ_CHECK(components.size() > 1);
+    return SolveCrossProduct(q, components, facts, scope, std::move(acc));
+  }
+
+  MonoidStructure Pad(MonoidStructure s, int pad) const {
+    if (pad == 0) return s;
+    for (auto& [key, row] : s.rows) row = PadCounts(row, pad, comb_);
+    s.num_endogenous += pad;
+    return s;
+  }
+
+  // combine_∪ over disjoint sub-databases: the union's max is a iff both
+  // sides ≤ a (or empty) and one side attains a — generalized from the
+  // localized Max DP to arbitrary key sets.
+  MonoidStructure CombineUnion(const MonoidStructure& lhs,
+                               const MonoidStructure& rhs) const {
+    MonoidStructure out;
+    out.num_endogenous = lhs.num_endogenous + rhs.num_endogenous;
+    // Merged ascending key list; PartialValue keys must be homogeneous
+    // (all identity or all proper) within a scope, so the std::optional
+    // order (nullopt first) never actually mixes.
+    std::set<PartialValue> keys;
+    for (const auto& [key, row] : lhs.rows) keys.insert(key);
+    for (const auto& [key, row] : rhs.rows) keys.insert(key);
+    size_t lhs_width = static_cast<size_t>(lhs.num_endogenous) + 1;
+    size_t rhs_width = static_cast<size_t>(rhs.num_endogenous) + 1;
+    auto row_of = [](const MonoidStructure& s, const PartialValue& key,
+                     size_t width) {
+      auto it = s.rows.find(key);
+      return it != s.rows.end() ? it->second : std::vector<BigInt>(width);
+    };
+    // Running ≤-prefix (plus empties) per side.
+    std::vector<BigInt> lhs_le(lhs_width);
+    std::vector<BigInt> rhs_le(rhs_width);
+    std::vector<BigInt> lhs_total(lhs_width);
+    std::vector<BigInt> rhs_total(rhs_width);
+    for (const auto& [key, row] : lhs.rows) {
+      for (size_t k = 0; k < lhs_width; ++k) lhs_total[k] += row[k];
+    }
+    for (const auto& [key, row] : rhs.rows) {
+      for (size_t k = 0; k < rhs_width; ++k) rhs_total[k] += row[k];
+    }
+    // Empty-answer counts.
+    std::vector<BigInt> lhs_empty(lhs_width);
+    std::vector<BigInt> rhs_empty(rhs_width);
+    for (size_t k = 0; k < lhs_width; ++k) {
+      lhs_empty[k] = comb_->Binomial(lhs.num_endogenous,
+                                     static_cast<int64_t>(k)) -
+                     lhs_total[k];
+    }
+    for (size_t k = 0; k < rhs_width; ++k) {
+      rhs_empty[k] = comb_->Binomial(rhs.num_endogenous,
+                                     static_cast<int64_t>(k)) -
+                     rhs_total[k];
+    }
+    lhs_le = lhs_empty;
+    rhs_le = rhs_empty;
+    for (const PartialValue& key : keys) {
+      std::vector<BigInt> lhs_eq = row_of(lhs, key, lhs_width);
+      std::vector<BigInt> rhs_eq = row_of(rhs, key, rhs_width);
+      // lhs_lt = current lhs_le (before adding eq).
+      std::vector<BigInt> part1 = Convolve(lhs_eq, rhs_le);   // pre-update
+      for (size_t k = 0; k < rhs_width; ++k) rhs_le[k] += rhs_eq[k];
+      std::vector<BigInt> part2 = Convolve(lhs_le, rhs_eq);
+      for (size_t k = 0; k < lhs_width; ++k) lhs_le[k] += lhs_eq[k];
+      std::vector<BigInt> row(static_cast<size_t>(out.num_endogenous) + 1);
+      // part1: lhs = key, rhs < key or empty... careful: rhs_le before
+      // adding rhs_eq excludes key itself, so part1 = (lhs=key)·(rhs<key or
+      // empty) and part2 = (lhs≤key or empty, pre-update incl. key? No:
+      // lhs_le updated after part2) — part2 = (lhs<key or empty)·(rhs=key).
+      // Missing: (lhs=key)·(rhs=key). Add it explicitly.
+      std::vector<BigInt> both = Convolve(lhs_eq, rhs_eq);
+      for (size_t k = 0; k < row.size(); ++k) {
+        if (k < part1.size()) row[k] += part1[k];
+        if (k < part2.size()) row[k] += part2[k];
+        if (k < both.size()) row[k] += both[k];
+      }
+      bool nonzero = false;
+      for (const BigInt& v : row) {
+        if (!v.is_zero()) {
+          nonzero = true;
+          break;
+        }
+      }
+      if (nonzero) out.rows[key] = std::move(row);
+    }
+    return out;
+  }
+
+ private:
+  // All scope variables bound: every answer of q carries the same value
+  // `acc`; the structure is satisfaction counts under that key.
+  MonoidStructure SolveScopeDone(const ConjunctiveQuery& q,
+                                 const FactSubset& facts,
+                                 const PartialValue& acc) {
+    std::vector<BigInt> sat = SatisfactionCountsOnSubset(q, facts, comb_);
+    MonoidStructure out;
+    out.num_endogenous = static_cast<int>(sat.size()) - 1;
+    bool nonzero = false;
+    for (const BigInt& v : sat) {
+      if (!v.is_zero()) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) out.rows[acc] = std::move(sat);
+    return out;
+  }
+
+  MonoidStructure SolveRoot(const ConjunctiveQuery& q, const std::string& x,
+                            const FactSubset& facts,
+                            std::set<std::string> scope, PartialValue acc) {
+    int total_endogenous = facts.CountEndogenous();
+    MonoidStructure result;
+    result.num_endogenous = 0;
+    int covered_endogenous = 0;
+    bool first = true;
+    // Binding x folds its value into acc once per occurrence position.
+    std::set<std::string> child_scope = scope;
+    int x_position_count = 0;
+    auto it = positions_of_var_.find(x);
+    if (scope.count(x) > 0) {
+      SHAPCQ_CHECK(it != positions_of_var_.end());
+      x_position_count = static_cast<int>(it->second.size());
+      child_scope.erase(x);
+    }
+    for (const Value& a : CandidateValues(q, x, facts)) {
+      FactSubset sub;
+      sub.db = facts.db;
+      sub.facts = FactsConsistentWith(q, x, a, facts);
+      covered_endogenous += sub.CountEndogenous();
+      PartialValue child_acc = acc;
+      for (int occurrence = 0; occurrence < x_position_count; ++occurrence) {
+        child_acc = Fold(kind_, child_acc, a.AsRational());
+      }
+      MonoidStructure child =
+          Solve(q.Bind(x, a), sub, child_scope, std::move(child_acc));
+      if (first) {
+        result = std::move(child);
+        first = false;
+      } else {
+        result = CombineUnion(result, child);
+      }
+    }
+    return Pad(std::move(result), total_endogenous - covered_endogenous);
+  }
+
+  // combine_×: max over the product of (v1 ⊗ v2) = (max v1) ⊗ (max v2)
+  // by monotonicity; empty sides empty the product.
+  MonoidStructure SolveCrossProduct(
+      const ConjunctiveQuery& q, const std::vector<std::vector<int>>& components,
+      const FactSubset& facts, const std::set<std::string>& scope,
+      PartialValue acc) {
+    MonoidStructure result;
+    // Identity element: one "answer" with the identity value over zero
+    // facts (folded into real components below).
+    result.num_endogenous = 0;
+    result.rows[PartialValue()] = {BigInt(1)};
+    int covered_endogenous = 0;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      std::set<std::string> sub_scope;
+      for (const std::string& variable : scope) {
+        if (sub_q.HasVariable(variable)) sub_scope.insert(variable);
+      }
+      MonoidStructure child =
+          Solve(sub_q, sub, std::move(sub_scope), PartialValue());
+      result = CombineCross(result, child);
+    }
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    // Fold the externally accumulated value into every key (a monotone
+    // shift that preserves key order).
+    if (acc.has_value()) {
+      // Monotone shift; keys may collide (e.g. max(acc, ·) saturating), so
+      // rows merge additively.
+      MonoidStructure shifted;
+      shifted.num_endogenous = result.num_endogenous;
+      for (auto& [key, row] : result.rows) {
+        std::vector<BigInt>& target = shifted.rows[Fold(kind_, acc, key)];
+        if (target.empty()) {
+          target = std::move(row);
+        } else {
+          for (size_t k = 0; k < target.size(); ++k) target[k] += row[k];
+        }
+      }
+      result = std::move(shifted);
+    }
+    return result;
+  }
+
+  MonoidStructure CombineCross(const MonoidStructure& lhs,
+                               const MonoidStructure& rhs) const {
+    MonoidStructure out;
+    out.num_endogenous = lhs.num_endogenous + rhs.num_endogenous;
+    for (const auto& [lkey, lrow] : lhs.rows) {
+      for (const auto& [rkey, rrow] : rhs.rows) {
+        PartialValue key = Fold(kind_, lkey, rkey);
+        std::vector<BigInt> product = Convolve(lrow, rrow);
+        std::vector<BigInt>& row = out.rows[key];
+        row.resize(static_cast<size_t>(out.num_endogenous) + 1);
+        for (size_t k = 0; k < product.size(); ++k) row[k] += product[k];
+      }
+    }
+    // Prune all-zero rows and fix row widths.
+    for (auto it = out.rows.begin(); it != out.rows.end();) {
+      it->second.resize(static_cast<size_t>(out.num_endogenous) + 1);
+      bool nonzero = false;
+      for (const BigInt& v : it->second) {
+        if (!v.is_zero()) {
+          nonzero = true;
+          break;
+        }
+      }
+      it = nonzero ? std::next(it) : out.rows.erase(it);
+    }
+    return out;
+  }
+
+  MonoidKind kind_;
+  Combinatorics* comb_;
+  std::unordered_map<std::string, std::vector<int>> positions_of_var_;
+};
+
+}  // namespace
+
+ValueFunctionPtr MakeMonoidTau(MonoidKind kind, std::vector<int> positions) {
+  SHAPCQ_CHECK(!positions.empty());
+  std::string name;
+  switch (kind) {
+    case MonoidKind::kPlus:
+      name = "plus";
+      break;
+    case MonoidKind::kMax:
+      name = "max";
+      break;
+    case MonoidKind::kMin:
+      name = "min";
+      break;
+  }
+  std::vector<int> captured = positions;
+  return MakeCallbackTau(
+      [kind, captured](const Tuple& t) {
+        PartialValue acc;
+        for (int position : captured) {
+          acc = Fold(kind, acc,
+                     t[static_cast<size_t>(position)].AsRational());
+        }
+        return *acc;
+      },
+      std::move(positions), "monoid-" + name);
+}
+
+StatusOr<SumKSeries> MonoidMinMaxSumK(const ConjunctiveQuery& q,
+                                      MonoidKind kind,
+                                      std::vector<int> positions, bool is_max,
+                                      const Database& db) {
+  if (positions.empty()) {
+    return InvalidArgumentError("monoid value function needs positions");
+  }
+  if (q.HasSelfJoin()) {
+    return UnsupportedError("monoid Min/Max requires a self-join-free CQ");
+  }
+  if (!IsAllHierarchical(q)) {
+    return UnsupportedError("monoid Min/Max requires an all-hierarchical CQ: " +
+                            q.ToString());
+  }
+  if (is_max && kind == MonoidKind::kMin) {
+    return UnsupportedError("Max aggregation needs a non-decreasing monoid");
+  }
+  if (!is_max && kind == MonoidKind::kMax) {
+    return UnsupportedError("Min aggregation needs a non-increasing monoid");
+  }
+  if (!is_max) {
+    // Min(⊗ values) = −Max(⊗' negated values): negating every input value
+    // turns kPlus into kPlus and kMin into kMax. Apply to a value-negated
+    // copy of the database columns via the monotone-map trick — equivalent
+    // and simpler: recurse on the negated-value database is invasive, so
+    // instead we exploit duality directly below.
+    MonoidKind dual = kind == MonoidKind::kMin ? MonoidKind::kMax : kind;
+    // Negate values of the positions' columns.
+    Database negated;
+    for (FactId id = 0; id < db.num_facts(); ++id) {
+      const Fact& fact = db.fact(id);
+      Tuple args = fact.args;
+      int atom_index = -1;
+      for (int i = 0; i < static_cast<int>(q.atoms().size()); ++i) {
+        if (q.atoms()[static_cast<size_t>(i)].relation == fact.relation) {
+          atom_index = i;
+          break;
+        }
+      }
+      if (atom_index >= 0) {
+        const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
+        for (int position : positions) {
+          const std::string& variable =
+              q.head()[static_cast<size_t>(position)];
+          for (int atom_pos : atom.PositionsOf(variable)) {
+            Value& v = args[static_cast<size_t>(atom_pos)];
+            if (v.kind() == Value::Kind::kInt) {
+              v = Value(-v.AsInt());
+            } else if (v.kind() == Value::Kind::kDouble) {
+              v = Value(-v.AsDouble());
+            }
+          }
+        }
+      }
+      negated.AddFact(fact.relation, std::move(args), fact.endogenous);
+    }
+    StatusOr<SumKSeries> series =
+        MonoidMinMaxSumK(q, dual, std::move(positions), /*is_max=*/true,
+                         negated);
+    if (!series.ok()) return series.status();
+    for (Rational& value : *series) value = -value;
+    return series;
+  }
+  // Max path.
+  Combinatorics comb;
+  MonoidSolver solver(q, kind, positions, &comb);
+  RelevanceSplit split = SplitRelevant(q, AllFacts(db));
+  std::set<std::string> scope;
+  for (int position : positions) {
+    SHAPCQ_CHECK(position >= 0 && position < q.arity());
+    scope.insert(q.head()[static_cast<size_t>(position)]);
+  }
+  FactSubset relevant = split.relevant;
+  MonoidStructure top =
+      solver.Solve(q, relevant, std::move(scope), std::nullopt);
+  top = solver.Pad(std::move(top), split.irrelevant_endogenous);
+  int n = db.num_endogenous();
+  SHAPCQ_CHECK(top.num_endogenous == n);
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  for (const auto& [key, row] : top.rows) {
+    SHAPCQ_CHECK(key.has_value());  // every scope position binds by a leaf
+    for (int k = 0; k <= n; ++k) {
+      const BigInt& count = row[static_cast<size_t>(k)];
+      if (!count.is_zero()) {
+        series[static_cast<size_t>(k)] += *key * Rational(count);
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace shapcq

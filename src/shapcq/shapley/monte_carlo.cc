@@ -1,0 +1,250 @@
+#include "shapcq/shapley/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "shapcq/query/evaluator.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Double-precision aggregate evaluation over a bag (fast path for
+// sampling; exactness is not needed for an estimator).
+double ApplyDouble(const AggregateFunction& alpha, std::vector<double>* bag) {
+  if (bag->empty()) return 0.0;
+  switch (alpha.kind()) {
+    case AggKind::kSum:
+      return std::accumulate(bag->begin(), bag->end(), 0.0);
+    case AggKind::kCount:
+      return static_cast<double>(bag->size());
+    case AggKind::kCountDistinct: {
+      std::sort(bag->begin(), bag->end());
+      double distinct = 1;
+      for (size_t i = 1; i < bag->size(); ++i) {
+        if ((*bag)[i] != (*bag)[i - 1]) ++distinct;
+      }
+      return distinct;
+    }
+    case AggKind::kMin:
+      return *std::min_element(bag->begin(), bag->end());
+    case AggKind::kMax:
+      return *std::max_element(bag->begin(), bag->end());
+    case AggKind::kAvg:
+      return std::accumulate(bag->begin(), bag->end(), 0.0) /
+             static_cast<double>(bag->size());
+    case AggKind::kQuantile: {
+      std::sort(bag->begin(), bag->end());
+      double q = alpha.quantile().ToDouble();
+      int64_t n = static_cast<int64_t>(bag->size());
+      int64_t i1 = static_cast<int64_t>(
+          std::ceil(q * static_cast<double>(n) - 1e-12));
+      int64_t i2 = static_cast<int64_t>(
+          std::floor(q * static_cast<double>(n) + 1.0 + 1e-12));
+      i1 = std::clamp<int64_t>(i1, 1, n);
+      i2 = std::clamp<int64_t>(i2, 1, n);
+      return ((*bag)[static_cast<size_t>(i1 - 1)] +
+              (*bag)[static_cast<size_t>(i2 - 1)]) /
+             2.0;
+    }
+    case AggKind::kHasDuplicates: {
+      std::sort(bag->begin(), bag->end());
+      for (size_t i = 1; i < bag->size(); ++i) {
+        if ((*bag)[i] == (*bag)[i - 1]) return 1.0;
+      }
+      return 0.0;
+    }
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+// Homomorphism supports over an arbitrary number of players (no 64-player
+// mask limit): an answer is alive iff some support set is fully present.
+class SupportEvaluator {
+ public:
+  SupportEvaluator(const AggregateQuery& a, const Database& db)
+      : alpha_(a.alpha) {
+    std::vector<FactId> players = db.EndogenousFacts();
+    player_index_.assign(static_cast<size_t>(db.num_facts()), -1);
+    for (size_t i = 0; i < players.size(); ++i) {
+      player_index_[static_cast<size_t>(players[i])] = static_cast<int>(i);
+    }
+    num_players_ = static_cast<int>(players.size());
+    std::map<Tuple, std::vector<std::vector<int>>> supports_by_answer;
+    for (const Homomorphism& hom : EnumerateHomomorphisms(a.query, db)) {
+      std::vector<int> support;
+      for (FactId id : hom.used_facts) {
+        int player = player_index_[static_cast<size_t>(id)];
+        if (player >= 0) support.push_back(player);
+      }
+      std::sort(support.begin(), support.end());
+      support.erase(std::unique(support.begin(), support.end()),
+                    support.end());
+      supports_by_answer[hom.answer].push_back(std::move(support));
+    }
+    for (auto& [answer, supports] : supports_by_answer) {
+      // Keep minimal supports only.
+      std::sort(supports.begin(), supports.end(),
+                [](const std::vector<int>& x, const std::vector<int>& y) {
+                  return x.size() != y.size() ? x.size() < y.size() : x < y;
+                });
+      std::vector<std::vector<int>> minimal;
+      for (const std::vector<int>& support : supports) {
+        bool dominated = false;
+        for (const std::vector<int>& kept : minimal) {
+          if (std::includes(support.begin(), support.end(), kept.begin(),
+                            kept.end())) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) minimal.push_back(support);
+      }
+      answers_.push_back({a.tau->Evaluate(answer).ToDouble(),
+                          std::move(minimal)});
+    }
+  }
+
+  int num_players() const { return num_players_; }
+  int PlayerIndex(FactId id) const {
+    return player_index_[static_cast<size_t>(id)];
+  }
+
+  // A(E ∪ D_x) where `present[p]` says whether player p is in E.
+  double Evaluate(const std::vector<char>& present) const {
+    std::vector<double> bag;
+    for (const AnswerEntry& entry : answers_) {
+      for (const std::vector<int>& support : entry.supports) {
+        bool alive = true;
+        for (int p : support) {
+          if (!present[static_cast<size_t>(p)]) {
+            alive = false;
+            break;
+          }
+        }
+        if (alive) {
+          bag.push_back(entry.tau);
+          break;
+        }
+      }
+    }
+    return ApplyDouble(alpha_, &bag);
+  }
+
+ private:
+  struct AnswerEntry {
+    double tau;
+    std::vector<std::vector<int>> supports;
+  };
+
+  AggregateFunction alpha_;
+  int num_players_ = 0;
+  std::vector<int> player_index_;
+  std::vector<AnswerEntry> answers_;
+};
+
+}  // namespace
+
+StatusOr<MonteCarloResult> MonteCarloShapley(const AggregateQuery& a,
+                                             const Database& db, FactId fact,
+                                             const MonteCarloOptions& options) {
+  if (options.num_samples <= 0) {
+    return InvalidArgumentError("num_samples must be positive");
+  }
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  SupportEvaluator evaluator(a, db);
+  int n = evaluator.num_players();
+  int target = evaluator.PlayerIndex(fact);
+  SHAPCQ_CHECK(target >= 0);
+  std::mt19937_64 rng(options.seed);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  std::vector<char> present(static_cast<size_t>(n), 0);
+  for (int64_t sample = 0; sample < options.num_samples; ++sample) {
+    std::shuffle(order.begin(), order.end(), rng);
+    std::fill(present.begin(), present.end(), 0);
+    for (int p : order) {
+      if (p == target) break;
+      present[static_cast<size_t>(p)] = 1;
+    }
+    double before = evaluator.Evaluate(present);
+    present[static_cast<size_t>(target)] = 1;
+    double after = evaluator.Evaluate(present);
+    double delta = after - before;
+    sum += delta;
+    sum_squares += delta * delta;
+  }
+  MonteCarloResult result;
+  result.samples = options.num_samples;
+  double samples = static_cast<double>(options.num_samples);
+  result.estimate = sum / samples;
+  if (options.num_samples > 1) {
+    double variance =
+        (sum_squares - sum * sum / samples) / (samples - 1.0);
+    result.std_error = std::sqrt(std::max(0.0, variance) / samples);
+  }
+  return result;
+}
+
+StatusOr<MonteCarloResult> MonteCarloBanzhaf(const AggregateQuery& a,
+                                             const Database& db, FactId fact,
+                                             const MonteCarloOptions& options) {
+  if (options.num_samples <= 0) {
+    return InvalidArgumentError("num_samples must be positive");
+  }
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  SupportEvaluator evaluator(a, db);
+  int n = evaluator.num_players();
+  int target = evaluator.PlayerIndex(fact);
+  SHAPCQ_CHECK(target >= 0);
+  std::mt19937_64 rng(options.seed);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  std::vector<char> present(static_cast<size_t>(n), 0);
+  for (int64_t sample = 0; sample < options.num_samples; ++sample) {
+    for (int p = 0; p < n; ++p) {
+      present[static_cast<size_t>(p)] = p != target && (rng() & 1) != 0;
+    }
+    double before = evaluator.Evaluate(present);
+    present[static_cast<size_t>(target)] = 1;
+    double after = evaluator.Evaluate(present);
+    double delta = after - before;
+    sum += delta;
+    sum_squares += delta * delta;
+  }
+  MonteCarloResult result;
+  result.samples = options.num_samples;
+  double samples = static_cast<double>(options.num_samples);
+  result.estimate = sum / samples;
+  if (options.num_samples > 1) {
+    double variance =
+        (sum_squares - sum * sum / samples) / (samples - 1.0);
+    result.std_error = std::sqrt(std::max(0.0, variance) / samples);
+  }
+  return result;
+}
+
+StatusOr<MonteCarloResult> MonteCarloShapleyWithGuarantee(
+    const AggregateQuery& a, const Database& db, FactId fact, double range,
+    double epsilon, double delta, uint64_t seed) {
+  MonteCarloOptions options;
+  options.num_samples = HoeffdingSampleCount(range, epsilon, delta);
+  options.seed = seed;
+  return MonteCarloShapley(a, db, fact, options);
+}
+
+int64_t HoeffdingSampleCount(double range, double epsilon, double delta) {
+  SHAPCQ_CHECK(range > 0 && epsilon > 0 && delta > 0 && delta < 1);
+  // P(|mean - mu| >= eps) <= 2 exp(-2 m eps^2 / (2 range)^2) <= delta.
+  double m = std::log(2.0 / delta) * 2.0 * range * range / (epsilon * epsilon);
+  return static_cast<int64_t>(std::ceil(m));
+}
+
+}  // namespace shapcq

@@ -1,0 +1,59 @@
+// Monte Carlo approximation of the Shapley value by permutation sampling.
+//
+// The Shapley value is the expectation of a fact's marginal contribution
+// over a uniformly random permutation of the endogenous facts; sampling
+// permutations gives an unbiased estimator whose error obeys Hoeffding
+// bounds. This is the practical fallback for AggCQs outside the tractable
+// frontiers (and the subject of experiment E6). Unlike the exact engines it
+// places no restriction on the query (self-joins and non-localized value
+// functions are fine) and no player-count limit.
+
+#ifndef SHAPCQ_SHAPLEY_MONTE_CARLO_H_
+#define SHAPCQ_SHAPLEY_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct MonteCarloOptions {
+  int64_t num_samples = 10000;
+  uint64_t seed = 1;
+};
+
+struct MonteCarloResult {
+  double estimate = 0.0;
+  // Sample standard error of the mean (σ̂ / √samples).
+  double std_error = 0.0;
+  int64_t samples = 0;
+};
+
+// Estimates Shapley(fact, a)[db] from `options.num_samples` random
+// permutations.
+StatusOr<MonteCarloResult> MonteCarloShapley(const AggregateQuery& a,
+                                             const Database& db, FactId fact,
+                                             const MonteCarloOptions& options);
+
+// Estimates Banzhaf(fact, a)[db] by sampling uniform subsets of the other
+// endogenous facts.
+StatusOr<MonteCarloResult> MonteCarloBanzhaf(const AggregateQuery& a,
+                                             const Database& db, FactId fact,
+                                             const MonteCarloOptions& options);
+
+// Number of samples for an additive (epsilon, delta) guarantee via
+// Hoeffding, when each marginal contribution lies in [-range, range].
+int64_t HoeffdingSampleCount(double range, double epsilon, double delta);
+
+// Convenience: runs MonteCarloShapley with the Hoeffding sample count for
+// the requested guarantee: P(|estimate − Shapley| ≥ epsilon) ≤ delta,
+// assuming marginal contributions lie in [−range, range].
+StatusOr<MonteCarloResult> MonteCarloShapleyWithGuarantee(
+    const AggregateQuery& a, const Database& db, FactId fact, double range,
+    double epsilon, double delta, uint64_t seed = 1);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_MONTE_CARLO_H_

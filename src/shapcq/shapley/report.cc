@@ -1,0 +1,123 @@
+#include "shapcq/shapley/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace shapcq {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  return buffer;
+}
+
+std::string FormatPercent(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%5.1f%%", 100.0 * v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatAttributionReport(
+    const Database& db,
+    const std::vector<std::pair<FactId, SolveResult>>& results,
+    const ReportOptions& options) {
+  std::vector<std::pair<FactId, SolveResult>> rows = results;
+  if (options.sort_by_score) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.approximation > b.second.approximation;
+                     });
+  }
+  double total = 0;
+  for (const auto& [fact, result] : rows) total += result.approximation;
+  bool share = options.show_share && std::abs(total) > 1e-12;
+
+  // Column widths.
+  size_t fact_width = 4;
+  size_t value_width = 5;
+  for (const auto& [fact, result] : rows) {
+    fact_width = std::max(fact_width, db.fact(fact).ToString().size());
+    std::string value = result.is_exact ? result.exact.ToString()
+                                        : FormatDouble(result.approximation);
+    value_width = std::max(value_width, value.size());
+  }
+
+  std::string out;
+  auto append_row = [&](const std::string& fact, const std::string& value,
+                        const std::string& approx, const std::string& pct,
+                        const std::string& algorithm) {
+    out += fact;
+    out.append(fact_width + 2 - fact.size(), ' ');
+    out.append(value_width > value.size() ? value_width - value.size() : 0,
+               ' ');
+    out += value;
+    out += "  ";
+    out += approx;
+    if (share) {
+      out += "  ";
+      out += pct;
+    }
+    if (!algorithm.empty()) {
+      out += "  [";
+      out += algorithm;
+      out += "]";
+    }
+    out += "\n";
+  };
+  append_row("fact", "score", "  (approx)", share ? "  share" : "", "");
+  int printed = 0;
+  for (const auto& [fact, result] : rows) {
+    if (options.max_rows > 0 && printed >= options.max_rows) {
+      out += "... (" + std::to_string(rows.size() - static_cast<size_t>(printed)) +
+             " more rows)\n";
+      break;
+    }
+    std::string value = result.is_exact ? result.exact.ToString()
+                                        : FormatDouble(result.approximation);
+    append_row(db.fact(fact).ToString(), value,
+               FormatDouble(result.approximation),
+               share ? FormatPercent(result.approximation / total) : "",
+               result.algorithm);
+    ++printed;
+  }
+  if (options.show_relation_totals) {
+    std::map<std::string, double> per_relation;
+    for (const auto& [fact, result] : rows) {
+      per_relation[db.fact(fact).relation] += result.approximation;
+    }
+    out += "\nper-relation totals:\n";
+    for (const auto& [relation, subtotal] : per_relation) {
+      out += "  " + relation + ": " + FormatDouble(subtotal);
+      if (share) out += " (" + FormatPercent(subtotal / total) + ")";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string SummarizeAttribution(
+    const Database& db,
+    const std::vector<std::pair<FactId, SolveResult>>& results) {
+  if (results.empty()) return "no endogenous facts";
+  double total = 0;
+  const std::pair<FactId, SolveResult>* top = &results.front();
+  for (const auto& row : results) {
+    total += row.second.approximation;
+    if (row.second.approximation > top->second.approximation) top = &row;
+  }
+  std::string out = std::to_string(results.size()) + " facts, total score " +
+                    FormatDouble(total) + ", top: " +
+                    db.fact(top->first).ToString();
+  if (std::abs(total) > 1e-12) {
+    out += " (" + FormatPercent(top->second.approximation / total) + ")";
+  }
+  return out;
+}
+
+}  // namespace shapcq

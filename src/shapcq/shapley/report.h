@@ -1,0 +1,43 @@
+// Human-readable attribution reports.
+//
+// Formats solver results as aligned text tables (sorted by score, grouped
+// by relation, with share-of-total columns), so example programs and the
+// CLI render consistent output. Pure formatting: no computation here.
+
+#ifndef SHAPCQ_SHAPLEY_REPORT_H_
+#define SHAPCQ_SHAPLEY_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/solver.h"
+
+namespace shapcq {
+
+struct ReportOptions {
+  // Sort rows by descending score (otherwise fact-id order).
+  bool sort_by_score = true;
+  // Append a share column (score / Σ scores) when the total is nonzero.
+  bool show_share = true;
+  // Append a per-relation subtotal section.
+  bool show_relation_totals = false;
+  int max_rows = 0;  // 0 = unlimited
+};
+
+// Renders a table of attribution results. Exact results print both the
+// rational and its decimal approximation.
+std::string FormatAttributionReport(
+    const Database& db,
+    const std::vector<std::pair<FactId, SolveResult>>& results,
+    const ReportOptions& options = {});
+
+// One-line summary: "n facts, total score X, top: R(1,2) (42%)".
+std::string SummarizeAttribution(
+    const Database& db,
+    const std::vector<std::pair<FactId, SolveResult>>& results);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_REPORT_H_

@@ -1,0 +1,90 @@
+#include "shapcq/shapley/score.h"
+
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+
+namespace shapcq {
+
+Rational ScoreFromSumK(const SumKSeries& series_f_exogenous,
+                       const SumKSeries& series_f_removed, ScoreKind kind) {
+  SHAPCQ_CHECK(series_f_exogenous.size() == series_f_removed.size());
+  SHAPCQ_CHECK(!series_f_exogenous.empty());
+  int64_t n = static_cast<int64_t>(series_f_exogenous.size());  // players
+  Combinatorics comb;
+  Rational score;
+  for (int64_t k = 0; k < n; ++k) {
+    Rational delta = series_f_exogenous[static_cast<size_t>(k)] -
+                     series_f_removed[static_cast<size_t>(k)];
+    if (delta.is_zero()) continue;
+    switch (kind) {
+      case ScoreKind::kShapley:
+        score += comb.ShapleyCoefficient(n, k) * delta;
+        break;
+      case ScoreKind::kBanzhaf:
+        score += delta;
+        break;
+    }
+  }
+  if (kind == ScoreKind::kBanzhaf && n > 1) {
+    score /= Rational(BigInt::TwoPow(static_cast<uint64_t>(n - 1)));
+  }
+  return score;
+}
+
+Rational SemivalueFromSumK(const SumKSeries& series_f_exogenous,
+                           const SumKSeries& series_f_removed,
+                           const std::vector<Rational>& weights) {
+  SHAPCQ_CHECK(series_f_exogenous.size() == series_f_removed.size());
+  SHAPCQ_CHECK(weights.size() >= series_f_exogenous.size());
+  Rational score;
+  for (size_t k = 0; k < series_f_exogenous.size(); ++k) {
+    if (weights[k].is_zero()) continue;
+    score += weights[k] * (series_f_exogenous[k] - series_f_removed[k]);
+  }
+  return score;
+}
+
+Rational ExpectedValueFromSumK(const SumKSeries& series, const Rational& p) {
+  SHAPCQ_CHECK(p >= Rational(0) && p <= Rational(1));
+  SHAPCQ_CHECK(!series.empty());
+  int64_t n = static_cast<int64_t>(series.size()) - 1;
+  Rational expected;
+  Rational one_minus_p = Rational(1) - p;
+  for (int64_t k = 0; k <= n; ++k) {
+    const Rational& value = series[static_cast<size_t>(k)];
+    if (value.is_zero()) continue;
+    // p^k (1−p)^{n−k}: exact rational powers.
+    Rational weight(1);
+    for (int64_t i = 0; i < k; ++i) weight *= p;
+    for (int64_t i = 0; i < n - k; ++i) weight *= one_minus_p;
+    expected += weight * value;
+  }
+  return expected;
+}
+
+StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
+                                FactId fact, const SumKEngine& engine,
+                                ScoreKind kind) {
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  Database with_f_exogenous = db.WithFactExogenous(fact);
+  Database without_f = db.WithoutFact(fact, /*old_to_new=*/nullptr);
+  StatusOr<SumKSeries> series_f = engine(a, with_f_exogenous);
+  if (!series_f.ok()) return series_f.status();
+  StatusOr<SumKSeries> series_g = engine(a, without_f);
+  if (!series_g.ok()) return series_g.status();
+  return ScoreFromSumK(*series_f, *series_g, kind);
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
+    const AggregateQuery& a, const Database& db, const SumKEngine& engine,
+    ScoreKind kind) {
+  std::vector<std::pair<FactId, Rational>> scores;
+  for (FactId fact : db.EndogenousFacts()) {
+    StatusOr<Rational> score = ScoreViaSumK(a, db, fact, engine, kind);
+    if (!score.ok()) return score.status();
+    scores.emplace_back(fact, std::move(score).value());
+  }
+  return scores;
+}
+
+}  // namespace shapcq

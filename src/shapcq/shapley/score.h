@@ -1,0 +1,76 @@
+// The sum_k framework (Section 3.2 of the paper).
+//
+// Every exact engine in this library computes, for a database D' and an
+// aggregate query A, the series
+//
+//   sum_k(A, D') = Σ_{E ∈ (D'_n choose k)} A(E ∪ D'_x),   k = 0..|D'_n|.
+//
+// The Shapley value of a fact f in D follows from the series of two derived
+// databases (F: f made exogenous; G: f removed):
+//
+//   Shapley(f, A) = Σ_k q_k · (sum_k(A, F) − sum_k(A, G)),
+//   q_k = k!(n−k−1)!/n!,  n = |D_n|.
+//
+// The same differences yield the Banzhaf score with uniform weights
+// 2^{−(n−1)} — the paper's remark that sum_k-based algorithms extend to all
+// Shapley-like scores.
+
+#ifndef SHAPCQ_SHAPLEY_SCORE_H_
+#define SHAPCQ_SHAPLEY_SCORE_H_
+
+#include <functional>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/util/rational.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+enum class ScoreKind { kShapley, kBanzhaf };
+
+// sum_k(A, D) for k = 0..|D_n| (length |D_n| + 1).
+using SumKSeries = std::vector<Rational>;
+
+// An exact engine: computes the sum_k series of A over a database.
+using SumKEngine =
+    std::function<StatusOr<SumKSeries>(const AggregateQuery&, const Database&)>;
+
+// Combines the series of F (f exogenous) and G (f removed) into the score of
+// f in the original n-player game. Both series must have length n (entries
+// k = 0..n−1).
+Rational ScoreFromSumK(const SumKSeries& series_f_exogenous,
+                       const SumKSeries& series_f_removed, ScoreKind kind);
+
+// Runs `engine` on F and G and combines. `fact` must be endogenous in `db`.
+StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
+                                FactId fact, const SumKEngine& engine,
+                                ScoreKind kind = ScoreKind::kShapley);
+
+// Scores every endogenous fact (same engine, 2·n engine runs).
+StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
+    const AggregateQuery& a, const Database& db, const SumKEngine& engine,
+    ScoreKind kind = ScoreKind::kShapley);
+
+// General semivalue: Σ_k weights[k] · (sum_k(A,F) − sum_k(A,G)) for a
+// caller-supplied coefficient vector over coalition sizes k = 0..n−1
+// (the paper's "Shapley-like scores" in full generality). Shapley uses
+// weights q_k = 1/(n·C(n−1,k)); Banzhaf uses 2^{−(n−1)} uniformly. The
+// weights of a probabilistic semivalue should satisfy
+// Σ_k C(n−1,k)·weights[k] = 1, but this is not enforced.
+Rational SemivalueFromSumK(const SumKSeries& series_f_exogenous,
+                           const SumKSeries& series_f_removed,
+                           const std::vector<Rational>& weights);
+
+// Expected query result over the uniform tuple-independent probabilistic
+// database in which every endogenous fact is present independently with
+// probability p (exogenous facts are certain):
+//   E[A] = Σ_k p^k (1−p)^{n−k} · sum_k(A, D).
+// This is the bridge to expected Shapley-like scores over probabilistic
+// databases discussed in the paper's Section 8.
+Rational ExpectedValueFromSumK(const SumKSeries& series, const Rational& p);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_SCORE_H_

@@ -1,0 +1,125 @@
+#include "shapcq/shapley/special_cases.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "shapcq/agg/value_function.h"
+#include "shapcq/query/decomposition.h"
+#include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
+                                      const Database& db) {
+  bool is_median = a.alpha.kind() == AggKind::kQuantile &&
+                   a.alpha.quantile() == Rational(BigInt(1), BigInt(2));
+  if (a.alpha.kind() != AggKind::kAvg && !is_median) {
+    return UnsupportedError(
+        "GatedProductSumK applies to Avg and Median only (replication "
+        "invariance)");
+  }
+  if (a.query.HasSelfJoin()) {
+    return UnsupportedError("GatedProductSumK requires a self-join-free CQ");
+  }
+  std::vector<int> localization = LocalizationAtoms(a.query, *a.tau);
+  if (localization.empty()) {
+    return UnsupportedError("value function is not localized on any atom of " +
+                            a.query.ToString());
+  }
+  std::vector<std::vector<int>> components = ConnectedComponents(a.query);
+  if (components.size() < 2) {
+    return UnsupportedError("GatedProductSumK requires a disconnected CQ");
+  }
+  // The component holding the (first) localization atom becomes Q1.
+  int r_atom = localization[0];
+  std::vector<int> q1_atoms;
+  std::vector<int> q2_atoms;
+  for (const std::vector<int>& component : components) {
+    if (std::find(component.begin(), component.end(), r_atom) !=
+        component.end()) {
+      q1_atoms = component;
+    } else {
+      q2_atoms.insert(q2_atoms.end(), component.begin(), component.end());
+    }
+  }
+  SHAPCQ_CHECK(!q1_atoms.empty() && !q2_atoms.empty());
+  std::vector<int> kept_positions;
+  ConjunctiveQuery q1 = a.query.Project(q1_atoms, &kept_positions);
+  ConjunctiveQuery q2 = a.query.Project(q2_atoms, nullptr);
+  // Remap τ onto Q1's (shorter) head. Every depended position must survive
+  // the projection (it does: the localization atom is inside Q1).
+  std::vector<int> new_depends;
+  int full_arity = a.query.arity();
+  for (int position : a.tau->DependsOn()) {
+    auto it = std::find(kept_positions.begin(), kept_positions.end(),
+                        position);
+    SHAPCQ_CHECK(it != kept_positions.end());
+    new_depends.push_back(static_cast<int>(it - kept_positions.begin()));
+  }
+  ValueFunctionPtr original_tau = a.tau;
+  std::vector<int> kept_copy = kept_positions;
+  ValueFunctionPtr remapped_tau = MakeCallbackTau(
+      [original_tau, kept_copy, full_arity](const Tuple& t1) {
+        Tuple full(static_cast<size_t>(full_arity), Value(0));
+        for (size_t i = 0; i < kept_copy.size(); ++i) {
+          full[static_cast<size_t>(kept_copy[i])] = t1[i];
+        }
+        return original_tau->Evaluate(full);
+      },
+      new_depends, a.tau->ToString() + "|Q1");
+  // Split the database: D1 (Q1's relations), D2 (Q2's), padding (the rest).
+  Database d1, d2;
+  int pad = 0;
+  auto in_query = [](const ConjunctiveQuery& q, const std::string& relation) {
+    for (const Atom& atom : q.atoms()) {
+      if (atom.relation == relation) return true;
+    }
+    return false;
+  };
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    const Fact& fact = db.fact(id);
+    if (in_query(q1, fact.relation)) {
+      d1.AddFact(fact.relation, fact.args, fact.endogenous);
+    } else if (in_query(q2, fact.relation)) {
+      d2.AddFact(fact.relation, fact.args, fact.endogenous);
+    } else if (fact.endogenous) {
+      ++pad;
+    }
+  }
+  AggregateQuery a1{q1, remapped_tau, a.alpha};
+  StatusOr<SumKSeries> value_series = AvgQuantileSumK(a1, d1);
+  if (!value_series.ok()) return value_series.status();
+  StatusOr<std::vector<BigInt>> gate_counts =
+      SatisfactionCounts(q2.AsBoolean(), d2);
+  if (!gate_counts.ok()) return gate_counts.status();
+  int m1 = d1.num_endogenous();
+  int m2 = d2.num_endogenous();
+  int n = db.num_endogenous();
+  SHAPCQ_CHECK(m1 + m2 + pad == n);
+  SumKSeries combined(static_cast<size_t>(m1 + m2) + 1);
+  for (int l = 0; l <= m1; ++l) {
+    const Rational& value = (*value_series)[static_cast<size_t>(l)];
+    if (value.is_zero()) continue;
+    for (int k2 = 0; k2 <= m2; ++k2) {
+      const BigInt& gate = (*gate_counts)[static_cast<size_t>(k2)];
+      if (gate.is_zero()) continue;
+      combined[static_cast<size_t>(l + k2)] += value * Rational(gate);
+    }
+  }
+  // Pad with the endogenous facts of unrelated relations.
+  Combinatorics comb;
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  for (int k = 0; k <= m1 + m2; ++k) {
+    const Rational& value = combined[static_cast<size_t>(k)];
+    if (value.is_zero()) continue;
+    for (int extra = 0; extra <= pad; ++extra) {
+      series[static_cast<size_t>(k + extra)] +=
+          value * Rational(comb.Binomial(pad, extra));
+    }
+  }
+  return series;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,39 @@
+// Localization-sensitive tractable special cases (Proposition 7.3).
+//
+// Avg ∘ τ²_ReLU ∘ Q_xyyz and Med ∘ τ²_>0 ∘ Q_xyyz are FP^#P-hard when the
+// value function reads the *first* head component (localized on R), but
+// polynomial when it reads the *last* one (localized on T): the query then
+// factors as Q = Q1 × Q2 with τ localized in Q1, and because Avg and Median
+// are invariant under uniform bag replication,
+//
+//   A(E) = (α ∘ τ ∘ Q1)(E ∩ D1) · [ Q2(E ∩ D2) ≠ ∅ ],
+//
+// so sum_k(A, D) = Σ_ℓ sum_ℓ(α ∘ τ ∘ Q1, D1) · c_{k−ℓ}(Q2_bool, D2).
+// Q1 is solved by the q-hierarchical Avg/Qnt engine; the gate needs only
+// Boolean satisfaction counts of Q2 (∃-hierarchy of Q2 suffices) — which is
+// why the full query may lie OUTSIDE the q-hierarchical frontier and still
+// be tractable for this τ.
+//
+// (The third case of Proposition 7.3, Dup ∘ τ²_id ∘ Q^full_xyy, is already
+// handled by HasDuplicatesSumK; see has_duplicates.h.)
+
+#ifndef SHAPCQ_SHAPLEY_SPECIAL_CASES_H_
+#define SHAPCQ_SHAPLEY_SPECIAL_CASES_H_
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// sum_k series for A = α ∘ τ ∘ (Q1 × Q2) with α ∈ {Avg, Median}, τ
+// localized inside a connected component Q1 that is q-hierarchical on its
+// own, and Q2_bool hierarchical. Returns UNSUPPORTED when the shape does
+// not apply (callers fall back to other engines).
+StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
+                                      const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_SPECIAL_CASES_H_

@@ -1,0 +1,50 @@
+#include "shapcq/shapley/sum_count.h"
+
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/shapley/membership.h"
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
+                                  const Database& db) {
+  if (a.alpha.kind() != AggKind::kSum && a.alpha.kind() != AggKind::kCount) {
+    return UnsupportedError("SumCountSumK handles Sum and Count only");
+  }
+  if (a.query.HasSelfJoin()) {
+    return UnsupportedError("SumCountSumK requires a self-join-free CQ");
+  }
+  if (!IsExistsHierarchical(a.query)) {
+    return UnsupportedError("Sum/Count requires an exists-hierarchical CQ: " +
+                            a.query.ToString());
+  }
+  int n = db.num_endogenous();
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  for (const Tuple& answer : Evaluate(a.query, db)) {
+    // Bind the head variables to this answer to get the Boolean query
+    // "answer still present". Repeated head variables bind once.
+    ConjunctiveQuery q_t = a.query;
+    for (size_t i = 0; i < answer.size(); ++i) {
+      const std::string& head_var =
+          a.query.head()[i];  // name in the original head
+      if (q_t.IsFreeVariable(head_var)) {
+        q_t = q_t.Bind(head_var, answer[i]);
+      }
+    }
+    SHAPCQ_CHECK(q_t.is_boolean());
+    StatusOr<std::vector<BigInt>> counts = SatisfactionCounts(q_t, db);
+    if (!counts.ok()) return counts.status();
+    Rational weight = a.alpha.kind() == AggKind::kCount
+                          ? Rational(1)
+                          : a.tau->Evaluate(answer);
+    if (weight.is_zero()) continue;
+    for (int k = 0; k <= n; ++k) {
+      series[static_cast<size_t>(k)] +=
+          weight * Rational((*counts)[static_cast<size_t>(k)]);
+    }
+  }
+  return series;
+}
+
+}  // namespace shapcq

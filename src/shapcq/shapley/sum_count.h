@@ -1,0 +1,28 @@
+// Sum and Count over ∃-hierarchical CQs (Livshits et al., reused as the
+// baseline "prior work" engine; Theorem 3.1 context).
+//
+// By linearity, sum_k(Sum ∘ τ ∘ Q, D) = Σ_{t ∈ Q(D)} τ(t) · c_k(Q_t, D)
+// where Q_t is the Boolean query asking whether t remains an answer, and
+// c_k are its satisfaction counts. Q_t is hierarchical exactly when Q is
+// ∃-hierarchical, so each term is polynomial-time. Count is Sum with τ ≡ 1.
+// Unlike the other engines, this one supports arbitrary (non-localized)
+// polynomial-time value functions (Section 7.3).
+
+#ifndef SHAPCQ_SHAPLEY_SUM_COUNT_H_
+#define SHAPCQ_SHAPLEY_SUM_COUNT_H_
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// sum_k series for A = Sum ∘ τ ∘ Q or Count ∘ τ ∘ Q. Returns UNSUPPORTED if
+// the aggregate is neither, the query has self-joins, or the query is not
+// ∃-hierarchical.
+StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_SUM_COUNT_H_

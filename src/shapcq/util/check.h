@@ -1,0 +1,40 @@
+// Invariant-checking macros for shapcq.
+//
+// The library does not use exceptions (see DESIGN.md). Programmer errors and
+// broken invariants abort the process with a diagnostic; recoverable errors
+// are reported through Status/StatusOr (see status.h).
+
+#ifndef SHAPCQ_UTIL_CHECK_H_
+#define SHAPCQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shapcq::internal {
+
+// Prints a fatal diagnostic and aborts. Used by the SHAPCQ_CHECK macros.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "SHAPCQ_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace shapcq::internal
+
+// Aborts the process if `cond` does not hold. Always enabled (the exact
+// algorithms in this library are useless if their invariants are violated,
+// and the cost of the checks is negligible next to big-integer arithmetic).
+#define SHAPCQ_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::shapcq::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                               \
+  } while (false)
+
+// Marks an unreachable code path.
+#define SHAPCQ_UNREACHABLE() \
+  ::shapcq::internal::CheckFailed(__FILE__, __LINE__, "unreachable")
+
+#endif  // SHAPCQ_UTIL_CHECK_H_

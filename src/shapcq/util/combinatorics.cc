@@ -1,0 +1,54 @@
+#include "shapcq/util/combinatorics.h"
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+const BigInt& Combinatorics::Factorial(int64_t n) {
+  SHAPCQ_CHECK(n >= 0);
+  if (factorials_.empty()) factorials_.push_back(BigInt(1));  // 0! = 1
+  while (static_cast<int64_t>(factorials_.size()) <= n) {
+    BigInt next = factorials_.back() *
+                  BigInt(static_cast<int64_t>(factorials_.size()));
+    factorials_.push_back(std::move(next));
+  }
+  return factorials_[static_cast<size_t>(n)];
+}
+
+BigInt Combinatorics::Binomial(int64_t n, int64_t k) {
+  SHAPCQ_CHECK(n >= 0);
+  if (k < 0 || k > n) return BigInt(0);
+  // n!/(k!(n-k)!) with cached factorials; exact division.
+  BigInt result = Factorial(n);
+  result /= Factorial(k);
+  result /= Factorial(n - k);
+  return result;
+}
+
+Rational Combinatorics::ShapleyCoefficient(int64_t n, int64_t k) {
+  SHAPCQ_CHECK(n >= 1);
+  SHAPCQ_CHECK(k >= 0 && k <= n - 1);
+  // q_k = k!(n-k-1)!/n! = 1 / (n * C(n-1, k)).
+  return Rational(BigInt(1), BigInt(n) * Binomial(n - 1, k));
+}
+
+Rational Combinatorics::Harmonic(int64_t n) {
+  SHAPCQ_CHECK(n >= 0);
+  Rational sum;
+  for (int64_t k = 1; k <= n; ++k) {
+    sum += Rational(BigInt(1), BigInt(k));
+  }
+  return sum;
+}
+
+BigInt Factorial(int64_t n) {
+  Combinatorics comb;
+  return comb.Factorial(n);
+}
+
+BigInt Binomial(int64_t n, int64_t k) {
+  Combinatorics comb;
+  return comb.Binomial(n, k);
+}
+
+}  // namespace shapcq

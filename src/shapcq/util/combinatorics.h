@@ -1,0 +1,47 @@
+// Exact combinatorial quantities used throughout the Shapley algorithms:
+// factorials, binomial coefficients, the Shapley permutation coefficients
+// q_k = k!(n-k-1)!/n!, and harmonic numbers (Proposition 5.2).
+
+#ifndef SHAPCQ_UTIL_COMBINATORICS_H_
+#define SHAPCQ_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shapcq/util/bigint.h"
+#include "shapcq/util/rational.h"
+
+namespace shapcq {
+
+// Caches factorials and binomial rows. Cheap to construct; grows on demand.
+// Not thread-safe; create one per computation.
+class Combinatorics {
+ public:
+  Combinatorics() = default;
+
+  // n! for n >= 0.
+  const BigInt& Factorial(int64_t n);
+
+  // C(n, k); 0 when k < 0 or k > n. Requires n >= 0.
+  BigInt Binomial(int64_t n, int64_t k);
+
+  // The Shapley coefficient q_k = k!(n-k-1)!/n! = 1/(n*C(n-1,k)) for a game
+  // with n players: the probability that a uniformly random permutation
+  // places exactly k specific-player-free positions before a fixed player.
+  // Requires 0 <= k <= n-1.
+  Rational ShapleyCoefficient(int64_t n, int64_t k);
+
+  // H(n) = sum_{k=1..n} 1/k, with H(0) = 0.
+  Rational Harmonic(int64_t n);
+
+ private:
+  std::vector<BigInt> factorials_;  // factorials_[n] == n!
+};
+
+// Stateless one-off helpers (each call recomputes; use the class for loops).
+BigInt Factorial(int64_t n);
+BigInt Binomial(int64_t n, int64_t k);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_COMBINATORICS_H_

@@ -1,0 +1,102 @@
+// Minimal Status / StatusOr error-reporting types.
+//
+// shapcq follows the Google C++ style guide and does not use exceptions.
+// Fallible public APIs (parsing, solving) return Status or StatusOr<T>.
+
+#ifndef SHAPCQ_UTIL_STATUS_H_
+#define SHAPCQ_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+// Coarse error categories; `message()` carries the human-readable detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (e.g., unparsable CQ text)
+  kUnsupported,       // valid input outside an algorithm's scope
+  kNotFound,          // a referenced entity does not exist
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result without a payload.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering: "OK" or "INVALID_ARGUMENT: ...".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status UnsupportedError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or an error Status. `value()` aborts on error access,
+// so callers must test `ok()` first (or use `value_or` patterns themselves).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SHAPCQ_CHECK(!status_.ok());  // an OK StatusOr must carry a value
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SHAPCQ_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SHAPCQ_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SHAPCQ_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_STATUS_H_

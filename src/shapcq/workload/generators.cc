@@ -1,0 +1,150 @@
+#include "shapcq/workload/generators.h"
+
+#include <random>
+#include <set>
+#include <utility>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+Database RandomDatabaseForQuery(const ConjunctiveQuery& q,
+                                const RandomDatabaseOptions& options) {
+  SHAPCQ_CHECK(options.domain_size >= 2);
+  std::mt19937_64 rng(options.seed);
+  auto random_domain_value = [&rng, &options]() {
+    return Value(static_cast<int64_t>(rng() % options.domain_size) - 1);
+  };
+  auto percent = [&rng](int p) { return static_cast<int>(rng() % 100) < p; };
+  Database db;
+  std::set<std::pair<std::string, Tuple>> seen;
+  std::set<std::string> generated_relations;
+  for (const Atom& atom : q.atoms()) {
+    if (!generated_relations.insert(atom.relation).second) continue;
+    for (int i = 0; i < options.facts_per_relation; ++i) {
+      // A few attempts to find a fresh tuple; duplicates are skipped.
+      for (int attempt = 0; attempt < 20; ++attempt) {
+        Tuple args;
+        args.reserve(atom.terms.size());
+        for (const Term& term : atom.terms) {
+          if (term.is_constant() && percent(options.constant_match_percent)) {
+            args.push_back(term.constant());
+          } else {
+            args.push_back(random_domain_value());
+          }
+        }
+        if (seen.insert({atom.relation, args}).second) {
+          db.AddFact(atom.relation, std::move(args),
+                     percent(options.endogenous_percent));
+          break;
+        }
+      }
+    }
+  }
+  return db;
+}
+
+SetCoverInstance RandomSetCover(int universe_size, int num_sets,
+                                int max_set_size, uint64_t seed) {
+  SHAPCQ_CHECK(universe_size >= 1 && num_sets >= 1 && max_set_size >= 1);
+  std::mt19937_64 rng(seed);
+  SetCoverInstance instance;
+  instance.universe_size = universe_size;
+  for (int s = 0; s < num_sets; ++s) {
+    int size = 1 + static_cast<int>(rng() % max_set_size);
+    std::set<int> members;
+    // Make full coverage likely: seed each set with a rotating element.
+    members.insert(1 + (s % universe_size));
+    while (static_cast<int>(members.size()) < size) {
+      members.insert(1 + static_cast<int>(rng() % universe_size));
+    }
+    instance.sets.emplace_back(members.begin(), members.end());
+  }
+  return instance;
+}
+
+Database SetCoverAvgDatabase(const SetCoverInstance& instance, int q, int r,
+                             FactId* distinguished) {
+  SHAPCQ_CHECK(q >= 0 && r >= 0);
+  const int n = instance.universe_size;
+  const int m = static_cast<int>(instance.sets.size());
+  Database db;
+  // R(−i, j) for every element i covered by set Y_j (sets are 1-indexed).
+  for (int j = 1; j <= m; ++j) {
+    for (int i : instance.sets[static_cast<size_t>(j - 1)]) {
+      SHAPCQ_CHECK(i >= 1 && i <= n);
+      db.AddExogenous("R", {Value(-i), Value(j)});
+    }
+  }
+  // R(−n−i, m+1) for i = 1..q+1.
+  for (int i = 1; i <= q + 1; ++i) {
+    db.AddExogenous("R", {Value(-n - i), Value(m + 1)});
+  }
+  // R(1, m+1+j) for j = 1..r.
+  for (int j = 1; j <= r; ++j) {
+    db.AddExogenous("R", {Value(1), Value(m + 1 + j)});
+  }
+  db.AddExogenous("R", {Value(1), Value(0)});
+  // Endogenous S facts.
+  FactId s_zero = db.AddEndogenous("S", {Value(0)});
+  for (int j = 1; j <= m; ++j) db.AddEndogenous("S", {Value(j)});
+  for (int j = 1; j <= r; ++j) db.AddEndogenous("S", {Value(m + 1 + j)});
+  // Exogenous S(m+1).
+  db.AddExogenous("S", {Value(m + 1)});
+  if (distinguished != nullptr) *distinguished = s_zero;
+  return db;
+}
+
+Database SetCoverQuantileDatabase(const SetCoverInstance& instance, int a,
+                                  int b) {
+  SHAPCQ_CHECK(0 < a && a < b);
+  const int n = instance.universe_size;
+  const int m = static_cast<int>(instance.sets.size());
+  Database db;
+  const int block = b * (b - a);
+  // R(j·b·(b−a) − ℓ, i) for each element j of set Y_i, ℓ = 0..b(b−a)−1.
+  for (int i = 1; i <= m; ++i) {
+    for (int j : instance.sets[static_cast<size_t>(i - 1)]) {
+      for (int l = 0; l < block; ++l) {
+        db.AddExogenous("R", {Value(j * block - l), Value(i)});
+      }
+    }
+  }
+  // R(−ℓ, 0) for ℓ = 1..b·a·n.
+  for (int l = 1; l <= b * a * n; ++l) {
+    db.AddExogenous("R", {Value(-l), Value(0)});
+  }
+  // R(n·b·(b−a) + 1, 0).
+  db.AddExogenous("R", {Value(n * block + 1), Value(0)});
+  // S facts: S(i) endogenous for i = 1..m, S(0) exogenous.
+  for (int i = 1; i <= m; ++i) db.AddEndogenous("S", {Value(i)});
+  db.AddExogenous("S", {Value(0)});
+  return db;
+}
+
+Database ExactCoverDupDatabase(const SetCoverInstance& instance, int r,
+                               FactId* distinguished) {
+  SHAPCQ_CHECK(r >= 0);
+  const int m = static_cast<int>(instance.sets.size());
+  Database db;
+  // R(i, j) for every element i of set Y_j.
+  for (int j = 1; j <= m; ++j) {
+    for (int i : instance.sets[static_cast<size_t>(j - 1)]) {
+      db.AddExogenous("R", {Value(i), Value(j)});
+    }
+  }
+  db.AddExogenous("R", {Value(0), Value(0)});
+  db.AddExogenous("R", {Value(-1), Value(-1)});
+  for (int rp = 1; rp <= r; ++rp) {
+    db.AddExogenous("R", {Value(-2), Value(m + rp)});
+  }
+  // S facts.
+  db.AddExogenous("S", {Value(-1)});
+  FactId s_zero = db.AddEndogenous("S", {Value(0)});
+  for (int j = 1; j <= m; ++j) db.AddEndogenous("S", {Value(j)});
+  for (int rp = 1; rp <= r; ++rp) db.AddEndogenous("S", {Value(m + rp)});
+  if (distinguished != nullptr) *distinguished = s_zero;
+  return db;
+}
+
+}  // namespace shapcq

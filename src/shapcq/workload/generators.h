@@ -1,0 +1,74 @@
+// Synthetic workload generators.
+//
+// RandomDatabaseForQuery builds seeded random databases shaped to a given
+// CQ (shared join domains so answers actually exist); the hardness
+// constructions reproduce the databases used in the paper's lower-bound
+// proofs and serve as adversarial workloads for the benchmarks:
+//
+//  * SetCoverAvgDatabase — Figure 3 / Lemma D.3: #Set-Cover instances
+//    embedded into Avg ∘ τ_ReLU ∘ Q_xyy databases D_{q,r}.
+//  * SetCoverQuantileDatabase — Lemma D.4: the Set-Cover game embedded into
+//    Qnt_q ∘ τ_{>0} ∘ Q_xyy.
+//  * ExactCoverDupDatabase — Lemma E.2: exact-cover (permanent) instances
+//    embedded into Dup ∘ τ_ReLU ∘ Q_xyy databases D_r.
+
+#ifndef SHAPCQ_WORKLOAD_GENERATORS_H_
+#define SHAPCQ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shapcq/data/database.h"
+#include "shapcq/query/cq.h"
+
+namespace shapcq {
+
+struct RandomDatabaseOptions {
+  int facts_per_relation = 6;
+  // Join-column constants are drawn from {-1, 0, ..., domain_size - 2}
+  // (includes a negative value so ReLU-style value functions are exercised).
+  int domain_size = 4;
+  // Probability (in percent) that a generated fact matches the constants of
+  // its atom (facts that do not match are irrelevant padding).
+  int constant_match_percent = 80;
+  // Probability (in percent) that a fact is endogenous.
+  int endogenous_percent = 70;
+  uint64_t seed = 1;
+};
+
+// A random database over the relations of `q`. Deterministic per options.
+Database RandomDatabaseForQuery(const ConjunctiveQuery& q,
+                                const RandomDatabaseOptions& options);
+
+// A #Set-Cover input: universe {1..n} and a list of subsets.
+struct SetCoverInstance {
+  int universe_size = 0;
+  std::vector<std::vector<int>> sets;
+};
+
+// A seeded random set-cover instance.
+SetCoverInstance RandomSetCover(int universe_size, int num_sets,
+                                int max_set_size, uint64_t seed);
+
+// The paper's database D_{q,r} for the Avg reduction (Figure 3), over the
+// schema of Q_xyy(x) <- R(x, y), S(y). `distinguished`, if non-null,
+// receives the fact id of S(0) (the fact whose Shapley value encodes the
+// cover counts).
+Database SetCoverAvgDatabase(const SetCoverInstance& instance, int q, int r,
+                             FactId* distinguished);
+
+// The Lemma D.4 database for Qnt_{a/b} ∘ τ_{>0} ∘ Q_xyy: the Shapley value
+// of S(i) equals the Shapley value of set i in the Set-Cover game.
+// Requires 0 < a < b.
+Database SetCoverQuantileDatabase(const SetCoverInstance& instance, int a,
+                                  int b);
+
+// The Lemma E.2 database D_r for Dup ∘ τ_ReLU ∘ Q_xyy, built from an
+// exact-cover instance (sets of size 2 encode a permanent). `distinguished`
+// receives the id of S(0).
+Database ExactCoverDupDatabase(const SetCoverInstance& instance, int r,
+                               FactId* distinguished);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_WORKLOAD_GENERATORS_H_

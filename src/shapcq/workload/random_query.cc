@@ -1,0 +1,190 @@
+#include "shapcq/workload/random_query.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// One component: a random chain/tree of variables with atoms as paths.
+struct Component {
+  // parent[i] is the parent node of node i (-1 for the root at index 0).
+  std::vector<int> parent;
+  // Nodes whose root-paths appear as atoms (always includes a leaf-most
+  // node so every variable occurs somewhere).
+  std::vector<int> atom_nodes;
+};
+
+Component RandomTree(int max_variables, std::mt19937_64* rng) {
+  Component component;
+  int n = 1 + static_cast<int>((*rng)() % static_cast<uint64_t>(
+                                   std::max(1, max_variables)));
+  component.parent.assign(static_cast<size_t>(n), -1);
+  for (int i = 1; i < n; ++i) {
+    component.parent[static_cast<size_t>(i)] =
+        static_cast<int>((*rng)() % static_cast<uint64_t>(i));
+  }
+  // Atoms: each node is an atom-node with probability 1/2; always include
+  // the last node so the deepest path is materialized.
+  for (int i = 0; i < n; ++i) {
+    if (i == n - 1 || ((*rng)() & 1) != 0) component.atom_nodes.push_back(i);
+  }
+  return component;
+}
+
+std::vector<int> PathToRoot(const Component& component, int node) {
+  std::vector<int> path;
+  for (int v = node; v >= 0; v = component.parent[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  return path;  // node .. root
+}
+
+// Ancestor-or-self test in the tree.
+bool IsAncestorOrSelf(const Component& component, int ancestor, int node) {
+  for (int v = node; v >= 0; v = component.parent[static_cast<size_t>(v)]) {
+    if (v == ancestor) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ConjunctiveQuery RandomQueryOfClass(HierarchyClass target,
+                                    const RandomQueryOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::string> head;
+    std::vector<Atom> atoms;
+    int relation_counter = 0;
+    int variable_counter = 0;
+    for (int c = 0; c < std::max(1, options.components); ++c) {
+      Component component = RandomTree(options.max_variables, &rng);
+      int n = static_cast<int>(component.parent.size());
+      // Variable names for this component.
+      std::vector<std::string> names;
+      for (int i = 0; i < n; ++i) {
+        names.push_back("v" + std::to_string(variable_counter++));
+      }
+      // Materialize atoms (path root..node, root first) and track which
+      // variables actually occur (only those may become free).
+      std::vector<char> occurs(static_cast<size_t>(n), 0);
+      for (int node : component.atom_nodes) {
+        Atom atom;
+        atom.relation = "Rel" + std::to_string(relation_counter++);
+        std::vector<int> path = PathToRoot(component, node);
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          occurs[static_cast<size_t>(*it)] = 1;
+          atom.terms.push_back(
+              Term::Variable(names[static_cast<size_t>(*it)]));
+        }
+        atoms.push_back(std::move(atom));
+      }
+      // Choose the free variables of this component per target class.
+      std::vector<char> free_flag(static_cast<size_t>(n), 0);
+      switch (target) {
+        case HierarchyClass::kSqHierarchical: {
+          // Free set: variables that occur in EVERY atom of the component:
+          // ancestors-or-self of all atom nodes. Take a random prefix of
+          // the common ancestor chain (possibly empty -> Boolean part).
+          std::vector<int> common;
+          for (int v = 0; v < n; ++v) {
+            bool in_all = true;
+            for (int node : component.atom_nodes) {
+              if (!IsAncestorOrSelf(component, v, node)) {
+                in_all = false;
+                break;
+              }
+            }
+            if (in_all) common.push_back(v);
+          }
+          for (int v : common) {
+            if ((rng() & 1) != 0) free_flag[static_cast<size_t>(v)] = 1;
+          }
+          break;
+        }
+        case HierarchyClass::kQHierarchical: {
+          // Upward-closed free set: mark random nodes free together with
+          // all their ancestors.
+          for (int v = 0; v < n; ++v) {
+            if (occurs[static_cast<size_t>(v)] != 0 && (rng() & 1) != 0) {
+              for (int u = v; u >= 0;
+                   u = component.parent[static_cast<size_t>(u)]) {
+                free_flag[static_cast<size_t>(u)] = 1;
+              }
+            }
+          }
+          break;
+        }
+        case HierarchyClass::kAllHierarchical: {
+          // Deliberately NOT upward-closed: free an occurring non-root
+          // node whose parent chain stays existential (needs n >= 2).
+          std::vector<int> candidates;
+          for (int v = 1; v < n; ++v) {
+            if (occurs[static_cast<size_t>(v)] != 0) candidates.push_back(v);
+          }
+          if (!candidates.empty()) {
+            int v = candidates[rng() % candidates.size()];
+            free_flag[static_cast<size_t>(v)] = 1;
+          }
+          break;
+        }
+        case HierarchyClass::kExistsHierarchical:
+        case HierarchyClass::kGeneral: {
+          // Start from a q-hierarchical-ish core; the breaking pattern is
+          // appended after the loop.
+          for (int v = 0; v < n; ++v) {
+            if (occurs[static_cast<size_t>(v)] == 0) continue;
+            if ((rng() & 1) != 0) {
+              for (int u = v; u >= 0;
+                   u = component.parent[static_cast<size_t>(u)]) {
+                free_flag[static_cast<size_t>(u)] = 1;
+              }
+            }
+          }
+          break;
+        }
+      }
+      for (int v = 0; v < n; ++v) {
+        if (free_flag[static_cast<size_t>(v)] != 0) {
+          head.push_back(names[static_cast<size_t>(v)]);
+        }
+      }
+    }
+    // Class-breaking patterns (their own fresh component).
+    if (target == HierarchyClass::kExistsHierarchical ||
+        target == HierarchyClass::kGeneral) {
+      std::string x = "bx" + std::to_string(variable_counter++);
+      std::string y = "by" + std::to_string(variable_counter++);
+      Atom r{"Rel" + std::to_string(relation_counter++),
+             {Term::Variable(x)}};
+      Atom s{"Rel" + std::to_string(relation_counter++),
+             {Term::Variable(x), Term::Variable(y)}};
+      Atom t{"Rel" + std::to_string(relation_counter++),
+             {Term::Variable(y)}};
+      atoms.push_back(std::move(r));
+      atoms.push_back(std::move(s));
+      atoms.push_back(std::move(t));
+      if (target == HierarchyClass::kExistsHierarchical) {
+        // Free x and y: the non-hierarchical pair is free, existential
+        // variables stay hierarchical.
+        head.push_back(x);
+        head.push_back(y);
+      }
+      // kGeneral: x, y existential -> breaks ∃-hierarchy.
+    }
+    StatusOr<ConjunctiveQuery> q =
+        ConjunctiveQuery::Create("Q", head, atoms);
+    SHAPCQ_CHECK(q.ok());
+    if (Classify(*q) == target) return std::move(q).value();
+    // Retry with fresh randomness (the free-variable coin flips sometimes
+    // land in a more specific class, e.g. all free -> sq).
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+}  // namespace shapcq

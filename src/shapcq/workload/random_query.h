@@ -1,0 +1,46 @@
+// Random conjunctive-query generator, stratified by hierarchy class.
+//
+// Hierarchical CQs are exactly the CQs whose variables form a forest in
+// which every atom's variable set is a root-to-node path. The generator
+// builds such a forest, materializes a random subset of paths as atoms,
+// and then chooses the free variables to land the query in a requested
+// class of Figure 1:
+//
+//   * sq-hierarchical: per component, either no free variables or all free
+//     variables are path-ancestors of every atom (here: the component
+//     root, plus full-path variables when a single chain is used);
+//   * q-hierarchical: free variables are upward-closed in the forest;
+//   * all-hierarchical (not q): some free variable has an existential
+//     proper ancestor;
+//   * ∃-hierarchical (not all): an R(x), S(x,y), T(y) pattern over free
+//     x, y is appended;
+//   * general: the same pattern with existential x, y.
+//
+// Used by the differential test harness and the ablation benchmarks.
+
+#ifndef SHAPCQ_WORKLOAD_RANDOM_QUERY_H_
+#define SHAPCQ_WORKLOAD_RANDOM_QUERY_H_
+
+#include <cstdint>
+
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/cq.h"
+
+namespace shapcq {
+
+struct RandomQueryOptions {
+  // Number of tree nodes (= candidate variables) per component.
+  int max_variables = 4;
+  int components = 1;  // independent components (cross product)
+  uint64_t seed = 1;
+};
+
+// Generates a random self-join-free CQ whose Classify(...) is EXACTLY
+// `target` (the generator retries internally until the class is hit, which
+// is guaranteed to terminate by construction).
+ConjunctiveQuery RandomQueryOfClass(HierarchyClass target,
+                                    const RandomQueryOptions& options);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_WORKLOAD_RANDOM_QUERY_H_

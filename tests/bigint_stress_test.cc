@@ -1,0 +1,145 @@
+// Differential stress tests for BigInt against native __int128 arithmetic,
+// plus algebraic identities at sizes far beyond native integers. The DP
+// engines lean entirely on this substrate, so it gets fuzz-level scrutiny.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/util/bigint.h"
+#include "shapcq/util/combinatorics.h"
+#include "shapcq/util/rational.h"
+
+namespace shapcq {
+namespace {
+
+BigInt FromInt128(__int128 v) {
+  bool negative = v < 0;
+  unsigned __int128 magnitude =
+      negative ? -static_cast<unsigned __int128>(v)
+               : static_cast<unsigned __int128>(v);
+  BigInt result;
+  for (int shift = 96; shift >= 0; shift -= 32) {
+    result = result * BigInt::TwoPow(32) +
+             BigInt(static_cast<int64_t>((magnitude >> shift) & 0xffffffffu));
+  }
+  return negative ? -result : result;
+}
+
+TEST(BigIntStressTest, AdditionSubtractionVsInt128) {
+  std::mt19937_64 rng(101);
+  for (int trial = 0; trial < 3000; ++trial) {
+    __int128 a = static_cast<__int128>(static_cast<int64_t>(rng())) *
+                 static_cast<int64_t>(rng() % 1000 + 1);
+    __int128 b = static_cast<__int128>(static_cast<int64_t>(rng())) *
+                 static_cast<int64_t>(rng() % 1000 + 1);
+    EXPECT_EQ(FromInt128(a) + FromInt128(b), FromInt128(a + b));
+    EXPECT_EQ(FromInt128(a) - FromInt128(b), FromInt128(a - b));
+  }
+}
+
+TEST(BigIntStressTest, MultiplicationVsInt128) {
+  std::mt19937_64 rng(202);
+  for (int trial = 0; trial < 3000; ++trial) {
+    int64_t a = static_cast<int64_t>(rng());
+    int64_t b = static_cast<int64_t>(rng());
+    __int128 product = static_cast<__int128>(a) * b;
+    EXPECT_EQ(BigInt(a) * BigInt(b), FromInt128(product));
+  }
+}
+
+TEST(BigIntStressTest, DivisionVsInt128) {
+  std::mt19937_64 rng(303);
+  for (int trial = 0; trial < 3000; ++trial) {
+    __int128 a = static_cast<__int128>(static_cast<int64_t>(rng())) *
+                 static_cast<int64_t>(rng() % 100000 + 1);
+    int64_t b = static_cast<int64_t>(rng() % 2000000) - 1000000;
+    if (b == 0) continue;
+    EXPECT_EQ(FromInt128(a) / BigInt(b), FromInt128(a / b));
+    EXPECT_EQ(FromInt128(a) % BigInt(b), FromInt128(a % b));
+  }
+}
+
+TEST(BigIntStressTest, ComparisonVsInt128) {
+  std::mt19937_64 rng(404);
+  for (int trial = 0; trial < 3000; ++trial) {
+    __int128 a = static_cast<__int128>(static_cast<int64_t>(rng())) *
+                 static_cast<int64_t>(rng() % 97 - 48);
+    __int128 b = static_cast<__int128>(static_cast<int64_t>(rng())) *
+                 static_cast<int64_t>(rng() % 97 - 48);
+    EXPECT_EQ(BigInt::Compare(FromInt128(a), FromInt128(b)),
+              a < b ? -1 : (a > b ? 1 : 0));
+  }
+}
+
+TEST(BigIntStressTest, HugeDivisionIdentity) {
+  // Random 300-bit / 150-bit divisions: q*b + r == a, |r| < |b|.
+  std::mt19937_64 rng(505);
+  auto random_big = [&rng](int limbs) {
+    BigInt out;
+    for (int i = 0; i < limbs; ++i) {
+      out = out * BigInt::TwoPow(32) +
+            BigInt(static_cast<int64_t>(rng() & 0xffffffffu));
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    BigInt a = random_big(10);
+    BigInt b = random_big(5) + BigInt(1);
+    if (rng() & 1) a.Negate();
+    if (rng() & 1) b.Negate();
+    BigInt quotient, remainder;
+    BigInt::DivMod(a, b, &quotient, &remainder);
+    EXPECT_EQ(quotient * b + remainder, a);
+    BigInt abs_r = remainder.is_negative() ? -remainder : remainder;
+    BigInt abs_b = b.is_negative() ? -b : b;
+    EXPECT_LT(abs_r, abs_b);
+  }
+}
+
+TEST(BigIntStressTest, PowAndStringRoundTripHuge) {
+  BigInt big = BigInt::Pow(BigInt(7), 200);
+  auto parsed = BigInt::FromString(big.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, big);
+  EXPECT_EQ(BigInt::Pow(BigInt(7), 200),
+            BigInt::Pow(BigInt(7), 100) * BigInt::Pow(BigInt(7), 100));
+  EXPECT_EQ(big % BigInt(7), BigInt(0));
+  EXPECT_EQ(big % BigInt(6), BigInt(1));  // 7 ≡ 1 (mod 6)
+}
+
+TEST(BigIntStressTest, FactorialRatios) {
+  // n! / (n-1)! == n for large n: exercises multi-limb division.
+  Combinatorics comb;
+  for (int64_t n : {50, 100, 200, 400}) {
+    EXPECT_EQ(comb.Factorial(n) / comb.Factorial(n - 1), BigInt(n));
+    EXPECT_EQ(comb.Factorial(n) % comb.Factorial(n - 1), BigInt(0));
+  }
+}
+
+TEST(BigIntStressTest, RationalTelescopingAtScale) {
+  // Σ 1/(k(k+1)) = 1 − 1/(n+1): deep gcd normalization chains.
+  Rational sum;
+  const int64_t n = 500;
+  for (int64_t k = 1; k <= n; ++k) {
+    sum += Rational(BigInt(1), BigInt(k) * BigInt(k + 1));
+  }
+  EXPECT_EQ(sum, Rational(1) - Rational(BigInt(1), BigInt(n + 1)));
+}
+
+TEST(BigIntStressTest, ShapleyCoefficientsSumAtScale) {
+  // Σ_k C(n−1,k) q_k = 1 for n = 150 (the identity the score extraction
+  // relies on, at a size the engines actually reach).
+  Combinatorics comb;
+  const int64_t n = 150;
+  Rational total;
+  for (int64_t k = 0; k < n; ++k) {
+    total += Rational(comb.Binomial(n - 1, k)) *
+             comb.ShapleyCoefficient(n, k);
+  }
+  EXPECT_EQ(total, Rational(1));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,227 @@
+#include "shapcq/util/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shapcq {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-42}, int64_t{1} << 40, -(int64_t{1} << 40),
+                    INT64_MAX, INT64_MIN}) {
+    BigInt big(v);
+    ASSERT_TRUE(big.FitsInInt64()) << v;
+    EXPECT_EQ(big.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, Int64MinMaxStrings) {
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringParsesAndRoundTrips) {
+  auto parsed = BigInt::FromString("123456789012345678901234567890");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "123456789012345678901234567890");
+
+  auto negative = BigInt::FromString("-987654321098765432109876543210");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->ToString(), "-987654321098765432109876543210");
+
+  auto plus = BigInt::FromString("+17");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(plus->ToInt64(), 17);
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12x4").ok());
+  EXPECT_FALSE(BigInt::FromString("0.5").ok());
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToInt64(), 5);
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToInt64(), 1);
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToInt64(), -1);
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToInt64(), -5);
+  EXPECT_TRUE((BigInt(7) + BigInt(-7)).is_zero());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt almost = *BigInt::FromString("4294967295");  // 2^32 - 1
+  EXPECT_EQ((almost + BigInt(1)).ToString(), "4294967296");
+  BigInt big = *BigInt::FromString("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((big + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionBasics) {
+  EXPECT_EQ((BigInt(10) - BigInt(4)).ToInt64(), 6);
+  EXPECT_EQ((BigInt(4) - BigInt(10)).ToInt64(), -6);
+  BigInt x = *BigInt::FromString("100000000000000000000");
+  BigInt y = *BigInt::FromString("99999999999999999999");
+  EXPECT_EQ((x - y).ToInt64(), 1);
+}
+
+TEST(BigIntTest, SelfSubtractionIsZero) {
+  BigInt x = *BigInt::FromString("123456789123456789");
+  x -= x;
+  EXPECT_TRUE(x.is_zero());
+}
+
+TEST(BigIntTest, MultiplicationBasics) {
+  EXPECT_EQ((BigInt(6) * BigInt(7)).ToInt64(), 42);
+  EXPECT_EQ((BigInt(-6) * BigInt(7)).ToInt64(), -42);
+  EXPECT_EQ((BigInt(-6) * BigInt(-7)).ToInt64(), 42);
+  EXPECT_TRUE((BigInt(0) * BigInt(12345)).is_zero());
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  BigInt x = *BigInt::FromString("123456789012345678901234567890");
+  BigInt y = *BigInt::FromString("987654321098765432109876543210");
+  EXPECT_EQ((x * y).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionBasics) {
+  EXPECT_EQ((BigInt(42) / BigInt(7)).ToInt64(), 6);
+  EXPECT_EQ((BigInt(43) / BigInt(7)).ToInt64(), 6);
+  EXPECT_EQ((BigInt(43) % BigInt(7)).ToInt64(), 1);
+  // Truncated division semantics (like C++).
+  EXPECT_EQ((BigInt(-43) / BigInt(7)).ToInt64(), -6);
+  EXPECT_EQ((BigInt(-43) % BigInt(7)).ToInt64(), -1);
+  EXPECT_EQ((BigInt(43) / BigInt(-7)).ToInt64(), -6);
+  EXPECT_EQ((BigInt(43) % BigInt(-7)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, DivisionByLargerYieldsZero) {
+  EXPECT_TRUE((BigInt(3) / BigInt(7)).is_zero());
+  EXPECT_EQ((BigInt(3) % BigInt(7)).ToInt64(), 3);
+}
+
+TEST(BigIntTest, MultiLimbDivisionIdentity) {
+  std::mt19937_64 rng(20250916);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Build random multi-limb values from products and sums of int64s.
+    BigInt a = BigInt(static_cast<int64_t>(rng())) *
+                   BigInt(static_cast<int64_t>(rng())) +
+               BigInt(static_cast<int64_t>(rng()));
+    BigInt b = BigInt(static_cast<int64_t>(rng() % 1000000007 + 1)) *
+                   BigInt(static_cast<int64_t>(rng() % 97 + 1)) +
+               BigInt(1);
+    BigInt quotient, remainder;
+    BigInt::DivMod(a, b, &quotient, &remainder);
+    EXPECT_EQ(quotient * b + remainder, a);
+    // |remainder| < |b|.
+    BigInt abs_rem = remainder.is_negative() ? -remainder : remainder;
+    BigInt abs_b = b.is_negative() ? -b : b;
+    EXPECT_LT(abs_rem, abs_b);
+  }
+}
+
+TEST(BigIntTest, KnuthDivisionHardCases) {
+  // Exercise the add-back branch territory: dividends just below multiples.
+  BigInt base = BigInt::TwoPow(96);
+  for (int64_t delta : {-3, -2, -1, 0, 1, 2, 3}) {
+    BigInt divisor = BigInt::TwoPow(64) + BigInt(delta);
+    BigInt dividend = base * divisor + BigInt(delta * delta);
+    BigInt quotient, remainder;
+    BigInt::DivMod(dividend, divisor, &quotient, &remainder);
+    EXPECT_EQ(quotient * divisor + remainder, dividend) << delta;
+  }
+}
+
+TEST(BigIntTest, PowAndTwoPow) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow(BigInt(-3), 3).ToInt64(), -27);
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 30).ToString(),
+            "1000000000000000000000000000000");
+  EXPECT_EQ(BigInt::TwoPow(0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::TwoPow(32).ToString(), "4294967296");
+  EXPECT_EQ(BigInt::TwoPow(100), BigInt::Pow(BigInt(2), 100));
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)).ToInt64(), 5);
+  EXPECT_TRUE(BigInt::Gcd(BigInt(0), BigInt(0)).is_zero());
+  EXPECT_EQ(BigInt::Gcd(BigInt::Pow(BigInt(2), 100) * BigInt(9),
+                        BigInt::Pow(BigInt(2), 90) * BigInt(15))
+                .ToString(),
+            (BigInt::Pow(BigInt(2), 90) * BigInt(3)).ToString());
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_LE(BigInt(3), BigInt(3));
+  EXPECT_LT(*BigInt::FromString("99999999999999999999"),
+            *BigInt::FromString("100000000000000000000"));
+  EXPECT_GT(*BigInt::FromString("-99999999999999999999"),
+            *BigInt::FromString("-100000000000000000000"));
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(123).ToDouble(), 123.0);
+  EXPECT_DOUBLE_EQ(BigInt(-123).ToDouble(), -123.0);
+  EXPECT_NEAR(BigInt::TwoPow(64).ToDouble(), 1.8446744073709552e19, 1e5);
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0);
+  EXPECT_EQ(BigInt(1).BitLength(), 1);
+  EXPECT_EQ(BigInt(255).BitLength(), 8);
+  EXPECT_EQ(BigInt(256).BitLength(), 9);
+  EXPECT_EQ(BigInt::TwoPow(100).BitLength(), 101);
+}
+
+TEST(BigIntTest, RandomizedStringRoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    if (rng() % 2 == 0) text.push_back('-');
+    int digits = 1 + static_cast<int>(rng() % 60);
+    text.push_back(static_cast<char>('1' + rng() % 9));
+    for (int i = 1; i < digits; ++i) {
+      text.push_back(static_cast<char>('0' + rng() % 10));
+    }
+    auto parsed = BigInt::FromString(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(BigIntTest, RandomizedArithmeticMatchesInt64) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    int64_t a = static_cast<int64_t>(rng() % 2000001) - 1000000;
+    int64_t b = static_cast<int64_t>(rng() % 2000001) - 1000000;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToInt64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToInt64(), a - b);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToInt64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).ToInt64(), a / b);
+      EXPECT_EQ((BigInt(a) % BigInt(b)).ToInt64(), a % b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

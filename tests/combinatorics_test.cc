@@ -1,0 +1,88 @@
+#include "shapcq/util/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+namespace shapcq {
+namespace {
+
+TEST(CombinatoricsTest, FactorialBasics) {
+  Combinatorics comb;
+  EXPECT_EQ(comb.Factorial(0).ToInt64(), 1);
+  EXPECT_EQ(comb.Factorial(1).ToInt64(), 1);
+  EXPECT_EQ(comb.Factorial(5).ToInt64(), 120);
+  EXPECT_EQ(comb.Factorial(20).ToString(), "2432902008176640000");
+  EXPECT_EQ(comb.Factorial(25).ToString(), "15511210043330985984000000");
+}
+
+TEST(CombinatoricsTest, BinomialBasics) {
+  Combinatorics comb;
+  EXPECT_EQ(comb.Binomial(0, 0).ToInt64(), 1);
+  EXPECT_EQ(comb.Binomial(5, 2).ToInt64(), 10);
+  EXPECT_EQ(comb.Binomial(5, 0).ToInt64(), 1);
+  EXPECT_EQ(comb.Binomial(5, 5).ToInt64(), 1);
+  EXPECT_TRUE(comb.Binomial(5, 6).is_zero());
+  EXPECT_TRUE(comb.Binomial(5, -1).is_zero());
+  EXPECT_EQ(comb.Binomial(60, 30).ToString(), "118264581564861424");
+}
+
+TEST(CombinatoricsTest, PascalIdentity) {
+  Combinatorics comb;
+  for (int64_t n = 1; n <= 40; ++n) {
+    for (int64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(comb.Binomial(n, k),
+                comb.Binomial(n - 1, k - 1) + comb.Binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, BinomialRowSumsToTwoPow) {
+  Combinatorics comb;
+  for (int64_t n = 0; n <= 64; n += 16) {
+    BigInt sum;
+    for (int64_t k = 0; k <= n; ++k) sum += comb.Binomial(n, k);
+    EXPECT_EQ(sum, BigInt::TwoPow(static_cast<uint64_t>(n)));
+  }
+}
+
+TEST(CombinatoricsTest, ShapleyCoefficientsMatchFactorialFormula) {
+  Combinatorics comb;
+  for (int64_t n = 1; n <= 12; ++n) {
+    for (int64_t k = 0; k < n; ++k) {
+      Rational expected(comb.Factorial(k) * comb.Factorial(n - k - 1),
+                        comb.Factorial(n));
+      EXPECT_EQ(comb.ShapleyCoefficient(n, k), expected)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, ShapleyCoefficientsSumToOneOverSizes) {
+  // sum_k C(n-1,k) * q_k = 1: the coefficients are a probability
+  // distribution over the possible coalition sizes before a fixed player.
+  Combinatorics comb;
+  for (int64_t n = 1; n <= 20; ++n) {
+    Rational total;
+    for (int64_t k = 0; k < n; ++k) {
+      total += Rational(comb.Binomial(n - 1, k)) * comb.ShapleyCoefficient(n, k);
+    }
+    EXPECT_EQ(total, Rational(1)) << "n=" << n;
+  }
+}
+
+TEST(CombinatoricsTest, HarmonicNumbers) {
+  Combinatorics comb;
+  EXPECT_EQ(comb.Harmonic(0), Rational(0));
+  EXPECT_EQ(comb.Harmonic(1), Rational(1));
+  EXPECT_EQ(comb.Harmonic(2), Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(comb.Harmonic(4), Rational(BigInt(25), BigInt(12)));
+}
+
+TEST(CombinatoricsTest, StatelessHelpersAgree) {
+  Combinatorics comb;
+  EXPECT_EQ(Factorial(10), comb.Factorial(10));
+  EXPECT_EQ(Binomial(30, 12), comb.Binomial(30, 12));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/data/csv.h"
+#include "shapcq/data/database.h"
+#include "shapcq/data/value.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value i(42);
+  Value d(2.5);
+  Value s("hello");
+  EXPECT_EQ(i.kind(), Value::Kind::kInt);
+  EXPECT_EQ(d.kind(), Value::Kind::kDouble);
+  EXPECT_EQ(s.kind(), Value::Kind::kString);
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_TRUE(i.is_numeric());
+  EXPECT_TRUE(d.is_numeric());
+  EXPECT_FALSE(s.is_numeric());
+}
+
+TEST(ValueTest, CrossKindNumericEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value(-1), Value("a"));  // numbers before strings
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1000000), Value("0"));
+}
+
+TEST(ValueTest, AsRationalExact) {
+  EXPECT_EQ(Value(7).AsRational(), Rational(7));
+  EXPECT_EQ(Value(0.5).AsRational(), Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(Value(-3).AsRational(), Rational(-3));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+  EXPECT_EQ(TupleToString({Value(1), Value("a")}), "(1, 'a')");
+}
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  FactId f1 = db.AddEndogenous("R", {Value(1), Value(2)});
+  FactId f2 = db.AddExogenous("S", {Value(3)});
+  EXPECT_EQ(db.num_facts(), 2);
+  EXPECT_EQ(db.num_endogenous(), 1);
+  EXPECT_EQ(db.fact(f1).relation, "R");
+  EXPECT_TRUE(db.fact(f1).endogenous);
+  EXPECT_FALSE(db.fact(f2).endogenous);
+  EXPECT_TRUE(db.Contains("R", {Value(1), Value(2)}));
+  EXPECT_FALSE(db.Contains("R", {Value(1), Value(3)}));
+  EXPECT_FALSE(db.Contains("T", {Value(1)}));
+  auto found = db.FindFact("S", {Value(3)});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, f2);
+}
+
+TEST(DatabaseTest, RelationIndexesAndArity) {
+  Database db;
+  db.AddEndogenous("R", {Value(1), Value(2)});
+  db.AddEndogenous("R", {Value(2), Value(3)});
+  db.AddEndogenous("S", {Value(5)});
+  EXPECT_EQ(db.FactsOf("R").size(), 2u);
+  EXPECT_EQ(db.FactsOf("S").size(), 1u);
+  EXPECT_TRUE(db.FactsOf("T").empty());
+  EXPECT_EQ(db.Arity("R"), 2);
+  EXPECT_EQ(db.Arity("S"), 1);
+  std::vector<std::string> names = db.relation_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"R", "S"}));
+}
+
+TEST(DatabaseTest, EndogenousExogenousPartition) {
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddExogenous("R", {Value(2)});
+  db.AddEndogenous("R", {Value(3)});
+  std::vector<FactId> endo = db.EndogenousFacts();
+  std::vector<FactId> exo = db.ExogenousFacts();
+  EXPECT_EQ(endo.size(), 2u);
+  EXPECT_EQ(exo.size(), 1u);
+  std::unordered_set<FactId> all(endo.begin(), endo.end());
+  all.insert(exo.begin(), exo.end());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(DatabaseTest, WithFactExogenousPreservesIds) {
+  Database db;
+  FactId f = db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("R", {Value(2)});
+  Database modified = db.WithFactExogenous(f);
+  EXPECT_EQ(modified.num_endogenous(), 1);
+  EXPECT_FALSE(modified.fact(f).endogenous);
+  EXPECT_EQ(modified.fact(f).args, db.fact(f).args);
+  // Original untouched.
+  EXPECT_TRUE(db.fact(f).endogenous);
+}
+
+TEST(DatabaseTest, WithoutFactRemapsIds) {
+  Database db;
+  FactId a = db.AddEndogenous("R", {Value(1)});
+  FactId b = db.AddEndogenous("R", {Value(2)});
+  FactId c = db.AddExogenous("S", {Value(3)});
+  std::vector<FactId> old_to_new;
+  Database without = db.WithoutFact(b, &old_to_new);
+  EXPECT_EQ(without.num_facts(), 2);
+  EXPECT_EQ(old_to_new[static_cast<size_t>(b)], -1);
+  EXPECT_EQ(without.fact(old_to_new[static_cast<size_t>(a)]).args,
+            db.fact(a).args);
+  EXPECT_EQ(without.fact(old_to_new[static_cast<size_t>(c)]).relation, "S");
+  EXPECT_FALSE(without.Contains("R", {Value(2)}));
+}
+
+TEST(DatabaseTest, FactToString) {
+  Database db;
+  FactId f = db.AddEndogenous("Earns", {Value("ann"), Value(100)});
+  EXPECT_EQ(db.fact(f).ToString(), "Earns('ann', 100)");
+}
+
+TEST(CsvTest, ParsesTypedFields) {
+  auto rows = ParseCsv("1,2.5,hello\n-3,x,\"quoted, comma\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], Value(1));
+  EXPECT_EQ((*rows)[0][1], Value(2.5));
+  EXPECT_EQ((*rows)[0][2], Value("hello"));
+  EXPECT_EQ((*rows)[1][0], Value(-3));
+  EXPECT_EQ((*rows)[1][2], Value("quoted, comma"));
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  auto rows = ParseCsv("# header comment\n1,2\n\n3,4\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, QuotedEscapes) {
+  auto row = ParseCsvLine("\"he said \"\"hi\"\"\",2");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value("he said \"hi\""));
+  EXPECT_EQ((*row)[1], Value(2));
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCsv("1,2\n3\n").ok());          // ragged rows
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("\"x\" garbage").ok());
+}
+
+TEST(CsvTest, LoadsIntoDatabase) {
+  Database db;
+  Status s = LoadCsvIntoDatabase(&db, "Earns", "ann,100\nbob,90\n",
+                                 /*endogenous=*/false);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(db.FactsOf("Earns").size(), 2u);
+  EXPECT_TRUE(db.Contains("Earns", {Value("ann"), Value(100)}));
+  EXPECT_EQ(db.num_endogenous(), 0);
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,193 @@
+#include "shapcq/hierarchy/classification.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/query/parser.h"
+
+namespace shapcq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The five example CQs of Figure 1 (each belongs to its class but not to the
+// more restrictive one).
+// ---------------------------------------------------------------------------
+
+TEST(Figure1Test, SqHierarchicalExample) {
+  // Q(x) <- R(x), S(x, y)
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kSqHierarchical);
+}
+
+TEST(Figure1Test, QHierarchicalExample) {
+  // Q(x, y) <- R(x), S(x, y): free y has atoms(y)={S} ⊊ atoms(x)={R,S}.
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x), S(x, y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kQHierarchical);
+  EXPECT_TRUE(IsQHierarchical(q));
+  EXPECT_FALSE(IsSqHierarchical(q));
+}
+
+TEST(Figure1Test, AllHierarchicalExample) {
+  // Q(y) <- R(x), S(x, y): existential x dominates free y.
+  ConjunctiveQuery q = MustParseQuery("Q(y) <- R(x), S(x, y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kAllHierarchical);
+  EXPECT_TRUE(IsAllHierarchical(q));
+  EXPECT_FALSE(IsQHierarchical(q));
+}
+
+TEST(Figure1Test, ExistsHierarchicalExample) {
+  // Q(x) <- R(x), S(x, y), T(y): the classic non-hierarchical pattern on
+  // {x, y}, but x is free so only y counts for ∃-hierarchy.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kExistsHierarchical);
+  EXPECT_TRUE(IsExistsHierarchical(q));
+  EXPECT_FALSE(IsAllHierarchical(q));
+}
+
+TEST(Figure1Test, GeneralExample) {
+  // Q() <- R(x), S(x, y), T(y): Boolean RST, not hierarchical at all.
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x), S(x, y), T(y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kGeneral);
+  EXPECT_FALSE(IsExistsHierarchical(q));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's running queries
+// ---------------------------------------------------------------------------
+
+TEST(ClassificationTest, QxyyIsAllHierarchicalNotQHierarchical) {
+  // Q_xyy(x) <- R(x, y), S(y): Equation (7), the simplest all-hierarchical
+  // CQ that is not q-hierarchical.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kAllHierarchical);
+}
+
+TEST(ClassificationTest, QxyyFullIsQHierarchicalNotSq) {
+  // Q^full_xyy(x, y) <- R(x, y), S(y): q-hierarchical, not sq-hierarchical
+  // (free x has atoms(x)={R} ⊊ atoms(y)={R,S}).
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kQHierarchical);
+}
+
+TEST(ClassificationTest, Qxyyz) {
+  // Q_xyyz(x, z) <- R(x, y), S(y), T(z): Section 7.2.
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(x, y), S(y), T(z)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kAllHierarchical);
+}
+
+TEST(ClassificationTest, PaperSqHierarchicalExamples) {
+  // Section 6: Q1, Q2, Q3 are sq-hierarchical; Q4 is not.
+  EXPECT_TRUE(IsSqHierarchical(MustParseQuery("Q1(x) <- R(x, y), S(x)")));
+  EXPECT_TRUE(
+      IsSqHierarchical(MustParseQuery("Q2(x, y) <- R(x, y), S(x, y, z)")));
+  EXPECT_TRUE(
+      IsSqHierarchical(MustParseQuery("Q3(x, z) <- R(x, y), S(x), T(z)")));
+  ConjunctiveQuery q4 = MustParseQuery("Q4(x, y) <- R(x, y), S(x)");
+  EXPECT_TRUE(IsQHierarchical(q4));
+  EXPECT_FALSE(IsSqHierarchical(q4));
+}
+
+TEST(ClassificationTest, EducationalInstituteQuery) {
+  // Example 2.2: Q(p, s) <- Earns(p, s), Took(p, c), Course(n, c).
+  ConjunctiveQuery q =
+      MustParseQuery("Q(p, s) <- Earns(p, s), Took(p, c), Course(n, c)");
+  // p and c: atoms(p)={Earns,Took}, atoms(c)={Took,Course}: overlapping,
+  // not nested -> not all-hierarchical. Existential vars {c, n}:
+  // atoms(c)={Took,Course}, atoms(n)={Course} nested -> ∃-hierarchical.
+  EXPECT_EQ(Classify(q), HierarchyClass::kExistsHierarchical);
+}
+
+// ---------------------------------------------------------------------------
+// Containment chain and edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ClassificationTest, BooleanClassesCoincide) {
+  // Remark 2.1: for Boolean CQs, hierarchical == all classes.
+  for (const char* text : {
+           "Q() <- R(x, y), S(y)",
+           "Q() <- R(x), S(x, y)",
+           "Q() <- R(x)",
+           "Q() <- R(x, y), S(y), T(y, z)",
+       }) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    ASSERT_TRUE(IsExistsHierarchical(q)) << text;
+    EXPECT_EQ(Classify(q), HierarchyClass::kSqHierarchical) << text;
+  }
+}
+
+TEST(ClassificationTest, ContainmentChainHolds) {
+  // Every query classified as class C must satisfy all weaker predicates.
+  std::vector<std::string> gallery = {
+      "Q(x) <- R(x), S(x, y)",
+      "Q(x, y) <- R(x), S(x, y)",
+      "Q(y) <- R(x), S(x, y)",
+      "Q(x) <- R(x), S(x, y), T(y)",
+      "Q() <- R(x), S(x, y), T(y)",
+      "Q(x) <- R(x, y), S(y)",
+      "Q(x, y) <- R(x, y), S(y)",
+      "Q(x, z) <- R(x, y), S(y), T(z)",
+      "Q(x) <- R(x)",
+      "Q(x, y) <- R(x, y)",
+      "Q(p, s) <- Earns(p, s), Took(p, c), Course(n, c)",
+      "Q(a, b, c) <- R(a, b, c), S(b, c), T(c)",
+  };
+  for (const std::string& text : gallery) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    if (IsSqHierarchical(q)) {
+      EXPECT_TRUE(IsQHierarchical(q)) << text;
+    }
+    if (IsQHierarchical(q)) {
+      EXPECT_TRUE(IsAllHierarchical(q)) << text;
+    }
+    if (IsAllHierarchical(q)) {
+      EXPECT_TRUE(IsExistsHierarchical(q)) << text;
+    }
+  }
+}
+
+TEST(ClassificationTest, SingleAtomQueriesAreSqHierarchical) {
+  EXPECT_EQ(Classify(MustParseQuery("Q(x) <- R(x)")),
+            HierarchyClass::kSqHierarchical);
+  EXPECT_EQ(Classify(MustParseQuery("Q(x, y) <- R(x, y)")),
+            HierarchyClass::kSqHierarchical);
+  EXPECT_EQ(Classify(MustParseQuery("Q() <- R(x, y)")),
+            HierarchyClass::kSqHierarchical);
+}
+
+TEST(ClassificationTest, CrossProductsClassifyComponentwise) {
+  // Disjoint components: disjoint atom sets are fine for hierarchy.
+  EXPECT_EQ(Classify(MustParseQuery("Q(x, z) <- R(x), T(z)")),
+            HierarchyClass::kSqHierarchical);
+  // A bad component poisons the product.
+  EXPECT_EQ(Classify(MustParseQuery("Q(z) <- R(x), S(x, y), T(y), U(z)")),
+            HierarchyClass::kGeneral);
+}
+
+TEST(ClassificationTest, ConstantsDoNotAffectHierarchy) {
+  // Constants occupy positions but are not variables.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, 3), S(3)");
+  EXPECT_EQ(Classify(q), HierarchyClass::kSqHierarchical);
+}
+
+TEST(ClassificationTest, AtLeastOrdering) {
+  EXPECT_TRUE(AtLeast(HierarchyClass::kSqHierarchical,
+                      HierarchyClass::kQHierarchical));
+  EXPECT_TRUE(AtLeast(HierarchyClass::kQHierarchical,
+                      HierarchyClass::kQHierarchical));
+  EXPECT_FALSE(AtLeast(HierarchyClass::kAllHierarchical,
+                       HierarchyClass::kQHierarchical));
+  EXPECT_FALSE(
+      AtLeast(HierarchyClass::kGeneral, HierarchyClass::kExistsHierarchical));
+}
+
+TEST(ClassificationTest, ClassNames) {
+  EXPECT_STREQ(HierarchyClassName(HierarchyClass::kGeneral), "general");
+  EXPECT_STREQ(HierarchyClassName(HierarchyClass::kSqHierarchical),
+               "sq-hierarchical");
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,313 @@
+// Min/Max DP (Section 4.2), CountDistinct reduction (Lemma 4.3), and the
+// single-relation closed forms (Propositions 4.2, 4.4, 5.2), all
+// cross-validated against brute force.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/closed_forms.h"
+#include "shapcq/shapley/count_distinct.h"
+#include "shapcq/shapley/min_max.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/workload/generators.h"
+
+namespace shapcq {
+namespace {
+
+Rational R(int64_t n) { return Rational(n); }
+Rational R(int64_t n, int64_t d) { return Rational(BigInt(n), BigInt(d)); }
+
+// All all-hierarchical query shapes used for DP-vs-brute-force sweeps.
+const char* kAllHierarchicalQueries[] = {
+    "Q(x) <- R(x)",
+    "Q(x, y) <- R(x, y)",
+    "Q(x) <- R(x, y)",
+    "Q(x) <- R(x, y), S(y)",        // Q_xyy: all-hier, not q-hier
+    "Q(x, y) <- R(x, y), S(y)",     // Q_xyy^full: q-hier, not sq-hier
+    "Q(x) <- R(x), S(x, y)",        // sq-hier
+    "Q(y) <- R(x), S(x, y)",        // all-hier, not q-hier
+    "Q(x, z) <- R(x, y), S(y), T(z)",  // disconnected, Section 7.2
+    "Q(x, z) <- R(x), T(z)",        // pure cross product
+    "Q(x) <- R(x, 1), S(x)",        // constants in atoms
+};
+
+struct SweepCase {
+  std::string query;
+  uint64_t seed;
+};
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  for (const char* q : kAllHierarchicalQueries) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      cases.push_back({q, seed});
+    }
+  }
+  return cases;
+}
+
+class MinMaxSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MinMaxSweepTest, MaxMatchesBruteForce) {
+  const SweepCase& param = GetParam();
+  ConjunctiveQuery q = MustParseQuery(param.query);
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = param.seed;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  auto dp = MinMaxSumK(a, db);
+  auto bf = BruteForceSumK(a, db);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  ASSERT_TRUE(bf.ok());
+  ASSERT_EQ(dp->size(), bf->size());
+  for (size_t k = 0; k < bf->size(); ++k) {
+    EXPECT_EQ((*dp)[k], (*bf)[k]) << "k=" << k;
+  }
+}
+
+TEST_P(MinMaxSweepTest, MinMatchesBruteForce) {
+  const SweepCase& param = GetParam();
+  ConjunctiveQuery q = MustParseQuery(param.query);
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = param.seed + 100;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Min()};
+  auto dp = MinMaxSumK(a, db);
+  auto bf = BruteForceSumK(a, db);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  ASSERT_TRUE(bf.ok());
+  for (size_t k = 0; k < bf->size(); ++k) {
+    EXPECT_EQ((*dp)[k], (*bf)[k]) << "k=" << k;
+  }
+}
+
+TEST_P(MinMaxSweepTest, CountDistinctMatchesBruteForce) {
+  const SweepCase& param = GetParam();
+  ConjunctiveQuery q = MustParseQuery(param.query);
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = param.seed + 200;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::CountDistinct()};
+  auto dp = CountDistinctSumK(a, db);
+  auto bf = BruteForceSumK(a, db);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  ASSERT_TRUE(bf.ok());
+  for (size_t k = 0; k < bf->size(); ++k) {
+    EXPECT_EQ((*dp)[k], (*bf)[k]) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHierarchicalSweep, MinMaxSweepTest,
+                         ::testing::ValuesIn(MakeSweep()));
+
+// ---------------------------------------------------------------------------
+// Targeted Min/Max cases
+// ---------------------------------------------------------------------------
+
+TEST(MinMaxTest, DifferentValueFunctions) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 5;
+  options.seed = 5;
+  Database db = RandomDatabaseForQuery(q, options);
+  for (ValueFunctionPtr tau :
+       {MakeTauId(1), MakeTauReLU(0), MakeTauGreaterThan(0, R(0)),
+        MakeConstantTau(R(3))}) {
+    AggregateQuery a{q, tau, AggregateFunction::Max()};
+    auto dp = MinMaxSumK(a, db);
+    auto bf = BruteForceSumK(a, db);
+    ASSERT_TRUE(dp.ok()) << tau->ToString() << ": " << dp.status().ToString();
+    for (size_t k = 0; k < bf->size(); ++k) {
+      EXPECT_EQ((*dp)[k], (*bf)[k]) << tau->ToString() << " k=" << k;
+    }
+  }
+}
+
+TEST(MinMaxTest, ShapleyScoresMatchBruteForce) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = 9;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  for (FactId f : db.EndogenousFacts()) {
+    auto dp = ScoreViaSumK(a, db, f, MinMaxSumK);
+    auto bf = BruteForceScore(a, db, f);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_EQ(*dp, *bf) << db.fact(f).ToString();
+  }
+}
+
+TEST(MinMaxTest, ExogenousHeavyDatabase) {
+  // Mostly exogenous facts: answers exist even for the empty coalition.
+  Database db;
+  db.AddExogenous("R", {Value(5), Value(1)});
+  db.AddExogenous("S", {Value(1)});
+  db.AddEndogenous("R", {Value(9), Value(2)});
+  db.AddEndogenous("S", {Value(2)});
+  db.AddEndogenous("R", {Value(-2), Value(1)});
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  auto dp = MinMaxSumK(a, db);
+  auto bf = BruteForceSumK(a, db);
+  ASSERT_TRUE(dp.ok());
+  for (size_t k = 0; k < bf->size(); ++k) EXPECT_EQ((*dp)[k], (*bf)[k]);
+}
+
+TEST(MinMaxTest, RejectsNonAllHierarchical) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("S", {Value(1), Value(2)});
+  db.AddEndogenous("T", {Value(2)});
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  EXPECT_FALSE(MinMaxSumK(a, db).ok());
+}
+
+TEST(MinMaxTest, RejectsNonLocalizedTau) {
+  // τ depends on both x and z, which never share an atom.
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(x), T(z)");
+  auto tau = MakeCallbackTau(
+      [](const Tuple& t) { return t[0].AsRational() + t[1].AsRational(); },
+      {0, 1}, "x+z");
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("T", {Value(2)});
+  AggregateQuery a{q, tau, AggregateFunction::Max()};
+  EXPECT_FALSE(MinMaxSumK(a, db).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CountDistinct specifics
+// ---------------------------------------------------------------------------
+
+TEST(CountDistinctTest, ScoresMatchBruteForce) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = 31;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(1), AggregateFunction::CountDistinct()};
+  for (FactId f : db.EndogenousFacts()) {
+    auto dp = ScoreViaSumK(a, db, f, CountDistinctSumK);
+    auto bf = BruteForceScore(a, db, f);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_EQ(*dp, *bf);
+  }
+}
+
+TEST(CountDistinctTest, ConstantTauBehavesLikeMembership) {
+  // With τ ≡ c, CDist is the 0/1 non-emptiness indicator.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = 12;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery cdist{q, MakeConstantTau(R(7)),
+                       AggregateFunction::CountDistinct()};
+  auto dp = CountDistinctSumK(cdist, db);
+  auto bf = BruteForceSumK(cdist, db);
+  ASSERT_TRUE(dp.ok());
+  for (size_t k = 0; k < bf->size(); ++k) EXPECT_EQ((*dp)[k], (*bf)[k]);
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms (Propositions 4.2, 4.4, 5.2)
+// ---------------------------------------------------------------------------
+
+Database SingleRelationDb(const std::vector<int>& values) {
+  Database db;
+  for (size_t i = 0; i < values.size(); ++i) {
+    db.AddEndogenous("R", {Value(static_cast<int64_t>(i)),
+                           Value(values[i])});
+  }
+  return db;
+}
+
+TEST(ClosedFormTest, AppliesDetection) {
+  Database db = SingleRelationDb({1, 2});
+  AggregateQuery good{MustParseQuery("Q(i, v) <- R(i, v)"), MakeTauId(1),
+                      AggregateFunction::Max()};
+  EXPECT_TRUE(ClosedFormApplies(good, db));
+  AggregateQuery projected{MustParseQuery("Q(i) <- R(i, v)"), MakeTauId(0),
+                           AggregateFunction::Max()};
+  EXPECT_FALSE(ClosedFormApplies(projected, db));
+  Database with_exo = SingleRelationDb({1});
+  with_exo.AddExogenous("R", {Value(9), Value(9)});
+  EXPECT_FALSE(ClosedFormApplies(good, with_exo));
+}
+
+TEST(ClosedFormTest, CountDistinctFormula) {
+  Database db = SingleRelationDb({5, 5, 7});
+  AggregateQuery a{MustParseQuery("Q(i, v) <- R(i, v)"), MakeTauId(1),
+                   AggregateFunction::CountDistinct()};
+  EXPECT_EQ(*ClosedFormCountDistinct(a, db, 0), R(1, 2));
+  EXPECT_EQ(*ClosedFormCountDistinct(a, db, 1), R(1, 2));
+  EXPECT_EQ(*ClosedFormCountDistinct(a, db, 2), R(1));
+}
+
+TEST(ClosedFormTest, FormulasMatchBruteForce) {
+  std::vector<std::vector<int>> datasets = {
+      {5}, {5, 3}, {5, 5}, {1, 2, 3}, {4, 4, 2, 2}, {-1, 0, 2, 2, 7},
+      {3, 1, 4, 1, 5, 9},
+  };
+  ConjunctiveQuery q = MustParseQuery("Q(i, v) <- R(i, v)");
+  for (const auto& values : datasets) {
+    Database db = SingleRelationDb(values);
+    AggregateQuery max_q{q, MakeTauId(1), AggregateFunction::Max()};
+    AggregateQuery min_q{q, MakeTauId(1), AggregateFunction::Min()};
+    AggregateQuery avg_q{q, MakeTauId(1), AggregateFunction::Avg()};
+    AggregateQuery cd_q{q, MakeTauId(1),
+                        AggregateFunction::CountDistinct()};
+    for (FactId f = 0; f < db.num_facts(); ++f) {
+      EXPECT_EQ(*ClosedFormMax(max_q, db, f), *BruteForceScore(max_q, db, f));
+      EXPECT_EQ(*ClosedFormMin(min_q, db, f), *BruteForceScore(min_q, db, f));
+      EXPECT_EQ(*ClosedFormAvg(avg_q, db, f), *BruteForceScore(avg_q, db, f));
+      EXPECT_EQ(*ClosedFormCountDistinct(cd_q, db, f),
+                *BruteForceScore(cd_q, db, f));
+    }
+  }
+}
+
+TEST(ClosedFormTest, AgreesWithGenericDp) {
+  // The closed forms and the DP engines must agree on larger instances
+  // where brute force is too slow.
+  Database db;
+  for (int i = 0; i < 40; ++i) {
+    db.AddEndogenous("R", {Value(i), Value((i * 7) % 11 - 3)});
+  }
+  ConjunctiveQuery q = MustParseQuery("Q(i, v) <- R(i, v)");
+  AggregateQuery a{q, MakeTauId(1), AggregateFunction::Max()};
+  FactId probe = 17;
+  auto closed = ClosedFormMax(a, db, probe);
+  auto dp = ScoreViaSumK(a, db, probe, MinMaxSumK);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(*closed, *dp);
+}
+
+TEST(ClosedFormTest, EfficiencyOfAvgFormula) {
+  // Σ_t Shapley(t) must equal Avg(D): validates the sign fix vs the paper's
+  // body statement (see header comment of closed_forms.h).
+  Database db = SingleRelationDb({10, 20, 60});
+  ConjunctiveQuery q = MustParseQuery("Q(i, v) <- R(i, v)");
+  AggregateQuery a{q, MakeTauId(1), AggregateFunction::Avg()};
+  Rational total;
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    total += *ClosedFormAvg(a, db, f);
+  }
+  EXPECT_EQ(total, R(30));
+}
+
+}  // namespace
+}  // namespace shapcq

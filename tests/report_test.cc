@@ -1,0 +1,83 @@
+#include "shapcq/shapley/report.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+
+namespace shapcq {
+namespace {
+
+std::vector<std::pair<FactId, SolveResult>> MakeResults(const Database& db) {
+  AggregateQuery a{MustParseQuery("Q(x) <- R(x)"), MakeTauId(0),
+                   AggregateFunction::Sum()};
+  ShapleySolver solver(a);
+  auto results = solver.ComputeAll(db);
+  return *results;
+}
+
+Database MakeDb() {
+  Database db;
+  db.AddEndogenous("R", {Value(30)});
+  db.AddEndogenous("R", {Value(10)});
+  db.AddEndogenous("R", {Value(60)});
+  return db;
+}
+
+TEST(ReportTest, SortsByScoreAndShowsShares) {
+  Database db = MakeDb();
+  std::string report = FormatAttributionReport(db, MakeResults(db));
+  // Sum attribution of R(v) is v; descending order expected.
+  size_t p60 = report.find("R(60)");
+  size_t p30 = report.find("R(30)");
+  size_t p10 = report.find("R(10)");
+  ASSERT_NE(p60, std::string::npos);
+  EXPECT_LT(p60, p30);
+  EXPECT_LT(p30, p10);
+  EXPECT_NE(report.find("60.0%"), std::string::npos);  // 60/100
+  EXPECT_NE(report.find("[sum-count/linearity]"), std::string::npos);
+}
+
+TEST(ReportTest, FactOrderWithoutSorting) {
+  Database db = MakeDb();
+  ReportOptions options;
+  options.sort_by_score = false;
+  std::string report = FormatAttributionReport(db, MakeResults(db), options);
+  EXPECT_LT(report.find("R(30)"), report.find("R(10)"));
+}
+
+TEST(ReportTest, MaxRowsTruncates) {
+  Database db = MakeDb();
+  ReportOptions options;
+  options.max_rows = 1;
+  std::string report = FormatAttributionReport(db, MakeResults(db), options);
+  EXPECT_NE(report.find("2 more rows"), std::string::npos);
+  EXPECT_EQ(report.find("R(10)"), std::string::npos);
+}
+
+TEST(ReportTest, RelationTotals) {
+  Database db;
+  db.AddEndogenous("R", {Value(5)});
+  db.AddEndogenous("R", {Value(15)});
+  ReportOptions options;
+  options.show_relation_totals = true;
+  std::string report =
+      FormatAttributionReport(db, MakeResults(db), options);
+  EXPECT_NE(report.find("per-relation totals:"), std::string::npos);
+  EXPECT_NE(report.find("R: 20.000000"), std::string::npos);
+}
+
+TEST(ReportTest, Summary) {
+  Database db = MakeDb();
+  std::string summary = SummarizeAttribution(db, MakeResults(db));
+  EXPECT_NE(summary.find("3 facts"), std::string::npos);
+  EXPECT_NE(summary.find("top: R(60)"), std::string::npos);
+  EXPECT_EQ(SummarizeAttribution(db, {}), "no endogenous facts");
+}
+
+}  // namespace
+}  // namespace shapcq

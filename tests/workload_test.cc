@@ -1,0 +1,248 @@
+// Tests for the workload generators, including numeric faithfulness of the
+// paper's hardness-reduction constructions (Figure 3, Lemma D.4/D.5,
+// Lemma E.2) on small instances.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/util/combinatorics.h"
+#include "shapcq/workload/generators.h"
+
+namespace shapcq {
+namespace {
+
+Rational R(int64_t n) { return Rational(n); }
+
+TEST(RandomDatabaseTest, DeterministicPerSeed) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.seed = 5;
+  Database a = RandomDatabaseForQuery(q, options);
+  Database b = RandomDatabaseForQuery(q, options);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  options.seed = 6;
+  Database c = RandomDatabaseForQuery(q, options);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(RandomDatabaseTest, GeneratesRequestedShape) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 8;
+  Database db = RandomDatabaseForQuery(q, options);
+  EXPECT_GT(db.FactsOf("R").size(), 0u);
+  EXPECT_GT(db.FactsOf("S").size(), 0u);
+  EXPECT_LE(db.FactsOf("R").size(), 8u);
+  EXPECT_EQ(db.Arity("R"), 2);
+  EXPECT_EQ(db.Arity("S"), 1);
+}
+
+TEST(RandomSetCoverTest, ValidInstances) {
+  SetCoverInstance instance = RandomSetCover(5, 7, 3, 42);
+  EXPECT_EQ(instance.universe_size, 5);
+  EXPECT_EQ(instance.sets.size(), 7u);
+  for (const auto& set : instance.sets) {
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_LE(set.size(), 3u);
+    for (int element : set) {
+      EXPECT_GE(element, 1);
+      EXPECT_LE(element, 5);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the Avg ∘ τ_ReLU ∘ Q_xyy reduction from #Set-Cover.
+//
+// We verify the construction's game semantics from first principles: with
+// no r-padding selected before S(0), adding S(0) moves the average from 0
+// to 1/(i + q + 2) where i is the number of covered elements (i covered
+// answers + (q+1) ballast zeros + the single answer x = 1). Hence
+//
+//   Shapley(S(0)) = Σ_j Σ_i  j!(m+r−j)!/(m+r+1)! · Z_{i,j} / (i + q + 2)
+//
+// with Z_{i,j} = #{collections of j sets covering exactly i elements}.
+// (The paper's prose says i+q+1; the constructed database has q+1 ballast
+// rows plus the x=1 answer, giving i+q+2 — the shape of the linear system
+// and the hardness argument are unaffected.)
+// ---------------------------------------------------------------------------
+
+TEST(SetCoverAvgTest, ShapleyMatchesCoverCountFormula) {
+  SetCoverInstance instance;
+  instance.universe_size = 3;
+  instance.sets = {{1, 2}, {2, 3}, {3}};
+  const int m = 3;
+  for (int q = 0; q <= 2; ++q) {
+    for (int r = 0; r <= 2; ++r) {
+      FactId s_zero = -1;
+      Database db = SetCoverAvgDatabase(instance, q, r, &s_zero);
+      AggregateQuery a{MustParseQuery("Q(x) <- R(x, y), S(y)"),
+                       MakeTauReLU(0), AggregateFunction::Avg()};
+      auto brute = BruteForceScore(a, db, s_zero);
+      ASSERT_TRUE(brute.ok());
+      // Z_{i,j} by enumeration over collections of sets.
+      Combinatorics comb;
+      Rational expected;
+      for (int mask = 0; mask < (1 << m); ++mask) {
+        std::set<int> covered;
+        int j = 0;
+        for (int s = 0; s < m; ++s) {
+          if (mask & (1 << s)) {
+            ++j;
+            covered.insert(instance.sets[static_cast<size_t>(s)].begin(),
+                           instance.sets[static_cast<size_t>(s)].end());
+          }
+        }
+        int i = static_cast<int>(covered.size());
+        Rational coefficient(
+            comb.Factorial(j) * comb.Factorial(m + r - j),
+            comb.Factorial(m + r + 1));
+        expected += coefficient / Rational(i + q + 2);
+      }
+      EXPECT_EQ(*brute, expected) << "q=" << q << " r=" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma D.4/D.5: the quantile game database simulates the Set-Cover game.
+// ---------------------------------------------------------------------------
+
+TEST(SetCoverQuantileTest, UtilityEqualsSetCoverGame) {
+  SetCoverInstance instance;
+  instance.universe_size = 3;
+  instance.sets = {{1, 2}, {2, 3}, {1}, {3}};
+  const int m = 4;
+  const int qa = 1, qb = 2;  // median
+  Database db = SetCoverQuantileDatabase(instance, qa, qb);
+  AggregateQuery a{MustParseQuery("Q(x) <- R(x, y), S(y)"),
+                   MakeTauGreaterThan(0, R(0)),
+                   AggregateFunction::Quantile(Rational(BigInt(qa),
+                                                        BigInt(qb)))};
+  // Check A(C ∪ D_x) == [C covers X] for every coalition C of S-facts.
+  std::vector<FactId> s_facts;
+  for (FactId id : db.EndogenousFacts()) s_facts.push_back(id);
+  ASSERT_EQ(s_facts.size(), static_cast<size_t>(m));
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    Database sub;
+    std::set<int> covered;
+    for (FactId id = 0; id < db.num_facts(); ++id) {
+      const Fact& fact = db.fact(id);
+      if (!fact.endogenous) {
+        sub.AddExogenous(fact.relation, fact.args);
+      }
+    }
+    for (int s = 0; s < m; ++s) {
+      if (mask & (1 << s)) {
+        sub.AddEndogenous("S", db.fact(s_facts[static_cast<size_t>(s)]).args);
+        covered.insert(instance.sets[static_cast<size_t>(s)].begin(),
+                       instance.sets[static_cast<size_t>(s)].end());
+      }
+    }
+    bool covers = static_cast<int>(covered.size()) == instance.universe_size;
+    EXPECT_EQ(a.Evaluate(sub), covers ? R(1) : R(0)) << "mask " << mask;
+  }
+}
+
+TEST(SetCoverQuantileTest, ShapleyEqualsSetCoverGameShapley) {
+  SetCoverInstance instance;
+  instance.universe_size = 2;
+  instance.sets = {{1}, {2}, {1, 2}};
+  const int m = 3;
+  Database db = SetCoverQuantileDatabase(instance, 1, 2);
+  AggregateQuery a{MustParseQuery("Q(x) <- R(x, y), S(y)"),
+                   MakeTauGreaterThan(0, R(0)), AggregateFunction::Median()};
+  // Direct Shapley of the set-cover game (ν = 1 iff coalition covers).
+  Combinatorics comb;
+  for (int target = 0; target < m; ++target) {
+    Rational expected;
+    for (int mask = 0; mask < (1 << m); ++mask) {
+      if (mask & (1 << target)) continue;
+      auto covers = [&instance](int bits) {
+        std::set<int> covered;
+        for (size_t s = 0; s < instance.sets.size(); ++s) {
+          if (bits & (1 << s)) {
+            covered.insert(instance.sets[s].begin(), instance.sets[s].end());
+          }
+        }
+        return static_cast<int>(covered.size()) == instance.universe_size;
+      };
+      int delta = (covers(mask | (1 << target)) ? 1 : 0) -
+                  (covers(mask) ? 1 : 0);
+      if (delta != 0) {
+        expected += comb.ShapleyCoefficient(m, __builtin_popcount(mask)) *
+                    Rational(delta);
+      }
+    }
+    // S(i) facts are endogenous in insertion order: S(1), S(2), S(3).
+    FactId s_fact = *db.FindFact("S", {Value(target + 1)});
+    auto brute = BruteForceScore(a, db, s_fact);
+    ASSERT_TRUE(brute.ok());
+    EXPECT_EQ(*brute, expected) << "set " << target + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma E.2: the Dup database counts pairwise-disjoint collections.
+//
+// We pair the D_r construction with Q^full_xyy(x, y) <- R(x, y), S(y) and
+// τ¹_ReLU (the proof's case analysis: an intersecting pair yields two
+// answers (i, j1), (i, j2) with equal τ-value i; the lemma's statement
+// writes Q_xyy, under which answers are single x values and set semantics
+// would collapse the duplicate — see DESIGN.md).
+//
+//   Shapley(S(0)) = Σ_j j!(m+r−j)!/(m+r+1)! · Z_j,
+//   Z_j = #{j pairwise-disjoint sets}.
+// ---------------------------------------------------------------------------
+
+TEST(ExactCoverDupTest, ShapleyMatchesDisjointCollectionCounts) {
+  SetCoverInstance instance;
+  instance.universe_size = 4;
+  instance.sets = {{1, 2}, {3, 4}, {2, 3}, {1, 4}};
+  const int m = 4;
+  for (int r = 0; r <= 2; ++r) {
+    FactId s_zero = -1;
+    Database db = ExactCoverDupDatabase(instance, r, &s_zero);
+    AggregateQuery a{MustParseQuery("Q(x, y) <- R(x, y), S(y)"),
+                     MakeTauReLU(0), AggregateFunction::HasDuplicates()};
+    auto brute = BruteForceScore(a, db, s_zero);
+    ASSERT_TRUE(brute.ok());
+    Combinatorics comb;
+    Rational expected;
+    for (int mask = 0; mask < (1 << m); ++mask) {
+      // Pairwise disjoint?
+      std::vector<int> chosen;
+      for (int s = 0; s < m; ++s) {
+        if (mask & (1 << s)) chosen.push_back(s);
+      }
+      bool disjoint = true;
+      for (size_t i = 0; i < chosen.size() && disjoint; ++i) {
+        for (size_t j = i + 1; j < chosen.size() && disjoint; ++j) {
+          for (int e : instance.sets[static_cast<size_t>(chosen[i])]) {
+            const auto& other = instance.sets[static_cast<size_t>(chosen[j])];
+            if (std::find(other.begin(), other.end(), e) != other.end()) {
+              disjoint = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!disjoint) continue;
+      int j = static_cast<int>(chosen.size());
+      expected += Rational(comb.Factorial(j) * comb.Factorial(m + r - j),
+                           comb.Factorial(m + r + 1));
+    }
+    EXPECT_EQ(*brute, expected) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace shapcq
