@@ -1,0 +1,103 @@
+// All-facts attribution throughput: per-fact Compute loop vs. the batched
+// SolverSession::ComputeAll, on a generated ∃-hierarchical Sum workload.
+//
+// This is the acceptance benchmark for the session refactor: ComputeAll
+// must produce bitwise-identical Rational scores while sharing the
+// homomorphism enumeration, answer binding, relevance splits, and DP
+// scaffolding across facts. Emits one BENCH_JSON line for the trajectory.
+//
+// Usage: bench_compute_all [facts_per_relation] [domain_size] [seed]
+//   defaults: 200 50 1   (≈240 endogenous facts over R, S, T; the unary
+//   relations cap at domain_size+1 distinct facts, so the domain must grow
+//   with the requested fact count)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/shapley/solver.h"
+#include "shapcq/workload/generators.h"
+
+using namespace shapcq;  // NOLINT: benchmark brevity
+
+int main(int argc, char** argv) {
+  int facts_per_relation = argc > 1 ? std::atoi(argv[1]) : 200;
+  int domain_size = argc > 2 ? std::atoi(argv[2]) : 50;
+  uint64_t seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+
+  // ∃-hierarchical (not all-hierarchical): the Sum frontier's home turf.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = facts_per_relation;
+  options.domain_size = domain_size;
+  options.endogenous_percent = 80;
+  options.seed = seed;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+  ShapleySolver solver(a);
+  const std::vector<FactId> facts = db.EndogenousFacts();
+  const int n = static_cast<int>(facts.size());
+
+  std::printf("compute-all throughput: %s\n", a.ToString().c_str());
+  std::printf("facts=%d endogenous=%d\n", db.num_facts(), n);
+  bench::Rule();
+
+  // Batched: one session, shared state, SumCountScoreAll underneath.
+  std::vector<std::pair<FactId, SolveResult>> batched;
+  double batched_ms = bench::TimeMs([&] {
+    auto results = solver.ComputeAll(db);
+    if (!results.ok()) {
+      std::fprintf(stderr, "ComputeAll failed: %s\n",
+                   results.status().ToString().c_str());
+      std::exit(1);
+    }
+    batched = std::move(results).value();
+  });
+  std::printf("batched ComputeAll  : %10.1f ms  (%.1f facts/s)\n", batched_ms,
+              1000.0 * n / batched_ms);
+
+  // Per-fact: the pre-session code path — every fact rebuilds everything.
+  std::vector<std::pair<FactId, SolveResult>> per_fact;
+  per_fact.reserve(facts.size());
+  double per_fact_ms = bench::TimeMs([&] {
+    for (FactId fact : facts) {
+      auto result = solver.Compute(db, fact);
+      if (!result.ok()) {
+        std::fprintf(stderr, "Compute failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      per_fact.emplace_back(fact, std::move(result).value());
+    }
+  });
+  std::printf("per-fact Compute    : %10.1f ms  (%.1f facts/s)\n", per_fact_ms,
+              1000.0 * n / per_fact_ms);
+
+  // Bitwise equality of the exact rational scores.
+  bool identical = batched.size() == per_fact.size();
+  for (size_t i = 0; identical && i < batched.size(); ++i) {
+    identical = batched[i].first == per_fact[i].first &&
+                batched[i].second.is_exact && per_fact[i].second.is_exact &&
+                batched[i].second.exact == per_fact[i].second.exact;
+  }
+  double speedup = batched_ms > 0 ? per_fact_ms / batched_ms : 0.0;
+  bench::Rule();
+  std::printf("speedup: %.2fx   identical results: %s\n", speedup,
+              identical ? "yes" : "NO — BUG");
+  std::printf(
+      "BENCH_JSON {\"name\":\"compute_all\",\"query\":\"%s\",\"agg\":\"Sum\","
+      "\"facts\":%d,\"endogenous\":%d,\"per_fact_ms\":%.1f,"
+      "\"batched_ms\":%.1f,\"per_fact_facts_per_sec\":%.2f,"
+      "\"batched_facts_per_sec\":%.2f,\"speedup\":%.2f,\"identical\":%s}\n",
+      q.ToString().c_str(), db.num_facts(), n, per_fact_ms, batched_ms,
+      1000.0 * n / per_fact_ms, 1000.0 * n / batched_ms, speedup,
+      identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

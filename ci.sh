@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+# Run on every PR; exits non-zero on any build or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

@@ -5,6 +5,8 @@
 //              --agg avg --tau id:2
 //              --endo Took=took.csv --exo Earns=earns.csv
 //              [--score banzhaf] [--method auto|exact|brute|mc]
+//              [--threads <n>]    (worker threads for the all-facts batch;
+//                                  0 = hardware concurrency)
 //              [--expected <p>]   (also print E[A] over the uniform
 //                                  tuple-independent DB with probability p)
 //
@@ -15,6 +17,7 @@
 // attribution of every endogenous fact.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -103,6 +106,7 @@ int main(int argc, char** argv) {
   std::string score_text = "shapley";
   std::string method_text = "auto";
   std::string expected_text;
+  int threads = 0;
   std::vector<std::pair<std::string, bool>> loads;  // "Rel=path", endogenous
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -133,6 +137,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--method needs a value");
       method_text = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--threads needs a count");
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0 || parsed > 4096) {
+        return Fail("--threads needs a count in [0, 4096], got: " +
+                    std::string(v));
+      }
+      threads = static_cast<int>(parsed);
     } else if (arg == "--expected") {
       const char* v = next();
       if (v == nullptr) return Fail("--expected needs a probability");
@@ -175,6 +189,7 @@ int main(int argc, char** argv) {
   auto method = methods.find(method_text);
   if (method == methods.end()) return Fail("unknown method: " + method_text);
   options.method = method->second;
+  options.num_threads = threads;
 
   AggregateQuery a{*query, *tau, *alpha};
   std::printf("aggregate query : %s\n", a.ToString().c_str());

@@ -55,9 +55,22 @@ FactId Database::AddFact(const std::string& relation, Tuple args,
   FactId id = static_cast<FactId>(facts_.size());
   index.emplace(args, id);
   facts_by_relation_[relation].push_back(id);
+  auto& by_value = value_index_[relation];
+  by_value.resize(args.size());
+  for (size_t position = 0; position < args.size(); ++position) {
+    by_value[position][args[position]].push_back(id);
+  }
   if (endogenous) ++num_endogenous_;
   facts_.push_back(Fact{relation, std::move(args), endogenous});
   return id;
+}
+
+void Database::SetEndogenous(FactId id, bool endogenous) {
+  SHAPCQ_CHECK(id >= 0 && id < num_facts());
+  Fact& f = facts_[static_cast<size_t>(id)];
+  if (f.endogenous == endogenous) return;
+  f.endogenous = endogenous;
+  num_endogenous_ += endogenous ? 1 : -1;
 }
 
 const Fact& Database::fact(FactId id) const {
@@ -88,6 +101,19 @@ const std::vector<FactId>& Database::FactsOf(
   static const std::vector<FactId> kEmpty;
   auto it = facts_by_relation_.find(relation);
   return it == facts_by_relation_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FactId>& Database::FactsWith(const std::string& relation,
+                                               int position,
+                                               const Value& value) const {
+  static const std::vector<FactId> kEmpty;
+  auto rel_it = value_index_.find(relation);
+  if (rel_it == value_index_.end()) return kEmpty;
+  SHAPCQ_CHECK(position >= 0 &&
+               position < static_cast<int>(rel_it->second.size()));
+  const auto& by_value = rel_it->second[static_cast<size_t>(position)];
+  auto it = by_value.find(value);
+  return it == by_value.end() ? kEmpty : it->second;
 }
 
 int Database::Arity(const std::string& relation) const {

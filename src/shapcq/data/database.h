@@ -80,6 +80,10 @@ class Database {
 
   // All fact ids of one relation (empty vector for unknown relations).
   const std::vector<FactId>& FactsOf(const std::string& relation) const;
+  // Facts of `relation` whose argument at `position` equals `value`
+  // (hash-index probe; empty vector when nothing matches). Ascending ids.
+  const std::vector<FactId>& FactsWith(const std::string& relation,
+                                       int position, const Value& value) const;
   // All relation names present, in first-insertion order.
   const std::vector<std::string>& relation_names() const {
     return relation_names_;
@@ -92,6 +96,11 @@ class Database {
   // Exogenous fact ids, ascending.
   std::vector<FactId> ExogenousFacts() const;
   int num_endogenous() const { return num_endogenous_; }
+
+  // Flips the endogenous flag of `id` in place. Unlike WithFactExogenous
+  // this is O(1): batched engines use it to realize the paper's derived
+  // databases F (fact exogenous) without copying the database per fact.
+  void SetEndogenous(FactId id, bool endogenous);
 
   // Returns a copy where fact `id` is exogenous (the database F of the
   // paper's Section 3.2). Fact ids are preserved.
@@ -112,6 +121,12 @@ class Database {
   std::unordered_map<std::string,
                      std::unordered_map<Tuple, FactId, TupleHash>>
       fact_index_;
+  // Per relation, per argument position: value -> fact ids (ascending).
+  // Maintained eagerly by AddFact so const lookups stay thread-safe.
+  std::unordered_map<
+      std::string,
+      std::vector<std::unordered_map<Value, std::vector<FactId>, ValueHash>>>
+      value_index_;
   int num_endogenous_ = 0;
 };
 

@@ -41,13 +41,39 @@ bool MatchAtom(const Atom& atom, const Tuple& fact_args, Binding* binding) {
 
 namespace {
 
-// Backtracking join. Atom order: greedily pick the atom with the fewest
-// candidate facts times unbound variables first (a cheap heuristic that is
-// plenty for laptop-scale synthetic databases).
+// Candidate facts for `atom` under `binding`: probe the per-(relation,
+// position, value) hash index for every constant or already-bound-variable
+// position and keep the smallest candidate list. Falls back to the full
+// relation when no position is determined.
+const std::vector<FactId>& CandidateFacts(const Database& db, const Atom& atom,
+                                          const Binding& binding) {
+  const std::vector<FactId>* best = &db.FactsOf(atom.relation);
+  if (best->empty()) return *best;
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& term = atom.terms[static_cast<size_t>(i)];
+    const Value* value = nullptr;
+    if (term.is_constant()) {
+      value = &term.constant();
+    } else {
+      auto it = binding.find(term.variable());
+      if (it != binding.end()) value = &it->second;
+    }
+    if (value == nullptr) continue;
+    const std::vector<FactId>& probed = db.FactsWith(atom.relation, i, *value);
+    if (probed.size() < best->size()) best = &probed;
+    if (best->empty()) break;
+  }
+  return *best;
+}
+
+// Backtracking join over the database's hash indexes. Atom order: greedily
+// pick the atom with the fewest index-probed candidates times unbound
+// variables first, so selective (bound) atoms run before cross products.
 class BacktrackingJoin {
  public:
-  BacktrackingJoin(const ConjunctiveQuery& q, const Database& db)
-      : q_(q), db_(db) {}
+  BacktrackingJoin(const ConjunctiveQuery& q, const Database& db,
+                   bool use_indexes)
+      : q_(q), db_(db), use_indexes_(use_indexes) {}
 
   std::vector<Homomorphism> Run() {
     results_.clear();
@@ -59,6 +85,12 @@ class BacktrackingJoin {
   }
 
  private:
+  const std::vector<FactId>& Candidates(const Atom& atom,
+                                        const Binding& binding) const {
+    return use_indexes_ ? CandidateFacts(db_, atom, binding)
+                        : db_.FactsOf(atom.relation);
+  }
+
   int PickNextAtom(const Binding& binding, const std::vector<bool>& done) {
     int best = -1;
     long best_score = -1;
@@ -71,8 +103,7 @@ class BacktrackingJoin {
           ++unbound;
         }
       }
-      long candidates =
-          static_cast<long>(db_.FactsOf(atom.relation).size());
+      long candidates = static_cast<long>(Candidates(atom, binding).size());
       long score = candidates * (unbound + 1);
       if (best == -1 || score < best_score) {
         best = i;
@@ -101,7 +132,9 @@ class BacktrackingJoin {
     SHAPCQ_CHECK(atom_index >= 0);
     const Atom& atom = q_.atoms()[static_cast<size_t>(atom_index)];
     (*done)[static_cast<size_t>(atom_index)] = true;
-    for (FactId fact_id : db_.FactsOf(atom.relation)) {
+    // The candidate list stays valid across recursion: indexes are immutable
+    // while the join runs, and deeper levels only extend the binding.
+    for (FactId fact_id : Candidates(atom, *binding)) {
       Binding saved = *binding;
       if (MatchAtom(atom, db_.fact(fact_id).args, binding)) {
         (*used)[static_cast<size_t>(atom_index)] = fact_id;
@@ -115,6 +148,7 @@ class BacktrackingJoin {
 
   const ConjunctiveQuery& q_;
   const Database& db_;
+  bool use_indexes_;
   std::vector<Homomorphism> results_;
 };
 
@@ -122,7 +156,13 @@ class BacktrackingJoin {
 
 std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
                                                  const Database& db) {
-  BacktrackingJoin join(q, db);
+  BacktrackingJoin join(q, db, /*use_indexes=*/true);
+  return join.Run();
+}
+
+std::vector<Homomorphism> EnumerateHomomorphismsNaive(
+    const ConjunctiveQuery& q, const Database& db) {
+  BacktrackingJoin join(q, db, /*use_indexes=*/false);
   return join.Run();
 }
 

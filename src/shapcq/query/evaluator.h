@@ -43,9 +43,18 @@ bool MatchesAtom(const Atom& atom, const Tuple& fact_args,
 // order).
 std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db);
 
-// Enumerates all homomorphisms from Q to D.
+// Enumerates all homomorphisms from Q to D. Joins through the database's
+// per-(relation, position, value) hash indexes: each atom's candidates come
+// from the cheapest index probe over its bound positions.
 std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
                                                  const Database& db);
+
+// Reference implementation of EnumerateHomomorphisms: the original
+// unindexed backtracking join that scans every fact of an atom's relation.
+// Retained as the differential-testing oracle for the indexed join; both
+// must produce the same homomorphism set (possibly in different order).
+std::vector<Homomorphism> EnumerateHomomorphismsNaive(
+    const ConjunctiveQuery& q, const Database& db);
 
 // Evaluates Q over the sub-database D_x ∪ E where E is given as a set of
 // endogenous fact ids (bitmask over `endo_index`, see below). Exogenous

@@ -15,6 +15,7 @@
 #include "shapcq/query/evaluator.h"
 #include "shapcq/shapley/answer_counts.h"
 #include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 
@@ -319,6 +320,18 @@ StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
     }
   }
   return series;
+}
+
+void RegisterAvgQuantileEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "avg-quantile/q-hierarchical-dp";
+  provider.priority = 10;
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kAvg ||
+           a.alpha.kind() == AggKind::kQuantile;
+  };
+  provider.sum_k = AvgQuantileSumK;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

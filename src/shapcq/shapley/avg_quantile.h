@@ -36,6 +36,11 @@ StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
 Rational QuantileContribution(const Rational& q, int64_t less, int64_t equal,
                               int64_t greater);
 
+class EngineRegistry;
+
+// Registers the "avg-quantile/q-hierarchical-dp" provider.
+void RegisterAvgQuantileEngine(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_AVG_QUANTILE_H_

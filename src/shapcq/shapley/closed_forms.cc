@@ -4,6 +4,7 @@
 #include <set>
 
 #include "shapcq/agg/value_function.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 
@@ -31,8 +32,7 @@ std::vector<Rational> FactValues(const AggregateQuery& a, const Database& db) {
 
 }  // namespace
 
-bool ClosedFormApplies(const AggregateQuery& a, const Database& db) {
-  const ConjunctiveQuery& q = a.query;
+bool ClosedFormQueryShape(const ConjunctiveQuery& q) {
   if (q.atoms().size() != 1) return false;
   const Atom& atom = q.atoms()[0];
   // All terms are distinct variables and the head repeats them verbatim.
@@ -43,11 +43,16 @@ bool ClosedFormApplies(const AggregateQuery& a, const Database& db) {
     if (!seen.insert(term.variable()).second) return false;
     atom_vars.push_back(term.variable());
   }
-  if (q.head() != atom_vars) return false;
+  return q.head() == atom_vars;
+}
+
+bool ClosedFormApplies(const AggregateQuery& a, const Database& db) {
+  const ConjunctiveQuery& q = a.query;
+  if (!ClosedFormQueryShape(q)) return false;
   // All facts endogenous and of that relation.
   if (db.num_endogenous() != db.num_facts()) return false;
   for (FactId id = 0; id < db.num_facts(); ++id) {
-    if (db.fact(id).relation != atom.relation) return false;
+    if (db.fact(id).relation != q.atoms()[0].relation) return false;
   }
   return db.num_facts() > 0;
 }
@@ -124,6 +129,51 @@ StatusOr<Rational> ClosedFormAvg(const AggregateQuery& a, const Database& db,
     result -= (harmonic - Rational(1)) / Rational(n * (n - 1)) * others;
   }
   return result;
+}
+
+namespace {
+
+StatusOr<Rational> ClosedFormScoreOne(const AggregateQuery& a,
+                                      const Database& db, FactId fact,
+                                      ScoreKind kind) {
+  if (kind != ScoreKind::kShapley) {
+    return UnsupportedError("closed forms cover the Shapley value only");
+  }
+  switch (a.alpha.kind()) {
+    case AggKind::kCountDistinct:
+      return ClosedFormCountDistinct(a, db, fact);
+    case AggKind::kMax:
+      return ClosedFormMax(a, db, fact);
+    case AggKind::kMin:
+      return ClosedFormMin(a, db, fact);
+    case AggKind::kAvg:
+      return ClosedFormAvg(a, db, fact);
+    default:
+      return UnsupportedError("no closed form for this aggregate");
+  }
+}
+
+}  // namespace
+
+void RegisterClosedFormEngines(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "closed-form/single-relation";
+  provider.priority = 5;  // fast path: tried before the dynamic programs
+  provider.applies = [](const AggregateQuery& a) {
+    switch (a.alpha.kind()) {
+      case AggKind::kCountDistinct:
+      case AggKind::kMax:
+      case AggKind::kMin:
+      case AggKind::kAvg:
+        return ClosedFormQueryShape(a.query);
+      default:
+        return false;
+    }
+  };
+  // No score_all: the session's threaded per-fact sweep over score_one is
+  // already the right batch shape for these O(n)-per-fact formulas.
+  provider.score_one = ClosedFormScoreOne;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

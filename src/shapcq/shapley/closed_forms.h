@@ -24,6 +24,10 @@ namespace shapcq {
 // facts of `db` are endogenous facts of that relation.
 bool ClosedFormApplies(const AggregateQuery& a, const Database& db);
 
+// The database-independent part of ClosedFormApplies: a single atom whose
+// terms are distinct variables listed verbatim in the head.
+bool ClosedFormQueryShape(const ConjunctiveQuery& q);
+
 // Proposition 4.2: Shapley(R(t), CDist ∘ τ ∘ Q) = 1/#{t' : τ(t') = τ(t)}.
 StatusOr<Rational> ClosedFormCountDistinct(const AggregateQuery& a,
                                            const Database& db, FactId fact);
@@ -37,6 +41,13 @@ StatusOr<Rational> ClosedFormMin(const AggregateQuery& a, const Database& db,
 // Proposition 5.2 (Avg), as derived in the appendix (see header comment).
 StatusOr<Rational> ClosedFormAvg(const AggregateQuery& a, const Database& db,
                                  FactId fact);
+
+class EngineRegistry;
+
+// Registers the "closed-form/single-relation" provider: a direct per-fact
+// fast path (Shapley only) tried before the generic dynamic programs on
+// single-relation all-endogenous instances.
+void RegisterClosedFormEngines(EngineRegistry& registry);
 
 }  // namespace shapcq
 

@@ -6,7 +6,9 @@
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/query/evaluator.h"
 #include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/membership.h"
+#include "shapcq/shapley/sum_count.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 
@@ -66,6 +68,38 @@ StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
     }
   }
   return series;
+}
+
+void RegisterCountDistinctEngines(EngineRegistry& registry) {
+  EngineProvider primary;
+  primary.name = "count-distinct/boolean-reduction";
+  primary.priority = 10;
+  primary.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kCountDistinct;
+  };
+  primary.sum_k = CountDistinctSumK;
+  registry.Register(std::move(primary));
+
+  // Section 7.1: with a unary head and an injective tau, distinct answers
+  // have distinct values, so CDist coincides with Count -- which is
+  // tractable on the strictly larger exists-hierarchical class.
+  EngineProvider rewrite;
+  rewrite.name = "count-distinct/injective-count-rewrite";
+  rewrite.priority = 20;
+  rewrite.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kCountDistinct && a.query.arity() == 1 &&
+           a.tau->is_injective() && a.tau->DependsOn() == std::vector<int>{0};
+  };
+  rewrite.sum_k = [](const AggregateQuery& a, const Database& db) {
+    AggregateQuery as_count{a.query, a.tau, AggregateFunction::Count()};
+    return SumCountSumK(as_count, db);
+  };
+  rewrite.score_all = [](const AggregateQuery& a, const Database& db,
+                         ScoreKind kind) {
+    AggregateQuery as_count{a.query, a.tau, AggregateFunction::Count()};
+    return SumCountScoreAll(as_count, db, kind);
+  };
+  registry.Register(std::move(rewrite));
 }
 
 }  // namespace shapcq

@@ -26,6 +26,13 @@ namespace shapcq {
 StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
                                        const Database& db);
 
+class EngineRegistry;
+
+// Registers "count-distinct/boolean-reduction" plus the Section 7.1
+// "count-distinct/injective-count-rewrite" fallback (unary head, injective
+// τ: CDist coincides with Count on the larger ∃-hierarchical class).
+void RegisterCountDistinctEngines(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_COUNT_DISTINCT_H_

@@ -10,6 +10,7 @@
 #include "shapcq/query/decomposition.h"
 #include "shapcq/shapley/answer_counts.h"
 #include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 
@@ -204,6 +205,17 @@ StatusOr<SumKSeries> HasDuplicatesSumK(const AggregateQuery& a,
   series.reserve(counts.size());
   for (const BigInt& count : counts) series.push_back(Rational(count));
   return series;
+}
+
+void RegisterHasDuplicatesEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "has-duplicates/sq-hierarchical-dp";
+  provider.priority = 10;
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kHasDuplicates;
+  };
+  provider.sum_k = HasDuplicatesSumK;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

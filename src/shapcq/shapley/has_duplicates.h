@@ -34,6 +34,11 @@ namespace shapcq {
 StatusOr<SumKSeries> HasDuplicatesSumK(const AggregateQuery& a,
                                        const Database& db);
 
+class EngineRegistry;
+
+// Registers the "has-duplicates/sq-hierarchical-dp" provider.
+void RegisterHasDuplicatesEngine(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_HAS_DUPLICATES_H_

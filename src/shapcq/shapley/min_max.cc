@@ -13,6 +13,7 @@
 #include "shapcq/query/decomposition.h"
 #include "shapcq/query/evaluator.h"
 #include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
@@ -299,6 +300,17 @@ StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db) {
   if (!series.ok()) return series.status();
   for (Rational& value : *series) value = -value;
   return series;
+}
+
+void RegisterMinMaxEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "min-max/all-hierarchical-dp";
+  provider.priority = 10;
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kMin || a.alpha.kind() == AggKind::kMax;
+  };
+  provider.sum_k = MinMaxSumK;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

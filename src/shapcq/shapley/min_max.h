@@ -23,6 +23,11 @@ namespace shapcq {
 // localized on some atom of Q.
 StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db);
 
+class EngineRegistry;
+
+// Registers the "min-max/all-hierarchical-dp" provider.
+void RegisterMinMaxEngine(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_MIN_MAX_H_

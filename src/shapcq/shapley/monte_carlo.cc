@@ -63,92 +63,70 @@ double ApplyDouble(const AggregateFunction& alpha, std::vector<double>* bag) {
   SHAPCQ_UNREACHABLE();
 }
 
-// Homomorphism supports over an arbitrary number of players (no 64-player
-// mask limit): an answer is alive iff some support set is fully present.
-class SupportEvaluator {
- public:
-  SupportEvaluator(const AggregateQuery& a, const Database& db)
-      : alpha_(a.alpha) {
-    std::vector<FactId> players = db.EndogenousFacts();
-    player_index_.assign(static_cast<size_t>(db.num_facts()), -1);
-    for (size_t i = 0; i < players.size(); ++i) {
-      player_index_[static_cast<size_t>(players[i])] = static_cast<int>(i);
-    }
-    num_players_ = static_cast<int>(players.size());
-    std::map<Tuple, std::vector<std::vector<int>>> supports_by_answer;
-    for (const Homomorphism& hom : EnumerateHomomorphisms(a.query, db)) {
-      std::vector<int> support;
-      for (FactId id : hom.used_facts) {
-        int player = player_index_[static_cast<size_t>(id)];
-        if (player >= 0) support.push_back(player);
-      }
-      std::sort(support.begin(), support.end());
-      support.erase(std::unique(support.begin(), support.end()),
-                    support.end());
-      supports_by_answer[hom.answer].push_back(std::move(support));
-    }
-    for (auto& [answer, supports] : supports_by_answer) {
-      // Keep minimal supports only.
-      std::sort(supports.begin(), supports.end(),
-                [](const std::vector<int>& x, const std::vector<int>& y) {
-                  return x.size() != y.size() ? x.size() < y.size() : x < y;
-                });
-      std::vector<std::vector<int>> minimal;
-      for (const std::vector<int>& support : supports) {
-        bool dominated = false;
-        for (const std::vector<int>& kept : minimal) {
-          if (std::includes(support.begin(), support.end(), kept.begin(),
-                            kept.end())) {
-            dominated = true;
-            break;
-          }
-        }
-        if (!dominated) minimal.push_back(support);
-      }
-      answers_.push_back({a.tau->Evaluate(answer).ToDouble(),
-                          std::move(minimal)});
-    }
-  }
+}  // namespace
 
-  int num_players() const { return num_players_; }
-  int PlayerIndex(FactId id) const {
-    return player_index_[static_cast<size_t>(id)];
+SupportEvaluator::SupportEvaluator(const AggregateQuery& a, const Database& db)
+    : alpha_(a.alpha) {
+  std::vector<FactId> players = db.EndogenousFacts();
+  player_index_.assign(static_cast<size_t>(db.num_facts()), -1);
+  for (size_t i = 0; i < players.size(); ++i) {
+    player_index_[static_cast<size_t>(players[i])] = static_cast<int>(i);
   }
-
-  // A(E ∪ D_x) where `present[p]` says whether player p is in E.
-  double Evaluate(const std::vector<char>& present) const {
-    std::vector<double> bag;
-    for (const AnswerEntry& entry : answers_) {
-      for (const std::vector<int>& support : entry.supports) {
-        bool alive = true;
-        for (int p : support) {
-          if (!present[static_cast<size_t>(p)]) {
-            alive = false;
-            break;
-          }
-        }
-        if (alive) {
-          bag.push_back(entry.tau);
+  num_players_ = static_cast<int>(players.size());
+  std::map<Tuple, std::vector<std::vector<int>>> supports_by_answer;
+  for (const Homomorphism& hom : EnumerateHomomorphisms(a.query, db)) {
+    std::vector<int> support;
+    for (FactId id : hom.used_facts) {
+      int player = player_index_[static_cast<size_t>(id)];
+      if (player >= 0) support.push_back(player);
+    }
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()),
+                  support.end());
+    supports_by_answer[hom.answer].push_back(std::move(support));
+  }
+  for (auto& [answer, supports] : supports_by_answer) {
+    // Keep minimal supports only.
+    std::sort(supports.begin(), supports.end(),
+              [](const std::vector<int>& x, const std::vector<int>& y) {
+                return x.size() != y.size() ? x.size() < y.size() : x < y;
+              });
+    std::vector<std::vector<int>> minimal;
+    for (const std::vector<int>& support : supports) {
+      bool dominated = false;
+      for (const std::vector<int>& kept : minimal) {
+        if (std::includes(support.begin(), support.end(), kept.begin(),
+                          kept.end())) {
+          dominated = true;
           break;
         }
       }
+      if (!dominated) minimal.push_back(support);
     }
-    return ApplyDouble(alpha_, &bag);
+    answers_.push_back({a.tau->Evaluate(answer).ToDouble(),
+                        std::move(minimal)});
   }
+}
 
- private:
-  struct AnswerEntry {
-    double tau;
-    std::vector<std::vector<int>> supports;
-  };
-
-  AggregateFunction alpha_;
-  int num_players_ = 0;
-  std::vector<int> player_index_;
-  std::vector<AnswerEntry> answers_;
-};
-
-}  // namespace
+double SupportEvaluator::Evaluate(const std::vector<char>& present) const {
+  std::vector<double> bag;
+  for (const AnswerEntry& entry : answers_) {
+    for (const std::vector<int>& support : entry.supports) {
+      bool alive = true;
+      for (int p : support) {
+        if (!present[static_cast<size_t>(p)]) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) {
+        bag.push_back(entry.tau);
+        break;
+      }
+    }
+  }
+  return ApplyDouble(alpha_, &bag);
+}
 
 StatusOr<MonteCarloResult> MonteCarloShapley(const AggregateQuery& a,
                                              const Database& db, FactId fact,
@@ -158,6 +136,15 @@ StatusOr<MonteCarloResult> MonteCarloShapley(const AggregateQuery& a,
   }
   SHAPCQ_CHECK(db.fact(fact).endogenous);
   SupportEvaluator evaluator(a, db);
+  return MonteCarloShapley(evaluator, fact, options);
+}
+
+StatusOr<MonteCarloResult> MonteCarloShapley(const SupportEvaluator& evaluator,
+                                             FactId fact,
+                                             const MonteCarloOptions& options) {
+  if (options.num_samples <= 0) {
+    return InvalidArgumentError("num_samples must be positive");
+  }
   int n = evaluator.num_players();
   int target = evaluator.PlayerIndex(fact);
   SHAPCQ_CHECK(target >= 0);
@@ -201,6 +188,15 @@ StatusOr<MonteCarloResult> MonteCarloBanzhaf(const AggregateQuery& a,
   }
   SHAPCQ_CHECK(db.fact(fact).endogenous);
   SupportEvaluator evaluator(a, db);
+  return MonteCarloBanzhaf(evaluator, fact, options);
+}
+
+StatusOr<MonteCarloResult> MonteCarloBanzhaf(const SupportEvaluator& evaluator,
+                                             FactId fact,
+                                             const MonteCarloOptions& options) {
+  if (options.num_samples <= 0) {
+    return InvalidArgumentError("num_samples must be positive");
+  }
   int n = evaluator.num_players();
   int target = evaluator.PlayerIndex(fact);
   SHAPCQ_CHECK(target >= 0);

@@ -12,12 +12,45 @@
 #define SHAPCQ_SHAPLEY_MONTE_CARLO_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
+
+// Homomorphism supports over an arbitrary number of players (no 64-player
+// mask limit): an answer is alive iff some minimal support is fully
+// present. Construction enumerates homomorphisms once; SolverSession builds
+// one instance per (query, database) and shares it across every per-fact
+// sampling run. Construction is deterministic, so sampling through a shared
+// instance gives bitwise-identical estimates to per-fact construction.
+class SupportEvaluator {
+ public:
+  SupportEvaluator(const AggregateQuery& a, const Database& db);
+
+  int num_players() const { return num_players_; }
+  // Player bit of an endogenous fact; -1 for exogenous facts.
+  int PlayerIndex(FactId id) const {
+    return player_index_[static_cast<size_t>(id)];
+  }
+
+  // A(E ∪ D_x) where `present[p]` says whether player p is in E, in double
+  // precision (exactness is not needed for an estimator).
+  double Evaluate(const std::vector<char>& present) const;
+
+ private:
+  struct AnswerEntry {
+    double tau;
+    std::vector<std::vector<int>> supports;
+  };
+
+  AggregateFunction alpha_;
+  int num_players_ = 0;
+  std::vector<int> player_index_;
+  std::vector<AnswerEntry> answers_;
+};
 
 struct MonteCarloOptions {
   int64_t num_samples = 10000;
@@ -41,6 +74,16 @@ StatusOr<MonteCarloResult> MonteCarloShapley(const AggregateQuery& a,
 // endogenous facts.
 StatusOr<MonteCarloResult> MonteCarloBanzhaf(const AggregateQuery& a,
                                              const Database& db, FactId fact,
+                                             const MonteCarloOptions& options);
+
+// Sampler variants over a prebuilt evaluator: identical estimates to the
+// (a, db) overloads, minus the per-call support precomputation. `fact` must
+// be endogenous in the database the evaluator was built from.
+StatusOr<MonteCarloResult> MonteCarloShapley(const SupportEvaluator& evaluator,
+                                             FactId fact,
+                                             const MonteCarloOptions& options);
+StatusOr<MonteCarloResult> MonteCarloBanzhaf(const SupportEvaluator& evaluator,
+                                             FactId fact,
                                              const MonteCarloOptions& options);
 
 // Number of samples for an additive (epsilon, delta) guarantee via

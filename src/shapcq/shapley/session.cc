@@ -1,0 +1,273 @@
+#include "shapcq/shapley/session.h"
+
+#include <atomic>
+
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/solver.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/parallel.h"
+
+namespace shapcq {
+
+namespace {
+
+constexpr const char* kNoEngineMessage = "no exact engine applies";
+
+SolveResult ExactResult(Rational value, std::string algorithm) {
+  SolveResult result;
+  result.is_exact = true;
+  result.exact = std::move(value);
+  result.approximation = result.exact.ToDouble();
+  result.algorithm = std::move(algorithm);
+  return result;
+}
+
+SolveResult ApproximateResult(double estimate, std::string algorithm) {
+  SolveResult result;
+  result.is_exact = false;
+  result.approximation = estimate;
+  result.algorithm = std::move(algorithm);
+  return result;
+}
+
+// One engine's per-fact score: the direct scorer when the provider has
+// one, the sum_k framework otherwise.
+StatusOr<Rational> ScoreOneWith(const EngineProvider& engine,
+                                const AggregateQuery& a, const Database& db,
+                                FactId fact, ScoreKind kind) {
+  if (engine.score_one != nullptr) {
+    return engine.score_one(a, db, fact, kind);
+  }
+  if (engine.sum_k != nullptr) {
+    return ScoreViaSumK(a, db, fact, engine.sum_k, kind);
+  }
+  return UnsupportedError("engine '" + engine.name +
+                          "' has no per-fact entry point");
+}
+
+}  // namespace
+
+SolverSession::SolverSession(AggregateQuery a, const Database& db)
+    : a_(std::move(a)),
+      db_(db),
+      engines_(EngineRegistry::Global().CandidatesFor(a_)) {}
+
+HierarchyClass SolverSession::classification() const {
+  if (!classification_.has_value()) {
+    classification_ = Classify(a_.query);
+  }
+  return *classification_;
+}
+
+bool SolverSession::inside_frontier() const {
+  if (a_.query.HasSelfJoin()) return false;
+  return AtLeast(classification(), TractabilityFrontier(a_.alpha));
+}
+
+StatusOr<std::string> SolverSession::ExactAlgorithmName() const {
+  if (engines_.empty()) return UnsupportedError("no exact engine");
+  return engines_[0]->name;
+}
+
+const SupportEvaluator& SolverSession::support_evaluator() {
+  if (support_evaluator_ == nullptr) {
+    support_evaluator_ = std::make_unique<SupportEvaluator>(a_, db_);
+  }
+  return *support_evaluator_;
+}
+
+StatusOr<SolveResult> SolverSession::ComputeExact(FactId fact,
+                                                  const SolverOptions& options,
+                                                  Status* first_failure) const {
+  Status failure = UnsupportedError(kNoEngineMessage);
+  for (const EngineProvider* engine : engines_) {
+    StatusOr<Rational> score =
+        ScoreOneWith(*engine, a_, db_, fact, options.score);
+    if (score.ok()) {
+      return ExactResult(std::move(score).value(), engine->name);
+    }
+    if (failure.message() == kNoEngineMessage) failure = score.status();
+  }
+  if (first_failure != nullptr) *first_failure = failure;
+  return failure;
+}
+
+StatusOr<SolveResult> SolverSession::Compute(FactId fact,
+                                             const SolverOptions& options) {
+  if (!db_.fact(fact).endogenous) {
+    return InvalidArgumentError("fact is exogenous: " +
+                                db_.fact(fact).ToString());
+  }
+  switch (options.method) {
+    case SolveMethod::kExactOnly:
+      return ComputeExact(fact, options, nullptr);
+    case SolveMethod::kBruteForce: {
+      StatusOr<Rational> score =
+          BruteForceScore(a_, db_, fact, options.score);
+      if (!score.ok()) return score.status();
+      return ExactResult(std::move(score).value(), "brute-force");
+    }
+    case SolveMethod::kMonteCarlo: {
+      const SupportEvaluator& evaluator = support_evaluator();
+      StatusOr<MonteCarloResult> mc =
+          options.score == ScoreKind::kShapley
+              ? MonteCarloShapley(evaluator, fact, options.monte_carlo)
+              : MonteCarloBanzhaf(evaluator, fact, options.monte_carlo);
+      if (!mc.ok()) return mc.status();
+      return ApproximateResult(mc->estimate, "monte-carlo");
+    }
+    case SolveMethod::kAuto: {
+      StatusOr<SolveResult> exact = ComputeExact(fact, options, nullptr);
+      if (exact.ok()) return exact;
+      SolverOptions forced = options;
+      forced.method = db_.num_endogenous() <= kBruteForceMaxPlayers
+                          ? SolveMethod::kBruteForce
+                          : SolveMethod::kMonteCarlo;
+      return Compute(fact, forced);
+    }
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+StatusOr<std::vector<std::pair<FactId, SolveResult>>>
+SolverSession::ComputeAllExact(const SolverOptions& options,
+                               Status* first_failure) const {
+  Status failure = UnsupportedError(kNoEngineMessage);
+  std::vector<FactId> facts = db_.EndogenousFacts();
+  for (const EngineProvider* engine : engines_) {
+    if (engine->score_all != nullptr) {
+      StatusOr<std::vector<std::pair<FactId, Rational>>> batch =
+          engine->score_all(a_, db_, options.score);
+      if (batch.ok()) {
+        std::vector<std::pair<FactId, SolveResult>> results;
+        results.reserve(batch->size());
+        for (auto& [fact, score] : *batch) {
+          results.emplace_back(fact,
+                               ExactResult(std::move(score), engine->name));
+        }
+        return results;
+      }
+      if (failure.message() == kNoEngineMessage) failure = batch.status();
+      continue;
+    }
+    if (engine->score_one == nullptr && engine->sum_k == nullptr) continue;
+    // Per-fact sweep with this engine, fanned out over the thread pool.
+    // Slot i holds fact i's result, so the output order is deterministic.
+    std::vector<StatusOr<Rational>> scores(
+        facts.size(), StatusOr<Rational>(UnsupportedError("unset")));
+    std::atomic<bool> failed{false};
+    ParallelFor(
+        static_cast<int64_t>(facts.size()),
+        [&](int64_t i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          FactId fact = facts[static_cast<size_t>(i)];
+          scores[static_cast<size_t>(i)] =
+              ScoreOneWith(*engine, a_, db_, fact, options.score);
+          if (!scores[static_cast<size_t>(i)].ok()) {
+            failed.store(true, std::memory_order_relaxed);
+          }
+        },
+        options.num_threads);
+    bool all_ok = true;
+    for (const StatusOr<Rational>& score : scores) {
+      if (score.ok()) continue;
+      all_ok = false;
+      // Slots skipped by the early abort keep the "unset" sentinel; record
+      // the first genuine engine failure instead.
+      if (failure.message() == kNoEngineMessage &&
+          score.status().message() != "unset") {
+        failure = score.status();
+      }
+    }
+    if (all_ok) {
+      std::vector<std::pair<FactId, SolveResult>> results;
+      results.reserve(facts.size());
+      for (size_t i = 0; i < facts.size(); ++i) {
+        results.emplace_back(
+            facts[i],
+            ExactResult(std::move(scores[i]).value(), engine->name));
+      }
+      return results;
+    }
+  }
+  if (first_failure != nullptr) *first_failure = failure;
+  return failure;
+}
+
+StatusOr<std::vector<std::pair<FactId, SolveResult>>>
+SolverSession::BruteForceAll(const SolverOptions& options) const {
+  StatusOr<std::vector<std::pair<FactId, Rational>>> scores =
+      BruteForceScoreAll(a_, db_, options.score);
+  if (!scores.ok()) return scores.status();
+  std::vector<std::pair<FactId, SolveResult>> results;
+  results.reserve(scores->size());
+  for (auto& [fact, score] : *scores) {
+    results.emplace_back(fact, ExactResult(std::move(score), "brute-force"));
+  }
+  return results;
+}
+
+StatusOr<std::vector<std::pair<FactId, SolveResult>>>
+SolverSession::MonteCarloAll(const SolverOptions& options) {
+  const SupportEvaluator& evaluator = support_evaluator();
+  std::vector<FactId> facts = db_.EndogenousFacts();
+  std::vector<StatusOr<MonteCarloResult>> estimates(
+      facts.size(), StatusOr<MonteCarloResult>(UnsupportedError("unset")));
+  // Each per-fact run seeds its own generator (exactly like the per-fact
+  // path), so the fan-out changes nothing about the estimates.
+  ParallelFor(
+      static_cast<int64_t>(facts.size()),
+      [&](int64_t i) {
+        FactId fact = facts[static_cast<size_t>(i)];
+        estimates[static_cast<size_t>(i)] =
+            options.score == ScoreKind::kShapley
+                ? MonteCarloShapley(evaluator, fact, options.monte_carlo)
+                : MonteCarloBanzhaf(evaluator, fact, options.monte_carlo);
+      },
+      options.num_threads);
+  std::vector<std::pair<FactId, SolveResult>> results;
+  results.reserve(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (!estimates[i].ok()) return estimates[i].status();
+    results.emplace_back(
+        facts[i], ApproximateResult(estimates[i]->estimate, "monte-carlo"));
+  }
+  return results;
+}
+
+StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
+    const SolverOptions& options) {
+  switch (options.method) {
+    case SolveMethod::kBruteForce:
+      return BruteForceAll(options);
+    case SolveMethod::kMonteCarlo:
+      return MonteCarloAll(options);
+    case SolveMethod::kExactOnly:
+      return ComputeAllExact(options, nullptr);
+    case SolveMethod::kAuto: {
+      StatusOr<std::vector<std::pair<FactId, SolveResult>>> exact =
+          ComputeAllExact(options, nullptr);
+      if (exact.ok()) return exact;
+      if (db_.num_endogenous() <= kBruteForceMaxPlayers) {
+        return BruteForceAll(options);
+      }
+      return MonteCarloAll(options);
+    }
+  }
+  SHAPCQ_UNREACHABLE();
+}
+
+StatusOr<SumKSeries> SolverSession::ComputeSumKSeries() const {
+  Status failure = UnsupportedError(kNoEngineMessage);
+  for (const EngineProvider* engine : engines_) {
+    if (engine->sum_k == nullptr) continue;
+    StatusOr<SumKSeries> series = engine->sum_k(a_, db_);
+    if (series.ok()) return series;
+    if (failure.message() == kNoEngineMessage) failure = series.status();
+  }
+  StatusOr<SumKSeries> brute = BruteForceSumK(a_, db_);
+  if (brute.ok()) return brute;
+  return failure;
+}
+
+}  // namespace shapcq

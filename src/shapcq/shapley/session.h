@@ -1,0 +1,128 @@
+// SolverSession: a reusable per-(query, database) solving context.
+//
+// The solver façade used to rebuild everything per fact: re-classify the
+// query, re-select engines, re-enumerate homomorphisms, and re-run the DP
+// scaffolding from scratch for each of the n endogenous facts — making
+// all-facts attribution (the paper's headline operation) n× the cost of a
+// single fact. A SolverSession computes the shared parts once:
+//
+//   * query classification and frontier verdict,
+//   * the applicable engine providers (EngineRegistry),
+//   * the homomorphism-support structure for sampling (SupportEvaluator),
+//
+// and answers per-fact Shapley/Banzhaf queries against that state.
+// ComputeAll additionally batches across facts: engines with a batched
+// scorer (e.g. Sum/Count) share per-answer work across every fact; the
+// brute-force fallback sweeps the subset lattice once for all facts; the
+// Monte Carlo fallback samples through the shared support structure; and
+// per-fact engine runs fan out over a thread pool with deterministic
+// result order.
+//
+// Equivalence contract: ComputeAll produces exactly the values of calling
+// Compute per fact. Exact paths are bitwise-identical (exact rational
+// arithmetic; batching only reorders summations), and the Monte Carlo path
+// reuses the per-fact seeding, so even estimates match. The one divergence:
+// an engine that fails for SOME facts but not others makes ComputeAll move
+// every fact to the next engine/fallback, whereas per-fact calls switch
+// only the failing facts — values stay equal whenever the fallback is
+// exact. No built-in engine behaves that way on self-join-free inputs.
+//
+// A session borrows the database: it must outlive the session, and facts
+// must not be added while the session is in use.
+
+#ifndef SHAPCQ_SHAPLEY_SESSION_H_
+#define SHAPCQ_SHAPLEY_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/hierarchy/classification.h"
+#include "shapcq/shapley/engine_registry.h"
+#include "shapcq/shapley/monte_carlo.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+enum class SolveMethod {
+  kAuto,        // exact DP, else brute force (small), else Monte Carlo
+  kExactOnly,   // exact DP or error
+  kBruteForce,  // force subset enumeration
+  kMonteCarlo,  // force sampling
+};
+
+struct SolverOptions {
+  ScoreKind score = ScoreKind::kShapley;
+  SolveMethod method = SolveMethod::kAuto;
+  MonteCarloOptions monte_carlo;
+  // Worker threads for batched per-fact computations (ComputeAll); < 1
+  // means hardware concurrency. Results are deterministic regardless.
+  int num_threads = 0;
+};
+
+struct SolveResult {
+  bool is_exact = false;
+  Rational exact;            // meaningful iff is_exact
+  double approximation = 0;  // always set (exact value as double otherwise)
+  std::string algorithm;     // human-readable engine name
+};
+
+class SolverSession {
+ public:
+  // Engines come from EngineRegistry::Global().
+  SolverSession(AggregateQuery a, const Database& db);
+
+  const AggregateQuery& aggregate_query() const { return a_; }
+  const Database& database() const { return db_; }
+
+  // Hierarchy class of the query (computed once per session).
+  HierarchyClass classification() const;
+  // Whether the query lies inside the aggregate's tractability frontier.
+  bool inside_frontier() const;
+  // Applicable engine providers, in preference order.
+  const std::vector<const EngineProvider*>& engines() const {
+    return engines_;
+  }
+  // Name of the exact engine tried first, if any.
+  StatusOr<std::string> ExactAlgorithmName() const;
+
+  // The shared homomorphism-support structure (built on first use).
+  const SupportEvaluator& support_evaluator();
+
+  // Score of one endogenous fact.
+  StatusOr<SolveResult> Compute(FactId fact, const SolverOptions& options = {});
+
+  // Scores of all endogenous facts, ascending by FactId. The fast path:
+  // batched engines, shared fallbacks, thread-pool fan-out.
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAll(
+      const SolverOptions& options = {});
+
+  // The raw sum_k series of the aggregate query over the database, from the
+  // first applicable exact engine (brute force as last resort).
+  StatusOr<SumKSeries> ComputeSumKSeries() const;
+
+ private:
+  StatusOr<SolveResult> ComputeExact(FactId fact, const SolverOptions& options,
+                                     Status* first_failure) const;
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAllExact(
+      const SolverOptions& options, Status* first_failure) const;
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> BruteForceAll(
+      const SolverOptions& options) const;
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> MonteCarloAll(
+      const SolverOptions& options);
+
+  AggregateQuery a_;
+  const Database& db_;
+  std::vector<const EngineProvider*> engines_;
+  mutable std::optional<HierarchyClass> classification_;
+  std::unique_ptr<SupportEvaluator> support_evaluator_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_SESSION_H_

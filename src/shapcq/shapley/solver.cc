@@ -1,12 +1,5 @@
 #include "shapcq/shapley/solver.h"
 
-#include "shapcq/shapley/avg_quantile.h"
-#include "shapcq/shapley/brute_force.h"
-#include "shapcq/shapley/count_distinct.h"
-#include "shapcq/shapley/has_duplicates.h"
-#include "shapcq/shapley/min_max.h"
-#include "shapcq/shapley/special_cases.h"
-#include "shapcq/shapley/sum_count.h"
 #include "shapcq/util/check.h"
 
 namespace shapcq {
@@ -35,144 +28,30 @@ bool IsInsideFrontier(const AggregateFunction& alpha,
   return AtLeast(Classify(q), TractabilityFrontier(alpha));
 }
 
-std::vector<ShapleySolver::Engine> ShapleySolver::CandidateEngines() const {
-  switch (a_.alpha.kind()) {
-    case AggKind::kSum:
-    case AggKind::kCount:
-      return {{"sum-count/linearity", SumCountSumK}};
-    case AggKind::kMin:
-    case AggKind::kMax:
-      return {{"min-max/all-hierarchical-dp", MinMaxSumK}};
-    case AggKind::kCountDistinct:
-      // Section 7.1: with a unary head and an injective τ, distinct answers
-      // have distinct values, so CDist coincides with Count — which is
-      // tractable on the strictly larger ∃-hierarchical class.
-      if (a_.query.arity() == 1 && a_.tau->is_injective() &&
-          a_.tau->DependsOn() == std::vector<int>{0}) {
-        return {{"count-distinct/boolean-reduction", CountDistinctSumK},
-                {"count-distinct/injective-count-rewrite",
-                 [](const AggregateQuery& a, const Database& db) {
-                   AggregateQuery as_count{a.query, a.tau,
-                                           AggregateFunction::Count()};
-                   return SumCountSumK(as_count, db);
-                 }}};
-      }
-      return {{"count-distinct/boolean-reduction", CountDistinctSumK}};
-    case AggKind::kAvg:
-    case AggKind::kQuantile:
-      return {{"avg-quantile/q-hierarchical-dp", AvgQuantileSumK},
-              {"gated-product/prop-7.3", GatedProductSumK}};
-    case AggKind::kHasDuplicates:
-      return {{"has-duplicates/sq-hierarchical-dp", HasDuplicatesSumK}};
-  }
-  SHAPCQ_UNREACHABLE();
-}
-
 StatusOr<std::string> ShapleySolver::ExactAlgorithmName() const {
-  std::vector<Engine> engines = CandidateEngines();
+  std::vector<const EngineProvider*> engines =
+      EngineRegistry::Global().CandidatesFor(a_);
   if (engines.empty()) return UnsupportedError("no exact engine");
-  return engines[0].name;
-}
-
-StatusOr<SolveResult> ShapleySolver::ComputeExact(const Database& db,
-                                                  FactId fact,
-                                                  const SolverOptions& options,
-                                                  Status* first_failure) const {
-  Status failure = UnsupportedError("no exact engine applies");
-  for (const Engine& engine : CandidateEngines()) {
-    StatusOr<Rational> score =
-        ScoreViaSumK(a_, db, fact, engine.fn, options.score);
-    if (score.ok()) {
-      SolveResult result;
-      result.is_exact = true;
-      result.exact = std::move(score).value();
-      result.approximation = result.exact.ToDouble();
-      result.algorithm = engine.name;
-      return result;
-    }
-    if (failure.message() == "no exact engine applies") {
-      failure = score.status();
-    }
-  }
-  if (first_failure != nullptr) *first_failure = failure;
-  return failure;
+  return engines[0]->name;
 }
 
 StatusOr<SolveResult> ShapleySolver::Compute(const Database& db, FactId fact,
                                              const SolverOptions& options) const {
-  if (!db.fact(fact).endogenous) {
-    return InvalidArgumentError("fact is exogenous: " +
-                                db.fact(fact).ToString());
-  }
-  switch (options.method) {
-    case SolveMethod::kExactOnly:
-      return ComputeExact(db, fact, options, nullptr);
-    case SolveMethod::kBruteForce: {
-      StatusOr<Rational> score =
-          BruteForceScore(a_, db, fact, options.score);
-      if (!score.ok()) return score.status();
-      SolveResult result;
-      result.is_exact = true;
-      result.exact = std::move(score).value();
-      result.approximation = result.exact.ToDouble();
-      result.algorithm = "brute-force";
-      return result;
-    }
-    case SolveMethod::kMonteCarlo: {
-      StatusOr<MonteCarloResult> mc =
-          options.score == ScoreKind::kShapley
-              ? MonteCarloShapley(a_, db, fact, options.monte_carlo)
-              : MonteCarloBanzhaf(a_, db, fact, options.monte_carlo);
-      if (!mc.ok()) return mc.status();
-      SolveResult result;
-      result.is_exact = false;
-      result.approximation = mc->estimate;
-      result.algorithm = "monte-carlo";
-      return result;
-    }
-    case SolveMethod::kAuto: {
-      Status exact_failure = Status::Ok();
-      StatusOr<SolveResult> exact =
-          ComputeExact(db, fact, options, &exact_failure);
-      if (exact.ok()) return exact;
-      if (db.num_endogenous() <= kBruteForceMaxPlayers) {
-        SolverOptions forced = options;
-        forced.method = SolveMethod::kBruteForce;
-        return Compute(db, fact, forced);
-      }
-      SolverOptions forced = options;
-      forced.method = SolveMethod::kMonteCarlo;
-      return Compute(db, fact, forced);
-    }
-  }
-  SHAPCQ_UNREACHABLE();
-}
-
-StatusOr<SumKSeries> ShapleySolver::ComputeSumKSeries(
-    const Database& db) const {
-  Status failure = UnsupportedError("no exact engine applies");
-  for (const Engine& engine : CandidateEngines()) {
-    StatusOr<SumKSeries> series = engine.fn(a_, db);
-    if (series.ok()) return series;
-    if (failure.message() == "no exact engine applies") {
-      failure = series.status();
-    }
-  }
-  StatusOr<SumKSeries> brute = BruteForceSumK(a_, db);
-  if (brute.ok()) return brute;
-  return failure;
+  SolverSession session(a_, db);
+  return session.Compute(fact, options);
 }
 
 StatusOr<std::vector<std::pair<FactId, SolveResult>>>
 ShapleySolver::ComputeAll(const Database& db,
                           const SolverOptions& options) const {
-  std::vector<std::pair<FactId, SolveResult>> results;
-  for (FactId fact : db.EndogenousFacts()) {
-    StatusOr<SolveResult> result = Compute(db, fact, options);
-    if (!result.ok()) return result.status();
-    results.emplace_back(fact, std::move(result).value());
-  }
-  return results;
+  SolverSession session(a_, db);
+  return session.ComputeAll(options);
+}
+
+StatusOr<SumKSeries> ShapleySolver::ComputeSumKSeries(
+    const Database& db) const {
+  SolverSession session(a_, db);
+  return session.ComputeSumKSeries();
 }
 
 }  // namespace shapcq

@@ -14,6 +14,12 @@
 //
 // Localization-sensitive special cases (Proposition 7.3) are attempted
 // before giving up: specific τ may be tractable outside the frontier.
+//
+// Dispatch is driven by the EngineRegistry (engine_registry.h): each exact
+// algorithm registers a provider, so new engines plug in without touching
+// this façade. Per-call work is handled by a SolverSession (session.h);
+// hold a session yourself to amortize the shared state over many calls,
+// or use ComputeAll, which batches all facts through one session.
 
 #ifndef SHAPCQ_SHAPLEY_SOLVER_H_
 #define SHAPCQ_SHAPLEY_SOLVER_H_
@@ -27,6 +33,7 @@
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/shapley/monte_carlo.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/session.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -41,26 +48,6 @@ HierarchyClass TractabilityFrontier(const AggregateFunction& alpha);
 bool IsInsideFrontier(const AggregateFunction& alpha,
                       const ConjunctiveQuery& q);
 
-enum class SolveMethod {
-  kAuto,        // exact DP, else brute force (small), else Monte Carlo
-  kExactOnly,   // exact DP or error
-  kBruteForce,  // force subset enumeration
-  kMonteCarlo,  // force sampling
-};
-
-struct SolverOptions {
-  ScoreKind score = ScoreKind::kShapley;
-  SolveMethod method = SolveMethod::kAuto;
-  MonteCarloOptions monte_carlo;
-};
-
-struct SolveResult {
-  bool is_exact = false;
-  Rational exact;            // meaningful iff is_exact
-  double approximation = 0;  // always set (exact value as double otherwise)
-  std::string algorithm;     // human-readable engine name
-};
-
 class ShapleySolver {
  public:
   explicit ShapleySolver(AggregateQuery a) : a_(std::move(a)) {}
@@ -74,7 +61,9 @@ class ShapleySolver {
   StatusOr<SolveResult> Compute(const Database& db, FactId fact,
                                 const SolverOptions& options = {}) const;
 
-  // Scores of all endogenous facts.
+  // Scores of all endogenous facts: one SolverSession batches the shared
+  // work (classification, engine selection, homomorphism supports, DP
+  // scaffolding) across facts instead of rebuilding it n times.
   StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAll(
       const Database& db, const SolverOptions& options = {}) const;
 
@@ -84,18 +73,6 @@ class ShapleySolver {
   StatusOr<SumKSeries> ComputeSumKSeries(const Database& db) const;
 
  private:
-  struct Engine {
-    std::string name;
-    SumKEngine fn;
-  };
-
-  // Exact engines applicable to this aggregate query, in preference order.
-  std::vector<Engine> CandidateEngines() const;
-
-  StatusOr<SolveResult> ComputeExact(const Database& db, FactId fact,
-                                     const SolverOptions& options,
-                                     Status* first_failure) const;
-
   AggregateQuery a_;
 };
 

@@ -6,6 +6,7 @@
 #include "shapcq/agg/value_function.h"
 #include "shapcq/query/decomposition.h"
 #include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 
@@ -120,6 +121,18 @@ StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
     }
   }
   return series;
+}
+
+void RegisterGatedProductEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "gated-product/prop-7.3";
+  provider.priority = 20;
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kAvg ||
+           a.alpha.kind() == AggKind::kQuantile;
+  };
+  provider.sum_k = GatedProductSumK;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

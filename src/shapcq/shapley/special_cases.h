@@ -34,6 +34,12 @@ namespace shapcq {
 StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
                                       const Database& db);
 
+class EngineRegistry;
+
+// Registers the "gated-product/prop-7.3" provider (after the primary
+// Avg/Qnt engine in preference order).
+void RegisterGatedProductEngine(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_SPECIAL_CASES_H_

@@ -1,14 +1,23 @@
 #include "shapcq/shapley/sum_count.h"
 
+#include <unordered_map>
+
 #include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/decomposition.h"
 #include "shapcq/query/evaluator.h"
+#include "shapcq/shapley/dp_util.h"
+#include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
 
 namespace shapcq {
 
-StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
-                                  const Database& db) {
+namespace {
+
+// The gate of SumCountSumK, shared with the batched scorer so both fail
+// identically.
+Status CheckSumCountShape(const AggregateQuery& a) {
   if (a.alpha.kind() != AggKind::kSum && a.alpha.kind() != AggKind::kCount) {
     return UnsupportedError("SumCountSumK handles Sum and Count only");
   }
@@ -19,20 +28,33 @@ StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
     return UnsupportedError("Sum/Count requires an exists-hierarchical CQ: " +
                             a.query.ToString());
   }
+  return Status::Ok();
+}
+
+// Binds the head variables of `a.query` to `answer`, yielding the Boolean
+// query "answer still present". Repeated head variables bind once.
+ConjunctiveQuery BindAnswer(const ConjunctiveQuery& q, const Tuple& answer) {
+  ConjunctiveQuery q_t = q;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    const std::string& head_var = q.head()[i];
+    if (q_t.IsFreeVariable(head_var)) {
+      q_t = q_t.Bind(head_var, answer[i]);
+    }
+  }
+  SHAPCQ_CHECK(q_t.is_boolean());
+  return q_t;
+}
+
+}  // namespace
+
+StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
+                                  const Database& db) {
+  Status shape = CheckSumCountShape(a);
+  if (!shape.ok()) return shape;
   int n = db.num_endogenous();
   SumKSeries series(static_cast<size_t>(n) + 1);
   for (const Tuple& answer : Evaluate(a.query, db)) {
-    // Bind the head variables to this answer to get the Boolean query
-    // "answer still present". Repeated head variables bind once.
-    ConjunctiveQuery q_t = a.query;
-    for (size_t i = 0; i < answer.size(); ++i) {
-      const std::string& head_var =
-          a.query.head()[i];  // name in the original head
-      if (q_t.IsFreeVariable(head_var)) {
-        q_t = q_t.Bind(head_var, answer[i]);
-      }
-    }
-    SHAPCQ_CHECK(q_t.is_boolean());
+    ConjunctiveQuery q_t = BindAnswer(a.query, answer);
     StatusOr<std::vector<BigInt>> counts = SatisfactionCounts(q_t, db);
     if (!counts.ok()) return counts.status();
     Rational weight = a.alpha.kind() == AggKind::kCount
@@ -45,6 +67,110 @@ StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
     }
   }
   return series;
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
+    const AggregateQuery& a, const Database& db, ScoreKind kind) {
+  Status shape = CheckSumCountShape(a);
+  if (!shape.ok()) return shape;
+  const int64_t n = db.num_endogenous();
+  std::vector<FactId> endo = db.EndogenousFacts();
+  if (n == 0) return std::vector<std::pair<FactId, Rational>>{};
+
+  // Equivalence with the per-fact path (ScoreViaSumK over SumCountSumK):
+  // by linearity, Shapley(f) = Σ_t w(t) · ScoreFromSumK(c(Q_t, F_f),
+  // c(Q_t, G_f)). Answers of F_f equal the answers of D (same fact set);
+  // answers of G_f are a subset, and for the missing ones c(Q_t, G_f) ≡ 0,
+  // so iterating over answers of D covers both series. Facts irrelevant to
+  // Q_t yield identical F/G counts, hence an exact zero term — they are
+  // skipped. All arithmetic is exact, so the reordering is value-preserving.
+  Database work = db;  // mutable copy: per-fact F_f is an O(1) flag flip
+  Combinatorics comb;
+  // Accumulated per-fact delta series: delta[f][k] =
+  //   Σ_t w(t) · (c_k(Q_t, F_f) − c_k(Q_t, G_f)),  k = 0..n−1.
+  std::unordered_map<FactId, SumKSeries> delta;
+  for (const Tuple& answer : Evaluate(a.query, db)) {
+    ConjunctiveQuery q_t = BindAnswer(a.query, answer);
+    // Mirror the SatisfactionCounts gates so the batch fails exactly where
+    // the per-fact path would.
+    if (q_t.HasSelfJoin()) {
+      return UnsupportedError(
+          "satisfaction counts require a self-join-free CQ");
+    }
+    if (!IsAllHierarchical(q_t)) {
+      return UnsupportedError(
+          "satisfaction counts require a hierarchical CQ: " + q_t.ToString());
+    }
+    Rational weight = a.alpha.kind() == AggKind::kCount
+                          ? Rational(1)
+                          : a.tau->Evaluate(answer);
+    if (weight.is_zero()) continue;
+    RelevanceSplit split = SplitRelevant(q_t, AllFacts(work));
+    const int pad = split.irrelevant_endogenous;
+    for (FactId f : split.relevant.EndogenousFacts()) {
+      // F_f: f exogenous; same relevant subset, one flag flipped.
+      work.SetEndogenous(f, false);
+      std::vector<BigInt> counts_f =
+          SatisfactionCountsOnSubset(q_t, split.relevant, &comb);
+      // G_f: f removed; the flag no longer matters, only the subset does.
+      FactSubset without;
+      without.db = &work;
+      without.facts.reserve(split.relevant.facts.size() - 1);
+      for (FactId id : split.relevant.facts) {
+        if (id != f) without.facts.push_back(id);
+      }
+      std::vector<BigInt> counts_g =
+          SatisfactionCountsOnSubset(q_t, without, &comb);
+      work.SetEndogenous(f, true);
+      std::vector<BigInt> diff = SubtractCounts(counts_f, counts_g);
+      diff = PadCounts(diff, pad, &comb);
+      SHAPCQ_CHECK(static_cast<int64_t>(diff.size()) == n);
+      SumKSeries& acc = delta[f];
+      if (acc.empty()) acc.assign(static_cast<size_t>(n), Rational());
+      for (size_t k = 0; k < diff.size(); ++k) {
+        if (!diff[k].is_zero()) acc[k] += weight * Rational(diff[k]);
+      }
+    }
+  }
+
+  std::vector<std::pair<FactId, Rational>> scores;
+  scores.reserve(endo.size());
+  for (FactId f : endo) {
+    Rational score;
+    auto it = delta.find(f);
+    if (it != delta.end()) {
+      for (int64_t k = 0; k < n; ++k) {
+        const Rational& d = it->second[static_cast<size_t>(k)];
+        if (d.is_zero()) continue;
+        switch (kind) {
+          case ScoreKind::kShapley:
+            score += comb.ShapleyCoefficient(n, k) * d;
+            break;
+          case ScoreKind::kBanzhaf:
+            score += d;
+            break;
+        }
+      }
+      if (kind == ScoreKind::kBanzhaf && n > 1) {
+        score /= Rational(BigInt::TwoPow(static_cast<uint64_t>(n - 1)));
+      }
+    }
+    scores.emplace_back(f, std::move(score));
+  }
+  return scores;
+}
+
+void RegisterSumCountEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "sum-count/linearity";
+  provider.priority = 10;
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kSum ||
+           a.alpha.kind() == AggKind::kCount;
+  };
+  provider.sum_k = SumCountSumK;
+  provider.score_all = SumCountScoreAll;
+  registry.Register(std::move(provider));
 }
 
 }  // namespace shapcq

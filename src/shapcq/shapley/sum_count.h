@@ -23,6 +23,22 @@ namespace shapcq {
 // ∃-hierarchical.
 StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db);
 
+// Batched all-facts scorer: the value every endogenous fact gets from the
+// per-fact sum_k path, but with the per-answer work shared. Each answer t
+// is bound to its Boolean query Q_t once, its relevance split is computed
+// once, and the two derived databases per fact (F: f exogenous, G: f
+// removed) are realized as an O(1) endogenous-flag flip / subset drop
+// instead of full database copies. Facts irrelevant to Q_t contribute an
+// exact 0 and are skipped. Results are identical to the per-fact path
+// (exact rational arithmetic; only the summation order differs).
+StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
+    const AggregateQuery& a, const Database& db, ScoreKind kind);
+
+class EngineRegistry;
+
+// Registers the "sum-count/linearity" provider (with the batched scorer).
+void RegisterSumCountEngine(EngineRegistry& registry);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_SHAPLEY_SUM_COUNT_H_

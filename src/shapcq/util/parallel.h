@@ -1,0 +1,59 @@
+// Minimal work-queue parallelism for per-fact batch computations.
+//
+// The Shapley value of each fact is independent of every other fact's, so
+// batch APIs fan out over a small std::thread pool. Determinism is the
+// caller's job and is easy: pre-size an output vector and have fn(i) write
+// only slot i; the result is then independent of scheduling.
+
+#ifndef SHAPCQ_UTIL_PARALLEL_H_
+#define SHAPCQ_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace shapcq {
+
+// Resolves a thread-count request: values < 1 mean "hardware concurrency",
+// and the result is clamped to [1, count] so tiny batches don't spawn idle
+// threads.
+inline int EffectiveThreadCount(int requested, int64_t count) {
+  int threads = requested;
+  if (threads < 1) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (count < threads) threads = static_cast<int>(count);
+  return threads < 1 ? 1 : threads;
+}
+
+// Runs fn(i) for every i in [0, count), using `num_threads` workers pulling
+// from a shared atomic counter (num_threads < 1: hardware concurrency).
+// fn must be safe to call concurrently for distinct indexes. Runs inline
+// when one worker suffices. fn must not throw.
+inline void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
+                        int num_threads = 0) {
+  if (count <= 0) return;
+  int threads = EffectiveThreadCount(num_threads, count);
+  if (threads == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  auto worker = [&]() {
+    for (int64_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+}
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_PARALLEL_H_

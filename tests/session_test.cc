@@ -1,0 +1,367 @@
+// Differential tests for the SolverSession batching layer and the indexed
+// evaluator.
+//
+// Two invariants are checked across randomized workloads from
+// workload/generators:
+//  1. ComputeAll (batched engines, shared fallbacks, thread pool) returns
+//     exactly the results of calling Compute per fact — bitwise-identical
+//     Rationals on exact paths, identical estimates on the sampling path.
+//  2. The indexed EnumerateHomomorphisms returns the same homomorphism set
+//     as the retained naive reference join.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/shapley/solver.h"
+#include "shapcq/shapley/sum_count.h"
+#include "shapcq/workload/generators.h"
+#include "shapcq/workload/random_query.h"
+
+namespace shapcq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Indexed join vs. naive reference join
+// ---------------------------------------------------------------------------
+
+// Canonical, order-insensitive form of a homomorphism list.
+std::set<std::pair<Tuple, std::vector<FactId>>> Canonical(
+    const std::vector<Homomorphism>& homs) {
+  std::set<std::pair<Tuple, std::vector<FactId>>> out;
+  for (const Homomorphism& hom : homs) {
+    out.emplace(hom.answer, hom.used_facts);
+  }
+  return out;
+}
+
+TEST(IndexedJoinTest, MatchesNaiveReferenceOnRandomWorkloads) {
+  for (HierarchyClass target :
+       {HierarchyClass::kSqHierarchical, HierarchyClass::kQHierarchical,
+        HierarchyClass::kAllHierarchical, HierarchyClass::kExistsHierarchical,
+        HierarchyClass::kGeneral}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      RandomQueryOptions query_options;
+      query_options.max_variables = 4;
+      query_options.seed = seed;
+      ConjunctiveQuery q = RandomQueryOfClass(target, query_options);
+      RandomDatabaseOptions db_options;
+      db_options.facts_per_relation = 6;
+      db_options.seed = seed * 31 + 7;
+      Database db = RandomDatabaseForQuery(q, db_options);
+      std::vector<Homomorphism> indexed = EnumerateHomomorphisms(q, db);
+      std::vector<Homomorphism> naive = EnumerateHomomorphismsNaive(q, db);
+      EXPECT_EQ(indexed.size(), naive.size()) << q.ToString();
+      EXPECT_EQ(Canonical(indexed), Canonical(naive)) << q.ToString();
+    }
+  }
+}
+
+TEST(IndexedJoinTest, MatchesNaiveWithConstantsAndRepeatedVariables) {
+  std::vector<const char*> queries = {
+      "Q(x) <- R(x, x)",
+      "Q(x) <- R(x, y), S(y, 2)",
+      "Q() <- R(x, 1), S(x, x)",
+      "Q(x, y) <- R(x, y), S(y, x)",
+  };
+  Database db;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      db.AddEndogenous("R", {Value(i), Value(j)});
+      db.AddFact("S", {Value(j), Value(i)}, /*endogenous=*/i % 2 == 0);
+    }
+  }
+  for (const char* text : queries) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    EXPECT_EQ(Canonical(EnumerateHomomorphisms(q, db)),
+              Canonical(EnumerateHomomorphismsNaive(q, db)))
+        << text;
+  }
+}
+
+TEST(IndexedJoinTest, FactsWithProbesTheRightFacts) {
+  Database db;
+  FactId r0 = db.AddEndogenous("R", {Value(1), Value("a")});
+  FactId r1 = db.AddEndogenous("R", {Value(1), Value("b")});
+  FactId r2 = db.AddEndogenous("R", {Value(2), Value("a")});
+  db.AddExogenous("S", {Value(1)});
+  EXPECT_EQ(db.FactsWith("R", 0, Value(1)), (std::vector<FactId>{r0, r1}));
+  EXPECT_EQ(db.FactsWith("R", 1, Value("a")), (std::vector<FactId>{r0, r2}));
+  EXPECT_TRUE(db.FactsWith("R", 0, Value(7)).empty());
+  EXPECT_TRUE(db.FactsWith("T", 0, Value(1)).empty());
+  // Numeric cross-kind equality carries over to the index.
+  EXPECT_EQ(db.FactsWith("R", 0, Value(1.0)), (std::vector<FactId>{r0, r1}));
+}
+
+// ---------------------------------------------------------------------------
+// ComputeAll vs. per-fact Compute
+// ---------------------------------------------------------------------------
+
+struct AggCase {
+  AggregateFunction alpha;
+  HierarchyClass frontier;
+};
+
+std::vector<AggCase> AggCases() {
+  return {
+      {AggregateFunction::Sum(), HierarchyClass::kExistsHierarchical},
+      {AggregateFunction::Count(), HierarchyClass::kExistsHierarchical},
+      {AggregateFunction::Min(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::Max(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::CountDistinct(), HierarchyClass::kAllHierarchical},
+      {AggregateFunction::Avg(), HierarchyClass::kQHierarchical},
+      {AggregateFunction::Median(), HierarchyClass::kQHierarchical},
+      {AggregateFunction::HasDuplicates(), HierarchyClass::kSqHierarchical},
+  };
+}
+
+void ExpectAllMatchesPerFact(const AggregateQuery& a, const Database& db,
+                             const SolverOptions& options,
+                             const std::string& label) {
+  ShapleySolver solver(a);
+  auto all = solver.ComputeAll(db, options);
+  ASSERT_TRUE(all.ok()) << label << ": " << all.status().ToString();
+  ASSERT_EQ(all->size(), db.EndogenousFacts().size()) << label;
+  size_t i = 0;
+  for (FactId fact : db.EndogenousFacts()) {
+    const auto& [batch_fact, batch] = (*all)[i++];
+    EXPECT_EQ(batch_fact, fact) << label;
+    auto single = solver.Compute(db, fact, options);
+    ASSERT_TRUE(single.ok()) << label << ": " << single.status().ToString();
+    EXPECT_EQ(batch.is_exact, single->is_exact) << label << " fact " << fact;
+    if (batch.is_exact && single->is_exact) {
+      EXPECT_EQ(batch.exact, single->exact)
+          << label << " fact " << fact << " batch=" << batch.algorithm
+          << " single=" << single->algorithm;
+    }
+    // The sampling path reuses the per-fact seeding, so even the estimates
+    // must agree to the last bit.
+    EXPECT_EQ(batch.approximation, single->approximation)
+        << label << " fact " << fact;
+  }
+}
+
+TEST(SessionDifferentialTest, ComputeAllMatchesPerFactAcrossAggregates) {
+  for (const AggCase& c : AggCases()) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RandomQueryOptions query_options;
+      query_options.max_variables = 3;
+      query_options.seed = seed * 13 + 1;
+      ConjunctiveQuery q = RandomQueryOfClass(c.frontier, query_options);
+      RandomDatabaseOptions db_options;
+      db_options.facts_per_relation = 4;
+      db_options.seed = seed * 7 + 3;
+      Database db = RandomDatabaseForQuery(q, db_options);
+      if (db.num_endogenous() == 0) continue;
+      ValueFunctionPtr tau =
+          q.arity() > 0 ? MakeTauId(0) : MakeConstantTau(Rational(1));
+      AggregateQuery a{q, tau, c.alpha};
+      ExpectAllMatchesPerFact(
+          a, db, SolverOptions{},
+          a.ToString() + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SessionDifferentialTest, ComputeAllMatchesPerFactOutsideFrontier) {
+  // General-class queries push Auto to the brute-force fallback, which
+  // ComputeAll serves from a single shared subset sweep.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RandomQueryOptions query_options;
+    query_options.max_variables = 3;
+    query_options.seed = seed + 40;
+    ConjunctiveQuery q =
+        RandomQueryOfClass(HierarchyClass::kGeneral, query_options);
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 3;
+    db_options.seed = seed * 11 + 5;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    if (db.num_endogenous() == 0 ||
+        db.num_endogenous() > kBruteForceMaxPlayers) {
+      continue;
+    }
+    ValueFunctionPtr tau =
+        q.arity() > 0 ? MakeTauId(0) : MakeConstantTau(Rational(1));
+    for (AggregateFunction alpha :
+         {AggregateFunction::Avg(), AggregateFunction::Max()}) {
+      AggregateQuery a{q, tau, alpha};
+      ExpectAllMatchesPerFact(
+          a, db, SolverOptions{},
+          a.ToString() + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SessionDifferentialTest, ComputeAllMatchesPerFactForBanzhaf) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  RandomDatabaseOptions db_options;
+  db_options.facts_per_relation = 5;
+  db_options.seed = 17;
+  Database db = RandomDatabaseForQuery(q, db_options);
+  ASSERT_GT(db.num_endogenous(), 0);
+  SolverOptions options;
+  options.score = ScoreKind::kBanzhaf;
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+  ExpectAllMatchesPerFact(a, db, options, "banzhaf sum");
+}
+
+TEST(SessionDifferentialTest, MonteCarloComputeAllMatchesPerFact) {
+  // Large intractable instance: Auto lands on Monte Carlo. The shared
+  // support evaluator must reproduce the per-fact estimates exactly.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  Database db;
+  for (int i = 0; i < 30; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(i % 5)});
+  }
+  for (int j = 0; j < 5; ++j) db.AddEndogenous("S", {Value(j)});
+  AggregateQuery a{q, MakeTauReLU(0), AggregateFunction::Avg()};
+  SolverOptions options;
+  options.monte_carlo.num_samples = 64;
+  ExpectAllMatchesPerFact(a, db, options, "monte carlo");
+}
+
+TEST(SessionDifferentialTest, ThreadedComputeAllIsDeterministic) {
+  // A workload with a batched engine (Sum) and one without (Median): the
+  // thread count must never change any result.
+  for (AggregateFunction alpha :
+       {AggregateFunction::Sum(), AggregateFunction::Median()}) {
+    ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 5;
+    db_options.seed = 23;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    ShapleySolver solver(AggregateQuery{q, MakeTauId(0), alpha});
+    SolverOptions one_thread;
+    one_thread.num_threads = 1;
+    SolverOptions three_threads;
+    three_threads.num_threads = 3;
+    auto sequential = solver.ComputeAll(db, one_thread);
+    auto threaded = solver.ComputeAll(db, three_threads);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(threaded.ok());
+    ASSERT_EQ(sequential->size(), threaded->size());
+    for (size_t i = 0; i < sequential->size(); ++i) {
+      EXPECT_EQ((*sequential)[i].first, (*threaded)[i].first);
+      EXPECT_EQ((*sequential)[i].second.is_exact,
+                (*threaded)[i].second.is_exact);
+      EXPECT_EQ((*sequential)[i].second.exact, (*threaded)[i].second.exact);
+      EXPECT_EQ((*sequential)[i].second.algorithm,
+                (*threaded)[i].second.algorithm);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched Sum/Count engine against independent oracles
+// ---------------------------------------------------------------------------
+
+TEST(SumCountScoreAllTest, AgreesWithBruteForceSweep) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 4;
+    db_options.seed = seed;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    if (db.num_endogenous() == 0) continue;
+    AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+    for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+      auto batched = SumCountScoreAll(a, db, kind);
+      auto oracle = BruteForceScoreAll(a, db, kind);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ASSERT_TRUE(oracle.ok());
+      ASSERT_EQ(batched->size(), oracle->size());
+      for (size_t i = 0; i < batched->size(); ++i) {
+        EXPECT_EQ((*batched)[i].first, (*oracle)[i].first);
+        EXPECT_EQ((*batched)[i].second, (*oracle)[i].second)
+            << "seed " << seed << " fact " << (*batched)[i].first;
+      }
+    }
+  }
+}
+
+TEST(SumCountScoreAllTest, RefusesOutsideTheFrontierLikeTheSeriesEngine) {
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x), S(x, y), T(y)");
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("S", {Value(1), Value(2)});
+  db.AddEndogenous("T", {Value(2)});
+  AggregateQuery a{q, MakeConstantTau(Rational(1)), AggregateFunction::Count()};
+  auto batched = SumCountScoreAll(a, db, ScoreKind::kShapley);
+  EXPECT_FALSE(batched.ok());
+  auto series = SumCountSumK(a, db);
+  EXPECT_FALSE(series.ok());
+  EXPECT_EQ(batched.status().message(), series.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// Session reuse
+// ---------------------------------------------------------------------------
+
+TEST(SolverSessionTest, SharedSessionAnswersManyQueries) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  RandomDatabaseOptions db_options;
+  db_options.facts_per_relation = 5;
+  db_options.seed = 29;
+  Database db = RandomDatabaseForQuery(q, db_options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+  SolverSession session(a, db);
+  EXPECT_EQ(session.classification(), Classify(q));
+  EXPECT_TRUE(session.inside_frontier());
+  ASSERT_FALSE(session.engines().empty());
+  EXPECT_EQ(*session.ExactAlgorithmName(), "sum-count/linearity");
+  ShapleySolver solver(a);
+  for (FactId fact : db.EndogenousFacts()) {
+    auto via_session = session.Compute(fact);
+    auto via_solver = solver.Compute(db, fact);
+    ASSERT_TRUE(via_session.ok());
+    ASSERT_TRUE(via_solver.ok());
+    EXPECT_EQ(via_session->exact, via_solver->exact);
+    EXPECT_EQ(via_session->algorithm, via_solver->algorithm);
+  }
+  // Exogenous facts are rejected just like by the façade.
+  for (FactId fact : db.ExogenousFacts()) {
+    EXPECT_FALSE(session.Compute(fact).ok());
+    break;
+  }
+}
+
+TEST(SolverSessionTest, ClosedFormFastPathServesSingleRelationInstances) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x)");
+  Database db;
+  db.AddEndogenous("R", {Value(5)});
+  db.AddEndogenous("R", {Value(3)});
+  db.AddEndogenous("R", {Value(2)});
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  SolverSession session(a, db);
+  auto all = session.ComputeAll();
+  ASSERT_TRUE(all.ok());
+  for (const auto& [fact, result] : *all) {
+    EXPECT_EQ(result.algorithm, "closed-form/single-relation");
+    EXPECT_EQ(result.exact, *BruteForceScore(a, db, fact));
+  }
+  // Banzhaf has no closed form: the session must fall through to the DP
+  // with identical values.
+  SolverOptions banzhaf;
+  banzhaf.score = ScoreKind::kBanzhaf;
+  auto banzhaf_all = session.ComputeAll(banzhaf);
+  ASSERT_TRUE(banzhaf_all.ok());
+  for (const auto& [fact, result] : *banzhaf_all) {
+    EXPECT_NE(result.algorithm, "closed-form/single-relation");
+    EXPECT_EQ(result.exact,
+              *BruteForceScore(a, db, fact, ScoreKind::kBanzhaf));
+  }
+}
+
+}  // namespace
+}  // namespace shapcq
