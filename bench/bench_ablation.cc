@@ -98,7 +98,8 @@ int64_t SweepAllSubsets(const std::vector<std::vector<uint64_t>>& supports,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E10: ablation studies\n");
   bench::Rule('=');
 
@@ -108,7 +109,9 @@ int main() {
   std::printf("%6s %10s %14s %14s %14s %8s\n", "n", "players", "supports",
               "pruned (ms)", "unpruned (ms)", "speedup");
   bench::Rule();
-  for (int n : {10, 12, 14, 16}) {
+  const std::vector<int> sweep_sizes =
+      args.smoke ? std::vector<int>{8, 10} : std::vector<int>{10, 12, 14, 16};
+  for (int n : sweep_sizes) {
     Database db = MakeDb(n);
     ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
     int players = db.num_endogenous();
@@ -129,14 +132,23 @@ int main() {
     std::printf("%6d %10d %6zu -> %4zu %14.2f %14.2f %7.2fx\n", n, players,
                 unpruned_count, pruned_count, pruned_ms, unpruned_ms,
                 unpruned_ms / (pruned_ms > 0 ? pruned_ms : 1e-9));
+    bench::JsonLine("ablation_support_pruning")
+        .Int("n", n)
+        .Int("players", players)
+        .Int("supports_unpruned", static_cast<long long>(unpruned_count))
+        .Int("supports_pruned", static_cast<long long>(pruned_count))
+        .Num("pruned_ms", pruned_ms)
+        .Num("unpruned_ms", unpruned_ms)
+        .Emit();
   }
 
   // (b) Anchor sensitivity of the Avg DP.
+  const int anchor_n = args.smoke ? 12 : 28;
   std::printf("\n(b) anchor-count sensitivity of the Avg quintuple DP "
-              "(Q^full_xyy, n = 28)\n");
+              "(Q^full_xyy, n = %d)\n", anchor_n);
   std::printf("%-18s %10s %12s\n", "tau", "anchors", "time_ms");
   bench::Rule();
-  Database db = MakeDb(28);
+  Database db = MakeDb(anchor_n);
   ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
   struct TauCase {
     const char* label;
@@ -157,6 +169,12 @@ int main() {
       if (!r.ok()) std::abort();
     });
     std::printf("%-18s %10zu %12.2f\n", c.label, anchors.size(), ms);
+    bench::JsonLine("ablation_avg_anchors")
+        .Str("tau", c.label)
+        .Int("n", anchor_n)
+        .Int("anchors", static_cast<long long>(anchors.size()))
+        .Num("ms", ms)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E10 result: pruning gives a measurable constant-factor win "

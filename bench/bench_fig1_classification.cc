@@ -18,7 +18,12 @@
 
 using namespace shapcq;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  // Classification is already instant; --smoke changes nothing but is
+  // accepted so the bench_smoke ctest label can pass it uniformly.
+  bench::Args args = bench::ParseArgs(argc, argv);
+  (void)args;
+  double total_ms = 0;
   int mismatches = 0;
   std::printf("E1: Figure 1 — containment among CQ classes and tractability "
               "frontiers\n");
@@ -42,7 +47,8 @@ int main() {
   bench::Rule();
   for (const ExampleRow& row : examples) {
     ConjunctiveQuery q = MustParseQuery(row.query);
-    HierarchyClass computed = Classify(q);
+    HierarchyClass computed;
+    total_ms += bench::TimeMs([&] { computed = Classify(q); });
     bool ok = computed == row.expected;
     if (!ok) ++mismatches;
     std::printf("%-36s %-22s %-22s %s\n", row.query,
@@ -124,5 +130,11 @@ int main() {
   bench::Rule('=');
   std::printf("E1 result: %s (%d mismatches)\n",
               mismatches == 0 ? "REPRODUCED" : "FAILED", mismatches);
+  bench::JsonLine("fig1_classification")
+      .Int("examples", static_cast<long long>(examples.size()))
+      .Int("frontiers", static_cast<long long>(frontiers.size()))
+      .Int("mismatches", mismatches)
+      .Num("classify_ms", total_ms)
+      .Emit();
   return mismatches == 0 ? 0 : 1;
 }

@@ -39,7 +39,8 @@ Database MakeDb(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E3: exact cost inside vs outside the Avg frontier "
               "(Theorem 5.1)\n");
   bench::Rule('=');
@@ -48,7 +49,10 @@ int main() {
   bench::Rule();
   ConjunctiveQuery inside_q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
   ConjunctiveQuery outside_q = MustParseQuery("Q(x) <- R(x, y), S(y)");
-  for (int n : {6, 8, 10, 12, 14, 16, 18}) {
+  const std::vector<int> crossover_sizes =
+      args.smoke ? std::vector<int>{6, 8}
+                 : std::vector<int>{6, 8, 10, 12, 14, 16, 18};
+  for (int n : crossover_sizes) {
     Database db = MakeDb(n);
     int players = db.num_endogenous();
     AggregateQuery inside{inside_q, MakeTauId(0), AggregateFunction::Avg()};
@@ -64,11 +68,19 @@ int main() {
       if (!r.ok()) std::abort();
     });
     std::printf("%6d %10d %18.2f %22.2f\n", n, players, dp_ms, bf_ms);
+    bench::JsonLine("hardness_crossover")
+        .Int("n", n)
+        .Int("players", players)
+        .Num("inside_dp_ms", dp_ms)
+        .Num("outside_brute_force_ms", bf_ms)
+        .Emit();
   }
   bench::Rule();
   // Beyond the brute-force horizon the DP keeps going.
   std::printf("beyond the brute-force horizon (DP only):\n");
-  for (int n : {32, 48, 64}) {
+  const std::vector<int> dp_sizes =
+      args.smoke ? std::vector<int>{16} : std::vector<int>{32, 48, 64};
+  for (int n : dp_sizes) {
     Database db = MakeDb(n);
     AggregateQuery inside{inside_q, MakeTauId(0), AggregateFunction::Avg()};
     FactId probe = db.EndogenousFacts().front();
@@ -78,6 +90,11 @@ int main() {
     });
     std::printf("%6d %10d %18.2f %22s\n", n, db.num_endogenous(), dp_ms,
                 "(2^n infeasible)");
+    bench::JsonLine("hardness_crossover_dp_only")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("inside_dp_ms", dp_ms)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E3 result: brute force roughly doubles per +1 player "

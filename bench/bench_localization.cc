@@ -45,7 +45,10 @@ Database MakeQfullDb(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
+  const std::vector<int> small_sizes =
+      args.smoke ? std::vector<int>{6} : std::vector<int>{6, 8, 10, 12};
   std::printf("E9: the atom of localization decides tractability "
               "(Proposition 7.3)\n");
   bench::Rule('=');
@@ -56,7 +59,7 @@ int main() {
   std::printf("%6s %10s %20s %20s\n", "n", "players", "tau1: brute (ms)",
               "tau2: exact DP (ms)");
   bench::Rule();
-  for (int n : {6, 8, 10, 12}) {
+  for (int n : small_sizes) {
     Database db = MakeQxyyzDb(n);
     AggregateQuery hard{q_xyyz, MakeTauReLU(0), AggregateFunction::Avg()};
     AggregateQuery easy{q_xyyz, MakeTauReLU(1), AggregateFunction::Avg()};
@@ -71,9 +74,17 @@ int main() {
     });
     std::printf("%6d %10d %20.2f %20.2f\n", n, db.num_endogenous(), hard_ms,
                 easy_ms);
+    bench::JsonLine("localization_avg")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("tau1_brute_ms", hard_ms)
+        .Num("tau2_dp_ms", easy_ms)
+        .Emit();
   }
   std::printf("beyond the brute-force horizon (tau2 only):\n");
-  for (int n : {32, 64, 96}) {
+  const std::vector<int> dp_sizes =
+      args.smoke ? std::vector<int>{16} : std::vector<int>{32, 64, 96};
+  for (int n : dp_sizes) {
     Database db = MakeQxyyzDb(n);
     AggregateQuery easy{q_xyyz, MakeTauReLU(1), AggregateFunction::Avg()};
     FactId probe = db.EndogenousFacts().front();
@@ -83,6 +94,11 @@ int main() {
     });
     std::printf("%6d %10d %20s %20.2f\n", n, db.num_endogenous(),
                 "(2^n infeasible)", easy_ms);
+    bench::JsonLine("localization_avg_dp_only")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("tau2_dp_ms", easy_ms)
+        .Emit();
   }
 
   ConjunctiveQuery q_full = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
@@ -90,7 +106,7 @@ int main() {
   std::printf("%6s %10s %20s %20s\n", "n", "players", "tau1: brute (ms)",
               "tau2: exact DP (ms)");
   bench::Rule();
-  for (int n : {6, 8, 10, 12}) {
+  for (int n : small_sizes) {
     Database db = MakeQfullDb(n);
     AggregateQuery hard{q_full, MakeTauId(0),
                         AggregateFunction::HasDuplicates()};
@@ -107,6 +123,12 @@ int main() {
     });
     std::printf("%6d %10d %20.2f %20.2f\n", n, db.num_endogenous(), hard_ms,
                 easy_ms);
+    bench::JsonLine("localization_dup")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("tau1_brute_ms", hard_ms)
+        .Num("tau2_dp_ms", easy_ms)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E9 result: with τ on the last atom both AggCQs admit "

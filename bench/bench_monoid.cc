@@ -32,7 +32,8 @@ Database MakeDb(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E11: Max(x + z) over the Cartesian product Q(x, z) <- R(i, x), "
               "T(j, z) — non-localized tau (Section 7.3)\n");
   bench::Rule('=');
@@ -45,7 +46,9 @@ int main() {
   std::printf("%6s %10s %18s %18s %10s\n", "n/side", "players",
               "monoid DP (ms)", "brute force (ms)", "agree");
   bench::Rule();
-  for (int n : {4, 6, 8, 10}) {
+  const std::vector<int> verify_sizes =
+      args.smoke ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
+  for (int n : verify_sizes) {
     Database db = MakeDb(n);
     FactId probe = db.EndogenousFacts().front();
     Rational dp_value, bf_value;
@@ -55,10 +58,19 @@ int main() {
         [&] { bf_value = *BruteForceScore(reference, db, probe); });
     std::printf("%6d %10d %18.2f %18.2f %10s\n", n, db.num_endogenous(),
                 dp_ms, bf_ms, dp_value == bf_value ? "yes" : "MISMATCH");
+    bench::JsonLine("monoid_vs_brute")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("monoid_dp_ms", dp_ms)
+        .Num("brute_force_ms", bf_ms)
+        .Bool("agree", dp_value == bf_value)
+        .Emit();
     if (dp_value != bf_value) return 1;
   }
   std::printf("beyond the brute-force horizon (monoid DP only):\n");
-  for (int n : {40, 80, 160}) {
+  const std::vector<int> dp_sizes =
+      args.smoke ? std::vector<int>{20} : std::vector<int>{40, 80, 160};
+  for (int n : dp_sizes) {
     Database db = MakeDb(n);
     FactId probe = db.EndogenousFacts().front();
     double dp_ms = bench::TimeMs([&] {
@@ -67,6 +79,11 @@ int main() {
     });
     std::printf("%6d %10d %18.2f %18s\n", n, db.num_endogenous(), dp_ms,
                 "(2^n infeasible)");
+    bench::JsonLine("monoid_dp_only")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("monoid_dp_ms", dp_ms)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E11 result: the monotone-monoid structure restores "

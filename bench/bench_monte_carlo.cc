@@ -16,15 +16,18 @@
 
 using namespace shapcq;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E6: Monte Carlo error vs samples (Avg ∘ tau_ReLU ∘ Q_xyy, "
               "outside the frontier)\n");
   bench::Rule('=');
+  const int n = args.smoke ? 8 : 12;
+  const int groups = args.smoke ? 3 : 4;
   Database db;
-  for (int i = 0; i < 12; ++i) {
-    db.AddEndogenous("R", {Value(i % 7 - 2), Value(i % 4)});
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value(i % 7 - 2), Value(i % groups)});
   }
-  for (int g = 0; g < 4; ++g) db.AddEndogenous("S", {Value(g)});
+  for (int g = 0; g < groups; ++g) db.AddEndogenous("S", {Value(g)});
   ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
   AggregateQuery a{q, MakeTauReLU(0), AggregateFunction::Avg()};
   FactId probe = db.EndogenousFacts().front();
@@ -34,7 +37,10 @@ int main() {
   std::printf("%10s %12s %12s %12s %10s\n", "samples", "estimate",
               "abs_error", "std_error", "time_ms");
   bench::Rule();
-  for (int64_t samples : {100, 400, 1600, 6400, 25600, 102400}) {
+  const std::vector<int64_t> sample_counts =
+      args.smoke ? std::vector<int64_t>{100, 400}
+                 : std::vector<int64_t>{100, 400, 1600, 6400, 25600, 102400};
+  for (int64_t samples : sample_counts) {
     MonteCarloOptions options;
     options.num_samples = samples;
     options.seed = 12345;
@@ -45,6 +51,14 @@ int main() {
     std::printf("%10lld %12.6f %12.6f %12.6f %10.2f\n",
                 static_cast<long long>(samples), result.estimate,
                 std::abs(result.estimate - exact), result.std_error, ms);
+    bench::JsonLine("monte_carlo")
+        .Int("samples", static_cast<long long>(samples))
+        .Int("players", db.num_endogenous())
+        .Num("estimate", result.estimate)
+        .Num("abs_error", std::abs(result.estimate - exact))
+        .Num("std_error", result.std_error)
+        .Num("ms", ms)
+        .Emit();
   }
   bench::Rule();
   std::printf("Hoeffding sample bounds for range 1: eps=0.05,d=0.05 -> %lld;"

@@ -63,7 +63,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E2: polynomial scaling of the exact engines inside their "
               "frontiers\n");
   std::printf("(time = one fact's exact Shapley value, i.e. two sum_k "
@@ -85,7 +86,10 @@ int main() {
     rows.push_back({engine_name, a.query.ToString(), n, ms});
   };
 
-  for (int n : {16, 32, 64, 128, 256}) {
+  const std::vector<int> fast_sizes =
+      args.smoke ? std::vector<int>{16, 32}
+                 : std::vector<int>{16, 32, 64, 128, 256};
+  for (int n : fast_sizes) {
     Database grouped = GroupedDb(n);
     // Sum over the ∃-hierarchical baseline.
     run("sum-count", AggregateQuery{MustParseQuery("Q(x, y) <- R(x, y), S(y)"),
@@ -107,7 +111,10 @@ int main() {
         SqDb(n), HasDuplicatesSumK, n);
   }
   // Avg/Median DP state space is larger; use smaller sizes.
-  for (int n : {8, 16, 24, 32, 40}) {
+  const std::vector<int> slow_sizes =
+      args.smoke ? std::vector<int>{8, 16}
+                 : std::vector<int>{8, 16, 24, 32, 40};
+  for (int n : slow_sizes) {
     Database grouped = GroupedDb(n);
     run("avg", AggregateQuery{MustParseQuery("Q(x, y) <- R(x, y), S(y)"),
                               MakeTauId(0), AggregateFunction::Avg()},
@@ -135,6 +142,13 @@ int main() {
     }
     std::printf("%-16s %-34s %6d %12.2f %8.2f\n", rows[i].engine.c_str(),
                 rows[i].query.c_str(), rows[i].n, rows[i].ms, ratio);
+    bench::JsonLine("scaling_tractable")
+        .Str("engine", rows[i].engine)
+        .Str("query", rows[i].query)
+        .Int("n", rows[i].n)
+        .Num("ms", rows[i].ms)
+        .Num("ratio", ratio)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E2 result: all engines completed; growth is polynomial "

@@ -48,10 +48,12 @@ Rational AvgFormula(const SetCoverInstance& instance, int q, int r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
   std::printf("E4: hardness-reduction constructions as adversarial "
               "workloads\n");
   bench::Rule('=');
+  int faithfulness_mismatches = 0;
 
   // (a) Faithfulness: Figure 3 / Avg.
   {
@@ -68,6 +70,7 @@ int main() {
                 "cover-count formula = %s  -> %s\n",
                 shapley.ToString().c_str(), expected.ToString().c_str(),
                 shapley == expected ? "ok" : "MISMATCH");
+    if (shapley != expected) ++faithfulness_mismatches;
   }
 
   // (a') Faithfulness: Lemma D.4 / quantile game.
@@ -85,6 +88,7 @@ int main() {
                 "coalition) -> %s\n",
                 full_value.ToString().c_str(),
                 full_value == Rational(1) ? "ok" : "MISMATCH");
+    if (full_value != Rational(1)) ++faithfulness_mismatches;
   }
 
   // (a'') Faithfulness: Lemma E.2 / exact cover.
@@ -115,14 +119,20 @@ int main() {
                 "disjoint-collection formula = %s -> %s\n",
                 shapley.ToString().c_str(), expected.ToString().c_str(),
                 shapley == expected ? "ok" : "MISMATCH");
+    if (shapley != expected) ++faithfulness_mismatches;
   }
+  bench::JsonLine("setcover_faithfulness")
+      .Int("mismatches", faithfulness_mismatches)
+      .Emit();
 
   // (b) Exponential growth of exact computation on the reductions.
   std::printf("\nexact brute force on growing Figure 3 instances "
               "(players = m + r + 1):\n");
   std::printf("%6s %8s %12s\n", "m", "players", "time_ms");
   bench::Rule();
-  for (int m : {6, 8, 10, 12, 14, 16}) {
+  const std::vector<int> set_counts =
+      args.smoke ? std::vector<int>{6, 8} : std::vector<int>{6, 8, 10, 12, 14, 16};
+  for (int m : set_counts) {
     SetCoverInstance instance = RandomSetCover(4, m, 3, 99);
     FactId s_zero = -1;
     Database db = SetCoverAvgDatabase(instance, 1, 2, &s_zero);
@@ -133,6 +143,11 @@ int main() {
       if (!r.ok()) std::abort();
     });
     std::printf("%6d %8d %12.2f\n", m, db.num_endogenous(), ms);
+    bench::JsonLine("setcover_brute_force")
+        .Int("m", m)
+        .Int("players", db.num_endogenous())
+        .Num("ms", ms)
+        .Emit();
   }
   bench::Rule('=');
   std::printf("E4 result: reductions numerically faithful; exact cost "

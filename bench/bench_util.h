@@ -1,11 +1,19 @@
 // Small shared helpers for the experiment binaries (E1..E9).
+//
+// Every bench emits machine-readable `BENCH_JSON {...}` lines through
+// JsonLine so the bench trajectory can be scraped from CI logs, and every
+// bench accepts `--smoke` (parsed by ParseArgs) to run with tiny sizes —
+// the `bench_smoke` ctest label runs all of them in seconds.
 
 #ifndef SHAPCQ_BENCH_BENCH_UTIL_H_
 #define SHAPCQ_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace shapcq::bench {
 
@@ -21,6 +29,84 @@ inline void Rule(char c = '-') {
   for (int i = 0; i < 78; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+// Common bench command line: `bench_foo [--smoke] [positional...]`.
+// --smoke asks for CI-sized inputs (tiny, runs in seconds).
+struct Args {
+  bool smoke = false;
+  std::vector<std::string> positional;
+
+  // The i-th positional argument as an int, or `fallback` when absent.
+  int Int(size_t i, int fallback) const {
+    return i < positional.size() ? std::atoi(positional[i].c_str())
+                                 : fallback;
+  }
+  long long Int64(size_t i, long long fallback) const {
+    return i < positional.size() ? std::atoll(positional[i].c_str())
+                                 : fallback;
+  }
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else {
+      args.positional.push_back(std::move(arg));
+    }
+  }
+  return args;
+}
+
+// Builder for one `BENCH_JSON {...}` telemetry line. Keys are emitted in
+// call order; Emit() prints the line to stdout.
+//
+//   bench::JsonLine("compute_all").Int("facts", n).Num("ms", ms).Emit();
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& name) { Str("name", name); }
+
+  JsonLine& Str(const char* key, const std::string& value) {
+    Key(key);
+    out_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonLine& Int(const char* key, long long value) {
+    Key(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& Num(const char* key, double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+    Key(key);
+    out_ += buffer;
+    return *this;
+  }
+  JsonLine& Bool(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  void Emit() { std::printf("BENCH_JSON {%s}\n", out_.c_str()); }
+
+ private:
+  void Key(const char* key) {
+    if (!out_.empty()) out_ += ',';
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  std::string out_;
+};
 
 }  // namespace shapcq::bench
 

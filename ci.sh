@@ -1,11 +1,38 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite.
-# Run on every PR; exits non-zero on any build or test failure.
+# Tier-1 verification: configure, build, run the full test suite (including
+# the bench_smoke label). Run on every PR; exits non-zero on any failure.
+#
+# Environment:
+#   SANITIZE=asan|ubsan  build with AddressSanitizer / UBSanitizer
+#                        (separate build directory per sanitizer)
+#   BUILD_TYPE=<type>    CMake build type (default Release)
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build
+SANITIZE="${SANITIZE:-}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+BUILD_DIR="build"
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
+
+case "${SANITIZE}" in
+  "") ;;
+  asan|ubsan)
+    BUILD_DIR="build-${SANITIZE}"
+    CMAKE_ARGS+=(-DSHAPCQ_SANITIZE="${SANITIZE}")
+    ;;
+  *)
+    echo "ci.sh: SANITIZE must be empty, 'asan', or 'ubsan' (got '${SANITIZE}')" >&2
+    exit 2
+    ;;
+esac
+
+if ! cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"; then
+  echo "ci.sh: CMake configure failed (build dir: ${BUILD_DIR}," \
+       "args: ${CMAKE_ARGS[*]}). Fix the configuration before building." >&2
+  exit 1
+fi
+
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+cd "${BUILD_DIR}"
 ctest --output-on-failure -j "$(nproc)"

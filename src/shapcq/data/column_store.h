@@ -1,0 +1,86 @@
+// ColumnStore: position-major interned columns plus dense posting lists.
+//
+// Each relation's facts are stored as arity many columns of ValueIds (one
+// vector per argument position), and every (position, value id) pair keeps
+// a posting list: the ascending FactIds whose argument at that position is
+// that value. Posting lists are indexed densely by ValueId — a probe is one
+// array lookup, no hashing — and replace the former per-(relation,
+// position, value) hash indexes of Database.
+//
+// The store is append-only (facts are never removed; mutation of the
+// endogenous flag lives in Database and does not touch columns), so the
+// posting lists stay sorted by construction and const lookups are
+// thread-safe.
+
+#ifndef SHAPCQ_DATA_COLUMN_STORE_H_
+#define SHAPCQ_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shapcq/data/value_pool.h"
+
+namespace shapcq {
+
+// Index of a fact within its Database (mirrors database.h; kept here so the
+// store does not depend on the full Database header).
+using FactId = int32_t;
+
+// Dense id of a relation within its Database, in first-insertion order.
+using RelationId = int32_t;
+inline constexpr RelationId kNoRelationId = -1;
+
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+
+  // Registers a relation of the given arity; returns its dense id.
+  RelationId AddRelation(int arity);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int arity(RelationId relation) const;
+
+  // Appends a fact (its args already interned) to `relation`. Fact ids must
+  // be appended in ascending order so posting lists stay sorted.
+  void AddFact(RelationId relation, FactId fact, const ValueId* args,
+               int arity);
+
+  // All facts of `relation`, ascending by FactId.
+  const std::vector<FactId>& Facts(RelationId relation) const;
+
+  // Posting list: facts of `relation` whose argument at `position` equals
+  // `value`, ascending. O(1) dense lookup; empty when nothing matches.
+  const std::vector<FactId>& Postings(RelationId relation, int position,
+                                      ValueId value) const;
+
+  // The value id at `position` of the `row`-th fact of `relation` (row
+  // indexes Facts(relation)).
+  ValueId At(RelationId relation, int position, int row) const {
+    return relations_[static_cast<size_t>(relation)]
+        .columns[static_cast<size_t>(position)][static_cast<size_t>(row)];
+  }
+
+  // Whole column, position-major: one ValueId per row of Facts(relation).
+  const std::vector<ValueId>& Column(RelationId relation, int position) const;
+
+ private:
+  struct Relation {
+    int arity = 0;
+    std::vector<FactId> facts;                    // row -> FactId
+    std::vector<std::vector<ValueId>> columns;    // [position][row]
+    // [position][value id] -> ascending FactIds; grown on demand.
+    std::vector<std::vector<std::vector<FactId>>> postings;
+  };
+  std::vector<Relation> relations_;
+};
+
+// Intersects ascending posting lists by galloping (exponential) search:
+// each step advances the probe list by doubling strides before binary
+// search, so intersecting a small list against a large one costs
+// O(small · log(large)). `lists` must be non-empty; the result is ascending.
+std::vector<FactId> IntersectPostings(
+    std::vector<const std::vector<FactId>*> lists);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_COLUMN_STORE_H_

@@ -42,24 +42,37 @@ int Schema::Arity(const std::string& name) const {
 
 FactId Database::AddFact(const std::string& relation, Tuple args,
                          bool endogenous) {
-  auto arity_it = arity_by_relation_.find(relation);
-  if (arity_it == arity_by_relation_.end()) {
-    arity_by_relation_.emplace(relation, static_cast<int>(args.size()));
+  RelationId relation_id;
+  auto rel_it = relation_ids_.find(relation);
+  if (rel_it == relation_ids_.end()) {
+    relation_id = columns_.AddRelation(static_cast<int>(args.size()));
+    relation_ids_.emplace(relation, relation_id);
     relation_names_.push_back(relation);
   } else {
-    SHAPCQ_CHECK(arity_it->second == static_cast<int>(args.size()) &&
+    relation_id = rel_it->second;
+    SHAPCQ_CHECK(columns_.arity(relation_id) ==
+                     static_cast<int>(args.size()) &&
                  "fact arity conflicts with relation arity");
   }
   auto& index = fact_index_[relation];
   SHAPCQ_CHECK(index.find(args) == index.end() && "duplicate fact");
   FactId id = static_cast<FactId>(facts_.size());
   index.emplace(args, id);
-  facts_by_relation_[relation].push_back(id);
-  auto& by_value = value_index_[relation];
-  by_value.resize(args.size());
-  for (size_t position = 0; position < args.size(); ++position) {
-    by_value[position][args[position]].push_back(id);
+  // Intern the arguments and append to the columnar store.
+  ValueId interned[16];
+  std::vector<ValueId> interned_overflow;
+  ValueId* arg_ids = interned;
+  if (args.size() > 16) {
+    interned_overflow.resize(args.size());
+    arg_ids = interned_overflow.data();
   }
+  for (size_t position = 0; position < args.size(); ++position) {
+    arg_ids[position] = pool_.Intern(args[position]);
+  }
+  fact_relation_.push_back(relation_id);
+  fact_row_.push_back(
+      static_cast<int32_t>(columns_.Facts(relation_id).size()));
+  columns_.AddFact(relation_id, id, arg_ids, static_cast<int>(args.size()));
   if (endogenous) ++num_endogenous_;
   facts_.push_back(Fact{relation, std::move(args), endogenous});
   return id;
@@ -96,30 +109,34 @@ bool Database::Contains(const std::string& relation, const Tuple& args) const {
   return FindFact(relation, args).ok();
 }
 
+RelationId Database::relation_id(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? kNoRelationId : it->second;
+}
+
 const std::vector<FactId>& Database::FactsOf(
     const std::string& relation) const {
   static const std::vector<FactId> kEmpty;
-  auto it = facts_by_relation_.find(relation);
-  return it == facts_by_relation_.end() ? kEmpty : it->second;
+  RelationId id = relation_id(relation);
+  return id == kNoRelationId ? kEmpty : columns_.Facts(id);
 }
 
 const std::vector<FactId>& Database::FactsWith(const std::string& relation,
                                                int position,
                                                const Value& value) const {
   static const std::vector<FactId> kEmpty;
-  auto rel_it = value_index_.find(relation);
-  if (rel_it == value_index_.end()) return kEmpty;
-  SHAPCQ_CHECK(position >= 0 &&
-               position < static_cast<int>(rel_it->second.size()));
-  const auto& by_value = rel_it->second[static_cast<size_t>(position)];
-  auto it = by_value.find(value);
-  return it == by_value.end() ? kEmpty : it->second;
+  RelationId id = relation_id(relation);
+  if (id == kNoRelationId) return kEmpty;
+  SHAPCQ_CHECK(position >= 0 && position < columns_.arity(id));
+  ValueId value_id = pool_.Find(value);
+  if (value_id == kNoValueId) return kEmpty;
+  return columns_.Postings(id, position, value_id);
 }
 
 int Database::Arity(const std::string& relation) const {
-  auto it = arity_by_relation_.find(relation);
-  SHAPCQ_CHECK(it != arity_by_relation_.end());
-  return it->second;
+  RelationId id = relation_id(relation);
+  SHAPCQ_CHECK(id != kNoRelationId);
+  return columns_.arity(id);
 }
 
 std::vector<FactId> Database::EndogenousFacts() const {

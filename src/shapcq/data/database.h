@@ -4,6 +4,13 @@
 // endogenous (a Shapley player) or exogenous (taken for granted), following
 // the model of Livshits et al. and the paper. Facts get stable FactIds; the
 // Shapley engines identify players by FactId.
+//
+// Storage is interned + columnar: every constant is interned once into a
+// ValuePool (dense uint32_t ValueIds), relations get dense RelationIds, and
+// each relation's facts live in a ColumnStore as position-major ValueId
+// columns with dense posting lists per (position, value). The hot join and
+// DP paths work entirely over ids; the Value-based accessors (FactsWith by
+// Value, fact().args) remain as thin shims over the id layer.
 
 #ifndef SHAPCQ_DATA_DATABASE_H_
 #define SHAPCQ_DATA_DATABASE_H_
@@ -13,13 +20,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "shapcq/data/column_store.h"
 #include "shapcq/data/value.h"
+#include "shapcq/data/value_pool.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
-
-// Index of a fact within its Database; stable across the database's lifetime.
-using FactId = int32_t;
 
 struct Fact {
   std::string relation;
@@ -60,7 +66,8 @@ class Database {
   Database() = default;
 
   // Adds a fact; aborts if an identical (relation, args) fact exists or if
-  // the arity conflicts with earlier facts of the same relation.
+  // the arity conflicts with earlier facts of the same relation. Arguments
+  // are interned into the value pool on insertion.
   FactId AddFact(const std::string& relation, Tuple args,
                  bool endogenous = true);
   // Convenience for endogenous/exogenous insertion.
@@ -78,10 +85,47 @@ class Database {
                             const Tuple& args) const;
   bool Contains(const std::string& relation, const Tuple& args) const;
 
+  // --- Interned (id-based) access: the hot-path API -----------------------
+
+  // The pool of interned constants.
+  const ValuePool& pool() const { return pool_; }
+  // The columnar fact storage.
+  const ColumnStore& columns() const { return columns_; }
+
+  int num_relations() const { return columns_.num_relations(); }
+  // Dense relation id; kNoRelationId for unknown names.
+  RelationId relation_id(const std::string& name) const;
+  // Name of a relation id (insertion order matches relation_names()).
+  const std::string& relation_name(RelationId relation) const {
+    return relation_names_[static_cast<size_t>(relation)];
+  }
+  // Relation of a fact, as a dense id.
+  RelationId fact_relation(FactId id) const {
+    return fact_relation_[static_cast<size_t>(id)];
+  }
+  // Interned argument of a fact at `position` (O(1) columnar lookup).
+  ValueId ArgId(FactId id, int position) const {
+    return columns_.At(fact_relation_[static_cast<size_t>(id)], position,
+                       fact_row_[static_cast<size_t>(id)]);
+  }
+  // All fact ids of a relation, ascending.
+  const std::vector<FactId>& FactsOf(RelationId relation) const {
+    return columns_.Facts(relation);
+  }
+  // Dense posting-list probe: facts of `relation` whose argument at
+  // `position` is the interned `value`, ascending.
+  const std::vector<FactId>& FactsWith(RelationId relation, int position,
+                                       ValueId value) const {
+    return columns_.Postings(relation, position, value);
+  }
+
+  // --- Value-based shims (interned lookup underneath) ---------------------
+
   // All fact ids of one relation (empty vector for unknown relations).
   const std::vector<FactId>& FactsOf(const std::string& relation) const;
   // Facts of `relation` whose argument at `position` equals `value`
-  // (hash-index probe; empty vector when nothing matches). Ascending ids.
+  // (posting-list probe through the value pool; empty vector when nothing
+  // matches). Ascending ids.
   const std::vector<FactId>& FactsWith(const std::string& relation,
                                        int position, const Value& value) const;
   // All relation names present, in first-insertion order.
@@ -114,19 +158,16 @@ class Database {
 
  private:
   std::vector<Fact> facts_;
-  std::vector<std::string> relation_names_;
-  std::unordered_map<std::string, std::vector<FactId>> facts_by_relation_;
-  std::unordered_map<std::string, int> arity_by_relation_;
-  // Key: relation + '\0' + hash-friendly encoding handled via nested map.
+  std::vector<std::string> relation_names_;  // dense by RelationId
+  std::unordered_map<std::string, RelationId> relation_ids_;
+  ValuePool pool_;
+  ColumnStore columns_;
+  std::vector<RelationId> fact_relation_;  // by FactId
+  std::vector<int32_t> fact_row_;          // by FactId: row within relation
+  // Exact-fact lookup (duplicate detection, FindFact).
   std::unordered_map<std::string,
                      std::unordered_map<Tuple, FactId, TupleHash>>
       fact_index_;
-  // Per relation, per argument position: value -> fact ids (ascending).
-  // Maintained eagerly by AddFact so const lookups stay thread-safe.
-  std::unordered_map<
-      std::string,
-      std::vector<std::unordered_map<Value, std::vector<FactId>, ValueHash>>>
-      value_index_;
   int num_endogenous_ = 0;
 };
 

@@ -1,0 +1,27 @@
+#include "shapcq/data/value_pool.h"
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+ValueId ValuePool::Intern(const Value& value) {
+  auto [it, inserted] =
+      ids_.emplace(value, static_cast<ValueId>(values_.size()));
+  if (inserted) {
+    SHAPCQ_CHECK(values_.size() < kNoValueId && "value pool exhausted");
+    values_.push_back(value);
+  }
+  return it->second;
+}
+
+ValueId ValuePool::Find(const Value& value) const {
+  auto it = ids_.find(value);
+  return it == ids_.end() ? kNoValueId : it->second;
+}
+
+const Value& ValuePool::value(ValueId id) const {
+  SHAPCQ_CHECK(id < values_.size());
+  return values_[id];
+}
+
+}  // namespace shapcq

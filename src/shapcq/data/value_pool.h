@@ -1,0 +1,55 @@
+// ValuePool: dense interning of the constant domain.
+//
+// Every distinct Value that enters a Database is interned once into a
+// ValuePool and identified afterwards by a dense uint32_t ValueId. The hot
+// paths (join candidate probes, relevance splits, the hierarchical dynamic
+// programs) then compare and hash plain integers instead of variant
+// Values — a Value comparison costs a variant dispatch and possibly a
+// string compare; a ValueId comparison is one instruction.
+//
+// Interning respects Value equality exactly: int 2 and double 2.0 compare
+// equal (Value::Compare) and hash alike (Value::Hash), so they share one
+// id. Hence id equality <=> Value equality, and distinct ids materialize to
+// distinct Values.
+
+#ifndef SHAPCQ_DATA_VALUE_POOL_H_
+#define SHAPCQ_DATA_VALUE_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/data/value.h"
+
+namespace shapcq {
+
+// Dense id of an interned Value within its ValuePool.
+using ValueId = uint32_t;
+
+// Sentinel: "no value" (unbound variable slot, value absent from the pool).
+inline constexpr ValueId kNoValueId = 0xffffffffu;
+
+class ValuePool {
+ public:
+  ValuePool() = default;
+
+  // Returns the id of `value`, interning it first if absent. Ids are
+  // assigned densely in first-intern order and stay stable forever.
+  ValueId Intern(const Value& value);
+
+  // Returns the id of `value`, or kNoValueId if it was never interned.
+  ValueId Find(const Value& value) const;
+
+  // The interned Value of an id; aborts on out-of-range ids.
+  const Value& value(ValueId id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> ids_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATA_VALUE_POOL_H_

@@ -72,6 +72,16 @@ struct RelevanceSplit {
 RelevanceSplit SplitRelevant(const ConjunctiveQuery& q,
                              const FactSubset& subset);
 
+// Relevance split over the whole database without scanning it: candidates
+// per atom come from intersecting the dense posting lists of the atom's
+// constant positions, and the union over atoms is accumulated as bitset
+// operations over dense fact ids. Equivalent to
+// SplitRelevant(q, AllFacts(db)) for self-join-free q (relevant facts
+// ascending), but costs O(matching facts) instead of O(|db|) per call —
+// the batched engines call it once per answer.
+RelevanceSplit SplitRelevantIndexed(const ConjunctiveQuery& q,
+                                    const Database& db);
+
 // The facts of `subset` whose relation occurs in `q` (used to route facts to
 // cross-product components). Requires self-join-free q.
 FactSubset FactsOfQueryRelations(const ConjunctiveQuery& q,

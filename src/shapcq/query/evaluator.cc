@@ -41,39 +41,199 @@ bool MatchAtom(const Atom& atom, const Tuple& fact_args, Binding* binding) {
 
 namespace {
 
-// Candidate facts for `atom` under `binding`: probe the per-(relation,
-// position, value) hash index for every constant or already-bound-variable
-// position and keep the smallest candidate list. Falls back to the full
-// relation when no position is determined.
-const std::vector<FactId>& CandidateFacts(const Database& db, const Atom& atom,
-                                          const Binding& binding) {
-  const std::vector<FactId>* best = &db.FactsOf(atom.relation);
-  if (best->empty()) return *best;
-  for (int i = 0; i < atom.arity(); ++i) {
-    const Term& term = atom.terms[static_cast<size_t>(i)];
-    const Value* value = nullptr;
-    if (term.is_constant()) {
-      value = &term.constant();
-    } else {
-      auto it = binding.find(term.variable());
-      if (it != binding.end()) value = &it->second;
-    }
-    if (value == nullptr) continue;
-    const std::vector<FactId>& probed = db.FactsWith(atom.relation, i, *value);
-    if (probed.size() < best->size()) best = &probed;
-    if (best->empty()) break;
-  }
-  return *best;
-}
+const std::vector<FactId> kNoCandidates;
 
-// Backtracking join over the database's hash indexes. Atom order: greedily
-// pick the atom with the fewest index-probed candidates times unbound
-// variables first, so selective (bound) atoms run before cross products.
-class BacktrackingJoin {
+// One atom compiled against a database's interned ids: each position is
+// either a variable slot or a pre-resolved constant ValueId.
+struct CompiledAtom {
+  RelationId relation = kNoRelationId;
+  // A constant that was never interned (or an unknown relation) can match
+  // no fact at all.
+  bool impossible = false;
+  std::vector<int> var_slot;      // per position; -1 when constant
+  std::vector<ValueId> const_id;  // per position; set when var_slot < 0
+};
+
+// Backtracking join over interned ids. Candidates for an atom are the
+// galloping intersection of the dense posting lists of its determined
+// (constant or already-bound) positions; the per-candidate match step only
+// binds the atom's still-unbound variable slots. Atom order is greedy:
+// fewest candidates (cheapest posting list) times unbound variables first.
+class IdJoin {
  public:
-  BacktrackingJoin(const ConjunctiveQuery& q, const Database& db,
-                   bool use_indexes)
-      : q_(q), db_(db), use_indexes_(use_indexes) {}
+  IdJoin(const ConjunctiveQuery& q, const Database& db) : q_(q), db_(db) {
+    const std::vector<std::string>& vars = q.variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      slot_of_.emplace(vars[i], static_cast<int>(i));
+    }
+    atoms_.reserve(q.atoms().size());
+    for (const Atom& atom : q.atoms()) {
+      CompiledAtom compiled;
+      compiled.relation = db.relation_id(atom.relation);
+      if (compiled.relation == kNoRelationId) {
+        compiled.impossible = true;
+      } else {
+        // The naive join aborts fact-by-fact on arity conflicts (MatchAtom);
+        // the id join validates once against the relation's stored arity.
+        SHAPCQ_CHECK(db.columns().arity(compiled.relation) == atom.arity() &&
+                     "query atom arity conflicts with relation arity");
+      }
+      compiled.var_slot.reserve(atom.terms.size());
+      compiled.const_id.reserve(atom.terms.size());
+      for (const Term& term : atom.terms) {
+        if (term.is_variable()) {
+          compiled.var_slot.push_back(slot_of_.at(term.variable()));
+          compiled.const_id.push_back(kNoValueId);
+        } else {
+          ValueId id = db.pool().Find(term.constant());
+          compiled.var_slot.push_back(-1);
+          compiled.const_id.push_back(id);
+          if (id == kNoValueId) compiled.impossible = true;
+        }
+      }
+      atoms_.push_back(std::move(compiled));
+    }
+  }
+
+  IdHomomorphisms Run() {
+    IdHomomorphisms out;
+    out.slot_names = q_.variables();
+    out.head_slots.reserve(q_.head().size());
+    for (const std::string& head_var : q_.head()) {
+      out.head_slots.push_back(slot_of_.at(head_var));
+    }
+    binding_.assign(out.slot_names.size(), kNoValueId);
+    used_.assign(atoms_.size(), -1);
+    done_.assign(atoms_.size(), false);
+    scratch_.resize(atoms_.size());
+    Recurse(0, &out);
+    return out;
+  }
+
+ private:
+  // The determined value at an atom position under the current binding;
+  // kNoValueId when the position is an unbound variable.
+  ValueId DeterminedAt(const CompiledAtom& atom, size_t position) const {
+    int slot = atom.var_slot[position];
+    return slot < 0 ? atom.const_id[position]
+                    : binding_[static_cast<size_t>(slot)];
+  }
+
+  // Cheap selectivity estimate (no intersection): smallest determined
+  // posting list times the number of unbound variable occurrences.
+  long Estimate(size_t atom_index) const {
+    const CompiledAtom& atom = atoms_[atom_index];
+    if (atom.impossible) return 0;
+    long best = static_cast<long>(db_.FactsOf(atom.relation).size());
+    long unbound = 0;
+    for (size_t position = 0; position < atom.var_slot.size(); ++position) {
+      ValueId value = DeterminedAt(atom, position);
+      if (value == kNoValueId) {
+        ++unbound;
+        continue;
+      }
+      long probed = static_cast<long>(
+          db_.FactsWith(atom.relation, static_cast<int>(position), value)
+              .size());
+      best = std::min(best, probed);
+    }
+    return best * (unbound + 1);
+  }
+
+  // Candidates for an atom: intersection of all determined posting lists
+  // (they verify the constants and bound variables in one pass), or the
+  // full relation when nothing is determined. The returned reference stays
+  // valid through deeper recursion: posting lists are immutable and
+  // scratch_[atom_index] is not reused while the atom is active.
+  const std::vector<FactId>& Candidates(size_t atom_index) {
+    const CompiledAtom& atom = atoms_[atom_index];
+    if (atom.impossible) return kNoCandidates;
+    lists_.clear();
+    for (size_t position = 0; position < atom.var_slot.size(); ++position) {
+      ValueId value = DeterminedAt(atom, position);
+      if (value == kNoValueId) continue;
+      lists_.push_back(
+          &db_.FactsWith(atom.relation, static_cast<int>(position), value));
+      if (lists_.back()->empty()) return kNoCandidates;
+    }
+    if (lists_.empty()) return db_.FactsOf(atom.relation);
+    if (lists_.size() == 1) return *lists_[0];
+    scratch_[atom_index] = IntersectPostings(lists_);
+    return scratch_[atom_index];
+  }
+
+  // Binds the atom's unbound slots against `fact`; returns false (leaving
+  // newly introduced slots in `introduced` for the caller to roll back) on
+  // a repeated-variable mismatch. Determined positions were already
+  // verified by the posting-list intersection.
+  bool Match(size_t atom_index, FactId fact, std::vector<int>* introduced) {
+    const CompiledAtom& atom = atoms_[atom_index];
+    for (size_t position = 0; position < atom.var_slot.size(); ++position) {
+      int slot = atom.var_slot[position];
+      if (slot < 0) continue;
+      ValueId value = db_.ArgId(fact, static_cast<int>(position));
+      ValueId& bound = binding_[static_cast<size_t>(slot)];
+      if (bound == kNoValueId) {
+        bound = value;
+        introduced->push_back(slot);
+      } else if (bound != value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Recurse(size_t depth, IdHomomorphisms* out) {
+    if (depth == atoms_.size()) {
+      out->bindings.push_back(binding_);
+      out->used_facts.push_back(used_);
+      return;
+    }
+    int atom_index = -1;
+    long best_score = -1;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (done_[i]) continue;
+      long score = Estimate(i);
+      if (atom_index == -1 || score < best_score) {
+        atom_index = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    SHAPCQ_CHECK(atom_index >= 0);
+    const size_t chosen = static_cast<size_t>(atom_index);
+    const std::vector<FactId>& candidates = Candidates(chosen);
+    done_[chosen] = true;
+    std::vector<int> introduced;
+    for (FactId fact : candidates) {
+      introduced.clear();
+      if (Match(chosen, fact, &introduced)) {
+        used_[chosen] = fact;
+        Recurse(depth + 1, out);
+        used_[chosen] = -1;
+      }
+      for (int slot : introduced) {
+        binding_[static_cast<size_t>(slot)] = kNoValueId;
+      }
+    }
+    done_[chosen] = false;
+  }
+
+  const ConjunctiveQuery& q_;
+  const Database& db_;
+  std::unordered_map<std::string, int> slot_of_;
+  std::vector<CompiledAtom> atoms_;
+  std::vector<ValueId> binding_;               // slot -> value id
+  std::vector<FactId> used_;                   // atom -> fact
+  std::vector<bool> done_;
+  std::vector<std::vector<FactId>> scratch_;   // per-atom intersections
+  std::vector<const std::vector<FactId>*> lists_;
+};
+
+// The original unindexed backtracking join over Values, retained verbatim
+// as the differential-testing oracle for the id join.
+class NaiveJoin {
+ public:
+  NaiveJoin(const ConjunctiveQuery& q, const Database& db) : q_(q), db_(db) {}
 
   std::vector<Homomorphism> Run() {
     results_.clear();
@@ -85,12 +245,6 @@ class BacktrackingJoin {
   }
 
  private:
-  const std::vector<FactId>& Candidates(const Atom& atom,
-                                        const Binding& binding) const {
-    return use_indexes_ ? CandidateFacts(db_, atom, binding)
-                        : db_.FactsOf(atom.relation);
-  }
-
   int PickNextAtom(const Binding& binding, const std::vector<bool>& done) {
     int best = -1;
     long best_score = -1;
@@ -103,7 +257,8 @@ class BacktrackingJoin {
           ++unbound;
         }
       }
-      long candidates = static_cast<long>(Candidates(atom, binding).size());
+      long candidates =
+          static_cast<long>(db_.FactsOf(atom.relation).size());
       long score = candidates * (unbound + 1);
       if (best == -1 || score < best_score) {
         best = i;
@@ -132,9 +287,7 @@ class BacktrackingJoin {
     SHAPCQ_CHECK(atom_index >= 0);
     const Atom& atom = q_.atoms()[static_cast<size_t>(atom_index)];
     (*done)[static_cast<size_t>(atom_index)] = true;
-    // The candidate list stays valid across recursion: indexes are immutable
-    // while the join runs, and deeper levels only extend the binding.
-    for (FactId fact_id : Candidates(atom, *binding)) {
+    for (FactId fact_id : db_.FactsOf(atom.relation)) {
       Binding saved = *binding;
       if (MatchAtom(atom, db_.fact(fact_id).args, binding)) {
         (*used)[static_cast<size_t>(atom_index)] = fact_id;
@@ -148,30 +301,71 @@ class BacktrackingJoin {
 
   const ConjunctiveQuery& q_;
   const Database& db_;
-  bool use_indexes_;
   std::vector<Homomorphism> results_;
 };
 
 }  // namespace
 
+IdHomomorphisms EnumerateHomomorphismIds(const ConjunctiveQuery& q,
+                                         const Database& db) {
+  IdJoin join(q, db);
+  return join.Run();
+}
+
 std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
                                                  const Database& db) {
-  BacktrackingJoin join(q, db, /*use_indexes=*/true);
-  return join.Run();
+  IdHomomorphisms ids = EnumerateHomomorphismIds(q, db);
+  std::vector<Homomorphism> out;
+  out.reserve(ids.bindings.size());
+  for (size_t h = 0; h < ids.bindings.size(); ++h) {
+    Homomorphism hom;
+    const std::vector<ValueId>& slots = ids.bindings[h];
+    for (size_t s = 0; s < ids.slot_names.size(); ++s) {
+      SHAPCQ_CHECK(slots[s] != kNoValueId);
+      hom.binding.emplace(ids.slot_names[s], db.pool().value(slots[s]));
+    }
+    hom.answer.reserve(ids.head_slots.size());
+    for (int slot : ids.head_slots) {
+      hom.answer.push_back(db.pool().value(slots[static_cast<size_t>(slot)]));
+    }
+    hom.used_facts = std::move(ids.used_facts[h]);
+    out.push_back(std::move(hom));
+  }
+  return out;
 }
 
 std::vector<Homomorphism> EnumerateHomomorphismsNaive(
     const ConjunctiveQuery& q, const Database& db) {
-  BacktrackingJoin join(q, db, /*use_indexes=*/false);
+  NaiveJoin join(q, db);
   return join.Run();
 }
 
 std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db) {
-  std::set<Tuple> distinct;
-  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
-    distinct.insert(hom.answer);
+  IdHomomorphisms ids = EnumerateHomomorphismIds(q, db);
+  // Distinct answers over ids first (id equality <=> Value equality), then
+  // materialize and sort by Tuple for the historical deterministic order.
+  std::vector<std::vector<ValueId>> answers;
+  answers.reserve(ids.bindings.size());
+  for (const std::vector<ValueId>& slots : ids.bindings) {
+    std::vector<ValueId> answer;
+    answer.reserve(ids.head_slots.size());
+    for (int slot : ids.head_slots) {
+      answer.push_back(slots[static_cast<size_t>(slot)]);
+    }
+    answers.push_back(std::move(answer));
   }
-  return std::vector<Tuple>(distinct.begin(), distinct.end());
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  std::vector<Tuple> out;
+  out.reserve(answers.size());
+  for (const std::vector<ValueId>& answer : answers) {
+    Tuple tuple;
+    tuple.reserve(answer.size());
+    for (ValueId id : answer) tuple.push_back(db.pool().value(id));
+    out.push_back(std::move(tuple));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 SubsetEvaluator::SubsetEvaluator(const ConjunctiveQuery& q,
@@ -184,17 +378,24 @@ SubsetEvaluator::SubsetEvaluator(const ConjunctiveQuery& q,
   for (int i = 0; i < num_players_; ++i) {
     player_index_[static_cast<size_t>(players_[static_cast<size_t>(i)])] = i;
   }
-  // Group homomorphisms by answer; collect minimal endogenous support masks.
-  std::map<Tuple, std::vector<uint64_t>> masks_by_answer;
-  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
+  // Group homomorphisms by answer (over ids: no Value materialization in
+  // the loop); collect minimal endogenous support masks.
+  IdHomomorphisms ids = EnumerateHomomorphismIds(q, db);
+  std::map<std::vector<ValueId>, std::vector<uint64_t>> masks_by_answer;
+  for (size_t h = 0; h < ids.bindings.size(); ++h) {
     uint64_t mask = 0;
-    for (FactId fact_id : hom.used_facts) {
+    for (FactId fact_id : ids.used_facts[h]) {
       int player = player_index_[static_cast<size_t>(fact_id)];
       if (player >= 0) mask |= uint64_t{1} << player;
     }
-    masks_by_answer[hom.answer].push_back(mask);
+    std::vector<ValueId> answer;
+    answer.reserve(ids.head_slots.size());
+    for (int slot : ids.head_slots) {
+      answer.push_back(ids.bindings[h][static_cast<size_t>(slot)]);
+    }
+    masks_by_answer[std::move(answer)].push_back(mask);
   }
-  for (auto& [answer, masks] : masks_by_answer) {
+  for (auto& [answer_ids, masks] : masks_by_answer) {
     // Keep only minimal masks (drop supersets) to speed up subset checks.
     std::sort(masks.begin(), masks.end(),
               [](uint64_t a, uint64_t b) {
@@ -213,8 +414,16 @@ SubsetEvaluator::SubsetEvaluator(const ConjunctiveQuery& q,
       }
       if (!dominated) minimal.push_back(mask);
     }
-    answers_.push_back(AnswerInfo{answer, std::move(minimal)});
+    Tuple answer;
+    answer.reserve(answer_ids.size());
+    for (ValueId id : answer_ids) answer.push_back(db.pool().value(id));
+    answers_.push_back(AnswerInfo{std::move(answer), std::move(minimal)});
   }
+  // Id order is not Value order; restore the historical sort by answer.
+  std::sort(answers_.begin(), answers_.end(),
+            [](const AnswerInfo& a, const AnswerInfo& b) {
+              return a.answer < b.answer;
+            });
 }
 
 int SubsetEvaluator::PlayerIndex(FactId id) const {

@@ -43,9 +43,27 @@ bool MatchesAtom(const Atom& atom, const Tuple& fact_args,
 // order).
 std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db);
 
-// Enumerates all homomorphisms from Q to D. Joins through the database's
-// per-(relation, position, value) hash indexes: each atom's candidates come
-// from the cheapest index probe over its bound positions.
+// Id-level enumeration result: every homomorphism as a dense ValueId
+// binding (one slot per query variable) plus the facts it uses. This is
+// the raw output of the interned join; consumers that only need answers or
+// used-fact sets (SupportEvaluator, SubsetEvaluator, the batch engines)
+// work on it directly and skip the string-keyed Binding materialization.
+struct IdHomomorphisms {
+  std::vector<std::string> slot_names;          // slot -> variable name
+  std::vector<int> head_slots;                  // head position -> slot
+  std::vector<std::vector<ValueId>> bindings;   // per hom, by slot
+  std::vector<std::vector<FactId>> used_facts;  // per hom, in atom order
+};
+
+// Enumerates all homomorphisms from Q to D over interned ids: candidates
+// per atom come from galloping intersection of the database's dense
+// posting lists over the atom's determined (constant or already-bound)
+// positions; Values are never touched during the join.
+IdHomomorphisms EnumerateHomomorphismIds(const ConjunctiveQuery& q,
+                                         const Database& db);
+
+// Enumerates all homomorphisms from Q to D (id join underneath; bindings
+// are materialized back to Values at the end).
 std::vector<Homomorphism> EnumerateHomomorphisms(const ConjunctiveQuery& q,
                                                  const Database& db);
 

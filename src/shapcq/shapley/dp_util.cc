@@ -20,17 +20,13 @@ std::vector<BigInt> Convolve(const std::vector<BigInt>& a,
 
 std::vector<BigInt> BinomialVector(int m, Combinatorics* comb) {
   SHAPCQ_CHECK(m >= 0);
-  std::vector<BigInt> out(static_cast<size_t>(m) + 1);
-  for (int k = 0; k <= m; ++k) {
-    out[static_cast<size_t>(k)] = comb->Binomial(m, k);
-  }
-  return out;
+  return comb->BinomialRow(m);
 }
 
 std::vector<BigInt> PadCounts(const std::vector<BigInt>& counts, int pad,
                               Combinatorics* comb) {
   if (pad == 0) return counts;
-  return Convolve(counts, BinomialVector(pad, comb));
+  return Convolve(counts, comb->BinomialRow(pad));
 }
 
 std::vector<BigInt> SubtractCounts(const std::vector<BigInt>& a,

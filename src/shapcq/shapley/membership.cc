@@ -80,7 +80,7 @@ class MembershipSolver {
       covered_endogenous += sub_endogenous;
       std::vector<BigInt> sat = Solve(q.Bind(x, a), sub);
       std::vector<BigInt> sub_unsat =
-          SubtractCounts(BinomialVector(sub_endogenous, comb_), sat);
+          SubtractCounts(comb_->BinomialRow(sub_endogenous), sat);
       unsat = Convolve(unsat, sub_unsat);
     }
     // Facts not consistent with any candidate value can never participate:
@@ -89,7 +89,7 @@ class MembershipSolver {
     SHAPCQ_CHECK(pad >= 0);
     unsat = PadCounts(unsat, pad, comb_);
     SHAPCQ_CHECK(static_cast<int>(unsat.size()) == total_endogenous + 1);
-    return SubtractCounts(BinomialVector(total_endogenous, comb_), unsat);
+    return SubtractCounts(comb_->BinomialRow(total_endogenous), unsat);
   }
 
   // Cross product: satisfaction is a conjunction over components with

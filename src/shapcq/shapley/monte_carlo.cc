@@ -73,19 +73,39 @@ SupportEvaluator::SupportEvaluator(const AggregateQuery& a, const Database& db)
     player_index_[static_cast<size_t>(players[i])] = static_cast<int>(i);
   }
   num_players_ = static_cast<int>(players.size());
-  std::map<Tuple, std::vector<std::vector<int>>> supports_by_answer;
-  for (const Homomorphism& hom : EnumerateHomomorphisms(a.query, db)) {
+  // Group supports by answer over interned ids (no Value materialization
+  // per homomorphism); answers are materialized once per distinct answer
+  // and sorted by Tuple below, preserving the historical entry order.
+  IdHomomorphisms ids = EnumerateHomomorphismIds(a.query, db);
+  std::map<std::vector<ValueId>, std::vector<std::vector<int>>>
+      supports_by_answer;
+  for (size_t h = 0; h < ids.bindings.size(); ++h) {
     std::vector<int> support;
-    for (FactId id : hom.used_facts) {
+    for (FactId id : ids.used_facts[h]) {
       int player = player_index_[static_cast<size_t>(id)];
       if (player >= 0) support.push_back(player);
     }
     std::sort(support.begin(), support.end());
     support.erase(std::unique(support.begin(), support.end()),
                   support.end());
-    supports_by_answer[hom.answer].push_back(std::move(support));
+    std::vector<ValueId> answer_ids;
+    answer_ids.reserve(ids.head_slots.size());
+    for (int slot : ids.head_slots) {
+      answer_ids.push_back(ids.bindings[h][static_cast<size_t>(slot)]);
+    }
+    supports_by_answer[std::move(answer_ids)].push_back(std::move(support));
   }
-  for (auto& [answer, supports] : supports_by_answer) {
+  std::vector<std::pair<Tuple, std::vector<std::vector<int>>>> entries;
+  entries.reserve(supports_by_answer.size());
+  for (auto& [answer_ids, supports] : supports_by_answer) {
+    Tuple answer;
+    answer.reserve(answer_ids.size());
+    for (ValueId id : answer_ids) answer.push_back(db.pool().value(id));
+    entries.emplace_back(std::move(answer), std::move(supports));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (auto& [answer, supports] : entries) {
     // Keep minimal supports only.
     std::sort(supports.begin(), supports.end(),
               [](const std::vector<int>& x, const std::vector<int>& y) {

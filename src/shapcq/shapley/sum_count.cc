@@ -88,7 +88,15 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
   Combinatorics comb;
   // Accumulated per-fact delta series: delta[f][k] =
   //   Σ_t w(t) · (c_k(Q_t, F_f) − c_k(Q_t, G_f)),  k = 0..n−1.
-  std::unordered_map<FactId, SumKSeries> delta;
+  // Integer answer weights (the common case) accumulate in pure BigInt
+  // arithmetic; fractional weights go to a separate Rational series. The
+  // split keeps gcd normalization out of the hot accumulation loop without
+  // changing the exact value of the sum.
+  struct DeltaSeries {
+    std::vector<BigInt> integral;    // Σ over integer-weight answers
+    SumKSeries fractional;           // Σ over fractional-weight answers
+  };
+  std::unordered_map<FactId, DeltaSeries> delta;
   for (const Tuple& answer : Evaluate(a.query, db)) {
     ConjunctiveQuery q_t = BindAnswer(a.query, answer);
     // Mirror the SatisfactionCounts gates so the batch fails exactly where
@@ -105,7 +113,9 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
                           ? Rational(1)
                           : a.tau->Evaluate(answer);
     if (weight.is_zero()) continue;
-    RelevanceSplit split = SplitRelevant(q_t, AllFacts(work));
+    // Bitset relevance split over dense fact ids via the posting lists —
+    // O(matching facts) per answer instead of a full database scan.
+    RelevanceSplit split = SplitRelevantIndexed(q_t, work);
     const int pad = split.irrelevant_endogenous;
     for (FactId f : split.relevant.EndogenousFacts()) {
       // F_f: f exogenous; same relevant subset, one flag flipped.
@@ -125,34 +135,72 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
       std::vector<BigInt> diff = SubtractCounts(counts_f, counts_g);
       diff = PadCounts(diff, pad, &comb);
       SHAPCQ_CHECK(static_cast<int64_t>(diff.size()) == n);
-      SumKSeries& acc = delta[f];
-      if (acc.empty()) acc.assign(static_cast<size_t>(n), Rational());
-      for (size_t k = 0; k < diff.size(); ++k) {
-        if (!diff[k].is_zero()) acc[k] += weight * Rational(diff[k]);
+      DeltaSeries& acc = delta[f];
+      if (weight.is_integer()) {
+        if (acc.integral.empty()) {
+          acc.integral.assign(static_cast<size_t>(n), BigInt());
+        }
+        for (size_t k = 0; k < diff.size(); ++k) {
+          if (!diff[k].is_zero()) {
+            acc.integral[k] += weight.numerator() * diff[k];
+          }
+        }
+      } else {
+        if (acc.fractional.empty()) {
+          acc.fractional.assign(static_cast<size_t>(n), Rational());
+        }
+        for (size_t k = 0; k < diff.size(); ++k) {
+          if (!diff[k].is_zero()) {
+            acc.fractional[k] += weight * Rational(diff[k]);
+          }
+        }
       }
     }
   }
 
+  // Shapley: Σ_k q_k·d[k] with q_k = k!(n−k−1)!/n!. Summing the numerators
+  // k!(n−k−1)!·d[k] over the common denominator n! needs one normalization
+  // per fact instead of one per (fact, k) term; the value is unchanged
+  // (exact arithmetic, same sum).
+  std::vector<BigInt> shapley_numerator(static_cast<size_t>(n));
+  if (kind == ScoreKind::kShapley) {
+    for (int64_t k = 0; k < n; ++k) {
+      shapley_numerator[static_cast<size_t>(k)] =
+          comb.Factorial(k) * comb.Factorial(n - 1 - k);
+    }
+  }
+  const BigInt denominator = kind == ScoreKind::kShapley
+                                 ? comb.Factorial(n)
+                                 : BigInt::TwoPow(static_cast<uint64_t>(
+                                       n > 1 ? n - 1 : 0));
   std::vector<std::pair<FactId, Rational>> scores;
   scores.reserve(endo.size());
   for (FactId f : endo) {
     Rational score;
     auto it = delta.find(f);
     if (it != delta.end()) {
+      const DeltaSeries& d = it->second;
+      BigInt numerator;
+      Rational fractional_sum;
       for (int64_t k = 0; k < n; ++k) {
-        const Rational& d = it->second[static_cast<size_t>(k)];
-        if (d.is_zero()) continue;
-        switch (kind) {
-          case ScoreKind::kShapley:
-            score += comb.ShapleyCoefficient(n, k) * d;
-            break;
-          case ScoreKind::kBanzhaf:
-            score += d;
-            break;
+        const size_t uk = static_cast<size_t>(k);
+        const BigInt& coeff = kind == ScoreKind::kShapley
+                                  ? shapley_numerator[uk]
+                                  : denominator;  // unused for Banzhaf below
+        if (!d.integral.empty() && !d.integral[uk].is_zero()) {
+          numerator += kind == ScoreKind::kShapley
+                           ? coeff * d.integral[uk]
+                           : d.integral[uk];
+        }
+        if (!d.fractional.empty() && !d.fractional[uk].is_zero()) {
+          fractional_sum += kind == ScoreKind::kShapley
+                                ? Rational(coeff) * d.fractional[uk]
+                                : d.fractional[uk];
         }
       }
-      if (kind == ScoreKind::kBanzhaf && n > 1) {
-        score /= Rational(BigInt::TwoPow(static_cast<uint64_t>(n - 1)));
+      score = Rational(std::move(numerator), denominator);
+      if (!fractional_sum.is_zero()) {
+        score += fractional_sum / Rational(denominator);
       }
     }
     scores.emplace_back(f, std::move(score));

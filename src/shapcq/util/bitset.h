@@ -1,0 +1,70 @@
+// DenseBitset: a flat bitset over dense integer ids (FactIds, ValueIds).
+//
+// The batched engines track per-answer relevance of facts as bit
+// operations over dense FactIds instead of hash sets; a relevance split of
+// the whole database becomes one bitset, and membership tests in the
+// per-fact loops are single-word probes.
+
+#ifndef SHAPCQ_UTIL_BITSET_H_
+#define SHAPCQ_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shapcq {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  // Number of set bits.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t word : words_) count += __builtin_popcountll(word);
+    return count;
+  }
+
+  DenseBitset& operator|=(const DenseBitset& other) {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+  DenseBitset& operator&=(const DenseBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= i < other.words_.size() ? other.words_[i] : 0;
+    }
+    return *this;
+  }
+
+  // Calls `fn(index)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn((w << 6) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_BITSET_H_

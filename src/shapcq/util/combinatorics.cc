@@ -18,11 +18,31 @@ const BigInt& Combinatorics::Factorial(int64_t n) {
 BigInt Combinatorics::Binomial(int64_t n, int64_t k) {
   SHAPCQ_CHECK(n >= 0);
   if (k < 0 || k > n) return BigInt(0);
-  // n!/(k!(n-k)!) with cached factorials; exact division.
-  BigInt result = Factorial(n);
-  result /= Factorial(k);
-  result /= Factorial(n - k);
-  return result;
+  return BinomialRow(n)[static_cast<size_t>(k)];
+}
+
+const std::vector<BigInt>& Combinatorics::BinomialRow(int64_t n) {
+  SHAPCQ_CHECK(n >= 0);
+  if (static_cast<int64_t>(rows_.size()) <= n) {
+    rows_.resize(static_cast<size_t>(n) + 1);
+  }
+  std::vector<BigInt>& row = rows_[static_cast<size_t>(n)];
+  if (row.empty()) {
+    // Multiplicative recurrence C(n,k+1) = C(n,k)·(n−k)/(k+1): one
+    // small-factor multiply and one single-limb exact divide per entry,
+    // with no dependence on other rows.
+    row.resize(static_cast<size_t>(n) + 1);
+    row.front() = BigInt(1);
+    for (int64_t k = 0; k + 1 <= n / 2; ++k) {
+      BigInt next = row[static_cast<size_t>(k)] * BigInt(n - k);
+      next /= BigInt(k + 1);
+      row[static_cast<size_t>(k + 1)] = std::move(next);
+    }
+    for (int64_t k = n / 2 + 1; k <= n; ++k) {
+      row[static_cast<size_t>(k)] = row[static_cast<size_t>(n - k)];
+    }
+  }
+  return row;
 }
 
 Rational Combinatorics::ShapleyCoefficient(int64_t n, int64_t k) {

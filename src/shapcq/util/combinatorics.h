@@ -6,6 +6,7 @@
 #define SHAPCQ_UTIL_COMBINATORICS_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "shapcq/util/bigint.h"
@@ -25,6 +26,13 @@ class Combinatorics {
   // C(n, k); 0 when k < 0 or k > n. Requires n >= 0.
   BigInt Binomial(int64_t n, int64_t k);
 
+  // The full row [C(n,0), ..., C(n,n)], cached. Each row is built
+  // independently by the multiplicative recurrence C(n,k+1) =
+  // C(n,k)·(n−k)/(k+1) — small-factor multiply plus single-limb exact
+  // divide per entry — which is far cheaper than the big-by-big factorial
+  // quotient when the dynamic programs request whole rows repeatedly.
+  const std::vector<BigInt>& BinomialRow(int64_t n);
+
   // The Shapley coefficient q_k = k!(n-k-1)!/n! = 1/(n*C(n-1,k)) for a game
   // with n players: the probability that a uniformly random permutation
   // places exactly k specific-player-free positions before a fixed player.
@@ -35,7 +43,11 @@ class Combinatorics {
   Rational Harmonic(int64_t n);
 
  private:
-  std::vector<BigInt> factorials_;  // factorials_[n] == n!
+  // Deques so growing the caches never moves existing entries: the
+  // references Factorial/BinomialRow return stay valid across later,
+  // larger requests.
+  std::deque<BigInt> factorials_;            // factorials_[n] == n!
+  std::deque<std::vector<BigInt>> rows_;     // rows_[n] == binomial row n
 };
 
 // Stateless one-off helpers (each call recomputes; use the class for loops).
