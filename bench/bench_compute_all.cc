@@ -1,20 +1,25 @@
 // All-facts attribution throughput: per-fact Compute loop vs. the batched
-// SolverSession::ComputeAll, on a generated ∃-hierarchical Sum workload.
+// SolverSession::ComputeAll, on generated Sum and Max workloads.
 //
-// This is the acceptance benchmark for the session refactor: ComputeAll
-// must produce bitwise-identical Rational scores while sharing the
-// homomorphism enumeration, answer binding, relevance splits, and DP
-// scaffolding across facts. Emits one BENCH_JSON line for the trajectory.
+// This is the acceptance benchmark for the batched engine scorers:
+// ComputeAll must produce bitwise-identical Rational scores while sharing
+// the homomorphism enumeration, answer binding, relevance splits, anchor
+// sets, and DP scaffolding across facts — and, since the ScoreAllFn
+// signature carries SolverOptions, sharding internally over worker
+// threads. One BENCH_JSON line per workload for the trajectory.
 //
 // Usage: bench_compute_all [--smoke] [facts_per_relation] [domain_size]
 //                          [seed]
-//   defaults: 200 50 1   (≈240 endogenous facts over R, S, T; the unary
-//   relations cap at domain_size+1 distinct facts, so the domain must grow
-//   with the requested fact count). --smoke shrinks to CI sizes.
+//   defaults: 200 50 1 for Sum (≈240 endogenous facts over R, S, T; the
+//   unary relations cap at domain_size+1 distinct facts, so the domain
+//   must grow with the requested fact count); the Max workload runs at a
+//   quarter of the Sum size (its DP is heavier per fact). --smoke shrinks
+//   to CI sizes.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -28,33 +33,29 @@
 
 using namespace shapcq;  // NOLINT: benchmark brevity
 
-int main(int argc, char** argv) {
-  bench::Args args = bench::ParseArgs(argc, argv);
-  int facts_per_relation = args.Int(0, args.smoke ? 24 : 200);
-  int domain_size = args.Int(1, args.smoke ? 8 : 50);
-  uint64_t seed = static_cast<uint64_t>(args.Int64(2, 1));
+namespace {
 
-  // ∃-hierarchical (not all-hierarchical): the Sum frontier's home turf.
-  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
-  RandomDatabaseOptions options;
-  options.facts_per_relation = facts_per_relation;
-  options.domain_size = domain_size;
-  options.endogenous_percent = 80;
-  options.seed = seed;
-  Database db = RandomDatabaseForQuery(q, options);
-  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+// Runs one (aggregate, query, database) workload through the batched
+// session and the per-fact loop; returns false on a value mismatch.
+bool RunWorkload(const char* label, const AggregateQuery& a,
+                 const Database& db) {
   ShapleySolver solver(a);
   const std::vector<FactId> facts = db.EndogenousFacts();
   const int n = static_cast<int>(facts.size());
 
-  std::printf("compute-all throughput: %s\n", a.ToString().c_str());
+  std::printf("%s: %s\n", label, a.ToString().c_str());
   std::printf("facts=%d endogenous=%d\n", db.num_facts(), n);
   bench::Rule();
 
-  // Batched: one session, shared state, SumCountScoreAll underneath.
+  // Batched: one session, shared state, the engine's score_all underneath.
+  // Pinned to one worker so the reported speedup is the algorithmic
+  // sharing alone (comparable across machines); pass --threads through
+  // shapcq_cli to see the additional thread-sharding win.
+  SolverOptions one_thread;
+  one_thread.num_threads = 1;
   std::vector<std::pair<FactId, SolveResult>> batched;
   double batched_ms = bench::TimeMs([&] {
-    auto results = solver.ComputeAll(db);
+    auto results = solver.ComputeAll(db, one_thread);
     if (!results.ok()) {
       std::fprintf(stderr, "ComputeAll failed: %s\n",
                    results.status().ToString().c_str());
@@ -91,13 +92,14 @@ int main(int argc, char** argv) {
   }
   double speedup = batched_ms > 0 ? per_fact_ms / batched_ms : 0.0;
   bench::Rule();
-  std::printf("speedup: %.2fx   identical results: %s\n", speedup,
+  std::printf("speedup: %.2fx   identical results: %s\n\n", speedup,
               identical ? "yes" : "NO — BUG");
   bench::JsonLine("compute_all")
-      .Str("query", q.ToString())
-      .Str("agg", "Sum")
+      .Str("query", a.query.ToString())
+      .Str("agg", a.alpha.ToString())
       .Int("facts", db.num_facts())
       .Int("endogenous", n)
+      .Int("batched_threads", 1)
       .Num("per_fact_ms", per_fact_ms)
       .Num("batched_ms", batched_ms)
       .Num("per_fact_facts_per_sec", 1000.0 * n / per_fact_ms)
@@ -105,5 +107,47 @@ int main(int argc, char** argv) {
       .Num("speedup", speedup)
       .Bool("identical", identical)
       .Emit();
-  return identical ? 0 : 1;
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
+  int facts_per_relation = args.Int(0, args.smoke ? 24 : 200);
+  int domain_size = args.Int(1, args.smoke ? 8 : 50);
+  uint64_t seed = static_cast<uint64_t>(args.Int64(2, 1));
+
+  bool ok = true;
+
+  {
+    // ∃-hierarchical (not all-hierarchical): the Sum frontier's home turf.
+    ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+    RandomDatabaseOptions options;
+    options.facts_per_relation = facts_per_relation;
+    options.domain_size = domain_size;
+    options.endogenous_percent = 80;
+    options.seed = seed;
+    Database db = RandomDatabaseForQuery(q, options);
+    AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+    ok = RunWorkload("compute-all throughput (Sum)", a, db) && ok;
+  }
+
+  {
+    // All-hierarchical with a localized τ: the batched Min/Max DP. A
+    // quarter of the Sum size — each per-fact step runs the anchor DP
+    // twice over the whole database.
+    ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+    RandomDatabaseOptions options;
+    options.facts_per_relation =
+        facts_per_relation >= 4 ? facts_per_relation / 4 : facts_per_relation;
+    options.domain_size = domain_size;
+    options.endogenous_percent = 80;
+    options.seed = seed;
+    Database db = RandomDatabaseForQuery(q, options);
+    AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+    ok = RunWorkload("compute-all throughput (Max)", a, db) && ok;
+  }
+
+  return ok ? 0 : 1;
 }

@@ -3,10 +3,14 @@
 // Max(x + z) over the Cartesian product Q(x, z) <- R(x), T(z): τ is not
 // localized on any atom, so the localized engines cannot run; the paper's
 // Section 7.3 argument (implemented in min_max_monoid) makes it polynomial
-// anyway. The table contrasts the monoid engine with brute force and shows
-// the engine scaling far beyond the enumeration horizon.
+// anyway. The table contrasts the monoid engine with brute force, shows
+// the engine scaling far beyond the enumeration horizon, and measures the
+// all-facts batched scorer (MinMaxMonoidScoreAll) against the per-fact
+// sweep it replaces.
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "shapcq/agg/aggregate.h"
@@ -16,6 +20,7 @@
 #include "shapcq/shapley/brute_force.h"
 #include "shapcq/shapley/min_max_monoid.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 
 using namespace shapcq;  // NOLINT
 
@@ -85,9 +90,59 @@ int main(int argc, char** argv) {
         .Num("monoid_dp_ms", dp_ms)
         .Emit();
   }
+  std::printf("all-facts attribution: batched MinMaxMonoidScoreAll vs the "
+              "per-fact sweep\n");
+  bench::Rule();
+  std::printf("%6s %10s %18s %18s %9s %10s\n", "n/side", "players",
+              "per-fact (ms)", "batched (ms)", "speedup", "identical");
+  const std::vector<int> all_sizes =
+      args.smoke ? std::vector<int>{6} : std::vector<int>{10, 20, 30};
+  for (int n : all_sizes) {
+    Database db = MakeDb(n);
+    const std::vector<FactId> facts = db.EndogenousFacts();
+    // Per-fact: the pre-batching path — every fact re-copies and re-solves.
+    std::vector<std::pair<FactId, Rational>> per_fact;
+    per_fact.reserve(facts.size());
+    double per_fact_ms = bench::TimeMs([&] {
+      for (FactId fact : facts) {
+        auto score = ScoreViaSumK(reference, db, fact, engine);
+        if (!score.ok()) std::abort();
+        per_fact.emplace_back(fact, std::move(score).value());
+      }
+    });
+    // Batched: this cross-product workload takes the pushed-functional
+    // fast path (one leave-one-out DP pass, then per-fact BigInt dot
+    // products) — the speedup is purely algorithmic, no threads involved.
+    std::vector<std::pair<FactId, Rational>> batched;
+    double batched_ms = bench::TimeMs([&] {
+      auto scores = MinMaxMonoidScoreAll(q, MonoidKind::kPlus, {0, 1},
+                                         /*is_max=*/true, db);
+      if (!scores.ok()) std::abort();
+      batched = std::move(scores).value();
+    });
+    bool identical = batched.size() == per_fact.size();
+    for (size_t i = 0; identical && i < batched.size(); ++i) {
+      identical = batched[i].first == per_fact[i].first &&
+                  batched[i].second == per_fact[i].second;
+    }
+    double speedup = batched_ms > 0 ? per_fact_ms / batched_ms : 0.0;
+    std::printf("%6d %10d %18.2f %18.2f %8.2fx %10s\n", n,
+                db.num_endogenous(), per_fact_ms, batched_ms, speedup,
+                identical ? "yes" : "MISMATCH");
+    bench::JsonLine("monoid_score_all")
+        .Int("n", n)
+        .Int("players", db.num_endogenous())
+        .Num("per_fact_ms", per_fact_ms)
+        .Num("batched_ms", batched_ms)
+        .Num("speedup", speedup)
+        .Bool("identical", identical)
+        .Emit();
+    if (!identical) return 1;
+  }
   bench::Rule('=');
   std::printf("E11 result: the monotone-monoid structure restores "
               "polynomial exact computation for a value function no "
-              "localized engine can handle.\n");
+              "localized engine can handle, and the batched scorer serves "
+              "all facts in a fraction of the per-fact sweep.\n");
   return 0;
 }

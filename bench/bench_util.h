@@ -9,6 +9,7 @@
 #define SHAPCQ_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -61,7 +62,10 @@ inline Args ParseArgs(int argc, char** argv) {
 }
 
 // Builder for one `BENCH_JSON {...}` telemetry line. Keys are emitted in
-// call order; Emit() prints the line to stdout.
+// call order; Emit() prints the line to stdout. The output is always
+// valid JSON: strings escape quotes, backslashes, and control bytes
+// (\uXXXX), and non-finite doubles — which JSON cannot represent — are
+// emitted as null.
 //
 //   bench::JsonLine("compute_all").Int("facts", n).Num("ms", ms).Emit();
 class JsonLine {
@@ -72,8 +76,17 @@ class JsonLine {
     Key(key);
     out_ += '"';
     for (char c : value) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out_ += buffer;
+      } else {
+        out_ += c;
+      }
     }
     out_ += '"';
     return *this;
@@ -84,9 +97,15 @@ class JsonLine {
     return *this;
   }
   JsonLine& Num(const char* key, double value) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
     Key(key);
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return *this;
+    }
+    // Large enough for any finite double in %.3f form (up to ~309 integer
+    // digits), so the number is never truncated mid-digit.
+    char buffer[336];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
     out_ += buffer;
     return *this;
   }
@@ -96,7 +115,10 @@ class JsonLine {
     return *this;
   }
 
-  void Emit() { std::printf("BENCH_JSON {%s}\n", out_.c_str()); }
+  // The JSON object built so far (what Emit prints after "BENCH_JSON ").
+  std::string Json() const { return "{" + out_ + "}"; }
+
+  void Emit() { std::printf("BENCH_JSON %s\n", Json().c_str()); }
 
  private:
   void Key(const char* key) {

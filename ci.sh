@@ -3,26 +3,30 @@
 # the bench_smoke label). Run on every PR; exits non-zero on any failure.
 #
 # Environment:
-#   SANITIZE=asan|ubsan  build with AddressSanitizer / UBSanitizer
-#                        (separate build directory per sanitizer)
+#   SANITIZE=asan|ubsan|tsan  build with Address-/UB-/ThreadSanitizer
+#                             (separate build directory per sanitizer)
 #   BUILD_TYPE=<type>    CMake build type (default Release)
+#   TEST_REGEX=<regex>   run only ctest targets matching the regex
+#                        (default: the whole suite). The TSan CI job uses
+#                        this to focus on the threaded batching tests.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
 SANITIZE="${SANITIZE:-}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
+TEST_REGEX="${TEST_REGEX:-}"
 BUILD_DIR="build"
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
 
 case "${SANITIZE}" in
   "") ;;
-  asan|ubsan)
+  asan|ubsan|tsan)
     BUILD_DIR="build-${SANITIZE}"
     CMAKE_ARGS+=(-DSHAPCQ_SANITIZE="${SANITIZE}")
     ;;
   *)
-    echo "ci.sh: SANITIZE must be empty, 'asan', or 'ubsan' (got '${SANITIZE}')" >&2
+    echo "ci.sh: SANITIZE must be empty, 'asan', 'ubsan', or 'tsan' (got '${SANITIZE}')" >&2
     exit 2
     ;;
 esac
@@ -35,4 +39,8 @@ fi
 
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 cd "${BUILD_DIR}"
-ctest --output-on-failure -j "$(nproc)"
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if [[ -n "${TEST_REGEX}" ]]; then
+  CTEST_ARGS+=(-R "${TEST_REGEX}")
+fi
+ctest "${CTEST_ARGS[@]}"

@@ -1,6 +1,7 @@
 #include "shapcq/data/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -9,21 +10,77 @@ namespace shapcq {
 
 namespace {
 
-// Converts an unquoted CSV field to a Value: int64 if it parses fully as a
-// decimal integer, double if it parses fully as a float, else string.
+// [+-]? digits — the only form routed to int64 parsing.
+bool IsDecimalIntLiteral(const std::string& field) {
+  size_t i = (field[0] == '+' || field[0] == '-') ? 1 : 0;
+  if (i == field.size()) return false;
+  for (; i < field.size(); ++i) {
+    if (field[i] < '0' || field[i] > '9') return false;
+  }
+  return true;
+}
+
+// [+-]? (digits [. digits?] | . digits) ([eE] [+-]? digits)? — plain
+// decimal floats only. Rejects what strtod would also accept: "nan",
+// "inf"/"infinity", hex floats like "0x10", and trailing garbage.
+bool IsDecimalFloatLiteral(const std::string& field) {
+  size_t i = (field[0] == '+' || field[0] == '-') ? 1 : 0;
+  size_t integer_digits = 0;
+  while (i < field.size() && field[i] >= '0' && field[i] <= '9') {
+    ++i;
+    ++integer_digits;
+  }
+  size_t fraction_digits = 0;
+  if (i < field.size() && field[i] == '.') {
+    ++i;
+    while (i < field.size() && field[i] >= '0' && field[i] <= '9') {
+      ++i;
+      ++fraction_digits;
+    }
+  }
+  if (integer_digits + fraction_digits == 0) return false;
+  if (i < field.size() && (field[i] == 'e' || field[i] == 'E')) {
+    ++i;
+    if (i < field.size() && (field[i] == '+' || field[i] == '-')) ++i;
+    size_t exponent_digits = 0;
+    while (i < field.size() && field[i] >= '0' && field[i] <= '9') {
+      ++i;
+      ++exponent_digits;
+    }
+    if (exponent_digits == 0) return false;
+  }
+  return i == field.size();
+}
+
+// Converts an unquoted CSV field to a Value: int64 if it is a decimal
+// integer literal in range, double if it is a decimal float literal whose
+// value is finite, else string. Restricting to finite decimal forms keeps
+// NaN out of the Value domain (NaN breaks Value equality and therefore
+// ValuePool interning) and keeps strtod extensions — "nan", "inf", hex
+// floats — as strings. Out-of-range literals stay strings too, in both
+// directions ("1e999" overflows, "1e-999" underflows); integer literals
+// beyond int64 fall back to the (finite) double they denote.
 Value FieldToValue(const std::string& field) {
   if (field.empty()) return Value(std::string());
-  errno = 0;
-  char* end = nullptr;
-  long long as_int = std::strtoll(field.c_str(), &end, 10);
-  if (errno == 0 && end != nullptr && *end == '\0') {
-    return Value(static_cast<int64_t>(as_int));
+  if (IsDecimalIntLiteral(field)) {
+    errno = 0;
+    char* end = nullptr;
+    long long as_int = std::strtoll(field.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return Value(static_cast<int64_t>(as_int));
+    }
   }
-  errno = 0;
-  end = nullptr;
-  double as_double = std::strtod(field.c_str(), &end);
-  if (errno == 0 && end != nullptr && *end == '\0') {
-    return Value(as_double);
+  if (IsDecimalFloatLiteral(field)) {
+    errno = 0;
+    char* end = nullptr;
+    double as_double = std::strtod(field.c_str(), &end);
+    // errno: ERANGE flags overflow AND underflow ("1e-999" → 0.0), both
+    // of which must stay strings — silently interning an underflow as
+    // 0.0 would alias it with genuine zeros.
+    if (errno == 0 && end != nullptr && *end == '\0' &&
+        std::isfinite(as_double)) {
+      return Value(as_double);
+    }
   }
   return Value(field);
 }

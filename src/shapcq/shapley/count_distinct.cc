@@ -95,9 +95,9 @@ void RegisterCountDistinctEngines(EngineRegistry& registry) {
     return SumCountSumK(as_count, db);
   };
   rewrite.score_all = [](const AggregateQuery& a, const Database& db,
-                         ScoreKind kind) {
+                         const SolverOptions& options) {
     AggregateQuery as_count{a.query, a.tau, AggregateFunction::Count()};
-    return SumCountScoreAll(as_count, db, kind);
+    return SumCountScoreAll(as_count, db, options);
   };
   registry.Register(std::move(rewrite));
 }

@@ -25,6 +25,7 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -36,9 +37,13 @@ using ScoreOneFn = std::function<StatusOr<Rational>(
 // Batched all-facts scorer: shares per-(query, database) work — answer
 // enumeration, relevance splits, DP scaffolding — across every endogenous
 // fact. Must return one entry per endogenous fact, ascending by FactId,
-// with exactly the values the per-fact path would produce.
+// with exactly the values the per-fact path would produce. Receives the
+// session's SolverOptions so it can shard internally over
+// options.num_threads (ScoreKind comes from options.score); sharding must
+// not change any value — exact engines stay bitwise-identical for every
+// thread count.
 using ScoreAllFn = std::function<StatusOr<std::vector<std::pair<FactId, Rational>>>(
-    const AggregateQuery&, const Database&, ScoreKind)>;
+    const AggregateQuery&, const Database&, const SolverOptions&)>;
 
 struct EngineProvider {
   std::string name;

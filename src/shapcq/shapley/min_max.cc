@@ -6,6 +6,8 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "shapcq/agg/value_function.h"
@@ -17,6 +19,7 @@
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
+#include "shapcq/util/parallel.h"
 
 namespace shapcq {
 
@@ -30,6 +33,23 @@ struct MaxStructure {
   // by_anchor[i][k], every row has length num_endogenous + 1.
   std::vector<std::vector<BigInt>> by_anchor;
   int num_endogenous = 0;
+};
+
+// The leave-one-out bundle of one sub-problem: the structure of the full
+// fact subset plus, for every endogenous fact f in it, the structure with
+// f exogenous (the paper's derived database F_f, one row narrower). Built
+// in one recursive pass: at each combine node the variants reuse the
+// prefix/suffix-combined siblings, so a fact's variant costs one combine
+// per ancestor instead of a full re-solve — this is what makes the
+// batched all-facts scorer asymptotically cheaper than the per-fact
+// sweep. Combines count subsets with exact integers, so any combine
+// grouping yields the identical structure. The trade-off is memory: all
+// n variants are resident at once (O(n² · anchors) BigInts at the top
+// node); streaming scores out as variants complete would cap that if
+// instances outgrow it.
+struct MaxLOO {
+  MaxStructure full;
+  std::unordered_map<FactId, MaxStructure> minus;
 };
 
 class MaxSolver {
@@ -62,6 +82,18 @@ class MaxSolver {
     std::vector<std::vector<int>> components = ConnectedComponents(q);
     SHAPCQ_CHECK(components.size() > 1);
     return SolveCrossProduct(q, components, facts, head);
+  }
+
+  // One pass computing the full structure and every endogenous fact's
+  // F-variant. `work` must be the (mutable) database all fact subsets
+  // point into; leaf variants are realized as transient flag flips on it.
+  // Every flag is restored before returning.
+  MaxLOO SolveLeaveOneOut(const ConjunctiveQuery& q, const FactSubset& facts,
+                          const PartialHead& head, Database* work) {
+    loo_db_ = work;
+    MaxLOO out = SolveLOO(q, facts, head);
+    loo_db_ = nullptr;
+    return out;
   }
 
   // Zero structure over zero facts (identity for combine_∪).
@@ -210,6 +242,178 @@ class MaxSolver {
     return out;
   }
 
+  MaxLOO SolveLOO(const ConjunctiveQuery& q, const FactSubset& facts,
+                  const PartialHead& head) {
+    SHAPCQ_CHECK(AtomIndexOf(q, relation_) >= 0);
+    if (AllDependedBound(head)) return SolveValueFixedLOO(q, facts, head);
+    std::vector<std::string> roots = RootVariables(q);
+    if (!roots.empty()) return SolveRootLOO(q, roots[0], facts, head);
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    SHAPCQ_CHECK(components.size() > 1);
+    return SolveCrossProductLOO(q, components, facts, head);
+  }
+
+  // Leaf: the variant of each fact is a direct re-count with its flag
+  // flipped — the one place the leave-one-out pass still recomputes.
+  MaxLOO SolveValueFixedLOO(const ConjunctiveQuery& q, const FactSubset& facts,
+                            const PartialHead& head) {
+    MaxLOO out;
+    out.full = SolveValueFixed(q, facts, head);
+    for (FactId f : facts.EndogenousFacts()) {
+      loo_db_->SetEndogenous(f, false);
+      out.minus.emplace(f, SolveValueFixed(q, facts, head));
+      loo_db_->SetEndogenous(f, true);
+    }
+    return out;
+  }
+
+  // Root split: each fact lives in exactly one branch (self-join-free
+  // consistency is a partition), so its variant is
+  // prefix ∪ variant-branch ∪ suffix — one CombineUnion pair per fact
+  // instead of re-folding every branch. Uncovered endogenous facts are
+  // pure padding: their variant is the same combined structure with one
+  // padding row fewer.
+  MaxLOO SolveRootLOO(const ConjunctiveQuery& q, const std::string& x,
+                      const FactSubset& facts, const PartialHead& head) {
+    int total_endogenous = facts.CountEndogenous();
+    std::vector<MaxLOO> branches;
+    int covered_endogenous = 0;
+    std::unordered_set<FactId> covered_endo;
+    for (const Value& a : CandidateValues(q, x, facts)) {
+      FactSubset sub;
+      sub.db = facts.db;
+      sub.facts = FactsConsistentWith(q, x, a, facts);
+      covered_endogenous += sub.CountEndogenous();
+      for (FactId f : sub.EndogenousFacts()) covered_endo.insert(f);
+      PartialHead sub_head = head;
+      auto it = positions_of_head_var_.find(x);
+      if (it != positions_of_head_var_.end()) {
+        for (int position : it->second) {
+          sub_head[static_cast<size_t>(position)] = a;
+        }
+      }
+      branches.push_back(SolveLOO(q.Bind(x, a), sub, sub_head));
+    }
+    const int pad = total_endogenous - covered_endogenous;
+    const size_t num_branches = branches.size();
+    // prefix[i] = branches[0..i) folded left (prefix[0] = Empty), exactly
+    // the running accumulator of SolveRoot; suffix[i] = branches(i..B).
+    std::vector<MaxStructure> prefix(num_branches + 1);
+    prefix[0] = Empty();
+    for (size_t i = 0; i < num_branches; ++i) {
+      prefix[i + 1] = CombineUnion(prefix[i], branches[i].full);
+    }
+    std::vector<MaxStructure> suffix(num_branches + 1);
+    suffix[num_branches] = Empty();
+    for (size_t i = num_branches; i-- > 0;) {
+      suffix[i] = CombineUnion(branches[i].full, suffix[i + 1]);
+    }
+    MaxLOO out;
+    out.full = Pad(prefix[num_branches], pad);
+    for (size_t i = 0; i < num_branches; ++i) {
+      for (auto& [f, variant] : branches[i].minus) {
+        out.minus.emplace(
+            f, Pad(CombineUnion(CombineUnion(prefix[i], variant),
+                                suffix[i + 1]),
+                   pad));
+      }
+    }
+    if (pad > 0) {
+      for (FactId f : facts.EndogenousFacts()) {
+        if (covered_endo.count(f) == 0) {
+          out.minus.emplace(f, Pad(prefix[num_branches], pad - 1));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Cross product: the value-bearing component recurses; the other
+  // components gate by satisfaction counts. A fact in a gating component
+  // re-counts only that component and re-convolves.
+  MaxLOO SolveCrossProductLOO(const ConjunctiveQuery& q,
+                              const std::vector<std::vector<int>>& components,
+                              const FactSubset& facts,
+                              const PartialHead& head) {
+    int r_atom = AtomIndexOf(q, relation_);
+    MaxLOO value_side;
+    // Gating components: full counts plus per-endogenous-fact variants.
+    struct GateComponent {
+      std::vector<BigInt> sat;
+      std::unordered_map<FactId, std::vector<BigInt>> sat_minus;
+    };
+    std::vector<GateComponent> gates;
+    int covered_endogenous = 0;
+    bool found = false;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      bool holds_r = std::find(component.begin(), component.end(), r_atom) !=
+                     component.end();
+      if (holds_r) {
+        found = true;
+        value_side = SolveLOO(sub_q, sub, head);
+      } else {
+        GateComponent gate;
+        gate.sat = SatisfactionCountsOnSubset(sub_q, sub, comb_);
+        for (FactId f : sub.EndogenousFacts()) {
+          loo_db_->SetEndogenous(f, false);
+          gate.sat_minus.emplace(
+              f, SatisfactionCountsOnSubset(sub_q, sub, comb_));
+          loo_db_->SetEndogenous(f, true);
+        }
+        gates.push_back(std::move(gate));
+      }
+    }
+    SHAPCQ_CHECK(found);
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    const int num_endogenous = facts.CountEndogenous();
+    // Convolved gate counts with prefix/suffix so a gating fact's variant
+    // re-convolves one component, not all of them.
+    const size_t num_gates = gates.size();
+    std::vector<std::vector<BigInt>> gate_prefix(num_gates + 1);
+    gate_prefix[0] = {BigInt(1)};
+    for (size_t i = 0; i < num_gates; ++i) {
+      gate_prefix[i + 1] = Convolve(gate_prefix[i], gates[i].sat);
+    }
+    std::vector<std::vector<BigInt>> gate_suffix(num_gates + 1);
+    gate_suffix[num_gates] = {BigInt(1)};
+    for (size_t i = num_gates; i-- > 0;) {
+      gate_suffix[i] = Convolve(gates[i].sat, gate_suffix[i + 1]);
+    }
+    auto combine = [&](const MaxStructure& value,
+                       const std::vector<BigInt>& other_sat,
+                       int endogenous) {
+      MaxStructure s;
+      s.num_endogenous = endogenous;
+      s.by_anchor.reserve(anchors_.size());
+      for (const std::vector<BigInt>& row : value.by_anchor) {
+        std::vector<BigInt> combined = Convolve(row, other_sat);
+        combined.resize(static_cast<size_t>(endogenous) + 1);
+        s.by_anchor.push_back(std::move(combined));
+      }
+      return s;
+    };
+    MaxLOO out;
+    out.full = combine(value_side.full, gate_prefix[num_gates],
+                       num_endogenous);
+    for (auto& [f, variant] : value_side.minus) {
+      out.minus.emplace(
+          f, combine(variant, gate_prefix[num_gates], num_endogenous - 1));
+    }
+    for (size_t i = 0; i < num_gates; ++i) {
+      for (auto& [f, sat_variant] : gates[i].sat_minus) {
+        std::vector<BigInt> other =
+            Convolve(Convolve(gate_prefix[i], sat_variant),
+                     gate_suffix[i + 1]);
+        out.minus.emplace(f,
+                          combine(value_side.full, other, num_endogenous - 1));
+      }
+    }
+    return out;
+  }
+
   // Per anchor i: counts of subsets with max ≤ anchor i or empty answers.
   std::vector<std::vector<BigInt>> AtMostCounts(const MaxStructure& s) const {
     size_t width = static_cast<size_t>(s.num_endogenous) + 1;
@@ -240,6 +444,9 @@ class MaxSolver {
   int head_arity_;
   std::vector<int> depends_on_;
   std::unordered_map<std::string, std::vector<int>> positions_of_head_var_;
+  // Set only during SolveLeaveOneOut: the mutable database the fact
+  // subsets point into, used for transient leaf flag flips.
+  Database* loo_db_ = nullptr;
 };
 
 StatusOr<SumKSeries> MaxSumK(const AggregateQuery& a, const Database& db) {
@@ -277,6 +484,125 @@ StatusOr<SumKSeries> MaxSumK(const AggregateQuery& a, const Database& db) {
   return series;
 }
 
+// sum_k series of a padded MaxStructure: Σ_anchors a · count, ascending
+// anchors — the exact accumulation order of MaxSumK's tail, so the batched
+// path reproduces its values bit for bit.
+SumKSeries SeriesFromMaxStructure(const MaxStructure& top,
+                                  const std::vector<Rational>& anchors) {
+  SumKSeries series(static_cast<size_t>(top.num_endogenous) + 1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    for (size_t k = 0; k < series.size(); ++k) {
+      const BigInt& count = top.by_anchor[i][k];
+      if (!count.is_zero()) series[k] += anchors[i] * Rational(count);
+    }
+  }
+  return series;
+}
+
+// Batched Max scorer. Equivalence with per-fact ScoreViaSumK(MaxSumK):
+//  * F_f (f exogenous) has exactly the facts of D, so its answers, anchor
+//    set, and relevance split coincide with D's. All F-structures come
+//    from one leave-one-out DP pass (SolveLeaveOneOut) over the relevant
+//    subset — exact subset counting, so the variants carry exactly the
+//    integers a from-scratch solve of F_f would produce.
+//  * G_f (f removed) follows from the partition identity
+//      sum_k(A, D) = sum_k(A, G_f) + sum_{k−1}(A, F_f)
+//    (split the k-subsets of D_n by membership of f), so no G solve runs
+//    at all. The subtraction is exact rational arithmetic on canonical
+//    forms, hence value- and representation-identical to solving G_f.
+//  * Facts irrelevant to Q leave every answer set unchanged, so F and G
+//    series coincide and the score is an exact 0 — emitted without
+//    running the DP (the per-fact path computes the same 0 the long way).
+StatusOr<std::vector<std::pair<FactId, Rational>>> MaxScoreAll(
+    const AggregateQuery& a, const Database& db, const SolverOptions& options) {
+  std::vector<int> localization = LocalizationAtoms(a.query, *a.tau);
+  if (localization.empty()) {
+    return UnsupportedError("value function is not localized on any atom of " +
+                            a.query.ToString());
+  }
+  const std::string relation =
+      a.query.atoms()[static_cast<size_t>(localization[0])].relation;
+  const std::vector<FactId> endo = db.EndogenousFacts();
+  const int n = db.num_endogenous();
+  if (n == 0) return std::vector<std::pair<FactId, Rational>>{};
+  // Anchors: distinct τ-values over the answers of the full database —
+  // computed once and shared by every per-fact variant.
+  std::set<Rational> anchor_set;
+  for (const Tuple& answer : Evaluate(a.query, db)) {
+    anchor_set.insert(a.tau->Evaluate(answer));
+  }
+  std::vector<std::pair<FactId, Rational>> scores(endo.size());
+  if (anchor_set.empty()) {
+    // No answers over the full database: every F/G series is zero.
+    for (size_t i = 0; i < endo.size(); ++i) scores[i] = {endo[i], Rational()};
+    return scores;
+  }
+  const std::vector<Rational> anchors(anchor_set.begin(), anchor_set.end());
+  // Relevance split, shared: relevance is independent of endogenous flags,
+  // and every scored fact is itself relevant (irrelevant ones short-circuit
+  // to 0), so the irrelevant counts hold for each derived database too.
+  RelevanceSplit split = SplitRelevantIndexed(a.query, db);
+  std::vector<char> is_relevant(static_cast<size_t>(db.num_facts()), 0);
+  for (FactId id : split.relevant.facts) {
+    is_relevant[static_cast<size_t>(id)] = 1;
+  }
+  // One leave-one-out pass over the relevant subset: the full structure
+  // plus every relevant endogenous fact's F-variant.
+  Database work = db;
+  Combinatorics comb;
+  MaxSolver solver(a.query, *a.tau, relation, anchors, &comb);
+  FactSubset relevant;
+  relevant.db = &work;
+  relevant.facts = split.relevant.facts;
+  MaxLOO loo =
+      solver.SolveLeaveOneOut(a.query, relevant, solver.EmptyHead(), &work);
+  MaxStructure full =
+      solver.Pad(std::move(loo.full), split.irrelevant_endogenous);
+  SHAPCQ_CHECK(full.num_endogenous == n);
+  const SumKSeries full_series = SeriesFromMaxStructure(full, anchors);
+  // Per-fact assembly shards over contiguous fact chunks (worker-private
+  // binomial caches; slot i holds fact endo[i], so the fan-out is
+  // deterministic and thread-count invariant).
+  const int num_chunks =
+      EffectiveThreadCount(options.num_threads, static_cast<int64_t>(n));
+  ParallelFor(
+      num_chunks,
+      [&](int64_t c) {
+        const auto [chunk_begin, chunk_end] =
+            ChunkBounds(static_cast<int64_t>(endo.size()), num_chunks, c);
+        const size_t begin = static_cast<size_t>(chunk_begin);
+        const size_t end = static_cast<size_t>(chunk_end);
+        Combinatorics worker_comb;
+        for (size_t i = begin; i < end; ++i) {
+          const FactId f = endo[i];
+          if (!is_relevant[static_cast<size_t>(f)]) {
+            scores[i] = {f, Rational()};
+            continue;
+          }
+          auto it = loo.minus.find(f);
+          SHAPCQ_CHECK(it != loo.minus.end());
+          MaxStructure padded;
+          padded.num_endogenous =
+              it->second.num_endogenous + split.irrelevant_endogenous;
+          padded.by_anchor.reserve(it->second.by_anchor.size());
+          for (const std::vector<BigInt>& row : it->second.by_anchor) {
+            padded.by_anchor.push_back(
+                split.irrelevant_endogenous == 0
+                    ? row
+                    : PadCounts(row, split.irrelevant_endogenous,
+                                &worker_comb));
+          }
+          SHAPCQ_CHECK(padded.num_endogenous == n - 1);
+          SumKSeries series_f = SeriesFromMaxStructure(padded, anchors);
+          SumKSeries series_g =
+              RemovedSeriesFromIdentity(full_series, series_f);
+          scores[i] = {f, ScoreFromSumK(series_f, series_g, options.score)};
+        }
+      },
+      num_chunks);
+  return scores;
+}
+
 }  // namespace
 
 StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db) {
@@ -302,6 +628,36 @@ StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db) {
   return series;
 }
 
+StatusOr<std::vector<std::pair<FactId, Rational>>> MinMaxScoreAll(
+    const AggregateQuery& a, const Database& db,
+    const SolverOptions& options) {
+  // The gates of MinMaxSumK, in the same order, so the batch fails exactly
+  // where the per-fact path would.
+  if (a.alpha.kind() != AggKind::kMin && a.alpha.kind() != AggKind::kMax) {
+    return UnsupportedError("MinMaxSumK handles Min and Max only");
+  }
+  if (a.query.HasSelfJoin()) {
+    return UnsupportedError("Min/Max requires a self-join-free CQ");
+  }
+  if (!IsAllHierarchical(a.query)) {
+    return UnsupportedError("Min/Max requires an all-hierarchical CQ: " +
+                            a.query.ToString());
+  }
+  if (a.alpha.kind() == AggKind::kMax) return MaxScoreAll(a, db, options);
+  // Min(B) = −Max(−B): the negation commutes with the (linear) score
+  // combination, so negating each fact's Max score under −τ reproduces the
+  // per-fact Min values exactly.
+  AggregateQuery negated{
+      a.query,
+      MakeComposedTau([](const Rational& v) { return -v; }, a.tau, "negate"),
+      AggregateFunction::Max()};
+  StatusOr<std::vector<std::pair<FactId, Rational>>> scores =
+      MaxScoreAll(negated, db, options);
+  if (!scores.ok()) return scores.status();
+  for (auto& [fact, score] : *scores) score = -score;
+  return scores;
+}
+
 void RegisterMinMaxEngine(EngineRegistry& registry) {
   EngineProvider provider;
   provider.name = "min-max/all-hierarchical-dp";
@@ -310,6 +666,7 @@ void RegisterMinMaxEngine(EngineRegistry& registry) {
     return a.alpha.kind() == AggKind::kMin || a.alpha.kind() == AggKind::kMax;
   };
   provider.sum_k = MinMaxSumK;
+  provider.score_all = MinMaxScoreAll;
   registry.Register(std::move(provider));
 }
 

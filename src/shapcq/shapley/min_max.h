@@ -11,9 +11,13 @@
 #ifndef SHAPCQ_SHAPLEY_MIN_MAX_H_
 #define SHAPCQ_SHAPLEY_MIN_MAX_H_
 
+#include <utility>
+#include <vector>
+
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -23,9 +27,23 @@ namespace shapcq {
 // localized on some atom of Q.
 StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db);
 
+// Batched all-facts scorer with the same gates as MinMaxSumK. The shared
+// per-(query, database) state — anchor set, relevance split, binomial
+// caches — is computed once; each fact's derived databases F (fact
+// exogenous) and G (fact removed) are realized as an endogenous-flag flip
+// and a subset drop on a per-worker database copy instead of 2n full
+// copies, and facts irrelevant to the query score an exact 0 without
+// running the DP. Shards over options.num_threads (options.score selects
+// Shapley/Banzhaf); values are bitwise-identical to per-fact ScoreViaSumK
+// for every thread count.
+StatusOr<std::vector<std::pair<FactId, Rational>>> MinMaxScoreAll(
+    const AggregateQuery& a, const Database& db,
+    const SolverOptions& options = {});
+
 class EngineRegistry;
 
-// Registers the "min-max/all-hierarchical-dp" provider.
+// Registers the "min-max/all-hierarchical-dp" provider (with the batched
+// scorer).
 void RegisterMinMaxEngine(EngineRegistry& registry);
 
 }  // namespace shapcq

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "shapcq/hierarchy/classification.h"
@@ -14,6 +15,7 @@
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
+#include "shapcq/util/parallel.h"
 
 namespace shapcq {
 
@@ -49,6 +51,18 @@ struct MonoidStructure {
   int num_endogenous = 0;
 };
 
+// Leave-one-out bundle: the structure of the full fact subset plus, for
+// every endogenous fact f in it, the structure with f exogenous (the
+// derived database F_f, one row narrower). Built in one recursive pass
+// with prefix/suffix-combined siblings at every combine node, so a
+// fact's variant costs one combine per ancestor instead of a full
+// re-solve. Combines count subsets with exact integers, so any combine
+// grouping yields the identical structure.
+struct MonoidLOO {
+  MonoidStructure full;
+  std::unordered_map<FactId, MonoidStructure> minus;
+};
+
 class MonoidSolver {
  public:
   MonoidSolver(const ConjunctiveQuery& original, MonoidKind kind,
@@ -74,6 +88,145 @@ class MonoidSolver {
     std::vector<std::vector<int>> components = ConnectedComponents(q);
     SHAPCQ_CHECK(components.size() > 1);
     return SolveCrossProduct(q, components, facts, scope, std::move(acc));
+  }
+
+  // One pass computing the full structure and every endogenous fact's
+  // F-variant. `work` must be the (mutable) database all fact subsets
+  // point into; leaf variants are realized as transient flag flips on it.
+  // Every flag is restored before returning.
+  MonoidLOO SolveLeaveOneOut(const ConjunctiveQuery& q,
+                             const FactSubset& facts,
+                             std::set<std::string> scope, PartialValue acc,
+                             Database* work) {
+    loo_db_ = work;
+    MonoidLOO out = SolveLOO(q, facts, std::move(scope), std::move(acc));
+    loo_db_ = nullptr;
+    return out;
+  }
+
+  // Specialization for a top-level cross product: evaluates the linear
+  // functional <w, sum_k-series of F_f> for every endogenous fact without
+  // materializing any per-fact top structure. The functional pushes
+  // through the cross combine: <w, series(variant x ctx)> decomposes into
+  // BigInt dot products of the variant's rows against weight vectors
+  // precomputed from the partner context, one per context key. The
+  // weights are integer numerators over the single shared denominator
+  // `den` (n! for Shapley, 2^(n-1) for Banzhaf), so the hot loop never
+  // normalizes a big-denominator rational. `w_num` must have one weight
+  // numerator per coalition size k = 0..m-1 of the padded (m = facts +
+  // pad endogenous) leave-one-out problems; `full_out` receives the
+  // unpadded full structure. Exact arithmetic throughout: the result
+  // equals <w, series(Pad(F_f-structure))> term for term.
+  std::unordered_map<FactId, Rational> CrossScoreFunctional(
+      const ConjunctiveQuery& q,
+      const std::vector<std::vector<int>>& components, const FactSubset& facts,
+      const std::set<std::string>& scope, int pad,
+      const std::vector<BigInt>& w_num, const BigInt& den, Database* work,
+      MonoidStructure* full_out) {
+    loo_db_ = work;
+    std::vector<MonoidLOO> parts;
+    int covered_endogenous = 0;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      std::set<std::string> sub_scope;
+      for (const std::string& variable : scope) {
+        if (sub_q.HasVariable(variable)) sub_scope.insert(variable);
+      }
+      parts.push_back(
+          SolveLOO(sub_q, sub, std::move(sub_scope), PartialValue()));
+    }
+    loo_db_ = nullptr;
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    MonoidStructure identity;
+    identity.num_endogenous = 0;
+    identity.rows[PartialValue()] = {BigInt(1)};
+    const size_t num_parts = parts.size();
+    std::vector<MonoidStructure> prefix(num_parts + 1);
+    prefix[0] = identity;
+    for (size_t i = 0; i < num_parts; ++i) {
+      prefix[i + 1] = CombineCross(prefix[i], parts[i].full);
+    }
+    std::vector<MonoidStructure> suffix(num_parts + 1);
+    suffix[num_parts] = identity;
+    for (size_t i = num_parts; i-- > 0;) {
+      suffix[i] = CombineCross(parts[i].full, suffix[i + 1]);
+    }
+    *full_out = prefix[num_parts];
+    // Padded weights: <w, PadCounts(row, pad)> = <w_pad, row> with
+    // w_pad[j] = sum_e C(pad, e) * w[j+e].
+    const size_t variant_width =
+        static_cast<size_t>(full_out->num_endogenous);  // m - pad entries
+    SHAPCQ_CHECK(w_num.size() == variant_width + static_cast<size_t>(pad));
+    std::vector<BigInt> w_pad(variant_width);
+    for (size_t j = 0; j < variant_width; ++j) {
+      for (int e = 0; e <= pad; ++e) {
+        const BigInt& weight = w_num[j + static_cast<size_t>(e)];
+        if (weight.is_zero()) continue;
+        w_pad[j] += weight * comb_->Binomial(pad, e);
+      }
+    }
+    std::unordered_map<FactId, Rational> out;
+    for (size_t i = 0; i < num_parts; ++i) {
+      if (parts[i].minus.empty()) continue;
+      MonoidStructure ctx = CombineCross(prefix[i], suffix[i + 1]);
+      // Per context key rk: B_rk[j] = sum_m w_pad[j+m] * ctx_rk[m] (pure
+      // BigInt). Then <w, series(variant x ctx)> =
+      //   sum_{lk, rk} fold(lk, rk) * <B_rk, variant_row_lk> / den.
+      // Variant keys are a subset of the component's full keys (an
+      // exogenous fact only removes realizations), so the fold table
+      // covers them.
+      const size_t vi = static_cast<size_t>(parts[i].full.num_endogenous);
+      std::vector<std::vector<BigInt>> b_weights;
+      std::vector<PartialValue> ctx_keys;
+      for (const auto& [rk, rrow] : ctx.rows) {
+        std::vector<BigInt> b(vi);
+        for (size_t m = 0; m < rrow.size(); ++m) {
+          if (rrow[m].is_zero()) continue;
+          for (size_t j = 0; j < vi; ++j) {
+            SHAPCQ_CHECK(j + m < w_pad.size());
+            b[j] += w_pad[j + m] * rrow[m];
+          }
+        }
+        ctx_keys.push_back(rk);
+        b_weights.push_back(std::move(b));
+      }
+      // Fold-value table per (component key, context key) pair.
+      std::map<PartialValue, std::vector<Rational>> fold_of;
+      for (const auto& [lk, lrow] : parts[i].full.rows) {
+        (void)lrow;
+        std::vector<Rational> folds;
+        folds.reserve(ctx_keys.size());
+        for (const PartialValue& rk : ctx_keys) {
+          PartialValue folded = Fold(kind_, lk, rk);
+          SHAPCQ_CHECK(folded.has_value());
+          folds.push_back(*folded);
+        }
+        fold_of.emplace(lk, std::move(folds));
+      }
+      for (const auto& [f, variant] : parts[i].minus) {
+        Rational score;
+        for (const auto& [lk, lrow] : variant.rows) {
+          auto fit = fold_of.find(lk);
+          SHAPCQ_CHECK(fit != fold_of.end());
+          for (size_t r = 0; r < b_weights.size(); ++r) {
+            BigInt dot;
+            const std::vector<BigInt>& b = b_weights[r];
+            for (size_t j = 0; j < lrow.size(); ++j) {
+              if (!lrow[j].is_zero() && !b[j].is_zero()) {
+                dot += b[j] * lrow[j];
+              }
+            }
+            if (!dot.is_zero()) {
+              score += fit->second[r] * Rational(std::move(dot));
+            }
+          }
+        }
+        out.emplace(f, score / Rational(den));
+      }
+    }
+    return out;
   }
 
   MonoidStructure Pad(MonoidStructure s, int pad) const {
@@ -244,24 +397,173 @@ class MonoidSolver {
       result = CombineCross(result, child);
     }
     SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
-    // Fold the externally accumulated value into every key (a monotone
-    // shift that preserves key order).
-    if (acc.has_value()) {
-      // Monotone shift; keys may collide (e.g. max(acc, ·) saturating), so
-      // rows merge additively.
-      MonoidStructure shifted;
-      shifted.num_endogenous = result.num_endogenous;
-      for (auto& [key, row] : result.rows) {
-        std::vector<BigInt>& target = shifted.rows[Fold(kind_, acc, key)];
-        if (target.empty()) {
-          target = std::move(row);
-        } else {
-          for (size_t k = 0; k < target.size(); ++k) target[k] += row[k];
+    // Fold the externally accumulated value into every key.
+    return ShiftByAcc(std::move(result), acc);
+  }
+
+  // Folds an externally accumulated value into every key (a monotone
+  // shift that preserves key order). Keys may collide (e.g. max(acc, ·)
+  // saturating), so rows merge additively.
+  MonoidStructure ShiftByAcc(MonoidStructure result,
+                             const PartialValue& acc) const {
+    if (!acc.has_value()) return result;
+    MonoidStructure shifted;
+    shifted.num_endogenous = result.num_endogenous;
+    for (auto& [key, row] : result.rows) {
+      std::vector<BigInt>& target = shifted.rows[Fold(kind_, acc, key)];
+      if (target.empty()) {
+        target = std::move(row);
+      } else {
+        for (size_t k = 0; k < target.size(); ++k) target[k] += row[k];
+      }
+    }
+    return shifted;
+  }
+
+  MonoidLOO SolveLOO(const ConjunctiveQuery& q, const FactSubset& facts,
+                     std::set<std::string> scope, PartialValue acc) {
+    if (scope.empty()) return SolveScopeDoneLOO(q, facts, acc);
+    std::vector<std::string> roots = RootVariables(q);
+    if (!roots.empty()) {
+      return SolveRootLOO(q, roots[0], facts, std::move(scope),
+                          std::move(acc));
+    }
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    SHAPCQ_CHECK(components.size() > 1);
+    return SolveCrossProductLOO(q, components, facts, scope, std::move(acc));
+  }
+
+  // Leaf: the variant of each fact is a direct re-count with its flag
+  // flipped — the one place the leave-one-out pass still recomputes.
+  MonoidLOO SolveScopeDoneLOO(const ConjunctiveQuery& q,
+                              const FactSubset& facts,
+                              const PartialValue& acc) {
+    MonoidLOO out;
+    out.full = SolveScopeDone(q, facts, acc);
+    for (FactId f : facts.EndogenousFacts()) {
+      loo_db_->SetEndogenous(f, false);
+      out.minus.emplace(f, SolveScopeDone(q, facts, acc));
+      loo_db_->SetEndogenous(f, true);
+    }
+    return out;
+  }
+
+  // Root split: each fact lives in exactly one branch (self-join-free
+  // consistency is a partition), so its variant combines the shared
+  // prefix/suffix siblings with the branch variant. Uncovered endogenous
+  // facts are pure padding: one padding row fewer.
+  MonoidLOO SolveRootLOO(const ConjunctiveQuery& q, const std::string& x,
+                         const FactSubset& facts, std::set<std::string> scope,
+                         PartialValue acc) {
+    int total_endogenous = facts.CountEndogenous();
+    std::set<std::string> child_scope = scope;
+    int x_position_count = 0;
+    auto it = positions_of_var_.find(x);
+    if (scope.count(x) > 0) {
+      SHAPCQ_CHECK(it != positions_of_var_.end());
+      x_position_count = static_cast<int>(it->second.size());
+      child_scope.erase(x);
+    }
+    std::vector<MonoidLOO> branches;
+    int covered_endogenous = 0;
+    std::unordered_set<FactId> covered_endo;
+    for (const Value& a : CandidateValues(q, x, facts)) {
+      FactSubset sub;
+      sub.db = facts.db;
+      sub.facts = FactsConsistentWith(q, x, a, facts);
+      covered_endogenous += sub.CountEndogenous();
+      for (FactId f : sub.EndogenousFacts()) covered_endo.insert(f);
+      PartialValue child_acc = acc;
+      for (int occurrence = 0; occurrence < x_position_count; ++occurrence) {
+        child_acc = Fold(kind_, child_acc, a.AsRational());
+      }
+      branches.push_back(
+          SolveLOO(q.Bind(x, a), sub, child_scope, std::move(child_acc)));
+    }
+    const int pad = total_endogenous - covered_endogenous;
+    const size_t num_branches = branches.size();
+    // prefix[i] = branches[0..i) folded left (the running accumulator of
+    // SolveRoot); suffix[i] = branches[i..B) folded right. A default
+    // structure (no rows, zero facts) is the CombineUnion identity.
+    std::vector<MonoidStructure> prefix(num_branches + 1);
+    for (size_t i = 0; i < num_branches; ++i) {
+      prefix[i + 1] = i == 0 ? branches[0].full
+                             : CombineUnion(prefix[i], branches[i].full);
+    }
+    std::vector<MonoidStructure> suffix(num_branches + 1);
+    for (size_t i = num_branches; i-- > 0;) {
+      suffix[i] = i + 1 == num_branches
+                      ? branches[i].full
+                      : CombineUnion(branches[i].full, suffix[i + 1]);
+    }
+    MonoidLOO out;
+    out.full = Pad(prefix[num_branches], pad);
+    for (size_t i = 0; i < num_branches; ++i) {
+      for (auto& [f, variant] : branches[i].minus) {
+        MonoidStructure combined =
+            i == 0 ? variant : CombineUnion(prefix[i], variant);
+        if (i + 1 < num_branches) {
+          combined = CombineUnion(combined, suffix[i + 1]);
+        }
+        out.minus.emplace(f, Pad(std::move(combined), pad));
+      }
+    }
+    if (pad > 0) {
+      for (FactId f : facts.EndogenousFacts()) {
+        if (covered_endo.count(f) == 0) {
+          out.minus.emplace(f, Pad(prefix[num_branches], pad - 1));
         }
       }
-      result = std::move(shifted);
     }
-    return result;
+    return out;
+  }
+
+  // Cross product: prefix/suffix over the components' structures, then
+  // the same external-accumulator shift as SolveCrossProduct applied to
+  // the full structure and every variant.
+  MonoidLOO SolveCrossProductLOO(
+      const ConjunctiveQuery& q, const std::vector<std::vector<int>>& components,
+      const FactSubset& facts, const std::set<std::string>& scope,
+      PartialValue acc) {
+    std::vector<MonoidLOO> parts;
+    int covered_endogenous = 0;
+    for (const std::vector<int>& component : components) {
+      ConjunctiveQuery sub_q = q.Project(component, nullptr);
+      FactSubset sub = FactsOfQueryRelations(sub_q, facts);
+      covered_endogenous += sub.CountEndogenous();
+      std::set<std::string> sub_scope;
+      for (const std::string& variable : scope) {
+        if (sub_q.HasVariable(variable)) sub_scope.insert(variable);
+      }
+      parts.push_back(
+          SolveLOO(sub_q, sub, std::move(sub_scope), PartialValue()));
+    }
+    SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
+    MonoidStructure identity;
+    identity.num_endogenous = 0;
+    identity.rows[PartialValue()] = {BigInt(1)};
+    const size_t num_parts = parts.size();
+    std::vector<MonoidStructure> prefix(num_parts + 1);
+    prefix[0] = identity;
+    for (size_t i = 0; i < num_parts; ++i) {
+      prefix[i + 1] = CombineCross(prefix[i], parts[i].full);
+    }
+    std::vector<MonoidStructure> suffix(num_parts + 1);
+    suffix[num_parts] = identity;
+    for (size_t i = num_parts; i-- > 0;) {
+      suffix[i] = CombineCross(parts[i].full, suffix[i + 1]);
+    }
+    MonoidLOO out;
+    out.full = ShiftByAcc(prefix[num_parts], acc);
+    for (size_t i = 0; i < num_parts; ++i) {
+      for (auto& [f, variant] : parts[i].minus) {
+        out.minus.emplace(
+            f, ShiftByAcc(CombineCross(CombineCross(prefix[i], variant),
+                                       suffix[i + 1]),
+                          acc));
+      }
+    }
+    return out;
   }
 
   MonoidStructure CombineCross(const MonoidStructure& lhs,
@@ -295,7 +597,63 @@ class MonoidSolver {
   MonoidKind kind_;
   Combinatorics* comb_;
   std::unordered_map<std::string, std::vector<int>> positions_of_var_;
+  // Set only during SolveLeaveOneOut: the mutable database the fact
+  // subsets point into, used for transient leaf flag flips.
+  Database* loo_db_ = nullptr;
 };
+
+// The value-negated copy of `db` realizing the Min → Max duality:
+// Min(⊗ values) = −Max(⊗' negated values), where negating every input at
+// the monoid positions turns kPlus into kPlus and kMin into kMax. Fact
+// ids, order, and endogenous flags are preserved, so derived databases of
+// the negated copy correspond 1:1 to derived databases of the original.
+Database NegateMonoidPositions(const ConjunctiveQuery& q,
+                               const std::vector<int>& positions,
+                               const Database& db) {
+  Database negated;
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    const Fact& fact = db.fact(id);
+    Tuple args = fact.args;
+    int atom_index = -1;
+    for (int i = 0; i < static_cast<int>(q.atoms().size()); ++i) {
+      if (q.atoms()[static_cast<size_t>(i)].relation == fact.relation) {
+        atom_index = i;
+        break;
+      }
+    }
+    if (atom_index >= 0) {
+      const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
+      for (int position : positions) {
+        const std::string& variable =
+            q.head()[static_cast<size_t>(position)];
+        for (int atom_pos : atom.PositionsOf(variable)) {
+          Value& v = args[static_cast<size_t>(atom_pos)];
+          if (v.kind() == Value::Kind::kInt) {
+            v = Value(-v.AsInt());
+          } else if (v.kind() == Value::Kind::kDouble) {
+            v = Value(-v.AsDouble());
+          }
+        }
+      }
+    }
+    negated.AddFact(fact.relation, std::move(args), fact.endogenous);
+  }
+  return negated;
+}
+
+// sum_k series of a padded MonoidStructure: Σ_rows key · count over the
+// ascending key map — the exact accumulation order of MonoidMinMaxSumK's
+// tail, shared with the batched scorer so both produce identical bits.
+SumKSeries SeriesFromMonoidStructure(const MonoidStructure& top) {
+  SumKSeries series(static_cast<size_t>(top.num_endogenous) + 1);
+  for (const auto& [key, row] : top.rows) {
+    SHAPCQ_CHECK(key.has_value());  // every scope position binds by a leaf
+    for (size_t k = 0; k < series.size(); ++k) {
+      if (!row[k].is_zero()) series[k] += *key * Rational(row[k]);
+    }
+  }
+  return series;
+}
 
 }  // namespace
 
@@ -347,41 +705,10 @@ StatusOr<SumKSeries> MonoidMinMaxSumK(const ConjunctiveQuery& q,
     return UnsupportedError("Min aggregation needs a non-increasing monoid");
   }
   if (!is_max) {
-    // Min(⊗ values) = −Max(⊗' negated values): negating every input value
-    // turns kPlus into kPlus and kMin into kMax. Apply to a value-negated
-    // copy of the database columns via the monotone-map trick — equivalent
-    // and simpler: recurse on the negated-value database is invasive, so
-    // instead we exploit duality directly below.
+    // Min(⊗ values) = −Max(⊗' negated values): solve the dual Max problem
+    // over the value-negated database and negate the series.
     MonoidKind dual = kind == MonoidKind::kMin ? MonoidKind::kMax : kind;
-    // Negate values of the positions' columns.
-    Database negated;
-    for (FactId id = 0; id < db.num_facts(); ++id) {
-      const Fact& fact = db.fact(id);
-      Tuple args = fact.args;
-      int atom_index = -1;
-      for (int i = 0; i < static_cast<int>(q.atoms().size()); ++i) {
-        if (q.atoms()[static_cast<size_t>(i)].relation == fact.relation) {
-          atom_index = i;
-          break;
-        }
-      }
-      if (atom_index >= 0) {
-        const Atom& atom = q.atoms()[static_cast<size_t>(atom_index)];
-        for (int position : positions) {
-          const std::string& variable =
-              q.head()[static_cast<size_t>(position)];
-          for (int atom_pos : atom.PositionsOf(variable)) {
-            Value& v = args[static_cast<size_t>(atom_pos)];
-            if (v.kind() == Value::Kind::kInt) {
-              v = Value(-v.AsInt());
-            } else if (v.kind() == Value::Kind::kDouble) {
-              v = Value(-v.AsDouble());
-            }
-          }
-        }
-      }
-      negated.AddFact(fact.relation, std::move(args), fact.endogenous);
-    }
+    Database negated = NegateMonoidPositions(q, positions, db);
     StatusOr<SumKSeries> series =
         MonoidMinMaxSumK(q, dual, std::move(positions), /*is_max=*/true,
                          negated);
@@ -404,17 +731,197 @@ StatusOr<SumKSeries> MonoidMinMaxSumK(const ConjunctiveQuery& q,
   top = solver.Pad(std::move(top), split.irrelevant_endogenous);
   int n = db.num_endogenous();
   SHAPCQ_CHECK(top.num_endogenous == n);
-  SumKSeries series(static_cast<size_t>(n) + 1);
-  for (const auto& [key, row] : top.rows) {
-    SHAPCQ_CHECK(key.has_value());  // every scope position binds by a leaf
-    for (int k = 0; k <= n; ++k) {
-      const BigInt& count = row[static_cast<size_t>(k)];
-      if (!count.is_zero()) {
-        series[static_cast<size_t>(k)] += *key * Rational(count);
+  return SeriesFromMonoidStructure(top);
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> MinMaxMonoidScoreAll(
+    const ConjunctiveQuery& q, MonoidKind kind, std::vector<int> positions,
+    bool is_max, const Database& db, const SolverOptions& options) {
+  // The gates of MonoidMinMaxSumK, in the same order, so the batch fails
+  // exactly where the per-fact path would.
+  if (positions.empty()) {
+    return InvalidArgumentError("monoid value function needs positions");
+  }
+  if (q.HasSelfJoin()) {
+    return UnsupportedError("monoid Min/Max requires a self-join-free CQ");
+  }
+  if (!IsAllHierarchical(q)) {
+    return UnsupportedError("monoid Min/Max requires an all-hierarchical CQ: " +
+                            q.ToString());
+  }
+  if (is_max && kind == MonoidKind::kMin) {
+    return UnsupportedError("Max aggregation needs a non-decreasing monoid");
+  }
+  if (!is_max && kind == MonoidKind::kMax) {
+    return UnsupportedError("Min aggregation needs a non-increasing monoid");
+  }
+  if (!is_max) {
+    // Min duality, once for the whole batch: the per-fact Min score is
+    // the negated Max score over the negated database (the score
+    // combination is linear in the series, and fact ids line up 1:1).
+    MonoidKind dual = kind == MonoidKind::kMin ? MonoidKind::kMax : kind;
+    Database negated = NegateMonoidPositions(q, positions, db);
+    StatusOr<std::vector<std::pair<FactId, Rational>>> scores =
+        MinMaxMonoidScoreAll(q, dual, std::move(positions), /*is_max=*/true,
+                             negated, options);
+    if (!scores.ok()) return scores.status();
+    for (auto& [fact, score] : *scores) score = -score;
+    return scores;
+  }
+  // Max path. Equivalence with per-fact ScoreViaSumK(MonoidMinMaxSumK):
+  //  * F_f structures come from one leave-one-out DP pass over the
+  //    relevant subset — exact subset counting, identical integers to a
+  //    from-scratch solve of F_f.
+  //  * G_f follows from the partition identity
+  //      sum_k(A, D) = sum_k(A, G_f) + sum_{k−1}(A, F_f)
+  //    (split the k-subsets of D_n by membership of f): exact rational
+  //    subtraction on canonical forms, so no G solve runs at all.
+  //  * Facts irrelevant to Q leave every answer set unchanged, so F and G
+  //    series coincide and the score is an exact 0.
+  const std::vector<FactId> endo = db.EndogenousFacts();
+  const int n = db.num_endogenous();
+  if (n == 0) return std::vector<std::pair<FactId, Rational>>{};
+  std::set<std::string> scope;
+  for (int position : positions) {
+    SHAPCQ_CHECK(position >= 0 && position < q.arity());
+    scope.insert(q.head()[static_cast<size_t>(position)]);
+  }
+  RelevanceSplit split = SplitRelevantIndexed(q, db);
+  std::vector<char> is_relevant(static_cast<size_t>(db.num_facts()), 0);
+  bool any_relevant_endogenous = false;
+  for (FactId id : split.relevant.facts) {
+    is_relevant[static_cast<size_t>(id)] = 1;
+    if (db.fact(id).endogenous) any_relevant_endogenous = true;
+  }
+  std::vector<std::pair<FactId, Rational>> all_zero(endo.size());
+  for (size_t i = 0; i < endo.size(); ++i) all_zero[i] = {endo[i], Rational()};
+  if (!any_relevant_endogenous) return all_zero;
+  Database work = db;
+  Combinatorics comb;
+  MonoidSolver solver(q, kind, positions, &comb);
+  FactSubset relevant;
+  relevant.db = &work;
+  relevant.facts = split.relevant.facts;
+  // Top-level cross product (the monoid engine's motivating shape): the
+  // per-fact series never materialize — the score functional pushes
+  // through the cross combine, so each fact is an O(keys · width) inner
+  // product.
+  if (RootVariables(q).empty()) {
+    std::vector<std::vector<int>> components = ConnectedComponents(q);
+    if (components.size() > 1) {
+      // Coefficients of the closed score form: with G_f eliminated by the
+      // partition identity, score(f) = Σ_k w[k]·F_f[k] − Σ_k c_k·S[k]
+      // where c_k is the Shapley (k!(n−1−k)!/n!) or Banzhaf (2^{1−n})
+      // coalition weight and w[k] = c_k + c_{k+1}.
+      std::vector<Rational> score_coeff(static_cast<size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        score_coeff[static_cast<size_t>(k)] =
+            options.score == ScoreKind::kShapley
+                ? comb.ShapleyCoefficient(n, k)
+                : (n > 1 ? Rational(BigInt(1), BigInt::TwoPow(
+                                                   static_cast<uint64_t>(
+                                                       n - 1)))
+                         : Rational(1));
       }
+      // Integer weight numerators over one shared denominator, so the
+      // functional's hot loop stays in BigInt: Shapley
+      // c_k = k!(n−1−k)!/n!, Banzhaf c_k = 2^{1−n}.
+      const BigInt den = options.score == ScoreKind::kShapley
+                             ? comb.Factorial(n)
+                             : (n > 1 ? BigInt::TwoPow(
+                                            static_cast<uint64_t>(n - 1))
+                                      : BigInt(1));
+      std::vector<BigInt> w_num(static_cast<size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        if (options.score == ScoreKind::kShapley) {
+          w_num[static_cast<size_t>(k)] =
+              comb.Factorial(k) * comb.Factorial(n - 1 - k);
+          if (k + 1 < n) {
+            w_num[static_cast<size_t>(k)] +=
+                comb.Factorial(k + 1) * comb.Factorial(n - 2 - k);
+          }
+        } else {
+          w_num[static_cast<size_t>(k)] = BigInt(k + 1 < n ? 2 : 1);
+        }
+      }
+      MonoidStructure full_unpadded;
+      std::unordered_map<FactId, Rational> functional =
+          solver.CrossScoreFunctional(q, components, relevant, scope,
+                                      split.irrelevant_endogenous, w_num, den,
+                                      &work, &full_unpadded);
+      MonoidStructure full = solver.Pad(std::move(full_unpadded),
+                                        split.irrelevant_endogenous);
+      SHAPCQ_CHECK(full.num_endogenous == n);
+      const SumKSeries full_series = SeriesFromMonoidStructure(full);
+      Rational shared;  // Σ_k c_k·S[k], identical for every fact
+      for (int k = 0; k < n; ++k) {
+        if (!full_series[static_cast<size_t>(k)].is_zero()) {
+          shared += score_coeff[static_cast<size_t>(k)] *
+                    full_series[static_cast<size_t>(k)];
+        }
+      }
+      std::vector<std::pair<FactId, Rational>> scores(endo.size());
+      for (size_t i = 0; i < endo.size(); ++i) {
+        const FactId f = endo[i];
+        if (!is_relevant[static_cast<size_t>(f)]) {
+          scores[i] = {f, Rational()};
+          continue;
+        }
+        auto it = functional.find(f);
+        SHAPCQ_CHECK(it != functional.end());
+        scores[i] = {f, it->second - shared};
+      }
+      return scores;
     }
   }
-  return series;
+  // General shape: one leave-one-out pass over the relevant subset.
+  MonoidLOO loo =
+      solver.SolveLeaveOneOut(q, relevant, scope, std::nullopt, &work);
+  MonoidStructure full =
+      solver.Pad(std::move(loo.full), split.irrelevant_endogenous);
+  SHAPCQ_CHECK(full.num_endogenous == n);
+  const SumKSeries full_series = SeriesFromMonoidStructure(full);
+  // Per-fact assembly shards over contiguous fact chunks (worker-private
+  // binomial caches; slot i holds fact endo[i], so the fan-out is
+  // deterministic and thread-count invariant).
+  std::vector<std::pair<FactId, Rational>> scores(endo.size());
+  const int num_chunks =
+      EffectiveThreadCount(options.num_threads, static_cast<int64_t>(n));
+  ParallelFor(
+      num_chunks,
+      [&](int64_t c) {
+        const auto [chunk_begin, chunk_end] =
+            ChunkBounds(static_cast<int64_t>(endo.size()), num_chunks, c);
+        const size_t begin = static_cast<size_t>(chunk_begin);
+        const size_t end = static_cast<size_t>(chunk_end);
+        Combinatorics worker_comb;
+        for (size_t i = begin; i < end; ++i) {
+          const FactId f = endo[i];
+          if (!is_relevant[static_cast<size_t>(f)]) {
+            scores[i] = {f, Rational()};
+            continue;
+          }
+          auto it = loo.minus.find(f);
+          SHAPCQ_CHECK(it != loo.minus.end());
+          MonoidStructure padded;
+          padded.num_endogenous =
+              it->second.num_endogenous + split.irrelevant_endogenous;
+          for (const auto& [key, row] : it->second.rows) {
+            padded.rows[key] =
+                split.irrelevant_endogenous == 0
+                    ? row
+                    : PadCounts(row, split.irrelevant_endogenous,
+                                &worker_comb);
+          }
+          SHAPCQ_CHECK(padded.num_endogenous == n - 1);
+          SumKSeries series_f = SeriesFromMonoidStructure(padded);
+          SumKSeries series_g =
+              RemovedSeriesFromIdentity(full_series, series_f);
+          scores[i] = {f, ScoreFromSumK(series_f, series_g, options.score)};
+        }
+      },
+      num_chunks);
+  return scores;
 }
 
 }  // namespace shapcq

@@ -17,12 +17,14 @@
 #ifndef SHAPCQ_SHAPLEY_MIN_MAX_MONOID_H_
 #define SHAPCQ_SHAPLEY_MIN_MAX_MONOID_H_
 
+#include <utility>
 #include <vector>
 
 #include "shapcq/agg/value_function.h"
 #include "shapcq/data/database.h"
 #include "shapcq/query/cq.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -47,6 +49,20 @@ StatusOr<SumKSeries> MonoidMinMaxSumK(const ConjunctiveQuery& q,
                                       MonoidKind kind,
                                       std::vector<int> positions, bool is_max,
                                       const Database& db);
+
+// Batched all-facts scorer for the monoid engine, with the same gates as
+// MonoidMinMaxSumK. Mirrors SumCountScoreAll's batching: the relevance
+// split and (for Min) the value-negated dual database are built once, and
+// each fact's derived databases F (fact exogenous) / G (fact removed) are
+// an endogenous-flag flip and a subset drop on a worker-private copy —
+// the per-fact path instead copies and (for Min) re-negates the database
+// 2n times. Query-irrelevant facts score an exact 0 without running the
+// DP. Shards over options.num_threads (options.score selects
+// Shapley/Banzhaf); values are bitwise-identical to per-fact ScoreViaSumK
+// over MonoidMinMaxSumK for every thread count.
+StatusOr<std::vector<std::pair<FactId, Rational>>> MinMaxMonoidScoreAll(
+    const ConjunctiveQuery& q, MonoidKind kind, std::vector<int> positions,
+    bool is_max, const Database& db, const SolverOptions& options = {});
 
 }  // namespace shapcq
 

@@ -31,6 +31,19 @@ Rational ScoreFromSumK(const SumKSeries& series_f_exogenous,
   return score;
 }
 
+SumKSeries RemovedSeriesFromIdentity(const SumKSeries& full_series,
+                                     const SumKSeries& series_f_exogenous) {
+  SHAPCQ_CHECK(full_series.size() == series_f_exogenous.size() + 1);
+  SHAPCQ_CHECK(!series_f_exogenous.empty());
+  const size_t n = series_f_exogenous.size();
+  SumKSeries series_g(n);
+  series_g[0] = full_series[0];  // the k = −1 term of F is zero
+  for (size_t k = 1; k < n; ++k) {
+    series_g[k] = full_series[k] - series_f_exogenous[k - 1];
+  }
+  return series_g;
+}
+
 Rational SemivalueFromSumK(const SumKSeries& series_f_exogenous,
                            const SumKSeries& series_f_removed,
                            const std::vector<Rational>& weights) {

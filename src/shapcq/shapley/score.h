@@ -43,6 +43,17 @@ using SumKEngine =
 Rational ScoreFromSumK(const SumKSeries& series_f_exogenous,
                        const SumKSeries& series_f_removed, ScoreKind kind);
 
+// The series of G (f removed) derived from the full database's series and
+// F's via the partition identity — split the k-subsets of D_n by
+// membership of f:
+//   sum_k(A, D) = sum_k(A, G_f) + sum_{k−1}(A, F_f).
+// `full_series` must have length n+1 and `series_f_exogenous` length n;
+// exact rational subtraction on canonical forms makes the result value-
+// and representation-identical to solving G directly. The batched engine
+// scorers use this so no G solve ever runs.
+SumKSeries RemovedSeriesFromIdentity(const SumKSeries& full_series,
+                                     const SumKSeries& series_f_exogenous);
+
 // Runs `engine` on F and G and combines. `fact` must be endogenous in `db`.
 StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
                                 FactId fact, const SumKEngine& engine,

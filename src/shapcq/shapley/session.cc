@@ -137,7 +137,7 @@ SolverSession::ComputeAllExact(const SolverOptions& options,
   for (const EngineProvider* engine : engines_) {
     if (engine->score_all != nullptr) {
       StatusOr<std::vector<std::pair<FactId, Rational>>> batch =
-          engine->score_all(a_, db_, options.score);
+          engine->score_all(a_, db_, options);
       if (batch.ok()) {
         std::vector<std::pair<FactId, SolveResult>> results;
         results.reserve(batch->size());

@@ -45,25 +45,10 @@
 #include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/monte_carlo.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
-
-enum class SolveMethod {
-  kAuto,        // exact DP, else brute force (small), else Monte Carlo
-  kExactOnly,   // exact DP or error
-  kBruteForce,  // force subset enumeration
-  kMonteCarlo,  // force sampling
-};
-
-struct SolverOptions {
-  ScoreKind score = ScoreKind::kShapley;
-  SolveMethod method = SolveMethod::kAuto;
-  MonteCarloOptions monte_carlo;
-  // Worker threads for batched per-fact computations (ComputeAll); < 1
-  // means hardware concurrency. Results are deterministic regardless.
-  int num_threads = 0;
-};
 
 struct SolveResult {
   bool is_exact = false;

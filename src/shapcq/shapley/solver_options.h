@@ -1,0 +1,38 @@
+// Options shared by the solver façade, SolverSession, and the batched
+// engine scorers.
+//
+// SolverOptions used to live in session.h, but the batched ScoreAllFn
+// entry points (engine_registry.h) now receive the session's options so
+// engines can parallelize internally (num_threads) without the registry
+// depending on the session layer. This header is the dependency-free
+// meeting point: engine_registry.h and session.h both include it.
+
+#ifndef SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
+#define SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
+
+#include "shapcq/shapley/monte_carlo.h"
+#include "shapcq/shapley/score.h"
+
+namespace shapcq {
+
+enum class SolveMethod {
+  kAuto,        // exact DP, else brute force (small), else Monte Carlo
+  kExactOnly,   // exact DP or error
+  kBruteForce,  // force subset enumeration
+  kMonteCarlo,  // force sampling
+};
+
+struct SolverOptions {
+  ScoreKind score = ScoreKind::kShapley;
+  SolveMethod method = SolveMethod::kAuto;
+  MonteCarloOptions monte_carlo;
+  // Worker threads for batched computations: the per-fact fan-out in
+  // ComputeAll and the internal sharding of the batched engine scorers
+  // (ScoreAllFn); < 1 means hardware concurrency. Exact results are
+  // bitwise-identical regardless of the thread count.
+  int num_threads = 0;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_

@@ -1,6 +1,8 @@
 #include "shapcq/shapley/sum_count.h"
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/query/decomposition.h"
@@ -10,6 +12,7 @@
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
+#include "shapcq/util/parallel.h"
 
 namespace shapcq {
 
@@ -70,7 +73,9 @@ StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
 }
 
 StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
-    const AggregateQuery& a, const Database& db, ScoreKind kind) {
+    const AggregateQuery& a, const Database& db,
+    const SolverOptions& options) {
+  const ScoreKind kind = options.score;
   Status shape = CheckSumCountShape(a);
   if (!shape.ok()) return shape;
   const int64_t n = db.num_endogenous();
@@ -84,19 +89,15 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
   // so iterating over answers of D covers both series. Facts irrelevant to
   // Q_t yield identical F/G counts, hence an exact zero term — they are
   // skipped. All arithmetic is exact, so the reordering is value-preserving.
-  Database work = db;  // mutable copy: per-fact F_f is an O(1) flag flip
-  Combinatorics comb;
-  // Accumulated per-fact delta series: delta[f][k] =
-  //   Σ_t w(t) · (c_k(Q_t, F_f) − c_k(Q_t, G_f)),  k = 0..n−1.
-  // Integer answer weights (the common case) accumulate in pure BigInt
-  // arithmetic; fractional weights go to a separate Rational series. The
-  // split keeps gcd normalization out of the hot accumulation loop without
-  // changing the exact value of the sum.
-  struct DeltaSeries {
-    std::vector<BigInt> integral;    // Σ over integer-weight answers
-    SumKSeries fractional;           // Σ over fractional-weight answers
+  //
+  // The cheap per-answer work (binding, gates, weights) runs serially so
+  // the batch fails on exactly the answer the serial path would; the
+  // expensive accumulation shards over contiguous answer chunks below.
+  struct AnswerTask {
+    ConjunctiveQuery q_t;
+    Rational weight;
   };
-  std::unordered_map<FactId, DeltaSeries> delta;
+  std::vector<AnswerTask> tasks;
   for (const Tuple& answer : Evaluate(a.query, db)) {
     ConjunctiveQuery q_t = BindAnswer(a.query, answer);
     // Mirror the SatisfactionCounts gates so the batch fails exactly where
@@ -113,45 +114,116 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
                           ? Rational(1)
                           : a.tau->Evaluate(answer);
     if (weight.is_zero()) continue;
-    // Bitset relevance split over dense fact ids via the posting lists —
-    // O(matching facts) per answer instead of a full database scan.
-    RelevanceSplit split = SplitRelevantIndexed(q_t, work);
-    const int pad = split.irrelevant_endogenous;
-    for (FactId f : split.relevant.EndogenousFacts()) {
-      // F_f: f exogenous; same relevant subset, one flag flipped.
-      work.SetEndogenous(f, false);
-      std::vector<BigInt> counts_f =
-          SatisfactionCountsOnSubset(q_t, split.relevant, &comb);
-      // G_f: f removed; the flag no longer matters, only the subset does.
-      FactSubset without;
-      without.db = &work;
-      without.facts.reserve(split.relevant.facts.size() - 1);
-      for (FactId id : split.relevant.facts) {
-        if (id != f) without.facts.push_back(id);
-      }
-      std::vector<BigInt> counts_g =
-          SatisfactionCountsOnSubset(q_t, without, &comb);
-      work.SetEndogenous(f, true);
-      std::vector<BigInt> diff = SubtractCounts(counts_f, counts_g);
-      diff = PadCounts(diff, pad, &comb);
-      SHAPCQ_CHECK(static_cast<int64_t>(diff.size()) == n);
-      DeltaSeries& acc = delta[f];
-      if (weight.is_integer()) {
-        if (acc.integral.empty()) {
-          acc.integral.assign(static_cast<size_t>(n), BigInt());
-        }
-        for (size_t k = 0; k < diff.size(); ++k) {
-          if (!diff[k].is_zero()) {
-            acc.integral[k] += weight.numerator() * diff[k];
+    tasks.push_back(AnswerTask{std::move(q_t), std::move(weight)});
+  }
+
+  // Accumulated per-fact delta series: delta[f][k] =
+  //   Σ_t w(t) · (c_k(Q_t, F_f) − c_k(Q_t, G_f)),  k = 0..n−1.
+  // Integer answer weights (the common case) accumulate in pure BigInt
+  // arithmetic; fractional weights go to a separate Rational series. The
+  // split keeps gcd normalization out of the hot accumulation loop without
+  // changing the exact value of the sum.
+  struct DeltaSeries {
+    std::vector<BigInt> integral;    // Σ over integer-weight answers
+    SumKSeries fractional;           // Σ over fractional-weight answers
+  };
+  using DeltaMap = std::unordered_map<FactId, DeltaSeries>;
+
+  // Shard the per-answer accumulation: worker c owns the contiguous answer
+  // chunk [c·size/C, (c+1)·size/C), a private mutable database copy (the
+  // per-fact F_f flag flip must not race), a private Combinatorics cache,
+  // and a private delta map. Chunk boundaries depend only on the answer
+  // count, never on scheduling.
+  const int num_chunks = EffectiveThreadCount(
+      options.num_threads, static_cast<int64_t>(tasks.size()));
+  std::vector<DeltaMap> chunk_delta(static_cast<size_t>(num_chunks));
+  ParallelFor(
+      num_chunks,
+      [&](int64_t c) {
+        const auto [chunk_begin, chunk_end] =
+            ChunkBounds(static_cast<int64_t>(tasks.size()), num_chunks, c);
+        const size_t begin = static_cast<size_t>(chunk_begin);
+        const size_t end = static_cast<size_t>(chunk_end);
+        Database work = db;  // F_f is an O(1) flag flip on the private copy
+        Combinatorics comb;
+        DeltaMap& delta = chunk_delta[static_cast<size_t>(c)];
+        for (size_t t = begin; t < end; ++t) {
+          const ConjunctiveQuery& q_t = tasks[t].q_t;
+          const Rational& weight = tasks[t].weight;
+          // Bitset relevance split over dense fact ids via the posting
+          // lists — O(matching facts) per answer, not a database scan.
+          RelevanceSplit split = SplitRelevantIndexed(q_t, work);
+          const int pad = split.irrelevant_endogenous;
+          for (FactId f : split.relevant.EndogenousFacts()) {
+            // F_f: f exogenous; same relevant subset, one flag flipped.
+            work.SetEndogenous(f, false);
+            std::vector<BigInt> counts_f =
+                SatisfactionCountsOnSubset(q_t, split.relevant, &comb);
+            // G_f: f removed; the flag no longer matters, only the subset.
+            FactSubset without;
+            without.db = &work;
+            without.facts.reserve(split.relevant.facts.size() - 1);
+            for (FactId id : split.relevant.facts) {
+              if (id != f) without.facts.push_back(id);
+            }
+            std::vector<BigInt> counts_g =
+                SatisfactionCountsOnSubset(q_t, without, &comb);
+            work.SetEndogenous(f, true);
+            std::vector<BigInt> diff = SubtractCounts(counts_f, counts_g);
+            diff = PadCounts(diff, pad, &comb);
+            SHAPCQ_CHECK(static_cast<int64_t>(diff.size()) == n);
+            DeltaSeries& acc = delta[f];
+            if (weight.is_integer()) {
+              if (acc.integral.empty()) {
+                acc.integral.assign(static_cast<size_t>(n), BigInt());
+              }
+              for (size_t k = 0; k < diff.size(); ++k) {
+                if (!diff[k].is_zero()) {
+                  acc.integral[k] += weight.numerator() * diff[k];
+                }
+              }
+            } else {
+              if (acc.fractional.empty()) {
+                acc.fractional.assign(static_cast<size_t>(n), Rational());
+              }
+              for (size_t k = 0; k < diff.size(); ++k) {
+                if (!diff[k].is_zero()) {
+                  acc.fractional[k] += weight * Rational(diff[k]);
+                }
+              }
+            }
           }
         }
-      } else {
-        if (acc.fractional.empty()) {
-          acc.fractional.assign(static_cast<size_t>(n), Rational());
+      },
+      num_chunks);
+
+  // Merge the per-worker maps in chunk (= answer) order. Exact rational /
+  // BigInt addition makes the merge value-preserving: any grouping of the
+  // same terms produces the same canonical Rational, so the result is
+  // bitwise-identical to the serial accumulation for every thread count.
+  DeltaMap delta;
+  if (num_chunks == 1) {
+    delta = std::move(chunk_delta[0]);
+  } else {
+    for (DeltaMap& part : chunk_delta) {
+      for (auto& [f, d] : part) {
+        DeltaSeries& acc = delta[f];
+        if (!d.integral.empty()) {
+          if (acc.integral.empty()) {
+            acc.integral = std::move(d.integral);
+          } else {
+            for (size_t k = 0; k < acc.integral.size(); ++k) {
+              acc.integral[k] += d.integral[k];
+            }
+          }
         }
-        for (size_t k = 0; k < diff.size(); ++k) {
-          if (!diff[k].is_zero()) {
-            acc.fractional[k] += weight * Rational(diff[k]);
+        if (!d.fractional.empty()) {
+          if (acc.fractional.empty()) {
+            acc.fractional = std::move(d.fractional);
+          } else {
+            for (size_t k = 0; k < acc.fractional.size(); ++k) {
+              acc.fractional[k] += d.fractional[k];
+            }
           }
         }
       }
@@ -162,6 +234,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
   // k!(n−k−1)!·d[k] over the common denominator n! needs one normalization
   // per fact instead of one per (fact, k) term; the value is unchanged
   // (exact arithmetic, same sum).
+  Combinatorics comb;
   std::vector<BigInt> shapley_numerator(static_cast<size_t>(n));
   if (kind == ScoreKind::kShapley) {
     for (int64_t k = 0; k < n; ++k) {
@@ -173,38 +246,44 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
                                  ? comb.Factorial(n)
                                  : BigInt::TwoPow(static_cast<uint64_t>(
                                        n > 1 ? n - 1 : 0));
-  std::vector<std::pair<FactId, Rational>> scores;
-  scores.reserve(endo.size());
-  for (FactId f : endo) {
-    Rational score;
-    auto it = delta.find(f);
-    if (it != delta.end()) {
-      const DeltaSeries& d = it->second;
-      BigInt numerator;
-      Rational fractional_sum;
-      for (int64_t k = 0; k < n; ++k) {
-        const size_t uk = static_cast<size_t>(k);
-        const BigInt& coeff = kind == ScoreKind::kShapley
-                                  ? shapley_numerator[uk]
-                                  : denominator;  // unused for Banzhaf below
-        if (!d.integral.empty() && !d.integral[uk].is_zero()) {
-          numerator += kind == ScoreKind::kShapley
-                           ? coeff * d.integral[uk]
-                           : d.integral[uk];
+  // Per-fact scoring reads the merged map and the precomputed coefficient
+  // tables only — slot i writes fact endo[i], so the fan-out is
+  // deterministic.
+  std::vector<std::pair<FactId, Rational>> scores(endo.size());
+  ParallelFor(
+      static_cast<int64_t>(endo.size()),
+      [&](int64_t i) {
+        FactId f = endo[static_cast<size_t>(i)];
+        Rational score;
+        auto it = delta.find(f);
+        if (it != delta.end()) {
+          const DeltaSeries& d = it->second;
+          BigInt numerator;
+          Rational fractional_sum;
+          for (int64_t k = 0; k < n; ++k) {
+            const size_t uk = static_cast<size_t>(k);
+            const BigInt& coeff = kind == ScoreKind::kShapley
+                                      ? shapley_numerator[uk]
+                                      : denominator;  // unused for Banzhaf
+            if (!d.integral.empty() && !d.integral[uk].is_zero()) {
+              numerator += kind == ScoreKind::kShapley
+                               ? coeff * d.integral[uk]
+                               : d.integral[uk];
+            }
+            if (!d.fractional.empty() && !d.fractional[uk].is_zero()) {
+              fractional_sum += kind == ScoreKind::kShapley
+                                    ? Rational(coeff) * d.fractional[uk]
+                                    : d.fractional[uk];
+            }
+          }
+          score = Rational(std::move(numerator), denominator);
+          if (!fractional_sum.is_zero()) {
+            score += fractional_sum / Rational(denominator);
+          }
         }
-        if (!d.fractional.empty() && !d.fractional[uk].is_zero()) {
-          fractional_sum += kind == ScoreKind::kShapley
-                                ? Rational(coeff) * d.fractional[uk]
-                                : d.fractional[uk];
-        }
-      }
-      score = Rational(std::move(numerator), denominator);
-      if (!fractional_sum.is_zero()) {
-        score += fractional_sum / Rational(denominator);
-      }
-    }
-    scores.emplace_back(f, std::move(score));
-  }
+        scores[static_cast<size_t>(i)] = {f, std::move(score)};
+      },
+      options.num_threads);
   return scores;
 }
 

@@ -14,6 +14,7 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -29,10 +30,14 @@ StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db);
 // once, and the two derived databases per fact (F: f exogenous, G: f
 // removed) are realized as an O(1) endogenous-flag flip / subset drop
 // instead of full database copies. Facts irrelevant to Q_t contribute an
-// exact 0 and are skipped. Results are identical to the per-fact path
-// (exact rational arithmetic; only the summation order differs).
+// exact 0 and are skipped. The per-answer accumulation shards over
+// options.num_threads workers (contiguous answer chunks, per-worker delta
+// maps merged in answer order). Results are identical to the per-fact path
+// and invariant under the thread count (exact rational arithmetic; only
+// the summation order differs).
 StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
-    const AggregateQuery& a, const Database& db, ScoreKind kind);
+    const AggregateQuery& a, const Database& db,
+    const SolverOptions& options = {});
 
 class EngineRegistry;
 

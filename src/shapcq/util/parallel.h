@@ -10,8 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace shapcq {
@@ -29,10 +32,23 @@ inline int EffectiveThreadCount(int requested, int64_t count) {
   return threads < 1 ? 1 : threads;
 }
 
+// [begin, end) of contiguous chunk `c` when [0, count) is split into
+// `chunks` near-equal parts: [count·c/chunks, count·(c+1)/chunks). The
+// bounds depend only on the arguments — never on scheduling — so the
+// batched engines use one chunk per worker to shard per-fact work
+// deterministically.
+inline std::pair<int64_t, int64_t> ChunkBounds(int64_t count, int chunks,
+                                               int64_t c) {
+  return {count * c / chunks, count * (c + 1) / chunks};
+}
+
 // Runs fn(i) for every i in [0, count), using `num_threads` workers pulling
 // from a shared atomic counter (num_threads < 1: hardware concurrency).
 // fn must be safe to call concurrently for distinct indexes. Runs inline
-// when one worker suffices. fn must not throw.
+// when one worker suffices. If fn throws (e.g. std::bad_alloc from a BigInt
+// allocation), the first exception is captured, the remaining iterations
+// are abandoned, and the exception is rethrown on the calling thread after
+// every worker has joined — iterations already started may still complete.
 inline void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
                         int num_threads = 0) {
   if (count <= 0) return;
@@ -42,9 +58,22 @@ inline void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
     return;
   }
   std::atomic<int64_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
   auto worker = [&]() {
     for (int64_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-      fn(i);
+      if (abort.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(exception_mutex);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -52,6 +81,7 @@ inline void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
   for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& thread : pool) thread.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace shapcq

@@ -1,0 +1,232 @@
+// The BENCH_JSON emitter must produce strictly valid JSON: CI scrapes the
+// telemetry lines and pipes them through jq, so a control character in a
+// query string or a NaN speedup must not corrupt the stream. This test
+// round-trips JsonLine output through a minimal (but strict) JSON object
+// parser.
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace shapcq {
+namespace {
+
+// A strict parser for the subset JsonLine emits: one flat object whose
+// values are strings, numbers, booleans, or null. Fails the test on any
+// syntax error; decodes \", \\ and \uXXXX escapes.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string text) : text_(std::move(text)) {}
+
+  // Returns false on any deviation from strict JSON.
+  bool Parse() {
+    pos_ = 0;
+    if (!Consume('{')) return false;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first && !Consume(',')) return false;
+      first = false;
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue(key)) return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  const std::map<std::string, std::string>& strings() const {
+    return strings_;
+  }
+  const std::map<std::string, double>& numbers() const { return numbers_; }
+  const std::map<std::string, bool>& booleans() const { return booleans_; }
+  bool IsNull(const std::string& key) const { return nulls_.count(key) > 0; }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      // Raw control characters are invalid inside JSON strings.
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char escape = text_[pos_++];
+        if (escape == '"' || escape == '\\' || escape == '/') {
+          out->push_back(escape);
+        } else if (escape == 'n') {
+          out->push_back('\n');
+        } else if (escape == 't') {
+          out->push_back('\t');
+        } else if (escape == 'r') {
+          out->push_back('\r');
+        } else if (escape == 'b') {
+          out->push_back('\b');
+        } else if (escape == 'f') {
+          out->push_back('\f');
+        } else if (escape == 'u') {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code > 0xFF) return false;  // emitter only escapes bytes
+          out->push_back(static_cast<char>(code));
+        } else {
+          return false;
+        }
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool ParseValue(const std::string& key) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '"') {
+      std::string value;
+      if (!ParseString(&value)) return false;
+      strings_[key] = std::move(value);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      booleans_[key] = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      booleans_[key] = false;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      nulls_[key] = true;
+      return true;
+    }
+    // Number: [-] digits [. digits] [e[+-]digits] — strict JSON grammar.
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t int_digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++int_digits;
+    }
+    if (int_digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac_digits = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++frac_digits;
+      }
+      if (frac_digits == 0) return false;
+    }
+    numbers_[key] = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, double> numbers_;
+  std::map<std::string, bool> booleans_;
+  std::map<std::string, bool> nulls_;
+};
+
+TEST(JsonLineTest, RoundTripsPlainFields) {
+  bench::JsonLine line("compute_all");
+  line.Str("query", "Q(x) <- R(x), S(x, y)")
+      .Int("facts", 240)
+      .Num("ms", 304.125)
+      .Bool("identical", true);
+  FlatJsonParser parser(line.Json());
+  ASSERT_TRUE(parser.Parse()) << line.Json();
+  EXPECT_EQ(parser.strings().at("name"), "compute_all");
+  EXPECT_EQ(parser.strings().at("query"), "Q(x) <- R(x), S(x, y)");
+  EXPECT_EQ(parser.numbers().at("facts"), 240);
+  EXPECT_DOUBLE_EQ(parser.numbers().at("ms"), 304.125);
+  EXPECT_TRUE(parser.booleans().at("identical"));
+}
+
+TEST(JsonLineTest, EscapesControlCharactersAndRoundTrips) {
+  const std::string nasty = "line1\nline2\ttab\rcr\x01\x1f end \"quoted\" \\";
+  bench::JsonLine line("escapes");
+  line.Str("s", nasty);
+  std::string json = line.Json();
+  // No raw control byte may survive into the emitted text.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << json;
+  }
+  FlatJsonParser parser(json);
+  ASSERT_TRUE(parser.Parse()) << json;
+  EXPECT_EQ(parser.strings().at("s"), nasty);
+}
+
+TEST(JsonLineTest, NonFiniteNumbersBecomeNull) {
+  bench::JsonLine line("nonfinite");
+  line.Num("nan", std::numeric_limits<double>::quiet_NaN())
+      .Num("inf", std::numeric_limits<double>::infinity())
+      .Num("ninf", -std::numeric_limits<double>::infinity())
+      .Num("ok", 1.5);
+  FlatJsonParser parser(line.Json());
+  ASSERT_TRUE(parser.Parse()) << line.Json();
+  EXPECT_TRUE(parser.IsNull("nan"));
+  EXPECT_TRUE(parser.IsNull("inf"));
+  EXPECT_TRUE(parser.IsNull("ninf"));
+  EXPECT_DOUBLE_EQ(parser.numbers().at("ok"), 1.5);
+}
+
+TEST(JsonLineTest, HugeFiniteNumbersStayWellFormed) {
+  bench::JsonLine line("huge");
+  line.Num("big", 1e300).Num("tiny", -1e300);
+  FlatJsonParser parser(line.Json());
+  ASSERT_TRUE(parser.Parse()) << line.Json();
+  EXPECT_DOUBLE_EQ(parser.numbers().at("big"), 1e300);
+  EXPECT_DOUBLE_EQ(parser.numbers().at("tiny"), -1e300);
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -273,13 +273,13 @@ TEST(SumCountScoreAllTest, UnchangedByEndogenousFlagCycle) {
   options.seed = 3;
   Database db = RandomDatabaseForQuery(q, options);
   AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
-  auto before = SumCountScoreAll(a, db, ScoreKind::kShapley);
+  auto before = SumCountScoreAll(a, db);
   ASSERT_TRUE(before.ok());
   // Mutate flags after interning, then restore: scores must be identical.
   FactId f = db.EndogenousFacts().front();
   db.SetEndogenous(f, false);
   db.SetEndogenous(f, true);
-  auto after = SumCountScoreAll(a, db, ScoreKind::kShapley);
+  auto after = SumCountScoreAll(a, db);
   ASSERT_TRUE(after.ok());
   ASSERT_EQ(before->size(), after->size());
   for (size_t i = 0; i < before->size(); ++i) {

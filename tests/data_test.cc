@@ -161,6 +161,66 @@ TEST(CsvTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseCsvLine("\"x\" garbage").ok());
 }
 
+TEST(CsvTest, NumericParsingIsRestrictedToFiniteDecimalForms) {
+  // strtod extensions must stay strings: a NaN Value would break Value
+  // equality and therefore ValuePool interning and fact deduplication.
+  auto row = ParseCsvLine(
+      "nan,NaN,inf,Infinity,-inf,0x10,0X1p4,1e999,-1e999,1e-999,nan(0x1)");
+  ASSERT_TRUE(row.ok());
+  for (const Value& v : *row) {
+    EXPECT_EQ(v.kind(), Value::Kind::kString) << v.ToString();
+  }
+  // Finite decimal forms still parse to numbers.
+  auto numeric = ParseCsvLine("-7,+42,3.25,.5,2.,1e3,-2.5E-2,+0.125e+1");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_EQ((*numeric)[0], Value(-7));
+  EXPECT_EQ((*numeric)[1], Value(42));
+  EXPECT_EQ((*numeric)[2], Value(3.25));
+  EXPECT_EQ((*numeric)[3], Value(0.5));
+  EXPECT_EQ((*numeric)[4], Value(2.0));
+  EXPECT_EQ((*numeric)[5], Value(1000.0));
+  EXPECT_EQ((*numeric)[6], Value(-0.025));
+  EXPECT_EQ((*numeric)[7], Value(1.25));
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*numeric)[i].kind(), Value::Kind::kInt);
+  }
+  for (size_t i = 2; i < numeric->size(); ++i) {
+    EXPECT_EQ((*numeric)[i].kind(), Value::Kind::kDouble);
+  }
+}
+
+TEST(CsvTest, OverflowingIntegersFallBackToFiniteDoubles) {
+  // Beyond int64 but still a finite decimal literal: keep the numeric
+  // interpretation as a double instead of routing through strtod's
+  // anything-goes parsing.
+  auto row = ParseCsvLine("99999999999999999999999,-99999999999999999999999");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].kind(), Value::Kind::kDouble);
+  EXPECT_EQ((*row)[1].kind(), Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ((*row)[0].AsDouble(), 1e23);
+  EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), -1e23);
+  // Malformed near-numbers stay strings.
+  auto strings = ParseCsvLine("1.2.3,1e,e5,+,-,.,++3,12a");
+  ASSERT_TRUE(strings.ok());
+  for (const Value& v : *strings) {
+    EXPECT_EQ(v.kind(), Value::Kind::kString) << v.ToString();
+  }
+}
+
+TEST(CsvTest, NanFieldsInternSafelyIntoADatabase) {
+  // The regression this guards: "nan" fields became NaN doubles, and
+  // NaN != NaN poisoned the value pool's equality-based interning —
+  // lookups of a just-inserted fact missed, and duplicate detection never
+  // fired.
+  Database db;
+  Status s = LoadCsvIntoDatabase(&db, "R", "nan,1\nnan,2\ninf,3\n",
+                                 /*endogenous=*/true);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(db.Contains("R", {Value("nan"), Value(1)}));
+  EXPECT_TRUE(db.Contains("R", {Value("inf"), Value(3)}));
+  EXPECT_EQ(db.FactsWith("R", 0, Value("nan")).size(), 2u);
+}
+
 TEST(CsvTest, LoadsIntoDatabase) {
   Database db;
   Status s = LoadCsvIntoDatabase(&db, "Earns", "ann,100\nbob,90\n",

@@ -1,0 +1,77 @@
+// ParallelFor: exception propagation and scheduling invariants. The
+// batched engines accumulate exact BigInt/Rational state inside workers,
+// so a throwing iteration (e.g. std::bad_alloc) must surface on the
+// calling thread instead of std::terminate-ing the process.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/util/parallel.h"
+
+namespace shapcq {
+namespace {
+
+TEST(EffectiveThreadCountTest, ClampsToCountAndHardware) {
+  EXPECT_EQ(EffectiveThreadCount(4, 100), 4);
+  EXPECT_EQ(EffectiveThreadCount(4, 2), 2);
+  EXPECT_EQ(EffectiveThreadCount(8, 1), 1);
+  EXPECT_GE(EffectiveThreadCount(0, 100), 1);   // hardware concurrency
+  EXPECT_GE(EffectiveThreadCount(-3, 100), 1);  // negative = hardware
+  EXPECT_EQ(EffectiveThreadCount(0, 0), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(97);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(
+        97, [&](int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+        threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RethrowsWorkerExceptionAfterJoin) {
+  for (int threads : {2, 8}) {
+    std::atomic<int> started{0};
+    EXPECT_THROW(
+        ParallelFor(
+            64,
+            [&](int64_t i) {
+              started.fetch_add(1);
+              if (i == 7) throw std::runtime_error("boom");
+            },
+            threads),
+        std::runtime_error);
+    // The abort flag stops workers early: not every iteration ran.
+    EXPECT_GE(started.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RethrowsFromTheInlineSingleThreadPath) {
+  EXPECT_THROW(ParallelFor(
+                   4,
+                   [](int64_t i) {
+                     if (i == 2) throw std::bad_alloc();
+                   },
+                   1),
+               std::bad_alloc);
+}
+
+TEST(ParallelForTest, KeepsWorkingAfterACaughtException) {
+  // The pool is per-call; a throw in one call must not poison the next.
+  EXPECT_THROW(
+      ParallelFor(
+          8, [](int64_t) { throw std::runtime_error("boom"); }, 4),
+      std::runtime_error);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(8, [&](int64_t i) { sum.fetch_add(i); }, 4);
+  EXPECT_EQ(sum.load(), 28);
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,377 @@
+// Differential tests for the batched all-facts scorers (ScoreAllFn).
+//
+// Every batched engine must reproduce the per-fact sum_k path bit for bit:
+// exact rational arithmetic makes the batching a pure reordering of the
+// same sums, so the comparisons below use operator== on Rational (canonical
+// form — equality is bitwise identity). Also checked: thread-count
+// invariance (the sharded accumulation merges per-worker state in
+// deterministic order) and gate parity (a batched scorer fails with
+// exactly the series engine's error).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/data/database.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/min_max.h"
+#include "shapcq/shapley/min_max_monoid.h"
+#include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
+#include "shapcq/shapley/sum_count.h"
+#include "shapcq/workload/generators.h"
+#include "shapcq/workload/random_query.h"
+
+namespace shapcq {
+namespace {
+
+SolverOptions Options(ScoreKind kind, int num_threads = 0) {
+  SolverOptions options;
+  options.score = kind;
+  options.num_threads = num_threads;
+  return options;
+}
+
+// Asserts that a batched result matches per-fact ScoreViaSumK over
+// `engine` on every endogenous fact, bit for bit.
+void ExpectMatchesPerFact(
+    const StatusOr<std::vector<std::pair<FactId, Rational>>>& batched,
+    const AggregateQuery& a, const Database& db, const SumKEngine& engine,
+    ScoreKind kind, const std::string& label) {
+  ASSERT_TRUE(batched.ok()) << label << ": " << batched.status().ToString();
+  std::vector<FactId> endo = db.EndogenousFacts();
+  ASSERT_EQ(batched->size(), endo.size()) << label;
+  for (size_t i = 0; i < endo.size(); ++i) {
+    EXPECT_EQ((*batched)[i].first, endo[i]) << label;
+    StatusOr<Rational> single = ScoreViaSumK(a, db, endo[i], engine, kind);
+    ASSERT_TRUE(single.ok()) << label << ": " << single.status().ToString();
+    EXPECT_EQ((*batched)[i].second, *single)
+        << label << " fact " << endo[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MinMaxScoreAll (localized Min/Max DP)
+// ---------------------------------------------------------------------------
+
+TEST(MinMaxScoreAllTest, MatchesPerFactOnRandomAllHierarchicalWorkloads) {
+  for (AggregateFunction alpha :
+       {AggregateFunction::Min(), AggregateFunction::Max()}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RandomQueryOptions query_options;
+      query_options.max_variables = 3;
+      query_options.seed = seed * 17 + 2;
+      ConjunctiveQuery q = RandomQueryOfClass(
+          HierarchyClass::kAllHierarchical, query_options);
+      RandomDatabaseOptions db_options;
+      db_options.facts_per_relation = 4;
+      db_options.seed = seed * 5 + 1;
+      Database db = RandomDatabaseForQuery(q, db_options);
+      if (db.num_endogenous() == 0) continue;
+      ValueFunctionPtr tau =
+          q.arity() > 0 ? MakeTauId(0) : MakeConstantTau(Rational(1));
+      AggregateQuery a{q, tau, alpha};
+      for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+        ExpectMatchesPerFact(MinMaxScoreAll(a, db, Options(kind)), a, db,
+                             MinMaxSumK, kind,
+                             a.ToString() + " seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(MinMaxScoreAllTest, MatchesBruteForceOnSmallInstance) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  Database db;
+  db.AddEndogenous("R", {Value(1), Value(10)});
+  db.AddEndogenous("R", {Value(2), Value(10)});
+  db.AddEndogenous("R", {Value(3), Value(20)});
+  db.AddEndogenous("S", {Value(10)});
+  db.AddExogenous("S", {Value(20)});
+  db.AddEndogenous("T", {Value(99)});  // irrelevant endogenous fact
+  for (AggregateFunction alpha :
+       {AggregateFunction::Min(), AggregateFunction::Max()}) {
+    AggregateQuery a{q, MakeTauId(0), alpha};
+    auto batched = MinMaxScoreAll(a, db, Options(ScoreKind::kShapley));
+    auto oracle = BruteForceScoreAll(a, db, ScoreKind::kShapley);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(batched->size(), oracle->size());
+    for (size_t i = 0; i < batched->size(); ++i) {
+      EXPECT_EQ((*batched)[i].first, (*oracle)[i].first);
+      EXPECT_EQ((*batched)[i].second, (*oracle)[i].second)
+          << "fact " << (*batched)[i].first;
+    }
+  }
+}
+
+TEST(MinMaxScoreAllTest, ThreadCountNeverChangesAnyValue) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  RandomDatabaseOptions db_options;
+  db_options.facts_per_relation = 6;
+  db_options.seed = 11;
+  Database db = RandomDatabaseForQuery(q, db_options);
+  ASSERT_GT(db.num_endogenous(), 0);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Max()};
+  auto reference = MinMaxScoreAll(a, db, Options(ScoreKind::kShapley, 1));
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 8}) {
+    auto threaded =
+        MinMaxScoreAll(a, db, Options(ScoreKind::kShapley, threads));
+    ASSERT_TRUE(threaded.ok());
+    ASSERT_EQ(reference->size(), threaded->size());
+    for (size_t i = 0; i < reference->size(); ++i) {
+      EXPECT_EQ((*reference)[i].first, (*threaded)[i].first);
+      EXPECT_EQ((*reference)[i].second, (*threaded)[i].second)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(MinMaxScoreAllTest, RefusesExactlyLikeTheSeriesEngine) {
+  // Not all-hierarchical: R(x, y), S(y) with y shared but x free in one
+  // atom only... use a genuinely non-all-hierarchical query.
+  ConjunctiveQuery q = MustParseQuery("Q() <- R(x), S(x, y), T(y)");
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("S", {Value(1), Value(2)});
+  db.AddEndogenous("T", {Value(2)});
+  AggregateQuery a{q, MakeConstantTau(Rational(1)), AggregateFunction::Max()};
+  auto batched = MinMaxScoreAll(a, db);
+  auto series = MinMaxSumK(a, db);
+  ASSERT_FALSE(batched.ok());
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(batched.status().message(), series.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// MinMaxMonoidScoreAll (Section 7.3 monotone-monoid extension)
+// ---------------------------------------------------------------------------
+
+Database MonoidDb(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(i % 5 - 2)});
+    db.AddEndogenous("T", {Value(i), Value((i * 3) % 7 - 3)});
+  }
+  return db;
+}
+
+TEST(MinMaxMonoidScoreAllTest, MatchesPerFactOnCrossProduct) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(i, x), T(j, z)");
+  for (int n : {3, 5}) {
+    Database db = MonoidDb(n);
+    struct Case {
+      MonoidKind kind;
+      bool is_max;
+    };
+    for (const Case& c : {Case{MonoidKind::kPlus, true},
+                          Case{MonoidKind::kMax, true},
+                          Case{MonoidKind::kPlus, false},
+                          Case{MonoidKind::kMin, false}}) {
+      SumKEngine engine = [&q, &c](const AggregateQuery&, const Database& d) {
+        return MonoidMinMaxSumK(q, c.kind, {0, 1}, c.is_max, d);
+      };
+      AggregateQuery reference{
+          q, MakeMonoidTau(c.kind, {0, 1}),
+          c.is_max ? AggregateFunction::Max() : AggregateFunction::Min()};
+      for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+        ExpectMatchesPerFact(
+            MinMaxMonoidScoreAll(q, c.kind, {0, 1}, c.is_max, db,
+                                 Options(kind)),
+            reference, db, engine, kind,
+            "monoid n=" + std::to_string(n));
+      }
+    }
+  }
+}
+
+TEST(MinMaxMonoidScoreAllTest, MatchesPerFactOnConnectedQuery) {
+  // Connected all-hierarchical query: the top level is a root split, not
+  // a cross product, so this exercises the generic leave-one-out path
+  // instead of the pushed-functional cross specialization.
+  ConjunctiveQuery q = MustParseQuery("Q(x, y) <- R(x, y), S(y)");
+  Database db;
+  for (int i = 0; i < 5; ++i) {
+    db.AddEndogenous("R", {Value(i % 3), Value(i)});
+    db.AddFact("S", {Value(i)}, /*endogenous=*/i % 2 == 0);
+  }
+  SumKEngine engine = [&q](const AggregateQuery&, const Database& d) {
+    return MonoidMinMaxSumK(q, MonoidKind::kPlus, {0, 1}, /*is_max=*/true, d);
+  };
+  AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
+                           AggregateFunction::Max()};
+  for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+    ExpectMatchesPerFact(
+        MinMaxMonoidScoreAll(q, MonoidKind::kPlus, {0, 1}, /*is_max=*/true,
+                             db, Options(kind)),
+        reference, db, engine, kind, "monoid connected");
+  }
+}
+
+TEST(MinMaxMonoidScoreAllTest, MatchesBruteForceWithIrrelevantFacts) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(i, x), T(j, z)");
+  Database db = MonoidDb(3);
+  db.AddEndogenous("U", {Value(7)});  // never joins: exact-zero fast path
+  AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
+                           AggregateFunction::Max()};
+  auto batched = MinMaxMonoidScoreAll(q, MonoidKind::kPlus, {0, 1},
+                                      /*is_max=*/true, db);
+  auto oracle = BruteForceScoreAll(reference, db, ScoreKind::kShapley);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(batched->size(), oracle->size());
+  for (size_t i = 0; i < batched->size(); ++i) {
+    EXPECT_EQ((*batched)[i].first, (*oracle)[i].first);
+    EXPECT_EQ((*batched)[i].second, (*oracle)[i].second)
+        << "fact " << (*batched)[i].first;
+  }
+}
+
+TEST(MinMaxMonoidScoreAllTest, RefusesExactlyLikeTheSeriesEngine) {
+  ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(i, x), T(j, z)");
+  Database db = MonoidDb(2);
+  // Max with a non-decreasing monoid is required.
+  auto batched = MinMaxMonoidScoreAll(q, MonoidKind::kMin, {0, 1},
+                                      /*is_max=*/true, db);
+  auto series = MonoidMinMaxSumK(q, MonoidKind::kMin, {0, 1},
+                                 /*is_max=*/true, db);
+  ASSERT_FALSE(batched.ok());
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(batched.status().message(), series.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// AvgQuantileScoreAll (quintuple DP)
+// ---------------------------------------------------------------------------
+
+TEST(AvgQuantileScoreAllTest, MatchesPerFactOnRandomQHierarchicalWorkloads) {
+  for (AggregateFunction alpha :
+       {AggregateFunction::Avg(), AggregateFunction::Median(),
+        AggregateFunction::Quantile(Rational(BigInt(1), BigInt(4)))}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RandomQueryOptions query_options;
+      query_options.max_variables = 3;
+      query_options.seed = seed * 19 + 3;
+      ConjunctiveQuery q =
+          RandomQueryOfClass(HierarchyClass::kQHierarchical, query_options);
+      RandomDatabaseOptions db_options;
+      db_options.facts_per_relation = 4;
+      db_options.seed = seed * 3 + 2;
+      Database db = RandomDatabaseForQuery(q, db_options);
+      if (db.num_endogenous() == 0) continue;
+      ValueFunctionPtr tau =
+          q.arity() > 0 ? MakeTauId(0) : MakeConstantTau(Rational(1));
+      AggregateQuery a{q, tau, alpha};
+      for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+        ExpectMatchesPerFact(AvgQuantileScoreAll(a, db, Options(kind)), a,
+                             db, AvgQuantileSumK, kind,
+                             a.ToString() + " seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(AvgQuantileScoreAllTest, ThreadCountNeverChangesAnyValue) {
+  // q-hierarchical: the free variable dominates the existential one.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(x)");
+  RandomDatabaseOptions db_options;
+  db_options.facts_per_relation = 5;
+  db_options.seed = 13;
+  Database db = RandomDatabaseForQuery(q, db_options);
+  ASSERT_GT(db.num_endogenous(), 0);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Avg()};
+  auto reference = AvgQuantileScoreAll(a, db, Options(ScoreKind::kShapley, 1));
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 8}) {
+    auto threaded =
+        AvgQuantileScoreAll(a, db, Options(ScoreKind::kShapley, threads));
+    ASSERT_TRUE(threaded.ok());
+    ASSERT_EQ(reference->size(), threaded->size());
+    for (size_t i = 0; i < reference->size(); ++i) {
+      EXPECT_EQ((*reference)[i].first, (*threaded)[i].first);
+      EXPECT_EQ((*reference)[i].second, (*threaded)[i].second)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(AvgQuantileScoreAllTest, RefusesExactlyLikeTheSeriesEngine) {
+  // ∃-hierarchical but not q-hierarchical: Q(x) with y joining two atoms.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  Database db;
+  db.AddEndogenous("R", {Value(1)});
+  db.AddEndogenous("S", {Value(1), Value(2)});
+  db.AddEndogenous("T", {Value(2)});
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Avg()};
+  auto batched = AvgQuantileScoreAll(a, db);
+  auto series = AvgQuantileSumK(a, db);
+  ASSERT_FALSE(batched.ok());
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(batched.status().message(), series.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// SumCountScoreAll: sharded accumulation is thread-count invariant
+// ---------------------------------------------------------------------------
+
+TEST(SumCountScoreAllShardingTest, IdenticalAcrossThreadCounts) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y), T(y)");
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 8;
+    db_options.domain_size = 6;
+    db_options.seed = seed;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    if (db.num_endogenous() == 0) continue;
+    AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+    for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
+      auto reference = SumCountScoreAll(a, db, Options(kind, 1));
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      for (int threads : {2, 8}) {
+        auto sharded = SumCountScoreAll(a, db, Options(kind, threads));
+        ASSERT_TRUE(sharded.ok());
+        ASSERT_EQ(reference->size(), sharded->size());
+        for (size_t i = 0; i < reference->size(); ++i) {
+          EXPECT_EQ((*reference)[i].first, (*sharded)[i].first);
+          EXPECT_EQ((*reference)[i].second, (*sharded)[i].second)
+              << "seed " << seed << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+// A fractional-weight τ exercises the Rational half of the per-worker
+// DeltaSeries merge (integer weights take the pure-BigInt half).
+TEST(SumCountScoreAllShardingTest, FractionalWeightsIdenticalAcrossThreads) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x), S(x, y)");
+  Database db;
+  for (int i = 0; i < 6; ++i) {
+    db.AddEndogenous("R", {Value(i)});
+    db.AddEndogenous("S", {Value(i), Value(i % 3)});
+  }
+  ValueFunctionPtr tau = MakeCallbackTau(
+      [](const Tuple& t) {
+        return Rational(t[0].AsRational()) / Rational(3);
+      },
+      {0}, "third");
+  AggregateQuery a{q, tau, AggregateFunction::Sum()};
+  auto reference = SumCountScoreAll(a, db, Options(ScoreKind::kShapley, 1));
+  ASSERT_TRUE(reference.ok());
+  auto sharded = SumCountScoreAll(a, db, Options(ScoreKind::kShapley, 8));
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(reference->size(), sharded->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    EXPECT_EQ((*reference)[i].second, (*sharded)[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -276,7 +276,9 @@ TEST(SumCountScoreAllTest, AgreesWithBruteForceSweep) {
     if (db.num_endogenous() == 0) continue;
     AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
     for (ScoreKind kind : {ScoreKind::kShapley, ScoreKind::kBanzhaf}) {
-      auto batched = SumCountScoreAll(a, db, kind);
+      SolverOptions batch_options;
+      batch_options.score = kind;
+      auto batched = SumCountScoreAll(a, db, batch_options);
       auto oracle = BruteForceScoreAll(a, db, kind);
       ASSERT_TRUE(batched.ok()) << batched.status().ToString();
       ASSERT_TRUE(oracle.ok());
@@ -297,7 +299,7 @@ TEST(SumCountScoreAllTest, RefusesOutsideTheFrontierLikeTheSeriesEngine) {
   db.AddEndogenous("S", {Value(1), Value(2)});
   db.AddEndogenous("T", {Value(2)});
   AggregateQuery a{q, MakeConstantTau(Rational(1)), AggregateFunction::Count()};
-  auto batched = SumCountScoreAll(a, db, ScoreKind::kShapley);
+  auto batched = SumCountScoreAll(a, db);
   EXPECT_FALSE(batched.ok());
   auto series = SumCountSumK(a, db);
   EXPECT_FALSE(series.ok());
