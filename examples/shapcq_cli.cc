@@ -9,13 +9,24 @@
 //                                  0 = hardware concurrency)
 //              [--expected <p>]   (also print E[A] over the uniform
 //                                  tuple-independent DB with probability p)
+//              [--explain]        (print the compiled AttributionPlan:
+//                                  canonical fingerprint, hierarchy class,
+//                                  engine chain with batched-scorer
+//                                  availability, and PlanCache counters)
+//              [--repeat <n>]     (serving loop: run the all-facts solve n
+//                                  times, re-fetching the plan from the
+//                                  PlanCache each round to exercise the
+//                                  warm path; prints the initial plan
+//                                  compile/fetch time and the average warm
+//                                  round)
 //
 // Aggregates: sum count cdist min max avg median qnt:<a>/<b> dup
 // Value functions: id:<i>  relu:<i>  gt:<i>:<b>  const:<c>   (i is 1-based)
 //
-// Prints the classification of the query, the tractability verdict, and the
-// attribution of every endogenous fact.
+// Prints the classification of the query, the tractability verdict, the
+// attribution of every endogenous fact, and a plan-provenance footer.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +40,9 @@
 #include "shapcq/data/database.h"
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/query/parser.h"
+#include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/report.h"
+#include "shapcq/shapley/session.h"
 #include "shapcq/shapley/solver.h"
 
 using namespace shapcq;  // NOLINT: example brevity
@@ -107,6 +120,8 @@ int main(int argc, char** argv) {
   std::string method_text = "auto";
   std::string expected_text;
   int threads = 0;
+  bool explain = false;
+  int repeat = 1;
   std::vector<std::pair<std::string, bool>> loads;  // "Rel=path", endogenous
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -151,6 +166,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--expected needs a probability");
       expected_text = v;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--repeat needs a count");
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 1 || parsed > 1000000) {
+        return Fail("--repeat needs a count in [1, 1000000], got: " +
+                    std::string(v));
+      }
+      repeat = static_cast<int>(parsed);
     } else {
       return Fail("unknown argument: " + arg);
     }
@@ -192,14 +219,23 @@ int main(int argc, char** argv) {
   options.num_threads = threads;
 
   AggregateQuery a{*query, *tau, *alpha};
+  // The one plan acquisition of this process: timed, and its hit/miss is
+  // what the provenance footer reports.
+  bool cache_hit = false;
+  auto plan_start = std::chrono::steady_clock::now();
+  auto plan = PlanCache::Global().GetOrCompile(a, options.score, &cache_hit);
+  double plan_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - plan_start)
+                       .count();
   std::printf("aggregate query : %s\n", a.ToString().c_str());
   std::printf("query class     : %s\n",
-              HierarchyClassName(Classify(*query)));
+              HierarchyClassName(plan->classification()));
   std::printf("frontier verdict: %s\n\n",
-              IsInsideFrontier(*alpha, *query)
-                  ? "inside (PTIME for every localized tau)"
-                  : "outside (hard for some tau; exact may still work for "
-                    "this tau, else fallback)");
+              FrontierVerdictName(plan->inside_frontier()));
+  if (explain) {
+    std::fputs(plan->Explain().c_str(), stdout);
+    std::putchar('\n');
+  }
   std::printf("A(D) = %s\n\n", a.Evaluate(db).ToString().c_str());
 
   ShapleySolver solver(a);
@@ -216,11 +252,45 @@ int main(int argc, char** argv) {
                 p->ToString().c_str(), expected.ToString().c_str(),
                 expected.ToDouble());
   }
-  auto results = solver.ComputeAll(db, options);
-  if (!results.ok()) return Fail(results.status().ToString());
+
+  // The serving loop: every round re-fetches the plan from the cache
+  // (warm — the compile above was this process's only miss) and binds a
+  // fresh session, like one request in a compile-once/execute-many
+  // deployment.
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
+      UnsupportedError("no round ran");
+  double rounds_ms = 0;
+  for (int round = 0; round < repeat; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    SolverSession session(
+        PlanCache::Global().GetOrCompile(a, options.score), db);
+    results = session.ComputeAll(options);
+    rounds_ms += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    if (!results.ok()) return Fail(results.status().ToString());
+  }
+  if (repeat > 1) {
+    std::printf(
+        "serving loop    : plan %s in %.3f ms; %d warm rounds, "
+        "avg %.3f ms\n\n",
+        cache_hit ? "cached" : "compiled", plan_ms, repeat,
+        rounds_ms / repeat);
+  }
+
   ReportOptions report;
   report.show_relation_totals = true;
   std::fputs(FormatAttributionReport(db, *results, report).c_str(), stdout);
   std::printf("\n%s\n", SummarizeAttribution(db, *results).c_str());
+  std::putchar('\n');
+  std::fputs(FormatPlanProvenance(*plan, *results, cache_hit).c_str(),
+             stdout);
+  if (explain) {
+    PlanCache::Stats stats = PlanCache::Global().stats();
+    std::printf("plan cache      : %llu hits, %llu misses, %llu plans\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.entries));
+  }
   return 0;
 }

@@ -1,10 +1,30 @@
 #include "shapcq/agg/value_function.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "shapcq/util/check.h"
 
 namespace shapcq {
+
+namespace {
+
+uint64_t NextValueFunctionId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ValueFunction::ValueFunction() : instance_id_(NextValueFunctionId()) {}
+
+std::string ValueFunction::FingerprintToken() const {
+  // Opaque functions get an identity-based token so a plan cache never
+  // conflates two distinct callbacks that happen to share a display name.
+  // The id is monotonic for the process lifetime — unlike a raw address,
+  // it cannot recur after the object is destroyed.
+  return ToString() + "@" + std::to_string(instance_id_);
+}
 
 namespace {
 
@@ -16,6 +36,8 @@ class ConstantTau : public ValueFunction {
   std::string ToString() const override {
     return "const(" + c_.ToString() + ")";
   }
+  std::string FingerprintToken() const override { return ToString(); }
+  bool HasCanonicalFingerprint() const override { return true; }
 
  private:
   Rational c_;
@@ -35,6 +57,8 @@ class TauId : public ValueFunction {
   std::string ToString() const override {
     return "tau_id^" + std::to_string(head_index_ + 1);
   }
+  std::string FingerprintToken() const override { return ToString(); }
+  bool HasCanonicalFingerprint() const override { return true; }
 
  private:
   int head_index_;
@@ -56,6 +80,8 @@ class TauGreaterThan : public ValueFunction {
   std::string ToString() const override {
     return "tau_>" + b_.ToString() + "^" + std::to_string(head_index_ + 1);
   }
+  std::string FingerprintToken() const override { return ToString(); }
+  bool HasCanonicalFingerprint() const override { return true; }
 
  private:
   int head_index_;
@@ -76,6 +102,8 @@ class TauReLU : public ValueFunction {
   std::string ToString() const override {
     return "tau_ReLU^" + std::to_string(head_index_ + 1);
   }
+  std::string FingerprintToken() const override { return ToString(); }
+  bool HasCanonicalFingerprint() const override { return true; }
 
  private:
   int head_index_;

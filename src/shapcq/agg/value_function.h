@@ -15,6 +15,7 @@
 #ifndef SHAPCQ_AGG_VALUE_FUNCTION_H_
 #define SHAPCQ_AGG_VALUE_FUNCTION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -44,6 +45,30 @@ class ValueFunction {
   virtual bool is_injective() const { return false; }
 
   virtual std::string ToString() const = 0;
+
+  // Token used in plan fingerprints (shapley/plan.h). Contract: two value
+  // functions with equal tokens must be semantically identical (same
+  // Evaluate on every tuple, same DependsOn/is_injective), so a plan cached
+  // under one may serve the other. The built-ins (const, id, >b, ReLU)
+  // derive the token from their parameters; functions wrapping opaque
+  // callbacks (MakeComposedTau, MakeCallbackTau) keep the default, which
+  // appends a process-unique instance id — such taus never share cached
+  // plans, and the id (unlike a raw address) can never be reused by a
+  // later allocation.
+  virtual std::string FingerprintToken() const;
+
+  // True when FingerprintToken is derived purely from parameters (the
+  // built-ins above). Identity-based tokens return false; the PlanCache
+  // then compiles without inserting, so per-request callback taus cannot
+  // grow the cache without bound.
+  virtual bool HasCanonicalFingerprint() const { return false; }
+
+ protected:
+  ValueFunction();
+
+ private:
+  // Monotonic per-construction id backing the default FingerprintToken.
+  const uint64_t instance_id_;
 };
 
 using ValueFunctionPtr = std::shared_ptr<const ValueFunction>;

@@ -1,6 +1,7 @@
 #include "shapcq/hierarchy/classification.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "shapcq/util/check.h"
 
@@ -26,19 +27,49 @@ bool AreDisjoint(const std::vector<int>& a, const std::vector<int>& b) {
   return true;
 }
 
-}  // namespace
-
-bool IsHierarchicalWrt(const ConjunctiveQuery& q,
-                       const std::vector<std::string>& variables) {
-  std::vector<std::vector<int>> atom_sets;
-  atom_sets.reserve(variables.size());
-  for (const std::string& variable : variables) {
-    atom_sets.push_back(q.AtomsContaining(variable));
+// atoms(Q, x) for every variable of Q, built in one pass over the body.
+// Classify needs these sets in all four class checks (and plan compilation
+// runs Classify on every cache miss), so they are computed once and shared
+// instead of one body scan per (check, variable) pair.
+class VariableAtomSets {
+ public:
+  explicit VariableAtomSets(const ConjunctiveQuery& q) {
+    const std::vector<std::string>& variables = q.variables();
+    sets_.resize(variables.size());
+    index_.reserve(variables.size());
+    for (size_t v = 0; v < variables.size(); ++v) index_.emplace(variables[v], v);
+    const std::vector<Atom>& atoms = q.atoms();
+    for (int a = 0; a < static_cast<int>(atoms.size()); ++a) {
+      for (const Term& term : atoms[static_cast<size_t>(a)].terms) {
+        if (!term.is_variable()) continue;
+        std::vector<int>& set = sets_[index_.at(term.variable())];
+        // Atoms are visited in ascending order; repeated occurrences of a
+        // variable within one atom collapse to one entry.
+        if (set.empty() || set.back() != a) set.push_back(a);
+      }
+    }
   }
-  for (size_t i = 0; i < atom_sets.size(); ++i) {
-    for (size_t j = i + 1; j < atom_sets.size(); ++j) {
-      const std::vector<int>& a = atom_sets[i];
-      const std::vector<int>& b = atom_sets[j];
+
+  // Sorted atoms(Q, x); empty for names that are not variables of Q
+  // (matching ConjunctiveQuery::AtomsContaining on unknown names).
+  const std::vector<int>& of(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return empty_;
+    return sets_[it->second];
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<int>> sets_;
+  std::vector<int> empty_;
+};
+
+bool HierarchicalWrt(const VariableAtomSets& sets,
+                     const std::vector<std::string>& variables) {
+  for (size_t i = 0; i < variables.size(); ++i) {
+    for (size_t j = i + 1; j < variables.size(); ++j) {
+      const std::vector<int>& a = sets.of(variables[i]);
+      const std::vector<int>& b = sets.of(variables[j]);
       if (!IsSubset(a, b) && !IsSubset(b, a) && !AreDisjoint(a, b)) {
         return false;
       }
@@ -47,50 +78,72 @@ bool IsHierarchicalWrt(const ConjunctiveQuery& q,
   return true;
 }
 
+// No existential x and free y with atoms(Q,y) ⊊ atoms(Q,x)
+// [Berkholz-Keppeler-Schweikardt].
+bool QCondition(const ConjunctiveQuery& q, const VariableAtomSets& sets) {
+  for (const std::string& x : q.existential_variables()) {
+    const std::vector<int>& atoms_x = sets.of(x);
+    for (const std::string& y : q.free_variables()) {
+      const std::vector<int>& atoms_y = sets.of(y);
+      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// No free y whose atom set is strictly contained in that of any variable
+// (Section 6).
+bool SqCondition(const ConjunctiveQuery& q, const VariableAtomSets& sets) {
+  for (const std::string& y : q.free_variables()) {
+    const std::vector<int>& atoms_y = sets.of(y);
+    for (const std::string& x : q.variables()) {
+      if (x == y) continue;
+      const std::vector<int>& atoms_x = sets.of(x);
+      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsHierarchicalWrt(const ConjunctiveQuery& q,
+                       const std::vector<std::string>& variables) {
+  return HierarchicalWrt(VariableAtomSets(q), variables);
+}
+
 bool IsExistsHierarchical(const ConjunctiveQuery& q) {
-  return IsHierarchicalWrt(q, q.existential_variables());
+  return HierarchicalWrt(VariableAtomSets(q), q.existential_variables());
 }
 
 bool IsAllHierarchical(const ConjunctiveQuery& q) {
-  return IsHierarchicalWrt(q, q.variables());
+  return HierarchicalWrt(VariableAtomSets(q), q.variables());
 }
 
 bool IsQHierarchical(const ConjunctiveQuery& q) {
-  if (!IsAllHierarchical(q)) return false;
-  // No existential x and free y with atoms(Q,y) ⊊ atoms(Q,x).
-  for (const std::string& x : q.existential_variables()) {
-    std::vector<int> atoms_x = q.AtomsContaining(x);
-    for (const std::string& y : q.free_variables()) {
-      std::vector<int> atoms_y = q.AtomsContaining(y);
-      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
-        return false;
-      }
-    }
-  }
-  return true;
+  VariableAtomSets sets(q);
+  return HierarchicalWrt(sets, q.variables()) && QCondition(q, sets);
 }
 
 bool IsSqHierarchical(const ConjunctiveQuery& q) {
-  if (!IsAllHierarchical(q)) return false;
-  // No free y whose atom set is strictly contained in that of any variable.
-  for (const std::string& y : q.free_variables()) {
-    std::vector<int> atoms_y = q.AtomsContaining(y);
-    for (const std::string& x : q.variables()) {
-      if (x == y) continue;
-      std::vector<int> atoms_x = q.AtomsContaining(x);
-      if (atoms_y.size() < atoms_x.size() && IsSubset(atoms_y, atoms_x)) {
-        return false;
-      }
-    }
-  }
-  return true;
+  VariableAtomSets sets(q);
+  return HierarchicalWrt(sets, q.variables()) && SqCondition(q, sets);
 }
 
 HierarchyClass Classify(const ConjunctiveQuery& q) {
-  if (!IsExistsHierarchical(q)) return HierarchyClass::kGeneral;
-  if (!IsAllHierarchical(q)) return HierarchyClass::kExistsHierarchical;
-  if (!IsQHierarchical(q)) return HierarchyClass::kAllHierarchical;
-  if (!IsSqHierarchical(q)) return HierarchyClass::kQHierarchical;
+  VariableAtomSets sets(q);
+  if (!HierarchicalWrt(sets, q.existential_variables())) {
+    return HierarchyClass::kGeneral;
+  }
+  if (!HierarchicalWrt(sets, q.variables())) {
+    return HierarchyClass::kExistsHierarchical;
+  }
+  if (!QCondition(q, sets)) return HierarchyClass::kAllHierarchical;
+  if (!SqCondition(q, sets)) return HierarchyClass::kQHierarchical;
   return HierarchyClass::kSqHierarchical;
 }
 

@@ -1,6 +1,8 @@
 #include "shapcq/query/cq.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "shapcq/util/check.h"
@@ -207,6 +209,62 @@ std::string ConjunctiveQuery::ToString() const {
   for (size_t i = 0; i < atoms_.size(); ++i) {
     if (i > 0) out += ", ";
     out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+// Constants in canonical form: numerically equal values (int 2, double 2.0)
+// must render identically, matching Value equality, and distinct Values
+// must render distinctly. Strings are length-prefixed ("s3:abc") so
+// constant content cannot forge the key's structural delimiters; the
+// non-finite doubles, which have no rational form, get their own "d:"
+// prefix so the double nan never collides with the string "nan".
+std::string CanonicalConstantKey(const Value& v) {
+  if (v.is_numeric()) {
+    if (v.kind() != Value::Kind::kDouble || std::isfinite(v.AsDouble())) {
+      return v.AsRational().ToString();
+    }
+    return "d:" + v.ToString();
+  }
+  const std::string& text = v.AsString();
+  return "s" + std::to_string(text.size()) + ":" + text;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const ConjunctiveQuery& q) {
+  std::unordered_map<std::string, std::string> renaming;
+  auto canonical_name = [&renaming](const std::string& variable) {
+    auto [it, inserted] = renaming.emplace(
+        variable, "v" + std::to_string(renaming.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::string out = "(";
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    if (i > 0) out += ',';
+    out += canonical_name(q.head()[i]);
+  }
+  out += ")<-";
+  for (size_t a = 0; a < q.atoms().size(); ++a) {
+    const Atom& atom = q.atoms()[a];
+    if (a > 0) out += ',';
+    // Relation names are programmatic input validated only as non-empty;
+    // the length prefix keeps a name containing '(' / ')' / ',' from
+    // forging atom boundaries, like the constant rendering above.
+    out += std::to_string(atom.relation.size());
+    out += ':';
+    out += atom.relation;
+    out += '(';
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& term = atom.terms[i];
+      if (i > 0) out += ',';
+      out += term.is_variable() ? canonical_name(term.variable())
+                                : CanonicalConstantKey(term.constant());
+    }
+    out += ')';
   }
   return out;
 }

@@ -128,6 +128,20 @@ class ConjunctiveQuery {
   std::vector<std::string> existential_variables_;
 };
 
+// Canonical structural key of a query, used as the query part of plan
+// fingerprints (shapley/plan.h). Variables are renamed to v0, v1, ... in
+// first-occurrence order (head positions left to right, then body atoms
+// left to right, positions left to right) and the query name is dropped,
+// so two queries get equal keys iff they differ only by a variable
+// renaming. Atom order stays significant (reordered bodies are distinct
+// keys). The key is injective up to that renaming: relation names are
+// length-prefixed ("1:R(...)") and constants rendered unforgeably —
+// numerics through their canonical rational form (int 2 and double 2.0
+// agree, like Value equality), strings length-prefixed ("s3:abc"),
+// non-finite doubles "d:"-prefixed — so neither names nor constant
+// content can imitate the key's structural delimiters.
+std::string CanonicalQueryKey(const ConjunctiveQuery& q);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_QUERY_CQ_H_

@@ -12,6 +12,13 @@
 // is a shape gate over the aggregate query, not a completeness promise
 // (e.g. the q-hierarchy of the query or the localization of τ is checked by
 // the engine itself, and some providers also inspect the database).
+//
+// Compiled AttributionPlans (plan.h) snapshot CandidatesFor at compile
+// time: a provider registered afterwards is picked up by new compilations
+// but not retrofitted into already-cached plans — call
+// PlanCache::Global().Clear() to recompile against the grown registry.
+// Provider pointers stay valid forever (the registry never removes), so
+// cached chains never dangle.
 
 #ifndef SHAPCQ_SHAPLEY_ENGINE_REGISTRY_H_
 #define SHAPCQ_SHAPLEY_ENGINE_REGISTRY_H_

@@ -120,4 +120,44 @@ std::string SummarizeAttribution(
   return out;
 }
 
+std::string FormatPlanProvenance(
+    const AttributionPlan& plan,
+    const std::vector<std::pair<FactId, SolveResult>>& results,
+    bool cache_hit) {
+  std::string out = "plan provenance:\n";
+  out += "  fingerprint : " + plan.fingerprint() + "\n";
+  out += "  class       : ";
+  out += HierarchyClassName(plan.classification());
+  out += plan.inside_frontier() ? " (inside frontier)" : " (outside frontier)";
+  out += "\n";
+  out += "  plan cache  : ";
+  out += cache_hit ? "hit" : "miss (compiled)";
+  out += "\n";
+  // Engines in first-use order, each with how many facts it scored.
+  std::vector<std::pair<std::string, int>> engines;
+  for (const auto& [fact, result] : results) {
+    auto it = std::find_if(engines.begin(), engines.end(),
+                           [&result](const auto& entry) {
+                             return entry.first == result.algorithm;
+                           });
+    if (it == engines.end()) {
+      engines.emplace_back(result.algorithm, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  out += "  engines     : ";
+  if (engines.empty()) {
+    out += "none (no endogenous facts)";
+  } else {
+    for (size_t i = 0; i < engines.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += engines[i].first + " (" + std::to_string(engines[i].second) +
+             (engines[i].second == 1 ? " fact)" : " facts)");
+    }
+  }
+  out += "\n";
+  return out;
+}
+
 }  // namespace shapcq

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "shapcq/data/database.h"
+#include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/solver.h"
 
 namespace shapcq {
@@ -37,6 +38,15 @@ std::string FormatAttributionReport(
 std::string SummarizeAttribution(
     const Database& db,
     const std::vector<std::pair<FactId, SolveResult>>& results);
+
+// Provenance footer making attribution output auditable: which compiled
+// plan produced the results (canonical fingerprint, hierarchy class,
+// frontier verdict), whether the plan came from the PlanCache, and the
+// engines that actually scored facts with their per-engine fact counts.
+std::string FormatPlanProvenance(
+    const AttributionPlan& plan,
+    const std::vector<std::pair<FactId, SolveResult>>& results,
+    bool cache_hit);
 
 }  // namespace shapcq
 

@@ -1,7 +1,5 @@
 #include "shapcq/shapley/session.h"
 
-#include <atomic>
-
 #include "shapcq/shapley/brute_force.h"
 #include "shapcq/shapley/solver.h"
 #include "shapcq/util/check.h"
@@ -47,31 +45,18 @@ StatusOr<Rational> ScoreOneWith(const EngineProvider& engine,
 
 }  // namespace
 
+SolverSession::SolverSession(std::shared_ptr<const AttributionPlan> plan,
+                             const Database& db)
+    : plan_(std::move(plan)), db_(db) {
+  SHAPCQ_CHECK(plan_ != nullptr);
+}
+
 SolverSession::SolverSession(AggregateQuery a, const Database& db)
-    : a_(std::move(a)),
-      db_(db),
-      engines_(EngineRegistry::Global().CandidatesFor(a_)) {}
-
-HierarchyClass SolverSession::classification() const {
-  if (!classification_.has_value()) {
-    classification_ = Classify(a_.query);
-  }
-  return *classification_;
-}
-
-bool SolverSession::inside_frontier() const {
-  if (a_.query.HasSelfJoin()) return false;
-  return AtLeast(classification(), TractabilityFrontier(a_.alpha));
-}
-
-StatusOr<std::string> SolverSession::ExactAlgorithmName() const {
-  if (engines_.empty()) return UnsupportedError("no exact engine");
-  return engines_[0]->name;
-}
+    : SolverSession(PlanCache::Global().GetOrCompile(a), db) {}
 
 const SupportEvaluator& SolverSession::support_evaluator() {
   if (support_evaluator_ == nullptr) {
-    support_evaluator_ = std::make_unique<SupportEvaluator>(a_, db_);
+    support_evaluator_ = std::make_unique<SupportEvaluator>(a(), db_);
   }
   return *support_evaluator_;
 }
@@ -80,9 +65,9 @@ StatusOr<SolveResult> SolverSession::ComputeExact(FactId fact,
                                                   const SolverOptions& options,
                                                   Status* first_failure) const {
   Status failure = UnsupportedError(kNoEngineMessage);
-  for (const EngineProvider* engine : engines_) {
+  for (const EngineProvider* engine : plan_->engines()) {
     StatusOr<Rational> score =
-        ScoreOneWith(*engine, a_, db_, fact, options.score);
+        ScoreOneWith(*engine, a(), db_, fact, options.score);
     if (score.ok()) {
       return ExactResult(std::move(score).value(), engine->name);
     }
@@ -103,7 +88,7 @@ StatusOr<SolveResult> SolverSession::Compute(FactId fact,
       return ComputeExact(fact, options, nullptr);
     case SolveMethod::kBruteForce: {
       StatusOr<Rational> score =
-          BruteForceScore(a_, db_, fact, options.score);
+          BruteForceScore(a(), db_, fact, options.score);
       if (!score.ok()) return score.status();
       return ExactResult(std::move(score).value(), "brute-force");
     }
@@ -129,75 +114,83 @@ StatusOr<SolveResult> SolverSession::Compute(FactId fact,
   SHAPCQ_UNREACHABLE();
 }
 
-StatusOr<std::vector<std::pair<FactId, SolveResult>>>
-SolverSession::ComputeAllExact(const SolverOptions& options,
-                               Status* first_failure) const {
+std::vector<size_t> SolverSession::ExactSweep(
+    const std::vector<FactId>& facts, const SolverOptions& options,
+    std::vector<SolveResult>* results, Status* first_failure) const {
+  SHAPCQ_CHECK(results->size() == facts.size());
   Status failure = UnsupportedError(kNoEngineMessage);
-  std::vector<FactId> facts = db_.EndogenousFacts();
-  for (const EngineProvider* engine : engines_) {
+  auto note_failure = [&failure](const Status& status) {
+    if (failure.message() == kNoEngineMessage) failure = status;
+  };
+  std::vector<size_t> remaining(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) remaining[i] = i;
+  for (const EngineProvider* engine : plan_->engines()) {
+    if (remaining.empty()) break;
     if (engine->score_all != nullptr) {
+      // The batched scorer covers every endogenous fact in one run, so it
+      // serves leftover subsets too (one batch beats a per-fact sweep of
+      // the leftovers whenever more than a handful of facts remain, and
+      // its values are the per-fact values by contract). The per-fact
+      // sweep below stays as the fallback for batch failures.
       StatusOr<std::vector<std::pair<FactId, Rational>>> batch =
-          engine->score_all(a_, db_, options);
+          engine->score_all(a(), db_, options);
       if (batch.ok()) {
-        std::vector<std::pair<FactId, SolveResult>> results;
-        results.reserve(batch->size());
-        for (auto& [fact, score] : *batch) {
-          results.emplace_back(fact,
-                               ExactResult(std::move(score), engine->name));
+        // The contract guarantees one entry per endogenous fact,
+        // ascending — aligned with `facts`. Guard anyway so a misbehaving
+        // custom engine degrades to "failed" instead of mixing up facts.
+        bool aligned = batch->size() == facts.size();
+        for (size_t i = 0; aligned && i < facts.size(); ++i) {
+          aligned = (*batch)[i].first == facts[i];
         }
-        return results;
+        if (aligned) {
+          for (size_t idx : remaining) {
+            (*results)[idx] = ExactResult(std::move((*batch)[idx].second),
+                                          engine->name);
+          }
+          remaining.clear();
+          break;
+        }
+        note_failure(InternalError("engine '" + engine->name +
+                                   "' returned a misaligned batch"));
+      } else {
+        note_failure(batch.status());
       }
-      if (failure.message() == kNoEngineMessage) failure = batch.status();
-      continue;
     }
     if (engine->score_one == nullptr && engine->sum_k == nullptr) continue;
-    // Per-fact sweep with this engine, fanned out over the thread pool.
-    // Slot i holds fact i's result, so the output order is deterministic.
+    // Per-fact sweep with this engine over the still-open facts, fanned out
+    // over the thread pool. Slot i holds remaining[i]'s outcome, so the
+    // result is independent of scheduling; failing facts stay open for the
+    // next engine instead of dragging the successes along.
     std::vector<StatusOr<Rational>> scores(
-        facts.size(), StatusOr<Rational>(UnsupportedError("unset")));
-    std::atomic<bool> failed{false};
+        remaining.size(), StatusOr<Rational>(UnsupportedError("unset")));
     ParallelFor(
-        static_cast<int64_t>(facts.size()),
+        static_cast<int64_t>(remaining.size()),
         [&](int64_t i) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          FactId fact = facts[static_cast<size_t>(i)];
+          FactId fact = facts[remaining[static_cast<size_t>(i)]];
           scores[static_cast<size_t>(i)] =
-              ScoreOneWith(*engine, a_, db_, fact, options.score);
-          if (!scores[static_cast<size_t>(i)].ok()) {
-            failed.store(true, std::memory_order_relaxed);
-          }
+              ScoreOneWith(*engine, a(), db_, fact, options.score);
         },
         options.num_threads);
-    bool all_ok = true;
-    for (const StatusOr<Rational>& score : scores) {
-      if (score.ok()) continue;
-      all_ok = false;
-      // Slots skipped by the early abort keep the "unset" sentinel; record
-      // the first genuine engine failure instead.
-      if (failure.message() == kNoEngineMessage &&
-          score.status().message() != "unset") {
-        failure = score.status();
+    std::vector<size_t> still_open;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (scores[i].ok()) {
+        (*results)[remaining[i]] =
+            ExactResult(std::move(scores[i]).value(), engine->name);
+      } else {
+        note_failure(scores[i].status());
+        still_open.push_back(remaining[i]);
       }
     }
-    if (all_ok) {
-      std::vector<std::pair<FactId, SolveResult>> results;
-      results.reserve(facts.size());
-      for (size_t i = 0; i < facts.size(); ++i) {
-        results.emplace_back(
-            facts[i],
-            ExactResult(std::move(scores[i]).value(), engine->name));
-      }
-      return results;
-    }
+    remaining = std::move(still_open);
   }
-  if (first_failure != nullptr) *first_failure = failure;
-  return failure;
+  if (first_failure != nullptr && !remaining.empty()) *first_failure = failure;
+  return remaining;
 }
 
 StatusOr<std::vector<std::pair<FactId, SolveResult>>>
 SolverSession::BruteForceAll(const SolverOptions& options) const {
   StatusOr<std::vector<std::pair<FactId, Rational>>> scores =
-      BruteForceScoreAll(a_, db_, options.score);
+      BruteForceScoreAll(a(), db_, options.score);
   if (!scores.ok()) return scores.status();
   std::vector<std::pair<FactId, SolveResult>> results;
   results.reserve(scores->size());
@@ -207,30 +200,45 @@ SolverSession::BruteForceAll(const SolverOptions& options) const {
   return results;
 }
 
-StatusOr<std::vector<std::pair<FactId, SolveResult>>>
-SolverSession::MonteCarloAll(const SolverOptions& options) {
+Status SolverSession::MonteCarloFor(const std::vector<FactId>& facts,
+                                    const std::vector<size_t>& indices,
+                                    const SolverOptions& options,
+                                    std::vector<SolveResult>* results) {
   const SupportEvaluator& evaluator = support_evaluator();
-  std::vector<FactId> facts = db_.EndogenousFacts();
   std::vector<StatusOr<MonteCarloResult>> estimates(
-      facts.size(), StatusOr<MonteCarloResult>(UnsupportedError("unset")));
+      indices.size(), StatusOr<MonteCarloResult>(UnsupportedError("unset")));
   // Each per-fact run seeds its own generator (exactly like the per-fact
   // path), so the fan-out changes nothing about the estimates.
   ParallelFor(
-      static_cast<int64_t>(facts.size()),
+      static_cast<int64_t>(indices.size()),
       [&](int64_t i) {
-        FactId fact = facts[static_cast<size_t>(i)];
+        FactId fact = facts[indices[static_cast<size_t>(i)]];
         estimates[static_cast<size_t>(i)] =
             options.score == ScoreKind::kShapley
                 ? MonteCarloShapley(evaluator, fact, options.monte_carlo)
                 : MonteCarloBanzhaf(evaluator, fact, options.monte_carlo);
       },
       options.num_threads);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (!estimates[i].ok()) return estimates[i].status();
+    (*results)[indices[i]] =
+        ApproximateResult(estimates[i]->estimate, "monte-carlo");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::pair<FactId, SolveResult>>>
+SolverSession::MonteCarloAll(const SolverOptions& options) {
+  std::vector<FactId> facts = db_.EndogenousFacts();
+  std::vector<size_t> all(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) all[i] = i;
+  std::vector<SolveResult> solved(facts.size());
+  Status status = MonteCarloFor(facts, all, options, &solved);
+  if (!status.ok()) return status;
   std::vector<std::pair<FactId, SolveResult>> results;
   results.reserve(facts.size());
   for (size_t i = 0; i < facts.size(); ++i) {
-    if (!estimates[i].ok()) return estimates[i].status();
-    results.emplace_back(
-        facts[i], ApproximateResult(estimates[i]->estimate, "monte-carlo"));
+    results.emplace_back(facts[i], std::move(solved[i]));
   }
   return results;
 }
@@ -243,15 +251,39 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
     case SolveMethod::kMonteCarlo:
       return MonteCarloAll(options);
     case SolveMethod::kExactOnly:
-      return ComputeAllExact(options, nullptr);
     case SolveMethod::kAuto: {
-      StatusOr<std::vector<std::pair<FactId, SolveResult>>> exact =
-          ComputeAllExact(options, nullptr);
-      if (exact.ok()) return exact;
-      if (db_.num_endogenous() <= kBruteForceMaxPlayers) {
-        return BruteForceAll(options);
+      std::vector<FactId> facts = db_.EndogenousFacts();
+      std::vector<SolveResult> solved(facts.size());
+      Status failure = UnsupportedError(kNoEngineMessage);
+      std::vector<size_t> remaining =
+          ExactSweep(facts, options, &solved, &failure);
+      if (!remaining.empty()) {
+        if (options.method == SolveMethod::kExactOnly) return failure;
+        // Fallback for the unsolved facts only — engine successes stay,
+        // exactly like per-fact kAuto calls.
+        if (db_.num_endogenous() <= kBruteForceMaxPlayers) {
+          // One shared lattice sweep covers every fact (ascending, aligned
+          // with `facts`); the open ones take its values.
+          StatusOr<std::vector<std::pair<FactId, Rational>>> brute =
+              BruteForceScoreAll(a(), db_, options.score);
+          if (!brute.ok()) return brute.status();
+          SHAPCQ_CHECK(brute->size() == facts.size());
+          for (size_t idx : remaining) {
+            SHAPCQ_CHECK((*brute)[idx].first == facts[idx]);
+            solved[idx] = ExactResult(std::move((*brute)[idx].second),
+                                      "brute-force");
+          }
+        } else {
+          Status status = MonteCarloFor(facts, remaining, options, &solved);
+          if (!status.ok()) return status;
+        }
       }
-      return MonteCarloAll(options);
+      std::vector<std::pair<FactId, SolveResult>> results;
+      results.reserve(facts.size());
+      for (size_t i = 0; i < facts.size(); ++i) {
+        results.emplace_back(facts[i], std::move(solved[i]));
+      }
+      return results;
     }
   }
   SHAPCQ_UNREACHABLE();
@@ -259,13 +291,13 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
 
 StatusOr<SumKSeries> SolverSession::ComputeSumKSeries() const {
   Status failure = UnsupportedError(kNoEngineMessage);
-  for (const EngineProvider* engine : engines_) {
+  for (const EngineProvider* engine : plan_->engines()) {
     if (engine->sum_k == nullptr) continue;
-    StatusOr<SumKSeries> series = engine->sum_k(a_, db_);
+    StatusOr<SumKSeries> series = engine->sum_k(a(), db_);
     if (series.ok()) return series;
     if (failure.message() == kNoEngineMessage) failure = series.status();
   }
-  StatusOr<SumKSeries> brute = BruteForceSumK(a_, db_);
+  StatusOr<SumKSeries> brute = BruteForceSumK(a(), db_);
   if (brute.ok()) return brute;
   return failure;
 }

@@ -1,31 +1,31 @@
-// SolverSession: a reusable per-(query, database) solving context.
+// SolverSession: executes a compiled AttributionPlan against one Database.
 //
-// The solver façade used to rebuild everything per fact: re-classify the
-// query, re-select engines, re-enumerate homomorphisms, and re-run the DP
-// scaffolding from scratch for each of the n endogenous facts — making
-// all-facts attribution (the paper's headline operation) n× the cost of a
-// single fact. A SolverSession computes the shared parts once:
+// The solving stack is split in two layers (plan.h):
 //
-//   * query classification and frontier verdict,
-//   * the applicable engine providers (EngineRegistry),
-//   * the homomorphism-support structure for sampling (SupportEvaluator),
+//   * AttributionPlan — the immutable, database-independent layer compiled
+//     once per query: classification, frontier verdict, the ordered engine
+//     chain, and the query-side structural analysis. Shared across
+//     databases and sessions through the fingerprint-keyed PlanCache.
+//   * SolverSession — the thin executor binding a plan to a Database. It
+//     owns only the per-(plan, db) state: the homomorphism-support
+//     structure for sampling (SupportEvaluator), built on first use.
 //
-// and answers per-fact Shapley/Banzhaf queries against that state.
-// ComputeAll additionally batches across facts: engines with a batched
-// scorer (e.g. Sum/Count) share per-answer work across every fact; the
-// brute-force fallback sweeps the subset lattice once for all facts; the
-// Monte Carlo fallback samples through the shared support structure; and
-// per-fact engine runs fan out over a thread pool with deterministic
-// result order.
+// ComputeAll batches across facts: engines with a batched scorer (e.g.
+// Sum/Count) share per-answer work across every fact; the brute-force
+// fallback sweeps the subset lattice once for all facts; the Monte Carlo
+// fallback samples through the shared support structure; and per-fact
+// engine runs fan out over a thread pool with deterministic result order.
 //
 // Equivalence contract: ComputeAll produces exactly the values of calling
 // Compute per fact. Exact paths are bitwise-identical (exact rational
-// arithmetic; batching only reorders summations), and the Monte Carlo path
-// reuses the per-fact seeding, so even estimates match. The one divergence:
-// an engine that fails for SOME facts but not others makes ComputeAll move
-// every fact to the next engine/fallback, whereas per-fact calls switch
-// only the failing facts — values stay equal whenever the fallback is
-// exact. No built-in engine behaves that way on self-join-free inputs.
+// arithmetic; batching only reorders summations), the Monte Carlo path
+// reuses the per-fact seeding, so even estimates match, and an engine that
+// fails for some facts keeps its successes — only the failing facts move
+// to the next engine or fallback, exactly like per-fact calls. One carve-
+// out: a custom engine registering ONLY a batched scorer (no score_one /
+// sum_k) is reachable from ComputeAll but not from per-fact Compute; every
+// built-in engine has a per-fact entry point, so the paths agree for all
+// of them.
 //
 // A session borrows the database: it must outlive the session, and facts
 // must not be added while the session is in use.
@@ -34,7 +34,6 @@
 #define SHAPCQ_SHAPLEY_SESSION_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +43,7 @@
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/monte_carlo.h"
+#include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/score.h"
 #include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
@@ -59,22 +59,32 @@ struct SolveResult {
 
 class SolverSession {
  public:
-  // Engines come from EngineRegistry::Global().
+  // Binds a precompiled plan to `db` (the serving path: compile once,
+  // execute against many databases).
+  SolverSession(std::shared_ptr<const AttributionPlan> plan,
+                const Database& db);
+  // Convenience: fetches (or compiles) the Shapley-keyed plan through
+  // PlanCache::Global().
   SolverSession(AggregateQuery a, const Database& db);
 
-  const AggregateQuery& aggregate_query() const { return a_; }
+  const AttributionPlan& plan() const { return *plan_; }
+  const AggregateQuery& aggregate_query() const {
+    return plan_->aggregate_query();
+  }
   const Database& database() const { return db_; }
 
-  // Hierarchy class of the query (computed once per session).
-  HierarchyClass classification() const;
+  // Hierarchy class of the query (from the compiled plan).
+  HierarchyClass classification() const { return plan_->classification(); }
   // Whether the query lies inside the aggregate's tractability frontier.
-  bool inside_frontier() const;
+  bool inside_frontier() const { return plan_->inside_frontier(); }
   // Applicable engine providers, in preference order.
   const std::vector<const EngineProvider*>& engines() const {
-    return engines_;
+    return plan_->engines();
   }
   // Name of the exact engine tried first, if any.
-  StatusOr<std::string> ExactAlgorithmName() const;
+  StatusOr<std::string> ExactAlgorithmName() const {
+    return plan_->ExactAlgorithmName();
+  }
 
   // The shared homomorphism-support structure (built on first use).
   const SupportEvaluator& support_evaluator();
@@ -92,19 +102,33 @@ class SolverSession {
   StatusOr<SumKSeries> ComputeSumKSeries() const;
 
  private:
+  const AggregateQuery& a() const { return plan_->aggregate_query(); }
+
   StatusOr<SolveResult> ComputeExact(FactId fact, const SolverOptions& options,
                                      Status* first_failure) const;
-  StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAllExact(
-      const SolverOptions& options, Status* first_failure) const;
+  // Walks the engine chain over `facts`: each fact keeps the first engine
+  // that scores it and only failing facts move on. Solved facts land in
+  // (*results)[i]; the returned indices (into `facts`, ascending) are the
+  // facts no engine could solve. `first_failure` records the first genuine
+  // engine error.
+  std::vector<size_t> ExactSweep(const std::vector<FactId>& facts,
+                                 const SolverOptions& options,
+                                 std::vector<SolveResult>* results,
+                                 Status* first_failure) const;
   StatusOr<std::vector<std::pair<FactId, SolveResult>>> BruteForceAll(
       const SolverOptions& options) const;
   StatusOr<std::vector<std::pair<FactId, SolveResult>>> MonteCarloAll(
       const SolverOptions& options);
+  // Monte Carlo estimates for facts[i], i in `indices`, written to
+  // (*results)[i]. Per-fact seeding through the shared support evaluator —
+  // identical to per-fact kMonteCarlo calls — fanned out over the pool.
+  Status MonteCarloFor(const std::vector<FactId>& facts,
+                       const std::vector<size_t>& indices,
+                       const SolverOptions& options,
+                       std::vector<SolveResult>* results);
 
-  AggregateQuery a_;
+  std::shared_ptr<const AttributionPlan> plan_;
   const Database& db_;
-  std::vector<const EngineProvider*> engines_;
-  mutable std::optional<HierarchyClass> classification_;
   std::unique_ptr<SupportEvaluator> support_evaluator_;
 };
 

@@ -1,5 +1,6 @@
 #include "shapcq/shapley/solver.h"
 
+#include "shapcq/shapley/plan.h"
 #include "shapcq/util/check.h"
 
 namespace shapcq {
@@ -29,28 +30,27 @@ bool IsInsideFrontier(const AggregateFunction& alpha,
 }
 
 StatusOr<std::string> ShapleySolver::ExactAlgorithmName() const {
-  std::vector<const EngineProvider*> engines =
-      EngineRegistry::Global().CandidatesFor(a_);
-  if (engines.empty()) return UnsupportedError("no exact engine");
-  return engines[0]->name;
+  return PlanCache::Global().GetOrCompile(a_)->ExactAlgorithmName();
 }
 
 StatusOr<SolveResult> ShapleySolver::Compute(const Database& db, FactId fact,
                                              const SolverOptions& options) const {
-  SolverSession session(a_, db);
+  SolverSession session(PlanCache::Global().GetOrCompile(a_, options.score),
+                        db);
   return session.Compute(fact, options);
 }
 
 StatusOr<std::vector<std::pair<FactId, SolveResult>>>
 ShapleySolver::ComputeAll(const Database& db,
                           const SolverOptions& options) const {
-  SolverSession session(a_, db);
+  SolverSession session(PlanCache::Global().GetOrCompile(a_, options.score),
+                        db);
   return session.ComputeAll(options);
 }
 
 StatusOr<SumKSeries> ShapleySolver::ComputeSumKSeries(
     const Database& db) const {
-  SolverSession session(a_, db);
+  SolverSession session(PlanCache::Global().GetOrCompile(a_), db);
   return session.ComputeSumKSeries();
 }
 

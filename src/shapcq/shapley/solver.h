@@ -17,9 +17,13 @@
 //
 // Dispatch is driven by the EngineRegistry (engine_registry.h): each exact
 // algorithm registers a provider, so new engines plug in without touching
-// this façade. Per-call work is handled by a SolverSession (session.h);
-// hold a session yourself to amortize the shared state over many calls,
-// or use ComputeAll, which batches all facts through one session.
+// this façade. The database-independent layer — classification, frontier
+// verdict, engine chain — is compiled once per query into an
+// AttributionPlan and reused across databases and calls through the
+// fingerprint-keyed PlanCache (plan.h); a SolverSession (session.h) binds
+// the plan to a database per call. Hold a session yourself to also
+// amortize per-database state over many calls, or use ComputeAll, which
+// batches all facts through one session.
 
 #ifndef SHAPCQ_SHAPLEY_SOLVER_H_
 #define SHAPCQ_SHAPLEY_SOLVER_H_

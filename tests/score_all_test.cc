@@ -8,6 +8,7 @@
 // deterministic order) and gate parity (a batched scorer fails with
 // exactly the series engine's error).
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "shapcq/data/database.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/shapley/avg_quantile.h"
+#include "shapcq/shapley/plan.h"
+#include "shapcq/shapley/session.h"
 #include "shapcq/shapley/brute_force.h"
 #include "shapcq/shapley/min_max.h"
 #include "shapcq/shapley/min_max_monoid.h"
@@ -370,6 +373,55 @@ TEST(SumCountScoreAllShardingTest, FractionalWeightsIdenticalAcrossThreads) {
   ASSERT_EQ(reference->size(), sharded->size());
   for (size_t i = 0; i < reference->size(); ++i) {
     EXPECT_EQ((*reference)[i].second, (*sharded)[i].second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache sessions reproduce the direct batched scorers bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(ScoreAllWarmCacheTest, CachedPlanSessionsMatchDirectBatchedScorers) {
+  struct Case {
+    const char* label;
+    const char* query;
+    AggregateFunction alpha;
+    std::function<StatusOr<std::vector<std::pair<FactId, Rational>>>(
+        const AggregateQuery&, const Database&, const SolverOptions&)>
+        direct;
+  };
+  std::vector<Case> cases = {
+      {"sum", "Q(x) <- R(x), S(x, y), T(y)", AggregateFunction::Sum(),
+       SumCountScoreAll},
+      {"max", "Q(x, y) <- R(x, y), S(y)", AggregateFunction::Max(),
+       MinMaxScoreAll},
+      {"avg", "Q(x, y) <- R(x, y), S(y)", AggregateFunction::Avg(),
+       AvgQuantileScoreAll},
+  };
+  for (const Case& c : cases) {
+    ConjunctiveQuery q = MustParseQuery(c.query);
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 5;
+    db_options.seed = 41;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    AggregateQuery a{q, MakeTauId(0), c.alpha};
+    auto direct = c.direct(a, db, Options(ScoreKind::kShapley));
+    ASSERT_TRUE(direct.ok()) << c.label << ": "
+                             << direct.status().ToString();
+
+    PlanCache cache;
+    cache.GetOrCompile(a);  // cold compile
+    bool hit = false;
+    SolverSession warm(cache.GetOrCompile(a, ScoreKind::kShapley, &hit), db);
+    EXPECT_TRUE(hit) << c.label;
+    auto all = warm.ComputeAll();
+    ASSERT_TRUE(all.ok()) << c.label << ": " << all.status().ToString();
+    ASSERT_EQ(all->size(), direct->size()) << c.label;
+    for (size_t i = 0; i < all->size(); ++i) {
+      EXPECT_EQ((*all)[i].first, (*direct)[i].first) << c.label;
+      EXPECT_TRUE((*all)[i].second.is_exact) << c.label;
+      EXPECT_EQ((*all)[i].second.exact, (*direct)[i].second)
+          << c.label << " fact " << (*all)[i].first;
+    }
   }
 }
 

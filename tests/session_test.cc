@@ -23,6 +23,7 @@
 #include "shapcq/query/evaluator.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/shapley/brute_force.h"
+#include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/session.h"
 #include "shapcq/shapley/solver.h"
 #include "shapcq/shapley/sum_count.h"
@@ -170,6 +171,51 @@ TEST(SessionDifferentialTest, ComputeAllMatchesPerFactAcrossAggregates) {
       ExpectAllMatchesPerFact(
           a, db, SolverOptions{},
           a.ToString() + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SessionDifferentialTest, WarmCacheComputeAllIsBitwiseIdenticalToCold) {
+  // The façade routes through the global PlanCache: the first ComputeAll
+  // compiles (or reuses) the plan, the second is guaranteed warm. Both must
+  // match a cold, cache-bypassing compile bit for bit — values, exactness,
+  // and engine choice.
+  for (const AggCase& c : AggCases()) {
+    RandomQueryOptions query_options;
+    query_options.max_variables = 3;
+    query_options.seed = 17;
+    ConjunctiveQuery q = RandomQueryOfClass(c.frontier, query_options);
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 4;
+    db_options.seed = 23;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    if (db.num_endogenous() == 0) continue;
+    ValueFunctionPtr tau =
+        q.arity() > 0 ? MakeTauId(0) : MakeConstantTau(Rational(1));
+    AggregateQuery a{q, tau, c.alpha};
+    std::string label = a.ToString();
+
+    SolverSession cold_session(AttributionPlan::Compile(a), db);
+    auto cold = cold_session.ComputeAll();
+    ASSERT_TRUE(cold.ok()) << label << ": " << cold.status().ToString();
+
+    ShapleySolver solver(a);
+    auto first = solver.ComputeAll(db);
+    auto second = solver.ComputeAll(db);  // warm: plan served from cache
+    ASSERT_TRUE(first.ok()) << label;
+    ASSERT_TRUE(second.ok()) << label;
+    ASSERT_EQ(cold->size(), first->size()) << label;
+    ASSERT_EQ(cold->size(), second->size()) << label;
+    for (size_t i = 0; i < cold->size(); ++i) {
+      const auto& [fact, result] = (*cold)[i];
+      for (const auto* warm : {&first.value(), &second.value()}) {
+        EXPECT_EQ((*warm)[i].first, fact) << label;
+        EXPECT_EQ((*warm)[i].second.is_exact, result.is_exact) << label;
+        EXPECT_EQ((*warm)[i].second.exact, result.exact) << label;
+        EXPECT_EQ((*warm)[i].second.approximation, result.approximation)
+            << label;
+        EXPECT_EQ((*warm)[i].second.algorithm, result.algorithm) << label;
+      }
     }
   }
 }
