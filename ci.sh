@@ -8,8 +8,9 @@
 #   BUILD_TYPE=<type>    CMake build type (default Release)
 #   TEST_REGEX=<regex>   run only ctest targets matching the regex
 #                        (default: the whole suite). The TSan CI job uses
-#                        this to focus on the threaded batching tests and
-#                        the PlanCache concurrency tests (plan_test).
+#                        this to focus on the threaded batching tests, the
+#                        PlanCache concurrency tests (plan_test), and the
+#                        sharded lineage-circuit tests (lineage_test).
 set -euo pipefail
 
 cd "$(dirname "$0")"

@@ -12,7 +12,8 @@
 //              [--explain]        (print the compiled AttributionPlan:
 //                                  canonical fingerprint, hierarchy class,
 //                                  engine chain with batched-scorer
-//                                  availability, and PlanCache counters)
+//                                  availability, PlanCache counters, and
+//                                  lineage-circuit telemetry)
 //              [--repeat <n>]     (serving loop: run the all-facts solve n
 //                                  times, re-fetching the plan from the
 //                                  PlanCache each round to exercise the
@@ -39,6 +40,7 @@
 #include "shapcq/data/csv.h"
 #include "shapcq/data/database.h"
 #include "shapcq/hierarchy/classification.h"
+#include "shapcq/lineage/engine.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/report.h"
@@ -283,14 +285,27 @@ int main(int argc, char** argv) {
   std::fputs(FormatAttributionReport(db, *results, report).c_str(), stdout);
   std::printf("\n%s\n", SummarizeAttribution(db, *results).c_str());
   std::putchar('\n');
-  std::fputs(FormatPlanProvenance(*plan, *results, cache_hit).c_str(),
-             stdout);
+  // The footer gets the solve options (Monte Carlo seed for the CI line)
+  // and the lineage-circuit telemetry accumulated by this process.
+  LineageStatsSnapshot lineage = LineageStats::Global().Snapshot();
+  std::fputs(
+      FormatPlanProvenance(*plan, *results, cache_hit, &options, &lineage)
+          .c_str(),
+      stdout);
   if (explain) {
     PlanCache::Stats stats = PlanCache::Global().stats();
     std::printf("plan cache      : %llu hits, %llu misses, %llu plans\n",
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses),
                 static_cast<unsigned long long>(stats.entries));
+    std::printf(
+        "lineage stats   : %llu circuits, %llu nodes, %llu/%llu compiler "
+        "cache hits, %llu budget fallbacks\n",
+        static_cast<unsigned long long>(lineage.circuits_compiled),
+        static_cast<unsigned long long>(lineage.circuit_nodes),
+        static_cast<unsigned long long>(lineage.cache_hits),
+        static_cast<unsigned long long>(lineage.cache_lookups),
+        static_cast<unsigned long long>(lineage.budget_fallbacks));
   }
   return 0;
 }

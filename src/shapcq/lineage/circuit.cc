@@ -1,0 +1,519 @@
+#include "shapcq/lineage/circuit.h"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+#include "shapcq/util/check.h"
+
+namespace shapcq {
+
+void MinimizeClauses(std::vector<std::vector<int>>* clauses) {
+  for (std::vector<int>& clause : *clauses) {
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  }
+  std::sort(clauses->begin(), clauses->end(),
+            [](const std::vector<int>& x, const std::vector<int>& y) {
+              return x.size() != y.size() ? x.size() < y.size() : x < y;
+            });
+  std::vector<std::vector<int>> minimal;
+  minimal.reserve(clauses->size());
+  for (std::vector<int>& clause : *clauses) {
+    bool dominated = false;
+    for (const std::vector<int>& kept : minimal) {
+      if (std::includes(clause.begin(), clause.end(), kept.begin(),
+                        kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(std::move(clause));
+  }
+  *clauses = std::move(minimal);
+}
+
+namespace {
+
+std::vector<int> ClauseUnion(const std::vector<std::vector<int>>& clauses) {
+  std::vector<int> vars;
+  for (const std::vector<int>& clause : clauses) {
+    vars.insert(vars.end(), clause.begin(), clause.end());
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+// Memo key: clause list flattened as [len, vars..., len, vars..., ...].
+// The minimized form is canonical, so equal formulas flatten identically.
+std::vector<int> FlattenKey(const std::vector<std::vector<int>>& clauses) {
+  std::vector<int> key;
+  size_t total = clauses.size();
+  for (const std::vector<int>& clause : clauses) total += clause.size();
+  key.reserve(total);
+  for (const std::vector<int>& clause : clauses) {
+    key.push_back(static_cast<int>(clause.size()));
+    key.insert(key.end(), clause.begin(), clause.end());
+  }
+  return key;
+}
+
+struct KeyHash {
+  size_t operator()(const std::vector<int>& key) const {
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (int x : key) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(x));
+      h *= 1099511628211ull;  // FNV prime
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+class DnfCompiler {
+ public:
+  DnfCompiler(int num_vars, const CircuitBudget& budget) : budget_(budget) {
+    circuit_.num_vars = num_vars;
+    circuit_.nodes.push_back(
+        {LineageCircuit::NodeKind::kFalse, {}, -1, -1, -1, {}});
+    circuit_.nodes.push_back(
+        {LineageCircuit::NodeKind::kTrue, {}, -1, -1, -1, {}});
+  }
+
+  StatusOr<LineageCircuit> Compile(std::vector<std::vector<int>> clauses) {
+    if (circuit_.num_vars > budget_.max_vars) {
+      return UnsupportedError(
+          "lineage circuit budget exceeded: " +
+          std::to_string(circuit_.num_vars) + " variables > max_vars " +
+          std::to_string(budget_.max_vars));
+    }
+    if (static_cast<int64_t>(clauses.size()) > budget_.max_clauses) {
+      return UnsupportedError(
+          "lineage circuit budget exceeded: " +
+          std::to_string(clauses.size()) + " clauses > max_clauses " +
+          std::to_string(budget_.max_clauses));
+    }
+    MinimizeClauses(&clauses);
+    int root = CompileMinimized(std::move(clauses));
+    if (root < 0) return failure_;
+    circuit_.root = root;
+    return std::move(circuit_);
+  }
+
+ private:
+  // Compiles an already-minimized clause set; returns the node id, or -1
+  // with `failure_` set when the budget is exhausted.
+  //
+  // Decomposable AND detection, two sound cases for a monotone DNF:
+  //   * a single clause is a conjunction of independent variables;
+  //   * a variable set contained in EVERY clause factors out:
+  //     φ = (∧ common) ∧ φ', with φ' over the remaining variables.
+  // (Variable-disjoint clause GROUPS combine by OR, not AND, so they are
+  // not an AND decomposition; instead the branch heuristic below resolves
+  // one connected component before touching the next, which — together
+  // with the formula cache — keeps the Shannon DAG additive rather than
+  // multiplicative across independent groups.)
+  int CompileMinimized(std::vector<std::vector<int>> clauses) {
+    if (clauses.empty()) return 0;           // no clause: constant false
+    if (clauses.front().empty()) return 1;   // empty clause: constant true
+
+    std::vector<int> key = FlattenKey(clauses);
+    ++circuit_.cache_lookups;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++circuit_.cache_hits;
+      return it->second;
+    }
+
+    std::vector<int> vars = ClauseUnion(clauses);
+    int node = -1;
+
+    if (clauses.size() == 1) {
+      node = CompileClause(clauses.front());
+    } else {
+      std::vector<int> common = CommonVars(clauses);
+      if (!common.empty()) {
+        // Factor the shared conjunct out. Every clause strictly contains
+        // `common` (a clause equal to it would have subsumed the rest in
+        // minimization), so the residual has no empty clause; removing an
+        // equal set from every clause preserves subsumption-freeness, and
+        // MinimizeClauses only restores the canonical order.
+        for (std::vector<int>& clause : clauses) {
+          std::vector<int> residual;
+          std::set_difference(clause.begin(), clause.end(), common.begin(),
+                              common.end(), std::back_inserter(residual));
+          clause = std::move(residual);
+        }
+        MinimizeClauses(&clauses);
+        int rest = CompileMinimized(std::move(clauses));
+        if (rest < 0) return -1;
+        std::vector<int> children;
+        children.reserve(common.size() + 1);
+        for (int v : common) {
+          int leaf = CompileMinimized({{v}});
+          if (leaf < 0) return -1;
+          children.push_back(leaf);
+        }
+        children.push_back(rest);
+        node = NewAnd(std::move(children), std::move(vars));
+        memo_.emplace(std::move(key), node);
+        return node;
+      }
+      // Shannon expansion on the most frequent variable of the first
+      // connected component (ties: smallest id). Setting v = 1 shrinks
+      // the clauses containing it; setting v = 0 erases them.
+      int branch_var = PickBranchVariable(clauses, vars);
+      std::vector<std::vector<int>> hi;
+      std::vector<std::vector<int>> lo;
+      hi.reserve(clauses.size());
+      for (std::vector<int>& clause : clauses) {
+        auto pos = std::lower_bound(clause.begin(), clause.end(), branch_var);
+        if (pos != clause.end() && *pos == branch_var) {
+          clause.erase(pos);
+          hi.push_back(std::move(clause));
+        } else {
+          hi.push_back(clause);
+          lo.push_back(std::move(clause));
+        }
+      }
+      // Removing a variable can create subsumption (or an empty clause);
+      // re-minimize the hi branch. The lo branch only dropped clauses, so
+      // it stays minimal and ordered.
+      MinimizeClauses(&hi);
+      int hi_id = CompileMinimized(std::move(hi));
+      if (hi_id < 0) return -1;
+      int lo_id = CompileMinimized(std::move(lo));
+      if (lo_id < 0) return -1;
+      node = NewDecision(branch_var, hi_id, lo_id, std::move(vars));
+    }
+    if (node < 0) return -1;
+    memo_.emplace(std::move(key), node);
+    return node;
+  }
+
+  // A single clause: AND over per-variable decision leaves
+  // (variable-disjoint, hence decomposable).
+  int CompileClause(const std::vector<int>& clause) {
+    if (clause.size() == 1) {
+      return NewDecision(clause.front(), 1, 0, {clause.front()});
+    }
+    std::vector<int> children;
+    children.reserve(clause.size());
+    for (int v : clause) {
+      int leaf = CompileMinimized({{v}});
+      if (leaf < 0) return -1;
+      children.push_back(leaf);
+    }
+    return NewAnd(std::move(children), clause);
+  }
+
+  static std::vector<int> CommonVars(
+      const std::vector<std::vector<int>>& clauses) {
+    std::vector<int> common = clauses.front();
+    for (size_t c = 1; c < clauses.size() && !common.empty(); ++c) {
+      std::vector<int> next;
+      std::set_intersection(common.begin(), common.end(), clauses[c].begin(),
+                            clauses[c].end(), std::back_inserter(next));
+      common = std::move(next);
+    }
+    return common;
+  }
+
+  // The most frequent variable within the connected component (of the
+  // clause-variable incidence graph) that contains the smallest variable.
+  // Staying inside one component until it is resolved keeps independent
+  // clause groups from interleaving in the expansion, so the cache
+  // collapses the cross product of their partial states.
+  static int PickBranchVariable(const std::vector<std::vector<int>>& clauses,
+                                const std::vector<int>& vars) {
+    // Union-find over the clause variables.
+    std::unordered_map<int, int> index;
+    index.reserve(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) {
+      index.emplace(vars[i], static_cast<int>(i));
+    }
+    std::vector<int> parent(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) parent[i] = static_cast<int>(i);
+    auto find = [&parent](int x) {
+      while (parent[static_cast<size_t>(x)] != x) {
+        parent[static_cast<size_t>(x)] =
+            parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+        x = parent[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    for (const std::vector<int>& clause : clauses) {
+      for (size_t j = 1; j < clause.size(); ++j) {
+        int a = find(index[clause[0]]);
+        int b = find(index[clause[j]]);
+        if (a != b) parent[static_cast<size_t>(b)] = a;
+      }
+    }
+    const int first_component = find(0);  // component of the smallest var
+    int best_var = -1;
+    int best_count = 0;
+    std::unordered_map<int, int> frequency;
+    for (const std::vector<int>& clause : clauses) {
+      for (int v : clause) ++frequency[v];
+    }
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (find(static_cast<int>(i)) != first_component) continue;
+      int count = frequency[vars[i]];
+      if (count > best_count ||
+          (count == best_count && (best_var < 0 || vars[i] < best_var))) {
+        best_var = vars[i];
+        best_count = count;
+      }
+    }
+    SHAPCQ_CHECK(best_var >= 0);
+    return best_var;
+  }
+
+  int NewDecision(int var, int hi, int lo, std::vector<int> node_vars) {
+    return NewNode({LineageCircuit::NodeKind::kDecision, std::move(node_vars),
+                    var, hi, lo, {}});
+  }
+
+  int NewAnd(std::vector<int> children, std::vector<int> node_vars) {
+    return NewNode({LineageCircuit::NodeKind::kAnd, std::move(node_vars), -1,
+                    -1, -1, std::move(children)});
+  }
+
+  int NewNode(LineageCircuit::Node node) {
+    if (circuit_.num_nodes() >= budget_.max_nodes) {
+      failure_ = UnsupportedError(
+          "lineage circuit budget exceeded: more than " +
+          std::to_string(budget_.max_nodes) + " nodes");
+      return -1;
+    }
+    circuit_.nodes.push_back(std::move(node));
+    return static_cast<int>(circuit_.nodes.size()) - 1;
+  }
+
+  const CircuitBudget& budget_;
+  LineageCircuit circuit_;
+  Status failure_ = UnsupportedError("lineage circuit compilation failed");
+  std::unordered_map<std::vector<int>, int, KeyHash> memo_;
+};
+
+// --- counting -------------------------------------------------------------
+
+// Count vectors indexed by assignment weight; an empty vector is the zero
+// polynomial.
+using Poly = std::vector<BigInt>;
+
+// c[k] = Σ_i a[i]·b[k−i], truncated to max_len entries.
+Poly Conv(const Poly& a, const Poly& b, size_t max_len) {
+  if (a.empty() || b.empty()) return {};
+  size_t len = std::min(a.size() + b.size() - 1, max_len);
+  Poly c(len);
+  for (size_t i = 0; i < a.size() && i < len; ++i) {
+    if (a[i].is_zero()) continue;
+    for (size_t j = 0; j < b.size() && i + j < len; ++j) {
+      if (b[j].is_zero()) continue;
+      c[i + j] += a[i] * b[j];
+    }
+  }
+  return c;
+}
+
+// The polynomial of one extra variable forced to 1: shifts weights up.
+Poly Shift1(const Poly& p, size_t max_len) {
+  if (p.empty()) return {};
+  Poly shifted(std::min(p.size() + 1, max_len));
+  for (size_t i = 0; i + 1 < max_len && i < p.size(); ++i) {
+    shifted[i + 1] = p[i];
+  }
+  return shifted;
+}
+
+void AddInto(Poly* acc, const Poly& add) {
+  if (add.empty()) return;
+  if (acc->size() < add.size()) acc->resize(add.size());
+  for (size_t i = 0; i < add.size(); ++i) {
+    if (!add[i].is_zero()) (*acc)[i] += add[i];
+  }
+}
+
+// parent \ child \ {skip_var}: the "gap" variables a child edge smooths
+// over (both inputs sorted).
+std::vector<int> GapVars(const std::vector<int>& parent,
+                         const std::vector<int>& child, int skip_var) {
+  std::vector<int> gap;
+  std::set_difference(parent.begin(), parent.end(), child.begin(),
+                      child.end(), std::back_inserter(gap));
+  auto pos = std::lower_bound(gap.begin(), gap.end(), skip_var);
+  if (pos != gap.end() && *pos == skip_var) gap.erase(pos);
+  return gap;
+}
+
+}  // namespace
+
+StatusOr<LineageCircuit> CompileDnf(std::vector<std::vector<int>> clauses,
+                                    int num_vars,
+                                    const CircuitBudget& budget) {
+  for (const std::vector<int>& clause : clauses) {
+    for (int v : clause) {
+      SHAPCQ_CHECK(v >= 0 && v < num_vars);
+    }
+  }
+  DnfCompiler compiler(num_vars, budget);
+  return compiler.Compile(std::move(clauses));
+}
+
+CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
+                                     Combinatorics* comb) {
+  const size_t max_len = static_cast<size_t>(circuit.num_vars) + 1;
+  const auto& nodes = circuit.nodes;
+
+  // Bottom-up: counts[n][k] = satisfying assignments of node n's
+  // subformula over its own variable set, with exactly k ones. Creation
+  // order is topological (children first), so one ascending sweep
+  // suffices. Decision edges smooth the child's missing ("gap") variables
+  // with a binomial row; AND children partition the parent's variables,
+  // so their vectors convolve gap-free.
+  std::vector<Poly> counts(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const LineageCircuit::Node& node = nodes[i];
+    switch (node.kind) {
+      case LineageCircuit::NodeKind::kFalse:
+        break;  // zero polynomial
+      case LineageCircuit::NodeKind::kTrue:
+        counts[i] = {BigInt(1)};
+        break;
+      case LineageCircuit::NodeKind::kDecision: {
+        const size_t len = node.vars.size() + 1;
+        const auto& hi = nodes[static_cast<size_t>(node.hi)];
+        const auto& lo = nodes[static_cast<size_t>(node.lo)];
+        int64_t gap_hi = static_cast<int64_t>(node.vars.size()) - 1 -
+                         static_cast<int64_t>(hi.vars.size());
+        int64_t gap_lo = static_cast<int64_t>(node.vars.size()) - 1 -
+                         static_cast<int64_t>(lo.vars.size());
+        SHAPCQ_CHECK(gap_hi >= 0 && gap_lo >= 0);
+        Poly result =
+            Conv(Shift1(counts[static_cast<size_t>(node.hi)], len),
+                 comb->BinomialRow(gap_hi), len);
+        AddInto(&result, Conv(counts[static_cast<size_t>(node.lo)],
+                              comb->BinomialRow(gap_lo), len));
+        counts[i] = std::move(result);
+        break;
+      }
+      case LineageCircuit::NodeKind::kAnd: {
+        Poly result = {BigInt(1)};
+        for (int child : node.children) {
+          result = Conv(result, counts[static_cast<size_t>(child)], max_len);
+        }
+        counts[i] = std::move(result);
+        break;
+      }
+    }
+  }
+
+  CircuitModelCounts result;
+  result.by_size.assign(max_len, BigInt());
+  result.containing.assign(static_cast<size_t>(circuit.num_vars),
+                           std::vector<BigInt>());
+  auto add_containing = [&result, max_len](int v, const Poly& add) {
+    std::vector<BigInt>& acc = result.containing[static_cast<size_t>(v)];
+    if (acc.empty()) acc.assign(max_len, BigInt());
+    for (size_t i = 0; i < add.size(); ++i) {
+      if (!add[i].is_zero()) acc[i] += add[i];
+    }
+  };
+
+  // Top-down: ctx[n][t] = number of ways to extend any model of n to a
+  // satisfying root assignment using t ones outside n's variable set.
+  // Determinism (decision branches disagree on the decision variable) and
+  // decomposability (AND children are variable-disjoint) make every
+  // satisfying assignment trace exactly one accepting path, so the
+  // context-weighted counts partition the model set exactly.
+  const size_t root = static_cast<size_t>(circuit.root);
+  std::vector<Poly> ctx(nodes.size());
+  {
+    // Virtual edge into the root for variables outside the root's set
+    // (possible when the universe exceeds the formula's variables).
+    std::vector<int> all(static_cast<size_t>(circuit.num_vars));
+    for (int v = 0; v < circuit.num_vars; ++v) {
+      all[static_cast<size_t>(v)] = v;
+    }
+    std::vector<int> gap = GapVars(all, nodes[root].vars, -1);
+    const int64_t g = static_cast<int64_t>(gap.size());
+    ctx[root] = Poly(comb->BinomialRow(g));
+    Poly total = Conv(counts[root], ctx[root], max_len);
+    for (size_t k = 0; k < total.size(); ++k) result.by_size[k] = total[k];
+    if (g > 0) {
+      Poly gap_models = Shift1(
+          Conv(counts[root], comb->BinomialRow(g - 1), max_len), max_len);
+      for (int u : gap) add_containing(u, gap_models);
+    }
+  }
+
+  for (size_t i = root + 1; i-- > 2;) {
+    if (i >= nodes.size() || ctx[i].empty()) continue;
+    const LineageCircuit::Node& node = nodes[i];
+    if (node.kind == LineageCircuit::NodeKind::kDecision) {
+      const auto& hi = nodes[static_cast<size_t>(node.hi)];
+      const auto& lo = nodes[static_cast<size_t>(node.lo)];
+      std::vector<int> gap_hi = GapVars(node.vars, hi.vars, node.var);
+      std::vector<int> gap_lo = GapVars(node.vars, lo.vars, node.var);
+      const int64_t gh = static_cast<int64_t>(gap_hi.size());
+      const int64_t gl = static_cast<int64_t>(gap_lo.size());
+      // hi branch: every assignment through it sets the decision variable.
+      Poly through_hi =
+          Shift1(Conv(ctx[i], counts[static_cast<size_t>(node.hi)], max_len),
+                 max_len);
+      add_containing(node.var,
+                     Conv(through_hi, comb->BinomialRow(gh), max_len));
+      if (gh > 0) {
+        Poly gap_models = Conv(Shift1(through_hi, max_len),
+                               comb->BinomialRow(gh - 1), max_len);
+        for (int u : gap_hi) add_containing(u, gap_models);
+      }
+      AddInto(&ctx[static_cast<size_t>(node.hi)],
+              Conv(Shift1(ctx[i], max_len), comb->BinomialRow(gh), max_len));
+      // lo branch: the decision variable is 0; only gap variables add
+      // ones outside the child here.
+      if (gl > 0) {
+        Poly through_lo =
+            Conv(ctx[i], counts[static_cast<size_t>(node.lo)], max_len);
+        Poly gap_models = Conv(Shift1(through_lo, max_len),
+                               comb->BinomialRow(gl - 1), max_len);
+        for (int u : gap_lo) add_containing(u, gap_models);
+      }
+      AddInto(&ctx[static_cast<size_t>(node.lo)],
+              Conv(ctx[i], comb->BinomialRow(gl), max_len));
+    } else if (node.kind == LineageCircuit::NodeKind::kAnd) {
+      const size_t r = node.children.size();
+      // Prefix/suffix products of sibling counts: child c's context is
+      // ctx ⊛ (product of every sibling's count vector).
+      std::vector<Poly> prefix(r + 1);
+      std::vector<Poly> suffix(r + 1);
+      prefix[0] = {BigInt(1)};
+      suffix[r] = {BigInt(1)};
+      for (size_t c = 0; c < r; ++c) {
+        prefix[c + 1] = Conv(
+            prefix[c], counts[static_cast<size_t>(node.children[c])], max_len);
+      }
+      for (size_t c = r; c-- > 0;) {
+        suffix[c] =
+            Conv(suffix[c + 1], counts[static_cast<size_t>(node.children[c])],
+                 max_len);
+      }
+      for (size_t c = 0; c < r; ++c) {
+        AddInto(&ctx[static_cast<size_t>(node.children[c])],
+                Conv(ctx[i], Conv(prefix[c], suffix[c + 1], max_len),
+                     max_len));
+      }
+    }
+  }
+
+  // Variables with no accumulated vector never occur in a model: give them
+  // explicit zero rows so consumers can index uniformly.
+  for (auto& row : result.containing) {
+    if (row.empty()) row.assign(max_len, BigInt());
+  }
+  return result;
+}
+
+}  // namespace shapcq

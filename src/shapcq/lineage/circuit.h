@@ -1,0 +1,122 @@
+// Knowledge compilation of monotone lineage DNFs into decision-DNNF
+// circuits, plus size-stratified model counting over the compiled DAG.
+//
+// CompileDnf runs Shannon expansion on a most-frequent-variable-first
+// heuristic order, with two structure-exploiting rules:
+//
+//   * formula-hash caching — subformulas are canonicalized (minimal
+//     clauses, sorted) and memoized, so the result is a DAG, not a tree;
+//   * decomposable AND detection — when the clause set splits into
+//     variable-disjoint components, each component compiles independently
+//     and an AND node joins them.
+//
+// The resulting circuit has decision nodes (deterministic: the two
+// branches disagree on the decision variable), decomposable AND nodes, and
+// the two constants — a deterministic-decomposable (dec-DNNF) circuit, the
+// class for which Deutch, Frost, Kimelfeld & Monet show exact Shapley
+// computation is polynomial in circuit size. Compilation is budgeted
+// (node count / variable width / clause count) and fails with UNSUPPORTED
+// when exceeded, so callers can fall through to sampling.
+//
+// CountModelsBySize is the counting layer of the Shapley algorithm: one
+// bottom-up pass annotates every node with its model count stratified by
+// assignment weight (number of variables set to 1), and one top-down pass
+// distributes root contexts to produce, for every variable v, the count of
+// satisfying assignments of each weight that set v — exactly the
+// quantities the counting-based Shapley formula consumes
+// (circuit children mention subsets of their parent's variables; the gap
+// variables are handled with binomial smoothing instead of materializing
+// smoothing nodes). All counts are exact BigInt.
+
+#ifndef SHAPCQ_LINEAGE_CIRCUIT_H_
+#define SHAPCQ_LINEAGE_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shapcq/util/bigint.h"
+#include "shapcq/util/combinatorics.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Compilation budget. Exceeding any limit aborts compilation with
+// UNSUPPORTED (the engine layer then falls through to brute force or
+// Monte Carlo). Defaults are sized so well-structured lineages of hundreds
+// of variables compile while adversarial ones fail fast.
+struct CircuitBudget {
+  int64_t max_nodes = int64_t{1} << 17;  // circuit size
+  int max_vars = 256;                    // lineage width (variables)
+  int64_t max_clauses = 8192;            // DNF clauses before compilation
+};
+
+// A compiled decision-DNNF over variables 0..num_vars-1.
+class LineageCircuit {
+ public:
+  enum class NodeKind { kFalse, kTrue, kDecision, kAnd };
+
+  struct Node {
+    NodeKind kind;
+    // The subformula's variable set, sorted ascending. Children mention
+    // subsets of it; the counting pass smooths the gaps with binomials.
+    std::vector<int> vars;
+    int var = -1;              // decision variable (kDecision)
+    int hi = -1;               // child under var = 1 (kDecision)
+    int lo = -1;               // child under var = 0 (kDecision)
+    std::vector<int> children; // variable-disjoint conjuncts (kAnd)
+  };
+
+  // Nodes in creation order: children precede parents, so ascending index
+  // is a topological order (constants first at indices 0 and 1).
+  std::vector<Node> nodes;
+  int root = 0;
+  int num_vars = 0;
+  // Compiler telemetry: memo-cache behavior of this compilation.
+  int64_t cache_lookups = 0;
+  int64_t cache_hits = 0;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
+  bool constant_true() const {
+    return nodes[static_cast<size_t>(root)].kind == NodeKind::kTrue;
+  }
+  bool constant_false() const {
+    return nodes[static_cast<size_t>(root)].kind == NodeKind::kFalse;
+  }
+};
+
+// Canonicalizes a monotone DNF in place: each clause sorted and
+// deduplicated, clauses ordered by (size, lex), and non-minimal clauses
+// (supersets of an earlier clause, including duplicates) removed — in a
+// monotone DNF a superset clause is logically redundant, so the minimized
+// formula is equivalent. Shared by lineage extraction (minimal supports)
+// and the compiler's canonical memo form.
+void MinimizeClauses(std::vector<std::vector<int>>* clauses);
+
+// Compiles a monotone DNF (each clause a set of variables in
+// 0..num_vars-1; the formula is true iff some clause is fully set) into a
+// dec-DNNF. Clauses need not be sorted, deduplicated, or minimal — the
+// compiler canonicalizes. An empty clause set is the constant false; an
+// empty clause makes the formula constant true.
+StatusOr<LineageCircuit> CompileDnf(std::vector<std::vector<int>> clauses,
+                                    int num_vars,
+                                    const CircuitBudget& budget = {});
+
+// Size-stratified model counts of a compiled circuit.
+struct CircuitModelCounts {
+  // by_size[k] = number of satisfying assignments setting exactly k of the
+  // num_vars variables (length num_vars + 1).
+  std::vector<BigInt> by_size;
+  // containing[v][k] = number of satisfying assignments of weight k that
+  // set variable v (length num_vars, each entry length num_vars + 1).
+  std::vector<std::vector<BigInt>> containing;
+};
+
+// One bottom-up pass (per-node counts) plus one top-down pass (root
+// contexts) computes by_size and containing for every variable at once.
+// `comb` caches the binomial rows used for gap smoothing.
+CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
+                                     Combinatorics* comb);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_LINEAGE_CIRCUIT_H_

@@ -1,0 +1,338 @@
+#include "shapcq/lineage/engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "shapcq/lineage/lineage.h"
+#include "shapcq/util/check.h"
+#include "shapcq/util/combinatorics.h"
+#include "shapcq/util/parallel.h"
+
+namespace shapcq {
+
+namespace {
+
+Status CheckLineageShape(const AggregateQuery& a) {
+  if (a.alpha.kind() != AggKind::kSum && a.alpha.kind() != AggKind::kCount) {
+    return UnsupportedError(
+        "lineage-circuit handles the linear aggregates Sum and Count only");
+  }
+  return Status::Ok();
+}
+
+CircuitBudget BudgetFrom(const LineageOptions& options) {
+  CircuitBudget budget;
+  budget.max_nodes = options.max_circuit_nodes;
+  budget.max_vars = options.max_answer_vars;
+  budget.max_clauses = options.max_answer_clauses;
+  return budget;
+}
+
+// τ(t) for Sum, 1 for Count (same convention as the linearity engine).
+Rational AnswerWeight(const AggregateQuery& a, const Tuple& answer) {
+  return a.alpha.kind() == AggKind::kCount ? Rational(1)
+                                           : a.tau->Evaluate(answer);
+}
+
+// An answer alive with no endogenous support is constant-true: every fact
+// is a null player of its indicator game (and it contributes w·C(n,k) to
+// every sum_k level).
+bool ConstantTrue(const AnswerLineage& lineage) {
+  return lineage.clauses.size() == 1 && lineage.clauses.front().empty();
+}
+
+// The per-answer unit of work: the indicator game of one answer, reduced
+// to the answer's own lineage variables.
+struct AnswerCircuit {
+  std::vector<int> players;  // local var -> global player index (sorted)
+  LineageCircuit circuit;
+  CircuitModelCounts counts;
+};
+
+// Compiles and counts one answer's lineage over its local variable space.
+StatusOr<AnswerCircuit> BuildAnswerCircuit(const AnswerLineage& lineage,
+                                           const CircuitBudget& budget,
+                                           Combinatorics* comb) {
+  AnswerCircuit built;
+  for (const std::vector<int>& clause : lineage.clauses) {
+    built.players.insert(built.players.end(), clause.begin(), clause.end());
+  }
+  std::sort(built.players.begin(), built.players.end());
+  built.players.erase(
+      std::unique(built.players.begin(), built.players.end()),
+      built.players.end());
+  std::vector<std::vector<int>> local_clauses;
+  local_clauses.reserve(lineage.clauses.size());
+  for (const std::vector<int>& clause : lineage.clauses) {
+    std::vector<int> local;
+    local.reserve(clause.size());
+    for (int player : clause) {
+      local.push_back(static_cast<int>(
+          std::lower_bound(built.players.begin(), built.players.end(),
+                           player) -
+          built.players.begin()));
+    }
+    local_clauses.push_back(std::move(local));
+  }
+  StatusOr<LineageCircuit> circuit =
+      CompileDnf(std::move(local_clauses),
+                 static_cast<int>(built.players.size()), budget);
+  if (!circuit.ok()) {
+    LineageStats::Global().RecordBudgetFallback();
+    return circuit.status();
+  }
+  built.circuit = std::move(circuit).value();
+  LineageStats::Global().RecordCircuit(built.circuit);
+  built.counts = CountModelsBySize(built.circuit, comb);
+  return built;
+}
+
+// Per-fact contributions of one answer's indicator game, weighted by w.
+// m = |local vars|; null players (facts outside the lineage) contribute 0
+// and are simply absent from the result.
+std::vector<std::pair<int, Rational>> ScoreAnswerCircuit(
+    const AnswerCircuit& built, const Rational& weight, ScoreKind kind,
+    Combinatorics* comb) {
+  const int64_t m = static_cast<int64_t>(built.players.size());
+  SHAPCQ_CHECK(m >= 1);
+  const std::vector<BigInt>& total = built.counts.by_size;
+  std::vector<std::pair<int, Rational>> contributions;
+  contributions.reserve(built.players.size());
+  if (kind == ScoreKind::kShapley) {
+    // Σ_{k=0}^{m−1} k!(m−1−k)!·(P[k+1] − (T[k] − P[k])) over the common
+    // denominator m! — one normalization per variable.
+    std::vector<BigInt> coefficient(static_cast<size_t>(m));
+    for (int64_t k = 0; k < m; ++k) {
+      coefficient[static_cast<size_t>(k)] =
+          comb->Factorial(k) * comb->Factorial(m - 1 - k);
+    }
+    const BigInt& denominator = comb->Factorial(m);
+    for (size_t v = 0; v < built.players.size(); ++v) {
+      const std::vector<BigInt>& with_v = built.counts.containing[v];
+      BigInt numerator;
+      for (int64_t k = 0; k < m; ++k) {
+        const size_t uk = static_cast<size_t>(k);
+        // A_v[k] − B_v[k]: sets of size k whose marginal is 1.
+        BigInt delta = with_v[uk + 1] - (total[uk] - with_v[uk]);
+        if (!delta.is_zero()) {
+          numerator += coefficient[uk] * delta;
+        }
+      }
+      if (numerator.is_zero()) continue;
+      contributions.emplace_back(
+          built.players[v], weight * Rational(std::move(numerator),
+                                              denominator));
+    }
+  } else {
+    // Banzhaf: (2·Σ_j P[j] − Σ_k T[k]) / 2^{m−1}.
+    BigInt total_models;
+    for (const BigInt& t : total) total_models += t;
+    const BigInt denominator =
+        BigInt::TwoPow(static_cast<uint64_t>(m > 1 ? m - 1 : 0));
+    for (size_t v = 0; v < built.players.size(); ++v) {
+      BigInt with_v_models;
+      for (const BigInt& p : built.counts.containing[v]) {
+        with_v_models += p;
+      }
+      BigInt numerator = with_v_models + with_v_models - total_models;
+      if (numerator.is_zero()) continue;
+      contributions.emplace_back(
+          built.players[v], weight * Rational(std::move(numerator),
+                                              denominator));
+    }
+  }
+  return contributions;
+}
+
+}  // namespace
+
+LineageStats& LineageStats::Global() {
+  static LineageStats* stats = new LineageStats();
+  return *stats;
+}
+
+void LineageStats::RecordCircuit(const LineageCircuit& circuit) {
+  circuits_compiled_.fetch_add(1, std::memory_order_relaxed);
+  circuit_nodes_.fetch_add(static_cast<uint64_t>(circuit.num_nodes()),
+                           std::memory_order_relaxed);
+  cache_lookups_.fetch_add(static_cast<uint64_t>(circuit.cache_lookups),
+                           std::memory_order_relaxed);
+  cache_hits_.fetch_add(static_cast<uint64_t>(circuit.cache_hits),
+                        std::memory_order_relaxed);
+}
+
+void LineageStats::RecordBudgetFallback() {
+  budget_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LineageStatsSnapshot LineageStats::Snapshot() const {
+  LineageStatsSnapshot snapshot;
+  snapshot.circuits_compiled =
+      circuits_compiled_.load(std::memory_order_relaxed);
+  snapshot.circuit_nodes = circuit_nodes_.load(std::memory_order_relaxed);
+  snapshot.cache_lookups = cache_lookups_.load(std::memory_order_relaxed);
+  snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snapshot.budget_fallbacks =
+      budget_fallbacks_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void LineageStats::Reset() {
+  circuits_compiled_.store(0, std::memory_order_relaxed);
+  circuit_nodes_.store(0, std::memory_order_relaxed);
+  cache_lookups_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  budget_fallbacks_.store(0, std::memory_order_relaxed);
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
+    const AggregateQuery& a, const Database& db,
+    const SolverOptions& options) {
+  Status shape = CheckLineageShape(a);
+  if (!shape.ok()) return shape;
+  std::vector<FactId> endo = db.EndogenousFacts();
+  if (endo.empty()) return std::vector<std::pair<FactId, Rational>>{};
+
+  const LineageSet lineage = ExtractLineage(a.query, db);
+  const CircuitBudget budget = BudgetFrom(options.lineage);
+
+  // The cheap per-answer work (weights, constant detection) runs serially
+  // so failures land on exactly the answer a serial sweep would hit first.
+  struct AnswerTask {
+    const AnswerLineage* lineage;
+    Rational weight;
+  };
+  std::vector<AnswerTask> tasks;
+  tasks.reserve(lineage.answers.size());
+  for (const AnswerLineage& answer : lineage.answers) {
+    if (ConstantTrue(answer)) continue;  // all facts are null players
+    Rational weight = AnswerWeight(a, answer.answer);
+    if (weight.is_zero()) continue;
+    tasks.push_back(AnswerTask{&answer, std::move(weight)});
+  }
+
+  // Shard per-answer circuits over contiguous answer chunks; slot t holds
+  // answer t's contributions (or its failure), so the outcome is
+  // independent of scheduling and bitwise-identical for every thread
+  // count — the merge below walks answers in order, and exact rational
+  // addition makes any grouping of the same terms canonical.
+  std::vector<StatusOr<std::vector<std::pair<int, Rational>>>> per_task(
+      tasks.size(), StatusOr<std::vector<std::pair<int, Rational>>>(
+                        UnsupportedError("unset")));
+  const int num_chunks = EffectiveThreadCount(
+      options.num_threads, static_cast<int64_t>(tasks.size()));
+  ParallelFor(
+      num_chunks,
+      [&](int64_t c) {
+        const auto [begin, end] =
+            ChunkBounds(static_cast<int64_t>(tasks.size()), num_chunks, c);
+        Combinatorics comb;
+        for (int64_t t = begin; t < end; ++t) {
+          const AnswerTask& task = tasks[static_cast<size_t>(t)];
+          StatusOr<AnswerCircuit> built =
+              BuildAnswerCircuit(*task.lineage, budget, &comb);
+          if (!built.ok()) {
+            per_task[static_cast<size_t>(t)] = built.status();
+            continue;
+          }
+          per_task[static_cast<size_t>(t)] = ScoreAnswerCircuit(
+              *built, task.weight, options.score, &comb);
+        }
+      },
+      num_chunks);
+
+  std::vector<Rational> by_player(lineage.players.size());
+  for (size_t t = 0; t < per_task.size(); ++t) {
+    if (!per_task[t].ok()) return per_task[t].status();
+    for (auto& [player, contribution] : *per_task[t]) {
+      by_player[static_cast<size_t>(player)] += contribution;
+    }
+  }
+  std::vector<std::pair<FactId, Rational>> scores;
+  scores.reserve(endo.size());
+  for (size_t p = 0; p < lineage.players.size(); ++p) {
+    scores.emplace_back(lineage.players[p], std::move(by_player[p]));
+  }
+  return scores;
+}
+
+StatusOr<Rational> LineageCircuitScoreOne(const AggregateQuery& a,
+                                          const Database& db, FactId fact,
+                                          const SolverOptions& options) {
+  SHAPCQ_CHECK(db.fact(fact).endogenous);
+  SolverOptions serial = options;
+  serial.num_threads = 1;  // the session fans per-fact calls out already
+  StatusOr<std::vector<std::pair<FactId, Rational>>> all =
+      LineageCircuitScoreAll(a, db, serial);
+  if (!all.ok()) return all.status();
+  for (auto& [id, score] : *all) {
+    if (id == fact) return std::move(score);
+  }
+  return InternalError("lineage-circuit lost track of fact " +
+                       std::to_string(fact));
+}
+
+StatusOr<SumKSeries> LineageCircuitSumK(const AggregateQuery& a,
+                                        const Database& db) {
+  Status shape = CheckLineageShape(a);
+  if (!shape.ok()) return shape;
+  const int64_t n = db.num_endogenous();
+  const LineageSet lineage = ExtractLineage(a.query, db);
+  const CircuitBudget budget = BudgetFrom(LineageOptions{});
+  Combinatorics comb;
+  SumKSeries series(static_cast<size_t>(n) + 1);
+  for (const AnswerLineage& answer : lineage.answers) {
+    Rational weight = AnswerWeight(a, answer.answer);
+    if (weight.is_zero()) continue;
+    if (ConstantTrue(answer)) {
+      // Alive in every sub-database: w·C(n, k) per level.
+      const std::vector<BigInt>& row = comb.BinomialRow(n);
+      for (int64_t k = 0; k <= n; ++k) {
+        series[static_cast<size_t>(k)] +=
+            weight * Rational(row[static_cast<size_t>(k)]);
+      }
+      continue;
+    }
+    StatusOr<AnswerCircuit> built =
+        BuildAnswerCircuit(answer, budget, &comb);
+    if (!built.ok()) return built.status();
+    // Pad the local counts to the n-player universe: the n − m facts
+    // outside the lineage are free.
+    const int64_t m = static_cast<int64_t>(built->players.size());
+    const std::vector<BigInt>& pad = comb.BinomialRow(n - m);
+    for (int64_t j = 0; j <= m; ++j) {
+      const BigInt& models = built->counts.by_size[static_cast<size_t>(j)];
+      if (models.is_zero()) continue;
+      Rational weighted = weight * Rational(models);
+      for (int64_t g = 0; g <= n - m; ++g) {
+        series[static_cast<size_t>(j + g)] +=
+            weighted * Rational(pad[static_cast<size_t>(g)]);
+      }
+    }
+  }
+  return series;
+}
+
+void RegisterLineageCircuitEngine(EngineRegistry& registry) {
+  EngineProvider provider;
+  provider.name = "lineage-circuit";
+  // After every frontier DP (priority 10/20) — those win whenever they
+  // apply — and before the session's brute-force/Monte-Carlo fallback.
+  provider.priority = 60;
+  // Any CQ shape: self-joins and non-hierarchical queries included. The
+  // per-database cost gate is the compilation budget, not the query.
+  provider.applies = [](const AggregateQuery& a) {
+    return a.alpha.kind() == AggKind::kSum ||
+           a.alpha.kind() == AggKind::kCount;
+  };
+  provider.sum_k = LineageCircuitSumK;
+  provider.score_one = LineageCircuitScoreOne;
+  provider.score_all = LineageCircuitScoreAll;
+  // ScoreOne reruns the whole batch: once the batch failed for a
+  // database, a per-fact sweep would fail identically N more times.
+  provider.score_one_reruns_batch = true;
+  registry.Register(std::move(provider));
+}
+
+}  // namespace shapcq

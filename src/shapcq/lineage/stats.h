@@ -1,0 +1,27 @@
+// Plain snapshot of the lineage-circuit telemetry counters.
+//
+// Split from engine.h so light consumers (report.h's provenance footer)
+// can name the struct without pulling the whole engine — circuits,
+// registry, atomics — into every report includer.
+
+#ifndef SHAPCQ_LINEAGE_STATS_H_
+#define SHAPCQ_LINEAGE_STATS_H_
+
+#include <cstdint>
+
+namespace shapcq {
+
+// Process-wide lineage telemetry (monotone counters; see
+// LineageStats::Snapshot() in lineage/engine.h). Surfaced by the CLI's
+// --explain and the plan-provenance footer.
+struct LineageStatsSnapshot {
+  uint64_t circuits_compiled = 0;
+  uint64_t circuit_nodes = 0;     // total nodes across compiled circuits
+  uint64_t cache_lookups = 0;     // compiler formula-cache lookups
+  uint64_t cache_hits = 0;        // ... of which hits
+  uint64_t budget_fallbacks = 0;  // compilations aborted by the budget
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_LINEAGE_STATS_H_

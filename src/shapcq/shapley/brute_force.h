@@ -19,7 +19,11 @@
 
 namespace shapcq {
 
-// Largest |D_n| the brute-force engines accept.
+// Largest |D_n| the brute-force engines accept. Past this horizon the
+// session either solves exactly through the lineage-circuit engine
+// (Sum/Count with compilable provenance, lineage/engine.h) or samples;
+// under kExactOnly it returns a structured status naming this limit, the
+// player count, and the engines consulted (session.h).
 inline constexpr int kBruteForceMaxPlayers = 26;
 
 // sum_k(A, D) by subset enumeration.

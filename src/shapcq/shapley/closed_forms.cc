@@ -135,8 +135,8 @@ namespace {
 
 StatusOr<Rational> ClosedFormScoreOne(const AggregateQuery& a,
                                       const Database& db, FactId fact,
-                                      ScoreKind kind) {
-  if (kind != ScoreKind::kShapley) {
+                                      const SolverOptions& options) {
+  if (options.score != ScoreKind::kShapley) {
     return UnsupportedError("closed forms cover the Shapley value only");
   }
   switch (a.alpha.kind()) {

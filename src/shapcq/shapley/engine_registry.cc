@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "shapcq/lineage/engine.h"
 #include "shapcq/shapley/avg_quantile.h"
 #include "shapcq/shapley/closed_forms.h"
 #include "shapcq/shapley/count_distinct.h"
@@ -25,6 +26,10 @@ EngineRegistry& EngineRegistry::Global() {
     RegisterAvgQuantileEngine(*r);
     RegisterGatedProductEngine(*r);
     RegisterHasDuplicatesEngine(*r);
+    // The knowledge-compilation engine for the hard side of the frontier:
+    // slots after every frontier DP and before the brute-force / Monte
+    // Carlo fallback (priority 60).
+    RegisterLineageCircuitEngine(*r);
     return r;
   }();
   return *registry;

@@ -37,9 +37,14 @@
 
 namespace shapcq {
 
-// Direct per-fact score (e.g. a closed form that never goes through sum_k).
+// Direct per-fact score (e.g. a closed form that never goes through
+// sum_k). Receives the session's SolverOptions — options.score selects the
+// score kind, and resource-budgeted engines (lineage-circuit) read their
+// budgets from it, so the per-fact and batched paths obey the same caps.
+// Per-fact calls are already fanned out by the session, so engines must
+// not spawn their own workers here.
 using ScoreOneFn = std::function<StatusOr<Rational>(
-    const AggregateQuery&, const Database&, FactId, ScoreKind)>;
+    const AggregateQuery&, const Database&, FactId, const SolverOptions&)>;
 
 // Batched all-facts scorer: shares per-(query, database) work — answer
 // enumeration, relevance splits, DP scaffolding — across every endogenous
@@ -66,6 +71,12 @@ struct EngineProvider {
   ScoreOneFn score_one;
   // Optional batched scorer; SolverSession::ComputeAll prefers it.
   ScoreAllFn score_all;
+  // True when score_one is implemented as a rerun of the batched scorer
+  // (lineage-circuit): once score_all failed for a database, a per-fact
+  // sweep would repeat the identical failing computation once per fact,
+  // so the executor skips it — the engine cannot save individual facts
+  // the batch lost.
+  bool score_one_reruns_batch = false;
 };
 
 class EngineRegistry {

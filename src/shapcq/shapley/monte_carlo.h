@@ -57,6 +57,21 @@ struct MonteCarloOptions {
   uint64_t seed = 1;
 };
 
+// The sampling options the solver stack uses for one fact: the caller's
+// seed and sample budget with the fact id mixed into the seed (SplitMix64
+// finalizer), so every fact samples a decorrelated stream while the whole
+// run stays deterministic — for a fixed (options, fact) the estimate is
+// identical across runs, thread counts, and per-fact vs batched paths.
+inline MonteCarloOptions PerFactMonteCarloOptions(MonteCarloOptions options,
+                                                  FactId fact) {
+  uint64_t z = options.seed +
+               0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(fact) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  options.seed = z ^ (z >> 31);
+  return options;
+}
+
 struct MonteCarloResult {
   double estimate = 0.0;
   // Sample standard error of the mean (σ̂ / √samples).

@@ -123,7 +123,8 @@ std::string SummarizeAttribution(
 std::string FormatPlanProvenance(
     const AttributionPlan& plan,
     const std::vector<std::pair<FactId, SolveResult>>& results,
-    bool cache_hit) {
+    bool cache_hit, const SolverOptions* options,
+    const LineageStatsSnapshot* lineage) {
   std::string out = "plan provenance:\n";
   out += "  fingerprint : " + plan.fingerprint() + "\n";
   out += "  class       : ";
@@ -157,6 +158,35 @@ std::string FormatPlanProvenance(
     }
   }
   out += "\n";
+  // Sampled results are not bare point estimates: surface the CLT-based
+  // 95% interval (worst fact) and the sampling parameters.
+  int sampled = 0;
+  double max_half_width = 0;
+  int64_t samples = 0;
+  for (const auto& [fact, result] : results) {
+    if (result.is_exact) continue;
+    ++sampled;
+    max_half_width = std::max(max_half_width, 1.96 * result.std_error);
+    samples = std::max(samples, result.samples);
+  }
+  if (sampled > 0) {
+    out += "  monte carlo : " + std::to_string(sampled) +
+           (sampled == 1 ? " fact" : " facts") + ", 95% CI half-width <= +-" +
+           FormatDouble(max_half_width) + ", " + std::to_string(samples) +
+           " samples/fact";
+    if (options != nullptr) {
+      out += ", seed " + std::to_string(options->monte_carlo.seed);
+    }
+    out += "\n";
+  }
+  if (lineage != nullptr && (lineage->circuits_compiled > 0 ||
+                             lineage->budget_fallbacks > 0)) {
+    out += "  lineage     : " + std::to_string(lineage->circuits_compiled) +
+           " circuits, " + std::to_string(lineage->circuit_nodes) +
+           " nodes, " + std::to_string(lineage->cache_hits) + "/" +
+           std::to_string(lineage->cache_lookups) + " compiler cache hits, " +
+           std::to_string(lineage->budget_fallbacks) + " budget fallbacks\n";
+  }
   return out;
 }
 

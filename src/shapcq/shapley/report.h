@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "shapcq/data/database.h"
+#include "shapcq/lineage/stats.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/solver.h"
+#include "shapcq/shapley/solver_options.h"
 
 namespace shapcq {
 
@@ -43,10 +45,17 @@ std::string SummarizeAttribution(
 // plan produced the results (canonical fingerprint, hierarchy class,
 // frontier verdict), whether the plan came from the PlanCache, and the
 // engines that actually scored facts with their per-engine fact counts.
+// When any result is sampled, a Monte Carlo line reports the CLT-based
+// 95% confidence half-width (±1.96·σ̂, maximum over the sampled facts)
+// and the sample budget instead of leaving bare point estimates —
+// `options`, if given, contributes the seed. `lineage`, if given and
+// non-empty, adds the circuit telemetry line (circuits, nodes, compiler
+// cache hits, budget fallbacks).
 std::string FormatPlanProvenance(
     const AttributionPlan& plan,
     const std::vector<std::pair<FactId, SolveResult>>& results,
-    bool cache_hit);
+    bool cache_hit, const SolverOptions* options = nullptr,
+    const LineageStatsSnapshot* lineage = nullptr);
 
 }  // namespace shapcq
 

@@ -20,10 +20,13 @@ SolveResult ExactResult(Rational value, std::string algorithm) {
   return result;
 }
 
-SolveResult ApproximateResult(double estimate, std::string algorithm) {
+SolveResult ApproximateResult(const MonteCarloResult& mc,
+                              std::string algorithm) {
   SolveResult result;
   result.is_exact = false;
-  result.approximation = estimate;
+  result.approximation = mc.estimate;
+  result.std_error = mc.std_error;
+  result.samples = mc.samples;
   result.algorithm = std::move(algorithm);
   return result;
 }
@@ -32,15 +35,41 @@ SolveResult ApproximateResult(double estimate, std::string algorithm) {
 // one, the sum_k framework otherwise.
 StatusOr<Rational> ScoreOneWith(const EngineProvider& engine,
                                 const AggregateQuery& a, const Database& db,
-                                FactId fact, ScoreKind kind) {
+                                FactId fact, const SolverOptions& options) {
   if (engine.score_one != nullptr) {
-    return engine.score_one(a, db, fact, kind);
+    return engine.score_one(a, db, fact, options);
   }
   if (engine.sum_k != nullptr) {
-    return ScoreViaSumK(a, db, fact, engine.sum_k, kind);
+    return ScoreViaSumK(a, db, fact, engine.sum_k, options.score);
   }
   return UnsupportedError("engine '" + engine.name +
                           "' has no per-fact entry point");
+}
+
+// The structured kExactOnly failure: names the player count, whether it is
+// past the brute-force horizon, and the engines consulted, so callers see
+// WHY nothing exact ran instead of one engine's shape complaint.
+Status ExactUnavailableStatus(const AttributionPlan& plan, int players,
+                              const Status& first_failure) {
+  std::string message = "no exact engine solved the query over " +
+                        std::to_string(players) + " endogenous facts";
+  if (players > kBruteForceMaxPlayers) {
+    message += " (exceeds the brute-force limit of " +
+               std::to_string(kBruteForceMaxPlayers) + " players)";
+  }
+  message += "; engines consulted: ";
+  if (plan.engines().empty()) {
+    message += "none";
+  } else {
+    message += "[";
+    for (size_t i = 0; i < plan.engines().size(); ++i) {
+      if (i > 0) message += ", ";
+      message += plan.engines()[i]->name;
+    }
+    message += "]";
+  }
+  message += "; first failure: " + first_failure.message();
+  return UnsupportedError(message);
 }
 
 }  // namespace
@@ -67,7 +96,7 @@ StatusOr<SolveResult> SolverSession::ComputeExact(FactId fact,
   Status failure = UnsupportedError(kNoEngineMessage);
   for (const EngineProvider* engine : plan_->engines()) {
     StatusOr<Rational> score =
-        ScoreOneWith(*engine, a(), db_, fact, options.score);
+        ScoreOneWith(*engine, a(), db_, fact, options);
     if (score.ok()) {
       return ExactResult(std::move(score).value(), engine->name);
     }
@@ -84,8 +113,12 @@ StatusOr<SolveResult> SolverSession::Compute(FactId fact,
                                 db_.fact(fact).ToString());
   }
   switch (options.method) {
-    case SolveMethod::kExactOnly:
-      return ComputeExact(fact, options, nullptr);
+    case SolveMethod::kExactOnly: {
+      StatusOr<SolveResult> exact = ComputeExact(fact, options, nullptr);
+      if (exact.ok()) return exact;
+      return ExactUnavailableStatus(*plan_, db_.num_endogenous(),
+                                    exact.status());
+    }
     case SolveMethod::kBruteForce: {
       StatusOr<Rational> score =
           BruteForceScore(a(), db_, fact, options.score);
@@ -94,12 +127,16 @@ StatusOr<SolveResult> SolverSession::Compute(FactId fact,
     }
     case SolveMethod::kMonteCarlo: {
       const SupportEvaluator& evaluator = support_evaluator();
+      // Per-fact seed derivation: deterministic, decorrelated across
+      // facts, and shared with the batched path (MonteCarloFor).
+      MonteCarloOptions mc_options =
+          PerFactMonteCarloOptions(options.monte_carlo, fact);
       StatusOr<MonteCarloResult> mc =
           options.score == ScoreKind::kShapley
-              ? MonteCarloShapley(evaluator, fact, options.monte_carlo)
-              : MonteCarloBanzhaf(evaluator, fact, options.monte_carlo);
+              ? MonteCarloShapley(evaluator, fact, mc_options)
+              : MonteCarloBanzhaf(evaluator, fact, mc_options);
       if (!mc.ok()) return mc.status();
-      return ApproximateResult(mc->estimate, "monte-carlo");
+      return ApproximateResult(*mc, "monte-carlo");
     }
     case SolveMethod::kAuto: {
       StatusOr<SolveResult> exact = ComputeExact(fact, options, nullptr);
@@ -126,6 +163,7 @@ std::vector<size_t> SolverSession::ExactSweep(
   for (size_t i = 0; i < facts.size(); ++i) remaining[i] = i;
   for (const EngineProvider* engine : plan_->engines()) {
     if (remaining.empty()) break;
+    bool batch_failed = false;
     if (engine->score_all != nullptr) {
       // The batched scorer covers every endogenous fact in one run, so it
       // serves leftover subsets too (one batch beats a per-fact sweep of
@@ -152,11 +190,16 @@ std::vector<size_t> SolverSession::ExactSweep(
         }
         note_failure(InternalError("engine '" + engine->name +
                                    "' returned a misaligned batch"));
+        batch_failed = true;
       } else {
         note_failure(batch.status());
+        batch_failed = true;
       }
     }
     if (engine->score_one == nullptr && engine->sum_k == nullptr) continue;
+    // A per-fact scorer that merely reruns the batch would repeat the
+    // failing computation once per open fact for the same outcome.
+    if (batch_failed && engine->score_one_reruns_batch) continue;
     // Per-fact sweep with this engine over the still-open facts, fanned out
     // over the thread pool. Slot i holds remaining[i]'s outcome, so the
     // result is independent of scheduling; failing facts stay open for the
@@ -168,7 +211,7 @@ std::vector<size_t> SolverSession::ExactSweep(
         [&](int64_t i) {
           FactId fact = facts[remaining[static_cast<size_t>(i)]];
           scores[static_cast<size_t>(i)] =
-              ScoreOneWith(*engine, a(), db_, fact, options.score);
+              ScoreOneWith(*engine, a(), db_, fact, options);
         },
         options.num_threads);
     std::vector<size_t> still_open;
@@ -207,22 +250,25 @@ Status SolverSession::MonteCarloFor(const std::vector<FactId>& facts,
   const SupportEvaluator& evaluator = support_evaluator();
   std::vector<StatusOr<MonteCarloResult>> estimates(
       indices.size(), StatusOr<MonteCarloResult>(UnsupportedError("unset")));
-  // Each per-fact run seeds its own generator (exactly like the per-fact
-  // path), so the fan-out changes nothing about the estimates.
+  // Each per-fact run derives its own seed from (options.seed, fact) —
+  // exactly like the per-fact path — so the fan-out changes nothing about
+  // the estimates and the thread count never does either.
   ParallelFor(
       static_cast<int64_t>(indices.size()),
       [&](int64_t i) {
         FactId fact = facts[indices[static_cast<size_t>(i)]];
+        MonteCarloOptions mc_options =
+            PerFactMonteCarloOptions(options.monte_carlo, fact);
         estimates[static_cast<size_t>(i)] =
             options.score == ScoreKind::kShapley
-                ? MonteCarloShapley(evaluator, fact, options.monte_carlo)
-                : MonteCarloBanzhaf(evaluator, fact, options.monte_carlo);
+                ? MonteCarloShapley(evaluator, fact, mc_options)
+                : MonteCarloBanzhaf(evaluator, fact, mc_options);
       },
       options.num_threads);
   for (size_t i = 0; i < indices.size(); ++i) {
     if (!estimates[i].ok()) return estimates[i].status();
     (*results)[indices[i]] =
-        ApproximateResult(estimates[i]->estimate, "monte-carlo");
+        ApproximateResult(*estimates[i], "monte-carlo");
   }
   return Status::Ok();
 }
@@ -258,7 +304,10 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
       std::vector<size_t> remaining =
           ExactSweep(facts, options, &solved, &failure);
       if (!remaining.empty()) {
-        if (options.method == SolveMethod::kExactOnly) return failure;
+        if (options.method == SolveMethod::kExactOnly) {
+          return ExactUnavailableStatus(*plan_, db_.num_endogenous(),
+                                        failure);
+        }
         // Fallback for the unsolved facts only — engine successes stay,
         // exactly like per-fact kAuto calls.
         if (db_.num_endogenous() <= kBruteForceMaxPlayers) {

@@ -55,6 +55,12 @@ struct SolveResult {
   Rational exact;            // meaningful iff is_exact
   double approximation = 0;  // always set (exact value as double otherwise)
   std::string algorithm;     // human-readable engine name
+  // Sampling telemetry, set by the Monte Carlo paths (0 when exact):
+  // std_error is the sample standard error of the mean, so
+  // approximation ± 1.96·std_error is the CLT 95% confidence interval the
+  // provenance footer (report.h) prints.
+  double std_error = 0;
+  int64_t samples = 0;
 };
 
 class SolverSession {
@@ -89,11 +95,16 @@ class SolverSession {
   // The shared homomorphism-support structure (built on first use).
   const SupportEvaluator& support_evaluator();
 
-  // Score of one endogenous fact.
+  // Score of one endogenous fact. Under kExactOnly, total failure returns
+  // a structured UNSUPPORTED status naming the player count (and whether
+  // it exceeds the brute-force limit), the engines consulted, and the
+  // first engine failure — so a query stranded outside every exact engine
+  // is diagnosable instead of a bare per-engine message.
   StatusOr<SolveResult> Compute(FactId fact, const SolverOptions& options = {});
 
   // Scores of all endogenous facts, ascending by FactId. The fast path:
-  // batched engines, shared fallbacks, thread-pool fan-out.
+  // batched engines, shared fallbacks, thread-pool fan-out. kExactOnly
+  // failures carry the same structured status as Compute.
   StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAll(
       const SolverOptions& options = {});
 

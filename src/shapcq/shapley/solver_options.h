@@ -22,10 +22,24 @@ enum class SolveMethod {
   kMonteCarlo,  // force sampling
 };
 
+// Compilation budget of the lineage-circuit engine (lineage/engine.h).
+// Exceeding any limit makes the engine fail with UNSUPPORTED for the
+// offending computation, and the session falls through to brute force
+// (small instances) or Monte Carlo — approximate, but never wrong.
+struct LineageOptions {
+  // Maximum decision-DNNF nodes per answer circuit.
+  int64_t max_circuit_nodes = int64_t{1} << 17;
+  // Maximum lineage variables (endogenous facts) per answer.
+  int max_answer_vars = 256;
+  // Maximum DNF clauses (homomorphisms) per answer before compilation.
+  int64_t max_answer_clauses = 8192;
+};
+
 struct SolverOptions {
   ScoreKind score = ScoreKind::kShapley;
   SolveMethod method = SolveMethod::kAuto;
   MonteCarloOptions monte_carlo;
+  LineageOptions lineage;
   // Worker threads for batched computations: the per-fact fan-out in
   // ComputeAll and the internal sharding of the batched engine scorers
   // (ScoreAllFn); < 1 means hardware concurrency. Exact results are

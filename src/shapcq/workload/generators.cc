@@ -147,4 +147,20 @@ Database ExactCoverDupDatabase(const SetCoverInstance& instance, int r,
   return db;
 }
 
+Database BlockChainDatabase(int groups) {
+  Database db;
+  for (int g = 1; g <= groups; ++g) {
+    int x1 = 100 * g + 1, x2 = 100 * g + 2;
+    int y1 = 200 * g + 1, y2 = 200 * g + 2;
+    db.AddEndogenous("R", {Value(g), Value(x1)});
+    db.AddEndogenous("R", {Value(g), Value(x2)});
+    db.AddEndogenous("S", {Value(x1), Value(y1)});
+    db.AddEndogenous("S", {Value(x1), Value(y2)});
+    db.AddEndogenous("S", {Value(x2), Value(y2)});
+    db.AddEndogenous("T", {Value(y1)});
+    db.AddEndogenous("T", {Value(y2)});
+  }
+  return db;
+}
+
 }  // namespace shapcq

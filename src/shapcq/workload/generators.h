@@ -69,6 +69,14 @@ Database SetCoverQuantileDatabase(const SetCoverInstance& instance, int a,
 Database ExactCoverDupDatabase(const SetCoverInstance& instance, int r,
                                FactId* distinguished);
 
+// Block-structured provenance behind the non-∃-hierarchical chain query
+// Q(z) <- R(z, x), S(x, y), T(y): `groups` independent blocks of 7
+// endogenous facts (2 R, 3 S, 2 T) whose per-answer lineage stays within
+// the block. The lineage-circuit engine's best case — per-answer circuits
+// stay tiny at any group count — and brute force's worst (2^(7·groups)
+// subsets). Shared by tests/lineage_test.cc and bench_hardness_crossover.
+Database BlockChainDatabase(int groups);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_WORKLOAD_GENERATORS_H_

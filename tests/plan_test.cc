@@ -396,11 +396,12 @@ void RegisterPoisonEngineOnce() {
     };
     provider.score_one = [](const AggregateQuery& a, const Database& db,
                             FactId fact,
-                            ScoreKind kind) -> StatusOr<Rational> {
+                            const SolverOptions& options)
+        -> StatusOr<Rational> {
       if (fact == db.EndogenousFacts().front()) {
         return UnsupportedError("poisoned fact");
       }
-      return BruteForceScore(a, db, fact, kind);
+      return BruteForceScore(a, db, fact, options.score);
     };
     EngineRegistry::Global().Register(std::move(provider));
     return true;

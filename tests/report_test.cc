@@ -79,5 +79,52 @@ TEST(ReportTest, Summary) {
   EXPECT_EQ(SummarizeAttribution(db, {}), "no endogenous facts");
 }
 
+TEST(ReportTest, ProvenanceFooterSurfacesSamplingAndLineageTelemetry) {
+  AggregateQuery a{MustParseQuery("Q(x) <- R(x)"), MakeTauId(0),
+                   AggregateFunction::Sum()};
+  auto plan = AttributionPlan::Compile(a);
+  std::vector<std::pair<FactId, SolveResult>> results;
+  SolveResult exact;
+  exact.is_exact = true;
+  exact.exact = Rational(3);
+  exact.approximation = 3.0;
+  exact.algorithm = "lineage-circuit";
+  results.emplace_back(0, exact);
+  SolveResult sampled;
+  sampled.is_exact = false;
+  sampled.approximation = 1.5;
+  sampled.std_error = 0.25;
+  sampled.samples = 128;
+  sampled.algorithm = "monte-carlo";
+  results.emplace_back(1, sampled);
+
+  SolverOptions options;
+  options.monte_carlo.seed = 42;
+  LineageStatsSnapshot lineage;
+  lineage.circuits_compiled = 5;
+  lineage.circuit_nodes = 77;
+  lineage.cache_lookups = 20;
+  lineage.cache_hits = 9;
+  std::string footer = FormatPlanProvenance(*plan, results,
+                                            /*cache_hit=*/false, &options,
+                                            &lineage);
+  // 1.96 * 0.25 = 0.49: the CLT 95% half-width replaces the bare estimate.
+  EXPECT_NE(footer.find("monte carlo : 1 fact"), std::string::npos) << footer;
+  EXPECT_NE(footer.find("+-0.490000"), std::string::npos) << footer;
+  EXPECT_NE(footer.find("128 samples/fact"), std::string::npos) << footer;
+  EXPECT_NE(footer.find("seed 42"), std::string::npos) << footer;
+  EXPECT_NE(footer.find("lineage     : 5 circuits, 77 nodes"),
+            std::string::npos)
+      << footer;
+  EXPECT_NE(footer.find("9/20 compiler cache hits"), std::string::npos)
+      << footer;
+  // Without telemetry pointers the footer stays as before.
+  std::string plain = FormatPlanProvenance(*plan, results,
+                                           /*cache_hit=*/true);
+  EXPECT_EQ(plain.find("seed"), std::string::npos);
+  EXPECT_EQ(plain.find("lineage     :"), std::string::npos);
+  EXPECT_NE(plain.find("monte carlo : 1 fact"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace shapcq

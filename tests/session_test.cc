@@ -411,5 +411,98 @@ TEST(SolverSessionTest, ClosedFormFastPathServesSingleRelationInstances) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Structured exact-only failures and Monte Carlo telemetry
+// ---------------------------------------------------------------------------
+
+// A 35-player instance outside every exact engine: Avg over a
+// non-q-hierarchical query (the paper's FP#P-hard side), too large for
+// brute force, and not a linear aggregate so the lineage-circuit engine
+// does not apply either.
+Database ThirtyFivePlayerDb() {
+  Database db;
+  for (int i = 0; i < 30; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(i % 5)});
+  }
+  for (int j = 0; j < 5; ++j) db.AddEndogenous("S", {Value(j)});
+  return db;
+}
+
+TEST(SolverSessionTest, ExactOnlyFailureNamesPlayersAndEngines) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  Database db = ThirtyFivePlayerDb();
+  AggregateQuery a{q, MakeTauReLU(0), AggregateFunction::Avg()};
+  SolverSession session(a, db);
+  SolverOptions exact_only;
+  exact_only.method = SolveMethod::kExactOnly;
+  auto all = session.ComputeAll(exact_only);
+  ASSERT_FALSE(all.ok());
+  const std::string& message = all.status().message();
+  EXPECT_NE(message.find("35 endogenous facts"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("exceeds the brute-force limit of 26"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("engines consulted"), std::string::npos) << message;
+  EXPECT_NE(message.find("avg-quantile"), std::string::npos) << message;
+  // The per-fact path reports the same structured diagnosis.
+  auto one = session.Compute(db.EndogenousFacts().front(), exact_only);
+  ASSERT_FALSE(one.ok());
+  EXPECT_NE(one.status().message().find("35 endogenous facts"),
+            std::string::npos)
+      << one.status().message();
+  EXPECT_NE(one.status().message().find("engines consulted"),
+            std::string::npos)
+      << one.status().message();
+}
+
+TEST(SolverSessionTest, MonteCarloEstimatesCarrySeededConfidenceIntervals) {
+  // The sampler takes seed and sample budget from SolverOptions, derives a
+  // per-fact stream, and surfaces CLT telemetry: estimates are identical
+  // across runs and thread counts, and every result carries its sample
+  // count and standard error for the ±1.96·σ̂ interval the provenance
+  // footer prints.
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  Database db = ThirtyFivePlayerDb();
+  AggregateQuery a{q, MakeTauReLU(0), AggregateFunction::Avg()};
+  SolverSession session(a, db);
+  SolverOptions options;
+  options.method = SolveMethod::kMonteCarlo;
+  options.monte_carlo.num_samples = 128;
+  options.monte_carlo.seed = 9;
+  options.num_threads = 1;
+  auto serial = session.ComputeAll(options);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 8;
+  auto wide = session.ComputeAll(options);
+  ASSERT_TRUE(wide.ok());
+  SolverSession fresh(a, db);
+  auto rerun = fresh.ComputeAll(options);
+  ASSERT_TRUE(rerun.ok());
+  ASSERT_EQ(serial->size(), wide->size());
+  ASSERT_EQ(serial->size(), rerun->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const SolveResult& result = (*serial)[i].second;
+    EXPECT_FALSE(result.is_exact);
+    EXPECT_EQ(result.samples, 128);
+    EXPECT_GE(result.std_error, 0.0);
+    EXPECT_EQ(result.approximation, (*wide)[i].second.approximation);
+    EXPECT_EQ(result.std_error, (*wide)[i].second.std_error);
+    EXPECT_EQ(result.approximation, (*rerun)[i].second.approximation);
+  }
+  // A different seed samples different streams.
+  options.monte_carlo.seed = 10;
+  auto reseeded = fresh.ComputeAll(options);
+  ASSERT_TRUE(reseeded.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < serial->size(); ++i) {
+    if ((*serial)[i].second.approximation !=
+        (*reseeded)[i].second.approximation) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
 }  // namespace
 }  // namespace shapcq
