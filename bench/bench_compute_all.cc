@@ -54,14 +54,17 @@ bool RunWorkload(const char* label, const AggregateQuery& a,
   SolverOptions one_thread;
   one_thread.num_threads = 1;
   std::vector<std::pair<FactId, SolveResult>> batched;
+  bench::AllocDelta batched_alloc;
   double batched_ms = bench::TimeMs([&] {
-    auto results = solver.ComputeAll(db, one_thread);
-    if (!results.ok()) {
-      std::fprintf(stderr, "ComputeAll failed: %s\n",
-                   results.status().ToString().c_str());
-      std::exit(1);
-    }
-    batched = std::move(results).value();
+    batched_alloc = bench::MeasureAlloc([&] {
+      auto results = solver.ComputeAll(db, one_thread);
+      if (!results.ok()) {
+        std::fprintf(stderr, "ComputeAll failed: %s\n",
+                     results.status().ToString().c_str());
+        std::exit(1);
+      }
+      batched = std::move(results).value();
+    });
   });
   std::printf("batched ComputeAll  : %10.1f ms  (%.1f facts/s)\n", batched_ms,
               1000.0 * n / batched_ms);
@@ -106,6 +109,9 @@ bool RunWorkload(const char* label, const AggregateQuery& a,
       .Num("batched_facts_per_sec", 1000.0 * n / batched_ms)
       .Num("speedup", speedup)
       .Bool("identical", identical)
+      .Int("batched_alloc_bytes", static_cast<long long>(batched_alloc.bytes))
+      .Int("batched_alloc_calls", static_cast<long long>(batched_alloc.calls))
+      .Int("peak_rss_bytes", static_cast<long long>(bench::PeakRssBytes()))
       .Emit();
   return identical;
 }

@@ -131,8 +131,11 @@ int main(int argc, char** argv) {
     options.num_threads = 1;
     StatusOr<std::vector<std::pair<FactId, Rational>>> circuit =
         UnsupportedError("unset");
-    double circuit_ms = bench::TimeMs(
-        [&] { circuit = LineageCircuitScoreAll(chain, db, options); });
+    bench::AllocDelta circuit_alloc;
+    double circuit_ms = bench::TimeMs([&] {
+      circuit_alloc = bench::MeasureAlloc(
+          [&] { circuit = LineageCircuitScoreAll(chain, db, options); });
+    });
     if (!circuit.ok()) std::abort();
     StatusOr<std::vector<std::pair<FactId, Rational>>> brute =
         UnsupportedError("unset");
@@ -156,6 +159,10 @@ int main(int argc, char** argv) {
         .Num("circuit_ms", circuit_ms)
         .Int("circuit_nodes", static_cast<int64_t>(stats.circuit_nodes))
         .Bool("bitwise_identical", identical)
+        .Int("circuit_alloc_bytes",
+             static_cast<long long>(circuit_alloc.bytes))
+        .Int("circuit_alloc_calls",
+             static_cast<long long>(circuit_alloc.calls))
         .Emit();
     LineageStats::Global().Reset();
   }
@@ -170,8 +177,11 @@ int main(int argc, char** argv) {
     SolverSession session(chain, db);
     StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
         UnsupportedError("unset");
-    double exact_ms =
-        bench::TimeMs([&] { results = session.ComputeAll(options); });
+    bench::AllocDelta exact_alloc;
+    double exact_ms = bench::TimeMs([&] {
+      exact_alloc = bench::MeasureAlloc(
+          [&] { results = session.ComputeAll(options); });
+    });
     if (!results.ok()) std::abort();
     int exact_facts = 0;
     for (const auto& [fact, result] : *results) {
@@ -198,6 +208,9 @@ int main(int argc, char** argv) {
         .Int("circuit_nodes", static_cast<int64_t>(stats.circuit_nodes))
         .Int("exact_facts", exact_facts)
         .Num("monte_carlo_1000_ms", mc_ms)
+        .Int("circuit_alloc_bytes", static_cast<long long>(exact_alloc.bytes))
+        .Int("circuit_alloc_calls", static_cast<long long>(exact_alloc.calls))
+        .Int("peak_rss_bytes", static_cast<long long>(bench::PeakRssBytes()))
         .Emit();
     LineageStats::Global().Reset();
   }

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   ConjunctiveQuery q = MustParseQuery("Q(x, z) <- R(i, x), T(j, z)");
   AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
                            AggregateFunction::Max()};
-  SumKEngine engine = [&q](const AggregateQuery&, const Database& d) {
+  SumKEngine engine = [&q](const AggregateQuery&, const Database& d,
+                           const SolverOptions&) {
     return MonoidMinMaxSumK(q, MonoidKind::kPlus, {0, 1}, /*is_max=*/true, d);
   };
   std::printf("%6s %10s %18s %18s %10s\n", "n/side", "players",

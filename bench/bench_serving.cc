@@ -100,11 +100,15 @@ bool RunWorkload(const char* label, const AggregateQuery& a, int tenants,
   PlanCache cache;
   cache.GetOrCompile(a);  // prime, outside the timed loop
   std::vector<Results> warm(static_cast<size_t>(tenants));
+  bench::AllocDelta warm_alloc;
   double warm_ms = bench::TimeMs([&] {
-    for (int t = 0; t < tenants; ++t) {
-      warm[static_cast<size_t>(t)] = MustComputeAll(
-          cache.GetOrCompile(a), databases[static_cast<size_t>(t)], options);
-    }
+    warm_alloc = bench::MeasureAlloc([&] {
+      for (int t = 0; t < tenants; ++t) {
+        warm[static_cast<size_t>(t)] = MustComputeAll(
+            cache.GetOrCompile(a), databases[static_cast<size_t>(t)],
+            options);
+      }
+    });
   });
   std::printf("warm (cached plan)  : %10.1f ms  (%.1f req/s)\n", warm_ms,
               1000.0 * tenants / warm_ms);
@@ -136,6 +140,9 @@ bool RunWorkload(const char* label, const AggregateQuery& a, int tenants,
       .Int("cache_hits", static_cast<long long>(stats.hits))
       .Int("cache_misses", static_cast<long long>(stats.misses))
       .Bool("identical", identical)
+      .Int("warm_alloc_bytes", static_cast<long long>(warm_alloc.bytes))
+      .Int("warm_alloc_calls", static_cast<long long>(warm_alloc.calls))
+      .Int("peak_rss_bytes", static_cast<long long>(bench::PeakRssBytes()))
       .Emit();
   return identical;
 }

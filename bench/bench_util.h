@@ -8,15 +8,71 @@
 #ifndef SHAPCQ_BENCH_BENCH_UTIL_H_
 #define SHAPCQ_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace shapcq::bench {
+
+// ---------------------------------------------------------------------------
+// Allocation telemetry: a counting replacement operator new/delete makes
+// arena/fixed-width wins visible in BENCH_JSON, not just wall-clock. The
+// replaceable global functions are defined below this namespace, gated on
+// SHAPCQ_BENCH_ALLOC_HOOK (set by CMake for bench binaries only — tests
+// also include this header, and a bench binary has exactly one TU that
+// does, so the non-inline definitions appear exactly once per binary).
+// Without the hook the counters just stay at zero.
+// ---------------------------------------------------------------------------
+
+namespace alloc_hook {
+inline std::atomic<unsigned long long> bytes{0};
+inline std::atomic<unsigned long long> calls{0};
+}  // namespace alloc_hook
+
+// Heap bytes requested / allocation calls since process start.
+inline unsigned long long AllocBytes() {
+  return alloc_hook::bytes.load(std::memory_order_relaxed);
+}
+inline unsigned long long AllocCalls() {
+  return alloc_hook::calls.load(std::memory_order_relaxed);
+}
+
+// Peak resident set size in bytes (0 where unavailable).
+inline unsigned long long PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<unsigned long long>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<unsigned long long>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+// Allocation delta around one invocation.
+struct AllocDelta {
+  unsigned long long bytes = 0;
+  unsigned long long calls = 0;
+};
+inline AllocDelta MeasureAlloc(const std::function<void()>& fn) {
+  const unsigned long long bytes_before = AllocBytes();
+  const unsigned long long calls_before = AllocCalls();
+  fn();
+  return {AllocBytes() - bytes_before, AllocCalls() - calls_before};
+}
 
 // Wall-clock milliseconds of one invocation.
 inline double TimeMs(const std::function<void()>& fn) {
@@ -131,5 +187,49 @@ class JsonLine {
 };
 
 }  // namespace shapcq::bench
+
+#if defined(SHAPCQ_BENCH_ALLOC_HOOK)
+// Counting replacement allocation functions (deliberately not inline; see
+// the alloc_hook comment above). Deletes are left to the default
+// implementation-provided free path via std::free, matching the malloc
+// calls here. Only totals are tracked — cumulative bytes requested and
+// call count — which is what the BENCH_JSON alloc_bytes field reports.
+namespace shapcq::bench::alloc_hook {
+inline void* CountedAlloc(std::size_t size) {
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+inline void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align))
+    return p;
+  throw std::bad_alloc();
+}
+}  // namespace shapcq::bench::alloc_hook
+
+void* operator new(std::size_t size) {
+  return shapcq::bench::alloc_hook::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return shapcq::bench::alloc_hook::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return shapcq::bench::alloc_hook::CountedAllocAligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return shapcq::bench::alloc_hook::CountedAllocAligned(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+#endif  // SHAPCQ_BENCH_ALLOC_HOOK
 
 #endif  // SHAPCQ_BENCH_BENCH_UTIL_H_

@@ -77,7 +77,8 @@ int main() {
   }
   ConjunctiveQuery q2 = MustParseQuery("Q2(wc, wt) <- CargoW(wc), TruckW(wt)");
   std::printf("  Max o (wc+wt) o %s\n", q2.ToString().c_str());
-  SumKEngine monoid_engine = [&q2](const AggregateQuery&, const Database& d) {
+  SumKEngine monoid_engine = [&q2](const AggregateQuery&, const Database& d,
+                                   const SolverOptions&) {
     return MonoidMinMaxSumK(q2, MonoidKind::kPlus, {0, 1}, /*is_max=*/true, d);
   };
   AggregateQuery a2{q2, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),

@@ -4,6 +4,19 @@
 
 #include "shapcq/util/check.h"
 
+// Instruction-set detection for the SIMD intersection kernel. SSE2 is part
+// of the x86-64 baseline and NEON of the AArch64 baseline, so neither needs
+// -march flags; anything else falls back to the scalar galloping path.
+#if defined(SHAPCQ_SIMD)
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define SHAPCQ_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define SHAPCQ_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
 namespace shapcq {
 
 namespace {
@@ -84,9 +97,89 @@ size_t GallopTo(const std::vector<FactId>& list, size_t lo, FactId target) {
       list.begin());
 }
 
+// Pairwise a ∩ b by galloping, a the smaller (driving) list.
+std::vector<FactId> IntersectPairGallop(const std::vector<FactId>& a,
+                                        const std::vector<FactId>& b) {
+  std::vector<FactId> out;
+  out.reserve(a.size());
+  size_t cursor = 0;
+  for (FactId candidate : a) {
+    const size_t at = GallopTo(b, cursor, candidate);
+    cursor = at;
+    if (at == b.size()) break;
+    if (b[at] == candidate) out.push_back(candidate);
+  }
+  return out;
+}
+
+#if defined(SHAPCQ_SIMD_SSE2) || defined(SHAPCQ_SIMD_NEON)
+
+// Length skew beyond which galloping beats the block compare even with
+// SIMD: the block kernel is linear in |b|, galloping is |a|·log|b|.
+constexpr size_t kSimdSkewLimit = 32;
+
+// Pairwise a ∩ b for comparable lengths: broadcast the next candidate of
+// `a` against a block of four elements of `b`. The inner step is
+// branch-light — one compare + movemask per block — and both streams
+// advance monotonically. Correctness of the block advance: ib += 4 only
+// when b[ib+3] < x, so a candidate x present in b at position >= ib is
+// never skipped; when b[ib+3] >= x and x is not in the block, x is not in
+// b at all (b ascending), so the candidate advances instead.
+std::vector<FactId> IntersectPairSimd(const std::vector<FactId>& a,
+                                      const std::vector<FactId>& b) {
+  static_assert(sizeof(FactId) == 4, "block kernel assumes 32-bit FactId");
+  std::vector<FactId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t ia = 0;
+  size_t ib = 0;
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  while (ia < na && ib + 4 <= nb) {
+    const FactId x = a[ia];
+#if defined(SHAPCQ_SIMD_SSE2)
+    const __m128i xv = _mm_set1_epi32(x);
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + ib));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi32(xv, bv));
+    const bool hit = mask != 0;
+#else  // SHAPCQ_SIMD_NEON
+    const int32x4_t xv = vdupq_n_s32(x);
+    const int32x4_t bv = vld1q_s32(b.data() + ib);
+    const bool hit = vmaxvq_u32(vceqq_s32(xv, bv)) != 0;
+#endif
+    if (hit) {
+      out.push_back(x);
+      // Matches are rare relative to block steps; a short scalar scan
+      // finds the lane and advances past it.
+      while (b[ib] != x) ++ib;
+      ++ib;
+      ++ia;
+    } else if (b[ib + 3] < x) {
+      ib += 4;
+    } else {
+      ++ia;
+    }
+  }
+  // Scalar merge tail for the last < 4 elements of b.
+  while (ia < na && ib < nb) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      out.push_back(a[ia]);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+#endif  // SHAPCQ_SIMD_SSE2 || SHAPCQ_SIMD_NEON
+
 }  // namespace
 
-std::vector<FactId> IntersectPostings(
+std::vector<FactId> IntersectPostingsScalar(
     std::vector<const std::vector<FactId>*> lists) {
   SHAPCQ_CHECK(!lists.empty());
   // Smallest list first: it drives the galloping probes into the others.
@@ -112,6 +205,49 @@ std::vector<FactId> IntersectPostings(
     if (in_all) result.push_back(candidate);
   }
   return result;
+}
+
+bool SimdIntersectionAvailable() {
+#if defined(SHAPCQ_SIMD_SSE2) || defined(SHAPCQ_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::vector<FactId> IntersectPostings(
+    std::vector<const std::vector<FactId>*> lists) {
+#if defined(SHAPCQ_SIMD_SSE2) || defined(SHAPCQ_SIMD_NEON)
+  SHAPCQ_CHECK(!lists.empty());
+  if (lists.size() == 1) return *lists.front();
+  // Smallest-first pairwise reduction; intersection is associative and
+  // each kernel produces the ascending set intersection, so the result is
+  // identical to the multiway scalar path.
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<FactId>* a, const std::vector<FactId>* b) {
+              return a->size() < b->size();
+            });
+  std::vector<FactId> current = [&] {
+    const std::vector<FactId>& a = *lists[0];
+    const std::vector<FactId>& b = *lists[1];
+    if (a.empty() || b.size() / std::max<size_t>(a.size(), 1) >=
+                         kSimdSkewLimit) {
+      return IntersectPairGallop(a, b);
+    }
+    return IntersectPairSimd(a, b);
+  }();
+  for (size_t i = 2; i < lists.size() && !current.empty(); ++i) {
+    const std::vector<FactId>& next = *lists[i];
+    if (next.size() / current.size() >= kSimdSkewLimit) {
+      current = IntersectPairGallop(current, next);
+    } else {
+      current = IntersectPairSimd(current, next);
+    }
+  }
+  return current;
+#else
+  return IntersectPostingsScalar(std::move(lists));
+#endif
 }
 
 }  // namespace shapcq

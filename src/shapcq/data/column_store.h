@@ -74,12 +74,23 @@ class ColumnStore {
   std::vector<Relation> relations_;
 };
 
-// Intersects ascending posting lists by galloping (exponential) search:
-// each step advances the probe list by doubling strides before binary
-// search, so intersecting a small list against a large one costs
-// O(small · log(large)). `lists` must be non-empty; the result is ascending.
+// Intersects ascending posting lists; `lists` must be non-empty and the
+// result is ascending. Dispatches per pair of lists: comparable lengths go
+// through a branch-light SIMD block-compare kernel (SSE2 on x86-64, NEON
+// on AArch64 — both baseline, no -march flags) when the build enables
+// SHAPCQ_SIMD; heavily skewed pairs and non-SIMD builds use galloping
+// (exponential) search, which costs O(small · log(large)).
 std::vector<FactId> IntersectPostings(
     std::vector<const std::vector<FactId>*> lists);
+
+// The scalar galloping implementation, always compiled: the differential
+// oracle for the SIMD kernel and the fallback on every platform.
+std::vector<FactId> IntersectPostingsScalar(
+    std::vector<const std::vector<FactId>*> lists);
+
+// True when IntersectPostings can take the SIMD path in this build
+// (SHAPCQ_SIMD enabled and a supported instruction set detected).
+bool SimdIntersectionAvailable();
 
 }  // namespace shapcq
 

@@ -75,10 +75,11 @@ class DnfCompiler {
  public:
   DnfCompiler(int num_vars, const CircuitBudget& budget) : budget_(budget) {
     circuit_.num_vars = num_vars;
-    circuit_.nodes.push_back(
-        {LineageCircuit::NodeKind::kFalse, {}, -1, -1, -1, {}});
-    circuit_.nodes.push_back(
-        {LineageCircuit::NodeKind::kTrue, {}, -1, -1, -1, {}});
+    LineageCircuit::Node constant;
+    constant.kind = LineageCircuit::NodeKind::kFalse;
+    circuit_.nodes.push_back(constant);
+    constant.kind = LineageCircuit::NodeKind::kTrue;
+    circuit_.nodes.push_back(constant);
   }
 
   StatusOr<LineageCircuit> Compile(std::vector<std::vector<int>> clauses) {
@@ -270,24 +271,42 @@ class DnfCompiler {
     return best_var;
   }
 
-  int NewDecision(int var, int hi, int lo, std::vector<int> node_vars) {
-    return NewNode({LineageCircuit::NodeKind::kDecision, std::move(node_vars),
-                    var, hi, lo, {}});
+  int NewDecision(int var, int hi, int lo, const std::vector<int>& node_vars) {
+    LineageCircuit::Node node;
+    node.kind = LineageCircuit::NodeKind::kDecision;
+    node.var = var;
+    node.hi = hi;
+    node.lo = lo;
+    return NewNode(node, node_vars, {});
   }
 
-  int NewAnd(std::vector<int> children, std::vector<int> node_vars) {
-    return NewNode({LineageCircuit::NodeKind::kAnd, std::move(node_vars), -1,
-                    -1, -1, std::move(children)});
+  int NewAnd(const std::vector<int>& children,
+             const std::vector<int>& node_vars) {
+    LineageCircuit::Node node;
+    node.kind = LineageCircuit::NodeKind::kAnd;
+    return NewNode(node, node_vars, children);
   }
 
-  int NewNode(LineageCircuit::Node node) {
+  // Appends the node's spans to the circuit pools and the node itself.
+  // Budget is checked before anything is appended, so a failed compile
+  // leaves no dangling pool slices.
+  int NewNode(LineageCircuit::Node node, const std::vector<int>& node_vars,
+              const std::vector<int>& children) {
     if (circuit_.num_nodes() >= budget_.max_nodes) {
       failure_ = UnsupportedError(
           "lineage circuit budget exceeded: more than " +
           std::to_string(budget_.max_nodes) + " nodes");
       return -1;
     }
-    circuit_.nodes.push_back(std::move(node));
+    node.vars_offset = static_cast<int32_t>(circuit_.var_pool.size());
+    node.vars_len = static_cast<int32_t>(node_vars.size());
+    circuit_.var_pool.insert(circuit_.var_pool.end(), node_vars.begin(),
+                             node_vars.end());
+    node.children_offset = static_cast<int32_t>(circuit_.child_pool.size());
+    node.children_len = static_cast<int32_t>(children.size());
+    circuit_.child_pool.insert(circuit_.child_pool.end(), children.begin(),
+                               children.end());
+    circuit_.nodes.push_back(node);
     return static_cast<int>(circuit_.nodes.size()) - 1;
   }
 
@@ -300,8 +319,9 @@ class DnfCompiler {
 // --- counting -------------------------------------------------------------
 
 // Count vectors indexed by assignment weight; an empty vector is the zero
-// polynomial.
-using Poly = std::vector<BigInt>;
+// polynomial. CountValue keeps the convolutions allocation-free until an
+// entry outgrows 256 bits (exactness is preserved either way).
+using Poly = std::vector<CountValue>;
 
 // c[k] = Σ_i a[i]·b[k−i], truncated to max_len entries.
 Poly Conv(const Poly& a, const Poly& b, size_t max_len) {
@@ -312,7 +332,7 @@ Poly Conv(const Poly& a, const Poly& b, size_t max_len) {
     if (a[i].is_zero()) continue;
     for (size_t j = 0; j < b.size() && i + j < len; ++j) {
       if (b[j].is_zero()) continue;
-      c[i + j] += a[i] * b[j];
+      c[i + j].AddProduct(a[i], b[j]);
     }
   }
   return c;
@@ -337,9 +357,9 @@ void AddInto(Poly* acc, const Poly& add) {
 }
 
 // parent \ child \ {skip_var}: the "gap" variables a child edge smooths
-// over (both inputs sorted).
-std::vector<int> GapVars(const std::vector<int>& parent,
-                         const std::vector<int>& child, int skip_var) {
+// over (both inputs sorted; the spans point into the circuit's var pool).
+std::vector<int> GapVars(LineageCircuit::Span parent,
+                         LineageCircuit::Span child, int skip_var) {
   std::vector<int> gap;
   std::set_difference(parent.begin(), parent.end(), child.begin(),
                       child.end(), std::back_inserter(gap));
@@ -380,28 +400,28 @@ CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
       case LineageCircuit::NodeKind::kFalse:
         break;  // zero polynomial
       case LineageCircuit::NodeKind::kTrue:
-        counts[i] = {BigInt(1)};
+        counts[i] = {CountValue(1)};
         break;
       case LineageCircuit::NodeKind::kDecision: {
-        const size_t len = node.vars.size() + 1;
+        const size_t len = static_cast<size_t>(node.vars_len) + 1;
         const auto& hi = nodes[static_cast<size_t>(node.hi)];
         const auto& lo = nodes[static_cast<size_t>(node.lo)];
-        int64_t gap_hi = static_cast<int64_t>(node.vars.size()) - 1 -
-                         static_cast<int64_t>(hi.vars.size());
-        int64_t gap_lo = static_cast<int64_t>(node.vars.size()) - 1 -
-                         static_cast<int64_t>(lo.vars.size());
+        int64_t gap_hi = static_cast<int64_t>(node.vars_len) - 1 -
+                         static_cast<int64_t>(hi.vars_len);
+        int64_t gap_lo = static_cast<int64_t>(node.vars_len) - 1 -
+                         static_cast<int64_t>(lo.vars_len);
         SHAPCQ_CHECK(gap_hi >= 0 && gap_lo >= 0);
         Poly result =
             Conv(Shift1(counts[static_cast<size_t>(node.hi)], len),
-                 comb->BinomialRow(gap_hi), len);
+                 comb->CountRow(gap_hi), len);
         AddInto(&result, Conv(counts[static_cast<size_t>(node.lo)],
-                              comb->BinomialRow(gap_lo), len));
+                              comb->CountRow(gap_lo), len));
         counts[i] = std::move(result);
         break;
       }
       case LineageCircuit::NodeKind::kAnd: {
-        Poly result = {BigInt(1)};
-        for (int child : node.children) {
+        Poly result = {CountValue(1)};
+        for (int child : circuit.children(node)) {
           result = Conv(result, counts[static_cast<size_t>(child)], max_len);
         }
         counts[i] = std::move(result);
@@ -410,13 +430,13 @@ CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
     }
   }
 
-  CircuitModelCounts result;
-  result.by_size.assign(max_len, BigInt());
-  result.containing.assign(static_cast<size_t>(circuit.num_vars),
-                           std::vector<BigInt>());
-  auto add_containing = [&result, max_len](int v, const Poly& add) {
-    std::vector<BigInt>& acc = result.containing[static_cast<size_t>(v)];
-    if (acc.empty()) acc.assign(max_len, BigInt());
+  // Accumulate per-variable rows in CountValue; convert to the public
+  // BigInt representation once at the end.
+  std::vector<Poly> containing(static_cast<size_t>(circuit.num_vars));
+  Poly by_size(max_len);
+  auto add_containing = [&containing, max_len](int v, const Poly& add) {
+    Poly& acc = containing[static_cast<size_t>(v)];
+    if (acc.empty()) acc.assign(max_len, CountValue());
     for (size_t i = 0; i < add.size(); ++i) {
       if (!add[i].is_zero()) acc[i] += add[i];
     }
@@ -437,14 +457,16 @@ CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
     for (int v = 0; v < circuit.num_vars; ++v) {
       all[static_cast<size_t>(v)] = v;
     }
-    std::vector<int> gap = GapVars(all, nodes[root].vars, -1);
+    const LineageCircuit::Span all_span = {all.data(),
+                                           static_cast<int32_t>(all.size())};
+    std::vector<int> gap = GapVars(all_span, circuit.vars(nodes[root]), -1);
     const int64_t g = static_cast<int64_t>(gap.size());
-    ctx[root] = Poly(comb->BinomialRow(g));
+    ctx[root] = Poly(comb->CountRow(g));
     Poly total = Conv(counts[root], ctx[root], max_len);
-    for (size_t k = 0; k < total.size(); ++k) result.by_size[k] = total[k];
+    for (size_t k = 0; k < total.size(); ++k) by_size[k] = total[k];
     if (g > 0) {
       Poly gap_models = Shift1(
-          Conv(counts[root], comb->BinomialRow(g - 1), max_len), max_len);
+          Conv(counts[root], comb->CountRow(g - 1), max_len), max_len);
       for (int u : gap) add_containing(u, gap_models);
     }
   }
@@ -455,8 +477,10 @@ CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
     if (node.kind == LineageCircuit::NodeKind::kDecision) {
       const auto& hi = nodes[static_cast<size_t>(node.hi)];
       const auto& lo = nodes[static_cast<size_t>(node.lo)];
-      std::vector<int> gap_hi = GapVars(node.vars, hi.vars, node.var);
-      std::vector<int> gap_lo = GapVars(node.vars, lo.vars, node.var);
+      std::vector<int> gap_hi =
+          GapVars(circuit.vars(node), circuit.vars(hi), node.var);
+      std::vector<int> gap_lo =
+          GapVars(circuit.vars(node), circuit.vars(lo), node.var);
       const int64_t gh = static_cast<int64_t>(gap_hi.size());
       const int64_t gl = static_cast<int64_t>(gap_lo.size());
       // hi branch: every assignment through it sets the decision variable.
@@ -464,54 +488,69 @@ CircuitModelCounts CountModelsBySize(const LineageCircuit& circuit,
           Shift1(Conv(ctx[i], counts[static_cast<size_t>(node.hi)], max_len),
                  max_len);
       add_containing(node.var,
-                     Conv(through_hi, comb->BinomialRow(gh), max_len));
+                     Conv(through_hi, comb->CountRow(gh), max_len));
       if (gh > 0) {
         Poly gap_models = Conv(Shift1(through_hi, max_len),
-                               comb->BinomialRow(gh - 1), max_len);
+                               comb->CountRow(gh - 1), max_len);
         for (int u : gap_hi) add_containing(u, gap_models);
       }
       AddInto(&ctx[static_cast<size_t>(node.hi)],
-              Conv(Shift1(ctx[i], max_len), comb->BinomialRow(gh), max_len));
+              Conv(Shift1(ctx[i], max_len), comb->CountRow(gh), max_len));
       // lo branch: the decision variable is 0; only gap variables add
       // ones outside the child here.
       if (gl > 0) {
         Poly through_lo =
             Conv(ctx[i], counts[static_cast<size_t>(node.lo)], max_len);
         Poly gap_models = Conv(Shift1(through_lo, max_len),
-                               comb->BinomialRow(gl - 1), max_len);
+                               comb->CountRow(gl - 1), max_len);
         for (int u : gap_lo) add_containing(u, gap_models);
       }
       AddInto(&ctx[static_cast<size_t>(node.lo)],
-              Conv(ctx[i], comb->BinomialRow(gl), max_len));
+              Conv(ctx[i], comb->CountRow(gl), max_len));
     } else if (node.kind == LineageCircuit::NodeKind::kAnd) {
-      const size_t r = node.children.size();
+      const LineageCircuit::Span children = circuit.children(node);
+      const size_t r = static_cast<size_t>(children.size());
       // Prefix/suffix products of sibling counts: child c's context is
       // ctx ⊛ (product of every sibling's count vector).
       std::vector<Poly> prefix(r + 1);
       std::vector<Poly> suffix(r + 1);
-      prefix[0] = {BigInt(1)};
-      suffix[r] = {BigInt(1)};
+      prefix[0] = {CountValue(1)};
+      suffix[r] = {CountValue(1)};
       for (size_t c = 0; c < r; ++c) {
-        prefix[c + 1] = Conv(
-            prefix[c], counts[static_cast<size_t>(node.children[c])], max_len);
+        prefix[c + 1] =
+            Conv(prefix[c],
+                 counts[static_cast<size_t>(children[static_cast<int32_t>(c)])],
+                 max_len);
       }
       for (size_t c = r; c-- > 0;) {
         suffix[c] =
-            Conv(suffix[c + 1], counts[static_cast<size_t>(node.children[c])],
+            Conv(suffix[c + 1],
+                 counts[static_cast<size_t>(children[static_cast<int32_t>(c)])],
                  max_len);
       }
       for (size_t c = 0; c < r; ++c) {
-        AddInto(&ctx[static_cast<size_t>(node.children[c])],
+        AddInto(&ctx[static_cast<size_t>(children[static_cast<int32_t>(c)])],
                 Conv(ctx[i], Conv(prefix[c], suffix[c + 1], max_len),
                      max_len));
       }
     }
   }
 
+  // Convert the CountValue accumulators to the public BigInt rows.
   // Variables with no accumulated vector never occur in a model: give them
   // explicit zero rows so consumers can index uniformly.
-  for (auto& row : result.containing) {
-    if (row.empty()) row.assign(max_len, BigInt());
+  CircuitModelCounts result;
+  result.by_size.reserve(max_len);
+  for (const CountValue& v : by_size) result.by_size.push_back(v.ToBigInt());
+  result.containing.resize(static_cast<size_t>(circuit.num_vars));
+  for (size_t v = 0; v < containing.size(); ++v) {
+    std::vector<BigInt>& row = result.containing[v];
+    if (containing[v].empty()) {
+      row.assign(max_len, BigInt());
+    } else {
+      row.reserve(max_len);
+      for (const CountValue& c : containing[v]) row.push_back(c.ToBigInt());
+    }
   }
   return result;
 }

@@ -26,7 +26,9 @@
 // quantities the counting-based Shapley formula consumes
 // (circuit children mention subsets of their parent's variables; the gap
 // variables are handled with binomial smoothing instead of materializing
-// smoothing nodes). All counts are exact BigInt.
+// smoothing nodes). All counts are exact: the passes run on fixed-width
+// CountValue integers that escape to BigInt on overflow, and the public
+// results are BigInt.
 
 #ifndef SHAPCQ_LINEAGE_CIRCUIT_H_
 #define SHAPCQ_LINEAGE_CIRCUIT_H_
@@ -51,29 +53,60 @@ struct CircuitBudget {
 };
 
 // A compiled decision-DNNF over variables 0..num_vars-1.
+//
+// Node storage is arena-style: a node is POD, and its variable set and AND
+// child list are (offset, length) spans into two pooled arrays owned by
+// the circuit. Nodes pack contiguously and the counting passes sweep
+// linear memory instead of chasing one heap vector per node.
 class LineageCircuit {
  public:
   enum class NodeKind { kFalse, kTrue, kDecision, kAnd };
 
   struct Node {
     NodeKind kind;
-    // The subformula's variable set, sorted ascending. Children mention
-    // subsets of it; the counting pass smooths the gaps with binomials.
-    std::vector<int> vars;
-    int var = -1;              // decision variable (kDecision)
-    int hi = -1;               // child under var = 1 (kDecision)
-    int lo = -1;               // child under var = 0 (kDecision)
-    std::vector<int> children; // variable-disjoint conjuncts (kAnd)
+    int var = -1;                // decision variable (kDecision)
+    int hi = -1;                 // child under var = 1 (kDecision)
+    int lo = -1;                 // child under var = 0 (kDecision)
+    // The subformula's variable set, sorted ascending, as a span into
+    // var_pool. Children mention subsets of it; the counting pass smooths
+    // the gaps with binomials.
+    int32_t vars_offset = 0;
+    int32_t vars_len = 0;
+    // Variable-disjoint conjuncts (kAnd) as a span into child_pool.
+    int32_t children_offset = 0;
+    int32_t children_len = 0;
+  };
+
+  // Read-only view of one node's slice of a pool.
+  struct Span {
+    const int* ptr;
+    int32_t len;
+    const int* begin() const { return ptr; }
+    const int* end() const { return ptr + len; }
+    int32_t size() const { return len; }
+    bool empty() const { return len == 0; }
+    int operator[](int32_t i) const { return ptr[i]; }
   };
 
   // Nodes in creation order: children precede parents, so ascending index
   // is a topological order (constants first at indices 0 and 1).
   std::vector<Node> nodes;
+  // Pooled span storage: every node's variable set (var_pool) and AND
+  // child list (child_pool), appended in node-creation order.
+  std::vector<int> var_pool;
+  std::vector<int> child_pool;
   int root = 0;
   int num_vars = 0;
   // Compiler telemetry: memo-cache behavior of this compilation.
   int64_t cache_lookups = 0;
   int64_t cache_hits = 0;
+
+  Span vars(const Node& node) const {
+    return {var_pool.data() + node.vars_offset, node.vars_len};
+  }
+  Span children(const Node& node) const {
+    return {child_pool.data() + node.children_offset, node.children_len};
+  }
 
   int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
   bool constant_true() const {

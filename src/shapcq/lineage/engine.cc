@@ -274,12 +274,13 @@ StatusOr<Rational> LineageCircuitScoreOne(const AggregateQuery& a,
 }
 
 StatusOr<SumKSeries> LineageCircuitSumK(const AggregateQuery& a,
-                                        const Database& db) {
+                                        const Database& db,
+                                        const SolverOptions& options) {
   Status shape = CheckLineageShape(a);
   if (!shape.ok()) return shape;
   const int64_t n = db.num_endogenous();
   const LineageSet lineage = ExtractLineage(a.query, db);
-  const CircuitBudget budget = BudgetFrom(LineageOptions{});
+  const CircuitBudget budget = BudgetFrom(options.lineage);
   Combinatorics comb;
   SumKSeries series(static_cast<size_t>(n) + 1);
   for (const AnswerLineage& answer : lineage.answers) {

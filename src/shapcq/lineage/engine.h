@@ -88,12 +88,13 @@ StatusOr<Rational> LineageCircuitScoreOne(const AggregateQuery& a,
 
 // sum_k(A, D) from the per-answer circuit model counts, padded to the full
 // player universe with binomials. Powers ComputeSumKSeries (and the CLI's
-// --expected) past the brute-force horizon. The SumKEngine signature
-// carries no SolverOptions anywhere in the stack, so this entry point
-// always compiles under the DEFAULT LineageOptions budget — a caller who
-// customizes SolverOptions::lineage gets it on the scoring paths only.
+// --expected) past the brute-force horizon. Compiles under the
+// options.lineage budget — SolverOptions flows through the SumKEngine
+// signature, so a customized budget applies here exactly as it does on
+// the scoring paths.
 StatusOr<SumKSeries> LineageCircuitSumK(const AggregateQuery& a,
-                                        const Database& db);
+                                        const Database& db,
+                                        const SolverOptions& options = {});
 
 void RegisterLineageCircuitEngine(EngineRegistry& registry);
 

@@ -296,7 +296,8 @@ Rational QuantileContribution(const Rational& q, int64_t less, int64_t equal,
 }
 
 StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
-                                     const Database& db) {
+                                     const Database& db,
+                                     const SolverOptions& /*options*/) {
   if (a.alpha.kind() != AggKind::kAvg &&
       a.alpha.kind() != AggKind::kQuantile) {
     return UnsupportedError("AvgQuantileSumK handles Avg and Qnt_q only");

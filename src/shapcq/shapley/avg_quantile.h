@@ -33,7 +33,8 @@ namespace shapcq {
 // unless the query is self-join-free and q-hierarchical and τ is localized
 // on some atom of Q.
 StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
-                                     const Database& db);
+                                     const Database& db,
+                                     const SolverOptions& options = {});
 
 // Batched all-facts scorer with the same gates as AvgQuantileSumK. The
 // reduction state shared across facts — the anchor vector, the relevance

@@ -58,7 +58,8 @@ Status CheckSize(const Database& db) {
 }  // namespace
 
 StatusOr<SumKSeries> BruteForceSumK(const AggregateQuery& a,
-                                    const Database& db) {
+                                    const Database& db,
+                                    const SolverOptions& /*options*/) {
   Status size_ok = CheckSize(db);
   if (!size_ok.ok()) return size_ok;
   MaskAggregator aggregator(a, db);

@@ -15,6 +15,7 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -28,7 +29,8 @@ inline constexpr int kBruteForceMaxPlayers = 26;
 
 // sum_k(A, D) by subset enumeration.
 StatusOr<SumKSeries> BruteForceSumK(const AggregateQuery& a,
-                                    const Database& db);
+                                    const Database& db,
+                                    const SolverOptions& options = {});
 
 // Score of one fact by direct subset enumeration of D_n \ {f} (uses a single
 // homomorphism precomputation, so cheaper than two BruteForceSumK calls).

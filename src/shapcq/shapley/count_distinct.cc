@@ -15,7 +15,8 @@
 namespace shapcq {
 
 StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
-                                       const Database& db) {
+                                       const Database& db,
+                                       const SolverOptions& options) {
   if (a.alpha.kind() != AggKind::kCountDistinct) {
     return UnsupportedError("CountDistinctSumK handles CountDistinct only");
   }
@@ -90,9 +91,10 @@ void RegisterCountDistinctEngines(EngineRegistry& registry) {
     return a.alpha.kind() == AggKind::kCountDistinct && a.query.arity() == 1 &&
            a.tau->is_injective() && a.tau->DependsOn() == std::vector<int>{0};
   };
-  rewrite.sum_k = [](const AggregateQuery& a, const Database& db) {
+  rewrite.sum_k = [](const AggregateQuery& a, const Database& db,
+                     const SolverOptions& options) {
     AggregateQuery as_count{a.query, a.tau, AggregateFunction::Count()};
-    return SumCountSumK(as_count, db);
+    return SumCountSumK(as_count, db, options);
   };
   rewrite.score_all = [](const AggregateQuery& a, const Database& db,
                          const SolverOptions& options) {

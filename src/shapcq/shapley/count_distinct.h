@@ -16,6 +16,7 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -24,7 +25,8 @@ namespace shapcq {
 // aggregate is CountDistinct, the query is self-join-free and
 // all-hierarchical, and τ is localized on some atom of Q.
 StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
-                                       const Database& db);
+                                       const Database& db,
+                                       const SolverOptions& options = {});
 
 class EngineRegistry;
 

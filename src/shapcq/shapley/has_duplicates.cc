@@ -141,7 +141,8 @@ class DupSolver {
 }  // namespace
 
 StatusOr<SumKSeries> HasDuplicatesSumK(const AggregateQuery& a,
-                                       const Database& db) {
+                                       const Database& db,
+                                       const SolverOptions& /*options*/) {
   if (a.alpha.kind() != AggKind::kHasDuplicates) {
     return UnsupportedError("HasDuplicatesSumK handles Dup only");
   }

@@ -605,7 +605,8 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> MaxScoreAll(
 
 }  // namespace
 
-StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db) {
+StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db,
+                                const SolverOptions& /*options*/) {
   if (a.alpha.kind() != AggKind::kMin && a.alpha.kind() != AggKind::kMax) {
     return UnsupportedError("MinMaxSumK handles Min and Max only");
   }

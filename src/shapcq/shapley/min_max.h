@@ -25,7 +25,8 @@ namespace shapcq {
 // sum_k series for A = Min ∘ τ ∘ Q or Max ∘ τ ∘ Q. Returns UNSUPPORTED
 // unless the query is self-join-free and all-hierarchical and τ is
 // localized on some atom of Q.
-StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db);
+StatusOr<SumKSeries> MinMaxSumK(const AggregateQuery& a, const Database& db,
+                                const SolverOptions& options = {});
 
 // Batched all-facts scorer with the same gates as MinMaxSumK. The shared
 // per-(query, database) state — anchor set, relevance split, binomial

@@ -1,5 +1,6 @@
 #include "shapcq/shapley/score.h"
 
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 
@@ -77,27 +78,43 @@ Rational ExpectedValueFromSumK(const SumKSeries& series, const Rational& p) {
 
 StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
                                 FactId fact, const SumKEngine& engine,
-                                ScoreKind kind) {
+                                const SolverOptions& options) {
   SHAPCQ_CHECK(db.fact(fact).endogenous);
   Database with_f_exogenous = db.WithFactExogenous(fact);
   Database without_f = db.WithoutFact(fact, /*old_to_new=*/nullptr);
-  StatusOr<SumKSeries> series_f = engine(a, with_f_exogenous);
+  StatusOr<SumKSeries> series_f = engine(a, with_f_exogenous, options);
   if (!series_f.ok()) return series_f.status();
-  StatusOr<SumKSeries> series_g = engine(a, without_f);
+  StatusOr<SumKSeries> series_g = engine(a, without_f, options);
   if (!series_g.ok()) return series_g.status();
-  return ScoreFromSumK(*series_f, *series_g, kind);
+  return ScoreFromSumK(*series_f, *series_g, options.score);
+}
+
+StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
+                                FactId fact, const SumKEngine& engine,
+                                ScoreKind kind) {
+  SolverOptions options;
+  options.score = kind;
+  return ScoreViaSumK(a, db, fact, engine, options);
+}
+
+StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
+    const AggregateQuery& a, const Database& db, const SumKEngine& engine,
+    const SolverOptions& options) {
+  std::vector<std::pair<FactId, Rational>> scores;
+  for (FactId fact : db.EndogenousFacts()) {
+    StatusOr<Rational> score = ScoreViaSumK(a, db, fact, engine, options);
+    if (!score.ok()) return score.status();
+    scores.emplace_back(fact, std::move(score).value());
+  }
+  return scores;
 }
 
 StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
     const AggregateQuery& a, const Database& db, const SumKEngine& engine,
     ScoreKind kind) {
-  std::vector<std::pair<FactId, Rational>> scores;
-  for (FactId fact : db.EndogenousFacts()) {
-    StatusOr<Rational> score = ScoreViaSumK(a, db, fact, engine, kind);
-    if (!score.ok()) return score.status();
-    scores.emplace_back(fact, std::move(score).value());
-  }
-  return scores;
+  SolverOptions options;
+  options.score = kind;
+  return ScoreAllViaSumK(a, db, engine, options);
 }
 
 }  // namespace shapcq

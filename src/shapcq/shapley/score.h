@@ -28,14 +28,20 @@
 
 namespace shapcq {
 
+// Declared in solver_options.h (which includes this header); passed through
+// SumKEngine so engines see the configured budgets and thread counts.
+struct SolverOptions;
+
 enum class ScoreKind { kShapley, kBanzhaf };
 
 // sum_k(A, D) for k = 0..|D_n| (length |D_n| + 1).
 using SumKSeries = std::vector<Rational>;
 
-// An exact engine: computes the sum_k series of A over a database.
-using SumKEngine =
-    std::function<StatusOr<SumKSeries>(const AggregateQuery&, const Database&)>;
+// An exact engine: computes the sum_k series of A over a database, under
+// the given solver options (budgets, thread counts). Every built-in engine
+// also defaults the options parameter, so direct 2-argument calls work.
+using SumKEngine = std::function<StatusOr<SumKSeries>(
+    const AggregateQuery&, const Database&, const SolverOptions&)>;
 
 // Combines the series of F (f exogenous) and G (f removed) into the score of
 // f in the original n-player game. Both series must have length n (entries
@@ -55,14 +61,23 @@ SumKSeries RemovedSeriesFromIdentity(const SumKSeries& full_series,
                                      const SumKSeries& series_f_exogenous);
 
 // Runs `engine` on F and G and combines. `fact` must be endogenous in `db`.
+// The ScoreKind form runs the engine under default solver options; the
+// SolverOptions overload forwards the full options (score kind included)
+// into every engine call.
 StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
                                 FactId fact, const SumKEngine& engine,
                                 ScoreKind kind = ScoreKind::kShapley);
+StatusOr<Rational> ScoreViaSumK(const AggregateQuery& a, const Database& db,
+                                FactId fact, const SumKEngine& engine,
+                                const SolverOptions& options);
 
 // Scores every endogenous fact (same engine, 2·n engine runs).
 StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
     const AggregateQuery& a, const Database& db, const SumKEngine& engine,
     ScoreKind kind = ScoreKind::kShapley);
+StatusOr<std::vector<std::pair<FactId, Rational>>> ScoreAllViaSumK(
+    const AggregateQuery& a, const Database& db, const SumKEngine& engine,
+    const SolverOptions& options);
 
 // General semivalue: Σ_k weights[k] · (sum_k(A,F) − sum_k(A,G)) for a
 // caller-supplied coefficient vector over coalition sizes k = 0..n−1

@@ -40,7 +40,7 @@ StatusOr<Rational> ScoreOneWith(const EngineProvider& engine,
     return engine.score_one(a, db, fact, options);
   }
   if (engine.sum_k != nullptr) {
-    return ScoreViaSumK(a, db, fact, engine.sum_k, options.score);
+    return ScoreViaSumK(a, db, fact, engine.sum_k, options);
   }
   return UnsupportedError("engine '" + engine.name +
                           "' has no per-fact entry point");
@@ -338,15 +338,16 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
   SHAPCQ_UNREACHABLE();
 }
 
-StatusOr<SumKSeries> SolverSession::ComputeSumKSeries() const {
+StatusOr<SumKSeries> SolverSession::ComputeSumKSeries(
+    const SolverOptions& options) const {
   Status failure = UnsupportedError(kNoEngineMessage);
   for (const EngineProvider* engine : plan_->engines()) {
     if (engine->sum_k == nullptr) continue;
-    StatusOr<SumKSeries> series = engine->sum_k(a(), db_);
+    StatusOr<SumKSeries> series = engine->sum_k(a(), db_, options);
     if (series.ok()) return series;
     if (failure.message() == kNoEngineMessage) failure = series.status();
   }
-  StatusOr<SumKSeries> brute = BruteForceSumK(a(), db_);
+  StatusOr<SumKSeries> brute = BruteForceSumK(a(), db_, options);
   if (brute.ok()) return brute;
   return failure;
 }

@@ -110,7 +110,8 @@ class SolverSession {
 
   // The raw sum_k series of the aggregate query over the database, from the
   // first applicable exact engine (brute force as last resort).
-  StatusOr<SumKSeries> ComputeSumKSeries() const;
+  StatusOr<SumKSeries> ComputeSumKSeries(
+      const SolverOptions& options = {}) const;
 
  private:
   const AggregateQuery& a() const { return plan_->aggregate_query(); }

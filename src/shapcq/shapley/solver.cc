@@ -49,9 +49,9 @@ ShapleySolver::ComputeAll(const Database& db,
 }
 
 StatusOr<SumKSeries> ShapleySolver::ComputeSumKSeries(
-    const Database& db) const {
+    const Database& db, const SolverOptions& options) const {
   SolverSession session(PlanCache::Global().GetOrCompile(a_), db);
-  return session.ComputeSumKSeries();
+  return session.ComputeSumKSeries(options);
 }
 
 }  // namespace shapcq

@@ -74,7 +74,8 @@ class ShapleySolver {
   // The raw sum_k series of the aggregate query over `db`, from the first
   // applicable exact engine (brute force as last resort). Feeds
   // ExpectedValueFromSumK and SemivalueFromSumK.
-  StatusOr<SumKSeries> ComputeSumKSeries(const Database& db) const;
+  StatusOr<SumKSeries> ComputeSumKSeries(
+      const Database& db, const SolverOptions& options = {}) const;
 
  private:
   AggregateQuery a_;

@@ -13,7 +13,8 @@
 namespace shapcq {
 
 StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
-                                      const Database& db) {
+                                      const Database& db,
+                                      const SolverOptions& options) {
   bool is_median = a.alpha.kind() == AggKind::kQuantile &&
                    a.alpha.quantile() == Rational(BigInt(1), BigInt(2));
   if (a.alpha.kind() != AggKind::kAvg && !is_median) {
@@ -90,7 +91,7 @@ StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
     }
   }
   AggregateQuery a1{q1, remapped_tau, a.alpha};
-  StatusOr<SumKSeries> value_series = AvgQuantileSumK(a1, d1);
+  StatusOr<SumKSeries> value_series = AvgQuantileSumK(a1, d1, options);
   if (!value_series.ok()) return value_series.status();
   StatusOr<std::vector<BigInt>> gate_counts =
       SatisfactionCounts(q2.AsBoolean(), d2);

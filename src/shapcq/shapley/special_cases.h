@@ -23,6 +23,7 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
 #include "shapcq/shapley/score.h"
+#include "shapcq/shapley/solver_options.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -32,7 +33,8 @@ namespace shapcq {
 // own, and Q2_bool hierarchical. Returns UNSUPPORTED when the shape does
 // not apply (callers fall back to other engines).
 StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
-                                      const Database& db);
+                                      const Database& db,
+                                      const SolverOptions& options = {});
 
 class EngineRegistry;
 

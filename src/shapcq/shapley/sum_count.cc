@@ -12,6 +12,7 @@
 #include "shapcq/shapley/membership.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
+#include "shapcq/util/fixed_int.h"
 #include "shapcq/util/parallel.h"
 
 namespace shapcq {
@@ -50,8 +51,8 @@ ConjunctiveQuery BindAnswer(const ConjunctiveQuery& q, const Tuple& answer) {
 
 }  // namespace
 
-StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a,
-                                  const Database& db) {
+StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db,
+                                  const SolverOptions& /*options*/) {
   Status shape = CheckSumCountShape(a);
   if (!shape.ok()) return shape;
   int n = db.num_endogenous();
@@ -119,13 +120,14 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
 
   // Accumulated per-fact delta series: delta[f][k] =
   //   Σ_t w(t) · (c_k(Q_t, F_f) − c_k(Q_t, G_f)),  k = 0..n−1.
-  // Integer answer weights (the common case) accumulate in pure BigInt
-  // arithmetic; fractional weights go to a separate Rational series. The
-  // split keeps gcd normalization out of the hot accumulation loop without
-  // changing the exact value of the sum.
+  // Integer answer weights (the common case) accumulate in fixed-width
+  // CountValue arithmetic (escaping to BigInt on overflow, still exact);
+  // fractional weights go to a separate Rational series. The split keeps
+  // gcd normalization and heap allocation out of the hot accumulation loop
+  // without changing the exact value of the sum.
   struct DeltaSeries {
-    std::vector<BigInt> integral;    // Σ over integer-weight answers
-    SumKSeries fractional;           // Σ over fractional-weight answers
+    std::vector<CountValue> integral;  // Σ over integer-weight answers
+    SumKSeries fractional;             // Σ over fractional-weight answers
   };
   using DeltaMap = std::unordered_map<FactId, DeltaSeries>;
 
@@ -150,6 +152,11 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
         for (size_t t = begin; t < end; ++t) {
           const ConjunctiveQuery& q_t = tasks[t].q_t;
           const Rational& weight = tasks[t].weight;
+          // Hoisted once per answer: the integral-path weight factor in the
+          // fixed-width representation.
+          const CountValue weight_cv = weight.is_integer()
+                                           ? CountValue(weight.numerator())
+                                           : CountValue();
           // Bitset relevance split over dense fact ids via the posting
           // lists — O(matching facts) per answer, not a database scan.
           RelevanceSplit split = SplitRelevantIndexed(q_t, work);
@@ -175,11 +182,11 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
             DeltaSeries& acc = delta[f];
             if (weight.is_integer()) {
               if (acc.integral.empty()) {
-                acc.integral.assign(static_cast<size_t>(n), BigInt());
+                acc.integral.assign(static_cast<size_t>(n), CountValue());
               }
               for (size_t k = 0; k < diff.size(); ++k) {
                 if (!diff[k].is_zero()) {
-                  acc.integral[k] += weight.numerator() * diff[k];
+                  acc.integral[k].AddProduct(weight_cv, diff[k]);
                 }
               }
             } else {
@@ -258,7 +265,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
         auto it = delta.find(f);
         if (it != delta.end()) {
           const DeltaSeries& d = it->second;
-          BigInt numerator;
+          CountValue numerator;
           Rational fractional_sum;
           for (int64_t k = 0; k < n; ++k) {
             const size_t uk = static_cast<size_t>(k);
@@ -266,9 +273,11 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
                                       ? shapley_numerator[uk]
                                       : denominator;  // unused for Banzhaf
             if (!d.integral.empty() && !d.integral[uk].is_zero()) {
-              numerator += kind == ScoreKind::kShapley
-                               ? coeff * d.integral[uk]
-                               : d.integral[uk];
+              if (kind == ScoreKind::kShapley) {
+                numerator.AddProduct(d.integral[uk], coeff);
+              } else {
+                numerator += d.integral[uk];
+              }
             }
             if (!d.fractional.empty() && !d.fractional[uk].is_zero()) {
               fractional_sum += kind == ScoreKind::kShapley
@@ -276,7 +285,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> SumCountScoreAll(
                                     : d.fractional[uk];
             }
           }
-          score = Rational(std::move(numerator), denominator);
+          score = Rational(numerator.ToBigInt(), denominator);
           if (!fractional_sum.is_zero()) {
             score += fractional_sum / Rational(denominator);
           }

@@ -22,7 +22,8 @@ namespace shapcq {
 // sum_k series for A = Sum ∘ τ ∘ Q or Count ∘ τ ∘ Q. Returns UNSUPPORTED if
 // the aggregate is neither, the query has self-joins, or the query is not
 // ∃-hierarchical.
-StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db);
+StatusOr<SumKSeries> SumCountSumK(const AggregateQuery& a, const Database& db,
+                                  const SolverOptions& options = {});
 
 // Batched all-facts scorer: the value every endogenous fact gets from the
 // per-fact sum_k path, but with the per-answer work shared. Each answer t

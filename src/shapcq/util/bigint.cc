@@ -230,6 +230,18 @@ BigInt BigInt::TwoPow(uint64_t exponent) {
   return result;
 }
 
+BigInt BigInt::FromMagnitude64(const uint64_t* words, int count, int sign) {
+  BigInt result;
+  result.limbs_.reserve(static_cast<size_t>(count) * 2);
+  for (int i = 0; i < count; ++i) {
+    result.limbs_.push_back(static_cast<uint32_t>(words[i]));
+    result.limbs_.push_back(static_cast<uint32_t>(words[i] >> 32));
+  }
+  result.sign_ = sign < 0 ? -1 : 1;
+  result.TrimAndFixSign();
+  return result;
+}
+
 int BigInt::Compare(const BigInt& lhs, const BigInt& rhs) {
   if (lhs.sign_ != rhs.sign_) return lhs.sign_ < rhs.sign_ ? -1 : 1;
   int magnitude_cmp = CompareMagnitude(lhs.limbs_, rhs.limbs_);

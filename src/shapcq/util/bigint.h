@@ -87,6 +87,14 @@ class BigInt {
   // Three-way comparison: negative/zero/positive as lhs <=> rhs.
   static int Compare(const BigInt& lhs, const BigInt& rhs);
 
+  // Low-level magnitude access for the fixed-width fast path
+  // (util/fixed_int.h): little-endian base-2^32 limbs of |*this|.
+  int num_limbs32() const { return static_cast<int>(limbs_.size()); }
+  uint32_t limb32(int i) const { return limbs_[static_cast<size_t>(i)]; }
+  // Builds sign · magnitude from little-endian 64-bit words (the sign is
+  // coerced to 0 when the magnitude is zero).
+  static BigInt FromMagnitude64(const uint64_t* words, int count, int sign);
+
   friend bool operator==(const BigInt& a, const BigInt& b) {
     return Compare(a, b) == 0;
   }

@@ -45,6 +45,30 @@ const std::vector<BigInt>& Combinatorics::BinomialRow(int64_t n) {
   return row;
 }
 
+const std::vector<CountValue>& Combinatorics::CountRow(int64_t n) {
+  SHAPCQ_CHECK(n >= 0);
+  if (static_cast<int64_t>(count_rows_.size()) <= n) {
+    count_rows_.resize(static_cast<size_t>(n) + 1);
+  }
+  std::vector<CountValue>& row = count_rows_[static_cast<size_t>(n)];
+  if (row.empty()) {
+    // Same recurrence as BinomialRow, staying on the fixed-width fast path
+    // until an entry outgrows 256 bits.
+    row.resize(static_cast<size_t>(n) + 1);
+    row.front() = CountValue(1);
+    for (int64_t k = 0; k + 1 <= n / 2; ++k) {
+      CountValue next = row[static_cast<size_t>(k)];
+      next.MulSmall(static_cast<uint32_t>(n - k));
+      next.DivSmallExact(static_cast<uint32_t>(k + 1));
+      row[static_cast<size_t>(k + 1)] = std::move(next);
+    }
+    for (int64_t k = n / 2 + 1; k <= n; ++k) {
+      row[static_cast<size_t>(k)] = row[static_cast<size_t>(n - k)];
+    }
+  }
+  return row;
+}
+
 Rational Combinatorics::ShapleyCoefficient(int64_t n, int64_t k) {
   SHAPCQ_CHECK(n >= 1);
   SHAPCQ_CHECK(k >= 0 && k <= n - 1);

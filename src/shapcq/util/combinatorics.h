@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "shapcq/util/bigint.h"
+#include "shapcq/util/fixed_int.h"
 #include "shapcq/util/rational.h"
 
 namespace shapcq {
@@ -33,6 +34,12 @@ class Combinatorics {
   // quotient when the dynamic programs request whole rows repeatedly.
   const std::vector<BigInt>& BinomialRow(int64_t n);
 
+  // BinomialRow in the counting core's CountValue representation: the same
+  // multiplicative recurrence, but run through the fixed-width fast path so
+  // rows up to n ≈ 260 (C(n, n/2) < 2^256) never touch the heap. Numerically
+  // identical to BinomialRow entry-for-entry.
+  const std::vector<CountValue>& CountRow(int64_t n);
+
   // The Shapley coefficient q_k = k!(n-k-1)!/n! = 1/(n*C(n-1,k)) for a game
   // with n players: the probability that a uniformly random permutation
   // places exactly k specific-player-free positions before a fixed player.
@@ -48,6 +55,8 @@ class Combinatorics {
   // larger requests.
   std::deque<BigInt> factorials_;            // factorials_[n] == n!
   std::deque<std::vector<BigInt>> rows_;     // rows_[n] == binomial row n
+  // count_rows_[n] == binomial row n as CountValue (fixed-width fast path).
+  std::deque<std::vector<CountValue>> count_rows_;
 };
 
 // Stateless one-off helpers (each call recomputes; use the class for loops).

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <map>
+#include <random>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -149,6 +150,82 @@ TEST(IntersectPostingsTest, MatchesSetIntersection) {
   EXPECT_EQ(IntersectPostings({&dense, &sparse}), sparse);
   std::vector<FactId> empty;
   EXPECT_TRUE(IntersectPostings({&dense, &empty}).empty());
+}
+
+// Adversarial cases run against BOTH kernels: the dispatching
+// IntersectPostings (SIMD when the build enables it) and the scalar
+// galloping oracle must agree element-for-element on every shape that
+// stresses a different code path — skewed lengths (galloping cutover),
+// dense runs (block-of-4 advance), empty/singleton lists, all-match and
+// no-match, and interleavings that alternate which stream advances.
+TEST(IntersectPostingsTest, SimdAndScalarAgreeOnAdversarialShapes) {
+  auto expect_both = [](std::vector<const std::vector<FactId>*> lists,
+                        const char* label) {
+    std::vector<FactId> simd = IntersectPostings(lists);
+    std::vector<FactId> scalar = IntersectPostingsScalar(lists);
+    EXPECT_EQ(simd, scalar) << label;
+    EXPECT_TRUE(std::is_sorted(simd.begin(), simd.end())) << label;
+  };
+
+  std::vector<FactId> empty;
+  std::vector<FactId> singleton = {7};
+  std::vector<FactId> dense;
+  for (FactId i = 0; i < 4096; ++i) dense.push_back(i);
+  std::vector<FactId> evens;
+  for (FactId i = 0; i < 4096; i += 2) evens.push_back(i);
+  std::vector<FactId> odds;
+  for (FactId i = 1; i < 4096; i += 2) odds.push_back(i);
+  // Heavily skewed: 3 probes into 4096 elements (ratio past the SIMD
+  // kernel's galloping cutover).
+  std::vector<FactId> sparse = {5, 2047, 4095};
+  // Just under / over the skew limit around a ragged tail.
+  std::vector<FactId> mid;
+  for (FactId i = 0; i < 4096; i += 31) mid.push_back(i);
+  // Runs: long stretches present in both, separated by disjoint gaps.
+  std::vector<FactId> runs_a;
+  std::vector<FactId> runs_b;
+  for (FactId block = 0; block < 16; ++block) {
+    for (FactId i = 0; i < 64; ++i) {
+      const FactId v = block * 256 + i;
+      if (block % 2 == 0) runs_a.push_back(v);
+      if (block % 3 != 1) runs_b.push_back(v);
+    }
+  }
+
+  expect_both({&empty, &dense}, "empty vs dense");
+  expect_both({&singleton, &dense}, "singleton hit");
+  expect_both({&singleton, &odds}, "singleton miss");
+  expect_both({&dense, &dense}, "all-match identical");
+  expect_both({&evens, &odds}, "no-match interleaved");
+  expect_both({&sparse, &dense}, "skewed 3 vs 4096");
+  expect_both({&mid, &dense}, "moderate skew, ragged tail");
+  expect_both({&runs_a, &runs_b}, "dense runs with gaps");
+  expect_both({&evens, &dense, &mid}, "three-way");
+  expect_both({&sparse, &evens, &runs_b, &dense}, "four-way mixed skew");
+
+  // Randomized sweep over lengths straddling the 4-lane block width and
+  // the galloping cutover, checked against std::set_intersection.
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto random_list = [&rng](size_t max_len, int stride) {
+      std::vector<FactId> list;
+      FactId next = static_cast<FactId>(rng() % 8);
+      const size_t len = rng() % (max_len + 1);
+      for (size_t i = 0; i < len; ++i) {
+        list.push_back(next);
+        next += 1 + static_cast<FactId>(rng() % stride);
+      }
+      return list;
+    };
+    std::vector<FactId> a = random_list(rng() % 2 ? 9 : 600, 3);
+    std::vector<FactId> b = random_list(600, 7);
+    std::vector<FactId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(IntersectPostings({&a, &b}), expected) << "trial " << trial;
+    EXPECT_EQ(IntersectPostingsScalar({&a, &b}), expected)
+        << "trial " << trial;
+  }
 }
 
 TEST(ColumnStoreTest, SetEndogenousAfterInterningKeepsIndexes) {

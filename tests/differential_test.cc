@@ -102,7 +102,7 @@ TEST_P(DifferentialTest, AllApplicableEnginesAgreeWithBruteForce) {
   };
   for (const EngineCase& engine_case : engines) {
     AggregateQuery a{q, tau, engine_case.alpha};
-    StatusOr<SumKSeries> dp = engine_case.engine(a, db);
+    StatusOr<SumKSeries> dp = engine_case.engine(a, db, SolverOptions{});
     bool inside = AtLeast(Classify(q), engine_case.frontier);
     if (inside) {
       // Inside the frontier with our localized τ the engine must accept.

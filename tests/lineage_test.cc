@@ -276,6 +276,24 @@ TEST(LineageEngineTest, SumKSeriesMatchesBruteForce) {
   }
 }
 
+TEST(LineageEngineTest, SumKRespectsConfiguredLineageBudget) {
+  // Regression: SolverOptions now flows through SumKEngine, so a
+  // starved budget must make LineageCircuitSumK refuse — it used to
+  // silently compile under the defaults.
+  ConjunctiveQuery q = MustParseQuery("Q(z) <- R(z, x), S(x, y), T(y)");
+  RandomDatabaseOptions options;
+  options.facts_per_relation = 4;
+  options.seed = 11;
+  Database db = RandomDatabaseForQuery(q, options);
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+  SolverOptions starved;
+  starved.lineage.max_answer_vars = 1;
+  auto refused = LineageCircuitSumK(a, db, starved);
+  EXPECT_FALSE(refused.ok());
+  auto defaulted = LineageCircuitSumK(a, db);
+  ASSERT_TRUE(defaulted.ok()) << defaulted.status().ToString();
+}
+
 // BlockChainDatabase (workload/generators.h): per-answer lineage splits
 // into 7-fact blocks behind the non-∃-hierarchical chain query, so brute
 // force needs 2^(7·groups) subsets while the circuits stay tiny.

@@ -181,7 +181,8 @@ TEST(MonoidMinMaxTest, ShapleyScoresThroughMonoidEngine) {
   Database db = RandomDatabaseForQuery(q, options);
   AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
                            AggregateFunction::Max()};
-  SumKEngine engine = [&q](const AggregateQuery&, const Database& d) {
+  SumKEngine engine = [&q](const AggregateQuery&, const Database& d,
+                           const SolverOptions&) {
     return MonoidMinMaxSumK(q, MonoidKind::kPlus, {0, 1}, true, d);
   };
   for (FactId f : db.EndogenousFacts()) {

@@ -178,7 +178,8 @@ TEST(MinMaxMonoidScoreAllTest, MatchesPerFactOnCrossProduct) {
                           Case{MonoidKind::kMax, true},
                           Case{MonoidKind::kPlus, false},
                           Case{MonoidKind::kMin, false}}) {
-      SumKEngine engine = [&q, &c](const AggregateQuery&, const Database& d) {
+      SumKEngine engine = [&q, &c](const AggregateQuery&, const Database& d,
+                                   const SolverOptions&) {
         return MonoidMinMaxSumK(q, c.kind, {0, 1}, c.is_max, d);
       };
       AggregateQuery reference{
@@ -205,7 +206,8 @@ TEST(MinMaxMonoidScoreAllTest, MatchesPerFactOnConnectedQuery) {
     db.AddEndogenous("R", {Value(i % 3), Value(i)});
     db.AddFact("S", {Value(i)}, /*endogenous=*/i % 2 == 0);
   }
-  SumKEngine engine = [&q](const AggregateQuery&, const Database& d) {
+  SumKEngine engine = [&q](const AggregateQuery&, const Database& d,
+                           const SolverOptions&) {
     return MonoidMinMaxSumK(q, MonoidKind::kPlus, {0, 1}, /*is_max=*/true, d);
   };
   AggregateQuery reference{q, MakeMonoidTau(MonoidKind::kPlus, {0, 1}),
