@@ -1,0 +1,230 @@
+// Daemon throughput benchmark: concurrent clients against a live
+// shapcqd server, with journaled traffic replayed for bitwise parity.
+//
+// Starts an in-process AttributionServer (ephemeral loopback ports,
+// journaling on), registers a set of generated tenant databases, then
+// drives N client threads each issuing synchronous solve requests
+// round-robin over the tenants. Afterwards it scrapes /metrics, stops
+// the server, replays the journal (warm + cold passes, bitwise-checked
+// against each other inside ReplayJournal), and finally compares every
+// daemon response bit-for-bit with the replayed scores — the wire, the
+// journal, and a direct SolverSession::ComputeAll must all agree.
+// One BENCH_JSON line with throughput and client-observed latency.
+//
+// Usage: bench_daemon [--smoke] [clients] [requests_per_client] [tenants]
+//   defaults: 8 clients x 150 requests over 8 tenants.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/agg/value_function.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/serve/client.h"
+#include "shapcq/serve/journal.h"
+#include "shapcq/serve/protocol.h"
+#include "shapcq/serve/replay.h"
+#include "shapcq/serve/server.h"
+#include "shapcq/util/clock.h"
+#include "shapcq/workload/generators.h"
+
+using namespace shapcq;  // NOLINT: benchmark brevity
+
+namespace {
+
+constexpr const char* kQuery =
+    "Q(x) <- R(x, a), S(x, b), T(x, c), U(x, d), V(x, e)";
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct ClientStats {
+  std::vector<uint64_t> latency_micros;
+  uint64_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
+  int clients = args.Int(0, args.smoke ? 3 : 8);
+  int requests_per_client = args.Int(1, args.smoke ? 10 : 150);
+  int tenants = args.Int(2, args.smoke ? 3 : 8);
+
+  const std::string journal_path = "bench_daemon.journal";
+
+  ServerOptions server_options;
+  server_options.journal_path = journal_path;
+  server_options.worker_threads = 4;
+  AttributionServer server(server_options);
+
+  ConjunctiveQuery q = MustParseQuery(kQuery);
+  std::map<std::string, std::shared_ptr<const Database>> tenant_dbs;
+  for (int t = 0; t < tenants; ++t) {
+    RandomDatabaseOptions db_options;
+    db_options.facts_per_relation = 3;
+    db_options.endogenous_percent = 80;
+    db_options.seed = 1 + static_cast<uint64_t>(t) * 7919;
+    Database db = RandomDatabaseForQuery(q, db_options);
+    std::string name = "tenant" + std::to_string(t);
+    tenant_dbs[name] = std::make_shared<const Database>(db);
+    server.RegisterTenant(name, std::move(db));
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("daemon on 127.0.0.1:%d (metrics :%d), %d tenants\n",
+              server.port(), server.metrics_port(), tenants);
+  bench::Rule();
+
+  // Drive the daemon; keep every parsed response for the parity check.
+  std::mutex responses_mu;
+  std::unordered_map<uint64_t, SolveResponse> responses;
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  double wall_ms = bench::TimeMs([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientStats& my = stats[static_cast<size_t>(c)];
+        StatusOr<LineClient> client = LineClient::Connect(server.port());
+        if (!client.ok()) {
+          my.errors = static_cast<uint64_t>(requests_per_client);
+          return;
+        }
+        for (int r = 0; r < requests_per_client; ++r) {
+          SolveRequest request;
+          request.id = static_cast<uint64_t>(c) * 1000000u +
+                       static_cast<uint64_t>(r) + 1;
+          request.tenant =
+              "tenant" + std::to_string((c + r * clients) % tenants);
+          request.query = kQuery;
+          uint64_t start = MonotonicNanos();
+          StatusOr<std::string> reply =
+              client->RoundTrip(SerializeSolveRequest(request));
+          uint64_t micros = (MonotonicNanos() - start) / 1000;
+          StatusOr<SolveResponse> response =
+              reply.ok() ? ParseResponseLine(*reply)
+                         : StatusOr<SolveResponse>(reply.status());
+          if (!response.ok() || response->status != "ok") {
+            ++my.errors;
+            continue;
+          }
+          my.latency_micros.push_back(micros);
+          std::lock_guard<std::mutex> lock(responses_mu);
+          responses[request.id] = std::move(response).value();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  });
+
+  uint64_t total_requests =
+      static_cast<uint64_t>(clients) *
+      static_cast<uint64_t>(requests_per_client);
+  uint64_t errors = 0;
+  std::vector<uint64_t> latencies;
+  for (const ClientStats& s : stats) {
+    errors += s.errors;
+    latencies.insert(latencies.end(), s.latency_micros.begin(),
+                     s.latency_micros.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto quantile = [&](double f) -> uint64_t {
+    if (latencies.empty()) return 0;
+    size_t i = static_cast<size_t>(f * static_cast<double>(latencies.size()));
+    return latencies[std::min(i, latencies.size() - 1)];
+  };
+  double req_per_sec =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(total_requests - errors) /
+                        wall_ms
+                  : 0.0;
+  std::printf("%llu requests, %llu errors: %.1f ms wall (%.1f req/s), "
+              "p50 %llu us, p99 %llu us\n",
+              static_cast<unsigned long long>(total_requests),
+              static_cast<unsigned long long>(errors), wall_ms, req_per_sec,
+              static_cast<unsigned long long>(quantile(0.50)),
+              static_cast<unsigned long long>(quantile(0.99)));
+
+  // Scrape /metrics while the daemon is live.
+  StatusOr<std::string> metrics = HttpGet(server.metrics_port(), "/metrics");
+  bool metrics_ok =
+      metrics.ok() &&
+      metrics->find("shapcq_requests_total{status=\"ok\"}") !=
+          std::string::npos &&
+      metrics->find("shapcq_request_latency_p99_seconds") !=
+          std::string::npos;
+  std::printf("metrics scrape: %s\n", metrics_ok ? "ok" : "FAILED");
+
+  server.Stop();
+
+  // Replay the journal and compare wire responses bitwise.
+  StatusOr<std::vector<JournalRecord>> records = ReadJournal(journal_path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "journal read failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  double replay_ms = 0;
+  bool parity = true;
+  StatusOr<ReplayResult> replay =
+      ReplayJournal(*records, tenant_dbs, ReplayOptions{});
+  if (!replay.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 replay.status().ToString().c_str());
+    parity = false;
+  } else {
+    replay_ms = replay->warm_ms + replay->cold_ms;
+    for (size_t i = 0; i < records->size() && parity; ++i) {
+      auto it = responses.find((*records)[i].request.id);
+      if (it == responses.end()) continue;  // errored client-side
+      const std::vector<FactScore>& wire = it->second.results;
+      const auto& replayed = replay->results[i];
+      parity = wire.size() == replayed.size();
+      for (size_t f = 0; f < replayed.size() && parity; ++f) {
+        const auto& [fact, result] = replayed[f];
+        parity = wire[f].fact == fact && wire[f].exact == result.is_exact &&
+                 SameBits(wire[f].value, result.approximation) &&
+                 (!result.is_exact ||
+                  wire[f].exact_value == result.exact.ToString());
+      }
+    }
+    std::printf("replayed %llu records in %.1f ms: wire parity %s\n",
+                static_cast<unsigned long long>(replay->records), replay_ms,
+                parity ? "bitwise identical" : "MISMATCH — BUG");
+  }
+  std::remove(journal_path.c_str());
+
+  bench::JsonLine("daemon")
+      .Int("clients", clients)
+      .Int("requests_per_client", requests_per_client)
+      .Int("tenants", tenants)
+      .Int("requests", static_cast<long long>(total_requests))
+      .Int("errors", static_cast<long long>(errors))
+      .Num("wall_ms", wall_ms)
+      .Num("req_per_sec", req_per_sec)
+      .Int("p50_us", static_cast<long long>(quantile(0.50)))
+      .Int("p99_us", static_cast<long long>(quantile(0.99)))
+      .Int("journal_records",
+           static_cast<long long>(records.ok() ? records->size() : 0))
+      .Num("replay_ms", replay_ms)
+      .Bool("metrics_ok", metrics_ok)
+      .Bool("wire_parity", parity)
+      .Int("peak_rss_bytes", static_cast<long long>(bench::PeakRssBytes()))
+      .Emit();
+
+  return (errors == 0 && metrics_ok && parity) ? 0 : 1;
+}

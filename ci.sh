@@ -13,8 +13,9 @@
 #   TEST_REGEX=<regex>   run only ctest targets matching the regex
 #                        (default: the whole suite). The TSan CI job uses
 #                        this to focus on the threaded batching tests, the
-#                        PlanCache concurrency tests (plan_test), and the
-#                        sharded lineage-circuit tests (lineage_test).
+#                        PlanCache concurrency tests (plan_test), the
+#                        sharded lineage-circuit tests (lineage_test), and
+#                        the daemon tests (serve_test, daemon_smoke).
 set -euo pipefail
 
 cd "$(dirname "$0")"

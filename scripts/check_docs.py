@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Documentation link-check and lint for the shapcq repo.
+
+Walks every Markdown file (excluding build trees), and fails on:
+
+  * relative links or images whose target does not exist on disk
+    (anchors are stripped; http(s)/mailto links are not fetched);
+  * unbalanced fenced code blocks (an odd number of ``` fences);
+  * a required doc that is missing, or not linked from README.md
+    (docs/ARCHITECTURE.md, docs/METRICS.md, docs/OPERATIONS.md).
+
+Run from the repo root (CI and the docs_check ctest target do):
+
+    python3 scripts/check_docs.py
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+FENCE_RE = re.compile(r"^\s*```")
+SKIP_DIRS = {".git", ".github", "third_party"}
+REQUIRED_DOCS = [
+    "docs/ARCHITECTURE.md",
+    "docs/METRICS.md",
+    "docs/OPERATIONS.md",
+]
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    """Remove fenced code blocks and inline code spans before link
+    extraction, so example snippets can't trip the checker."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+
+    fences = sum(1 for line in text.splitlines() if FENCE_RE.match(line))
+    if fences % 2 != 0:
+        errors.append(f"{path}: unbalanced ``` code fences ({fences})")
+
+    for target in LINK_RE.findall(strip_code(text)):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            candidate = os.path.join(root, resolved.lstrip("/"))
+        else:
+            candidate = os.path.join(os.path.dirname(path), resolved)
+        if not os.path.exists(candidate):
+            errors.append(f"{path}: broken link '{target}'")
+    return errors
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+
+    for doc in REQUIRED_DOCS:
+        if not os.path.exists(os.path.join(root, doc)):
+            errors.append(f"missing required doc: {doc}")
+
+    readme_path = os.path.join(root, "README.md")
+    if os.path.exists(readme_path):
+        with open(readme_path, encoding="utf-8") as f:
+            readme = f.read()
+        for doc in REQUIRED_DOCS:
+            if doc not in readme:
+                errors.append(f"README.md does not link {doc}")
+    else:
+        errors.append("missing README.md")
+
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+
+    if errors:
+        for error in errors:
+            print(f"check_docs: {error}", file=sys.stderr)
+        return 1
+    print(f"check_docs: {count} markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

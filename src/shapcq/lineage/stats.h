@@ -22,6 +22,21 @@ struct LineageStatsSnapshot {
   uint64_t budget_fallbacks = 0;  // compilations aborted by the budget
 };
 
+// Counter delta between two snapshots of the same monotone counters
+// (`after` taken later than `before`): what one request / one replay pass
+// contributed. Used by the replay harness and the daemon's per-interval
+// reporting; the /metrics endpoint exports the raw cumulative counters.
+inline LineageStatsSnapshot LineageStatsDelta(
+    const LineageStatsSnapshot& after, const LineageStatsSnapshot& before) {
+  LineageStatsSnapshot delta;
+  delta.circuits_compiled = after.circuits_compiled - before.circuits_compiled;
+  delta.circuit_nodes = after.circuit_nodes - before.circuit_nodes;
+  delta.cache_lookups = after.cache_lookups - before.cache_lookups;
+  delta.cache_hits = after.cache_hits - before.cache_hits;
+  delta.budget_fallbacks = after.budget_fallbacks - before.budget_fallbacks;
+  return delta;
+}
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_LINEAGE_STATS_H_

@@ -1,0 +1,68 @@
+#include "shapcq/serve/admission.h"
+
+namespace shapcq {
+
+Status AdmissionController::TryAdmit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  if (state.in_flight >= limits_.max_in_flight && state.queued == 0 &&
+      limits_.max_queue == 0) {
+    // Fall through to the queue check below; separated only so both
+    // rejection messages stay precise.
+  }
+  if (state.queued >= limits_.max_queue) {
+    return ResourceExhaustedError(
+        "tenant '" + tenant + "' queue full: " +
+        std::to_string(state.queued) + " queued (limit " +
+        std::to_string(limits_.max_queue) + "), " +
+        std::to_string(state.in_flight) + " in flight (limit " +
+        std::to_string(limits_.max_in_flight) +
+        "); retry with backoff or raise --max-queue");
+  }
+  if (state.queued + state.in_flight >=
+      static_cast<int64_t>(limits_.max_in_flight) + limits_.max_queue) {
+    return ResourceExhaustedError(
+        "tenant '" + tenant + "' saturated: " +
+        std::to_string(state.in_flight) + " in flight (limit " +
+        std::to_string(limits_.max_in_flight) + "), " +
+        std::to_string(state.queued) + " queued (limit " +
+        std::to_string(limits_.max_queue) +
+        "); retry with backoff or raise --max-in-flight");
+  }
+  ++state.queued;
+  return Status::Ok();
+}
+
+void AdmissionController::OnDequeue(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  if (state.queued > 0) --state.queued;
+  ++state.in_flight;
+}
+
+void AdmissionController::OnComplete(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  if (state.in_flight > 0) --state.in_flight;
+}
+
+AdmissionController::Depths AdmissionController::TenantDepths(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  return {it->second.queued, it->second.in_flight};
+}
+
+AdmissionController::Depths AdmissionController::TotalDepths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Depths total;
+  for (const auto& [name, state] : tenants_) {
+    (void)name;
+    total.queued += state.queued;
+    total.in_flight += state.in_flight;
+  }
+  return total;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,71 @@
+// Per-tenant admission control for the attribution daemon.
+//
+// Every tenant gets the same two limits: max_in_flight requests being
+// solved and max_queue requests waiting. A request over either limit is
+// rejected *immediately* with a structured RESOURCE_EXHAUSTED status
+// (naming the tenant, the observed depths, and the limits — the
+// ExactUnavailableStatus idiom applied to capacity), so one tenant's
+// burst backs up its own queue, never the pool: workers keep draining
+// other tenants, and the client learns to retry with backoff instead of
+// hanging.
+//
+// Lifecycle per request: TryAdmit (accepted into the queue) -> OnDequeue
+// (a worker picked it up; queued -> in-flight) -> OnComplete (response
+// written). The controller only counts; the queue itself lives in the
+// server.
+
+#ifndef SHAPCQ_SERVE_ADMISSION_H_
+#define SHAPCQ_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct TenantLimits {
+  int max_in_flight = 8;  // requests being solved concurrently
+  int max_queue = 64;     // requests waiting for a worker
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantLimits limits) : limits_(limits) {}
+
+  // OK (and counts the request as queued) when the tenant is under both
+  // limits; RESOURCE_EXHAUSTED otherwise, with no state change.
+  Status TryAdmit(const std::string& tenant);
+
+  // The request left the queue for a worker.
+  void OnDequeue(const std::string& tenant);
+
+  // The request finished (response written, success or failure).
+  void OnComplete(const std::string& tenant);
+
+  struct Depths {
+    int64_t queued = 0;
+    int64_t in_flight = 0;
+  };
+  // Depths for one tenant (zeros for unknown tenants) and summed over all.
+  Depths TenantDepths(const std::string& tenant) const;
+  Depths TotalDepths() const;
+
+  const TenantLimits& limits() const { return limits_; }
+
+ private:
+  struct TenantState {
+    int64_t queued = 0;
+    int64_t in_flight = 0;
+  };
+
+  const TenantLimits limits_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TenantState> tenants_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_ADMISSION_H_

@@ -1,0 +1,133 @@
+#include "shapcq/serve/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace shapcq {
+
+namespace {
+
+StatusOr<int> ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return InternalError("connect(127.0.0.1:" + std::to_string(port) +
+                         ") failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<LineClient> LineClient::Connect(int port) {
+  StatusOr<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  return LineClient(*fd);
+}
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!SendAll(fd_, framed.data(), framed.size())) {
+    return InternalError("send failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return InternalError("connection closed mid-read");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<std::string> LineClient::RoundTrip(const std::string& line) {
+  Status sent = SendLine(line);
+  if (!sent.ok()) return sent;
+  return ReadLine();
+}
+
+StatusOr<std::string> HttpGet(int port, const std::string& path) {
+  StatusOr<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n";
+  if (!SendAll(*fd, request.data(), request.size())) {
+    ::close(*fd);
+    return InternalError("send failed");
+  }
+  std::string reply;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(*fd, chunk, sizeof(chunk), 0)) > 0) {
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(*fd);
+  if (reply.rfind("HTTP/1.1 200", 0) != 0) {
+    std::string status_line = reply.substr(0, reply.find('\r'));
+    return InternalError("GET " + path + " failed: " +
+                         (status_line.empty() ? "no response" : status_line));
+  }
+  size_t body = reply.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return InternalError("malformed HTTP response");
+  }
+  return reply.substr(body + 4);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,50 @@
+// Minimal blocking client for the shapcqd wire protocol.
+//
+// LineClient speaks the line-delimited JSON protocol over loopback TCP:
+// SendLine writes one request line, ReadLine blocks for one response
+// line, RoundTrip does both. Used by the daemon smoke test, serve_test,
+// and bench_daemon's driver threads — production clients can be written
+// in any language that can open a socket and print JSON.
+
+#ifndef SHAPCQ_SERVE_CLIENT_H_
+#define SHAPCQ_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+class LineClient {
+ public:
+  // Connects to 127.0.0.1:port.
+  static StatusOr<LineClient> Connect(int port);
+  ~LineClient();
+
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  // Writes `line` plus a trailing newline.
+  Status SendLine(const std::string& line);
+  // Blocks until one full line arrives (the newline is stripped).
+  StatusOr<std::string> ReadLine();
+  StatusOr<std::string> RoundTrip(const std::string& line);
+
+  void Close();
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned line
+};
+
+// One HTTP/1.1 GET to 127.0.0.1:port; returns the response body (used to
+// scrape /metrics in tests and benches). The status line must be 200.
+StatusOr<std::string> HttpGet(int port, const std::string& path);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_CLIENT_H_

@@ -1,0 +1,239 @@
+#include "shapcq/serve/journal.h"
+
+#include <cstring>
+#include <utility>
+
+namespace shapcq {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'A', 'P', 'C', 'Q', 'J', 'L'};
+constexpr uint32_t kVersion = 1;
+// A record is a handful of strings and fixed-width fields; anything huge
+// indicates corruption (or an adversarial file), not a real request.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounded little-endian reader over one record payload.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) |
+           static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) {
+      *v = (*v << 8) |
+           static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::string EncodePayload(const JournalRecord& record, uint64_t sequence) {
+  std::string payload;
+  PutU64(&payload, sequence);
+  PutU64(&payload, record.timestamp_ns);
+  PutU64(&payload, record.request.id);
+  PutStr(&payload, record.fingerprint);
+  PutStr(&payload, record.request.tenant);
+  PutStr(&payload, record.request.query);
+  PutStr(&payload, record.request.agg);
+  PutStr(&payload, record.request.tau);
+  PutStr(&payload, record.request.score);
+  PutStr(&payload, record.request.method);
+  PutU32(&payload, static_cast<uint32_t>(record.request.threads));
+  PutI64(&payload, record.request.samples);
+  PutU64(&payload, record.request.seed);
+  PutI64(&payload, record.request.deadline_ms);
+  return payload;
+}
+
+bool DecodePayload(const char* data, size_t size, JournalRecord* record) {
+  PayloadReader reader(data, size);
+  uint32_t threads = 0;
+  bool ok = reader.U64(&record->sequence) &&
+            reader.U64(&record->timestamp_ns) &&
+            reader.U64(&record->request.id) &&
+            reader.Str(&record->fingerprint) &&
+            reader.Str(&record->request.tenant) &&
+            reader.Str(&record->request.query) &&
+            reader.Str(&record->request.agg) &&
+            reader.Str(&record->request.tau) &&
+            reader.Str(&record->request.score) &&
+            reader.Str(&record->request.method) && reader.U32(&threads) &&
+            reader.I64(&record->request.samples) &&
+            reader.U64(&record->request.seed) &&
+            reader.I64(&record->request.deadline_ms) && reader.AtEnd();
+  record->request.threads = static_cast<int>(threads);
+  return ok;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open journal for writing: " + path);
+  }
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    return InternalError("cannot write journal header: " + path);
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(path, file));
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal already closed: " + path_);
+  }
+  std::string payload = EncodePayload(record, sequence_);
+  std::string framed;
+  framed.reserve(payload.size() + 4);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size() ||
+      std::fflush(file_) != 0) {
+    return InternalError("journal write failed: " + path_);
+  }
+  ++sequence_;
+  return Status::Ok();
+}
+
+uint64_t JournalWriter::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_;
+}
+
+Status JournalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Ok();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return InternalError("journal close failed: " + path_);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open journal: " + path);
+  }
+  auto fail = [&](size_t offset, size_t records, const std::string& what) {
+    std::fclose(file);
+    return InvalidArgumentError(
+        "corrupt journal " + path + " at byte " + std::to_string(offset) +
+        " after " + std::to_string(records) + " intact records: " + what);
+  };
+
+  char header[12];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
+      std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return fail(0, 0, "bad magic");
+  }
+  uint32_t version = 0;
+  for (int i = 3; i >= 0; --i) {
+    version = (version << 8) |
+              static_cast<uint8_t>(header[8 + static_cast<size_t>(i)]);
+  }
+  if (version != kVersion) {
+    return fail(8, 0, "unsupported version " + std::to_string(version));
+  }
+
+  std::vector<JournalRecord> records;
+  size_t offset = sizeof(header);
+  while (true) {
+    char len_bytes[4];
+    size_t got = std::fread(len_bytes, 1, sizeof(len_bytes), file);
+    if (got == 0 && std::feof(file)) break;  // clean EOF
+    if (got != sizeof(len_bytes)) {
+      return fail(offset, records.size(), "truncated length prefix");
+    }
+    uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) |
+            static_cast<uint8_t>(len_bytes[static_cast<size_t>(i)]);
+    }
+    if (len > kMaxPayload) {
+      return fail(offset, records.size(), "oversized record");
+    }
+    std::string payload(len, '\0');
+    if (len > 0 && std::fread(&payload[0], 1, len, file) != len) {
+      return fail(offset + 4, records.size(), "truncated record");
+    }
+    JournalRecord record;
+    if (!DecodePayload(payload.data(), payload.size(), &record)) {
+      return fail(offset + 4, records.size(), "malformed record payload");
+    }
+    if (record.sequence != records.size()) {
+      return fail(offset + 4, records.size(),
+                  "sequence gap (expected " +
+                      std::to_string(records.size()) + ", found " +
+                      std::to_string(record.sequence) + ")");
+    }
+    records.push_back(std::move(record));
+    offset += 4 + len;
+  }
+  std::fclose(file);
+  return records;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,83 @@
+// Binary request journal: every accepted request, replayable.
+//
+// The daemon appends one length-prefixed record per accepted solve request
+// (serve/server.h journals after admission, before solving), so a journal
+// is a faithful trace of admitted production traffic. A record carries the
+// full SolveRequest — query text, specs, score/method, threads, sampling
+// seed/budget, deadline — plus the plan fingerprint observed at serve time
+// and a monotonic timestamp, which is exactly what serve/replay.h needs to
+// re-execute the traffic deterministically and compare results bitwise.
+//
+// File layout (all integers little-endian):
+//   8-byte magic "SHAPCQJL", u32 version (1)
+//   per record: u32 payload_length, payload
+//   payload: u64 sequence, u64 timestamp_ns, u64 request id,
+//            str fingerprint, str tenant, str query, str agg, str tau,
+//            str score, str method, i32 threads, i64 samples, u64 seed,
+//            i64 deadline_ms           (str = u32 length + bytes)
+//
+// A writer flushes after every Append, so a crash loses at most the record
+// being written; ReadJournal accepts a clean EOF and reports a truncated
+// or corrupt tail as INVALID_ARGUMENT naming the byte offset and the
+// number of intact records before it.
+
+#ifndef SHAPCQ_SERVE_JOURNAL_H_
+#define SHAPCQ_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shapcq/serve/protocol.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct JournalRecord {
+  uint64_t sequence = 0;      // 0-based, assigned by the writer
+  uint64_t timestamp_ns = 0;  // MonotonicNanos() at acceptance
+  std::string fingerprint;    // plan fingerprint at serve time
+  SolveRequest request;
+};
+
+// Thread-safe appender (one mutex; records are written and flushed
+// atomically with respect to each other).
+class JournalWriter {
+ public:
+  static StatusOr<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Appends `record` with the next sequence number (the record's own
+  // `sequence` field is ignored) and flushes.
+  Status Append(const JournalRecord& record);
+
+  uint64_t records_written() const;
+  const std::string& path() const { return path_; }
+
+  // Flushes and closes; further Appends fail. Idempotent.
+  Status Close();
+
+ private:
+  JournalWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;  // null after Close
+  uint64_t sequence_ = 0;
+};
+
+// Reads a whole journal. Order preserved; sequences are validated to be
+// 0..n-1.
+StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_JOURNAL_H_

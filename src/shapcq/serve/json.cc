@@ -1,0 +1,391 @@
+#include "shapcq/serve/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace shapcq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing data");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kNull;
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return Error("expected '{'");
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return Error("expected '['");
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected '\"'");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control byte in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            // The protocol is byte-oriented (query text is ASCII/UTF-8
+            // passed through); encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t int_digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++int_digits;
+    }
+    if (int_digits == 0) return Error("expected a value");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac_digits = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++frac_digits;
+      }
+      if (frac_digits == 0) return Error("digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_digits = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++exp_digits;
+      }
+      if (exp_digits == 0) return Error("digits required in exponent");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->text = std::string(text_.substr(start, pos_ - start));
+    out->number = std::strtod(out->text.c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->text : fallback;
+}
+
+int64_t JsonValue::GetInt64(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v->text.c_str(), &end, 10);
+  // Integer token required: a fractional/exponent number falls back.
+  if (errno != 0 || end == v->text.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+uint64_t JsonValue::GetUint64(const std::string& key,
+                              uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kNumber || v->text.empty() ||
+      v->text[0] == '-') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v->text.c_str(), &end, 10);
+  if (errno != 0 || end == v->text.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->boolean : fallback;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (needs_comma_) out_ += ',';
+  needs_comma_ = false;
+}
+
+void JsonWriter::Key(const char* key) {
+  Comma();
+  if (key != nullptr) {
+    out_ += JsonQuote(key);
+    out_ += ':';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(const char* key) {
+  Key(key);
+  out_ += '[';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObjectInArray() {
+  Comma();
+  out_ += '{';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Str(const char* key, std::string_view value) {
+  Key(key);
+  out_ += JsonQuote(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(const char* key, int64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(const char* key, uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Num(const char* key, double value) {
+  Key(key);
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    // %.17g round-trips every finite double exactly, so a client parsing
+    // the field back gets the bitwise-identical value (the replay parity
+    // checks rely on this).
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(const char* key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+}  // namespace shapcq

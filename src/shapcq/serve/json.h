@@ -1,0 +1,88 @@
+// Minimal strict JSON for the serving protocol.
+//
+// The daemon speaks line-delimited JSON (serve/protocol.h); this is the
+// small recursive value model + strict parser + escaping writer behind it.
+// Deliberately tiny: objects keep insertion order in a flat vector (the
+// protocol has a handful of keys per message), and numbers retain their
+// raw source text so 64-bit integers (request ids, seeds) round-trip
+// exactly instead of passing through a double.
+//
+// Distinct from bench/bench_util.h's JsonLine, which is a bench-only
+// emitter living outside the library (it carries the counting operator
+// new hook); the serving library cannot include bench headers.
+
+#ifndef SHAPCQ_SERVE_JSON_H_
+#define SHAPCQ_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;        // numeric value (may lose 64-bit precision)
+  std::string text;         // string payload, or the raw token of a number
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // First member named `key`, or nullptr. Objects are small; linear scan.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed accessors with defaults, for optional protocol fields. Integer
+  // accessors parse the raw token, so full 64-bit values survive.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt64(const std::string& key, int64_t fallback = 0) const;
+  uint64_t GetUint64(const std::string& key, uint64_t fallback = 0) const;
+  double GetNumber(const std::string& key, double fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+};
+
+// Strict parse of one JSON document (the whole input, trailing whitespace
+// allowed). INVALID_ARGUMENT with a byte offset on any deviation.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// `text` as a quoted JSON string: escapes quote, backslash, and control
+// bytes (\uXXXX), mirroring the BENCH_JSON emitter's rules.
+std::string JsonQuote(std::string_view text);
+
+// Incremental writer for one JSON object or array. Purely syntactic — the
+// caller opens/closes scopes in order; no validation beyond comma
+// placement.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(const char* key = nullptr);
+  JsonWriter& EndArray();
+  JsonWriter& BeginObjectInArray();
+
+  JsonWriter& Str(const char* key, std::string_view value);
+  JsonWriter& Int(const char* key, int64_t value);
+  JsonWriter& Uint(const char* key, uint64_t value);
+  JsonWriter& Num(const char* key, double value);  // non-finite -> null
+  JsonWriter& Bool(const char* key, bool value);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Comma();
+  void Key(const char* key);
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_JSON_H_

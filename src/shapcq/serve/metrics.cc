@@ -1,0 +1,165 @@
+#include "shapcq/serve/metrics.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace shapcq {
+
+namespace {
+
+void Line(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+  out->push_back('\n');
+}
+
+void Counter(std::string* out, const char* name, const char* help,
+             uint64_t value) {
+  Line(out, "# HELP %s %s", name, help);
+  Line(out, "# TYPE %s counter", name);
+  Line(out, "%s %" PRIu64, name, value);
+}
+
+void Gauge(std::string* out, const char* name, const char* help,
+           double value) {
+  Line(out, "# HELP %s %s", name, help);
+  Line(out, "# TYPE %s gauge", name);
+  Line(out, "%s %.9g", name, value);
+}
+
+void Histogram(std::string* out, const char* name, const char* help,
+               const LatencyHistogram::Snapshot& snap) {
+  Line(out, "# HELP %s %s", name, help);
+  Line(out, "# TYPE %s histogram", name);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    cumulative += snap.counts[static_cast<size_t>(b)];
+    if (b == LatencyHistogram::kBuckets - 1) {
+      Line(out, "%s_bucket{le=\"+Inf\"} %" PRIu64, name, cumulative);
+    } else {
+      double le = static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+                  1e6;
+      Line(out, "%s_bucket{le=\"%.9g\"} %" PRIu64, name, le, cumulative);
+    }
+  }
+  Line(out, "%s_sum %.9g", name,
+       static_cast<double>(snap.sum_micros) / 1e6);
+  Line(out, "%s_count %" PRIu64, name, snap.count);
+}
+
+void QuantileGauges(std::string* out, const char* base,
+                    const LatencyHistogram::Snapshot& snap) {
+  char name[128];
+  std::snprintf(name, sizeof(name), "%s_p50_seconds", base);
+  Gauge(out, name, "estimated p50 latency (bucket upper bound)",
+        static_cast<double>(snap.QuantileMicros(0.50)) / 1e6);
+  std::snprintf(name, sizeof(name), "%s_p99_seconds", base);
+  Gauge(out, name, "estimated p99 latency (bucket upper bound)",
+        static_cast<double>(snap.QuantileMicros(0.99)) / 1e6);
+}
+
+}  // namespace
+
+void DaemonMetrics::CountEngineFacts(const std::string& engine,
+                                     uint64_t facts) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_facts_[engine] += facts;
+}
+
+std::map<std::string, uint64_t> DaemonMetrics::EngineMix() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_facts_;
+}
+
+std::string RenderPrometheus(const DaemonMetrics& metrics,
+                             const PlanCache::Stats& plan_cache,
+                             const LineageStatsSnapshot& lineage) {
+  std::string out;
+  out.reserve(4096);
+
+  // Request outcomes, labelled like a real multi-status counter.
+  Line(&out, "# HELP shapcq_requests_total solve requests by outcome");
+  Line(&out, "# TYPE shapcq_requests_total counter");
+  Line(&out, "shapcq_requests_total{status=\"ok\"} %" PRIu64,
+       metrics.requests_ok.load(std::memory_order_relaxed));
+  Line(&out, "shapcq_requests_total{status=\"error\"} %" PRIu64,
+       metrics.requests_error.load(std::memory_order_relaxed));
+  Line(&out, "shapcq_requests_total{status=\"rejected\"} %" PRIu64,
+       metrics.requests_rejected.load(std::memory_order_relaxed));
+
+  Counter(&out, "shapcq_degraded_total",
+          "requests degraded exact -> Monte Carlo by a deadline",
+          metrics.requests_degraded.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_connections_opened_total",
+          "client connections accepted",
+          metrics.connections_opened.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_connections_closed_total",
+          "client connections closed",
+          metrics.connections_closed.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_journal_records_total",
+          "requests appended to the journal",
+          metrics.journal_records.load(std::memory_order_relaxed));
+
+  Gauge(&out, "shapcq_queue_depth", "requests waiting for a worker",
+        static_cast<double>(
+            metrics.queue_depth.load(std::memory_order_relaxed)));
+  Gauge(&out, "shapcq_in_flight", "requests being solved",
+        static_cast<double>(
+            metrics.in_flight.load(std::memory_order_relaxed)));
+
+  // Engine mix: facts scored per engine across all ok responses.
+  Line(&out, "# HELP shapcq_engine_facts_total facts scored per engine");
+  Line(&out, "# TYPE shapcq_engine_facts_total counter");
+  for (const auto& [engine, facts] : metrics.EngineMix()) {
+    Line(&out, "shapcq_engine_facts_total{engine=\"%s\"} %" PRIu64,
+         engine.c_str(), facts);
+  }
+
+  // Plan cache (process-wide, shared with any in-process CLI usage).
+  Counter(&out, "shapcq_plan_cache_hits_total", "plan-cache hits",
+          plan_cache.hits);
+  Counter(&out, "shapcq_plan_cache_misses_total",
+          "plan-cache misses (compilations)", plan_cache.misses);
+  Gauge(&out, "shapcq_plan_cache_entries", "plans currently cached",
+        static_cast<double>(plan_cache.entries));
+  Counter(&out, "shapcq_plan_cache_evictions_total",
+          "plans evicted (FIFO)", plan_cache.evictions);
+  double lookups = static_cast<double>(plan_cache.hits + plan_cache.misses);
+  Gauge(&out, "shapcq_plan_cache_hit_ratio",
+        "hits / (hits + misses), 0 before any lookup",
+        lookups > 0 ? static_cast<double>(plan_cache.hits) / lookups : 0.0);
+
+  // Lineage-circuit telemetry (process-wide monotone counters).
+  Counter(&out, "shapcq_lineage_circuits_compiled_total",
+          "lineage circuits compiled", lineage.circuits_compiled);
+  Counter(&out, "shapcq_lineage_circuit_nodes_total",
+          "total nodes across compiled circuits", lineage.circuit_nodes);
+  Counter(&out, "shapcq_lineage_cache_lookups_total",
+          "compiler formula-cache lookups", lineage.cache_lookups);
+  Counter(&out, "shapcq_lineage_cache_hits_total",
+          "compiler formula-cache hits", lineage.cache_hits);
+  Counter(&out, "shapcq_lineage_budget_fallbacks_total",
+          "compilations aborted by the node budget",
+          lineage.budget_fallbacks);
+
+  // Latency histograms + quantile gauges.
+  LatencyHistogram::Snapshot queue_snap = metrics.queue_wait.snapshot();
+  LatencyHistogram::Snapshot solve_snap = metrics.solve.snapshot();
+  LatencyHistogram::Snapshot total_snap = metrics.total.snapshot();
+  Histogram(&out, "shapcq_queue_wait_seconds",
+            "admission to worker dequeue", queue_snap);
+  Histogram(&out, "shapcq_solve_seconds", "solver wall time", solve_snap);
+  Histogram(&out, "shapcq_request_latency_seconds",
+            "admission to response written", total_snap);
+  QuantileGauges(&out, "shapcq_request_latency", total_snap);
+  QuantileGauges(&out, "shapcq_solve", solve_snap);
+
+  return out;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,69 @@
+// Daemon telemetry and its Prometheus rendering.
+//
+// DaemonMetrics is the single sink every server thread writes into:
+// atomic counters for request outcomes, gauges for queue/in-flight
+// depth, lock-free latency histograms (util/histogram.h), and a small
+// mutexed map counting solved facts per engine (the "engine mix" —
+// which algorithm actually scored each fact). RenderPrometheus folds in
+// the process-wide PlanCache and lineage counters and emits standard
+// text exposition format: every series is documented in
+// docs/METRICS.md.
+
+#ifndef SHAPCQ_SERVE_METRICS_H_
+#define SHAPCQ_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "shapcq/lineage/stats.h"
+#include "shapcq/shapley/plan.h"
+#include "shapcq/util/histogram.h"
+
+namespace shapcq {
+
+class DaemonMetrics {
+ public:
+  // Request outcomes (one per solve request).
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_error{0};     // parse/build/solve errors
+  std::atomic<uint64_t> requests_rejected{0};  // admission control
+  std::atomic<uint64_t> requests_degraded{0};  // deadline -> Monte Carlo
+
+  // Connection lifecycle.
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connections_closed{0};
+
+  std::atomic<uint64_t> journal_records{0};
+
+  // Instantaneous depths (mirrors AdmissionController totals; kept as
+  // gauges here so the metrics endpoint needs no lock ordering with the
+  // admission mutex).
+  std::atomic<int64_t> queue_depth{0};
+  std::atomic<int64_t> in_flight{0};
+
+  LatencyHistogram queue_wait;  // admission -> worker dequeue
+  LatencyHistogram solve;       // ComputeAll wall time
+  LatencyHistogram total;       // admission -> response written
+
+  // Counts facts scored per engine name (SolveResult.algorithm).
+  void CountEngineFacts(const std::string& engine, uint64_t facts);
+  std::map<std::string, uint64_t> EngineMix() const;
+
+ private:
+  mutable std::mutex engine_mu_;
+  std::map<std::string, uint64_t> engine_facts_;
+};
+
+// Renders the full exposition text: daemon counters/gauges/histograms
+// plus the plan-cache and lineage counters passed in (callers snapshot
+// PlanCache::Global().stats() and LineageStats::Global().Snapshot()).
+std::string RenderPrometheus(const DaemonMetrics& metrics,
+                             const PlanCache::Stats& plan_cache,
+                             const LineageStatsSnapshot& lineage);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_METRICS_H_

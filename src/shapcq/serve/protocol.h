@@ -1,0 +1,125 @@
+// The shapcqd wire protocol: line-delimited JSON over a stream socket.
+//
+// Every message is one JSON object on one line. Requests carry an "op"
+// (default "solve") and an optional caller-chosen "id" echoed back in the
+// response, so a client may pipeline requests on one connection and match
+// responses by id (the daemon may interleave responses from concurrent
+// workers, but each response is written atomically as one line).
+//
+//   solve        {"op":"solve","id":7,"tenant":"acme",
+//                 "query":"Q(x) <- R(x, y), S(y)","agg":"sum",
+//                 "tau":"const:1","score":"shapley","method":"auto",
+//                 "threads":1,"samples":10000,"seed":1,"deadline_ms":250}
+//   load_tenant  {"op":"load_tenant","id":1,"tenant":"acme",
+//                 "db":"+R(1, 2)\n-S(2)\n"}          (data/db_io.h format)
+//   ping         {"op":"ping","id":2}
+//   metrics      {"op":"metrics","id":3}   (the /metrics text, JSON-quoted)
+//
+// Aggregate/τ specs use the shared grammar of agg/spec.h, and score/method
+// take the CLI's spellings (shapley|banzhaf, auto|exact|brute|mc) — one
+// request vocabulary across the CLI, the daemon, and the journal.
+//
+// Solve responses ("status":"ok") carry one result object per endogenous
+// fact, ascending by fact id; exact scores are rendered as exact rational
+// strings and every double uses %.17g, so a response is a bitwise-faithful
+// rendering of the SolverSession results (replay parity compares through
+// these fields). Errors ("status":"error") carry the structured Status:
+// its code name (e.g. RESOURCE_EXHAUSTED for admission rejections,
+// DEADLINE_EXCEEDED never — deadlines degrade to Monte Carlo instead) and
+// message.
+
+#ifndef SHAPCQ_SERVE_PROTOCOL_H_
+#define SHAPCQ_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/shapley/solver_options.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// One attribution request: the solve-relevant fields, exactly what the
+// journal persists (serve/journal.h) — a replayed record rebuilds the
+// identical (AggregateQuery, SolverOptions) pair.
+struct SolveRequest {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string query;           // CQ text (query/parser.h grammar)
+  std::string agg = "sum";     // agg/spec.h grammar
+  std::string tau = "const:1";
+  std::string score = "shapley";  // shapley|banzhaf
+  std::string method = "auto";    // auto|exact|brute|mc
+  int threads = 1;             // worker threads inside the solve
+  int64_t samples = 10000;     // Monte Carlo sample budget
+  uint64_t seed = 1;           // Monte Carlo base seed
+  int64_t deadline_ms = 0;     // 0 = no deadline
+};
+
+struct RequestEnvelope {
+  enum class Op { kSolve, kLoadTenant, kPing, kMetrics };
+  Op op = Op::kSolve;
+  SolveRequest solve;     // kSolve (id/tenant live here)
+  uint64_t id = 0;        // non-solve ops
+  std::string tenant;     // kLoadTenant
+  std::string db_text;    // kLoadTenant (db_io.h line format)
+};
+
+StatusOr<RequestEnvelope> ParseRequestLine(const std::string& line);
+
+std::string SerializeSolveRequest(const SolveRequest& request);
+std::string SerializeLoadTenant(uint64_t id, const std::string& tenant,
+                                const std::string& db_text);
+std::string SerializePing(uint64_t id);
+std::string SerializeMetricsRequest(uint64_t id);
+
+// Rebuilds the aggregate query / solver options a request describes.
+// INVALID_ARGUMENT on a malformed query, spec, score, or method. The
+// options carry no deadline — the server owns cancellation wiring.
+StatusOr<AggregateQuery> BuildAggregateQuery(const SolveRequest& request);
+StatusOr<SolverOptions> BuildSolverOptions(const SolveRequest& request);
+
+// One scored fact in a solve response.
+struct FactScore {
+  FactId fact = 0;
+  std::string fact_text;    // human-readable fact, e.g. R(1, 2)
+  bool exact = false;
+  std::string exact_value;  // exact rational "p/q" ("" when sampled)
+  double value = 0;         // approximation (exact value as double)
+  std::string algorithm;
+  double std_error = 0;     // Monte Carlo only
+  int64_t samples = 0;      // Monte Carlo only
+};
+
+struct SolveResponse {
+  uint64_t id = 0;
+  std::string status;       // "ok" | "error"
+  std::string code;         // StatusCodeName(...) when status == "error"
+  std::string error;        // structured message when status == "error"
+  bool degraded = false;    // deadline degraded exact -> Monte Carlo
+  bool plan_cache_hit = false;
+  std::string fingerprint;  // plan fingerprint (also journaled)
+  double queue_ms = 0;      // time spent in the admission queue
+  double solve_ms = 0;      // time spent solving
+  std::vector<FactScore> results;
+  std::string footer;       // plan-provenance footer (report.h), "" if off
+  std::string metrics;      // kMetrics responses: the Prometheus text
+  bool pong = false;        // kPing responses
+};
+
+std::string SerializeResponse(const SolveResponse& response);
+StatusOr<SolveResponse> ParseResponseLine(const std::string& line);
+
+// Assembles the result fields of an "ok" response from session output.
+// `db` renders each fact's text; results arrive in ComputeAll order.
+void FillResults(const Database& db,
+                 const std::vector<std::pair<FactId, SolveResult>>& results,
+                 SolveResponse* response);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_PROTOCOL_H_

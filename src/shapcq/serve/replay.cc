@@ -1,0 +1,157 @@
+#include "shapcq/serve/replay.h"
+
+#include <cstring>
+#include <utility>
+
+#include "shapcq/serve/protocol.h"
+#include "shapcq/shapley/plan.h"
+#include "shapcq/util/clock.h"
+
+namespace shapcq {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// First differing field between two solves of one record, or "" if
+// bitwise identical.
+std::string DiffResults(
+    const std::vector<std::pair<FactId, SolveResult>>& warm,
+    const std::vector<std::pair<FactId, SolveResult>>& cold) {
+  if (warm.size() != cold.size()) {
+    return "result count " + std::to_string(warm.size()) + " vs " +
+           std::to_string(cold.size());
+  }
+  for (size_t i = 0; i < warm.size(); ++i) {
+    const auto& [warm_fact, w] = warm[i];
+    const auto& [cold_fact, c] = cold[i];
+    std::string at = "fact " + std::to_string(warm_fact) + ": ";
+    if (warm_fact != cold_fact) {
+      return "fact order " + std::to_string(warm_fact) + " vs " +
+             std::to_string(cold_fact);
+    }
+    if (w.is_exact != c.is_exact) return at + "exactness differs";
+    if (w.is_exact && !(w.exact == c.exact)) {
+      return at + "exact value " + w.exact.ToString() + " vs " +
+             c.exact.ToString();
+    }
+    if (!SameBits(w.approximation, c.approximation)) {
+      return at + "approximation bits differ";
+    }
+    if (w.algorithm != c.algorithm) {
+      return at + "engine " + w.algorithm + " vs " + c.algorithm;
+    }
+    if (!SameBits(w.std_error, c.std_error)) {
+      return at + "std_error bits differ";
+    }
+    if (w.samples != c.samples) return at + "sample count differs";
+  }
+  return "";
+}
+
+}  // namespace
+
+StatusOr<ReplayResult> ReplayJournal(
+    const std::vector<JournalRecord>& records,
+    const std::map<std::string, std::shared_ptr<const Database>>& tenants,
+    const ReplayOptions& options) {
+  ReplayResult out;
+  out.records = records.size();
+  out.results.reserve(records.size());
+
+  // Rebuild every record's query/options up front, so a malformed record
+  // fails before any solving starts.
+  struct Prepared {
+    AggregateQuery query;
+    SolverOptions solver;
+    const Database* db = nullptr;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JournalRecord& record = records[i];
+    auto tenant = tenants.find(record.request.tenant);
+    if (tenant == tenants.end() || tenant->second == nullptr) {
+      return NotFoundError("record " + std::to_string(i) +
+                           " names unknown tenant '" +
+                           record.request.tenant + "'");
+    }
+    StatusOr<AggregateQuery> query = BuildAggregateQuery(record.request);
+    if (!query.ok()) {
+      return InvalidArgumentError("record " + std::to_string(i) +
+                                  " no longer parses: " +
+                                  query.status().message());
+    }
+    StatusOr<SolverOptions> solver = BuildSolverOptions(record.request);
+    if (!solver.ok()) {
+      return InvalidArgumentError("record " + std::to_string(i) +
+                                  " has bad options: " +
+                                  solver.status().message());
+    }
+    if (options.num_threads > 0) solver->num_threads = options.num_threads;
+    std::string fingerprint = PlanFingerprint(*query, solver->score);
+    if (fingerprint == record.fingerprint) {
+      ++out.fingerprint_matches;
+    } else {
+      return InternalError("record " + std::to_string(i) +
+                           " fingerprint drift: journaled '" +
+                           record.fingerprint + "', re-derived '" +
+                           fingerprint + "'");
+    }
+    prepared.push_back(Prepared{std::move(query).value(),
+                                std::move(solver).value(),
+                                tenant->second.get()});
+  }
+
+  // Warm pass: one fresh cache, journal order — the serving shape.
+  PlanCache cache;
+  uint64_t warm_start = MonotonicNanos();
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    bool cache_hit = false;
+    std::shared_ptr<const AttributionPlan> plan =
+        cache.GetOrCompile(prepared[i].query, prepared[i].solver.score,
+                           &cache_hit);
+    if (cache_hit) ++out.plan_cache_hits;
+    SolverSession session(plan, *prepared[i].db);
+    StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
+        session.ComputeAll(prepared[i].solver);
+    if (!results.ok()) {
+      return Status(results.status().code(),
+                    "record " + std::to_string(i) + " failed on replay: " +
+                        results.status().message());
+    }
+    out.results.push_back(std::move(results).value());
+  }
+  out.warm_ms =
+      static_cast<double>(MonotonicNanos() - warm_start) / 1e6;
+
+  if (!options.run_cold_pass) return out;
+
+  // Cold pass: per-record compile + direct ComputeAll, compared bitwise.
+  uint64_t cold_start = MonotonicNanos();
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    std::shared_ptr<const AttributionPlan> plan = AttributionPlan::Compile(
+        prepared[i].query, prepared[i].solver.score);
+    SolverSession session(plan, *prepared[i].db);
+    StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
+        session.ComputeAll(prepared[i].solver);
+    if (!results.ok()) {
+      return Status(results.status().code(),
+                    "record " + std::to_string(i) +
+                        " failed on cold replay: " +
+                        results.status().message());
+    }
+    std::string diff = DiffResults(out.results[i], *results);
+    if (!diff.empty()) {
+      return InternalError("record " + std::to_string(i) +
+                           " warm/cold mismatch: " + diff);
+    }
+  }
+  out.cold_ms =
+      static_cast<double>(MonotonicNanos() - cold_start) / 1e6;
+  return out;
+}
+
+}  // namespace shapcq

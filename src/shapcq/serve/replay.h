@@ -1,0 +1,71 @@
+// Deterministic journal replay with bitwise result verification.
+//
+// A journal (serve/journal.h) is a trace of admitted daemon traffic.
+// ReplayJournal re-executes every record against the same tenant
+// databases two ways:
+//
+//   * warm — in journal order through one fresh PlanCache, the daemon's
+//     serving configuration (compile once, execute many);
+//   * cold — each record compiles its own AttributionPlan and runs a
+//     plain SolverSession::ComputeAll, exactly what a direct CLI run of
+//     the same query does (no cache anywhere).
+//
+// Both passes must produce bitwise-identical results: exact Rationals
+// compare by value (exact arithmetic is order-independent), doubles and
+// sampling telemetry compare bit-for-bit (per-fact Monte Carlo seeding
+// makes estimates reproducible). Replay never applies deadlines — a
+// record that degraded at serve time records method "mc" only if the
+// client asked for it; degradation is a serving decision, not part of
+// the journaled request — so replay answers "what were the true scores
+// for this traffic", and parity failures localize to the cache/plan
+// layer by construction. Fingerprints are re-derived and checked
+// against the journaled ones.
+
+#ifndef SHAPCQ_SERVE_REPLAY_H_
+#define SHAPCQ_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapcq/data/database.h"
+#include "shapcq/serve/journal.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct ReplayOptions {
+  // Threads for each solve (0 = the record's own setting).
+  int num_threads = 0;
+  // Skip the per-record compile pass (saves time on huge journals).
+  bool run_cold_pass = true;
+};
+
+struct ReplayResult {
+  uint64_t records = 0;
+  double warm_ms = 0;  // wall time of the warm pass
+  double cold_ms = 0;  // wall time of the cold pass (0 when skipped)
+  uint64_t plan_cache_hits = 0;    // warm-pass cache hits
+  uint64_t fingerprint_matches = 0;  // journaled == re-derived
+  // Warm-pass results per record, in journal order — the reference the
+  // other passes were compared against, and what external harnesses
+  // (the daemon smoke test) compare daemon responses to.
+  std::vector<std::vector<std::pair<FactId, SolveResult>>> results;
+};
+
+// Replays `records` against `tenants` (name -> database; every tenant
+// named by a record must be present). Returns INTERNAL naming the
+// record, fact, and field on the first bitwise mismatch between passes,
+// INVALID_ARGUMENT for a record that no longer parses, NOT_FOUND for a
+// missing tenant.
+StatusOr<ReplayResult> ReplayJournal(
+    const std::vector<JournalRecord>& records,
+    const std::map<std::string, std::shared_ptr<const Database>>& tenants,
+    const ReplayOptions& options = {});
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_REPLAY_H_

@@ -1,0 +1,527 @@
+#include "shapcq/serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "shapcq/data/db_io.h"
+#include "shapcq/lineage/engine.h"
+#include "shapcq/serve/json.h"
+#include "shapcq/shapley/plan.h"
+#include "shapcq/shapley/report.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/util/clock.h"
+
+namespace shapcq {
+
+namespace {
+
+// A request line (or HTTP header block) larger than this is hostile.
+constexpr size_t kMaxLineBytes = 4u << 20;
+
+// Binds a loopback listener; returns the fd and writes the bound port.
+StatusOr<int> MakeListener(int port, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return InternalError("bind(127.0.0.1:" + std::to_string(port) +
+                         ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return InternalError("listen() failed");
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+    ::close(fd);
+    return InternalError("getsockname() failed");
+  }
+  *bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void CloseListener(int* fd) {
+  if (*fd >= 0) {
+    ::shutdown(*fd, SHUT_RDWR);  // unblocks a thread parked in accept()
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+AttributionServer::AttributionServer(ServerOptions options)
+    : options_(std::move(options)), admission_(options_.limits) {}
+
+AttributionServer::~AttributionServer() { Stop(); }
+
+Status AttributionServer::Start() {
+  if (running_.load()) return FailedPreconditionError("already started");
+
+  std::unique_ptr<JournalWriter> journal;
+  if (!options_.journal_path.empty()) {
+    StatusOr<std::unique_ptr<JournalWriter>> opened =
+        JournalWriter::Open(options_.journal_path);
+    if (!opened.ok()) return opened.status();
+    journal = std::move(opened).value();
+  }
+  StatusOr<int> listener = MakeListener(options_.port, &port_);
+  if (!listener.ok()) return listener.status();
+  int metrics_fd = -1;
+  if (options_.metrics_port >= 0) {
+    StatusOr<int> mfd = MakeListener(options_.metrics_port, &metrics_port_);
+    if (!mfd.ok()) {
+      ::close(*listener);
+      return mfd.status();
+    }
+    metrics_fd = *mfd;
+  }
+
+  journal_ = std::move(journal);
+  listen_fd_ = *listener;
+  metrics_fd_ = metrics_fd;
+  running_.store(true);
+  int workers = options_.worker_threads > 0 ? options_.worker_threads : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  return Status::Ok();
+}
+
+void AttributionServer::Stop() {
+  if (!running_.exchange(false)) return;
+
+  CloseListener(&listen_fd_);
+  CloseListener(&metrics_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+
+  // Stop the readers first, so no new work arrives once the workers exit.
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+    threads.swap(connection_threads_);
+  }
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    if (!connection->closed.exchange(true)) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Workers drain what is already queued, then exit.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Backstop for anything enqueued after the workers left.
+  std::deque<Job> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (Job& job : leftover) {
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    admission_.OnDequeue(job.request.tenant);
+    admission_.OnComplete(job.request.tenant);
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    ::close(connection->fd);
+  }
+  if (journal_ != nullptr) journal_->Close();
+}
+
+void AttributionServer::RegisterTenant(const std::string& name, Database db) {
+  auto shared = std::make_shared<const Database>(std::move(db));
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  tenants_[name] = std::move(shared);
+}
+
+std::shared_ptr<const Database> AttributionServer::FindTenant(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::string AttributionServer::MetricsText() const {
+  return RenderPrometheus(metrics_, PlanCache::Global().stats(),
+                          LineageStats::Global().Snapshot());
+}
+
+uint64_t AttributionServer::journal_records_written() const {
+  return journal_ == nullptr ? 0 : journal_->records_written();
+}
+
+void AttributionServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection] { ConnectionLoop(connection); });
+  }
+}
+
+void AttributionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load()) {
+    ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) HandleLine(connection, line);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) {
+      WriteError(connection, 0,
+                 InvalidArgumentError("request line exceeds 4 MiB"));
+      break;
+    }
+  }
+  if (!connection->closed.exchange(true)) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AttributionServer::HandleLine(
+    const std::shared_ptr<Connection>& connection, const std::string& line) {
+  StatusOr<RequestEnvelope> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, 0, parsed.status());
+    return;
+  }
+  RequestEnvelope& envelope = *parsed;
+  switch (envelope.op) {
+    case RequestEnvelope::Op::kPing: {
+      SolveResponse response;
+      response.id = envelope.id;
+      response.status = "ok";
+      response.pong = true;
+      WriteResponse(connection, response);
+      return;
+    }
+    case RequestEnvelope::Op::kMetrics: {
+      SolveResponse response;
+      response.id = envelope.id;
+      response.status = "ok";
+      response.metrics = MetricsText();
+      WriteResponse(connection, response);
+      return;
+    }
+    case RequestEnvelope::Op::kLoadTenant: {
+      if (!options_.allow_load_tenant) {
+        WriteError(connection, envelope.id,
+                   FailedPreconditionError(
+                       "load_tenant is disabled on this server"));
+        return;
+      }
+      StatusOr<Database> db = ParseDatabase(envelope.db_text);
+      if (!db.ok()) {
+        metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+        WriteError(connection, envelope.id, db.status());
+        return;
+      }
+      RegisterTenant(envelope.tenant, std::move(db).value());
+      SolveResponse response;
+      response.id = envelope.id;
+      response.status = "ok";
+      WriteResponse(connection, response);
+      return;
+    }
+    case RequestEnvelope::Op::kSolve:
+      EnqueueSolve(connection, std::move(envelope.solve));
+      return;
+  }
+}
+
+void AttributionServer::EnqueueSolve(
+    const std::shared_ptr<Connection>& connection, SolveRequest request) {
+  if (FindTenant(request.tenant) == nullptr) {
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, request.id,
+               NotFoundError("unknown tenant '" + request.tenant +
+                             "'; register it with op load_tenant"));
+    return;
+  }
+  StatusOr<AggregateQuery> query = BuildAggregateQuery(request);
+  if (!query.ok()) {
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, request.id, query.status());
+    return;
+  }
+  StatusOr<SolverOptions> request_options = BuildSolverOptions(request);
+  if (!request_options.ok()) {
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, request.id, request_options.status());
+    return;
+  }
+  // Overlay the per-request knobs on the server's base options.
+  SolverOptions options = options_.solver;
+  options.score = request_options->score;
+  options.method = request_options->method;
+  options.num_threads = request_options->num_threads;
+  options.monte_carlo = request_options->monte_carlo;
+
+  Status admitted = admission_.TryAdmit(request.tenant);
+  if (!admitted.ok()) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, request.id, admitted);
+    return;
+  }
+
+  std::string fingerprint = PlanFingerprint(*query, options.score);
+  uint64_t enqueued_ns = MonotonicNanos();
+  if (journal_ != nullptr) {
+    JournalRecord record;
+    record.timestamp_ns = enqueued_ns;
+    record.fingerprint = fingerprint;
+    record.request = request;
+    if (journal_->Append(record).ok()) {
+      metrics_.journal_records.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Job job{std::move(request),          std::move(query).value(),
+          std::move(options),          std::move(fingerprint),
+          enqueued_ns,                 connection};
+
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void AttributionServer::WorkerLoop() {
+  while (true) {
+    std::optional<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || !running_.load(); });
+      if (queue_.empty()) return;  // only when stopping
+      job.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    RunJob(std::move(*job));
+  }
+}
+
+void AttributionServer::RunJob(Job job) {
+  admission_.OnDequeue(job.request.tenant);
+  metrics_.in_flight.fetch_add(1, std::memory_order_relaxed);
+  uint64_t dequeued_ns = MonotonicNanos();
+  uint64_t queue_micros = (dequeued_ns - job.enqueued_ns) / 1000;
+  metrics_.queue_wait.Record(queue_micros);
+  if (options_.pre_solve_hook) options_.pre_solve_hook();
+
+  SolveResponse response;
+  response.id = job.request.id;
+  response.queue_ms = static_cast<double>(queue_micros) / 1e3;
+  response.fingerprint = job.fingerprint;
+
+  std::shared_ptr<const Database> db = FindTenant(job.request.tenant);
+  Status failure;
+  if (db == nullptr) {
+    failure = NotFoundError("tenant '" + job.request.tenant +
+                            "' disappeared while queued");
+  } else {
+    bool cache_hit = false;
+    std::shared_ptr<const AttributionPlan> plan =
+        PlanCache::Global().GetOrCompile(job.query, job.options.score,
+                                         &cache_hit);
+    response.plan_cache_hit = cache_hit;
+    SolverSession session(plan, *db);
+
+    SolverOptions options = job.options;
+    bool degraded = false;
+    if (job.request.deadline_ms > 0) {
+      // The deadline is anchored at admission, so time spent queued
+      // counts against it.
+      uint64_t deadline_ns =
+          job.enqueued_ns +
+          static_cast<uint64_t>(job.request.deadline_ms) * 1000000u;
+      if (MonotonicNanos() > deadline_ns) {
+        // The deadline burned out in the queue: go straight to the
+        // bounded estimate.
+        options.method = SolveMethod::kMonteCarlo;
+        degraded = true;
+      } else {
+        options.cancelled = [deadline_ns] {
+          return MonotonicNanos() > deadline_ns;
+        };
+      }
+    }
+
+    LineageStatsSnapshot lineage_before = LineageStats::Global().Snapshot();
+    uint64_t solve_start_ns = MonotonicNanos();
+    StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
+        session.ComputeAll(options);
+    if (!results.ok() &&
+        results.status().code() == StatusCode::kDeadlineExceeded) {
+      degraded = true;
+      options.cancelled = nullptr;
+      options.method = SolveMethod::kMonteCarlo;
+      results = session.ComputeAll(options);
+    }
+    uint64_t solve_micros = (MonotonicNanos() - solve_start_ns) / 1000;
+    metrics_.solve.Record(solve_micros);
+    response.solve_ms = static_cast<double>(solve_micros) / 1e3;
+
+    if (results.ok()) {
+      response.status = "ok";
+      response.degraded = degraded;
+      FillResults(*db, *results, &response);
+      LineageStatsSnapshot lineage = LineageStatsDelta(
+          LineageStats::Global().Snapshot(), lineage_before);
+      response.footer = FormatPlanProvenance(*plan, *results, cache_hit,
+                                             &options, &lineage);
+      std::unordered_map<std::string, uint64_t> mix;
+      for (const auto& [fact, result] : *results) {
+        (void)fact;
+        ++mix[result.algorithm];
+      }
+      for (const auto& [engine, facts] : mix) {
+        metrics_.CountEngineFacts(engine, facts);
+      }
+      if (degraded) {
+        metrics_.requests_degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failure = results.status();
+    }
+  }
+
+  if (!failure.ok() || response.status != "ok") {
+    metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    response.status = "error";
+    response.code = StatusCodeName(failure.code());
+    response.error = failure.message();
+  }
+  metrics_.total.Record((MonotonicNanos() - job.enqueued_ns) / 1000);
+  WriteResponse(job.connection, response);
+  metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  admission_.OnComplete(job.request.tenant);
+}
+
+void AttributionServer::WriteResponse(
+    const std::shared_ptr<Connection>& connection,
+    const SolveResponse& response) {
+  std::string line = SerializeResponse(response);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(connection->write_mu);
+  if (connection->closed.load()) return;
+  if (!SendAll(connection->fd, line.data(), line.size())) {
+    if (!connection->closed.exchange(true)) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+}
+
+void AttributionServer::WriteError(
+    const std::shared_ptr<Connection>& connection, uint64_t id,
+    const Status& status) {
+  SolveResponse response;
+  response.id = id;
+  response.status = "error";
+  response.code = StatusCodeName(status.code());
+  response.error = status.message();
+  WriteResponse(connection, response);
+}
+
+void AttributionServer::MetricsLoop() {
+  while (running_.load()) {
+    int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    // One request per connection, curl/Prometheus style.
+    std::string request;
+    char chunk[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < kMaxLineBytes) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      request.append(chunk, static_cast<size_t>(n));
+      if (request.find('\n') != std::string::npos &&
+          request.find("\r\n") == std::string::npos) {
+        break;  // bare-LF client (nc): first line is enough
+      }
+    }
+    std::string body;
+    const char* status_line = "HTTP/1.1 404 Not Found\r\n";
+    if (request.rfind("GET /metrics", 0) == 0) {
+      status_line = "HTTP/1.1 200 OK\r\n";
+      body = MetricsText();
+    } else if (request.rfind("GET /healthz", 0) == 0) {
+      status_line = "HTTP/1.1 200 OK\r\n";
+      body = "ok\n";
+    } else {
+      body = "not found\n";
+    }
+    std::string reply = status_line;
+    reply += "Content-Type: text/plain; version=0.0.4\r\n";
+    reply += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    reply += "Connection: close\r\n\r\n";
+    reply += body;
+    SendAll(fd, reply.data(), reply.size());
+    ::close(fd);
+  }
+}
+
+}  // namespace shapcq

@@ -1,0 +1,177 @@
+// AttributionServer: the long-running concurrent attribution daemon.
+//
+// One process serves many tenants: each tenant is a named immutable
+// Database, registered up front (RegisterTenant) or over the wire
+// (op:"load_tenant"). Clients connect to a loopback TCP port and speak
+// the line-delimited JSON protocol of serve/protocol.h; an optional
+// second port serves GET /metrics in Prometheus text format.
+//
+// Request path:
+//
+//   reader thread (one per connection)
+//     parse line -> resolve tenant -> build query/options
+//     -> AdmissionController::TryAdmit   (reject: RESOURCE_EXHAUSTED now)
+//     -> JournalWriter::Append           (accepted traffic is replayable)
+//     -> push on the shared work queue
+//   worker pool (worker_threads)
+//     dequeue -> PlanCache::GetOrCompile -> SolverSession::ComputeAll
+//     with options.cancelled wired to the request deadline; on
+//     kDeadlineExceeded (or a deadline that expired in the queue) rerun
+//     with method=kMonteCarlo — bounded by the sample budget and
+//     deterministic via per-fact seeding — and mark the response
+//     degraded. The response (with the provenance footer's CI line for
+//     sampled results) is written back on the request's connection.
+//
+// Deadlines therefore never wedge a worker: the exact attempt stops at
+// the next phase boundary and the degrade pass is time-bounded by
+// construction. Responses to one connection may interleave across
+// requests (match by id), but each response line is written atomically.
+//
+// Ordering note: admission happens on reader threads in arrival order
+// per connection; the worker pool may complete requests in any order.
+
+#ifndef SHAPCQ_SERVE_SERVER_H_
+#define SHAPCQ_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/serve/admission.h"
+#include "shapcq/serve/journal.h"
+#include "shapcq/serve/metrics.h"
+#include "shapcq/serve/protocol.h"
+#include "shapcq/shapley/solver_options.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+struct ServerOptions {
+  // TCP ports on 127.0.0.1. 0 picks an ephemeral port (read it back via
+  // port() / metrics_port() after Start); metrics_port = -1 disables the
+  // HTTP metrics listener (op:"metrics" still works on the main port).
+  int port = 0;
+  int metrics_port = 0;
+  int worker_threads = 4;
+  TenantLimits limits;
+  // Base solver options; per-request fields (score, method, threads,
+  // sampling) are overlaid from each SolveRequest.
+  SolverOptions solver;
+  // When non-empty, every accepted request is appended here.
+  std::string journal_path;
+  // Whether clients may register tenants over the wire.
+  bool allow_load_tenant = true;
+  // Test seam: run on the worker thread after dequeue, before solving.
+  // Lets tests hold workers to saturate admission or outrun deadlines
+  // deterministically.
+  std::function<void()> pre_solve_hook;
+};
+
+class AttributionServer {
+ public:
+  explicit AttributionServer(ServerOptions options);
+  ~AttributionServer();  // calls Stop()
+
+  AttributionServer(const AttributionServer&) = delete;
+  AttributionServer& operator=(const AttributionServer&) = delete;
+
+  // Binds the listeners, opens the journal, starts the worker pool and
+  // acceptor threads. Fails without side effects (no half-started server).
+  Status Start();
+
+  // Stops accepting, fails queued requests with FAILED_PRECONDITION,
+  // closes every connection, joins every thread, closes the journal.
+  // Idempotent.
+  void Stop();
+
+  // Bound ports, valid after a successful Start.
+  int port() const { return port_; }
+  int metrics_port() const { return metrics_port_; }
+
+  // Registers (or replaces) a tenant database.
+  void RegisterTenant(const std::string& name, Database db);
+
+  // The current Prometheus exposition text.
+  std::string MetricsText() const;
+
+  DaemonMetrics& metrics() { return metrics_; }
+  const AdmissionController& admission() const { return admission_; }
+  uint64_t journal_records_written() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+
+  struct Job {
+    SolveRequest request;
+    AggregateQuery query;
+    SolverOptions options;
+    std::string fingerprint;
+    uint64_t enqueued_ns = 0;
+    std::shared_ptr<Connection> connection;
+  };
+
+  void AcceptLoop();
+  void MetricsLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> connection);
+  void WorkerLoop();
+
+  // Handles one request line; writes any immediate response itself.
+  void HandleLine(const std::shared_ptr<Connection>& connection,
+                  const std::string& line);
+  // The solve path after parsing: admission, journaling, enqueue.
+  void EnqueueSolve(const std::shared_ptr<Connection>& connection,
+                    SolveRequest request);
+  // Runs one admitted job on a worker thread and writes its response.
+  void RunJob(Job job);
+
+  void WriteResponse(const std::shared_ptr<Connection>& connection,
+                     const SolveResponse& response);
+  void WriteError(const std::shared_ptr<Connection>& connection, uint64_t id,
+                  const Status& status);
+  std::shared_ptr<const Database> FindTenant(const std::string& name) const;
+
+  ServerOptions options_;
+  int port_ = -1;
+  int metrics_port_ = -1;
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::thread metrics_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex connections_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+
+  mutable std::mutex tenants_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Database>> tenants_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  AdmissionController admission_;
+  DaemonMetrics metrics_;
+  std::unique_ptr<JournalWriter> journal_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVE_SERVER_H_

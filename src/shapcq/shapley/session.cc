@@ -72,6 +72,20 @@ Status ExactUnavailableStatus(const AttributionPlan& plan, int players,
   return UnsupportedError(message);
 }
 
+// The structured deadline failure: how far the exact solve got before the
+// cancellation hook fired, plus the bounded-time way out — callers (e.g.
+// serve/server.h) degrade to method=kMonteCarlo, whose cost is capped by
+// the sample budget.
+Status DeadlineStatus(size_t engines_tried, size_t engines_total,
+                      size_t facts_solved, size_t facts_total) {
+  return DeadlineExceededError(
+      "deadline exceeded during exact solve: " +
+      std::to_string(engines_tried) + "/" + std::to_string(engines_total) +
+      " engines tried, " + std::to_string(facts_solved) + "/" +
+      std::to_string(facts_total) +
+      " facts solved; retry with method=mc for a bounded-time estimate");
+}
+
 }  // namespace
 
 SolverSession::SolverSession(std::shared_ptr<const AttributionPlan> plan,
@@ -94,7 +108,15 @@ StatusOr<SolveResult> SolverSession::ComputeExact(FactId fact,
                                                   const SolverOptions& options,
                                                   Status* first_failure) const {
   Status failure = UnsupportedError(kNoEngineMessage);
+  size_t engines_tried = 0;
   for (const EngineProvider* engine : plan_->engines()) {
+    if (SolveCancelled(options)) {
+      Status deadline =
+          DeadlineStatus(engines_tried, plan_->engines().size(), 0, 1);
+      if (first_failure != nullptr) *first_failure = deadline;
+      return deadline;
+    }
+    ++engines_tried;
     StatusOr<Rational> score =
         ScoreOneWith(*engine, a(), db_, fact, options);
     if (score.ok()) {
@@ -141,6 +163,12 @@ StatusOr<SolveResult> SolverSession::Compute(FactId fact,
     case SolveMethod::kAuto: {
       StatusOr<SolveResult> exact = ComputeExact(fact, options, nullptr);
       if (exact.ok()) return exact;
+      // A deadline cancellation surfaces as-is: the caller decides whether
+      // to degrade to a bounded Monte Carlo run, and the brute-force
+      // fallback below is exactly the unbounded work the deadline forbids.
+      if (exact.status().code() == StatusCode::kDeadlineExceeded) {
+        return exact.status();
+      }
       SolverOptions forced = options;
       forced.method = db_.num_endogenous() <= kBruteForceMaxPlayers
                           ? SolveMethod::kBruteForce
@@ -161,8 +189,19 @@ std::vector<size_t> SolverSession::ExactSweep(
   };
   std::vector<size_t> remaining(facts.size());
   for (size_t i = 0; i < facts.size(); ++i) remaining[i] = i;
+  size_t engines_tried = 0;
   for (const EngineProvider* engine : plan_->engines()) {
     if (remaining.empty()) break;
+    // Deadline poll between engines (on the calling thread only, so the
+    // sweep stays deterministic): a fired cancellation stops the chain and
+    // surfaces as the kDeadlineExceeded failure ComputeAll propagates.
+    if (SolveCancelled(options)) {
+      failure = DeadlineStatus(engines_tried, plan_->engines().size(),
+                               facts.size() - remaining.size(), facts.size());
+      if (first_failure != nullptr) *first_failure = failure;
+      return remaining;
+    }
+    ++engines_tried;
     bool batch_failed = false;
     if (engine->score_all != nullptr) {
       // The batched scorer covers every endogenous fact in one run, so it
@@ -304,9 +343,19 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
       std::vector<size_t> remaining =
           ExactSweep(facts, options, &solved, &failure);
       if (!remaining.empty()) {
+        if (failure.code() == StatusCode::kDeadlineExceeded) return failure;
         if (options.method == SolveMethod::kExactOnly) {
           return ExactUnavailableStatus(*plan_, db_.num_endogenous(),
                                         failure);
+        }
+        // Last deadline poll before committing to a fallback, whose cost
+        // (a full lattice sweep, or the sample budget) the caller then
+        // pays in full.
+        if (SolveCancelled(options)) {
+          return DeadlineStatus(plan_->engines().size(),
+                                plan_->engines().size(),
+                                facts.size() - remaining.size(),
+                                facts.size());
         }
         // Fallback for the unsolved facts only — engine successes stay,
         // exactly like per-fact kAuto calls.

@@ -104,7 +104,11 @@ class SolverSession {
 
   // Scores of all endogenous facts, ascending by FactId. The fast path:
   // batched engines, shared fallbacks, thread-pool fan-out. kExactOnly
-  // failures carry the same structured status as Compute.
+  // failures carry the same structured status as Compute. When
+  // options.cancelled fires (a serving deadline), the call returns a
+  // structured kDeadlineExceeded status instead of starting the next
+  // engine or fallback phase — callers degrade to a bounded
+  // method=kMonteCarlo run (serve/server.h does exactly that).
   StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAll(
       const SolverOptions& options = {});
 

@@ -10,6 +10,8 @@
 #ifndef SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
 #define SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
 
+#include <functional>
+
 #include "shapcq/shapley/monte_carlo.h"
 #include "shapcq/shapley/score.h"
 
@@ -45,7 +47,22 @@ struct SolverOptions {
   // (ScoreAllFn); < 1 means hardware concurrency. Exact results are
   // bitwise-identical regardless of the thread count.
   int num_threads = 0;
+  // Cooperative cancellation for serving deadlines (serve/server.h). When
+  // set, the session polls it on the solving thread at coarse phase
+  // boundaries — before the exact sweep, between engines, and before the
+  // brute-force/Monte-Carlo fallback — and a true return makes the call
+  // fail with StatusCode::kDeadlineExceeded instead of starting the next
+  // phase. Work already in flight (one engine's batch) runs to completion:
+  // cancellation never tears down worker threads mid-accumulation, so
+  // results that do complete stay bitwise-deterministic. Null means never
+  // cancelled.
+  std::function<bool()> cancelled;
 };
+
+// True when options carry a cancellation hook and it reports expiry.
+inline bool SolveCancelled(const SolverOptions& options) {
+  return options.cancelled && options.cancelled();
+}
 
 }  // namespace shapcq
 

@@ -1,0 +1,38 @@
+// Monotonic-clock helpers for the serving stack.
+//
+// Journal timestamps and latency measurements must never jump with wall-
+// clock adjustments, so everything time-shaped in serve/ runs on
+// std::chrono::steady_clock. Journals record nanoseconds since an
+// arbitrary per-process epoch: only differences are meaningful, and replay
+// (serve/replay.h) treats them as opaque ordering/spacing data.
+
+#ifndef SHAPCQ_UTIL_CLOCK_H_
+#define SHAPCQ_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace shapcq {
+
+// Nanoseconds on the monotonic clock (arbitrary epoch, never decreases).
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The monotonic deadline `ms` milliseconds from now; never expires when
+// ms <= 0 (steady_clock::time_point::max()).
+inline std::chrono::steady_clock::time_point DeadlineAfterMs(int64_t ms) {
+  if (ms <= 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+inline bool DeadlinePassed(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() > deadline;
+}
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_CLOCK_H_

@@ -1,0 +1,86 @@
+// Lock-free log-bucketed latency histogram.
+//
+// The daemon records one sample per request from concurrent worker
+// threads; /metrics renders the buckets in Prometheus exposition format
+// (cumulative `le` buckets) plus p50/p99 convenience gauges. Buckets are
+// powers of two in microseconds — 1us, 2us, ..., ~67s, +Inf — giving
+// <= 2x relative quantile error over six orders of magnitude with 28
+// fixed-size atomic counters and no allocation on the record path.
+
+#ifndef SHAPCQ_UTIL_HISTOGRAM_H_
+#define SHAPCQ_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace shapcq {
+
+class LatencyHistogram {
+ public:
+  // Bucket b < kBuckets - 1 holds samples with micros <= 2^b; the last
+  // bucket is +Inf.
+  static constexpr int kBuckets = 28;
+
+  // Upper bound of bucket b in microseconds; UINT64_MAX for the +Inf
+  // bucket.
+  static constexpr uint64_t BucketUpperMicros(int b) {
+    return b >= kBuckets - 1 ? UINT64_MAX : (uint64_t{1} << b);
+  }
+
+  void Record(uint64_t micros) {
+    int b = 0;
+    while (b < kBuckets - 1 && micros > BucketUpperMicros(b)) ++b;
+    counts_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Consistent-enough copy for rendering: counters are monotone, so a
+  // concurrent Record can at worst land a sample in the snapshot's sum but
+  // not its buckets (or vice versa) — harmless for telemetry.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+
+    // The upper bound (in microseconds) of the first bucket whose
+    // cumulative count reaches q of the total: a <= 2x overestimate of the
+    // true quantile. 0 when empty; saturates to the largest finite bound
+    // for samples in the +Inf bucket.
+    uint64_t QuantileMicros(double q) const {
+      if (count == 0) return 0;
+      uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+      if (rank >= count) rank = count - 1;
+      uint64_t seen = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        seen += counts[static_cast<size_t>(b)];
+        if (seen > rank) {
+          return b >= kBuckets - 1 ? BucketUpperMicros(kBuckets - 2)
+                                   : BucketUpperMicros(b);
+        }
+      }
+      return BucketUpperMicros(kBuckets - 2);
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (int b = 0; b < kBuckets; ++b) {
+      s.counts[static_cast<size_t>(b)] =
+          counts_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_HISTOGRAM_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kNotFound,          // a referenced entity does not exist
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,  // a serving deadline cancelled the computation
+  kResourceExhausted, // admission control rejected the request
 };
 
 // Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -59,6 +61,8 @@ Status UnsupportedError(std::string message);
 Status NotFoundError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // A value of type T or an error Status. `value()` aborts on error access,
 // so callers must test `ok()` first (or use `value_or` patterns themselves).

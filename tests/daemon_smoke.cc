@@ -1,0 +1,154 @@
+// End-to-end daemon smoke: the acceptance loop from ISSUE 7 as a ctest.
+//
+// Starts the attribution server with journaling on, issues solve
+// requests over the wire (three queries, mixed tenants, one Monte Carlo
+// request), scrapes /metrics over HTTP, stops the server, replays the
+// journal with ReplayJournal (warm + cold passes, bitwise-checked
+// internally), and finally asserts the wire responses are bitwise
+// identical to the replayed scores — daemon, journal, and direct
+// SolverSession::ComputeAll all agree on every bit.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/data/db_io.h"
+#include "shapcq/serve/client.h"
+#include "shapcq/serve/journal.h"
+#include "shapcq/serve/protocol.h"
+#include "shapcq/serve/replay.h"
+#include "shapcq/serve/server.h"
+
+namespace shapcq {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+Database MustParseDb(const char* text) {
+  auto db = ParseDatabase(text);
+  SHAPCQ_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+TEST(DaemonSmokeTest, ServeScrapeReplayBitwiseParity) {
+  const std::string journal_path = ::testing::TempDir() +
+                                   "/daemon_smoke_journal_" +
+                                   std::to_string(::getpid());
+
+  const char* acme_text = "+R(1, 2)\n+R(2, 3)\n+S(2)\n+S(3)\n-S(4)\n";
+  const char* globex_text = "+R(5, 6)\n+R(6, 6)\n+S(6)\n+T(5)\n";
+
+  ServerOptions options;
+  options.journal_path = journal_path;
+  options.worker_threads = 2;
+  AttributionServer server(options);
+  server.RegisterTenant("acme", MustParseDb(acme_text));
+  server.RegisterTenant("globex", MustParseDb(globex_text));
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  auto client = LineClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::vector<SolveRequest> requests;
+  {
+    SolveRequest request;
+    request.id = 1;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    requests.push_back(request);
+    request.id = 2;
+    request.tenant = "globex";
+    request.query = "Q() <- R(x, y), S(y), T(x)";
+    request.agg = "count";
+    requests.push_back(request);
+    request = SolveRequest{};
+    request.id = 3;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    request.method = "mc";
+    request.samples = 250;
+    request.seed = 11;
+    requests.push_back(request);
+  }
+
+  std::map<uint64_t, SolveResponse> responses;
+  for (const SolveRequest& request : requests) {
+    auto reply = client->RoundTrip(SerializeSolveRequest(request));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto response = ParseResponseLine(*reply);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, "ok") << response->error;
+    responses[request.id] = std::move(response).value();
+  }
+
+  // The daemon observed everything it served.
+  auto metrics = HttpGet(server.metrics_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("shapcq_requests_total{status=\"ok\"} 3"),
+            std::string::npos)
+      << *metrics;
+  EXPECT_NE(metrics->find("shapcq_journal_records_total 3"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_engine_facts_total"), std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_plan_cache_hits_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_request_latency_p50_seconds"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_request_latency_p99_seconds"),
+            std::string::npos);
+
+  server.Stop();
+
+  // Replay the journal against the same tenant data.
+  auto records = ReadJournal(journal_path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), requests.size());
+
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  tenants["acme"] = std::make_shared<const Database>(MustParseDb(acme_text));
+  tenants["globex"] =
+      std::make_shared<const Database>(MustParseDb(globex_text));
+  auto replay = ReplayJournal(*records, tenants);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, requests.size());
+  EXPECT_EQ(replay->fingerprint_matches, requests.size());
+
+  // Wire responses vs. replayed scores: bitwise, field by field.
+  for (size_t i = 0; i < records->size(); ++i) {
+    const JournalRecord& record = (*records)[i];
+    auto it = responses.find(record.request.id);
+    ASSERT_NE(it, responses.end());
+    const std::vector<FactScore>& wire = it->second.results;
+    const auto& replayed = replay->results[i];
+    ASSERT_EQ(wire.size(), replayed.size()) << "record " << i;
+    EXPECT_EQ(it->second.fingerprint, record.fingerprint);
+    for (size_t f = 0; f < replayed.size(); ++f) {
+      const auto& [fact, result] = replayed[f];
+      EXPECT_EQ(wire[f].fact, fact);
+      EXPECT_EQ(wire[f].exact, result.is_exact);
+      EXPECT_TRUE(SameBits(wire[f].value, result.approximation))
+          << "record " << i << " fact " << fact;
+      if (result.is_exact) {
+        EXPECT_EQ(wire[f].exact_value, result.exact.ToString());
+      } else {
+        EXPECT_TRUE(SameBits(wire[f].std_error, result.std_error));
+        EXPECT_EQ(wire[f].samples, result.samples);
+      }
+      EXPECT_EQ(wire[f].algorithm, result.algorithm);
+    }
+  }
+  std::remove(journal_path.c_str());
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,118 @@
+// shapcq_replay: deterministic re-execution of a shapcqd journal.
+//
+// Reads a binary journal written by shapcqd --journal, re-executes every
+// record against the given tenant databases (warm pass through one plan
+// cache, cold pass compiling per record — see src/shapcq/serve/replay.h),
+// and fails loudly unless the two passes are bitwise identical and every
+// re-derived plan fingerprint matches the journaled one. Exit code 0
+// means the journal replays clean.
+//
+// Usage:
+//   shapcq_replay --journal PATH --tenant NAME=DB_FILE...
+//                 [--threads N] [--no-cold] [--dump]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "shapcq/data/db_io.h"
+#include "shapcq/serve/journal.h"
+#include "shapcq/serve/replay.h"
+
+using namespace shapcq;  // NOLINT: tool brevity
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --journal PATH --tenant NAME=DB_FILE...\n"
+               "          [--threads N] [--no-cold] [--dump]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  ReplayOptions options;
+  bool dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--journal") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      journal_path = argv[++i];
+    } else if (arg == "--tenant") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) Usage(argv[0]);
+      StatusOr<Database> db = LoadDatabaseFromFile(spec.substr(eq + 1));
+      if (!db.ok()) {
+        std::fprintf(stderr, "cannot load tenant %s: %s\n",
+                     spec.substr(0, eq).c_str(),
+                     db.status().ToString().c_str());
+        return 1;
+      }
+      tenants[spec.substr(0, eq)] =
+          std::make_shared<const Database>(std::move(db).value());
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      options.num_threads = std::atoi(argv[++i]);
+    } else if (arg == "--no-cold") {
+      options.run_cold_pass = false;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (journal_path.empty()) Usage(argv[0]);
+
+  StatusOr<std::vector<JournalRecord>> records = ReadJournal(journal_path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("journal %s: %zu records\n", journal_path.c_str(),
+              records->size());
+
+  StatusOr<ReplayResult> replay = ReplayJournal(*records, tenants, options);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "REPLAY FAILED: %s\n",
+                 replay.status().ToString().c_str());
+    return 1;
+  }
+
+  if (dump) {
+    for (size_t i = 0; i < replay->results.size(); ++i) {
+      std::printf("record %zu (%s):\n", i,
+                  (*records)[i].request.query.c_str());
+      for (const auto& [fact, result] : replay->results[i]) {
+        std::printf("  fact %d  %s  [%s]\n", fact,
+                    result.is_exact ? result.exact.ToString().c_str()
+                                    : "(sampled)",
+                    result.algorithm.c_str());
+      }
+    }
+  }
+
+  std::printf(
+      "replayed %llu records: warm %.1f ms, cold %.1f ms, "
+      "%llu warm cache hits, %llu/%llu fingerprints match\n",
+      static_cast<unsigned long long>(replay->records), replay->warm_ms,
+      replay->cold_ms,
+      static_cast<unsigned long long>(replay->plan_cache_hits),
+      static_cast<unsigned long long>(replay->fingerprint_matches),
+      static_cast<unsigned long long>(replay->records));
+  if (options.run_cold_pass) {
+    std::printf("warm and cold passes bitwise identical\n");
+  }
+  return 0;
+}

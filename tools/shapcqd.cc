@@ -1,0 +1,127 @@
+// shapcqd: the attribution daemon.
+//
+// Serves Shapley/Banzhaf attribution over the line-delimited JSON
+// protocol (src/shapcq/serve/protocol.h) on a loopback TCP port, with a
+// Prometheus /metrics endpoint on a second port. docs/OPERATIONS.md is
+// the runbook.
+//
+// Usage:
+//   shapcqd [--port N] [--metrics-port N|-1] [--workers N]
+//           [--journal PATH] [--tenant NAME=DB_FILE]...
+//           [--max-in-flight N] [--max-queue N] [--no-load-tenant]
+//
+// Ports default to 0 (ephemeral; the bound ports are printed on
+// startup). Tenants load from db_io.h plain-text files and can also be
+// registered over the wire (op:"load_tenant") unless --no-load-tenant.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "shapcq/data/db_io.h"
+#include "shapcq/serve/server.h"
+
+using namespace shapcq;  // NOLINT: tool brevity
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--metrics-port N|-1] [--workers N]\n"
+      "          [--journal PATH] [--tenant NAME=DB_FILE]...\n"
+      "          [--max-in-flight N] [--max-queue N] [--no-load-tenant]\n",
+      argv0);
+  std::exit(2);
+}
+
+int IntFlag(const char* argv0, int argc, char** argv, int* i) {
+  if (*i + 1 >= argc) Usage(argv0);
+  return std::atoi(argv[++*i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  struct Tenant {
+    std::string name;
+    std::string path;
+  };
+  std::vector<Tenant> tenants;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port") {
+      options.port = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--metrics-port") {
+      options.metrics_port = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--workers") {
+      options.worker_threads = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--max-in-flight") {
+      options.limits.max_in_flight = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--max-queue") {
+      options.limits.max_queue = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      options.journal_path = argv[++i];
+    } else if (arg == "--no-load-tenant") {
+      options.allow_load_tenant = false;
+    } else if (arg == "--tenant") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) Usage(argv[0]);
+      tenants.push_back(Tenant{spec.substr(0, eq), spec.substr(eq + 1)});
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  AttributionServer server(options);
+  for (const Tenant& tenant : tenants) {
+    StatusOr<Database> db = LoadDatabaseFromFile(tenant.path);
+    if (!db.ok()) {
+      std::fprintf(stderr, "cannot load tenant %s: %s\n",
+                   tenant.name.c_str(), db.status().ToString().c_str());
+      return 1;
+    }
+    server.RegisterTenant(tenant.name, std::move(db).value());
+    std::printf("tenant %-16s %s\n", tenant.name.c_str(),
+                tenant.path.c_str());
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("shapcqd listening on 127.0.0.1:%d", server.port());
+  if (server.metrics_port() >= 0) {
+    std::printf("  (metrics http://127.0.0.1:%d/metrics)",
+                server.metrics_port());
+  }
+  if (!options.journal_path.empty()) {
+    std::printf("  journal=%s", options.journal_path.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down (journal records: %llu)\n",
+              static_cast<unsigned long long>(
+                  server.journal_records_written()));
+  server.Stop();
+  return 0;
+}
