@@ -208,6 +208,11 @@ inline void* CountedAllocAligned(std::size_t size, std::size_t align) {
     return p;
   throw std::bad_alloc();
 }
+inline void* CountedAllocNoThrow(std::size_t size) noexcept {
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
 }  // namespace shapcq::bench::alloc_hook
 
 void* operator new(std::size_t size) {
@@ -224,12 +229,29 @@ void* operator new[](std::size_t size, std::align_val_t align) {
   return shapcq::bench::alloc_hook::CountedAllocAligned(
       size, static_cast<std::size_t>(align));
 }
+// The nothrow variants must be replaced alongside the throwing ones: an
+// implementation-provided nothrow new (e.g. ASan's) does not forward to
+// the replaced throwing operator new, so its allocations (libstdc++'s
+// stable_sort temporary buffer, for one) would be handed to the free()
+// in the replaced operator delete — an alloc/dealloc mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return shapcq::bench::alloc_hook::CountedAllocNoThrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return shapcq::bench::alloc_hook::CountedAllocNoThrow(size);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 #endif  // SHAPCQ_BENCH_ALLOC_HOOK
 
 #endif  // SHAPCQ_BENCH_BENCH_UTIL_H_

@@ -5,11 +5,8 @@ namespace shapcq {
 Status AdmissionController::TryAdmit(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   TenantState& state = tenants_[tenant];
-  if (state.in_flight >= limits_.max_in_flight && state.queued == 0 &&
-      limits_.max_queue == 0) {
-    // Fall through to the queue check below; separated only so both
-    // rejection messages stay precise.
-  }
+  // Two checks so each rejection message stays precise: a full queue
+  // names the queue limit, saturation names the in-flight limit.
   if (state.queued >= limits_.max_queue) {
     return ResourceExhaustedError(
         "tenant '" + tenant + "' queue full: " +

@@ -112,6 +112,26 @@ class Parser {
     }
   }
 
+  // Consumes exactly four hex digits (the payload of a \u escape).
+  Status ParseHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') {
+        *code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        *code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        *code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("bad \\u escape");
+      }
+    }
+    return Status::Ok();
+  }
+
   Status ParseString(std::string* out) {
     if (pos_ >= text_.size() || text_[pos_] != '"') {
       return Error("expected '\"'");
@@ -141,30 +161,43 @@ class Parser {
           case 'b': out->push_back('\b'); break;
           case 'f': out->push_back('\f'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("short \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("bad \\u escape");
+            Status hex = ParseHex4(&code);
+            if (!hex.ok()) return hex;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("lone low surrogate in \\u escape");
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // A high surrogate must pair with the following \uDC00-
+              // \uDFFF; the combined code point is non-BMP (4-byte
+              // UTF-8), never two 3-byte CESU-8 halves.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate in \\u escape");
               }
+              pos_ += 2;
+              unsigned low = 0;
+              hex = ParseHex4(&low);
+              if (!hex.ok()) return hex;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("unpaired high surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
             }
             // The protocol is byte-oriented (query text is ASCII/UTF-8
-            // passed through); encode BMP code points as UTF-8.
+            // passed through); encode the code point as UTF-8.
             if (code < 0x80) {
               out->push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out->push_back(static_cast<char>(0xC0 | (code >> 6)));
               out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }

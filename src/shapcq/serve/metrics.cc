@@ -101,9 +101,15 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   Counter(&out, "shapcq_connections_closed_total",
           "client connections closed",
           metrics.connections_closed.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_accept_errors_total",
+          "accept() failures (e.g. fd exhaustion)",
+          metrics.accept_errors.load(std::memory_order_relaxed));
   Counter(&out, "shapcq_journal_records_total",
           "requests appended to the journal",
           metrics.journal_records.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_journal_errors_total",
+          "journal append failures (requests served but not journaled)",
+          metrics.journal_errors.load(std::memory_order_relaxed));
 
   Gauge(&out, "shapcq_queue_depth", "requests waiting for a worker",
         static_cast<double>(

@@ -35,8 +35,13 @@ class DaemonMetrics {
   // Connection lifecycle.
   std::atomic<uint64_t> connections_opened{0};
   std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> accept_errors{0};  // accept() failures (EMFILE...)
 
   std::atomic<uint64_t> journal_records{0};
+  // Admitted requests whose journal append failed: they were served but
+  // are missing from the journal, so replay is no longer a complete
+  // trace. Nonzero here means the journal cannot prove parity.
+  std::atomic<uint64_t> journal_errors{0};
 
   // Instantaneous depths (mirrors AdmissionController totals; kept as
   // gauges here so the metrics endpoint needs no lock ordering with the

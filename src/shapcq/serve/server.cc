@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -63,11 +64,11 @@ bool SendAll(int fd, const char* data, size_t size) {
   return true;
 }
 
-void CloseListener(int* fd) {
-  if (*fd >= 0) {
-    ::shutdown(*fd, SHUT_RDWR);  // unblocks a thread parked in accept()
-    ::close(*fd);
-    *fd = -1;
+void CloseListener(std::atomic<int>* fd) {
+  int got = fd->exchange(-1);
+  if (got >= 0) {
+    ::shutdown(got, SHUT_RDWR);  // unblocks a thread parked in accept()
+    ::close(got);
   }
 }
 
@@ -125,19 +126,20 @@ void AttributionServer::Stop() {
   if (metrics_thread_.joinable()) metrics_thread_.join();
 
   // Stop the readers first, so no new work arrives once the workers exit.
-  std::vector<std::shared_ptr<Connection>> connections;
-  std::vector<std::thread> threads;
+  std::vector<ConnectionHandle> handles;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    connections.swap(connections_);
-    threads.swap(connection_threads_);
+    handles.swap(connections_);
   }
-  for (const std::shared_ptr<Connection>& connection : connections) {
-    if (!connection->closed.exchange(true)) {
-      ::shutdown(connection->fd, SHUT_RDWR);
-    }
+  for (const ConnectionHandle& handle : handles) {
+    Connection& connection = *handle.connection;
+    std::lock_guard<std::mutex> lock(connection.write_mu);
+    connection.closed.store(true);
+    // shutdown (not close) unblocks a reader parked in recv(); the
+    // reader closes the fd itself on the way out.
+    if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
   }
-  for (std::thread& thread : threads) thread.join();
+  for (ConnectionHandle& handle : handles) handle.thread.join();
 
   // Workers drain what is already queued, then exit.
   queue_cv_.notify_all();
@@ -157,9 +159,6 @@ void AttributionServer::Stop() {
     metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
   }
 
-  for (const std::shared_ptr<Connection>& connection : connections) {
-    ::close(connection->fd);
-  }
   if (journal_ != nullptr) journal_->Close();
 }
 
@@ -187,11 +186,19 @@ uint64_t AttributionServer::journal_records_written() const {
 
 void AttributionServer::AcceptLoop() {
   while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
+      if (errno == EINTR) continue;
+      // EMFILE/ENFILE and friends: reaping finished readers releases
+      // their fds, and backing off keeps a persistent failure (fd
+      // exhaustion) from busy-spinning this thread at 100% CPU.
+      metrics_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+      ReapFinishedConnections();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
       continue;
     }
+    ReapFinishedConnections();
     metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
@@ -200,10 +207,29 @@ void AttributionServer::AcceptLoop() {
       ::close(fd);
       return;
     }
-    connections_.push_back(connection);
-    connection_threads_.emplace_back(
-        [this, connection] { ConnectionLoop(connection); });
+    connections_.push_back(ConnectionHandle{
+        connection, std::thread([this, connection] {
+          ConnectionLoop(connection);
+        })});
   }
+}
+
+void AttributionServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->connection->done.load(std::memory_order_acquire)) {
+      it->thread.join();  // already exited; returns immediately
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t AttributionServer::live_connections() {
+  ReapFinishedConnections();
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return connections_.size();
 }
 
 void AttributionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
@@ -228,10 +254,21 @@ void AttributionServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
       break;
     }
   }
-  if (!connection->closed.exchange(true)) {
-    ::shutdown(connection->fd, SHUT_RDWR);
+  // The reader owns the fd: close it here (not in Stop) so a
+  // long-running daemon reclaims one fd per disconnect instead of
+  // accumulating them. write_mu excludes a worker mid-send.
+  {
+    std::lock_guard<std::mutex> lock(connection->write_mu);
+    connection->closed.store(true);
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+      connection->fd = -1;
+    }
   }
   metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  // Publish reapability last: after this store the acceptor may join
+  // this thread and erase the handle at any moment.
+  connection->done.store(true, std::memory_order_release);
 }
 
 void AttributionServer::HandleLine(
@@ -330,6 +367,11 @@ void AttributionServer::EnqueueSolve(
     record.request = request;
     if (journal_->Append(record).ok()) {
       metrics_.journal_records.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The request is still served, but the journal is no longer a
+      // complete trace of admitted traffic — surface that loudly so
+      // replay-parity consumers can tell.
+      metrics_.journal_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
   Job job{std::move(request),          std::move(query).value(),
@@ -464,11 +506,12 @@ void AttributionServer::WriteResponse(
   std::string line = SerializeResponse(response);
   line.push_back('\n');
   std::lock_guard<std::mutex> lock(connection->write_mu);
-  if (connection->closed.load()) return;
+  if (connection->closed.load() || connection->fd < 0) return;
   if (!SendAll(connection->fd, line.data(), line.size())) {
-    if (!connection->closed.exchange(true)) {
-      ::shutdown(connection->fd, SHUT_RDWR);
-    }
+    // shutdown (not close) so the reader parked in recv() wakes up and
+    // closes the fd itself.
+    connection->closed.store(true);
+    ::shutdown(connection->fd, SHUT_RDWR);
   }
 }
 
@@ -485,7 +528,7 @@ void AttributionServer::WriteError(
 
 void AttributionServer::MetricsLoop() {
   while (running_.load()) {
-    int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    int fd = ::accept(metrics_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
       continue;

@@ -90,9 +90,11 @@ class AttributionServer {
   // acceptor threads. Fails without side effects (no half-started server).
   Status Start();
 
-  // Stops accepting, fails queued requests with FAILED_PRECONDITION,
-  // closes every connection, joins every thread, closes the journal.
-  // Idempotent.
+  // Stops accepting, shuts down every connection, joins every thread,
+  // and closes the journal. Requests already queued are still drained
+  // by the workers before they exit, but their responses go nowhere
+  // (the connections are shut down first); anything left in the queue
+  // after that is dropped and counted as an error. Idempotent.
   void Stop();
 
   // Bound ports, valid after a successful Start.
@@ -109,11 +111,25 @@ class AttributionServer {
   const AdmissionController& admission() const { return admission_; }
   uint64_t journal_records_written() const;
 
+  // Connections not yet reaped: reaps finished reader threads first,
+  // then returns the remaining count. Trends to zero after clients
+  // disconnect (observability/test seam).
+  size_t live_connections();
+
  private:
   struct Connection {
+    // Closed by the reader thread when ConnectionLoop exits (fd becomes
+    // -1, under write_mu); other threads only ever shutdown() it.
     int fd = -1;
     std::mutex write_mu;
-    std::atomic<bool> closed{false};
+    std::atomic<bool> closed{false};  // shutdown requested / peer gone
+    std::atomic<bool> done{false};    // reader exited; thread reapable
+  };
+
+  // A live connection plus its reader thread, reaped once done.
+  struct ConnectionHandle {
+    std::shared_ptr<Connection> connection;
+    std::thread thread;
   };
 
   struct Job {
@@ -129,6 +145,8 @@ class AttributionServer {
   void MetricsLoop();
   void ConnectionLoop(std::shared_ptr<Connection> connection);
   void WorkerLoop();
+  // Joins and erases every connection whose reader has exited.
+  void ReapFinishedConnections();
 
   // Handles one request line; writes any immediate response itself.
   void HandleLine(const std::shared_ptr<Connection>& connection,
@@ -148,8 +166,9 @@ class AttributionServer {
   ServerOptions options_;
   int port_ = -1;
   int metrics_port_ = -1;
-  int listen_fd_ = -1;
-  int metrics_fd_ = -1;
+  // Atomic: Stop() retires these while the accept loops read them.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> metrics_fd_{-1};
 
   std::atomic<bool> running_{false};
   std::thread acceptor_;
@@ -157,8 +176,7 @@ class AttributionServer {
   std::vector<std::thread> workers_;
 
   mutable std::mutex connections_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> connection_threads_;
+  std::vector<ConnectionHandle> connections_;
 
   mutable std::mutex tenants_mu_;
   std::unordered_map<std::string, std::shared_ptr<const Database>> tenants_;

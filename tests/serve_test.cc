@@ -67,6 +67,21 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("nul").ok());
 }
 
+TEST(JsonTest, DecodesSurrogatePairsAsUtf8) {
+  // \ud83d\ude00 is U+1F600 (😀): one 4-byte UTF-8 sequence, not two
+  // 3-byte CESU-8 halves.
+  auto parsed = ParseJson("{\"s\":\"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), "\xF0\x9F\x98\x80");
+
+  // Lone or mismatched surrogates are rejected rather than emitted as
+  // invalid UTF-8.
+  EXPECT_FALSE(ParseJson("{\"s\":\"\\ud83d\"}").ok());        // lone high
+  EXPECT_FALSE(ParseJson("{\"s\":\"\\ud83dx\"}").ok());       // high + text
+  EXPECT_FALSE(ParseJson("{\"s\":\"\\ud83d\\u0041\"}").ok()); // high + BMP
+  EXPECT_FALSE(ParseJson("{\"s\":\"\\ude00\"}").ok());        // lone low
+}
+
 TEST(JsonTest, DoubleRoundTripsBitwise) {
   double value = 0.1 + 0.2;  // not representable exactly
   JsonWriter w;
@@ -443,6 +458,27 @@ TEST_F(ServerTest, ServesSolvePingMetricsAndErrors) {
   auto health = HttpGet(server_->metrics_port(), "/healthz");
   ASSERT_TRUE(health.ok());
   EXPECT_FALSE(HttpGet(server_->metrics_port(), "/nope").ok());
+}
+
+TEST_F(ServerTest, DisconnectedClientsAreReaped) {
+  // A long-running daemon must reclaim the fd and reader thread of
+  // every disconnected client, not hold them until Stop().
+  StartServer(ServerOptions{});
+  for (int i = 0; i < 4; ++i) {
+    auto client = LineClient::Connect(server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    SolveResponse pong = MustRoundTrip(*client, SerializePing(1));
+    EXPECT_TRUE(pong.pong);
+  }  // ~LineClient closes the socket; the reader notices and exits.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->live_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server_->live_connections(), 0u);
+  EXPECT_EQ(server_->metrics().connections_opened.load(), 4u);
+  EXPECT_EQ(server_->metrics().connections_closed.load(), 4u);
 }
 
 TEST_F(ServerTest, LoadTenantOverTheWire) {
