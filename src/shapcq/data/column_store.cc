@@ -78,6 +78,67 @@ const std::vector<ValueId>& ColumnStore::Column(RelationId relation,
   return rel.columns[static_cast<size_t>(position)];
 }
 
+int ColumnStore::num_delta_rows(RelationId relation) const {
+  SHAPCQ_CHECK(relation >= 0 && relation < num_relations());
+  const Relation& rel = relations_[static_cast<size_t>(relation)];
+  return static_cast<int>(rel.facts.size() - rel.sealed_rows);
+}
+
+void ColumnStore::Seal() {
+  for (Relation& rel : relations_) {
+    rel.sealed_rows = rel.facts.size();
+  }
+}
+
+namespace {
+
+bool IsDead(const std::vector<char>& dead, FactId fact) {
+  return static_cast<size_t>(fact) < dead.size() &&
+         dead[static_cast<size_t>(fact)] != 0;
+}
+
+}  // namespace
+
+void ColumnStore::Compact(const std::vector<char>& dead,
+                          std::vector<int32_t>* fact_row) {
+  for (Relation& rel : relations_) {
+    size_t write = 0;
+    for (size_t row = 0; row < rel.facts.size(); ++row) {
+      const FactId fact = rel.facts[row];
+      if (IsDead(dead, fact)) continue;
+      rel.facts[write] = fact;
+      for (int position = 0; position < rel.arity; ++position) {
+        auto& column = rel.columns[static_cast<size_t>(position)];
+        column[write] = column[row];
+      }
+      if (fact_row != nullptr) {
+        (*fact_row)[static_cast<size_t>(fact)] =
+            static_cast<int32_t>(write);
+      }
+      ++write;
+    }
+    rel.facts.resize(write);
+    for (int position = 0; position < rel.arity; ++position) {
+      rel.columns[static_cast<size_t>(position)].resize(write);
+    }
+    for (auto& by_value : rel.postings) {
+      for (std::vector<FactId>& list : by_value) {
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&dead](FactId fact) {
+                                    return IsDead(dead, fact);
+                                  }),
+                   list.end());
+      }
+    }
+    rel.sealed_rows = rel.facts.size();
+  }
+  if (fact_row != nullptr) {
+    for (size_t fact = 0; fact < dead.size(); ++fact) {
+      if (dead[fact] != 0) (*fact_row)[fact] = -1;
+    }
+  }
+}
+
 namespace {
 
 // First index in [lo, list.size()) with list[index] >= target, found by
@@ -213,6 +274,20 @@ bool SimdIntersectionAvailable() {
 #else
   return false;
 #endif
+}
+
+std::vector<FactId> IntersectPostingsLive(
+    std::vector<const std::vector<FactId>*> lists,
+    const std::vector<char>& dead) {
+  std::vector<FactId> result = IntersectPostings(std::move(lists));
+  if (!dead.empty()) {
+    result.erase(std::remove_if(result.begin(), result.end(),
+                                [&dead](FactId fact) {
+                                  return IsDead(dead, fact);
+                                }),
+                 result.end());
+  }
+  return result;
 }
 
 std::vector<FactId> IntersectPostings(

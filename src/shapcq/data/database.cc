@@ -42,6 +42,13 @@ int Schema::Arity(const std::string& name) const {
 
 FactId Database::AddFact(const std::string& relation, Tuple args,
                          bool endogenous) {
+  StatusOr<FactId> id = InsertFact(relation, std::move(args), endogenous);
+  SHAPCQ_CHECK(id.ok() && "duplicate fact or arity conflict");
+  return *id;
+}
+
+StatusOr<FactId> Database::InsertFact(const std::string& relation, Tuple args,
+                                      bool endogenous) {
   RelationId relation_id;
   auto rel_it = relation_ids_.find(relation);
   if (rel_it == relation_ids_.end()) {
@@ -50,12 +57,16 @@ FactId Database::AddFact(const std::string& relation, Tuple args,
     relation_names_.push_back(relation);
   } else {
     relation_id = rel_it->second;
-    SHAPCQ_CHECK(columns_.arity(relation_id) ==
-                     static_cast<int>(args.size()) &&
-                 "fact arity conflicts with relation arity");
+    if (columns_.arity(relation_id) != static_cast<int>(args.size())) {
+      return InvalidArgumentError("fact arity conflicts with relation " +
+                                  relation);
+    }
   }
   auto& index = fact_index_[relation];
-  SHAPCQ_CHECK(index.find(args) == index.end() && "duplicate fact");
+  if (index.find(args) != index.end()) {
+    return FailedPreconditionError("duplicate fact: " + relation +
+                                   TupleToString(args));
+  }
   FactId id = static_cast<FactId>(facts_.size());
   index.emplace(args, id);
   // Intern the arguments and append to the columnar store.
@@ -75,11 +86,36 @@ FactId Database::AddFact(const std::string& relation, Tuple args,
   columns_.AddFact(relation_id, id, arg_ids, static_cast<int>(args.size()));
   if (endogenous) ++num_endogenous_;
   facts_.push_back(Fact{relation, std::move(args), endogenous});
+  dead_.push_back(0);
+  ++epoch_;
   return id;
+}
+
+Status Database::DeleteFact(FactId id) {
+  if (id < 0 || id >= num_facts() || dead_[static_cast<size_t>(id)] != 0) {
+    return NotFoundError("no live fact with id " + std::to_string(id));
+  }
+  const Fact& f = facts_[static_cast<size_t>(id)];
+  dead_[static_cast<size_t>(id)] = 1;
+  ++num_dead_;
+  if (f.endogenous) --num_endogenous_;
+  // Free the (relation, args) key: the same fact may be re-inserted later
+  // under a fresh id.
+  auto rel_it = fact_index_.find(f.relation);
+  SHAPCQ_CHECK(rel_it != fact_index_.end());
+  rel_it->second.erase(f.args);
+  ++epoch_;
+  return Status::Ok();
+}
+
+void Database::CompactTombstones() {
+  columns_.Compact(dead_, &fact_row_);
+  ++epoch_;
 }
 
 void Database::SetEndogenous(FactId id, bool endogenous) {
   SHAPCQ_CHECK(id >= 0 && id < num_facts());
+  SHAPCQ_CHECK(live(id));
   Fact& f = facts_[static_cast<size_t>(id)];
   if (f.endogenous == endogenous) return;
   f.endogenous = endogenous;
@@ -143,6 +179,7 @@ std::vector<FactId> Database::EndogenousFacts() const {
   std::vector<FactId> out;
   out.reserve(static_cast<size_t>(num_endogenous_));
   for (FactId id = 0; id < num_facts(); ++id) {
+    if (!live(id)) continue;
     if (facts_[static_cast<size_t>(id)].endogenous) out.push_back(id);
   }
   return out;
@@ -151,12 +188,14 @@ std::vector<FactId> Database::EndogenousFacts() const {
 std::vector<FactId> Database::ExogenousFacts() const {
   std::vector<FactId> out;
   for (FactId id = 0; id < num_facts(); ++id) {
+    if (!live(id)) continue;
     if (!facts_[static_cast<size_t>(id)].endogenous) out.push_back(id);
   }
   return out;
 }
 
 Database Database::WithFactExogenous(FactId id) const {
+  SHAPCQ_CHECK(live(id));
   SHAPCQ_CHECK(fact(id).endogenous);
   Database copy = *this;
   copy.facts_[static_cast<size_t>(id)].endogenous = false;
@@ -171,7 +210,7 @@ Database Database::WithoutFact(FactId id, std::vector<FactId>* old_to_new) const
     old_to_new->assign(static_cast<size_t>(num_facts()), -1);
   }
   for (FactId old_id = 0; old_id < num_facts(); ++old_id) {
-    if (old_id == id) continue;
+    if (old_id == id || !live(old_id)) continue;
     const Fact& f = facts_[static_cast<size_t>(old_id)];
     FactId new_id = result.AddFact(f.relation, f.args, f.endogenous);
     if (old_to_new != nullptr) {
@@ -184,7 +223,9 @@ Database Database::WithoutFact(FactId id, std::vector<FactId>* old_to_new) const
 std::string Database::ToString() const {
   std::string out;
   for (bool endogenous : {true, false}) {
-    for (const Fact& f : facts_) {
+    for (FactId id = 0; id < num_facts(); ++id) {
+      if (!live(id)) continue;
+      const Fact& f = facts_[static_cast<size_t>(id)];
       if (f.endogenous != endogenous) continue;
       out += f.ToString();
       out += endogenous ? "  [endo]\n" : "  [exo]\n";

@@ -78,6 +78,46 @@ class Database {
     return AddFact(relation, std::move(args), /*endogenous=*/false);
   }
 
+  // --- Streaming mutation API ---------------------------------------------
+  //
+  // FactIds are assigned in ascending order and NEVER reused: an insert
+  // always appends past every id ever issued, so posting lists stay sorted
+  // and a deleted id stays dead forever (live(id) == false survives
+  // compaction). Deletion is a tombstone — the columnar lists keep the dead
+  // id until CompactTombstones() rebuilds them — so deletes are O(1) and
+  // the id space may contain holes (num_live() <= num_facts()). Every
+  // successful mutation (and compaction) bumps epoch(), a monotonic
+  // change counter that caches key their snapshots on.
+
+  // Validating AddFact: kInvalidArgument on an arity conflict,
+  // kFailedPrecondition on a duplicate live fact. Bumps epoch.
+  StatusOr<FactId> InsertFact(const std::string& relation, Tuple args,
+                              bool endogenous = true);
+  // Tombstones a live fact: kNotFound when out of range or already dead.
+  // The (relation, args) key is freed for re-insertion (under a fresh id).
+  // Bumps epoch.
+  Status DeleteFact(FactId id);
+  // Rebuilds the columnar lists without tombstoned facts (FactIds are
+  // preserved; dead ids remain dead) and seals the per-relation delta
+  // segments. Bumps epoch.
+  void CompactTombstones();
+
+  // Monotonic mutation counter: bumped by AddFact/InsertFact/DeleteFact/
+  // CompactTombstones. Equal epochs on the same object imply identical
+  // contents.
+  uint64_t epoch() const { return epoch_; }
+  // False for tombstoned ids (forever, even after compaction).
+  bool live(FactId id) const {
+    return id >= 0 && id < num_facts() && dead_[static_cast<size_t>(id)] == 0;
+  }
+  bool has_tombstones() const { return num_dead_ > 0; }
+  // The tombstone bitset, dense by FactId (1 = dead): what the
+  // live-filtering intersection kernels consume.
+  const std::vector<char>& dead() const { return dead_; }
+  // Live facts (the id space minus tombstones).
+  int num_live() const { return num_facts() - num_dead_; }
+
+  // Size of the id space, holes included; live(id) distinguishes.
   int num_facts() const { return static_cast<int>(facts_.size()); }
   const Fact& fact(FactId id) const;
   // Looks up a fact id; returns kNotFound if absent.
@@ -135,10 +175,11 @@ class Database {
   // Arity of a relation as observed from its facts; aborts if unknown.
   int Arity(const std::string& relation) const;
 
-  // Endogenous fact ids, ascending.
+  // Live endogenous fact ids, ascending.
   std::vector<FactId> EndogenousFacts() const;
-  // Exogenous fact ids, ascending.
+  // Live exogenous fact ids, ascending.
   std::vector<FactId> ExogenousFacts() const;
+  // Live endogenous facts (tombstones excluded).
   int num_endogenous() const { return num_endogenous_; }
 
   // Flips the endogenous flag of `id` in place. Unlike WithFactExogenous
@@ -169,6 +210,9 @@ class Database {
                      std::unordered_map<Tuple, FactId, TupleHash>>
       fact_index_;
   int num_endogenous_ = 0;
+  std::vector<char> dead_;  // by FactId: 1 = tombstoned
+  int num_dead_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace shapcq

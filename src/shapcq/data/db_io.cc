@@ -10,12 +10,47 @@ namespace shapcq {
 std::string SerializeDatabase(const Database& db) {
   std::string out;
   for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (!db.live(id)) continue;  // tombstoned facts are not content
     const Fact& fact = db.fact(id);
     out += fact.endogenous ? '+' : '-';
     out += fact.ToString();
     out += '\n';
   }
   return out;
+}
+
+StatusOr<ParsedFact> ParseFactLine(std::string_view line) {
+  // Trim whitespace.
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                           line.front() == '\r')) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    return InvalidArgumentError("empty fact line");
+  }
+  ParsedFact fact;
+  // Optional endogeneity marker; a bare fact is endogenous. (delete_fact
+  // names facts by content, so the daemon and the journal carry them
+  // markerless.)
+  if (line[0] == '+' || line[0] == '-') {
+    fact.endogenous = line[0] == '+';
+    line.remove_prefix(1);
+  }
+  // Reuse the CQ parser: a fact is a ground atom.
+  std::string as_query = "Q() <- " + std::string(line);
+  StatusOr<ConjunctiveQuery> parsed = ParseQuery(as_query);
+  if (!parsed.ok()) return parsed.status();
+  const Atom& atom = parsed->atoms()[0];
+  if (parsed->atoms().size() != 1 || !atom.is_ground()) {
+    return InvalidArgumentError("expected one ground fact");
+  }
+  fact.relation = atom.relation;
+  fact.args.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) fact.args.push_back(term.constant());
+  return fact;
 }
 
 StatusOr<Database> ParseDatabase(std::string_view text) {
@@ -36,32 +71,17 @@ StatusOr<Database> ParseDatabase(std::string_view text) {
       line.remove_suffix(1);
     }
     if (!line.empty() && line[0] != '#') {
-      if (line[0] != '+' && line[0] != '-') {
-        return InvalidArgumentError(
-            "line " + std::to_string(line_number) +
-            ": facts must start with '+' (endogenous) or '-' (exogenous)");
-      }
-      bool endogenous = line[0] == '+';
-      // Reuse the CQ parser: a fact is a ground atom.
-      std::string as_query = "Q() <- " + std::string(line.substr(1));
-      StatusOr<ConjunctiveQuery> parsed = ParseQuery(as_query);
+      StatusOr<ParsedFact> parsed = ParseFactLine(line);
       if (!parsed.ok()) {
         return InvalidArgumentError("line " + std::to_string(line_number) +
                                     ": " + parsed.status().message());
       }
-      const Atom& atom = parsed->atoms()[0];
-      if (parsed->atoms().size() != 1 || !atom.is_ground()) {
-        return InvalidArgumentError("line " + std::to_string(line_number) +
-                                    ": expected one ground fact");
-      }
-      Tuple args;
-      args.reserve(atom.terms.size());
-      for (const Term& term : atom.terms) args.push_back(term.constant());
-      if (db.Contains(atom.relation, args)) {
+      if (db.Contains(parsed->relation, parsed->args)) {
         return InvalidArgumentError("line " + std::to_string(line_number) +
                                     ": duplicate fact");
       }
-      db.AddFact(atom.relation, std::move(args), endogenous);
+      db.AddFact(parsed->relation, std::move(parsed->args),
+                 parsed->endogenous);
     }
     if (newline == std::string_view::npos) break;
     start = newline + 1;

@@ -21,8 +21,20 @@
 
 namespace shapcq {
 
-// Serializes `db` in the line format above (facts in FactId order).
+// Serializes `db` in the line format above (live facts in FactId order;
+// tombstoned facts are omitted).
 std::string SerializeDatabase(const Database& db);
+
+// One fact in the line format above, without having to build a Database:
+// the daemon's insert_fact/delete_fact ops carry facts as single lines.
+// The +/- marker is optional here — a bare fact parses as endogenous
+// (delete_fact names facts by content, where the marker is irrelevant).
+struct ParsedFact {
+  std::string relation;
+  Tuple args;
+  bool endogenous = true;
+};
+StatusOr<ParsedFact> ParseFactLine(std::string_view line);
 
 // Parses the line format; returns INVALID_ARGUMENT with a line number on
 // malformed input.

@@ -186,6 +186,20 @@ void LineageStats::Reset() {
   budget_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
+StatusOr<std::vector<std::pair<int, Rational>>> ScoreAnswerClauses(
+    const std::vector<std::vector<int>>& clauses, const Rational& weight,
+    ScoreKind kind, const LineageOptions& options, Combinatorics* comb) {
+  AnswerLineage lineage;
+  lineage.clauses = clauses;
+  if (clauses.empty() || ConstantTrue(lineage) || weight.is_zero()) {
+    return std::vector<std::pair<int, Rational>>{};
+  }
+  StatusOr<AnswerCircuit> built =
+      BuildAnswerCircuit(lineage, BudgetFrom(options), comb);
+  if (!built.ok()) return built.status();
+  return ScoreAnswerCircuit(*built, weight, kind, comb);
+}
+
 StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
     const AggregateQuery& a, const Database& db,
     const SolverOptions& options) {

@@ -47,6 +47,7 @@
 #include "shapcq/shapley/engine_registry.h"
 #include "shapcq/shapley/score.h"
 #include "shapcq/shapley/solver_options.h"
+#include "shapcq/util/combinatorics.h"
 #include "shapcq/util/status.h"
 
 namespace shapcq {
@@ -85,6 +86,21 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
 StatusOr<Rational> LineageCircuitScoreOne(const AggregateQuery& a,
                                           const Database& db, FactId fact,
                                           const SolverOptions& options);
+
+// Per-answer entry for incremental callers (stream/streaming.h): compiles
+// and scores ONE answer's monotone lineage DNF whose literals are
+// arbitrary non-negative ids — the streaming cache passes FactIds directly
+// instead of dense player indices. A monotone renaming of the literals
+// does not change the compiled circuit (clauses are rebuilt over the
+// sorted local variable space), so the returned (id, contribution) pairs
+// are bitwise-identical to what the batched scorer derives for the same
+// answer under the dense labelling. The constant-true lineage (a single
+// empty clause), an empty clause list (dead answer), and a zero weight
+// all score nobody: empty result. Compilation blow-ups return UNSUPPORTED
+// after recording a budget fallback, exactly like the batched paths.
+StatusOr<std::vector<std::pair<int, Rational>>> ScoreAnswerClauses(
+    const std::vector<std::vector<int>>& clauses, const Rational& weight,
+    ScoreKind kind, const LineageOptions& options, Combinatorics* comb);
 
 // sum_k(A, D) from the per-answer circuit model counts, padded to the full
 // player universe with binomials. Powers ComputeSumKSeries (and the CLI's

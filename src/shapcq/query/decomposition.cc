@@ -119,8 +119,10 @@ std::vector<FactId> FactSubset::EndogenousFacts() const {
 FactSubset AllFacts(const Database& db) {
   FactSubset subset;
   subset.db = &db;
-  subset.facts.reserve(static_cast<size_t>(db.num_facts()));
-  for (FactId id = 0; id < db.num_facts(); ++id) subset.facts.push_back(id);
+  subset.facts.reserve(static_cast<size_t>(db.num_live()));
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (db.live(id)) subset.facts.push_back(id);
+  }
   return subset;
 }
 
@@ -286,6 +288,7 @@ RelevanceSplit SplitRelevantIndexed(const ConjunctiveQuery& q,
       candidates = &intersected;
     }
     for (FactId id : *candidates) {
+      if (!db.live(id)) continue;  // tombstones linger until compaction
       bool consistent = true;
       for (const std::vector<int>& group : matcher.var_groups) {
         ValueId first = db.ArgId(id, group[0]);
@@ -310,7 +313,7 @@ RelevanceSplit SplitRelevantIndexed(const ConjunctiveQuery& q,
   });
   split.irrelevant_endogenous = db.num_endogenous() - relevant_endogenous;
   split.irrelevant_exogenous =
-      (db.num_facts() - db.num_endogenous()) -
+      (db.num_live() - db.num_endogenous()) -
       (static_cast<int>(split.relevant.facts.size()) - relevant_endogenous);
   return split;
 }

@@ -61,7 +61,8 @@ struct CompiledAtom {
 // fewest candidates (cheapest posting list) times unbound variables first.
 class IdJoin {
  public:
-  IdJoin(const ConjunctiveQuery& q, const Database& db) : q_(q), db_(db) {
+  IdJoin(const ConjunctiveQuery& q, const Database& db)
+      : q_(q), db_(db), has_tombstones_(db.has_tombstones()) {
     const std::vector<std::string>& vars = q.variables();
     for (size_t i = 0; i < vars.size(); ++i) {
       slot_of_.emplace(vars[i], static_cast<int>(i));
@@ -95,6 +96,17 @@ class IdJoin {
     }
   }
 
+  // Pins `atom_index` to the single candidate `fact`: Run() then
+  // enumerates exactly the homomorphisms that map that atom to that fact
+  // (the delta-seeded join behind AnswersTouching). The fact must belong
+  // to the atom's relation.
+  void Pin(size_t atom_index, FactId fact) {
+    SHAPCQ_CHECK(atom_index < atoms_.size());
+    SHAPCQ_CHECK(db_.fact_relation(fact) == atoms_[atom_index].relation);
+    pinned_atom_ = static_cast<int>(atom_index);
+    pinned_fact_ = fact;
+  }
+
   IdHomomorphisms Run() {
     IdHomomorphisms out;
     out.slot_names = q_.variables();
@@ -124,6 +136,9 @@ class IdJoin {
   long Estimate(size_t atom_index) const {
     const CompiledAtom& atom = atoms_[atom_index];
     if (atom.impossible) return 0;
+    // A pinned atom has exactly one candidate: take it first so the join
+    // is seeded from the delta fact.
+    if (static_cast<int>(atom_index) == pinned_atom_) return 1;
     long best = static_cast<long>(db_.FactsOf(atom.relation).size());
     long unbound = 0;
     for (size_t position = 0; position < atom.var_slot.size(); ++position) {
@@ -148,6 +163,21 @@ class IdJoin {
   const std::vector<FactId>& Candidates(size_t atom_index) {
     const CompiledAtom& atom = atoms_[atom_index];
     if (atom.impossible) return kNoCandidates;
+    if (static_cast<int>(atom_index) == pinned_atom_) {
+      // The single pinned candidate, after verifying every currently
+      // determined position against the fact (the posting-list
+      // intersection would have done this on the unpinned path).
+      for (size_t position = 0; position < atom.var_slot.size();
+           ++position) {
+        ValueId value = DeterminedAt(atom, position);
+        if (value == kNoValueId) continue;
+        if (db_.ArgId(pinned_fact_, static_cast<int>(position)) != value) {
+          return kNoCandidates;
+        }
+      }
+      scratch_[atom_index].assign(1, pinned_fact_);
+      return scratch_[atom_index];
+    }
     lists_.clear();
     for (size_t position = 0; position < atom.var_slot.size(); ++position) {
       ValueId value = DeterminedAt(atom, position);
@@ -158,7 +188,9 @@ class IdJoin {
     }
     if (lists_.empty()) return db_.FactsOf(atom.relation);
     if (lists_.size() == 1) return *lists_[0];
-    scratch_[atom_index] = IntersectPostings(lists_);
+    scratch_[atom_index] = has_tombstones_
+                               ? IntersectPostingsLive(lists_, db_.dead())
+                               : IntersectPostings(lists_);
     return scratch_[atom_index];
   }
 
@@ -205,6 +237,8 @@ class IdJoin {
     done_[chosen] = true;
     std::vector<int> introduced;
     for (FactId fact : candidates) {
+      // Posting lists keep tombstoned ids until compaction; skip them.
+      if (has_tombstones_ && !db_.live(fact)) continue;
       introduced.clear();
       if (Match(chosen, fact, &introduced)) {
         used_[chosen] = fact;
@@ -220,6 +254,9 @@ class IdJoin {
 
   const ConjunctiveQuery& q_;
   const Database& db_;
+  const bool has_tombstones_;
+  int pinned_atom_ = -1;
+  FactId pinned_fact_ = -1;
   std::unordered_map<std::string, int> slot_of_;
   std::vector<CompiledAtom> atoms_;
   std::vector<ValueId> binding_;               // slot -> value id
@@ -288,6 +325,7 @@ class NaiveJoin {
     const Atom& atom = q_.atoms()[static_cast<size_t>(atom_index)];
     (*done)[static_cast<size_t>(atom_index)] = true;
     for (FactId fact_id : db_.FactsOf(atom.relation)) {
+      if (!db_.live(fact_id)) continue;
       Binding saved = *binding;
       if (MatchAtom(atom, db_.fact(fact_id).args, binding)) {
         (*used)[static_cast<size_t>(atom_index)] = fact_id;
@@ -353,6 +391,41 @@ std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db) {
       answer.push_back(slots[static_cast<size_t>(slot)]);
     }
     answers.push_back(std::move(answer));
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  std::vector<Tuple> out;
+  out.reserve(answers.size());
+  for (const std::vector<ValueId>& answer : answers) {
+    Tuple tuple;
+    tuple.reserve(answer.size());
+    for (ValueId id : answer) tuple.push_back(db.pool().value(id));
+    out.push_back(std::move(tuple));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Tuple> AnswersTouching(const ConjunctiveQuery& q,
+                                   const Database& db, FactId fact) {
+  SHAPCQ_CHECK(db.live(fact));
+  const RelationId relation = db.fact_relation(fact);
+  std::vector<std::vector<ValueId>> answers;
+  for (size_t atom_index = 0; atom_index < q.atoms().size(); ++atom_index) {
+    if (db.relation_id(q.atoms()[atom_index].relation) != relation) {
+      continue;
+    }
+    IdJoin join(q, db);
+    join.Pin(atom_index, fact);
+    IdHomomorphisms ids = join.Run();
+    for (const std::vector<ValueId>& slots : ids.bindings) {
+      std::vector<ValueId> answer;
+      answer.reserve(ids.head_slots.size());
+      for (int slot : ids.head_slots) {
+        answer.push_back(slots[static_cast<size_t>(slot)]);
+      }
+      answers.push_back(std::move(answer));
+    }
   }
   std::sort(answers.begin(), answers.end());
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());

@@ -43,6 +43,16 @@ bool MatchesAtom(const Atom& atom, const Tuple& fact_args,
 // order).
 std::vector<Tuple> Evaluate(const ConjunctiveQuery& q, const Database& db);
 
+// The dirty-answer set of a mutation: the distinct answers of Q with at
+// least one homomorphism that uses `fact`. Computed by re-running the
+// indexed join once per atom of the fact's relation with that atom pinned
+// to the single candidate `fact` (the join is seeded from the delta fact;
+// the full answer set is never re-enumerated). For deletions call this
+// BEFORE tombstoning the fact — the pinned join needs it live. Same
+// ordering semantics as Evaluate (sorted distinct tuples).
+std::vector<Tuple> AnswersTouching(const ConjunctiveQuery& q,
+                                   const Database& db, FactId fact);
+
 // Id-level enumeration result: every homomorphism as a dense ValueId
 // binding (one slot per query variable) plus the facts it uses. This is
 // the raw output of the interned join; consumers that only need answers or

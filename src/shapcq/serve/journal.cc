@@ -8,7 +8,9 @@ namespace shapcq {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'H', 'A', 'P', 'C', 'Q', 'J', 'L'};
-constexpr uint32_t kVersion = 1;
+// v1 had no op/fact tail; v1 files decode as op=kSolve.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kOldestReadable = 1;
 // A record is a handful of strings and fixed-width fields; anything huge
 // indicates corruption (or an adversarial file), not a real request.
 constexpr uint32_t kMaxPayload = 64u << 20;
@@ -97,10 +99,13 @@ std::string EncodePayload(const JournalRecord& record, uint64_t sequence) {
   PutI64(&payload, record.request.samples);
   PutU64(&payload, record.request.seed);
   PutI64(&payload, record.request.deadline_ms);
+  PutU32(&payload, static_cast<uint32_t>(record.op));
+  PutStr(&payload, record.fact);
   return payload;
 }
 
-bool DecodePayload(const char* data, size_t size, JournalRecord* record) {
+bool DecodePayload(const char* data, size_t size, uint32_t version,
+                   JournalRecord* record) {
   PayloadReader reader(data, size);
   uint32_t threads = 0;
   bool ok = reader.U64(&record->sequence) &&
@@ -115,35 +120,83 @@ bool DecodePayload(const char* data, size_t size, JournalRecord* record) {
             reader.Str(&record->request.method) && reader.U32(&threads) &&
             reader.I64(&record->request.samples) &&
             reader.U64(&record->request.seed) &&
-            reader.I64(&record->request.deadline_ms) && reader.AtEnd();
+            reader.I64(&record->request.deadline_ms);
+  if (!ok) return false;
   record->request.threads = static_cast<int>(threads);
-  return ok;
+  if (version >= 2) {
+    uint32_t op = 0;
+    if (!reader.U32(&op) || !reader.Str(&record->fact)) return false;
+    if (op > static_cast<uint32_t>(JournalOp::kDeleteFact)) return false;
+    record->op = static_cast<JournalOp>(op);
+  } else {
+    record->op = JournalOp::kSolve;
+    record->fact.clear();
+  }
+  return reader.AtEnd();
 }
 
-}  // namespace
+std::string SegmentPath(const std::string& base, uint64_t index) {
+  return index == 0 ? base : base + "." + std::to_string(index);
+}
 
-StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
-    const std::string& path) {
+// Opens a fresh segment and writes the header; returns the file or null.
+std::FILE* OpenSegment(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return InvalidArgumentError("cannot open journal for writing: " + path);
-  }
+  if (file == nullptr) return nullptr;
   std::string header(kMagic, sizeof(kMagic));
   PutU32(&header, kVersion);
   if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
       std::fflush(file) != 0) {
     std::fclose(file);
-    return InternalError("cannot write journal header: " + path);
+    return nullptr;
   }
-  return std::unique_ptr<JournalWriter>(new JournalWriter(path, file));
+  return file;
+}
+
+constexpr uint64_t kHeaderBytes = sizeof(kMagic) + 4;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, uint64_t max_segment_bytes) {
+  std::FILE* file = OpenSegment(path);
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open journal for writing: " + path);
+  }
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, file, max_segment_bytes, kHeaderBytes));
 }
 
 JournalWriter::~JournalWriter() { Close(); }
+
+Status JournalWriter::Rotate() {
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return InternalError("journal segment close failed: " +
+                         SegmentPath(path_, segment_index_));
+  }
+  ++segment_index_;
+  const std::string next = SegmentPath(path_, segment_index_);
+  file_ = OpenSegment(next);
+  if (file_ == nullptr) {
+    return InternalError("cannot open journal segment: " + next);
+  }
+  segment_bytes_ = kHeaderBytes;
+  return Status::Ok();
+}
 
 Status JournalWriter::Append(const JournalRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
     return FailedPreconditionError("journal already closed: " + path_);
+  }
+  // Rotate before writing, so a segment always holds >= 1 record and the
+  // active segment never exceeds the limit by more than one record.
+  if (max_segment_bytes_ > 0 && segment_bytes_ > kHeaderBytes &&
+      segment_bytes_ >= max_segment_bytes_) {
+    Status rotated = Rotate();
+    if (!rotated.ok()) return rotated;
   }
   std::string payload = EncodePayload(record, sequence_);
   std::string framed;
@@ -152,8 +205,10 @@ Status JournalWriter::Append(const JournalRecord& record) {
   framed += payload;
   if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size() ||
       std::fflush(file_) != 0) {
-    return InternalError("journal write failed: " + path_);
+    return InternalError("journal write failed: " +
+                         SegmentPath(path_, segment_index_));
   }
+  segment_bytes_ += framed.size();
   ++sequence_;
   return Status::Ok();
 }
@@ -161,6 +216,11 @@ Status JournalWriter::Append(const JournalRecord& record) {
 uint64_t JournalWriter::records_written() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sequence_;
+}
+
+uint64_t JournalWriter::segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_index_ + 1;
 }
 
 Status JournalWriter::Close() {
@@ -194,7 +254,7 @@ StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path) {
     version = (version << 8) |
               static_cast<uint8_t>(header[8 + static_cast<size_t>(i)]);
   }
-  if (version != kVersion) {
+  if (version < kOldestReadable || version > kVersion) {
     return fail(8, 0, "unsupported version " + std::to_string(version));
   }
 
@@ -220,20 +280,50 @@ StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path) {
       return fail(offset + 4, records.size(), "truncated record");
     }
     JournalRecord record;
-    if (!DecodePayload(payload.data(), payload.size(), &record)) {
+    if (!DecodePayload(payload.data(), payload.size(), version, &record)) {
       return fail(offset + 4, records.size(), "malformed record payload");
     }
-    if (record.sequence != records.size()) {
+    // Contiguous ascending within a file; a rotated segment starts past
+    // zero (ReadJournalChain checks cross-segment continuity).
+    uint64_t expected =
+        records.empty() ? record.sequence : records.front().sequence +
+                                                records.size();
+    if (record.sequence != expected) {
       return fail(offset + 4, records.size(),
-                  "sequence gap (expected " +
-                      std::to_string(records.size()) + ", found " +
-                      std::to_string(record.sequence) + ")");
+                  "sequence gap (expected " + std::to_string(expected) +
+                      ", found " + std::to_string(record.sequence) + ")");
     }
     records.push_back(std::move(record));
     offset += 4 + len;
   }
   std::fclose(file);
   return records;
+}
+
+StatusOr<std::vector<JournalRecord>> ReadJournalChain(
+    const std::string& path) {
+  std::vector<JournalRecord> all;
+  for (uint64_t segment = 0;; ++segment) {
+    const std::string segment_path =
+        segment == 0 ? path : path + "." + std::to_string(segment);
+    StatusOr<std::vector<JournalRecord>> records = ReadJournal(segment_path);
+    if (!records.ok()) {
+      if (segment > 0 && records.status().code() == StatusCode::kNotFound) {
+        break;  // past the last segment
+      }
+      return records.status();
+    }
+    for (JournalRecord& record : *records) {
+      if (record.sequence != all.size()) {
+        return InvalidArgumentError(
+            "journal chain " + path + " breaks at segment " + segment_path +
+            ": expected sequence " + std::to_string(all.size()) +
+            ", found " + std::to_string(record.sequence));
+      }
+      all.push_back(std::move(record));
+    }
+  }
+  return all;
 }
 
 }  // namespace shapcq

@@ -1,25 +1,36 @@
-// Binary request journal: every accepted request, replayable.
+// Binary request journal: every accepted request and mutation, replayable.
 //
 // The daemon appends one length-prefixed record per accepted solve request
-// (serve/server.h journals after admission, before solving), so a journal
-// is a faithful trace of admitted production traffic. A record carries the
-// full SolveRequest — query text, specs, score/method, threads, sampling
-// seed/budget, deadline — plus the plan fingerprint observed at serve time
-// and a monotonic timestamp, which is exactly what serve/replay.h needs to
-// re-execute the traffic deterministically and compare results bitwise.
+// (serve/server.h journals after admission, before solving) and one per
+// applied mutation (journaled inside the tenant's exclusive lock, so the
+// journal order of mutations IS their application order). A journal is
+// therefore a faithful trace of admitted production traffic: solve records
+// carry the full SolveRequest — query text, specs, score/method, threads,
+// sampling seed/budget, deadline — plus the plan fingerprint observed at
+// serve time; mutation records carry the op and the fact in db_io.h line
+// text (content-addressed, so replay works in any FactId space). That is
+// exactly what serve/replay.h needs to re-execute the traffic
+// deterministically and compare results bitwise.
 //
 // File layout (all integers little-endian):
-//   8-byte magic "SHAPCQJL", u32 version (1)
+//   8-byte magic "SHAPCQJL", u32 version (2; v1 files read as op=solve)
 //   per record: u32 payload_length, payload
 //   payload: u64 sequence, u64 timestamp_ns, u64 request id,
 //            str fingerprint, str tenant, str query, str agg, str tau,
 //            str score, str method, i32 threads, i64 samples, u64 seed,
-//            i64 deadline_ms           (str = u32 length + bytes)
+//            i64 deadline_ms,
+//            u32 op, str fact          (v2 only; str = u32 length + bytes)
+//
+// Rotation: with a max segment size configured, the writer starts a new
+// segment — `<path>` first, then `<path>.1`, `<path>.2`, ... — once the
+// current one reaches the limit. Every segment is a complete journal file
+// with its own header; sequence numbers run globally across the chain, so
+// ReadJournalChain can verify nothing is missing between segments.
 //
 // A writer flushes after every Append, so a crash loses at most the record
-// being written; ReadJournal accepts a clean EOF and reports a truncated
-// or corrupt tail as INVALID_ARGUMENT naming the byte offset and the
-// number of intact records before it.
+// being written; the readers accept a clean EOF and report a truncated or
+// corrupt tail as INVALID_ARGUMENT naming the byte offset and the number
+// of intact records before it.
 
 #ifndef SHAPCQ_SERVE_JOURNAL_H_
 #define SHAPCQ_SERVE_JOURNAL_H_
@@ -36,10 +47,24 @@
 
 namespace shapcq {
 
+// What a journal record describes. Values are the wire encoding — append
+// only.
+enum class JournalOp : uint32_t {
+  kSolve = 0,
+  kInsertFact = 1,
+  kDeleteFact = 2,
+};
+
 struct JournalRecord {
   uint64_t sequence = 0;      // 0-based, assigned by the writer
   uint64_t timestamp_ns = 0;  // MonotonicNanos() at acceptance
-  std::string fingerprint;    // plan fingerprint at serve time
+  std::string fingerprint;    // plan fingerprint at serve time ("" for
+                              // mutations)
+  JournalOp op = JournalOp::kSolve;
+  // Mutations: the fact in db_io.h line text ("+R(1, 2)" / "-S(3)" for
+  // inserts, the bare fact for deletes). Empty for solves. The tenant and
+  // client id ride in `request`.
+  std::string fact;
   SolveRequest request;
 };
 
@@ -47,36 +72,57 @@ struct JournalRecord {
 // atomically with respect to each other).
 class JournalWriter {
  public:
+  // `max_segment_bytes` = 0 writes one unbounded file; otherwise a new
+  // segment starts once the current one reaches the limit (a segment
+  // always holds at least one record, so an oversized record cannot spin
+  // the rotation).
   static StatusOr<std::unique_ptr<JournalWriter>> Open(
-      const std::string& path);
+      const std::string& path, uint64_t max_segment_bytes = 0);
   ~JournalWriter();
 
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   // Appends `record` with the next sequence number (the record's own
-  // `sequence` field is ignored) and flushes.
+  // `sequence` field is ignored) and flushes. May rotate first.
   Status Append(const JournalRecord& record);
 
   uint64_t records_written() const;
+  // Segments completed + the active one (1 while unrotated).
+  uint64_t segments() const;
   const std::string& path() const { return path_; }
 
   // Flushes and closes; further Appends fail. Idempotent.
   Status Close();
 
  private:
-  JournalWriter(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  JournalWriter(std::string path, std::FILE* file, uint64_t max_segment_bytes,
+                uint64_t header_bytes)
+      : path_(std::move(path)),
+        file_(file),
+        max_segment_bytes_(max_segment_bytes),
+        segment_bytes_(header_bytes) {}
+
+  // Closes the active segment and opens `<path>.<segment_index_+1>`.
+  Status Rotate();
 
   std::string path_;
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;  // null after Close
   uint64_t sequence_ = 0;
+  const uint64_t max_segment_bytes_;
+  uint64_t segment_bytes_ = 0;   // bytes written to the active segment
+  uint64_t segment_index_ = 0;   // 0 = base path, N = "<path>.N"
 };
 
-// Reads a whole journal. Order preserved; sequences are validated to be
-// 0..n-1.
+// Reads one journal file. Order preserved; sequences are validated to be
+// contiguous ascending (a rotated segment starts past zero).
 StatusOr<std::vector<JournalRecord>> ReadJournal(const std::string& path);
+
+// Reads a rotated sequence: `<path>`, `<path>.1`, `<path>.2`, ... until
+// the first missing segment. Validates that sequences start at 0 and run
+// contiguously across segment boundaries.
+StatusOr<std::vector<JournalRecord>> ReadJournalChain(const std::string& path);
 
 }  // namespace shapcq
 

@@ -76,6 +76,47 @@ std::map<std::string, uint64_t> DaemonMetrics::EngineMix() const {
   return engine_facts_;
 }
 
+DaemonMetrics::TenantCounters& DaemonMetrics::TenantSlot(
+    const std::string& tenant) {
+  auto it = tenant_counters_.find(tenant);
+  if (it != tenant_counters_.end()) return it->second;
+  if (tenant_counters_.size() >= kMaxTenantLabels) {
+    return tenant_counters_["__other__"];
+  }
+  return tenant_counters_[tenant];
+}
+
+void DaemonMetrics::CountTenantRequest(const std::string& tenant,
+                                       Outcome outcome) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  TenantCounters& slot = TenantSlot(tenant);
+  switch (outcome) {
+    case Outcome::kOk: ++slot.ok; break;
+    case Outcome::kError: ++slot.error; break;
+    case Outcome::kRejected: ++slot.rejected; break;
+  }
+}
+
+void DaemonMetrics::TenantQueueDelta(const std::string& tenant,
+                                     int64_t delta) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  TenantSlot(tenant).queue_depth += delta;
+}
+
+void DaemonMetrics::SetTenantStaleness(const std::string& tenant,
+                                       uint64_t epoch, uint64_t tombstones) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  TenantCounters& slot = TenantSlot(tenant);
+  slot.epoch = epoch;
+  slot.tombstones = tombstones;
+}
+
+std::map<std::string, DaemonMetrics::TenantCounters> DaemonMetrics::TenantMix()
+    const {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  return tenant_counters_;
+}
+
 std::string RenderPrometheus(const DaemonMetrics& metrics,
                              const PlanCache::Stats& plan_cache,
                              const LineageStatsSnapshot& lineage) {
@@ -111,12 +152,77 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
           "journal append failures (requests served but not journaled)",
           metrics.journal_errors.load(std::memory_order_relaxed));
 
+  // Streaming mutation path.
+  Line(&out, "# HELP shapcq_mutations_total applied fact mutations by op");
+  Line(&out, "# TYPE shapcq_mutations_total counter");
+  Line(&out, "shapcq_mutations_total{op=\"insert\"} %" PRIu64,
+       metrics.mutations_insert.load(std::memory_order_relaxed));
+  Line(&out, "shapcq_mutations_total{op=\"delete\"} %" PRIu64,
+       metrics.mutations_delete.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_mutation_errors_total",
+          "rejected or failed fact mutations",
+          metrics.mutation_errors.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_dirty_answers_total",
+          "summed dirty-answer-set sizes of query-probed mutations",
+          metrics.dirty_answers_total.load(std::memory_order_relaxed));
+  Gauge(&out, "shapcq_dirty_answers_last",
+        "dirty-answer-set size of the latest probed mutation (-1: none)",
+        static_cast<double>(
+            metrics.dirty_answers_last.load(std::memory_order_relaxed)));
+  Counter(&out, "shapcq_compactions_total",
+          "tombstone compactions triggered by the mutation path",
+          metrics.compactions.load(std::memory_order_relaxed));
+
   Gauge(&out, "shapcq_queue_depth", "requests waiting for a worker",
         static_cast<double>(
             metrics.queue_depth.load(std::memory_order_relaxed)));
   Gauge(&out, "shapcq_in_flight", "requests being solved",
         static_cast<double>(
             metrics.in_flight.load(std::memory_order_relaxed)));
+
+  // Per-tenant series (cardinality capped at kMaxTenantLabels +
+  // "__other__"; see DaemonMetrics::TenantSlot).
+  std::map<std::string, DaemonMetrics::TenantCounters> tenants =
+      metrics.TenantMix();
+  Line(&out, "# HELP shapcq_tenant_requests_total "
+             "solve requests by tenant and outcome");
+  Line(&out, "# TYPE shapcq_tenant_requests_total counter");
+  for (const auto& [tenant, t] : tenants) {
+    Line(&out,
+         "shapcq_tenant_requests_total{tenant=\"%s\",status=\"ok\"} %" PRIu64,
+         tenant.c_str(), t.ok);
+    Line(&out,
+         "shapcq_tenant_requests_total{tenant=\"%s\",status=\"error\"} "
+         "%" PRIu64,
+         tenant.c_str(), t.error);
+    Line(&out,
+         "shapcq_tenant_requests_total{tenant=\"%s\",status=\"rejected\"} "
+         "%" PRIu64,
+         tenant.c_str(), t.rejected);
+  }
+  Line(&out, "# HELP shapcq_tenant_queue_depth "
+             "queued requests by tenant");
+  Line(&out, "# TYPE shapcq_tenant_queue_depth gauge");
+  for (const auto& [tenant, t] : tenants) {
+    Line(&out, "shapcq_tenant_queue_depth{tenant=\"%s\"} %lld",
+         tenant.c_str(), static_cast<long long>(t.queue_depth));
+  }
+  // Staleness: the tenant's mutation epoch and its dead rows awaiting
+  // compaction (how far the columnar store has drifted from its last
+  // sealed shape).
+  Line(&out, "# HELP shapcq_tenant_epoch database mutation epoch by tenant");
+  Line(&out, "# TYPE shapcq_tenant_epoch gauge");
+  for (const auto& [tenant, t] : tenants) {
+    Line(&out, "shapcq_tenant_epoch{tenant=\"%s\"} %" PRIu64, tenant.c_str(),
+         t.epoch);
+  }
+  Line(&out, "# HELP shapcq_tenant_tombstones "
+             "dead rows awaiting compaction by tenant");
+  Line(&out, "# TYPE shapcq_tenant_tombstones gauge");
+  for (const auto& [tenant, t] : tenants) {
+    Line(&out, "shapcq_tenant_tombstones{tenant=\"%s\"} %" PRIu64,
+         tenant.c_str(), t.tombstones);
+  }
 
   // Engine mix: facts scored per engine across all ok responses.
   Line(&out, "# HELP shapcq_engine_facts_total facts scored per engine");

@@ -43,6 +43,17 @@ class DaemonMetrics {
   // trace. Nonzero here means the journal cannot prove parity.
   std::atomic<uint64_t> journal_errors{0};
 
+  // Streaming mutation path (insert_fact / delete_fact ops).
+  std::atomic<uint64_t> mutations_insert{0};
+  std::atomic<uint64_t> mutations_delete{0};
+  std::atomic<uint64_t> mutation_errors{0};
+  // Dirty-answer telemetry: the summed (and the latest) dirty-set size of
+  // mutations that carried a "query" probe — how much recomputation each
+  // delta implies versus a full answer-set sweep.
+  std::atomic<uint64_t> dirty_answers_total{0};
+  std::atomic<int64_t> dirty_answers_last{-1};
+  std::atomic<uint64_t> compactions{0};
+
   // Instantaneous depths (mirrors AdmissionController totals; kept as
   // gauges here so the metrics endpoint needs no lock ordering with the
   // admission mutex).
@@ -57,9 +68,38 @@ class DaemonMetrics {
   void CountEngineFacts(const std::string& engine, uint64_t facts);
   std::map<std::string, uint64_t> EngineMix() const;
 
+  // --- Per-tenant series (bounded label cardinality) ----------------------
+  //
+  // The first kMaxTenantLabels distinct tenant names get their own label;
+  // every later tenant folds into "__other__", so a tenant-per-request
+  // client cannot grow the exposition without bound.
+  static constexpr size_t kMaxTenantLabels = 32;
+
+  struct TenantCounters {
+    uint64_t ok = 0;
+    uint64_t error = 0;
+    uint64_t rejected = 0;
+    int64_t queue_depth = 0;
+    // Staleness gauges, updated on every mutation/solve touch:
+    uint64_t epoch = 0;       // Database::epoch()
+    uint64_t tombstones = 0;  // dead rows awaiting compaction
+  };
+
+  enum class Outcome { kOk, kError, kRejected };
+  void CountTenantRequest(const std::string& tenant, Outcome outcome);
+  void TenantQueueDelta(const std::string& tenant, int64_t delta);
+  void SetTenantStaleness(const std::string& tenant, uint64_t epoch,
+                          uint64_t tombstones);
+  std::map<std::string, TenantCounters> TenantMix() const;
+
  private:
+  // The slot for `tenant`, folding past-cap names into "__other__".
+  TenantCounters& TenantSlot(const std::string& tenant);
+
   mutable std::mutex engine_mu_;
   std::map<std::string, uint64_t> engine_facts_;
+  mutable std::mutex tenant_mu_;
+  std::map<std::string, TenantCounters> tenant_counters_;
 };
 
 // Renders the full exposition text: daemon counters/gauges/histograms

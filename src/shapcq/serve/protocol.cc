@@ -79,6 +79,27 @@ StatusOr<RequestEnvelope> ParseRequestLine(const std::string& line) {
     }
     return envelope;
   }
+  if (op == "insert_fact" || op == "delete_fact") {
+    envelope.op = op == "insert_fact" ? RequestEnvelope::Op::kInsertFact
+                                      : RequestEnvelope::Op::kDeleteFact;
+    envelope.tenant = root.GetString("tenant");
+    envelope.fact = root.GetString("fact");
+    envelope.fact_id = root.GetInt64("fact_id", -1);
+    envelope.dirty_query = root.GetString("query");
+    if (envelope.tenant.empty()) {
+      return InvalidArgumentError(op + " needs a \"tenant\"");
+    }
+    if (envelope.op == RequestEnvelope::Op::kInsertFact &&
+        envelope.fact.empty()) {
+      return InvalidArgumentError("insert_fact needs a \"fact\"");
+    }
+    if (envelope.op == RequestEnvelope::Op::kDeleteFact &&
+        envelope.fact.empty() && envelope.fact_id < 0) {
+      return InvalidArgumentError(
+          "delete_fact needs a \"fact\" or a \"fact_id\"");
+    }
+    return envelope;
+  }
   if (op == "ping") {
     envelope.op = RequestEnvelope::Op::kPing;
     return envelope;
@@ -108,6 +129,37 @@ std::string SerializeLoadTenant(uint64_t id, const std::string& tenant,
       .Str("db", db_text)
       .EndObject();
   return w.TakeString();
+}
+
+namespace {
+
+std::string SerializeMutation(const char* op, uint64_t id,
+                              const std::string& tenant,
+                              const std::string& fact,
+                              const std::string& dirty_query) {
+  JsonWriter w;
+  w.BeginObject()
+      .Str("op", op)
+      .Uint("id", id)
+      .Str("tenant", tenant)
+      .Str("fact", fact);
+  if (!dirty_query.empty()) w.Str("query", dirty_query);
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace
+
+std::string SerializeInsertFact(uint64_t id, const std::string& tenant,
+                                const std::string& fact,
+                                const std::string& dirty_query) {
+  return SerializeMutation("insert_fact", id, tenant, fact, dirty_query);
+}
+
+std::string SerializeDeleteFact(uint64_t id, const std::string& tenant,
+                                const std::string& fact,
+                                const std::string& dirty_query) {
+  return SerializeMutation("delete_fact", id, tenant, fact, dirty_query);
 }
 
 std::string SerializePing(uint64_t id) {
@@ -173,6 +225,18 @@ std::string SerializeResponse(const SolveResponse& response) {
     w.Str("metrics", response.metrics).EndObject();
     return w.TakeString();
   }
+  if (response.mutation) {
+    w.Bool("mutation", true)
+        .Int("fact_id", response.fact_id)
+        .Uint("epoch", response.epoch)
+        .Int("tombstones", response.tombstones);
+    if (response.dirty_answers >= 0) {
+      w.Int("dirty_answers", response.dirty_answers);
+    }
+    if (response.compacted) w.Bool("compacted", true);
+    w.EndObject();
+    return w.TakeString();
+  }
   w.Bool("degraded", response.degraded)
       .Bool("plan_cache_hit", response.plan_cache_hit)
       .Str("fingerprint", response.fingerprint)
@@ -222,6 +286,12 @@ StatusOr<SolveResponse> ParseResponseLine(const std::string& line) {
   response.footer = root.GetString("footer");
   response.metrics = root.GetString("metrics");
   response.pong = root.GetBool("pong");
+  response.mutation = root.GetBool("mutation");
+  response.fact_id = root.GetInt64("fact_id", -1);
+  response.epoch = root.GetUint64("epoch", 0);
+  response.tombstones = root.GetInt64("tombstones", 0);
+  response.dirty_answers = root.GetInt64("dirty_answers", -1);
+  response.compacted = root.GetBool("compacted");
   const JsonValue* results = root.Find("results");
   if (results != nullptr) {
     if (results->kind != JsonValue::Kind::kArray) {

@@ -12,8 +12,20 @@
 //                 "threads":1,"samples":10000,"seed":1,"deadline_ms":250}
 //   load_tenant  {"op":"load_tenant","id":1,"tenant":"acme",
 //                 "db":"+R(1, 2)\n-S(2)\n"}          (data/db_io.h format)
+//   insert_fact  {"op":"insert_fact","id":4,"tenant":"acme",
+//                 "fact":"+R(3, 4)","query":"Q(x) <- R(x, y)"}
+//   delete_fact  {"op":"delete_fact","id":5,"tenant":"acme",
+//                 "fact":"R(3, 4)"}       (or "fact_id":N)
 //   ping         {"op":"ping","id":2}
 //   metrics      {"op":"metrics","id":3}   (the /metrics text, JSON-quoted)
+//
+// Mutations are applied synchronously on the reader thread under the
+// tenant's exclusive lock (serve/server.h) and journaled; the response
+// reports the fact id, the tenant's new epoch, the tombstone count, and —
+// when the optional "query" is present — the size of the mutation's
+// dirty-answer set under that query (query/evaluator.h AnswersTouching).
+// The fact uses db_io.h line text; insert_fact honours its +/- endogenous
+// marker, delete_fact ignores it (content names the fact either way).
 //
 // Aggregate/τ specs use the shared grammar of agg/spec.h, and score/method
 // take the CLI's spellings (shapley|banzhaf, auto|exact|brute|mc) — one
@@ -61,12 +73,22 @@ struct SolveRequest {
 };
 
 struct RequestEnvelope {
-  enum class Op { kSolve, kLoadTenant, kPing, kMetrics };
+  enum class Op {
+    kSolve,
+    kLoadTenant,
+    kInsertFact,
+    kDeleteFact,
+    kPing,
+    kMetrics
+  };
   Op op = Op::kSolve;
   SolveRequest solve;     // kSolve (id/tenant live here)
   uint64_t id = 0;        // non-solve ops
-  std::string tenant;     // kLoadTenant
+  std::string tenant;     // kLoadTenant / mutations
   std::string db_text;    // kLoadTenant (db_io.h line format)
+  std::string fact;       // mutations: db_io.h fact line text
+  int64_t fact_id = -1;   // kDeleteFact alternative to `fact`
+  std::string dirty_query;  // mutations: optional CQ for dirty-set size
 };
 
 StatusOr<RequestEnvelope> ParseRequestLine(const std::string& line);
@@ -74,6 +96,13 @@ StatusOr<RequestEnvelope> ParseRequestLine(const std::string& line);
 std::string SerializeSolveRequest(const SolveRequest& request);
 std::string SerializeLoadTenant(uint64_t id, const std::string& tenant,
                                 const std::string& db_text);
+// `dirty_query` "" omits the dirty-set probe.
+std::string SerializeInsertFact(uint64_t id, const std::string& tenant,
+                                const std::string& fact,
+                                const std::string& dirty_query = "");
+std::string SerializeDeleteFact(uint64_t id, const std::string& tenant,
+                                const std::string& fact,
+                                const std::string& dirty_query = "");
 std::string SerializePing(uint64_t id);
 std::string SerializeMetricsRequest(uint64_t id);
 
@@ -109,6 +138,13 @@ struct SolveResponse {
   std::string footer;       // plan-provenance footer (report.h), "" if off
   std::string metrics;      // kMetrics responses: the Prometheus text
   bool pong = false;        // kPing responses
+  // Mutation responses (insert_fact / delete_fact):
+  bool mutation = false;
+  int64_t fact_id = -1;       // id inserted / deleted
+  uint64_t epoch = 0;         // tenant epoch after the mutation
+  int64_t tombstones = 0;     // dead rows awaiting compaction
+  int64_t dirty_answers = -1; // dirty-set size (-1: no "query" given)
+  bool compacted = false;     // the mutation triggered auto-compaction
 };
 
 std::string SerializeResponse(const SolveResponse& response);

@@ -1,8 +1,10 @@
 #include "shapcq/serve/replay.h"
 
 #include <cstring>
+#include <optional>
 #include <utility>
 
+#include "shapcq/data/db_io.h"
 #include "shapcq/serve/protocol.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/util/clock.h"
@@ -61,12 +63,15 @@ StatusOr<ReplayResult> ReplayJournal(
   out.records = records.size();
   out.results.reserve(records.size());
 
-  // Rebuild every record's query/options up front, so a malformed record
-  // fails before any solving starts.
+  // Rebuild every record's query/options (or parse its fact line) up
+  // front, so a malformed record fails before any solving starts.
   struct Prepared {
-    AggregateQuery query;
-    SolverOptions solver;
-    const Database* db = nullptr;
+    bool is_mutation = false;
+    bool is_insert = false;
+    std::string tenant;
+    std::optional<AggregateQuery> query;  // solve records
+    SolverOptions solver;                 // solve records
+    ParsedFact fact;                      // mutation records
   };
   std::vector<Prepared> prepared;
   prepared.reserve(records.size());
@@ -77,6 +82,21 @@ StatusOr<ReplayResult> ReplayJournal(
       return NotFoundError("record " + std::to_string(i) +
                            " names unknown tenant '" +
                            record.request.tenant + "'");
+    }
+    Prepared p;
+    p.tenant = record.request.tenant;
+    if (record.op != JournalOp::kSolve) {
+      p.is_mutation = true;
+      p.is_insert = record.op == JournalOp::kInsertFact;
+      StatusOr<ParsedFact> fact = ParseFactLine(record.fact);
+      if (!fact.ok()) {
+        return InvalidArgumentError("record " + std::to_string(i) +
+                                    " fact no longer parses: " +
+                                    fact.status().message());
+      }
+      p.fact = std::move(fact).value();
+      prepared.push_back(std::move(p));
+      continue;
     }
     StatusOr<AggregateQuery> query = BuildAggregateQuery(record.request);
     if (!query.ok()) {
@@ -100,21 +120,63 @@ StatusOr<ReplayResult> ReplayJournal(
                            record.fingerprint + "', re-derived '" +
                            fingerprint + "'");
     }
-    prepared.push_back(Prepared{std::move(query).value(),
-                                std::move(solver).value(),
-                                tenant->second.get()});
+    p.query.emplace(std::move(query).value());
+    p.solver = std::move(solver).value();
+    prepared.push_back(std::move(p));
   }
+
+  // Each pass owns mutable tenant copies; solves read the copy's state
+  // at that point in the journal. Copies are made lazily — an all-solve
+  // journal replays straight off the caller's databases.
+  auto state_for = [&tenants](std::map<std::string, Database>* state,
+                              const std::string& name) -> Database& {
+    auto it = state->find(name);
+    if (it == state->end()) {
+      it = state->emplace(name, *tenants.at(name)).first;
+    }
+    return it->second;
+  };
+  auto db_for = [&tenants, &state_for](
+                    std::map<std::string, Database>* state,
+                    const std::string& name) -> const Database& {
+    auto it = state->find(name);
+    if (it != state->end()) return it->second;
+    return *tenants.at(name);
+  };
+  auto apply = [](const Prepared& p, Database* db) -> Status {
+    if (p.is_insert) {
+      StatusOr<FactId> id =
+          db->InsertFact(p.fact.relation, p.fact.args, p.fact.endogenous);
+      return id.ok() ? Status::Ok() : id.status();
+    }
+    StatusOr<FactId> found = db->FindFact(p.fact.relation, p.fact.args);
+    if (!found.ok()) return found.status();
+    return db->DeleteFact(*found);
+  };
 
   // Warm pass: one fresh cache, journal order — the serving shape.
   PlanCache cache;
+  std::map<std::string, Database> warm_state;
   uint64_t warm_start = MonotonicNanos();
   for (size_t i = 0; i < prepared.size(); ++i) {
+    if (prepared[i].is_mutation) {
+      Status applied =
+          apply(prepared[i], &state_for(&warm_state, prepared[i].tenant));
+      if (!applied.ok()) {
+        return Status(applied.code(), "record " + std::to_string(i) +
+                                          " mutation failed on replay: " +
+                                          applied.message());
+      }
+      ++out.mutations;
+      out.results.emplace_back();  // keep record indices aligned
+      continue;
+    }
     bool cache_hit = false;
     std::shared_ptr<const AttributionPlan> plan =
-        cache.GetOrCompile(prepared[i].query, prepared[i].solver.score,
+        cache.GetOrCompile(*prepared[i].query, prepared[i].solver.score,
                            &cache_hit);
     if (cache_hit) ++out.plan_cache_hits;
-    SolverSession session(plan, *prepared[i].db);
+    SolverSession session(plan, db_for(&warm_state, prepared[i].tenant));
     StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
         session.ComputeAll(prepared[i].solver);
     if (!results.ok()) {
@@ -130,11 +192,24 @@ StatusOr<ReplayResult> ReplayJournal(
   if (!options.run_cold_pass) return out;
 
   // Cold pass: per-record compile + direct ComputeAll, compared bitwise.
+  // Mutations are re-applied to this pass's own copies: identical API
+  // call sequence -> identical FactIds -> bitwise-comparable solves.
+  std::map<std::string, Database> cold_state;
   uint64_t cold_start = MonotonicNanos();
   for (size_t i = 0; i < prepared.size(); ++i) {
+    if (prepared[i].is_mutation) {
+      Status applied =
+          apply(prepared[i], &state_for(&cold_state, prepared[i].tenant));
+      if (!applied.ok()) {
+        return Status(applied.code(), "record " + std::to_string(i) +
+                                          " mutation failed on cold replay: " +
+                                          applied.message());
+      }
+      continue;
+    }
     std::shared_ptr<const AttributionPlan> plan = AttributionPlan::Compile(
-        prepared[i].query, prepared[i].solver.score);
-    SolverSession session(plan, *prepared[i].db);
+        *prepared[i].query, prepared[i].solver.score);
+    SolverSession session(plan, db_for(&cold_state, prepared[i].tenant));
     StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
         session.ComputeAll(prepared[i].solver);
     if (!results.ok()) {

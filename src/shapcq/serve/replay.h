@@ -19,7 +19,17 @@
 // the journaled request — so replay answers "what were the true scores
 // for this traffic", and parity failures localize to the cache/plan
 // layer by construction. Fingerprints are re-derived and checked
-// against the journaled ones.
+// against the journaled ones (solve records only).
+//
+// Mutation records (insert_fact / delete_fact) replay by CONTENT: each
+// pass keeps its own mutable copy of every touched tenant and applies
+// the journaled fact line in journal order. Because FactIds are assigned
+// by the same ascending-never-reused rule the daemon used (and deletes
+// resolve the live fact by content), the replayed id space — and hence
+// every subsequent solve — matches the daemon bitwise. Compactions are
+// not journaled and need not be: they preserve ids and contents.
+// Mutation records contribute an empty entry to `results`, keeping
+// record indices aligned for harnesses that join on them.
 
 #ifndef SHAPCQ_SERVE_REPLAY_H_
 #define SHAPCQ_SERVE_REPLAY_H_
@@ -50,6 +60,7 @@ struct ReplayResult {
   double cold_ms = 0;  // wall time of the cold pass (0 when skipped)
   uint64_t plan_cache_hits = 0;    // warm-pass cache hits
   uint64_t fingerprint_matches = 0;  // journaled == re-derived
+  uint64_t mutations = 0;            // mutation records applied
   // Warm-pass results per record, in journal order — the reference the
   // other passes were compared against, and what external harnesses
   // (the daemon smoke test) compare daemon responses to.

@@ -12,6 +12,8 @@
 
 #include "shapcq/data/db_io.h"
 #include "shapcq/lineage/engine.h"
+#include "shapcq/query/evaluator.h"
+#include "shapcq/query/parser.h"
 #include "shapcq/serve/json.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/report.h"
@@ -84,8 +86,8 @@ Status AttributionServer::Start() {
 
   std::unique_ptr<JournalWriter> journal;
   if (!options_.journal_path.empty()) {
-    StatusOr<std::unique_ptr<JournalWriter>> opened =
-        JournalWriter::Open(options_.journal_path);
+    StatusOr<std::unique_ptr<JournalWriter>> opened = JournalWriter::Open(
+        options_.journal_path, options_.journal_max_segment_bytes);
     if (!opened.ok()) return opened.status();
     journal = std::move(opened).value();
   }
@@ -154,21 +156,28 @@ void AttributionServer::Stop() {
   }
   for (Job& job : leftover) {
     metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.TenantQueueDelta(job.request.tenant, -1);
     admission_.OnDequeue(job.request.tenant);
     admission_.OnComplete(job.request.tenant);
     metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    metrics_.CountTenantRequest(job.request.tenant,
+                                DaemonMetrics::Outcome::kError);
   }
 
   if (journal_ != nullptr) journal_->Close();
 }
 
 void AttributionServer::RegisterTenant(const std::string& name, Database db) {
-  auto shared = std::make_shared<const Database>(std::move(db));
+  auto state = std::make_shared<TenantState>();
+  state->db = std::move(db);
+  metrics_.SetTenantStaleness(
+      name, state->db.epoch(),
+      static_cast<uint64_t>(state->db.num_facts() - state->db.num_live()));
   std::lock_guard<std::mutex> lock(tenants_mu_);
-  tenants_[name] = std::move(shared);
+  tenants_[name] = std::move(state);
 }
 
-std::shared_ptr<const Database> AttributionServer::FindTenant(
+std::shared_ptr<AttributionServer::TenantState> AttributionServer::FindTenant(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(tenants_mu_);
   auto it = tenants_.find(name);
@@ -317,10 +326,155 @@ void AttributionServer::HandleLine(
       WriteResponse(connection, response);
       return;
     }
+    case RequestEnvelope::Op::kInsertFact:
+    case RequestEnvelope::Op::kDeleteFact:
+      HandleMutation(connection, envelope);
+      return;
     case RequestEnvelope::Op::kSolve:
       EnqueueSolve(connection, std::move(envelope.solve));
       return;
   }
+}
+
+void AttributionServer::HandleMutation(
+    const std::shared_ptr<Connection>& connection,
+    const RequestEnvelope& envelope) {
+  const bool is_insert = envelope.op == RequestEnvelope::Op::kInsertFact;
+  auto fail = [&](const Status& status) {
+    metrics_.mutation_errors.fetch_add(1, std::memory_order_relaxed);
+    WriteError(connection, envelope.id, status);
+  };
+  if (!options_.allow_mutations) {
+    fail(FailedPreconditionError("mutations are disabled on this server"));
+    return;
+  }
+  std::shared_ptr<TenantState> tenant = FindTenant(envelope.tenant);
+  if (tenant == nullptr) {
+    fail(NotFoundError("unknown tenant '" + envelope.tenant +
+                       "'; register it with op load_tenant"));
+    return;
+  }
+  // Parse the optional dirty-set probe before taking the lock.
+  std::optional<ConjunctiveQuery> probe;
+  if (!envelope.dirty_query.empty()) {
+    StatusOr<ConjunctiveQuery> parsed = ParseQuery(envelope.dirty_query);
+    if (!parsed.ok()) {
+      fail(parsed.status());
+      return;
+    }
+    probe.emplace(std::move(parsed).value());
+  }
+  std::optional<ParsedFact> parsed_fact;
+  if (!envelope.fact.empty()) {
+    StatusOr<ParsedFact> parsed = ParseFactLine(envelope.fact);
+    if (!parsed.ok()) {
+      fail(parsed.status());
+      return;
+    }
+    parsed_fact.emplace(std::move(parsed).value());
+  }
+
+  SolveResponse response;
+  response.id = envelope.id;
+  response.status = "ok";
+  response.mutation = true;
+
+  // Applied synchronously under the tenant's exclusive lock: solves in
+  // flight (shared holders) finish against the pre-mutation state, the
+  // journal append below happens inside the lock so journal order IS
+  // application order, and the response observes the post-mutation epoch.
+  std::unique_lock<std::shared_mutex> lock(tenant->mu);
+  Database& db = tenant->db;
+  FactId fact_id = -1;
+  std::string journal_fact;
+  int64_t dirty = -1;
+  if (is_insert) {
+    StatusOr<FactId> inserted = db.InsertFact(
+        parsed_fact->relation, parsed_fact->args, parsed_fact->endogenous);
+    if (!inserted.ok()) {
+      lock.unlock();
+      fail(inserted.status());
+      return;
+    }
+    fact_id = *inserted;
+    journal_fact = (parsed_fact->endogenous ? "+" : "-") +
+                   db.fact(fact_id).ToString();
+    if (probe.has_value()) {
+      dirty = static_cast<int64_t>(AnswersTouching(*probe, db, fact_id).size());
+    }
+    metrics_.mutations_insert.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (envelope.fact_id >= 0) {
+      fact_id = static_cast<FactId>(envelope.fact_id);
+    } else {
+      StatusOr<FactId> found =
+          db.FindFact(parsed_fact->relation, parsed_fact->args);
+      if (!found.ok()) {
+        lock.unlock();
+        fail(found.status());
+        return;
+      }
+      fact_id = *found;
+    }
+    if (!db.live(fact_id)) {
+      lock.unlock();
+      fail(NotFoundError("fact id " + std::to_string(fact_id) +
+                         " is not live"));
+      return;
+    }
+    // Capture content and the dirty set BEFORE tombstoning: the pinned
+    // join needs the fact live, and the journal names facts by content.
+    journal_fact = db.fact(fact_id).ToString();
+    if (probe.has_value()) {
+      dirty = static_cast<int64_t>(AnswersTouching(*probe, db, fact_id).size());
+    }
+    Status deleted = db.DeleteFact(fact_id);
+    if (!deleted.ok()) {
+      lock.unlock();
+      fail(deleted);
+      return;
+    }
+    metrics_.mutations_delete.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int dead = db.num_facts() - db.num_live();
+  if (options_.compact_min_tombstones > 0 &&
+      dead >= options_.compact_min_tombstones && dead * 4 >= db.num_live()) {
+    db.CompactTombstones();
+    dead = db.num_facts() - db.num_live();
+    response.compacted = true;
+    metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (journal_ != nullptr) {
+    JournalRecord record;
+    record.timestamp_ns = MonotonicNanos();
+    record.op = is_insert ? JournalOp::kInsertFact : JournalOp::kDeleteFact;
+    record.fact = journal_fact;
+    record.request.id = envelope.id;
+    record.request.tenant = envelope.tenant;
+    record.request.query = envelope.dirty_query;
+    if (journal_->Append(record).ok()) {
+      metrics_.journal_records.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.journal_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  response.fact_id = fact_id;
+  response.epoch = db.epoch();
+  response.tombstones = dead;
+  response.dirty_answers = dirty;
+  metrics_.SetTenantStaleness(envelope.tenant, db.epoch(),
+                              static_cast<uint64_t>(dead));
+  lock.unlock();
+
+  if (dirty >= 0) {
+    metrics_.dirty_answers_total.fetch_add(static_cast<uint64_t>(dirty),
+                                           std::memory_order_relaxed);
+    metrics_.dirty_answers_last.store(dirty, std::memory_order_relaxed);
+  }
+  WriteResponse(connection, response);
 }
 
 void AttributionServer::EnqueueSolve(
@@ -335,12 +489,16 @@ void AttributionServer::EnqueueSolve(
   StatusOr<AggregateQuery> query = BuildAggregateQuery(request);
   if (!query.ok()) {
     metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    metrics_.CountTenantRequest(request.tenant,
+                                DaemonMetrics::Outcome::kError);
     WriteError(connection, request.id, query.status());
     return;
   }
   StatusOr<SolverOptions> request_options = BuildSolverOptions(request);
   if (!request_options.ok()) {
     metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    metrics_.CountTenantRequest(request.tenant,
+                                DaemonMetrics::Outcome::kError);
     WriteError(connection, request.id, request_options.status());
     return;
   }
@@ -354,6 +512,8 @@ void AttributionServer::EnqueueSolve(
   Status admitted = admission_.TryAdmit(request.tenant);
   if (!admitted.ok()) {
     metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.CountTenantRequest(request.tenant,
+                                DaemonMetrics::Outcome::kRejected);
     WriteError(connection, request.id, admitted);
     return;
   }
@@ -379,6 +539,7 @@ void AttributionServer::EnqueueSolve(
           enqueued_ns,                 connection};
 
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  metrics_.TenantQueueDelta(job.request.tenant, 1);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.push_back(std::move(job));
@@ -398,6 +559,7 @@ void AttributionServer::WorkerLoop() {
       queue_.pop_front();
     }
     metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.TenantQueueDelta(job->request.tenant, -1);
     RunJob(std::move(*job));
   }
 }
@@ -415,18 +577,23 @@ void AttributionServer::RunJob(Job job) {
   response.queue_ms = static_cast<double>(queue_micros) / 1e3;
   response.fingerprint = job.fingerprint;
 
-  std::shared_ptr<const Database> db = FindTenant(job.request.tenant);
+  std::shared_ptr<TenantState> tenant = FindTenant(job.request.tenant);
   Status failure;
-  if (db == nullptr) {
+  if (tenant == nullptr) {
     failure = NotFoundError("tenant '" + job.request.tenant +
                             "' disappeared while queued");
   } else {
+    // Shared lock for the whole plan+solve+render window: the session
+    // borrows the tenant database, and mutations (exclusive holders)
+    // wait rather than mutate under a running solve.
+    std::shared_lock<std::shared_mutex> db_lock(tenant->mu);
+    const Database& db = tenant->db;
     bool cache_hit = false;
     std::shared_ptr<const AttributionPlan> plan =
         PlanCache::Global().GetOrCompile(job.query, job.options.score,
                                          &cache_hit);
     response.plan_cache_hit = cache_hit;
-    SolverSession session(plan, *db);
+    SolverSession session(plan, db);
 
     SolverOptions options = job.options;
     bool degraded = false;
@@ -466,7 +633,7 @@ void AttributionServer::RunJob(Job job) {
     if (results.ok()) {
       response.status = "ok";
       response.degraded = degraded;
-      FillResults(*db, *results, &response);
+      FillResults(db, *results, &response);
       LineageStatsSnapshot lineage = LineageStatsDelta(
           LineageStats::Global().Snapshot(), lineage_before);
       response.footer = FormatPlanProvenance(*plan, *results, cache_hit,
@@ -490,9 +657,14 @@ void AttributionServer::RunJob(Job job) {
 
   if (!failure.ok() || response.status != "ok") {
     metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    metrics_.CountTenantRequest(job.request.tenant,
+                                DaemonMetrics::Outcome::kError);
     response.status = "error";
     response.code = StatusCodeName(failure.code());
     response.error = failure.message();
+  } else {
+    metrics_.CountTenantRequest(job.request.tenant,
+                                DaemonMetrics::Outcome::kOk);
   }
   metrics_.total.Record((MonotonicNanos() - job.enqueued_ns) / 1000);
   WriteResponse(job.connection, response);

@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -70,8 +71,18 @@ struct ServerOptions {
   SolverOptions solver;
   // When non-empty, every accepted request is appended here.
   std::string journal_path;
+  // Size-based journal rotation (serve/journal.h): when > 0 the journal
+  // rolls to a numbered segment once the active file reaches this many
+  // bytes. 0 keeps a single unbounded file.
+  uint64_t journal_max_segment_bytes = 0;
   // Whether clients may register tenants over the wire.
   bool allow_load_tenant = true;
+  // Whether clients may mutate tenants (insert_fact / delete_fact).
+  bool allow_mutations = true;
+  // Auto-compaction trigger: after a mutation, compact the tenant when it
+  // holds at least this many tombstones AND the dead rows exceed a quarter
+  // of the live ones. <= 0 disables auto-compaction.
+  int compact_min_tombstones = 64;
   // Test seam: run on the worker thread after dequeue, before solving.
   // Lets tests hold workers to saturate admission or outrun deadlines
   // deterministically.
@@ -117,6 +128,18 @@ class AttributionServer {
   size_t live_connections();
 
  private:
+  // A tenant's mutable database plus the lock that orders readers against
+  // mutations: solves hold `mu` shared for the whole plan+solve window,
+  // insert_fact/delete_fact hold it exclusive (applied synchronously on
+  // the reader thread, journal append included, so the journal order is
+  // the application order). RegisterTenant/load_tenant swap the whole
+  // state pointer; in-flight solves keep the old state alive via
+  // shared_ptr.
+  struct TenantState {
+    mutable std::shared_mutex mu;
+    Database db;
+  };
+
   struct Connection {
     // Closed by the reader thread when ConnectionLoop exits (fd becomes
     // -1, under write_mu); other threads only ever shutdown() it.
@@ -154,6 +177,10 @@ class AttributionServer {
   // The solve path after parsing: admission, journaling, enqueue.
   void EnqueueSolve(const std::shared_ptr<Connection>& connection,
                     SolveRequest request);
+  // insert_fact/delete_fact: applied synchronously on the reader thread
+  // under the tenant's exclusive lock, journaled, then answered.
+  void HandleMutation(const std::shared_ptr<Connection>& connection,
+                      const RequestEnvelope& envelope);
   // Runs one admitted job on a worker thread and writes its response.
   void RunJob(Job job);
 
@@ -161,7 +188,7 @@ class AttributionServer {
                      const SolveResponse& response);
   void WriteError(const std::shared_ptr<Connection>& connection, uint64_t id,
                   const Status& status);
-  std::shared_ptr<const Database> FindTenant(const std::string& name) const;
+  std::shared_ptr<TenantState> FindTenant(const std::string& name) const;
 
   ServerOptions options_;
   int port_ = -1;
@@ -179,7 +206,7 @@ class AttributionServer {
   std::vector<ConnectionHandle> connections_;
 
   mutable std::mutex tenants_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Database>> tenants_;
+  std::unordered_map<std::string, std::shared_ptr<TenantState>> tenants_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -18,23 +18,74 @@
 #include "shapcq/shapley/engine_registry.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
+#include "shapcq/util/fixed_int.h"
 #include "shapcq/util/parallel.h"
 
 namespace shapcq {
 
 namespace {
 
+// The quintuple DP runs on either counting representation behind this
+// interface: CountValue (fixed-width, escaping to BigInt on overflow) is
+// the production path, and the pure-BigInt instantiation is retained as
+// the differential oracle — both are exact, so their series agree bitwise
+// (tests compare them element for element).
+template <typename Count>
+struct CountOps;
+
+template <>
+struct CountOps<BigInt> {
+  static BigInt FromBigInt(const BigInt& value) { return value; }
+  static void AddProduct(BigInt& acc, const BigInt& a, const BigInt& b) {
+    acc += a * b;
+  }
+  // a · b with a BigInt partner count (the non-R side's distributions stay
+  // BigInt in both instantiations).
+  static void AddProductBig(BigInt& acc, const BigInt& a, const BigInt& b) {
+    acc += a * b;
+  }
+  static BigInt Binomial(Combinatorics* comb, int64_t n, int64_t k) {
+    return comb->Binomial(n, k);
+  }
+  static BigInt ToBigInt(const BigInt& value) { return value; }
+};
+
+template <>
+struct CountOps<CountValue> {
+  static CountValue FromBigInt(const BigInt& value) {
+    return CountValue(value);
+  }
+  static void AddProduct(CountValue& acc, const CountValue& a,
+                         const CountValue& b) {
+    acc.AddProduct(a, b);
+  }
+  static void AddProductBig(CountValue& acc, const CountValue& a,
+                            const BigInt& b) {
+    acc.AddProduct(a, b);
+  }
+  static CountValue Binomial(Combinatorics* comb, int64_t n, int64_t k) {
+    return comb->CountRow(n)[static_cast<size_t>(k)];
+  }
+  static BigInt ToBigInt(const CountValue& value) { return value.ToBigInt(); }
+};
+
 // (k, ℓ<, ℓ=, ℓ>) -> count, sparse.
-using QuintupleMap = std::map<std::array<int, 4>, BigInt>;
+template <typename Count>
+using QuintupleMap = std::map<std::array<int, 4>, Count>;
 
 // The R-side structure: one quintuple map per anchor.
+template <typename Count>
 struct AvgQntStructure {
-  std::vector<QuintupleMap> by_anchor;
+  std::vector<QuintupleMap<Count>> by_anchor;
   int num_endogenous = 0;
 };
 
+template <typename Count>
 class AvgQntSolver {
  public:
+  using Ops = CountOps<Count>;
+  using Structure = AvgQntStructure<Count>;
+
   AvgQntSolver(const ConjunctiveQuery& original, const ValueFunction& tau,
                const std::string& relation, std::vector<Rational> anchors,
                Combinatorics* comb)
@@ -53,8 +104,8 @@ class AvgQntSolver {
     return PartialHead(static_cast<size_t>(head_arity_));
   }
 
-  AvgQntStructure Solve(const ConjunctiveQuery& q, const FactSubset& facts,
-                        const PartialHead& head) {
+  Structure Solve(const ConjunctiveQuery& q, const FactSubset& facts,
+                  const PartialHead& head) {
     SHAPCQ_CHECK(AtomIndexOf(q, relation_) >= 0);
     if (AllDependedBound(head)) return SolveValueFixed(q, facts, head);
     // A depended head variable is still unbound, so q is non-Boolean; pick a
@@ -71,14 +122,20 @@ class AvgQntSolver {
     return SolveCrossProduct(q, components, facts, head);
   }
 
-  AvgQntStructure Pad(AvgQntStructure s, int pad) const {
+  Structure Pad(Structure s, int pad) const {
     if (pad == 0) return s;
-    for (QuintupleMap& per_anchor : s.by_anchor) {
-      QuintupleMap padded;
+    std::vector<Count> row;
+    row.reserve(static_cast<size_t>(pad) + 1);
+    for (int extra = 0; extra <= pad; ++extra) {
+      row.push_back(Ops::Binomial(comb_, pad, extra));
+    }
+    for (QuintupleMap<Count>& per_anchor : s.by_anchor) {
+      QuintupleMap<Count> padded;
       for (const auto& [key, count] : per_anchor) {
         for (int extra = 0; extra <= pad; ++extra) {
-          padded[{key[0] + extra, key[1], key[2], key[3]}] +=
-              count * comb_->Binomial(pad, extra);
+          Ops::AddProduct(
+              padded[{key[0] + extra, key[1], key[2], key[3]}], count,
+              row[static_cast<size_t>(extra)]);
         }
       }
       per_anchor = std::move(padded);
@@ -104,9 +161,8 @@ class AvgQntSolver {
   // All τ-relevant positions bound: every answer of this sub-problem has the
   // same τ-value a0, so the structure is determined by the answer-count
   // distribution: ℓ answers put ℓ in the component of a0's comparison.
-  AvgQntStructure SolveValueFixed(const ConjunctiveQuery& q,
-                                  const FactSubset& facts,
-                                  const PartialHead& head) {
+  Structure SolveValueFixed(const ConjunctiveQuery& q, const FactSubset& facts,
+                            const PartialHead& head) {
     Tuple answer(static_cast<size_t>(head_arity_), Value(0));
     for (int position : depends_on_) {
       answer[static_cast<size_t>(position)] =
@@ -114,9 +170,9 @@ class AvgQntSolver {
     }
     Rational value = tau_.Evaluate(answer);
     AnswerCountMap counts = AnswerCountDistribution(q, facts, comb_);
-    AvgQntStructure out;
+    Structure out;
     out.num_endogenous = facts.CountEndogenous();
-    out.by_anchor.assign(anchors_.size(), QuintupleMap());
+    out.by_anchor.assign(anchors_.size(), QuintupleMap<Count>());
     int anchor = AnchorIndexOf(value);
     if (anchor < 0) {
       // Never realized in the full database: no subset can have answers.
@@ -139,19 +195,21 @@ class AvgQntSolver {
         } else {
           quintuple[3] = answers;
         }
-        out.by_anchor[i][quintuple] += count;
+        out.by_anchor[i][quintuple] += Ops::FromBigInt(count);
       }
     }
     return out;
   }
 
-  AvgQntStructure SolveRoot(const ConjunctiveQuery& q, const std::string& x,
-                            const FactSubset& facts, const PartialHead& head) {
+  Structure SolveRoot(const ConjunctiveQuery& q, const std::string& x,
+                      const FactSubset& facts, const PartialHead& head) {
     int total_endogenous = facts.CountEndogenous();
-    AvgQntStructure acc;
+    Structure acc;
     acc.num_endogenous = 0;
-    acc.by_anchor.assign(anchors_.size(),
-                         QuintupleMap{{{0, 0, 0, 0}, BigInt(1)}});
+    acc.by_anchor.assign(anchors_.size(), QuintupleMap<Count>());
+    for (QuintupleMap<Count>& per_anchor : acc.by_anchor) {
+      per_anchor[{0, 0, 0, 0}] = Count(1);
+    }
     int covered_endogenous = 0;
     for (const Value& a : CandidateValues(q, x, facts)) {
       FactSubset sub;
@@ -171,17 +229,17 @@ class AvgQntSolver {
   }
 
   // combine_∪ at a free root: disjoint answer sets, quintuples add.
-  AvgQntStructure CombineUnion(const AvgQntStructure& lhs,
-                               const AvgQntStructure& rhs) const {
-    AvgQntStructure out;
+  Structure CombineUnion(const Structure& lhs, const Structure& rhs) const {
+    Structure out;
     out.num_endogenous = lhs.num_endogenous + rhs.num_endogenous;
-    out.by_anchor.assign(anchors_.size(), QuintupleMap());
+    out.by_anchor.assign(anchors_.size(), QuintupleMap<Count>());
     for (size_t i = 0; i < anchors_.size(); ++i) {
       for (const auto& [lkey, lcount] : lhs.by_anchor[i]) {
         for (const auto& [rkey, rcount] : rhs.by_anchor[i]) {
-          out.by_anchor[i][{lkey[0] + rkey[0], lkey[1] + rkey[1],
-                            lkey[2] + rkey[2], lkey[3] + rkey[3]}] +=
-              lcount * rcount;
+          Ops::AddProduct(
+              out.by_anchor[i][{lkey[0] + rkey[0], lkey[1] + rkey[1],
+                                lkey[2] + rkey[2], lkey[3] + rkey[3]}],
+              lcount, rcount);
         }
       }
     }
@@ -190,11 +248,12 @@ class AvgQntSolver {
 
   // combine_×: the R-side bag is replicated once per answer of the other
   // components (multiplicities multiply; an empty side empties the bag).
-  AvgQntStructure SolveCrossProduct(
-      const ConjunctiveQuery& q, const std::vector<std::vector<int>>& components,
-      const FactSubset& facts, const PartialHead& head) {
+  Structure SolveCrossProduct(const ConjunctiveQuery& q,
+                              const std::vector<std::vector<int>>& components,
+                              const FactSubset& facts,
+                              const PartialHead& head) {
     int r_atom = AtomIndexOf(q, relation_);
-    AvgQntStructure value_side;
+    Structure value_side;
     AnswerCountMap other = {{{0, 1}, BigInt(1)}};
     int covered_endogenous = 0;
     bool found = false;
@@ -222,9 +281,9 @@ class AvgQntSolver {
     }
     SHAPCQ_CHECK(found);
     SHAPCQ_CHECK(covered_endogenous == facts.CountEndogenous());
-    AvgQntStructure out;
+    Structure out;
     out.num_endogenous = facts.CountEndogenous();
-    out.by_anchor.assign(anchors_.size(), QuintupleMap());
+    out.by_anchor.assign(anchors_.size(), QuintupleMap<Count>());
     for (size_t i = 0; i < anchors_.size(); ++i) {
       for (const auto& [lkey, lcount] : value_side.by_anchor[i]) {
         bool value_empty = lkey[1] == 0 && lkey[2] == 0 && lkey[3] == 0;
@@ -237,7 +296,7 @@ class AvgQntSolver {
             key = {lkey[0] + rkey.first, lkey[1] * multiplier,
                    lkey[2] * multiplier, lkey[3] * multiplier};
           }
-          out.by_anchor[i][key] += lcount * rcount;
+          Ops::AddProductBig(out.by_anchor[i][key], lcount, rcount);
         }
       }
     }
@@ -256,8 +315,10 @@ class AvgQntSolver {
 // sum_k series of a padded quintuple structure: the paper's Avg / Qnt_q
 // formulas, accumulated in ascending anchor order — the exact order of
 // AvgQuantileSumK's tail, shared with the batched scorer so both produce
-// identical bits.
-SumKSeries SeriesFromAvgQntStructure(const AvgQntStructure& top,
+// identical bits. The count-to-Rational conversion goes through the
+// canonical ToBigInt, so both Count instantiations produce the same bits.
+template <typename Count>
+SumKSeries SeriesFromAvgQntStructure(const AvgQntStructure<Count>& top,
                                      const std::vector<Rational>& anchors,
                                      const AggregateFunction& alpha) {
   SumKSeries series(static_cast<size_t>(top.num_endogenous) + 1);
@@ -274,30 +335,16 @@ SumKSeries SeriesFromAvgQntStructure(const AvgQntStructure& top,
         weight = QuantileContribution(alpha.quantile(), less, equal, greater);
       }
       if (weight.is_zero()) continue;
-      series[static_cast<size_t>(k)] += anchors[i] * weight * Rational(count);
+      series[static_cast<size_t>(k)] +=
+          anchors[i] * weight * Rational(CountOps<Count>::ToBigInt(count));
     }
   }
   return series;
 }
 
-}  // namespace
-
-Rational QuantileContribution(const Rational& q, int64_t less, int64_t equal,
-                              int64_t greater) {
-  int64_t total = less + equal + greater;
-  if (total == 0 || equal == 0) return Rational(0);
-  Rational qn = q * Rational(total);
-  int64_t i1 = qn.Ceil().ToInt64();                   // ⌈q·|B|⌉
-  int64_t i2 = (qn + Rational(1)).Floor().ToInt64();  // ⌊q·|B|+1⌋
-  Rational contribution;
-  if (less < i1 && less + equal >= i1) contribution += Rational(1);
-  if (less < i2 && less + equal >= i2) contribution += Rational(1);
-  return contribution / Rational(2);
-}
-
-StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
-                                     const Database& db,
-                                     const SolverOptions& /*options*/) {
+template <typename Count>
+StatusOr<SumKSeries> AvgQuantileSumKImpl(const AggregateQuery& a,
+                                         const Database& db) {
   if (a.alpha.kind() != AggKind::kAvg &&
       a.alpha.kind() != AggKind::kQuantile) {
     return UnsupportedError("AvgQuantileSumK handles Avg and Qnt_q only");
@@ -325,13 +372,40 @@ StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
   if (anchor_set.empty()) return series;
   std::vector<Rational> anchors(anchor_set.begin(), anchor_set.end());
   Combinatorics comb;
-  AvgQntSolver solver(a.query, *a.tau, relation, anchors, &comb);
+  AvgQntSolver<Count> solver(a.query, *a.tau, relation, anchors, &comb);
   RelevanceSplit split = SplitRelevant(a.query, AllFacts(db));
-  AvgQntStructure top =
+  AvgQntStructure<Count> top =
       solver.Solve(a.query, split.relevant, solver.EmptyHead());
   top = solver.Pad(std::move(top), split.irrelevant_endogenous);
   SHAPCQ_CHECK(top.num_endogenous == n);
   return SeriesFromAvgQntStructure(top, anchors, a.alpha);
+}
+
+}  // namespace
+
+Rational QuantileContribution(const Rational& q, int64_t less, int64_t equal,
+                              int64_t greater) {
+  int64_t total = less + equal + greater;
+  if (total == 0 || equal == 0) return Rational(0);
+  Rational qn = q * Rational(total);
+  int64_t i1 = qn.Ceil().ToInt64();                   // ⌈q·|B|⌉
+  int64_t i2 = (qn + Rational(1)).Floor().ToInt64();  // ⌊q·|B|+1⌋
+  Rational contribution;
+  if (less < i1 && less + equal >= i1) contribution += Rational(1);
+  if (less < i2 && less + equal >= i2) contribution += Rational(1);
+  return contribution / Rational(2);
+}
+
+StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
+                                     const Database& db,
+                                     const SolverOptions& /*options*/) {
+  return AvgQuantileSumKImpl<CountValue>(a, db);
+}
+
+StatusOr<SumKSeries> AvgQuantileSumKBigInt(const AggregateQuery& a,
+                                           const Database& db,
+                                           const SolverOptions& /*options*/) {
+  return AvgQuantileSumKImpl<BigInt>(a, db);
 }
 
 StatusOr<std::vector<std::pair<FactId, Rational>>> AvgQuantileScoreAll(
@@ -393,11 +467,11 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> AvgQuantileScoreAll(
   {
     Database work = db;
     Combinatorics comb;
-    AvgQntSolver solver(a.query, *a.tau, relation, anchors, &comb);
+    AvgQntSolver<CountValue> solver(a.query, *a.tau, relation, anchors, &comb);
     FactSubset relevant;
     relevant.db = &work;
     relevant.facts = split.relevant.facts;
-    AvgQntStructure top =
+    AvgQntStructure<CountValue> top =
         solver.Solve(a.query, relevant, solver.EmptyHead());
     top = solver.Pad(std::move(top), split.irrelevant_endogenous);
     SHAPCQ_CHECK(top.num_endogenous == n);
@@ -418,7 +492,8 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> AvgQuantileScoreAll(
         const size_t end = static_cast<size_t>(chunk_end);
         Database work = db;
         Combinatorics comb;
-        AvgQntSolver solver(a.query, *a.tau, relation, anchors, &comb);
+        AvgQntSolver<CountValue> solver(a.query, *a.tau, relation, anchors,
+                                        &comb);
         FactSubset relevant;
         relevant.db = &work;
         relevant.facts = split.relevant.facts;
@@ -430,7 +505,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> AvgQuantileScoreAll(
           }
           // F_f: flag flip; same relevant subset.
           work.SetEndogenous(f, false);
-          AvgQntStructure top_f =
+          AvgQntStructure<CountValue> top_f =
               solver.Solve(a.query, relevant, solver.EmptyHead());
           top_f = solver.Pad(std::move(top_f), split.irrelevant_endogenous);
           SHAPCQ_CHECK(top_f.num_endogenous == n - 1);

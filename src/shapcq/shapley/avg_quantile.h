@@ -31,10 +31,20 @@ namespace shapcq {
 
 // sum_k series for A = Avg ∘ τ ∘ Q or Qnt_q ∘ τ ∘ Q. Returns UNSUPPORTED
 // unless the query is self-join-free and q-hierarchical and τ is localized
-// on some atom of Q.
+// on some atom of Q. The quintuple counts run on CountValue (fixed-width
+// fast path, escaping to BigInt on overflow); arithmetic is exact in
+// either representation, so results are bitwise-identical to the BigInt
+// oracle below.
 StatusOr<SumKSeries> AvgQuantileSumK(const AggregateQuery& a,
                                      const Database& db,
                                      const SolverOptions& options = {});
+
+// The same DP instantiated on pure BigInt counts — the differential oracle
+// for the CountValue production path. Tests compare the two series element
+// for element; production callers should use AvgQuantileSumK.
+StatusOr<SumKSeries> AvgQuantileSumKBigInt(const AggregateQuery& a,
+                                           const Database& db,
+                                           const SolverOptions& options = {});
 
 // Batched all-facts scorer with the same gates as AvgQuantileSumK. The
 // reduction state shared across facts — the anchor vector, the relevance

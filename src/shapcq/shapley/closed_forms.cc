@@ -20,12 +20,13 @@ Status CheckShape(const AggregateQuery& a, const Database& db) {
   return Status::Ok();
 }
 
-// τ-values of all facts, in fact-id order.
+// τ-values of all live facts, dense by fact id (tombstoned ids keep a
+// default Rational that no live-guarded loop reads).
 std::vector<Rational> FactValues(const AggregateQuery& a, const Database& db) {
-  std::vector<Rational> values;
-  values.reserve(static_cast<size_t>(db.num_facts()));
+  std::vector<Rational> values(static_cast<size_t>(db.num_facts()));
   for (FactId id = 0; id < db.num_facts(); ++id) {
-    values.push_back(a.tau->Evaluate(db.fact(id).args));
+    if (!db.live(id)) continue;
+    values[static_cast<size_t>(id)] = a.tau->Evaluate(db.fact(id).args);
   }
   return values;
 }
@@ -49,12 +50,13 @@ bool ClosedFormQueryShape(const ConjunctiveQuery& q) {
 bool ClosedFormApplies(const AggregateQuery& a, const Database& db) {
   const ConjunctiveQuery& q = a.query;
   if (!ClosedFormQueryShape(q)) return false;
-  // All facts endogenous and of that relation.
-  if (db.num_endogenous() != db.num_facts()) return false;
+  // All live facts endogenous and of that relation.
+  if (db.num_endogenous() != db.num_live()) return false;
   for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (!db.live(id)) continue;
     if (db.fact(id).relation != q.atoms()[0].relation) return false;
   }
-  return db.num_facts() > 0;
+  return db.num_live() > 0;
 }
 
 StatusOr<Rational> ClosedFormCountDistinct(const AggregateQuery& a,
@@ -64,8 +66,8 @@ StatusOr<Rational> ClosedFormCountDistinct(const AggregateQuery& a,
   std::vector<Rational> values = FactValues(a, db);
   const Rational& mine = values[static_cast<size_t>(fact)];
   int64_t same = 0;
-  for (const Rational& value : values) {
-    if (value == mine) ++same;
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (db.live(id) && values[static_cast<size_t>(id)] == mine) ++same;
   }
   return Rational(BigInt(1), BigInt(same));
 }
@@ -76,11 +78,13 @@ StatusOr<Rational> ClosedFormMax(const AggregateQuery& a, const Database& db,
   if (!shape.ok()) return shape;
   std::vector<Rational> values = FactValues(a, db);
   const Rational& mine = values[static_cast<size_t>(fact)];
-  int64_t n = db.num_facts();
+  int64_t n = db.num_live();
   Combinatorics comb;
   // Distinct values below τ(t) with their cumulative fact counts.
   std::map<Rational, int64_t> multiplicity;
-  for (const Rational& value : values) ++multiplicity[value];
+  for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (db.live(id)) ++multiplicity[values[static_cast<size_t>(id)]];
+  }
   Rational result = mine / Rational(n);
   int64_t below = 0;  // #facts with τ < a, maintained over ascending a
   for (const auto& [value, count] : multiplicity) {
@@ -116,7 +120,7 @@ StatusOr<Rational> ClosedFormAvg(const AggregateQuery& a, const Database& db,
   Status shape = CheckShape(a, db);
   if (!shape.ok()) return shape;
   std::vector<Rational> values = FactValues(a, db);
-  int64_t n = db.num_facts();
+  int64_t n = db.num_live();
   Combinatorics comb;
   Rational harmonic = comb.Harmonic(n);
   Rational result =
@@ -124,7 +128,7 @@ StatusOr<Rational> ClosedFormAvg(const AggregateQuery& a, const Database& db,
   if (n > 1) {
     Rational others;
     for (FactId id = 0; id < db.num_facts(); ++id) {
-      if (id != fact) others += values[static_cast<size_t>(id)];
+      if (id != fact && db.live(id)) others += values[static_cast<size_t>(id)];
     }
     result -= (harmonic - Rational(1)) / Rational(n * (n - 1)) * others;
   }

@@ -51,6 +51,7 @@ StatusOr<SumKSeries> CountDistinctSumK(const AggregateQuery& a,
     Database d_value;
     int removed_endogenous = 0;
     for (FactId id = 0; id < db.num_facts(); ++id) {
+      if (!db.live(id)) continue;
       const Fact& fact = db.fact(id);
       if (fact.relation == relation &&
           EvaluateTauOnFact(a.query, atom_index, *a.tau, fact.args) != value) {

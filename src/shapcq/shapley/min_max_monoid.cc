@@ -605,13 +605,15 @@ class MonoidSolver {
 // The value-negated copy of `db` realizing the Min → Max duality:
 // Min(⊗ values) = −Max(⊗' negated values), where negating every input at
 // the monoid positions turns kPlus into kPlus and kMin into kMax. Fact
-// ids, order, and endogenous flags are preserved, so derived databases of
-// the negated copy correspond 1:1 to derived databases of the original.
+// order and endogenous flags are preserved. Tombstoned facts are skipped,
+// so the copy is dense: when `db` has tombstones the copy's FactId k is
+// the k-th live fact of `db` (callers remap scores back by that rank).
 Database NegateMonoidPositions(const ConjunctiveQuery& q,
                                const std::vector<int>& positions,
                                const Database& db) {
   Database negated;
   for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (!db.live(id)) continue;
     const Fact& fact = db.fact(id);
     Tuple args = fact.args;
     int atom_index = -1;
@@ -766,6 +768,13 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> MinMaxMonoidScoreAll(
                              negated, options);
     if (!scores.ok()) return scores.status();
     for (auto& [fact, score] : *scores) score = -score;
+    if (db.has_tombstones()) {
+      // The negated copy is dense; map its ids back to the original id
+      // space by endogenous rank (order is preserved).
+      const std::vector<FactId> endo = db.EndogenousFacts();
+      SHAPCQ_CHECK(endo.size() == scores->size());
+      for (size_t i = 0; i < endo.size(); ++i) (*scores)[i].first = endo[i];
+    }
     return scores;
   }
   // Max path. Equivalence with per-fact ScoreViaSumK(MonoidMinMaxSumK):

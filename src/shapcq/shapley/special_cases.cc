@@ -81,6 +81,7 @@ StatusOr<SumKSeries> GatedProductSumK(const AggregateQuery& a,
     return false;
   };
   for (FactId id = 0; id < db.num_facts(); ++id) {
+    if (!db.live(id)) continue;
     const Fact& fact = db.fact(id);
     if (in_query(q1, fact.relation)) {
       d1.AddFact(fact.relation, fact.args, fact.endogenous);

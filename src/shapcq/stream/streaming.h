@@ -1,0 +1,139 @@
+// Streaming attribution: incremental Shapley/Banzhaf over a mutating
+// database.
+//
+// A StreamingSolver keeps a per-answer cache of the lineage-circuit
+// engine's unit of work — the answer's minimized lineage DNF (with FactId
+// literals), its weight, and the per-fact contribution vector scored from
+// its compiled circuit. Because the linear aggregates (Sum, Count)
+// decompose over answers and facts outside an answer's lineage are null
+// players, a mutation can only change the scores through the answers whose
+// lineage mentions the mutated fact: exactly the dirty-answer set
+// AnswersTouching (query/evaluator.h) computes with a join pinned to the
+// delta fact. ComputeAll therefore re-extracts and re-scores ONLY the
+// dirty answers — reusing the cached contributions verbatim when the
+// re-extracted clause set is unchanged — and merges per-answer
+// contributions in sorted-answer order, the same merge the batched engine
+// performs. Exact canonical rational arithmetic makes that sum independent
+// of grouping, so mutate-then-ComputeAll is bitwise-identical to a fresh
+// solve of the mutated database (the differential test in
+// tests/streaming_differential_test.cc enforces this).
+//
+// Aggregates outside the linear family (Min/Max/Avg/Quantile), explicit
+// Monte-Carlo/brute-force method requests, and compilation-budget blow-ups
+// fall back to a fresh SolverSession per ComputeAll — same results, no
+// incrementality. After a budget blow-up the solver stays on the fallback
+// path (the budget would blow up identically on every later solve).
+//
+// The solver borrows the database. Route mutations either through the
+// solver's own InsertFact/DeleteFact or notify it around external
+// mutations (OnInsert after the insert, OnPreDelete before the delete,
+// OnCompact after CompactTombstones). An unnotified mutation is detected
+// through Database::epoch() and degrades to a full cache rebuild — never
+// a wrong answer. Not thread-safe; callers serialize access (the daemon
+// holds a per-tenant lock across mutations and streaming solves).
+
+#ifndef SHAPCQ_STREAM_STREAMING_H_
+#define SHAPCQ_STREAM_STREAMING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapcq/agg/aggregate.h"
+#include "shapcq/data/database.h"
+#include "shapcq/shapley/session.h"
+#include "shapcq/shapley/solver_options.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Counters describing how a StreamingSolver earned its keep.
+struct StreamingStats {
+  uint64_t full_rebuilds = 0;       // cache built (or rebuilt) from scratch
+  uint64_t incremental_solves = 0;  // ComputeAll calls served from the cache
+  uint64_t fallback_solves = 0;     // ComputeAll calls via a fresh session
+  uint64_t answers_recomputed = 0;  // dirty answers recompiled + rescored
+  uint64_t answers_reused = 0;      // clean answers served from the cache
+  uint64_t circuits_reused = 0;     // dirty answers with unchanged clauses
+  uint64_t dirty_last = 0;          // dirty-set size at the last ComputeAll
+  uint64_t answers_cached = 0;      // cache size after the last ComputeAll
+};
+
+class StreamingSolver {
+ public:
+  // Borrows `db` (must outlive the solver). `options` applies to every
+  // solve; methods kMonteCarlo/kBruteForce disable the incremental path.
+  StreamingSolver(AggregateQuery a, Database* db, SolverOptions options = {});
+
+  // Convenience mutators: apply the mutation to the database AND notify
+  // the solver, in the right order. Same contracts as Database's.
+  StatusOr<FactId> InsertFact(const std::string& relation, Tuple args,
+                              bool endogenous = true);
+  Status DeleteFact(FactId id);
+  // Compacts the database's tombstones and keeps the cache (compaction
+  // preserves contents, so no answer goes dirty).
+  void CompactTombstones();
+
+  // Notification interface for externally applied mutations. OnInsert is
+  // called AFTER Database::InsertFact, OnPreDelete BEFORE
+  // Database::DeleteFact (the pinned dirty-answer join needs the fact
+  // live), OnCompact after Database::CompactTombstones.
+  void OnInsert(FactId id);
+  void OnPreDelete(FactId id);
+  void OnCompact();
+
+  // Scores of all live endogenous facts, ascending by FactId — the same
+  // shape (and bitwise the same exact values) as SolverSession::ComputeAll
+  // on the current database state. Incremental when possible; transparent
+  // fallback otherwise.
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> ComputeAll();
+
+  // Answers currently awaiting recomputation (0 right after ComputeAll).
+  size_t dirty_size() const { return dirty_.size(); }
+  // False once the solver has committed to the per-solve fallback path.
+  bool incremental() const { return incremental_; }
+  const StreamingStats& stats() const { return stats_; }
+  const AggregateQuery& aggregate_query() const { return a_; }
+
+ private:
+  struct CachedAnswer {
+    // Minimized lineage DNF with FactId literals (sorted clauses, sorted
+    // literals) — comparable against a fresh extraction.
+    std::vector<std::vector<int>> clauses;
+    Rational weight;
+    // Per-fact contributions of this answer's weighted indicator game.
+    std::vector<std::pair<int, Rational>> contributions;
+  };
+
+  // Marks the answers whose lineage mentions `fact` dirty. Requires the
+  // fact live.
+  void MarkTouched(FactId fact);
+  // Builds the cache from a full lineage extraction.
+  Status RebuildAll();
+  // Re-extracts and re-scores the dirty answers only.
+  Status RefreshDirty();
+  // The minimized FactId-literal clauses of one answer on the CURRENT
+  // database, via the residual (fully bound) query. Empty ⇒ answer dead.
+  std::vector<std::vector<int>> ExtractAnswerClauses(const Tuple& answer) const;
+  Rational WeightOf(const Tuple& answer) const;
+  // Merges cached per-answer contributions into the result vector.
+  std::vector<std::pair<FactId, SolveResult>> MergeCache() const;
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> FallbackSolve();
+
+  AggregateQuery a_;
+  Database* db_;
+  SolverOptions options_;
+  bool incremental_;
+  bool cache_valid_ = false;
+  uint64_t cache_epoch_ = 0;  // db_->epoch() the cache + dirty set reflect
+  std::map<Tuple, CachedAnswer> cache_;  // sorted answer order
+  std::set<Tuple> dirty_;
+  StreamingStats stats_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_STREAM_STREAMING_H_

@@ -190,6 +190,36 @@ TEST(AvgQuantileTest, ExogenousOnlyRelationStillWorks) {
   for (size_t k = 0; k < bf->size(); ++k) EXPECT_EQ((*dp)[k], (*bf)[k]);
 }
 
+// The production path counts in CountValue (fixed-width with BigInt
+// escape); the pure-BigInt instantiation is the differential oracle. Both
+// are exact, so every series entry must agree bitwise.
+TEST(AvgQuantileTest, CountValuePathMatchesBigIntOracleBitwise) {
+  for (const char* query : kQHierarchicalQueries) {
+    ConjunctiveQuery q = MustParseQuery(query);
+    for (uint64_t seed : {7u, 21u}) {
+      RandomDatabaseOptions options;
+      options.facts_per_relation = 6;
+      options.seed = seed;
+      Database db = RandomDatabaseForQuery(q, options);
+      for (AggregateFunction alpha :
+           {AggregateFunction::Avg(), AggregateFunction::Median(),
+            AggregateFunction::Quantile(R(1, 3))}) {
+        AggregateQuery a{q, MakeTauId(0), alpha};
+        auto fast = AvgQuantileSumK(a, db);
+        auto oracle = AvgQuantileSumKBigInt(a, db);
+        ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+        ASSERT_TRUE(oracle.ok());
+        ASSERT_EQ(fast->size(), oracle->size());
+        for (size_t k = 0; k < oracle->size(); ++k) {
+          EXPECT_EQ((*fast)[k], (*oracle)[k])
+              << query << " " << alpha.ToString() << " seed=" << seed
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // f_q (QuantileContribution) unit behavior
 // ---------------------------------------------------------------------------

@@ -10,11 +10,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,6 +150,158 @@ TEST(DaemonSmokeTest, ServeScrapeReplayBitwiseParity) {
     }
   }
   std::remove(journal_path.c_str());
+}
+
+// Concurrent mutation parity: several client threads hammer one tenant
+// with insert_fact / delete_fact (each interleaved with solves whose
+// responses are deliberately not compared — a concurrent solve races the
+// mutations it overlaps), the journal rotates across size-bounded
+// segments while they run, and afterwards the FINAL solve — issued once
+// every mutation has been acknowledged — must match a ReadJournalChain +
+// ReplayJournal reconstruction of the journal bit for bit. Runs under
+// the TSan CI leg: the tenant shared_mutex, journal lock, and per-tenant
+// metric counters all get real contention here.
+TEST(DaemonSmokeTest, ConcurrentMutationsReplayBitwiseParity) {
+  const std::string journal_path = ::testing::TempDir() +
+                                   "/daemon_mutation_journal_" +
+                                   std::to_string(::getpid());
+  const char* seed_text = "+R(1, 2)\n+R(2, 3)\n+S(2)\n+S(3)\n";
+  const std::string query = "Q(x) <- R(x, y), S(y)";
+
+  ServerOptions options;
+  options.journal_path = journal_path;
+  options.journal_max_segment_bytes = 512;  // force rotation mid-run
+  options.worker_threads = 2;
+  AttributionServer server(options);
+  server.RegisterTenant("acme", MustParseDb(seed_text));
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  constexpr int kThreads = 3;
+  constexpr int kFactsPerThread = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = LineClient::Connect(server.port());
+      if (!client.ok()) {
+        failures.fetch_add(100);
+        return;
+      }
+      uint64_t id = 1000 + static_cast<uint64_t>(t) * 100;
+      for (int k = 0; k < kFactsPerThread; ++k) {
+        // Unique per-thread facts: inserts never collide across threads.
+        std::string fact_body =
+            "R(" + std::to_string(100 + t * 10 + k) + ", 2)";
+        auto reply = client->RoundTrip(
+            SerializeInsertFact(++id, "acme", "+" + fact_body, query));
+        auto response = reply.ok() ? ParseResponseLine(*reply)
+                                   : StatusOr<SolveResponse>(reply.status());
+        if (!response.ok() || response->status != "ok" ||
+            !response->mutation || response->fact_id < 0 ||
+            response->dirty_answers < 0) {
+          failures.fetch_add(1);
+        }
+        // A solve raced against the other threads' mutations; only its
+        // transport success is checked.
+        SolveRequest solve;
+        solve.id = ++id;
+        solve.tenant = "acme";
+        solve.query = query;
+        if (!client->RoundTrip(SerializeSolveRequest(solve)).ok()) {
+          failures.fetch_add(1);
+        }
+        if (k % 2 == 1) {
+          auto del = client->RoundTrip(
+              SerializeDeleteFact(++id, "acme", fact_body));
+          auto del_response =
+              del.ok() ? ParseResponseLine(*del)
+                       : StatusOr<SolveResponse>(del.status());
+          if (!del_response.ok() || del_response->status != "ok" ||
+              !del_response->mutation) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The final-state solve: every mutation above has been acknowledged, so
+  // this is the last journal record and replays against the fully mutated
+  // database.
+  auto client = LineClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  SolveRequest final_solve;
+  final_solve.id = 7777;
+  final_solve.tenant = "acme";
+  final_solve.query = query;
+  auto final_reply = client->RoundTrip(SerializeSolveRequest(final_solve));
+  ASSERT_TRUE(final_reply.ok()) << final_reply.status().ToString();
+  auto final_response = ParseResponseLine(*final_reply);
+  ASSERT_TRUE(final_response.ok()) << final_response.status().ToString();
+  ASSERT_EQ(final_response->status, "ok") << final_response->error;
+
+  auto metrics = HttpGet(server.metrics_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("shapcq_mutations_total{op=\"insert\"} 12"),
+            std::string::npos)
+      << *metrics;
+  EXPECT_NE(metrics->find("shapcq_mutations_total{op=\"delete\"} 6"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_dirty_answers_last"), std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_tenant_requests_total{tenant=\"acme\""),
+            std::string::npos);
+  EXPECT_NE(metrics->find("shapcq_tenant_epoch{tenant=\"acme\"}"),
+            std::string::npos);
+
+  server.Stop();
+
+  // The journal rotated: the base segment plus at least one numbered one.
+  {
+    FILE* segment = std::fopen((journal_path + ".1").c_str(), "rb");
+    EXPECT_NE(segment, nullptr) << "journal never rotated";
+    if (segment != nullptr) std::fclose(segment);
+  }
+
+  auto records = ReadJournalChain(journal_path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_FALSE(records->empty());
+  EXPECT_EQ(records->back().op, JournalOp::kSolve);
+  EXPECT_EQ(records->back().request.id, final_solve.id);
+
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  tenants["acme"] = std::make_shared<const Database>(MustParseDb(seed_text));
+  auto replay = ReplayJournal(*records, tenants);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->mutations,
+            static_cast<uint64_t>(kThreads * (kFactsPerThread +
+                                              kFactsPerThread / 2)));
+
+  // Final wire response == replayed final record, bit for bit.
+  const std::vector<FactScore>& wire = final_response->results;
+  const auto& replayed = replay->results.back();
+  ASSERT_EQ(wire.size(), replayed.size());
+  for (size_t f = 0; f < replayed.size(); ++f) {
+    const auto& [fact, result] = replayed[f];
+    EXPECT_EQ(wire[f].fact, fact);
+    EXPECT_EQ(wire[f].exact, result.is_exact);
+    EXPECT_TRUE(SameBits(wire[f].value, result.approximation))
+        << "fact " << fact;
+    if (result.is_exact) {
+      EXPECT_EQ(wire[f].exact_value, result.exact.ToString());
+    }
+    EXPECT_EQ(wire[f].algorithm, result.algorithm);
+  }
+
+  for (int segment = 0;; ++segment) {
+    std::string path =
+        segment == 0 ? journal_path
+                     : journal_path + "." + std::to_string(segment);
+    if (std::remove(path.c_str()) != 0) break;
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "shapcq/data/csv.h"
 #include "shapcq/data/database.h"
+#include "shapcq/data/db_io.h"
 #include "shapcq/data/value.h"
 
 namespace shapcq {
@@ -229,6 +230,94 @@ TEST(CsvTest, LoadsIntoDatabase) {
   EXPECT_EQ(db.FactsOf("Earns").size(), 2u);
   EXPECT_TRUE(db.Contains("Earns", {Value("ann"), Value(100)}));
   EXPECT_EQ(db.num_endogenous(), 0);
+}
+
+TEST(DatabaseMutationTest, InsertValidatesAndBumpsEpoch) {
+  Database db;
+  db.AddEndogenous("R", {Value(1), Value(2)});
+  uint64_t epoch = db.epoch();
+
+  auto inserted = db.InsertFact("R", {Value(3), Value(4)});
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_GT(db.epoch(), epoch);
+  EXPECT_TRUE(db.live(*inserted));
+
+  // Duplicate live fact and arity conflicts are structured errors, not
+  // aborts (AddFact's contract), and a failed insert leaves epoch alone.
+  epoch = db.epoch();
+  EXPECT_EQ(db.InsertFact("R", {Value(3), Value(4)}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.InsertFact("R", {Value(1)}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.epoch(), epoch);
+}
+
+TEST(DatabaseMutationTest, DeleteTombstonesAndIdsNeverComeBack) {
+  Database db;
+  FactId a = db.AddEndogenous("R", {Value(1)});
+  FactId b = db.AddEndogenous("R", {Value(2)});
+
+  ASSERT_TRUE(db.DeleteFact(a).ok());
+  EXPECT_FALSE(db.live(a));
+  EXPECT_TRUE(db.live(b));
+  EXPECT_EQ(db.num_live(), 1);
+  EXPECT_EQ(db.num_facts(), 2);
+  EXPECT_TRUE(db.has_tombstones());
+  // Deleting again (or out of range) is NOT_FOUND.
+  EXPECT_EQ(db.DeleteFact(a).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.DeleteFact(99).code(), StatusCode::kNotFound);
+  // The content key is free again, but under a FRESH id: ids ascend
+  // forever, and the dead id stays dead.
+  auto again = db.InsertFact("R", {Value(1)});
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(*again, b);
+  EXPECT_FALSE(db.live(a));
+  // FindFact resolves live content only.
+  auto found = db.FindFact("R", {Value(1)});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *again);
+}
+
+TEST(DatabaseMutationTest, CompactionPreservesIdsAndContents) {
+  Database db;
+  std::vector<FactId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(db.AddEndogenous("R", {Value(i), Value(i + 1)}));
+  }
+  ASSERT_TRUE(db.DeleteFact(ids[2]).ok());
+  ASSERT_TRUE(db.DeleteFact(ids[5]).ok());
+  uint64_t epoch = db.epoch();
+
+  db.CompactTombstones();
+  EXPECT_GT(db.epoch(), epoch);
+  EXPECT_FALSE(db.has_tombstones() && db.num_live() != db.num_facts() - 2);
+  for (int i = 0; i < 8; ++i) {
+    bool deleted = i == 2 || i == 5;
+    EXPECT_EQ(db.live(ids[i]), !deleted) << "fact " << i;
+    if (!deleted) {
+      EXPECT_EQ(db.fact(ids[i]).args[0], Value(i));
+    }
+  }
+  // Posting lists no longer carry the dead rows.
+  EXPECT_EQ(db.FactsWith("R", 0, Value(2)).size(), 0u);
+  EXPECT_EQ(db.FactsWith("R", 0, Value(3)).size(), 1u);
+}
+
+TEST(ParseFactLineTest, MarkerIsOptionalAndDefaultsEndogenous) {
+  auto endo = ParseFactLine("+R(1, 'a')");
+  ASSERT_TRUE(endo.ok());
+  EXPECT_TRUE(endo->endogenous);
+  auto exo = ParseFactLine("-R(1, 'a')");
+  ASSERT_TRUE(exo.ok());
+  EXPECT_FALSE(exo->endogenous);
+  auto bare = ParseFactLine("R(2, 'b')");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->endogenous);
+  EXPECT_EQ(bare->relation, "R");
+  ASSERT_EQ(bare->args.size(), 2u);
+  EXPECT_EQ(bare->args[0], Value(2));
+  EXPECT_FALSE(ParseFactLine("").ok());
+  EXPECT_FALSE(ParseFactLine("R(x)").ok());  // not ground
 }
 
 }  // namespace

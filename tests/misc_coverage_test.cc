@@ -56,7 +56,11 @@ TEST(DbIoTest, ParsesCommentsAndRejectsGarbage) {
   auto ok = ParseDatabase("# header\n+R(1)\n\n-S('a')\n");
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->num_facts(), 2);
-  EXPECT_FALSE(ParseDatabase("R(1)\n").ok());          // missing +/-
+  // A bare fact (no +/- marker) parses as endogenous — the relaxation
+  // the daemon's delete_fact journal records rely on.
+  auto bare = ParseDatabase("R(1)\n");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->num_endogenous(), 1);
   EXPECT_FALSE(ParseDatabase("+R(x)\n").ok());          // variable
   EXPECT_FALSE(ParseDatabase("+R(1)\n+R(1)\n").ok());   // duplicate
   EXPECT_FALSE(ParseDatabase("+R(1\n").ok());           // malformed

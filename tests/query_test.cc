@@ -316,5 +316,72 @@ TEST(DecompositionTest, IsGround) {
   EXPECT_FALSE(IsGround(MustParseQuery("Q() <- R(x)")));
 }
 
+// ---------------------------------------------------------------------------
+// AnswersTouching (the dirty-answer seed of the streaming path)
+// ---------------------------------------------------------------------------
+
+// Reference: the distinct answers with at least one homomorphism using
+// `fact`, straight from the full homomorphism list.
+std::vector<Tuple> TouchingByEnumeration(const ConjunctiveQuery& q,
+                                         const Database& db, FactId fact) {
+  std::vector<Tuple> touching;
+  for (const Homomorphism& hom : EnumerateHomomorphisms(q, db)) {
+    if (std::find(hom.used_facts.begin(), hom.used_facts.end(), fact) !=
+        hom.used_facts.end()) {
+      touching.push_back(hom.answer);
+    }
+  }
+  std::sort(touching.begin(), touching.end());
+  touching.erase(std::unique(touching.begin(), touching.end()),
+                 touching.end());
+  return touching;
+}
+
+TEST(AnswersTouchingTest, MatchesHomomorphismReference) {
+  Database db;
+  db.AddEndogenous("R", {Value(1), Value(2)});
+  db.AddEndogenous("R", {Value(1), Value(3)});
+  db.AddEndogenous("R", {Value(4), Value(2)});
+  db.AddEndogenous("S", {Value(2)});
+  db.AddEndogenous("S", {Value(3)});
+  db.AddExogenous("S", {Value(5)});
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  for (FactId fact = 0; fact < db.num_facts(); ++fact) {
+    EXPECT_EQ(AnswersTouching(q, db, fact),
+              TouchingByEnumeration(q, db, fact))
+        << "fact " << db.fact(fact).ToString();
+  }
+}
+
+TEST(AnswersTouchingTest, SelfJoinPinsEveryAtomOccurrence) {
+  // R appears twice: a fact can touch an answer through either atom.
+  Database db;
+  db.AddEndogenous("R", {Value(1), Value(2)});
+  db.AddEndogenous("R", {Value(2), Value(3)});
+  db.AddEndogenous("R", {Value(2), Value(2)});
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), R(y, z)");
+  for (FactId fact = 0; fact < db.num_facts(); ++fact) {
+    EXPECT_EQ(AnswersTouching(q, db, fact),
+              TouchingByEnumeration(q, db, fact))
+        << "fact " << db.fact(fact).ToString();
+  }
+}
+
+TEST(AnswersTouchingTest, OneFactTouchesStrictlyFewerThanAllAnswers) {
+  // The streaming claim in one unit: with many disjoint answers, a single
+  // fact's dirty set must not sweep the whole answer space.
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    db.AddEndogenous("R", {Value(i), Value(100 + i)});
+    db.AddEndogenous("S", {Value(100 + i)});
+  }
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  size_t all = Evaluate(q, db).size();
+  ASSERT_EQ(all, 10u);
+  std::vector<Tuple> dirty = AnswersTouching(q, db, /*fact=*/0);
+  EXPECT_EQ(dirty.size(), 1u);
+  EXPECT_LT(dirty.size(), all);
+}
+
 }  // namespace
 }  // namespace shapcq

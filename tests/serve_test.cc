@@ -195,6 +195,57 @@ TEST(ProtocolTest, ResponseRoundTrips) {
   EXPECT_EQ(parsed->results[0].value, 1.0 / 3.0);  // bitwise via %.17g
 }
 
+TEST(ProtocolTest, MutationRequestsRoundTrip) {
+  auto insert = ParseRequestLine(
+      SerializeInsertFact(4, "acme", "+R(3, 4)", "Q(x) <- R(x, y)"));
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_EQ(insert->op, RequestEnvelope::Op::kInsertFact);
+  EXPECT_EQ(insert->id, 4u);
+  EXPECT_EQ(insert->tenant, "acme");
+  EXPECT_EQ(insert->fact, "+R(3, 4)");
+  EXPECT_EQ(insert->dirty_query, "Q(x) <- R(x, y)");
+
+  auto del = ParseRequestLine(SerializeDeleteFact(5, "acme", "R(3, 4)"));
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del->op, RequestEnvelope::Op::kDeleteFact);
+  EXPECT_EQ(del->fact, "R(3, 4)");
+  EXPECT_EQ(del->fact_id, -1);
+  EXPECT_EQ(del->dirty_query, "");
+
+  auto by_id = ParseRequestLine(
+      R"({"op":"delete_fact","id":6,"tenant":"acme","fact_id":8})");
+  ASSERT_TRUE(by_id.ok()) << by_id.status().ToString();
+  EXPECT_EQ(by_id->fact_id, 8);
+
+  // tenant and a fact (or fact_id) are mandatory.
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"insert_fact","tenant":"acme"})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"js({"op":"insert_fact","fact":"+R(1)"})js").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"delete_fact","tenant":"acme"})").ok());
+}
+
+TEST(ProtocolTest, MutationResponseRoundTrips) {
+  SolveResponse response;
+  response.id = 9;
+  response.status = "ok";
+  response.mutation = true;
+  response.fact_id = 42;
+  response.epoch = 7;
+  response.tombstones = 3;
+  response.dirty_answers = 2;
+  response.compacted = true;
+  auto parsed = ParseResponseLine(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->mutation);
+  EXPECT_EQ(parsed->fact_id, 42);
+  EXPECT_EQ(parsed->epoch, 7u);
+  EXPECT_EQ(parsed->tombstones, 3);
+  EXPECT_EQ(parsed->dirty_answers, 2);
+  EXPECT_TRUE(parsed->compacted);
+}
+
 // ---------------------------------------------------------------------------
 // Journal
 // ---------------------------------------------------------------------------
@@ -273,6 +324,74 @@ TEST(JournalTest, RejectsBadMagic) {
   std::fclose(file);
   EXPECT_FALSE(ReadJournal(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(JournalTest, MutationRecordsRoundTrip) {
+  std::string path = TempPath("journal_mutations");
+  {
+    auto writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    JournalRecord insert = MakeRecord(0, "acme");
+    insert.op = JournalOp::kInsertFact;
+    insert.fact = "+R(7, 'x')";
+    ASSERT_TRUE((*writer)->Append(insert).ok());
+    JournalRecord del = MakeRecord(1, "acme");
+    del.op = JournalOp::kDeleteFact;
+    del.fact = "R(7, 'x')";
+    ASSERT_TRUE((*writer)->Append(del).ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(2, "acme")).ok());
+  }
+  auto records = ReadJournal(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].op, JournalOp::kInsertFact);
+  EXPECT_EQ((*records)[0].fact, "+R(7, 'x')");
+  EXPECT_EQ((*records)[1].op, JournalOp::kDeleteFact);
+  EXPECT_EQ((*records)[1].fact, "R(7, 'x')");
+  EXPECT_EQ((*records)[2].op, JournalOp::kSolve);
+  EXPECT_EQ((*records)[2].fact, "");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, RotatesBySizeAndChainReadsAllSegments) {
+  std::string path = TempPath("journal_rotation");
+  constexpr uint64_t kMaxSegmentBytes = 200;
+  uint64_t segments = 0;
+  {
+    auto writer = JournalWriter::Open(path, kMaxSegmentBytes);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*writer)->Append(MakeRecord(i, "acme")).ok());
+    }
+    segments = (*writer)->segments();
+    EXPECT_GT(segments, 1u) << "journal never rotated";
+  }
+  // Each segment individually is a valid journal whose sequences continue
+  // where the previous segment stopped...
+  uint64_t next_sequence = 0;
+  for (uint64_t segment = 0; segment < segments; ++segment) {
+    std::string segment_path =
+        segment == 0 ? path : path + "." + std::to_string(segment);
+    auto part = ReadJournal(segment_path);
+    ASSERT_TRUE(part.ok()) << part.status().ToString();
+    ASSERT_FALSE(part->empty()) << "empty segment " << segment;
+    EXPECT_EQ(part->front().sequence, next_sequence);
+    next_sequence = part->back().sequence + 1;
+  }
+  EXPECT_EQ(next_sequence, 12u);
+  // ...and the chain reader stitches them back into one contiguous run.
+  auto all = ReadJournalChain(path);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 12u);
+  for (uint64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ((*all)[i].sequence, i);
+    EXPECT_EQ((*all)[i].request.id, i);
+  }
+  for (uint64_t segment = 0; segment < segments; ++segment) {
+    std::string segment_path =
+        segment == 0 ? path : path + "." + std::to_string(segment);
+    std::remove(segment_path.c_str());
+  }
 }
 
 // ---------------------------------------------------------------------------

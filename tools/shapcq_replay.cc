@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
   }
   if (journal_path.empty()) Usage(argv[0]);
 
-  StatusOr<std::vector<JournalRecord>> records = ReadJournal(journal_path);
+  // ReadJournalChain follows size-rotated segments (PATH, PATH.1, ...);
+  // an unrotated journal is just a one-segment chain.
+  StatusOr<std::vector<JournalRecord>> records = ReadJournalChain(journal_path);
   if (!records.ok()) {
     std::fprintf(stderr, "read failed: %s\n",
                  records.status().ToString().c_str());
@@ -92,8 +94,15 @@ int main(int argc, char** argv) {
 
   if (dump) {
     for (size_t i = 0; i < replay->results.size(); ++i) {
-      std::printf("record %zu (%s):\n", i,
-                  (*records)[i].request.query.c_str());
+      const JournalRecord& record = (*records)[i];
+      if (record.op != JournalOp::kSolve) {
+        std::printf("record %zu (%s %s)\n", i,
+                    record.op == JournalOp::kInsertFact ? "insert_fact"
+                                                        : "delete_fact",
+                    record.fact.c_str());
+        continue;
+      }
+      std::printf("record %zu (%s):\n", i, record.request.query.c_str());
       for (const auto& [fact, result] : replay->results[i]) {
         std::printf("  fact %d  %s  [%s]\n", fact,
                     result.is_exact ? result.exact.ToString().c_str()
@@ -104,13 +113,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "replayed %llu records: warm %.1f ms, cold %.1f ms, "
+      "replayed %llu records (%llu mutations): warm %.1f ms, cold %.1f ms, "
       "%llu warm cache hits, %llu/%llu fingerprints match\n",
-      static_cast<unsigned long long>(replay->records), replay->warm_ms,
+      static_cast<unsigned long long>(replay->records),
+      static_cast<unsigned long long>(replay->mutations), replay->warm_ms,
       replay->cold_ms,
       static_cast<unsigned long long>(replay->plan_cache_hits),
       static_cast<unsigned long long>(replay->fingerprint_matches),
-      static_cast<unsigned long long>(replay->records));
+      static_cast<unsigned long long>(
+          replay->records - replay->mutations));
   if (options.run_cold_pass) {
     std::printf("warm and cold passes bitwise identical\n");
   }

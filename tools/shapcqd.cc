@@ -7,12 +7,19 @@
 //
 // Usage:
 //   shapcqd [--port N] [--metrics-port N|-1] [--workers N]
-//           [--journal PATH] [--tenant NAME=DB_FILE]...
+//           [--journal PATH] [--journal-max-bytes N]
+//           [--tenant NAME=DB_FILE]...
 //           [--max-in-flight N] [--max-queue N] [--no-load-tenant]
+//           [--no-mutations] [--compact-min-tombstones N]
 //
 // Ports default to 0 (ephemeral; the bound ports are printed on
 // startup). Tenants load from db_io.h plain-text files and can also be
 // registered over the wire (op:"load_tenant") unless --no-load-tenant.
+// --journal-max-bytes rotates the journal by size (segment 0 at PATH,
+// older segments at PATH.1, PATH.2, ...; 0 = never rotate).
+// --no-mutations refuses the insert_fact/delete_fact ops;
+// --compact-min-tombstones tunes the auto-compaction trigger (<= 0
+// disables it).
 
 #include <csignal>
 #include <cstdio>
@@ -36,8 +43,10 @@ void HandleSignal(int) { g_stop = 1; }
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--metrics-port N|-1] [--workers N]\n"
-      "          [--journal PATH] [--tenant NAME=DB_FILE]...\n"
-      "          [--max-in-flight N] [--max-queue N] [--no-load-tenant]\n",
+      "          [--journal PATH] [--journal-max-bytes N]\n"
+      "          [--tenant NAME=DB_FILE]...\n"
+      "          [--max-in-flight N] [--max-queue N] [--no-load-tenant]\n"
+      "          [--no-mutations] [--compact-min-tombstones N]\n",
       argv0);
   std::exit(2);
 }
@@ -72,8 +81,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--journal") {
       if (i + 1 >= argc) Usage(argv[0]);
       options.journal_path = argv[++i];
+    } else if (arg == "--journal-max-bytes") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      options.journal_max_segment_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-load-tenant") {
       options.allow_load_tenant = false;
+    } else if (arg == "--no-mutations") {
+      options.allow_mutations = false;
+    } else if (arg == "--compact-min-tombstones") {
+      options.compact_min_tombstones = IntFlag(argv[0], argc, argv, &i);
     } else if (arg == "--tenant") {
       if (i + 1 >= argc) Usage(argv[0]);
       std::string spec = argv[++i];
