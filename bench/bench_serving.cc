@@ -25,6 +25,8 @@
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/agg/value_function.h"
 #include "shapcq/data/database.h"
+#include "shapcq/lineage/circuit_cache.h"
+#include "shapcq/persist/artifact.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/shapley/session.h"
@@ -147,6 +149,127 @@ bool RunWorkload(const char* label, const AggregateQuery& a, int tenants,
   return identical;
 }
 
+// Tenant t = base with every integer constant shifted into its own range:
+// the same lineage shapes under disjoint constants, the regime the
+// cross-tenant circuit cache and the artifact store serve.
+Database ShiftedCopy(const Database& base, int64_t shift) {
+  Database copy;
+  for (FactId id = 0; id < base.num_facts(); ++id) {
+    const Fact& fact = base.fact(id);
+    Tuple args;
+    args.reserve(fact.args.size());
+    for (const Value& v : fact.args) {
+      args.push_back(v.kind() == Value::Kind::kInt ? Value(v.AsInt() + shift)
+                                                   : v);
+    }
+    copy.AddFact(fact.relation, std::move(args), fact.endogenous);
+  }
+  return copy;
+}
+
+// Warm-start restart: cold boot (empty caches — every circuit compiles)
+// vs. warm boot (artifact load, then serve) on a non-hierarchical
+// workload, both timed to the first answer. The non-hierarchical triangle
+// keeps the tractable DPs out, so requests ride the lineage-circuit
+// engine whose compiled state persist/artifact.h snapshots.
+bool RunWarmStartRestart(int tenants, int facts_per_relation,
+                         uint64_t seed) {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y, z), T(z, x)");
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Count()};
+  std::printf("warm-start restart: %s\n", a.ToString().c_str());
+
+  RandomDatabaseOptions db_options;
+  db_options.facts_per_relation = facts_per_relation;
+  db_options.endogenous_percent = 90;
+  db_options.seed = seed;
+  Database base = RandomDatabaseForQuery(q, db_options);
+  std::vector<Database> fleet;
+  fleet.reserve(static_cast<size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    fleet.push_back(ShiftedCopy(base, static_cast<int64_t>(t) * 1000000));
+  }
+  std::printf("tenants=%d facts/relation=%d endogenous/tenant=%d\n", tenants,
+              facts_per_relation, base.num_endogenous());
+  bench::Rule();
+
+  SolverOptions options;
+  options.num_threads = 1;
+
+  // Populate pass: fills the global plan + circuit caches (the serving
+  // path's own sharing), then snapshots them to the artifact directory.
+  PlanCache::Global().Clear();
+  CircuitCache::Global().Clear();
+  std::vector<Results> expected(static_cast<size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    expected[static_cast<size_t>(t)] =
+        MustComputeAll(PlanCache::Global().GetOrCompile(a),
+                       fleet[static_cast<size_t>(t)], options);
+  }
+  const std::string artifact_dir =
+      "/tmp/shapcq_bench_serving_artifacts_" + std::to_string(seed);
+  ArtifactWriter writer(artifact_dir);
+  auto plans_written = writer.WritePlans(PlanCache::Global().Snapshot());
+  auto circuits_written =
+      writer.WriteCircuits(CircuitCache::Global().Snapshot());
+  if (!plans_written.ok() || !circuits_written.ok()) {
+    std::fprintf(stderr, "artifact write failed\n");
+    return false;
+  }
+
+  // Cold restart: empty caches, the first answer pays plan compilation,
+  // lineage extraction, circuit compilation, and model counting.
+  PlanCache::Global().Clear();
+  CircuitCache::Global().Clear();
+  Results cold_first;
+  double cold_first_ms = bench::TimeMs([&] {
+    cold_first = MustComputeAll(PlanCache::Global().GetOrCompile(a),
+                                fleet[0], options);
+  });
+
+  // Warm restart: load the artifacts, then serve — the first answer pays
+  // decode + validation + extraction, but no compilation or counting.
+  PlanCache::Global().Clear();
+  CircuitCache::Global().Clear();
+  Results warm_first;
+  double warm_first_ms = bench::TimeMs([&] {
+    ArtifactReader reader(artifact_dir);
+    auto plans = reader.ReadPlans(&PlanCache::Global());
+    auto circuits = reader.ReadCircuits(&CircuitCache::Global());
+    if (!plans.ok() || !circuits.ok() || circuits->circuits == 0) {
+      std::fprintf(stderr, "artifact load failed\n");
+      std::exit(1);
+    }
+    warm_first = MustComputeAll(PlanCache::Global().GetOrCompile(a),
+                                fleet[0], options);
+  });
+
+  bool identical = Identical(cold_first, expected[0]) &&
+                   Identical(warm_first, expected[0]);
+  double speedup = warm_first_ms > 0 ? cold_first_ms / warm_first_ms : 0.0;
+  std::printf("restart to first answer: cold %8.2f ms   warm %8.2f ms "
+              "(%.2fx)\n",
+              cold_first_ms, warm_first_ms, speedup);
+  std::printf("identical results: %s\n\n", identical ? "yes" : "NO — BUG");
+  bench::JsonLine("serving_warm_start")
+      .Str("query", q.ToString())
+      .Int("tenants", tenants)
+      .Int("facts_per_relation", facts_per_relation)
+      .Int("endogenous_per_tenant", base.num_endogenous())
+      .Int("circuits_persisted",
+           static_cast<long long>(circuits_written->circuits))
+      .Int("artifact_bytes",
+           static_cast<long long>(plans_written->bytes +
+                                  circuits_written->bytes))
+      .Num("cold_first_answer_ms", cold_first_ms)
+      .Num("warm_first_answer_ms", warm_first_ms)
+      .Num("first_answer_speedup", speedup)
+      .Bool("identical", identical)
+      .Emit();
+  std::remove((artifact_dir + "/" + kPlanArtifactFile).c_str());
+  std::remove((artifact_dir + "/" + kCircuitArtifactFile).c_str());
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +305,13 @@ int main(int argc, char** argv) {
                      seed + 1) &&
          ok;
   }
+
+  // Restart-to-first-answer, cold vs. warm-started from the artifact
+  // store (smaller fleet: the phase measures boot latency, not sweep
+  // throughput).
+  ok = RunWarmStartRestart(args.smoke ? 4 : 16,
+                           args.smoke ? 8 : 20, seed + 2) &&
+       ok;
 
   return ok ? 0 : 1;
 }

@@ -179,6 +179,69 @@ ValueFunctionPtr MakeCallbackTau(std::function<Rational(const Tuple&)> fn,
                                        std::move(name));
 }
 
+namespace {
+
+// Parses the 1-based "^<i>" head-index suffix of a tau token.
+StatusOr<int> ParseHeadIndexSuffix(std::string_view digits) {
+  if (digits.empty()) return InvalidArgumentError("missing head index");
+  int value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9' || value > 100000000) {
+      return InvalidArgumentError("bad head index in tau token");
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value > 100000000) {
+    return InvalidArgumentError("bad head index in tau token");
+  }
+  if (value < 1) return InvalidArgumentError("head index must be >= 1");
+  return value - 1;
+}
+
+}  // namespace
+
+StatusOr<ValueFunctionPtr> ParseCanonicalTauToken(std::string_view token) {
+  constexpr std::string_view kConstPrefix = "const(";
+  constexpr std::string_view kIdPrefix = "tau_id^";
+  constexpr std::string_view kGreaterPrefix = "tau_>";
+  constexpr std::string_view kReluPrefix = "tau_ReLU^";
+  if (token.substr(0, kConstPrefix.size()) == kConstPrefix &&
+      !token.empty() && token.back() == ')') {
+    StatusOr<Rational> c = Rational::FromString(token.substr(
+        kConstPrefix.size(), token.size() - kConstPrefix.size() - 1));
+    if (!c.ok()) return c.status();
+    return MakeConstantTau(std::move(c).value());
+  }
+  if (token.substr(0, kIdPrefix.size()) == kIdPrefix) {
+    StatusOr<int> index =
+        ParseHeadIndexSuffix(token.substr(kIdPrefix.size()));
+    if (!index.ok()) return index.status();
+    return MakeTauId(*index);
+  }
+  if (token.substr(0, kReluPrefix.size()) == kReluPrefix) {
+    StatusOr<int> index =
+        ParseHeadIndexSuffix(token.substr(kReluPrefix.size()));
+    if (!index.ok()) return index.status();
+    return MakeTauReLU(*index);
+  }
+  if (token.substr(0, kGreaterPrefix.size()) == kGreaterPrefix) {
+    // The threshold may not contain '^' (rational rendering), so the last
+    // '^' separates it from the head index.
+    size_t caret = token.rfind('^');
+    if (caret == std::string_view::npos || caret <= kGreaterPrefix.size()) {
+      return InvalidArgumentError("malformed tau_> token");
+    }
+    StatusOr<Rational> b = Rational::FromString(
+        token.substr(kGreaterPrefix.size(), caret - kGreaterPrefix.size()));
+    if (!b.ok()) return b.status();
+    StatusOr<int> index = ParseHeadIndexSuffix(token.substr(caret + 1));
+    if (!index.ok()) return index.status();
+    return MakeTauGreaterThan(*index, std::move(b).value());
+  }
+  return InvalidArgumentError("not a canonical tau token: " +
+                              std::string(token));
+}
+
 std::vector<int> LocalizationAtoms(const ConjunctiveQuery& q,
                                    const ValueFunction& tau) {
   std::vector<int> depends_on = tau.DependsOn();

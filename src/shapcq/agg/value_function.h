@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "shapcq/data/value.h"
@@ -89,6 +90,15 @@ ValueFunctionPtr MakeComposedTau(std::function<Rational(const Rational&)> gamma,
 ValueFunctionPtr MakeCallbackTau(std::function<Rational(const Tuple&)> fn,
                                  std::vector<int> depends_on,
                                  std::string name);
+
+// Parses a canonical FingerprintToken back into its value function —
+// the inverse of FingerprintToken for the built-ins above:
+//   const(<rational>)   tau_id^<i>   tau_><b>^<i>   tau_ReLU^<i>
+// (head indices are 1-based in tokens, matching ToString). Tokens of
+// non-canonical taus (opaque callbacks) and malformed text fail with
+// INVALID_ARGUMENT. Used by the persisted-plan loader (persist/artifact.h)
+// to reconstruct plans from their recorded fingerprints.
+StatusOr<ValueFunctionPtr> ParseCanonicalTauToken(std::string_view token);
 
 // Indices of the atoms of `q` on which `tau` is localized: atoms containing
 // every head variable that `tau` depends on. Empty if none (then `tau` is

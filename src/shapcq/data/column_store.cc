@@ -11,6 +11,14 @@
 #if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
 #define SHAPCQ_SIMD_SSE2 1
 #include <emmintrin.h>
+// AVX2 widens the block kernel to 8 lanes. It needs no -march flag: the
+// kernel is compiled with a per-function target attribute and selected at
+// runtime via cpuid, so the same binary runs on pre-AVX2 machines (GCC and
+// Clang only; other compilers keep the SSE2 kernel).
+#if defined(__GNUC__) || defined(__clang__)
+#define SHAPCQ_SIMD_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
 #elif defined(__aarch64__) || defined(__ARM_NEON)
 #define SHAPCQ_SIMD_NEON 1
 #include <arm_neon.h>
@@ -236,6 +244,66 @@ std::vector<FactId> IntersectPairSimd(const std::vector<FactId>& a,
   return out;
 }
 
+#if defined(SHAPCQ_SIMD_AVX2_DISPATCH)
+
+// 8-lane widening of IntersectPairSimd. Same advance argument with block
+// width 8: ib += 8 only when b[ib+7] < x, so no candidate present at a
+// position >= ib is ever skipped.
+__attribute__((target("avx2"))) std::vector<FactId> IntersectPairAvx2(
+    const std::vector<FactId>& a, const std::vector<FactId>& b) {
+  static_assert(sizeof(FactId) == 4, "block kernel assumes 32-bit FactId");
+  std::vector<FactId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t ia = 0;
+  size_t ib = 0;
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  while (ia < na && ib + 8 <= nb) {
+    const FactId x = a[ia];
+    const __m256i xv = _mm256_set1_epi32(x);
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + ib));
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi32(xv, bv));
+    if (mask != 0) {
+      out.push_back(x);
+      while (b[ib] != x) ++ib;
+      ++ib;
+      ++ia;
+    } else if (b[ib + 7] < x) {
+      ib += 8;
+    } else {
+      ++ia;
+    }
+  }
+  // Scalar merge tail for the last < 8 elements of b.
+  while (ia < na && ib < nb) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      out.push_back(a[ia]);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+#endif  // SHAPCQ_SIMD_AVX2_DISPATCH
+
+// The block-kernel entry point: the widest kernel this machine supports.
+// The cpuid probe is cached in a function-local static, so the per-call
+// cost is one predictable branch.
+std::vector<FactId> IntersectPairBlock(const std::vector<FactId>& a,
+                                       const std::vector<FactId>& b) {
+#if defined(SHAPCQ_SIMD_AVX2_DISPATCH)
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) return IntersectPairAvx2(a, b);
+#endif
+  return IntersectPairSimd(a, b);
+}
+
 #endif  // SHAPCQ_SIMD_SSE2 || SHAPCQ_SIMD_NEON
 
 }  // namespace
@@ -276,6 +344,19 @@ bool SimdIntersectionAvailable() {
 #endif
 }
 
+const char* SimdIntersectionKernelName() {
+#if defined(SHAPCQ_SIMD_AVX2_DISPATCH)
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  return "sse2";
+#elif defined(SHAPCQ_SIMD_SSE2)
+  return "sse2";
+#elif defined(SHAPCQ_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
 std::vector<FactId> IntersectPostingsLive(
     std::vector<const std::vector<FactId>*> lists,
     const std::vector<char>& dead) {
@@ -309,14 +390,14 @@ std::vector<FactId> IntersectPostings(
                          kSimdSkewLimit) {
       return IntersectPairGallop(a, b);
     }
-    return IntersectPairSimd(a, b);
+    return IntersectPairBlock(a, b);
   }();
   for (size_t i = 2; i < lists.size() && !current.empty(); ++i) {
     const std::vector<FactId>& next = *lists[i];
     if (next.size() / current.size() >= kSimdSkewLimit) {
       current = IntersectPairGallop(current, next);
     } else {
-      current = IntersectPairSimd(current, next);
+      current = IntersectPairBlock(current, next);
     }
   }
   return current;

@@ -115,6 +115,10 @@ std::vector<FactId> IntersectPostingsScalar(
 // (SHAPCQ_SIMD enabled and a supported instruction set detected).
 bool SimdIntersectionAvailable();
 
+// The block kernel IntersectPostings actually runs on this machine:
+// "avx2" (runtime-dispatched 8-lane), "sse2", "neon", or "scalar".
+const char* SimdIntersectionKernelName();
+
 // Tombstone-aware intersection: IntersectPostings, then ids marked in
 // `dead` (indexed by FactId; ids at or past dead.size() are live) are
 // dropped from the result. Callers pass the Database's tombstone bitset so

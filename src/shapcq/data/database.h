@@ -103,8 +103,10 @@ class Database {
   void CompactTombstones();
 
   // Monotonic mutation counter: bumped by AddFact/InsertFact/DeleteFact/
-  // CompactTombstones. Equal epochs on the same object imply identical
-  // contents.
+  // CompactTombstones, and by SetEndogenous when it actually flips a flag
+  // (the endogenous partition is part of the semantic state a
+  // StreamingSolver keys its cached contributions on). Equal epochs on
+  // the same object imply identical contents.
   uint64_t epoch() const { return epoch_; }
   // False for tombstoned ids (forever, even after compaction).
   bool live(FactId id) const {
@@ -184,7 +186,9 @@ class Database {
 
   // Flips the endogenous flag of `id` in place. Unlike WithFactExogenous
   // this is O(1): batched engines use it to realize the paper's derived
-  // databases F (fact exogenous) without copying the database per fact.
+  // databases F (fact exogenous) without copying the database per fact —
+  // always on their own local copies. Bumps epoch when the flag actually
+  // changes (a no-op flip does not).
   void SetEndogenous(FactId id, bool endogenous);
 
   // Returns a copy where fact `id` is exogenous (the database F of the

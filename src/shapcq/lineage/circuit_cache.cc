@@ -1,0 +1,230 @@
+#include "shapcq/lineage/circuit_cache.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace shapcq {
+
+namespace {
+
+// Relabel-by-first-occurrence can un-sort clause internals and clause
+// order; a couple of relabel+sort rounds reach a fixpoint for every
+// practical lineage (the loop is bounded either way — a non-converging
+// automorphism orbit still yields a deterministic form).
+constexpr int kCanonicalizeRounds = 4;
+
+void SortClauses(std::vector<std::vector<int>>* clauses) {
+  for (std::vector<int>& clause : *clauses) {
+    std::sort(clause.begin(), clause.end());
+  }
+  std::sort(clauses->begin(), clauses->end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+}
+
+}  // namespace
+
+CanonicalClauseForm CanonicalizeClauses(
+    const std::vector<std::vector<int>>& minimized) {
+  CanonicalClauseForm form;
+  // Round 0: densify the arbitrary literals by first occurrence.
+  std::unordered_map<int, int> dense;
+  dense.reserve(minimized.size() * 2);
+  form.clauses.reserve(minimized.size());
+  for (const std::vector<int>& clause : minimized) {
+    std::vector<int> relabelled;
+    relabelled.reserve(clause.size());
+    for (int literal : clause) {
+      auto [it, inserted] =
+          dense.emplace(literal, static_cast<int>(form.to_input.size()));
+      if (inserted) form.to_input.push_back(literal);
+      relabelled.push_back(it->second);
+    }
+    form.clauses.push_back(std::move(relabelled));
+  }
+  form.num_vars = static_cast<int>(form.to_input.size());
+  SortClauses(&form.clauses);
+
+  // Rounds 1..k: relabel by first occurrence in the sorted clause order,
+  // re-sort, repeat until the labelling is the identity (fixpoint).
+  for (int round = 0; round < kCanonicalizeRounds; ++round) {
+    std::vector<int> relabel(static_cast<size_t>(form.num_vars), -1);
+    int next = 0;
+    for (const std::vector<int>& clause : form.clauses) {
+      for (int v : clause) {
+        if (relabel[static_cast<size_t>(v)] < 0) {
+          relabel[static_cast<size_t>(v)] = next++;
+        }
+      }
+    }
+    bool identity = true;
+    for (int v = 0; v < form.num_vars; ++v) {
+      if (relabel[static_cast<size_t>(v)] != v) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) break;
+    for (std::vector<int>& clause : form.clauses) {
+      for (int& v : clause) v = relabel[static_cast<size_t>(v)];
+    }
+    std::vector<int> to_input(form.to_input.size());
+    for (int v = 0; v < form.num_vars; ++v) {
+      to_input[static_cast<size_t>(relabel[static_cast<size_t>(v)])] =
+          form.to_input[static_cast<size_t>(v)];
+    }
+    form.to_input = std::move(to_input);
+    SortClauses(&form.clauses);
+  }
+  return form;
+}
+
+uint64_t CanonicalClauseHash(const std::vector<std::vector<int>>& canonical) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(canonical.size());
+  for (const std::vector<int>& clause : canonical) {
+    mix(clause.size());
+    for (int literal : clause) mix(static_cast<uint64_t>(literal));
+  }
+  return h;
+}
+
+size_t ApproxCircuitEntryBytes(const CircuitCacheEntry& entry) {
+  size_t bytes = sizeof(CircuitCacheEntry);
+  for (const std::vector<int>& clause : entry.clauses) {
+    bytes += sizeof(clause) + clause.capacity() * sizeof(int);
+  }
+  bytes += entry.circuit.nodes.capacity() * sizeof(LineageCircuit::Node);
+  bytes += entry.circuit.var_pool.capacity() * sizeof(int);
+  bytes += entry.circuit.child_pool.capacity() * sizeof(int);
+  auto bigint_bytes = [](const BigInt& v) {
+    return sizeof(BigInt) + static_cast<size_t>(v.num_limbs32()) * 4;
+  };
+  for (const BigInt& v : entry.counts.by_size) bytes += bigint_bytes(v);
+  for (const std::vector<BigInt>& row : entry.counts.containing) {
+    bytes += sizeof(row);
+    for (const BigInt& v : row) bytes += bigint_bytes(v);
+  }
+  return bytes;
+}
+
+CircuitCache& CircuitCache::Global() {
+  static CircuitCache* cache = new CircuitCache();
+  return *cache;
+}
+
+std::shared_ptr<const CircuitCacheEntry> CircuitCache::FindLocked(
+    uint64_t hash, const std::vector<std::vector<int>>& canonical) const {
+  auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) return nullptr;
+  for (const std::shared_ptr<const CircuitCacheEntry>& entry :
+       bucket->second) {
+    if (entry->clauses == canonical) return entry;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const CircuitCacheEntry> CircuitCache::Lookup(
+    const std::vector<std::vector<int>>& canonical,
+    const CircuitBudget& budget) {
+  const uint64_t hash = CanonicalClauseHash(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const CircuitCacheEntry> entry =
+      FindLocked(hash, canonical);
+  // Node construction is monotone and compilation deterministic, so the
+  // resident node count IS what a fresh compile would produce: an entry
+  // over the caller's budget means that compile would fail, and reporting
+  // a miss makes the caller fail identically.
+  if (entry != nullptr &&
+      (entry->circuit.num_nodes() > budget.max_nodes ||
+       entry->num_vars > budget.max_vars ||
+       static_cast<int64_t>(entry->clauses.size()) > budget.max_clauses)) {
+    entry = nullptr;
+  }
+  if (entry != nullptr) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return entry;
+}
+
+std::shared_ptr<const CircuitCacheEntry> CircuitCache::Insert(
+    std::shared_ptr<CircuitCacheEntry> entry) {
+  entry->bytes = ApproxCircuitEntryBytes(*entry);
+  const uint64_t hash = CanonicalClauseHash(entry->clauses);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const CircuitCacheEntry> resident =
+      FindLocked(hash, entry->clauses);
+  if (resident != nullptr) return resident;  // first insert won already
+  if (entry->bytes > max_bytes_) return entry;  // never evict the world
+  std::shared_ptr<const CircuitCacheEntry> inserted = std::move(entry);
+  buckets_[hash].push_back(inserted);
+  insertion_order_.push_back(inserted);
+  bytes_ += inserted->bytes;
+  ++inserts_;
+  while ((insertion_order_.size() > max_entries_ || bytes_ > max_bytes_) &&
+         !insertion_order_.empty()) {
+    EvictLocked();
+  }
+  return inserted;
+}
+
+void CircuitCache::EvictLocked() {
+  std::shared_ptr<const CircuitCacheEntry> victim =
+      std::move(insertion_order_.front());
+  insertion_order_.pop_front();
+  bytes_ -= victim->bytes;
+  ++evictions_;
+  const uint64_t hash = CanonicalClauseHash(victim->clauses);
+  auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) return;
+  auto& chain = bucket->second;
+  for (auto it = chain.begin(); it != chain.end(); ++it) {
+    if (it->get() == victim.get()) {
+      chain.erase(it);
+      break;
+    }
+  }
+  if (chain.empty()) buckets_.erase(bucket);
+}
+
+std::vector<std::shared_ptr<const CircuitCacheEntry>> CircuitCache::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {insertion_order_.begin(), insertion_order_.end()};
+}
+
+CircuitCache::Stats CircuitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.inserts = inserts_;
+  stats.entries = static_cast<uint64_t>(insertion_order_.size());
+  stats.bytes = static_cast<uint64_t>(bytes_);
+  stats.evictions = evictions_;
+  return stats;
+}
+
+void CircuitCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  insertion_order_.clear();
+  bytes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  inserts_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace shapcq

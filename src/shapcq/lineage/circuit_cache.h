@@ -1,0 +1,156 @@
+// Cross-tenant cache of compiled answer circuits, keyed by a canonical
+// clause-set form.
+//
+// Tenants whose per-answer lineages share *shape* — the same minimized
+// monotone DNF up to a renaming of the fact ids — recompile identical
+// decision-DNNF circuits today. CanonicalizeClauses computes a
+// renaming-invariant normal form: literals are relabelled 0..m-1 by first
+// occurrence and clauses re-sorted by (size, lex), iterated to a bounded
+// fixpoint, with a remap table (`to_input`) translating canonical variable
+// slots back to the caller's literals (player indices or FactIds) at
+// scoring time. Two clause sets related by a monotone renaming — exactly
+// the relation between one lineage extracted under dense player indices
+// and under raw FactIds, or between two tenants holding shifted copies of
+// the same data — canonicalize identically in one pass.
+//
+// Sharing is sound without any isomorphism check: the cache key is the
+// canonical clause set itself (the hash only buckets; lookups compare
+// clauses exactly), and everything the scoring layer reads off a cached
+// entry — the size-stratified model counts — is a semantic invariant of
+// the formula, not of the compilation. Exact BigInt/Rational arithmetic
+// then makes cached scores bitwise-identical to fresh compilation
+// (tests/circuit_cache_test.cc enforces this differentially). An
+// imperfect canonical form (two isomorphic sets normalizing differently)
+// costs a miss, never a wrong share.
+//
+// Budgets: compilation is deterministic and node construction monotone,
+// so a cached circuit fits a caller's CircuitBudget exactly when a fresh
+// compile under that budget would have succeeded. Lookup enforces this:
+// an entry exceeding the caller's budget is a miss, and the caller's own
+// compile fails with UNSUPPORTED exactly as it would uncached.
+//
+// The cache is process-wide (Global()), thread-safe, and bounded by entry
+// count and approximate bytes with FIFO eviction; evicted entries stay
+// alive through outstanding shared_ptrs. persist/artifact.h serializes
+// entries to disk for warm-starting a restarted server.
+
+#ifndef SHAPCQ_LINEAGE_CIRCUIT_CACHE_H_
+#define SHAPCQ_LINEAGE_CIRCUIT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "shapcq/lineage/circuit.h"
+
+namespace shapcq {
+
+// The canonical clause-set form of a minimized monotone DNF.
+struct CanonicalClauseForm {
+  // Clauses over canonical variables 0..num_vars-1: literals sorted within
+  // each clause, clauses sorted by (size, lex).
+  std::vector<std::vector<int>> clauses;
+  // to_input[v] = the caller's literal behind canonical variable v.
+  std::vector<int> to_input;
+  int num_vars = 0;
+};
+
+// Canonicalizes a *minimized* clause set (MinimizeClauses) whose literals
+// are arbitrary non-negative ints. Deterministic; invariant under monotone
+// literal renamings (and usually under arbitrary ones — a residual
+// difference only costs cache misses).
+CanonicalClauseForm CanonicalizeClauses(
+    const std::vector<std::vector<int>>& minimized);
+
+// FNV-1a hash of a canonical clause set — the cache's bucket key and the
+// per-entry fingerprint recorded in persisted artifacts.
+uint64_t CanonicalClauseHash(const std::vector<std::vector<int>>& canonical);
+
+// One compiled-and-counted canonical formula. Immutable once cached.
+struct CircuitCacheEntry {
+  std::vector<std::vector<int>> clauses;  // canonical form (the key)
+  int num_vars = 0;
+  LineageCircuit circuit;
+  CircuitModelCounts counts;
+  size_t bytes = 0;  // approximate resident footprint (set by the cache)
+};
+
+// Approximate heap footprint of an entry (clauses + arena circuit +
+// stratified counts), used for the byte budget.
+size_t ApproxCircuitEntryBytes(const CircuitCacheEntry& entry);
+
+class CircuitCache {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 4096;
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MiB
+
+  // The process-wide cache consulted by the lineage-circuit engine when
+  // LineageOptions::share_circuits is set (the default).
+  static CircuitCache& Global();
+
+  explicit CircuitCache(size_t max_entries = kDefaultMaxEntries,
+                        size_t max_bytes = kDefaultMaxBytes)
+      : max_entries_(max_entries == 0 ? 1 : max_entries),
+        max_bytes_(max_bytes) {}
+
+  // The cached entry for `canonical`, or nullptr. A resident entry that
+  // exceeds `budget` is reported as a miss: a fresh compile under that
+  // budget would fail, and the caller must observe that failure.
+  std::shared_ptr<const CircuitCacheEntry> Lookup(
+      const std::vector<std::vector<int>>& canonical,
+      const CircuitBudget& budget);
+
+  // Inserts `entry` (keyed by its clauses) unless an equal entry is
+  // already resident — the first insert wins, so concurrent compilers of
+  // one formula all end up sharing a single entry. Returns the resident
+  // entry. Entries larger than the whole byte budget are returned
+  // un-inserted rather than evicting the world.
+  std::shared_ptr<const CircuitCacheEntry> Insert(
+      std::shared_ptr<CircuitCacheEntry> entry);
+
+  // Resident entries in insertion (FIFO) order — the persistence walk.
+  std::vector<std::shared_ptr<const CircuitCacheEntry>> Snapshot() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  // Drops every entry and resets the counters. Outstanding shared_ptrs
+  // keep their entries alive.
+  void Clear();
+
+ private:
+  std::shared_ptr<const CircuitCacheEntry> FindLocked(
+      uint64_t hash, const std::vector<std::vector<int>>& canonical) const;
+  void EvictLocked();
+
+  const size_t max_entries_;
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  // hash -> resident entries with that hash (collisions chain; equality is
+  // on the clause sets).
+  std::unordered_map<uint64_t,
+                     std::vector<std::shared_ptr<const CircuitCacheEntry>>>
+      buckets_;
+  // Insertion order, the FIFO eviction queue.
+  std::deque<std::shared_ptr<const CircuitCacheEntry>> insertion_order_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_LINEAGE_CIRCUIT_CACHE_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/lineage.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
@@ -43,48 +44,56 @@ bool ConstantTrue(const AnswerLineage& lineage) {
 }
 
 // The per-answer unit of work: the indicator game of one answer, reduced
-// to the answer's own lineage variables.
+// to the answer's own lineage variables. The circuit and its stratified
+// counts live in a (possibly shared) CircuitCacheEntry over the canonical
+// variable space; `players` is the remap table translating canonical
+// variable v back to this caller's literal (global player index or
+// FactId).
 struct AnswerCircuit {
-  std::vector<int> players;  // local var -> global player index (sorted)
-  LineageCircuit circuit;
-  CircuitModelCounts counts;
+  std::vector<int> players;  // canonical var -> caller literal
+  std::shared_ptr<const CircuitCacheEntry> entry;
 };
 
-// Compiles and counts one answer's lineage over its local variable space.
+// Compiles and counts one answer's lineage over its canonical variable
+// space, consulting the cross-tenant CircuitCache first when
+// options.share_circuits is set. Sharing is bitwise-safe: the stratified
+// model counts a cached entry carries are semantic invariants of the
+// clause set, so every formula of one canonical form scores identically.
 StatusOr<AnswerCircuit> BuildAnswerCircuit(const AnswerLineage& lineage,
-                                           const CircuitBudget& budget,
+                                           const LineageOptions& options,
                                            Combinatorics* comb) {
+  std::vector<std::vector<int>> minimized = lineage.clauses;
+  MinimizeClauses(&minimized);
+  CanonicalClauseForm canonical = CanonicalizeClauses(minimized);
   AnswerCircuit built;
-  for (const std::vector<int>& clause : lineage.clauses) {
-    built.players.insert(built.players.end(), clause.begin(), clause.end());
-  }
-  std::sort(built.players.begin(), built.players.end());
-  built.players.erase(
-      std::unique(built.players.begin(), built.players.end()),
-      built.players.end());
-  std::vector<std::vector<int>> local_clauses;
-  local_clauses.reserve(lineage.clauses.size());
-  for (const std::vector<int>& clause : lineage.clauses) {
-    std::vector<int> local;
-    local.reserve(clause.size());
-    for (int player : clause) {
-      local.push_back(static_cast<int>(
-          std::lower_bound(built.players.begin(), built.players.end(),
-                           player) -
-          built.players.begin()));
+  built.players = std::move(canonical.to_input);
+  const CircuitBudget budget = BudgetFrom(options);
+  if (options.share_circuits) {
+    built.entry = CircuitCache::Global().Lookup(canonical.clauses, budget);
+    if (options.cache_counters != nullptr) {
+      std::atomic<uint64_t>& counter = built.entry != nullptr
+                                           ? options.cache_counters->hits
+                                           : options.cache_counters->misses;
+      counter.fetch_add(1, std::memory_order_relaxed);
     }
-    local_clauses.push_back(std::move(local));
+    if (built.entry != nullptr) return built;
   }
-  StatusOr<LineageCircuit> circuit =
-      CompileDnf(std::move(local_clauses),
-                 static_cast<int>(built.players.size()), budget);
+  StatusOr<LineageCircuit> circuit = CompileDnf(
+      std::vector<std::vector<int>>(canonical.clauses), canonical.num_vars,
+      budget);
   if (!circuit.ok()) {
     LineageStats::Global().RecordBudgetFallback();
     return circuit.status();
   }
-  built.circuit = std::move(circuit).value();
-  LineageStats::Global().RecordCircuit(built.circuit);
-  built.counts = CountModelsBySize(built.circuit, comb);
+  auto entry = std::make_shared<CircuitCacheEntry>();
+  entry->clauses = std::move(canonical.clauses);
+  entry->num_vars = canonical.num_vars;
+  entry->circuit = std::move(circuit).value();
+  LineageStats::Global().RecordCircuit(entry->circuit);
+  entry->counts = CountModelsBySize(entry->circuit, comb);
+  built.entry = options.share_circuits
+                    ? CircuitCache::Global().Insert(std::move(entry))
+                    : std::move(entry);
   return built;
 }
 
@@ -96,7 +105,8 @@ std::vector<std::pair<int, Rational>> ScoreAnswerCircuit(
     Combinatorics* comb) {
   const int64_t m = static_cast<int64_t>(built.players.size());
   SHAPCQ_CHECK(m >= 1);
-  const std::vector<BigInt>& total = built.counts.by_size;
+  const CircuitModelCounts& counts = built.entry->counts;
+  const std::vector<BigInt>& total = counts.by_size;
   std::vector<std::pair<int, Rational>> contributions;
   contributions.reserve(built.players.size());
   if (kind == ScoreKind::kShapley) {
@@ -109,7 +119,7 @@ std::vector<std::pair<int, Rational>> ScoreAnswerCircuit(
     }
     const BigInt& denominator = comb->Factorial(m);
     for (size_t v = 0; v < built.players.size(); ++v) {
-      const std::vector<BigInt>& with_v = built.counts.containing[v];
+      const std::vector<BigInt>& with_v = counts.containing[v];
       BigInt numerator;
       for (int64_t k = 0; k < m; ++k) {
         const size_t uk = static_cast<size_t>(k);
@@ -132,7 +142,7 @@ std::vector<std::pair<int, Rational>> ScoreAnswerCircuit(
         BigInt::TwoPow(static_cast<uint64_t>(m > 1 ? m - 1 : 0));
     for (size_t v = 0; v < built.players.size(); ++v) {
       BigInt with_v_models;
-      for (const BigInt& p : built.counts.containing[v]) {
+      for (const BigInt& p : counts.containing[v]) {
         with_v_models += p;
       }
       BigInt numerator = with_v_models + with_v_models - total_models;
@@ -194,8 +204,7 @@ StatusOr<std::vector<std::pair<int, Rational>>> ScoreAnswerClauses(
   if (clauses.empty() || ConstantTrue(lineage) || weight.is_zero()) {
     return std::vector<std::pair<int, Rational>>{};
   }
-  StatusOr<AnswerCircuit> built =
-      BuildAnswerCircuit(lineage, BudgetFrom(options), comb);
+  StatusOr<AnswerCircuit> built = BuildAnswerCircuit(lineage, options, comb);
   if (!built.ok()) return built.status();
   return ScoreAnswerCircuit(*built, weight, kind, comb);
 }
@@ -209,7 +218,6 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
   if (endo.empty()) return std::vector<std::pair<FactId, Rational>>{};
 
   const LineageSet lineage = ExtractLineage(a.query, db);
-  const CircuitBudget budget = BudgetFrom(options.lineage);
 
   // The cheap per-answer work (weights, constant detection) runs serially
   // so failures land on exactly the answer a serial sweep would hit first.
@@ -245,7 +253,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
         for (int64_t t = begin; t < end; ++t) {
           const AnswerTask& task = tasks[static_cast<size_t>(t)];
           StatusOr<AnswerCircuit> built =
-              BuildAnswerCircuit(*task.lineage, budget, &comb);
+              BuildAnswerCircuit(*task.lineage, options.lineage, &comb);
           if (!built.ok()) {
             per_task[static_cast<size_t>(t)] = built.status();
             continue;
@@ -294,7 +302,6 @@ StatusOr<SumKSeries> LineageCircuitSumK(const AggregateQuery& a,
   if (!shape.ok()) return shape;
   const int64_t n = db.num_endogenous();
   const LineageSet lineage = ExtractLineage(a.query, db);
-  const CircuitBudget budget = BudgetFrom(options.lineage);
   Combinatorics comb;
   SumKSeries series(static_cast<size_t>(n) + 1);
   for (const AnswerLineage& answer : lineage.answers) {
@@ -310,14 +317,14 @@ StatusOr<SumKSeries> LineageCircuitSumK(const AggregateQuery& a,
       continue;
     }
     StatusOr<AnswerCircuit> built =
-        BuildAnswerCircuit(answer, budget, &comb);
+        BuildAnswerCircuit(answer, options.lineage, &comb);
     if (!built.ok()) return built.status();
     // Pad the local counts to the n-player universe: the n − m facts
     // outside the lineage are free.
     const int64_t m = static_cast<int64_t>(built->players.size());
     const std::vector<BigInt>& pad = comb.BinomialRow(n - m);
     for (int64_t j = 0; j <= m; ++j) {
-      const BigInt& models = built->counts.by_size[static_cast<size_t>(j)];
+      const BigInt& models = built->entry->counts.by_size[static_cast<size_t>(j)];
       if (models.is_zero()) continue;
       Rational weighted = weight * Rational(models);
       for (int64_t g = 0; g <= n - m; ++g) {

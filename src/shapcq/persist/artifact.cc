@@ -1,0 +1,579 @@
+#include "shapcq/persist/artifact.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "shapcq/agg/value_function.h"
+#include "shapcq/query/parser.h"
+#include "shapcq/util/rational.h"
+
+namespace shapcq {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire primitives. All integers little-endian; strings length-prefixed.
+
+constexpr char kPlanMagic[8] = {'S', 'H', 'A', 'P', 'C', 'Q', 'P', 'L'};
+constexpr char kCircuitMagic[8] = {'S', 'H', 'A', 'P', 'C', 'Q', 'C', 'C'};
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;  // magic, version, len, sum
+
+uint64_t Fnv1a64(const char* data, size_t len) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) { PutU32(out, static_cast<uint32_t>(v)); }
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+void PutBigInt(std::string* out, const BigInt& v) {
+  PutU8(out, static_cast<uint8_t>(v.sign() + 1));  // 0, 1, 2
+  PutU32(out, static_cast<uint32_t>(v.num_limbs32()));
+  for (int i = 0; i < v.num_limbs32(); ++i) PutU32(out, v.limb32(i));
+}
+
+// Cursor over a checksum-verified payload. Every read is bounds-checked:
+// running dry marks the cursor failed and poisons all further reads, so a
+// decode mismatch surfaces as one clean error instead of misaligned
+// garbage.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string String() {
+    uint64_t len = U64();
+    if (!Need(len)) return std::string();
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  // A count-prefixed vector of i32, with the count validated against the
+  // bytes actually remaining (4 bytes per element) before allocating.
+  std::vector<int> VecI32() {
+    uint64_t count = U64();
+    // Guard the 4x multiply against wraparound before the bounds check.
+    if (count > data_.size() || !Need(count * 4)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<int> v(count);
+    for (uint64_t i = 0; i < count; ++i) v[i] = I32();
+    return v;
+  }
+
+  BigInt Big() {
+    uint8_t sign_byte = U8();
+    uint32_t nlimbs = U32();
+    if (sign_byte > 2 || !Need(uint64_t{nlimbs} * 4)) {
+      ok_ = false;
+      return BigInt();
+    }
+    std::vector<uint64_t> words((nlimbs + 1) / 2, 0);
+    for (uint32_t i = 0; i < nlimbs; ++i) {
+      words[i / 2] |= uint64_t{U32()} << (32 * (i % 2));
+    }
+    return BigInt::FromMagnitude64(words.data(), static_cast<int>(words.size()),
+                                   static_cast<int>(sign_byte) - 1);
+  }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// File framing.
+
+Status WriteArtifactFile(const std::string& dir, const char* name,
+                         const char magic[8], const std::string& payload,
+                         uint64_t* bytes_written) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return InternalError("cannot create artifact dir " + dir + ": " +
+                         std::strerror(errno));
+  }
+  const std::string path = dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  std::string header;
+  header.append(magic, 8);
+  PutU32(&header, kArtifactFormatVersion);
+  PutU64(&header, payload.size());
+  PutU64(&header, Fnv1a64(payload.data(), payload.size()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return InternalError("cannot open " + tmp + " for writing");
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) return InternalError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename " + tmp + " into place: " +
+                         std::strerror(errno));
+  }
+  if (bytes_written != nullptr) {
+    *bytes_written = header.size() + payload.size();
+  }
+  return Status::Ok();
+}
+
+// Reads and frame-checks an artifact file. Missing file: ok() with
+// found=false and an empty payload. Anything structurally wrong — short
+// header, bad magic, version skew, length or checksum mismatch — is an
+// error the caller must treat as "no artifact" (plus a metric).
+struct FramedFile {
+  bool found = false;
+  uint64_t bytes = 0;
+  std::string payload;
+};
+
+StatusOr<FramedFile> ReadArtifactFile(const std::string& dir, const char* name,
+                                      const char magic[8]) {
+  const std::string path = dir + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return FramedFile{};  // clean first boot
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < kHeaderBytes) {
+    return InvalidArgumentError(path + ": truncated header");
+  }
+  if (std::memcmp(data.data(), magic, 8) != 0) {
+    return InvalidArgumentError(path + ": bad magic");
+  }
+  Cursor header(data);
+  for (int i = 0; i < 8; ++i) header.U8();  // skip magic
+  uint32_t version = header.U32();
+  if (version != kArtifactFormatVersion) {
+    return InvalidArgumentError(path + ": format version " +
+                                std::to_string(version) + ", expected " +
+                                std::to_string(kArtifactFormatVersion));
+  }
+  uint64_t payload_len = header.U64();
+  uint64_t checksum = header.U64();
+  if (payload_len != data.size() - kHeaderBytes) {
+    return InvalidArgumentError(path + ": payload length mismatch");
+  }
+  if (Fnv1a64(data.data() + kHeaderBytes, payload_len) != checksum) {
+    return InvalidArgumentError(path + ": checksum mismatch");
+  }
+  FramedFile file;
+  file.found = true;
+  file.bytes = data.size();
+  file.payload = data.substr(kHeaderBytes);
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit entry encoding.
+
+void PutCircuitEntry(std::string* out, const CircuitCacheEntry& entry) {
+  PutU64(out, CanonicalClauseHash(entry.clauses));
+  PutU32(out, static_cast<uint32_t>(entry.num_vars));
+  PutU64(out, entry.clauses.size());
+  for (const std::vector<int>& clause : entry.clauses) {
+    PutU64(out, clause.size());
+    for (int lit : clause) PutI32(out, lit);
+  }
+  const LineageCircuit& c = entry.circuit;
+  PutU64(out, c.nodes.size());
+  for (const LineageCircuit::Node& n : c.nodes) {
+    PutU8(out, static_cast<uint8_t>(n.kind));
+    PutI32(out, n.var);
+    PutI32(out, n.hi);
+    PutI32(out, n.lo);
+    PutI32(out, n.vars_offset);
+    PutI32(out, n.vars_len);
+    PutI32(out, n.children_offset);
+    PutI32(out, n.children_len);
+  }
+  PutU64(out, c.var_pool.size());
+  for (int v : c.var_pool) PutI32(out, v);
+  PutU64(out, c.child_pool.size());
+  for (int v : c.child_pool) PutI32(out, v);
+  PutI32(out, c.root);
+  PutI32(out, c.num_vars);
+  PutI64(out, c.cache_lookups);
+  PutI64(out, c.cache_hits);
+  PutU64(out, entry.counts.by_size.size());
+  for (const BigInt& v : entry.counts.by_size) PutBigInt(out, v);
+  PutU64(out, entry.counts.containing.size());
+  for (const std::vector<BigInt>& row : entry.counts.containing) {
+    PutU64(out, row.size());
+    for (const BigInt& v : row) PutBigInt(out, v);
+  }
+}
+
+// Structural invariants of a decoded circuit: node kinds in range, children
+// strictly preceding parents (the topological guarantee the counting passes
+// rely on), span bounds inside the pools, variable indices in range, and
+// the root in range. Returns false on any violation.
+bool ValidateCircuit(const LineageCircuit& c) {
+  const int64_t num_nodes = static_cast<int64_t>(c.nodes.size());
+  if (num_nodes < 1 || c.num_vars < 0) return false;
+  if (c.root < 0 || c.root >= num_nodes) return false;
+  const int64_t var_pool_size = static_cast<int64_t>(c.var_pool.size());
+  const int64_t child_pool_size = static_cast<int64_t>(c.child_pool.size());
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    const LineageCircuit::Node& n = c.nodes[static_cast<size_t>(i)];
+    if (n.vars_offset < 0 || n.vars_len < 0 ||
+        int64_t{n.vars_offset} + n.vars_len > var_pool_size) {
+      return false;
+    }
+    for (int32_t j = 0; j < n.vars_len; ++j) {
+      int v = c.var_pool[static_cast<size_t>(n.vars_offset + j)];
+      if (v < 0 || v >= c.num_vars) return false;
+      if (j > 0 && c.var_pool[static_cast<size_t>(n.vars_offset + j - 1)] >= v) {
+        return false;  // variable sets are sorted strictly ascending
+      }
+    }
+    switch (n.kind) {
+      case LineageCircuit::NodeKind::kFalse:
+      case LineageCircuit::NodeKind::kTrue:
+        break;
+      case LineageCircuit::NodeKind::kDecision:
+        if (n.var < 0 || n.var >= c.num_vars) return false;
+        if (n.hi < 0 || n.hi >= i || n.lo < 0 || n.lo >= i) return false;
+        break;
+      case LineageCircuit::NodeKind::kAnd: {
+        if (n.children_offset < 0 || n.children_len < 0 ||
+            int64_t{n.children_offset} + n.children_len > child_pool_size) {
+          return false;
+        }
+        for (int32_t j = 0; j < n.children_len; ++j) {
+          int child = c.child_pool[static_cast<size_t>(n.children_offset + j)];
+          if (child < 0 || child >= i) return false;
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+// Decodes one circuit entry. A cursor failure is a framing bug (reported
+// by the caller as a file-level error); a semantic failure returns null
+// with the cursor still aligned, so the caller skips just this entry.
+std::shared_ptr<CircuitCacheEntry> ReadCircuitEntry(Cursor* in) {
+  auto entry = std::make_shared<CircuitCacheEntry>();
+  const uint64_t recorded_hash = in->U64();
+  entry->num_vars = static_cast<int>(in->U32());
+  const uint64_t num_clauses = in->U64();
+  entry->clauses.reserve(
+      static_cast<size_t>(num_clauses < 4096 ? num_clauses : 4096));
+  for (uint64_t i = 0; i < num_clauses && in->ok(); ++i) {
+    entry->clauses.push_back(in->VecI32());
+  }
+  LineageCircuit& c = entry->circuit;
+  const uint64_t num_nodes = in->U64();
+  c.nodes.reserve(static_cast<size_t>(num_nodes < 65536 ? num_nodes : 65536));
+  for (uint64_t i = 0; i < num_nodes && in->ok(); ++i) {
+    LineageCircuit::Node n;
+    uint8_t kind = in->U8();
+    n.var = in->I32();
+    n.hi = in->I32();
+    n.lo = in->I32();
+    n.vars_offset = in->I32();
+    n.vars_len = in->I32();
+    n.children_offset = in->I32();
+    n.children_len = in->I32();
+    if (kind > static_cast<uint8_t>(LineageCircuit::NodeKind::kAnd)) {
+      return nullptr;
+    }
+    n.kind = static_cast<LineageCircuit::NodeKind>(kind);
+    c.nodes.push_back(n);
+  }
+  c.var_pool = in->VecI32();
+  c.child_pool = in->VecI32();
+  c.root = in->I32();
+  c.num_vars = in->I32();
+  c.cache_lookups = in->I64();
+  c.cache_hits = in->I64();
+  const uint64_t by_size_len = in->U64();
+  for (uint64_t i = 0; i < by_size_len && in->ok(); ++i) {
+    entry->counts.by_size.push_back(in->Big());
+  }
+  const uint64_t containing_len = in->U64();
+  for (uint64_t i = 0; i < containing_len && in->ok(); ++i) {
+    std::vector<BigInt> row;
+    const uint64_t row_len = in->U64();
+    for (uint64_t j = 0; j < row_len && in->ok(); ++j) {
+      row.push_back(in->Big());
+    }
+    entry->counts.containing.push_back(std::move(row));
+  }
+  if (!in->ok()) return nullptr;
+
+  // Semantic validation: the clause set must be its own canonical form
+  // with the recorded hash (otherwise lookups could never find it, or a
+  // stale writer produced it), the circuit must satisfy its structural
+  // invariants over the same variable count, and the stratified counts
+  // must have exactly the dimensions the scorer indexes.
+  if (entry->num_vars < 0) return nullptr;
+  if (CanonicalClauseHash(entry->clauses) != recorded_hash) return nullptr;
+  CanonicalClauseForm canonical = CanonicalizeClauses(entry->clauses);
+  if (canonical.clauses != entry->clauses ||
+      canonical.num_vars != entry->num_vars) {
+    return nullptr;
+  }
+  if (c.num_vars != entry->num_vars) return nullptr;
+  if (!ValidateCircuit(c)) return nullptr;
+  const size_t expect = static_cast<size_t>(entry->num_vars);
+  if (entry->counts.by_size.size() != expect + 1) return nullptr;
+  if (entry->counts.containing.size() != expect) return nullptr;
+  for (const std::vector<BigInt>& row : entry->counts.containing) {
+    if (row.size() != expect + 1) return nullptr;
+  }
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Plan entry encoding.
+
+void PutPlanEntry(std::string* out, const AttributionPlan& plan) {
+  const AggregateQuery& a = plan.aggregate_query();
+  PutString(out, plan.fingerprint());
+  PutU8(out, static_cast<uint8_t>(plan.score_kind()));
+  PutString(out, a.query.ToString());
+  PutU8(out, static_cast<uint8_t>(a.alpha.kind()));
+  PutString(out, a.alpha.kind() == AggKind::kQuantile
+                     ? a.alpha.quantile().ToString()
+                     : std::string());
+  PutString(out, a.tau->FingerprintToken());
+}
+
+StatusOr<AggregateFunction> AlphaFromWire(uint8_t kind,
+                                          const std::string& quantile) {
+  switch (static_cast<AggKind>(kind)) {
+    case AggKind::kSum:
+      return AggregateFunction::Sum();
+    case AggKind::kCount:
+      return AggregateFunction::Count();
+    case AggKind::kCountDistinct:
+      return AggregateFunction::CountDistinct();
+    case AggKind::kMin:
+      return AggregateFunction::Min();
+    case AggKind::kMax:
+      return AggregateFunction::Max();
+    case AggKind::kAvg:
+      return AggregateFunction::Avg();
+    case AggKind::kQuantile: {
+      StatusOr<Rational> q = Rational::FromString(quantile);
+      if (!q.ok()) return q.status();
+      if (!(Rational(0) < *q) || !(*q < Rational(1))) {
+        return InvalidArgumentError("quantile parameter out of range");
+      }
+      return AggregateFunction::Quantile(std::move(q).value());
+    }
+    case AggKind::kHasDuplicates:
+      return AggregateFunction::HasDuplicates();
+  }
+  return InvalidArgumentError("unknown aggregate kind " +
+                              std::to_string(kind));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+StatusOr<ArtifactWriteStats> ArtifactWriter::WritePlans(
+    const std::vector<std::shared_ptr<const AttributionPlan>>& plans) {
+  std::string payload;
+  uint64_t written = 0;
+  std::string entries;
+  for (const auto& plan : plans) {
+    if (plan == nullptr) continue;
+    // A τ without a canonical token cannot be reconstructed from text;
+    // such plans are never cache-resident, but guard anyway.
+    if (!plan->aggregate_query().tau->HasCanonicalFingerprint()) continue;
+    PutPlanEntry(&entries, *plan);
+    ++written;
+  }
+  PutU64(&payload, written);
+  payload += entries;
+  ArtifactWriteStats stats;
+  stats.plans = written;
+  Status status =
+      WriteArtifactFile(dir_, kPlanArtifactFile, kPlanMagic, payload,
+                        &stats.bytes);
+  if (!status.ok()) return status;
+  return stats;
+}
+
+StatusOr<ArtifactWriteStats> ArtifactWriter::WriteCircuits(
+    const std::vector<std::shared_ptr<const CircuitCacheEntry>>& entries) {
+  std::string payload;
+  uint64_t written = 0;
+  std::string body;
+  for (const auto& entry : entries) {
+    if (entry == nullptr) continue;
+    PutCircuitEntry(&body, *entry);
+    ++written;
+  }
+  PutU64(&payload, written);
+  payload += body;
+  ArtifactWriteStats stats;
+  stats.circuits = written;
+  Status status =
+      WriteArtifactFile(dir_, kCircuitArtifactFile, kCircuitMagic, payload,
+                        &stats.bytes);
+  if (!status.ok()) return status;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+StatusOr<ArtifactLoadStats> ArtifactReader::ReadPlans(PlanCache* cache) {
+  StatusOr<FramedFile> file =
+      ReadArtifactFile(dir_, kPlanArtifactFile, kPlanMagic);
+  if (!file.ok()) return file.status();
+  ArtifactLoadStats stats;
+  stats.found = file->found;
+  stats.bytes = file->bytes;
+  if (!file->found) return stats;
+  Cursor in(file->payload);
+  const uint64_t count = in.U64();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string fingerprint = in.String();
+    uint8_t score_byte = in.U8();
+    std::string query_text = in.String();
+    uint8_t alpha_kind = in.U8();
+    std::string quantile = in.String();
+    std::string tau_token = in.String();
+    if (!in.ok()) {
+      return InvalidArgumentError(std::string(kPlanArtifactFile) +
+                                  ": payload exhausted mid-entry");
+    }
+    if (score_byte > static_cast<uint8_t>(ScoreKind::kBanzhaf)) {
+      ++stats.skipped;
+      continue;
+    }
+    StatusOr<ConjunctiveQuery> query = ParseQuery(query_text);
+    StatusOr<ValueFunctionPtr> tau = ParseCanonicalTauToken(tau_token);
+    StatusOr<AggregateFunction> alpha = AlphaFromWire(alpha_kind, quantile);
+    if (!query.ok() || !tau.ok() || !alpha.ok()) {
+      ++stats.skipped;
+      continue;
+    }
+    AggregateQuery a{std::move(query).value(), std::move(tau).value(),
+                     std::move(alpha).value()};
+    const ScoreKind score = static_cast<ScoreKind>(score_byte);
+    // The recorded fingerprint must survive the text round trip; a
+    // mismatch means the artifact predates a canonicalization or parser
+    // change and this plan would be keyed wrong — skip it.
+    if (PlanFingerprint(a, score) != fingerprint) {
+      ++stats.skipped;
+      continue;
+    }
+    cache->GetOrCompile(a, score);
+    ++stats.plans;
+  }
+  if (!in.AtEnd()) {
+    return InvalidArgumentError(std::string(kPlanArtifactFile) +
+                                ": trailing bytes after last entry");
+  }
+  return stats;
+}
+
+StatusOr<ArtifactLoadStats> ArtifactReader::ReadCircuits(CircuitCache* cache) {
+  StatusOr<FramedFile> file =
+      ReadArtifactFile(dir_, kCircuitArtifactFile, kCircuitMagic);
+  if (!file.ok()) return file.status();
+  ArtifactLoadStats stats;
+  stats.found = file->found;
+  stats.bytes = file->bytes;
+  if (!file->found) return stats;
+  Cursor in(file->payload);
+  const uint64_t count = in.U64();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::shared_ptr<CircuitCacheEntry> entry = ReadCircuitEntry(&in);
+    if (!in.ok()) {
+      return InvalidArgumentError(std::string(kCircuitArtifactFile) +
+                                  ": payload exhausted mid-entry");
+    }
+    if (entry == nullptr) {
+      ++stats.skipped;
+      continue;
+    }
+    cache->Insert(std::move(entry));
+    ++stats.circuits;
+  }
+  if (!in.AtEnd()) {
+    return InvalidArgumentError(std::string(kCircuitArtifactFile) +
+                                ": trailing bytes after last entry");
+  }
+  return stats;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,117 @@
+// Persistent compiled-artifact store: versioned, checksummed snapshots of
+// the plan cache (shapley/plan.h) and the cross-tenant circuit cache
+// (lineage/circuit_cache.h), so a restarted server warm-starts instead of
+// recompiling its working set from scratch.
+//
+// Layout: two independent files inside an artifact directory,
+//
+//   <dir>/plans.shapcq      — plan-cache snapshot
+//   <dir>/circuits.shapcq   — circuit-cache snapshot
+//
+// each with an 8-byte magic, a u32 format version (kArtifactFormatVersion),
+// a u64 payload length, and a u64 FNV-1a checksum of the payload, followed
+// by the payload (all integers little-endian). Writes go through a
+// temporary file renamed into place, so a crash mid-snapshot leaves the
+// previous artifact intact, never a torn one.
+//
+// Loading is strictly fail-safe: a missing file is a clean first boot
+// (zero loads, no error); a wrong magic, wrong version, short file, or
+// checksum mismatch fails with a Status the caller counts and ignores —
+// the server degrades to cold compilation, never crashes, never serves a
+// wrong answer. Per-entry validation continues after the checksum:
+//
+//   * plans record their fingerprint plus enough to rebuild the aggregate
+//     query (query text, α kind + quantile, canonical τ token); the loader
+//     re-parses, recompiles through PlanCache::GetOrCompile, and *verifies
+//     the recomputed fingerprint equals the recorded one* — a mismatch
+//     (renamed relation, changed canonicalization, stale artifact) skips
+//     the entry;
+//   * circuits record their canonical clause set, the compiled arena
+//     circuit, and the stratified model counts; the loader checks every
+//     structural invariant (node kinds, child/topological order, pool
+//     spans, count dimensions) and that the clauses are a fixpoint of
+//     CanonicalizeClauses with the recorded hash — anything off skips the
+//     entry.
+//
+// Scores computed from loaded entries are bitwise-identical to cold
+// compilation: the persisted counts are exact BigInts and semantic
+// invariants of the formula (see circuit_cache.h); tests/artifact_test.cc
+// enforces the round trip differentially.
+
+#ifndef SHAPCQ_PERSIST_ARTIFACT_H_
+#define SHAPCQ_PERSIST_ARTIFACT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapcq/lineage/circuit_cache.h"
+#include "shapcq/shapley/plan.h"
+#include "shapcq/util/status.h"
+
+namespace shapcq {
+
+// Bumped on any incompatible change to the payload encodings below; a
+// reader rejects files written under a different version outright.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+// File names inside the artifact directory.
+inline constexpr const char* kPlanArtifactFile = "plans.shapcq";
+inline constexpr const char* kCircuitArtifactFile = "circuits.shapcq";
+
+struct ArtifactWriteStats {
+  uint64_t plans = 0;     // plan entries written
+  uint64_t circuits = 0;  // circuit entries written
+  uint64_t bytes = 0;     // file bytes written (header + payload)
+};
+
+struct ArtifactLoadStats {
+  bool found = false;     // the artifact file existed
+  uint64_t plans = 0;     // plan entries loaded into the cache
+  uint64_t circuits = 0;  // circuit entries loaded into the cache
+  uint64_t skipped = 0;   // entries rejected by per-entry validation
+  uint64_t bytes = 0;     // file bytes read
+};
+
+// Serializes cache snapshots into an artifact directory (created if
+// absent). Each Write* replaces the corresponding file atomically.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(std::string dir) : dir_(std::move(dir)) {}
+
+  // Writes <dir>/plans.shapcq from a PlanCache::Snapshot(). Plans whose τ
+  // has no canonical fingerprint cannot be rebuilt from text and are
+  // not written (they can never be cache-resident anyway).
+  StatusOr<ArtifactWriteStats> WritePlans(
+      const std::vector<std::shared_ptr<const AttributionPlan>>& plans);
+
+  // Writes <dir>/circuits.shapcq from a CircuitCache::Snapshot().
+  StatusOr<ArtifactWriteStats> WriteCircuits(
+      const std::vector<std::shared_ptr<const CircuitCacheEntry>>& entries);
+
+ private:
+  std::string dir_;
+};
+
+// Loads artifact files back into caches. See the fail-safe contract above:
+// corruption is reported, never propagated into answers.
+class ArtifactReader {
+ public:
+  explicit ArtifactReader(std::string dir) : dir_(std::move(dir)) {}
+
+  // Loads <dir>/plans.shapcq into `cache` (recompiling through
+  // GetOrCompile; fingerprint-verified). Missing file: ok, found=false.
+  StatusOr<ArtifactLoadStats> ReadPlans(PlanCache* cache);
+
+  // Loads <dir>/circuits.shapcq into `cache` (structurally validated).
+  // Missing file: ok, found=false.
+  StatusOr<ArtifactLoadStats> ReadCircuits(CircuitCache* cache);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_PERSIST_ARTIFACT_H_

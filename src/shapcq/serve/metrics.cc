@@ -111,6 +111,15 @@ void DaemonMetrics::SetTenantStaleness(const std::string& tenant,
   slot.tombstones = tombstones;
 }
 
+void DaemonMetrics::AddTenantCircuitCache(const std::string& tenant,
+                                          uint64_t hits, uint64_t misses) {
+  if (hits == 0 && misses == 0) return;
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  TenantCounters& slot = TenantSlot(tenant);
+  slot.circuit_hits += hits;
+  slot.circuit_misses += misses;
+}
+
 std::map<std::string, DaemonMetrics::TenantCounters> DaemonMetrics::TenantMix()
     const {
   std::lock_guard<std::mutex> lock(tenant_mu_);
@@ -119,6 +128,7 @@ std::map<std::string, DaemonMetrics::TenantCounters> DaemonMetrics::TenantMix()
 
 std::string RenderPrometheus(const DaemonMetrics& metrics,
                              const PlanCache::Stats& plan_cache,
+                             const CircuitCache::Stats& circuit_cache,
                              const LineageStatsSnapshot& lineage) {
   std::string out;
   out.reserve(4096);
@@ -223,6 +233,22 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
     Line(&out, "shapcq_tenant_tombstones{tenant=\"%s\"} %" PRIu64,
          tenant.c_str(), t.tombstones);
   }
+  // Cross-tenant circuit-cache traffic attributed per tenant: a hit means
+  // this tenant's answer reused a circuit some tenant (possibly another
+  // one) compiled earlier.
+  Line(&out, "# HELP shapcq_tenant_circuit_cache_total "
+             "circuit-cache lookups by tenant and result");
+  Line(&out, "# TYPE shapcq_tenant_circuit_cache_total counter");
+  for (const auto& [tenant, t] : tenants) {
+    Line(&out,
+         "shapcq_tenant_circuit_cache_total{tenant=\"%s\",result=\"hit\"} "
+         "%" PRIu64,
+         tenant.c_str(), t.circuit_hits);
+    Line(&out,
+         "shapcq_tenant_circuit_cache_total{tenant=\"%s\",result=\"miss\"} "
+         "%" PRIu64,
+         tenant.c_str(), t.circuit_misses);
+  }
 
   // Engine mix: facts scored per engine across all ok responses.
   Line(&out, "# HELP shapcq_engine_facts_total facts scored per engine");
@@ -245,6 +271,56 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   Gauge(&out, "shapcq_plan_cache_hit_ratio",
         "hits / (hits + misses), 0 before any lookup",
         lookups > 0 ? static_cast<double>(plan_cache.hits) / lookups : 0.0);
+
+  // Cross-tenant circuit cache (process-wide; lineage/circuit_cache.h).
+  Counter(&out, "shapcq_circuit_cache_hits_total",
+          "compiled-circuit cache hits (answers served without compiling)",
+          circuit_cache.hits);
+  Counter(&out, "shapcq_circuit_cache_misses_total",
+          "compiled-circuit cache misses", circuit_cache.misses);
+  Counter(&out, "shapcq_circuit_cache_inserts_total",
+          "circuits inserted into the cache", circuit_cache.inserts);
+  Gauge(&out, "shapcq_circuit_cache_entries", "circuits currently cached",
+        static_cast<double>(circuit_cache.entries));
+  Gauge(&out, "shapcq_circuit_cache_bytes",
+        "approximate resident bytes of cached circuits",
+        static_cast<double>(circuit_cache.bytes));
+  Counter(&out, "shapcq_circuit_cache_evictions_total",
+          "circuits evicted (FIFO, entry/byte bounds)",
+          circuit_cache.evictions);
+  double circuit_lookups =
+      static_cast<double>(circuit_cache.hits + circuit_cache.misses);
+  Gauge(&out, "shapcq_circuit_cache_hit_ratio",
+        "hits / (hits + misses), 0 before any lookup",
+        circuit_lookups > 0
+            ? static_cast<double>(circuit_cache.hits) / circuit_lookups
+            : 0.0);
+
+  // Compiled-artifact persistence (persist/artifact.h).
+  Counter(&out, "shapcq_artifact_load_errors_total",
+          "artifact files rejected at load (corrupt/stale -> cold start)",
+          metrics.artifact_load_errors.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_save_errors_total",
+          "artifact snapshot write failures",
+          metrics.artifact_save_errors.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_plans_loaded_total",
+          "plans warm-started from persisted artifacts",
+          metrics.artifact_plans_loaded.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_circuits_loaded_total",
+          "circuits warm-started from persisted artifacts",
+          metrics.artifact_circuits_loaded.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_entries_skipped_total",
+          "persisted entries rejected by per-entry validation",
+          metrics.artifact_entries_skipped.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_bytes_loaded_total",
+          "artifact bytes read at warm start",
+          metrics.artifact_bytes_loaded.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_bytes_persisted_total",
+          "artifact bytes written by snapshots",
+          metrics.artifact_bytes_persisted.load(std::memory_order_relaxed));
+  Counter(&out, "shapcq_artifact_snapshots_total",
+          "successful artifact snapshots (shutdown and SIGHUP)",
+          metrics.artifact_snapshots.load(std::memory_order_relaxed));
 
   // Lineage-circuit telemetry (process-wide monotone counters).
   Counter(&out, "shapcq_lineage_circuits_compiled_total",

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 
+#include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/stats.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/util/histogram.h"
@@ -54,6 +55,19 @@ class DaemonMetrics {
   std::atomic<int64_t> dirty_answers_last{-1};
   std::atomic<uint64_t> compactions{0};
 
+  // Compiled-artifact persistence (persist/artifact.h). Loads happen at
+  // Start, saves at Stop and on SIGHUP; a load error means the server
+  // degraded to cold compilation, never that it served from a corrupt
+  // artifact.
+  std::atomic<uint64_t> artifact_load_errors{0};
+  std::atomic<uint64_t> artifact_save_errors{0};
+  std::atomic<uint64_t> artifact_plans_loaded{0};
+  std::atomic<uint64_t> artifact_circuits_loaded{0};
+  std::atomic<uint64_t> artifact_entries_skipped{0};  // per-entry rejects
+  std::atomic<uint64_t> artifact_bytes_loaded{0};
+  std::atomic<uint64_t> artifact_bytes_persisted{0};
+  std::atomic<uint64_t> artifact_snapshots{0};  // successful SaveArtifacts
+
   // Instantaneous depths (mirrors AdmissionController totals; kept as
   // gauges here so the metrics endpoint needs no lock ordering with the
   // admission mutex).
@@ -83,6 +97,10 @@ class DaemonMetrics {
     // Staleness gauges, updated on every mutation/solve touch:
     uint64_t epoch = 0;       // Database::epoch()
     uint64_t tombstones = 0;  // dead rows awaiting compaction
+    // Cross-tenant circuit-cache traffic attributed to this tenant's
+    // solves (lineage/circuit_cache.h).
+    uint64_t circuit_hits = 0;
+    uint64_t circuit_misses = 0;
   };
 
   enum class Outcome { kOk, kError, kRejected };
@@ -90,6 +108,8 @@ class DaemonMetrics {
   void TenantQueueDelta(const std::string& tenant, int64_t delta);
   void SetTenantStaleness(const std::string& tenant, uint64_t epoch,
                           uint64_t tombstones);
+  void AddTenantCircuitCache(const std::string& tenant, uint64_t hits,
+                             uint64_t misses);
   std::map<std::string, TenantCounters> TenantMix() const;
 
  private:
@@ -103,10 +123,12 @@ class DaemonMetrics {
 };
 
 // Renders the full exposition text: daemon counters/gauges/histograms
-// plus the plan-cache and lineage counters passed in (callers snapshot
-// PlanCache::Global().stats() and LineageStats::Global().Snapshot()).
+// plus the plan-cache, circuit-cache, and lineage counters passed in
+// (callers snapshot PlanCache::Global().stats(),
+// CircuitCache::Global().stats(), and LineageStats::Global().Snapshot()).
 std::string RenderPrometheus(const DaemonMetrics& metrics,
                              const PlanCache::Stats& plan_cache,
+                             const CircuitCache::Stats& circuit_cache,
                              const LineageStatsSnapshot& lineage);
 
 }  // namespace shapcq

@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "shapcq/data/db_io.h"
+#include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/engine.h"
+#include "shapcq/persist/artifact.h"
 #include "shapcq/query/evaluator.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/serve/json.h"
@@ -103,6 +105,8 @@ Status AttributionServer::Start() {
     metrics_fd = *mfd;
   }
 
+  LoadArtifacts();
+
   journal_ = std::move(journal);
   listen_fd_ = *listener;
   metrics_fd_ = metrics_fd;
@@ -165,6 +169,66 @@ void AttributionServer::Stop() {
   }
 
   if (journal_ != nullptr) journal_->Close();
+
+  // Snapshot the warm state last, after every worker that could still be
+  // inserting circuits has exited.
+  SaveArtifacts();
+}
+
+void AttributionServer::LoadArtifacts() {
+  if (options_.artifact_dir.empty()) return;
+  ArtifactReader reader(options_.artifact_dir);
+  StatusOr<ArtifactLoadStats> plans = reader.ReadPlans(&PlanCache::Global());
+  if (plans.ok()) {
+    metrics_.artifact_plans_loaded.fetch_add(plans->plans,
+                                             std::memory_order_relaxed);
+    metrics_.artifact_entries_skipped.fetch_add(plans->skipped,
+                                                std::memory_order_relaxed);
+    metrics_.artifact_bytes_loaded.fetch_add(plans->bytes,
+                                             std::memory_order_relaxed);
+  } else {
+    metrics_.artifact_load_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  StatusOr<ArtifactLoadStats> circuits =
+      reader.ReadCircuits(&CircuitCache::Global());
+  if (circuits.ok()) {
+    metrics_.artifact_circuits_loaded.fetch_add(circuits->circuits,
+                                                std::memory_order_relaxed);
+    metrics_.artifact_entries_skipped.fetch_add(circuits->skipped,
+                                                std::memory_order_relaxed);
+    metrics_.artifact_bytes_loaded.fetch_add(circuits->bytes,
+                                             std::memory_order_relaxed);
+  } else {
+    metrics_.artifact_load_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status AttributionServer::SaveArtifacts() {
+  if (options_.artifact_dir.empty()) return Status::Ok();
+  ArtifactWriter writer(options_.artifact_dir);
+  Status failure = Status::Ok();
+  StatusOr<ArtifactWriteStats> plans =
+      writer.WritePlans(PlanCache::Global().Snapshot());
+  if (plans.ok()) {
+    metrics_.artifact_bytes_persisted.fetch_add(plans->bytes,
+                                                std::memory_order_relaxed);
+  } else {
+    metrics_.artifact_save_errors.fetch_add(1, std::memory_order_relaxed);
+    failure = plans.status();
+  }
+  StatusOr<ArtifactWriteStats> circuits =
+      writer.WriteCircuits(CircuitCache::Global().Snapshot());
+  if (circuits.ok()) {
+    metrics_.artifact_bytes_persisted.fetch_add(circuits->bytes,
+                                                std::memory_order_relaxed);
+  } else {
+    metrics_.artifact_save_errors.fetch_add(1, std::memory_order_relaxed);
+    failure = circuits.status();
+  }
+  if (failure.ok()) {
+    metrics_.artifact_snapshots.fetch_add(1, std::memory_order_relaxed);
+  }
+  return failure;
 }
 
 void AttributionServer::RegisterTenant(const std::string& name, Database db) {
@@ -186,6 +250,7 @@ std::shared_ptr<AttributionServer::TenantState> AttributionServer::FindTenant(
 
 std::string AttributionServer::MetricsText() const {
   return RenderPrometheus(metrics_, PlanCache::Global().stats(),
+                          CircuitCache::Global().stats(),
                           LineageStats::Global().Snapshot());
 }
 
@@ -596,6 +661,10 @@ void AttributionServer::RunJob(Job job) {
     SolverSession session(plan, db);
 
     SolverOptions options = job.options;
+    // Per-request circuit-cache attribution: the lineage shards add their
+    // hit/miss traffic here, and it lands on this tenant's metric series.
+    CircuitCacheCounters circuit_counters;
+    options.lineage.cache_counters = &circuit_counters;
     bool degraded = false;
     if (job.request.deadline_ms > 0) {
       // The deadline is anchored at admission, so time spent queued
@@ -629,6 +698,10 @@ void AttributionServer::RunJob(Job job) {
     uint64_t solve_micros = (MonotonicNanos() - solve_start_ns) / 1000;
     metrics_.solve.Record(solve_micros);
     response.solve_ms = static_cast<double>(solve_micros) / 1e3;
+    metrics_.AddTenantCircuitCache(
+        job.request.tenant,
+        circuit_counters.hits.load(std::memory_order_relaxed),
+        circuit_counters.misses.load(std::memory_order_relaxed));
 
     if (results.ok()) {
       response.status = "ok";

@@ -75,6 +75,12 @@ struct ServerOptions {
   // rolls to a numbered segment once the active file reaches this many
   // bytes. 0 keeps a single unbounded file.
   uint64_t journal_max_segment_bytes = 0;
+  // When non-empty, the compiled-artifact directory (persist/artifact.h):
+  // Start() warm-loads the plan and circuit caches from it (corrupt or
+  // stale files are counted and ignored — cold start, never a crash), and
+  // Stop() snapshots both caches back. SaveArtifacts() snapshots on
+  // demand (shapcqd wires it to SIGHUP).
+  std::string artifact_dir;
   // Whether clients may register tenants over the wire.
   bool allow_load_tenant = true;
   // Whether clients may mutate tenants (insert_fact / delete_fact).
@@ -117,6 +123,12 @@ class AttributionServer {
 
   // The current Prometheus exposition text.
   std::string MetricsText() const;
+
+  // Snapshots the plan and circuit caches into options.artifact_dir (a
+  // no-op returning OK when unset). Safe while serving: the caches are
+  // snapshotted under their own locks and serialization runs outside
+  // them. Called by Stop(); shapcqd also calls it on SIGHUP.
+  Status SaveArtifacts();
 
   DaemonMetrics& metrics() { return metrics_; }
   const AdmissionController& admission() const { return admission_; }
@@ -183,6 +195,11 @@ class AttributionServer {
                       const RequestEnvelope& envelope);
   // Runs one admitted job on a worker thread and writes its response.
   void RunJob(Job job);
+
+  // Warm-loads the plan/circuit caches from options.artifact_dir at
+  // Start. Never fails the boot: load errors increment
+  // artifact_load_errors and the server compiles cold.
+  void LoadArtifacts();
 
   void WriteResponse(const std::shared_ptr<Connection>& connection,
                      const SolveResponse& response);

@@ -167,6 +167,18 @@ PlanCache::Stats PlanCache::stats() const {
   return stats;
 }
 
+std::vector<std::shared_ptr<const AttributionPlan>> PlanCache::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const AttributionPlan>> plans;
+  plans.reserve(insertion_order_.size());
+  for (const std::string& fingerprint : insertion_order_) {
+    auto it = plans_.find(fingerprint);
+    if (it != plans_.end()) plans.push_back(it->second);
+  }
+  return plans;
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   plans_.clear();

@@ -168,6 +168,12 @@ class PlanCache {
   };
   Stats stats() const;
 
+  // The cached plans in insertion (FIFO) order — the order eviction would
+  // drop them, so a bounded persistence pass that writes front-to-back and
+  // truncates keeps the entries that would survive longest. Snapshot, not a
+  // view: concurrent GetOrCompile/Clear calls do not invalidate the result.
+  std::vector<std::shared_ptr<const AttributionPlan>> Snapshot() const;
+
   // Drops every cached plan and resets the counters. Outstanding
   // shared_ptrs keep their plans alive.
   void Clear();

@@ -10,6 +10,8 @@
 #ifndef SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
 #define SHAPCQ_SHAPLEY_SOLVER_OPTIONS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 
 #include "shapcq/shapley/monte_carlo.h"
@@ -24,6 +26,15 @@ enum class SolveMethod {
   kMonteCarlo,  // force sampling
 };
 
+// Per-request circuit-cache attribution sink (lineage/circuit_cache.h).
+// The lineage engine shards answers over a thread pool, so a request that
+// wants its own hit/miss split (the daemon's per-tenant metrics) passes a
+// pointer here and the shards add into it with relaxed atomics.
+struct CircuitCacheCounters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
 // Compilation budget of the lineage-circuit engine (lineage/engine.h).
 // Exceeding any limit makes the engine fail with UNSUPPORTED for the
 // offending computation, and the session falls through to brute force
@@ -35,6 +46,13 @@ struct LineageOptions {
   int max_answer_vars = 256;
   // Maximum DNF clauses (homomorphisms) per answer before compilation.
   int64_t max_answer_clauses = 8192;
+  // Consult the process-wide cross-tenant CircuitCache for each answer's
+  // compiled circuit (scores are bitwise-identical either way; off means
+  // every answer compiles privately).
+  bool share_circuits = true;
+  // Optional per-request hit/miss sink; null means only the cache's own
+  // global counters record the traffic. Borrowed, not owned.
+  CircuitCacheCounters* cache_counters = nullptr;
 };
 
 struct SolverOptions {

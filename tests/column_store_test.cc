@@ -228,6 +228,46 @@ TEST(IntersectPostingsTest, SimdAndScalarAgreeOnAdversarialShapes) {
   }
 }
 
+// Shapes aimed at the 8-lane AVX2 widening: lengths straddling multiples
+// of 8 (block boundary vs scalar tail), matches in every lane position of
+// an 8-block, and a match sitting exactly on the last element before the
+// tail. The scalar galloping path is the oracle throughout; on machines
+// or builds without AVX2 the same cases exercise the 4-lane/NEON or
+// scalar kernels, so the test is meaningful everywhere.
+TEST(IntersectPostingsTest, WideBlockBoundariesMatchScalarOracle) {
+  SCOPED_TRACE(std::string("kernel: ") + SimdIntersectionKernelName());
+  auto expect_both = [](const std::vector<FactId>& a,
+                        const std::vector<FactId>& b, const char* label) {
+    std::vector<FactId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(IntersectPostings({&a, &b}), expected) << label;
+    EXPECT_EQ(IntersectPostingsScalar({&a, &b}), expected) << label;
+  };
+
+  // One match per lane position of the first 8-block.
+  for (FactId lane = 0; lane < 8; ++lane) {
+    std::vector<FactId> b;
+    for (FactId i = 0; i < 24; ++i) b.push_back(i * 2);
+    std::vector<FactId> a = {static_cast<FactId>(lane * 2)};
+    expect_both(a, b, "single match per lane");
+  }
+  // Lengths 1..26 cover |b| mod 8 in every residue, with the driving list
+  // dense enough that the block path (not galloping) runs.
+  for (size_t len = 1; len <= 26; ++len) {
+    std::vector<FactId> b;
+    for (size_t i = 0; i < len; ++i) b.push_back(static_cast<FactId>(3 * i));
+    std::vector<FactId> a;
+    for (size_t i = 0; i < len; ++i) a.push_back(static_cast<FactId>(2 * i));
+    expect_both(a, b, "length sweep across block residues");
+  }
+  // Match exactly at the last in-block element and first tail element.
+  std::vector<FactId> b17;
+  for (FactId i = 0; i < 17; ++i) b17.push_back(i * 5);
+  expect_both({b17[15]}, b17, "match at last block element");
+  expect_both({b17[16]}, b17, "match in scalar tail");
+}
+
 TEST(ColumnStoreTest, SetEndogenousAfterInterningKeepsIndexes) {
   Database db = MixedKindDb();
   // Force interned lookups first.

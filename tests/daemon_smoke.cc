@@ -22,11 +22,13 @@
 #include <gtest/gtest.h>
 
 #include "shapcq/data/db_io.h"
+#include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/serve/client.h"
 #include "shapcq/serve/journal.h"
 #include "shapcq/serve/protocol.h"
 #include "shapcq/serve/replay.h"
 #include "shapcq/serve/server.h"
+#include "shapcq/shapley/plan.h"
 
 namespace shapcq {
 namespace {
@@ -302,6 +304,137 @@ TEST(DaemonSmokeTest, ConcurrentMutationsReplayBitwiseParity) {
                      : journal_path + "." + std::to_string(segment);
     if (std::remove(path.c_str()) != 0) break;
   }
+}
+
+// Warm-restart parity: server A (cold, --artifact-dir set) serves a
+// non-hierarchical workload across two tenants whose databases are
+// renamed copies of each other, snapshots its compiled state on Stop;
+// server B boots against the populated artifact directory, and the same
+// requests — replayed from A's journal tail — must come back bitwise
+// identical to A's cold answers, with every circuit served from the
+// warm cache (zero misses) and zero artifact load errors.
+TEST(DaemonSmokeTest, WarmRestartServesBitwiseIdenticalAnswers) {
+  const std::string suffix = std::to_string(::getpid());
+  const std::string artifact_dir =
+      ::testing::TempDir() + "/daemon_artifacts_" + suffix;
+  const std::string journal_a =
+      ::testing::TempDir() + "/daemon_warm_journal_a_" + suffix;
+  const std::string journal_b =
+      ::testing::TempDir() + "/daemon_warm_journal_b_" + suffix;
+
+  // Q() <- R(x, y), S(y), T(x) is non-hierarchical: the linearity DP
+  // refuses it, so every exact answer goes through the lineage-circuit
+  // engine — the compiled state the artifact store persists. Globex is
+  // acme shifted by 100: same lineage shape, disjoint constants.
+  const std::string query = "Q() <- R(x, y), S(y), T(x)";
+  const char* acme_text =
+      "+R(1, 2)\n+R(2, 3)\n+S(2)\n+S(3)\n+T(1)\n+T(2)\n";
+  const char* globex_text =
+      "+R(101, 102)\n+R(102, 103)\n+S(102)\n+S(103)\n+T(101)\n+T(102)\n";
+
+  std::vector<SolveRequest> requests;
+  for (const char* tenant : {"acme", "globex"}) {
+    SolveRequest request;
+    request.id = requests.size() + 1;
+    request.tenant = tenant;
+    request.query = query;
+    request.agg = "count";
+    requests.push_back(request);
+  }
+
+  auto run_server = [&](const std::string& journal_path,
+                        std::map<uint64_t, SolveResponse>* responses,
+                        std::string* metrics_text) {
+    ServerOptions options;
+    options.journal_path = journal_path;
+    options.artifact_dir = artifact_dir;
+    options.worker_threads = 2;
+    AttributionServer server(options);
+    server.RegisterTenant("acme", MustParseDb(acme_text));
+    server.RegisterTenant("globex", MustParseDb(globex_text));
+    Status started = server.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    auto client = LineClient::Connect(server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (const SolveRequest& request : requests) {
+      auto reply = client->RoundTrip(SerializeSolveRequest(request));
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      auto response = ParseResponseLine(*reply);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, "ok") << response->error;
+      (*responses)[request.id] = std::move(response).value();
+    }
+    auto metrics = HttpGet(server.metrics_port(), "/metrics");
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    *metrics_text = std::move(metrics).value();
+    server.Stop();  // snapshots the caches into artifact_dir
+  };
+
+  // Cold pass: compiles everything, persists on Stop.
+  std::map<uint64_t, SolveResponse> cold;
+  std::string cold_metrics;
+  run_server(journal_a, &cold, &cold_metrics);
+  ASSERT_EQ(cold.size(), requests.size());
+  // The second tenant's circuits were shared from the first one's even on
+  // the cold pass (renamed copy ⇒ same canonical clause sets).
+  EXPECT_NE(cold_metrics.find("shapcq_circuit_cache_hits_total"),
+            std::string::npos);
+
+  // Simulate a fresh process: the caches the artifact store exists to
+  // repopulate start empty.
+  PlanCache::Global().Clear();
+  CircuitCache::Global().Clear();
+
+  // Warm pass: same tenants, same requests (the journal tail of A).
+  std::map<uint64_t, SolveResponse> warm;
+  std::string warm_metrics;
+  run_server(journal_b, &warm, &warm_metrics);
+  ASSERT_EQ(warm.size(), requests.size());
+
+  EXPECT_NE(warm_metrics.find("shapcq_artifact_load_errors_total 0"),
+            std::string::npos)
+      << warm_metrics;
+  EXPECT_EQ(warm_metrics.find("shapcq_artifact_circuits_loaded_total 0"),
+            std::string::npos)
+      << "warm boot loaded no circuits:\n" << warm_metrics;
+  EXPECT_EQ(warm_metrics.find("shapcq_artifact_plans_loaded_total 0"),
+            std::string::npos)
+      << "warm boot loaded no plans:\n" << warm_metrics;
+  // Every circuit the warm pass needed was already resident: zero misses.
+  EXPECT_NE(warm_metrics.find("shapcq_circuit_cache_misses_total 0"),
+            std::string::npos)
+      << warm_metrics;
+
+  // Warm answers == cold answers, bit for bit.
+  for (const SolveRequest& request : requests) {
+    const SolveResponse& a = cold[request.id];
+    const SolveResponse& b = warm[request.id];
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "request " << request.id;
+    ASSERT_EQ(a.results.size(), b.results.size()) << "request " << request.id;
+    for (size_t f = 0; f < a.results.size(); ++f) {
+      EXPECT_EQ(a.results[f].fact, b.results[f].fact);
+      EXPECT_EQ(a.results[f].exact, b.results[f].exact);
+      EXPECT_TRUE(SameBits(a.results[f].value, b.results[f].value))
+          << "request " << request.id << " fact " << a.results[f].fact;
+      EXPECT_EQ(a.results[f].exact_value, b.results[f].exact_value);
+    }
+  }
+
+  // And both agree with a direct replay of A's journal (cold oracle).
+  auto records = ReadJournal(journal_a);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  tenants["acme"] = std::make_shared<const Database>(MustParseDb(acme_text));
+  tenants["globex"] =
+      std::make_shared<const Database>(MustParseDb(globex_text));
+  auto replay = ReplayJournal(*records, tenants);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->fingerprint_matches, records->size());
+
+  std::remove(journal_a.c_str());
+  std::remove(journal_b.c_str());
+  std::remove((artifact_dir + "/plans.shapcq").c_str());
+  std::remove((artifact_dir + "/circuits.shapcq").c_str());
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "shapcq/data/database.h"
 #include "shapcq/hierarchy/classification.h"
 #include "shapcq/lineage/circuit.h"
+#include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/engine.h"
 #include "shapcq/lineage/lineage.h"
 #include "shapcq/query/parser.h"
@@ -407,6 +408,9 @@ TEST(LineagePlanTest, EngineChainAndFingerprints) {
 
 TEST(LineageStatsTest, CountersAccumulateAndReset) {
   LineageStats::Global().Reset();
+  // A shape another test already solved would be served from the shared
+  // CircuitCache without compiling anything; start cold.
+  CircuitCache::Global().Clear();
   ConjunctiveQuery q = MustParseQuery("Q(z) <- R(z, x), S(x, y), T(y)");
   Database db = BlockChainDatabase(3);
   AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};

@@ -28,6 +28,7 @@
 #include "shapcq/agg/value_function.h"
 #include "shapcq/data/database.h"
 #include "shapcq/hierarchy/classification.h"
+#include "shapcq/query/parser.h"
 #include "shapcq/shapley/session.h"
 #include "shapcq/shapley/solver_options.h"
 #include "shapcq/stream/streaming.h"
@@ -208,6 +209,126 @@ TEST_P(StreamingDifferentialTest, MutateThenSolveMatchesRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(Streaming, StreamingDifferentialTest,
                          ::testing::ValuesIn(MakeCases()));
+
+// --- Epoch regression tests ------------------------------------------------
+//
+// The streaming cache keys on Database::epoch(). Any semantic change the
+// solver is not notified about must still be visible through the epoch so
+// ComputeAll degrades to a full rebuild — never a stale answer. These pin
+// the two historically silent mutations: SetEndogenous (partition change)
+// and an external CompactTombstones the caller forgot to announce.
+
+// Asserts solver.ComputeAll() is bitwise-identical to a fresh session on
+// the current database state.
+void ExpectMatchesFresh(StreamingSolver& solver, const AggregateQuery& a,
+                        const Database& db, const SolverOptions& options,
+                        const std::string& label) {
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> streamed =
+      solver.ComputeAll();
+  ASSERT_TRUE(streamed.ok()) << label << ": " << streamed.status().ToString();
+  SolverSession fresh(a, db);
+  StatusOr<std::vector<std::pair<FactId, SolveResult>>> expected =
+      fresh.ComputeAll(options);
+  ASSERT_TRUE(expected.ok()) << label << ": " << expected.status().ToString();
+  ASSERT_EQ(streamed->size(), expected->size()) << label;
+  for (size_t i = 0; i < expected->size(); ++i) {
+    ASSERT_EQ((*streamed)[i].first, (*expected)[i].first) << label;
+    ASSERT_TRUE((*streamed)[i].second.is_exact) << label;
+    EXPECT_EQ((*streamed)[i].second.exact, (*expected)[i].second.exact)
+        << label << " fact " << (*expected)[i].first;
+  }
+}
+
+struct EpochFixture {
+  ConjunctiveQuery q = MustParseQuery("Q(x) <- R(x, y), S(y)");
+  Database db;
+  AggregateQuery a{q, MakeTauId(0), AggregateFunction::Sum()};
+
+  EpochFixture() {
+    db.AddEndogenous("R", {Value(int64_t{1}), Value(int64_t{10})});
+    db.AddEndogenous("R", {Value(int64_t{1}), Value(int64_t{11})});
+    db.AddEndogenous("R", {Value(int64_t{2}), Value(int64_t{10})});
+    db.AddEndogenous("S", {Value(int64_t{10})});
+    db.AddEndogenous("S", {Value(int64_t{11})});
+    db.AddExogenous("S", {Value(int64_t{12})});
+  }
+};
+
+TEST(StreamingEpochTest, UnnotifiedSetEndogenousForcesRebuild) {
+  EpochFixture f;
+  SolverOptions options;
+  StreamingSolver solver(f.a, &f.db, options);
+  ExpectMatchesFresh(solver, f.a, f.db, options, "initial");
+  ASSERT_EQ(solver.stats().full_rebuilds, 1u);
+
+  // Flip a player exogenous behind the solver's back. The partition change
+  // must bump the epoch, and the next solve must rebuild and agree with a
+  // fresh session on the mutated database.
+  const uint64_t before = f.db.epoch();
+  f.db.SetEndogenous(0, false);
+  EXPECT_EQ(f.db.epoch(), before + 1);
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after exogenous flip");
+  EXPECT_EQ(solver.stats().full_rebuilds, 2u);
+
+  // And back again: a second unnotified flip, a second detected rebuild.
+  f.db.SetEndogenous(0, true);
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after endogenous flip");
+  EXPECT_EQ(solver.stats().full_rebuilds, 3u);
+}
+
+TEST(StreamingEpochTest, NoOpSetEndogenousKeepsCache) {
+  EpochFixture f;
+  SolverOptions options;
+  StreamingSolver solver(f.a, &f.db, options);
+  ASSERT_TRUE(solver.ComputeAll().ok());
+  ASSERT_EQ(solver.stats().full_rebuilds, 1u);
+
+  // Re-asserting the current flag is not a semantic change: no epoch bump,
+  // and the cache survives the next solve.
+  const uint64_t before = f.db.epoch();
+  f.db.SetEndogenous(0, true);
+  EXPECT_EQ(f.db.epoch(), before);
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after no-op flip");
+  EXPECT_EQ(solver.stats().full_rebuilds, 1u);
+  EXPECT_EQ(solver.stats().incremental_solves, 2u);
+}
+
+TEST(StreamingEpochTest, UnnotifiedExternalCompactionForcesRebuild) {
+  EpochFixture f;
+  SolverOptions options;
+  StreamingSolver solver(f.a, &f.db, options);
+  ASSERT_TRUE(solver.ComputeAll().ok());
+  ASSERT_TRUE(solver.DeleteFact(1).ok());
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after delete");
+  ASSERT_EQ(solver.stats().full_rebuilds, 1u);
+
+  // Compact the database directly, without OnCompact. The epoch moves past
+  // what the cache recorded, so the next solve must detect it and rebuild
+  // rather than trust posting lists whose rows were shuffled.
+  f.db.CompactTombstones();
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after silent compaction");
+  EXPECT_EQ(solver.stats().full_rebuilds, 2u);
+}
+
+TEST(StreamingEpochTest, NotifiedCompactionKeepsCache) {
+  EpochFixture f;
+  SolverOptions options;
+  StreamingSolver solver(f.a, &f.db, options);
+  ASSERT_TRUE(solver.ComputeAll().ok());
+  ASSERT_TRUE(solver.DeleteFact(1).ok());
+
+  // The solver's own CompactTombstones (and equivalently an external
+  // compaction followed by OnCompact) absorbs the epoch bump: contents are
+  // unchanged, so the cache stays warm.
+  solver.CompactTombstones();
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after notified compaction");
+  EXPECT_EQ(solver.stats().full_rebuilds, 1u);
+
+  f.db.CompactTombstones();
+  solver.OnCompact();
+  ExpectMatchesFresh(solver, f.a, f.db, options, "after external OnCompact");
+  EXPECT_EQ(solver.stats().full_rebuilds, 1u);
+}
 
 }  // namespace
 }  // namespace shapcq

@@ -8,6 +8,7 @@
 // Usage:
 //   shapcqd [--port N] [--metrics-port N|-1] [--workers N]
 //           [--journal PATH] [--journal-max-bytes N]
+//           [--artifact-dir DIR]
 //           [--tenant NAME=DB_FILE]...
 //           [--max-in-flight N] [--max-queue N] [--no-load-tenant]
 //           [--no-mutations] [--compact-min-tombstones N]
@@ -17,6 +18,9 @@
 // registered over the wire (op:"load_tenant") unless --no-load-tenant.
 // --journal-max-bytes rotates the journal by size (segment 0 at PATH,
 // older segments at PATH.1, PATH.2, ...; 0 = never rotate).
+// --artifact-dir warm-starts the plan/circuit caches from persisted
+// compiled artifacts at boot and snapshots them back on shutdown;
+// SIGHUP snapshots without restarting (docs/OPERATIONS.md).
 // --no-mutations refuses the insert_fact/delete_fact ops;
 // --compact-min-tombstones tunes the auto-compaction trigger (<= 0
 // disables it).
@@ -36,14 +40,17 @@ using namespace shapcq;  // NOLINT: tool brevity
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_snapshot = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleHup(int) { g_snapshot = 1; }
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--metrics-port N|-1] [--workers N]\n"
       "          [--journal PATH] [--journal-max-bytes N]\n"
+      "          [--artifact-dir DIR]\n"
       "          [--tenant NAME=DB_FILE]...\n"
       "          [--max-in-flight N] [--max-queue N] [--no-load-tenant]\n"
       "          [--no-mutations] [--compact-min-tombstones N]\n",
@@ -85,6 +92,9 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) Usage(argv[0]);
       options.journal_max_segment_bytes =
           static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--artifact-dir") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      options.artifact_dir = argv[++i];
     } else if (arg == "--no-load-tenant") {
       options.allow_load_tenant = false;
     } else if (arg == "--no-mutations") {
@@ -128,12 +138,27 @@ int main(int argc, char** argv) {
   if (!options.journal_path.empty()) {
     std::printf("  journal=%s", options.journal_path.c_str());
   }
+  if (!options.artifact_dir.empty()) {
+    std::printf("  artifacts=%s", options.artifact_dir.c_str());
+  }
   std::printf("\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGHUP, HandleHup);
   while (g_stop == 0) {
+    if (g_snapshot != 0) {
+      g_snapshot = 0;
+      Status saved = server.SaveArtifacts();
+      if (saved.ok()) {
+        std::printf("artifact snapshot written\n");
+      } else {
+        std::fprintf(stderr, "artifact snapshot failed: %s\n",
+                     saved.ToString().c_str());
+      }
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("shutting down (journal records: %llu)\n",
