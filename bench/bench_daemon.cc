@@ -1,18 +1,24 @@
 // Daemon throughput benchmark: concurrent clients against a live
-// shapcqd server, with journaled traffic replayed for bitwise parity.
+// shapcqd server, with journaled traffic replayed for bitwise parity —
+// run twice, tracing off then on, to price the observability layer.
 //
-// Starts an in-process AttributionServer (ephemeral loopback ports,
-// journaling on), registers a set of generated tenant databases, then
-// drives N client threads each issuing synchronous solve requests
-// round-robin over the tenants. Afterwards it scrapes /metrics, stops
-// the server, replays the journal (warm + cold passes, bitwise-checked
-// against each other inside ReplayJournal), and finally compares every
-// daemon response bit-for-bit with the replayed scores — the wire, the
-// journal, and a direct SolverSession::ComputeAll must all agree.
-// One BENCH_JSON line with throughput and client-observed latency.
+// Each phase starts an in-process AttributionServer (ephemeral loopback
+// ports, journaling on, trace level off or on), registers a set of
+// generated tenant databases, then drives N client threads each issuing
+// synchronous solve requests round-robin over the tenants. Afterwards
+// it scrapes /metrics, stops the server, replays the journal (warm +
+// cold passes, bitwise-checked against each other inside ReplayJournal),
+// and compares every daemon response bit-for-bit with the replayed
+// scores — the wire, the journal, and a direct
+// SolverSession::ComputeAll must all agree, traced or not. One
+// BENCH_JSON line reports both phases and the tracing overhead.
 //
-// Usage: bench_daemon [--smoke] [clients] [requests_per_client] [tenants]
+// Usage: bench_daemon [--smoke] [--trace-gate PCT]
+//                     [clients] [requests_per_client] [tenants]
 //   defaults: 8 clients x 150 requests over 8 tenants.
+//   --trace-gate PCT: run each phase best-of-3 and exit nonzero when the
+//   tracing-on phase is more than PCT percent slower than tracing-off —
+//   the CI regression gate for the observability layer.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +35,7 @@
 #include "bench/bench_util.h"
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/agg/value_function.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/query/parser.h"
 #include "shapcq/serve/client.h"
 #include "shapcq/serve/journal.h"
@@ -54,19 +61,30 @@ struct ClientStats {
   uint64_t errors = 0;
 };
 
-}  // namespace
+struct PhaseResult {
+  double wall_ms = 0;
+  double req_per_sec = 0;
+  uint64_t errors = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t journal_records = 0;
+  double replay_ms = 0;
+  bool metrics_ok = false;
+  bool parity = false;
 
-int main(int argc, char** argv) {
-  bench::Args args = bench::ParseArgs(argc, argv);
-  int clients = args.Int(0, args.smoke ? 3 : 8);
-  int requests_per_client = args.Int(1, args.smoke ? 10 : 150);
-  int tenants = args.Int(2, args.smoke ? 3 : 8);
+  bool healthy() const { return errors == 0 && metrics_ok && parity; }
+};
 
-  const std::string journal_path = "bench_daemon.journal";
+PhaseResult RunPhase(TraceLevel level, int clients, int requests_per_client,
+                     int tenants) {
+  PhaseResult out;
+  const std::string journal_path =
+      std::string("bench_daemon.") + TraceLevelName(level) + ".journal";
 
   ServerOptions server_options;
   server_options.journal_path = journal_path;
   server_options.worker_threads = 4;
+  server_options.trace_level = level;
   AttributionServer server(server_options);
 
   ConjunctiveQuery q = MustParseQuery(kQuery);
@@ -84,17 +102,14 @@ int main(int argc, char** argv) {
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
-    return 1;
+    return out;
   }
-  std::printf("daemon on 127.0.0.1:%d (metrics :%d), %d tenants\n",
-              server.port(), server.metrics_port(), tenants);
-  bench::Rule();
 
   // Drive the daemon; keep every parsed response for the parity check.
   std::mutex responses_mu;
   std::unordered_map<uint64_t, SolveResponse> responses;
   std::vector<ClientStats> stats(static_cast<size_t>(clients));
-  double wall_ms = bench::TimeMs([&] {
+  out.wall_ms = bench::TimeMs([&] {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(clients));
     for (int c = 0; c < clients; ++c) {
@@ -132,13 +147,11 @@ int main(int argc, char** argv) {
     for (std::thread& thread : threads) thread.join();
   });
 
-  uint64_t total_requests =
-      static_cast<uint64_t>(clients) *
-      static_cast<uint64_t>(requests_per_client);
-  uint64_t errors = 0;
+  uint64_t total_requests = static_cast<uint64_t>(clients) *
+                            static_cast<uint64_t>(requests_per_client);
   std::vector<uint64_t> latencies;
   for (const ClientStats& s : stats) {
-    errors += s.errors;
+    out.errors += s.errors;
     latencies.insert(latencies.end(), s.latency_micros.begin(),
                      s.latency_micros.end());
   }
@@ -148,26 +161,37 @@ int main(int argc, char** argv) {
     size_t i = static_cast<size_t>(f * static_cast<double>(latencies.size()));
     return latencies[std::min(i, latencies.size() - 1)];
   };
-  double req_per_sec =
-      wall_ms > 0 ? 1000.0 * static_cast<double>(total_requests - errors) /
-                        wall_ms
-                  : 0.0;
-  std::printf("%llu requests, %llu errors: %.1f ms wall (%.1f req/s), "
-              "p50 %llu us, p99 %llu us\n",
+  out.p50_us = quantile(0.50);
+  out.p99_us = quantile(0.99);
+  out.req_per_sec =
+      out.wall_ms > 0
+          ? 1000.0 * static_cast<double>(total_requests - out.errors) /
+                out.wall_ms
+          : 0.0;
+  std::printf("trace=%-4s %llu requests, %llu errors: %.1f ms wall "
+              "(%.1f req/s), p50 %llu us, p99 %llu us\n",
+              TraceLevelName(level),
               static_cast<unsigned long long>(total_requests),
-              static_cast<unsigned long long>(errors), wall_ms, req_per_sec,
-              static_cast<unsigned long long>(quantile(0.50)),
-              static_cast<unsigned long long>(quantile(0.99)));
+              static_cast<unsigned long long>(out.errors), out.wall_ms,
+              out.req_per_sec, static_cast<unsigned long long>(out.p50_us),
+              static_cast<unsigned long long>(out.p99_us));
 
   // Scrape /metrics while the daemon is live.
   StatusOr<std::string> metrics = HttpGet(server.metrics_port(), "/metrics");
-  bool metrics_ok =
+  out.metrics_ok =
       metrics.ok() &&
       metrics->find("shapcq_requests_total{status=\"ok\"}") !=
           std::string::npos &&
       metrics->find("shapcq_request_latency_p99_seconds") !=
           std::string::npos;
-  std::printf("metrics scrape: %s\n", metrics_ok ? "ok" : "FAILED");
+  // The tracing-on phase must also feed the per-stage histograms.
+  if (level != TraceLevel::kOff) {
+    out.metrics_ok = out.metrics_ok &&
+                     metrics.ok() &&
+                     metrics->find("shapcq_stage_seconds_bucket") !=
+                         std::string::npos;
+  }
+  std::printf("metrics scrape: %s\n", out.metrics_ok ? "ok" : "FAILED");
 
   server.Stop();
 
@@ -176,55 +200,118 @@ int main(int argc, char** argv) {
   if (!records.ok()) {
     std::fprintf(stderr, "journal read failed: %s\n",
                  records.status().ToString().c_str());
-    return 1;
+    return out;
   }
-  double replay_ms = 0;
-  bool parity = true;
+  out.journal_records = records->size();
+  out.parity = true;
   StatusOr<ReplayResult> replay =
       ReplayJournal(*records, tenant_dbs, ReplayOptions{});
   if (!replay.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
                  replay.status().ToString().c_str());
-    parity = false;
+    out.parity = false;
   } else {
-    replay_ms = replay->warm_ms + replay->cold_ms;
-    for (size_t i = 0; i < records->size() && parity; ++i) {
+    out.replay_ms = replay->warm_ms + replay->cold_ms;
+    for (size_t i = 0; i < records->size() && out.parity; ++i) {
       auto it = responses.find((*records)[i].request.id);
       if (it == responses.end()) continue;  // errored client-side
       const std::vector<FactScore>& wire = it->second.results;
       const auto& replayed = replay->results[i];
-      parity = wire.size() == replayed.size();
-      for (size_t f = 0; f < replayed.size() && parity; ++f) {
+      out.parity = wire.size() == replayed.size();
+      for (size_t f = 0; f < replayed.size() && out.parity; ++f) {
         const auto& [fact, result] = replayed[f];
-        parity = wire[f].fact == fact && wire[f].exact == result.is_exact &&
-                 SameBits(wire[f].value, result.approximation) &&
-                 (!result.is_exact ||
-                  wire[f].exact_value == result.exact.ToString());
+        out.parity =
+            wire[f].fact == fact && wire[f].exact == result.is_exact &&
+            SameBits(wire[f].value, result.approximation) &&
+            (!result.is_exact ||
+             wire[f].exact_value == result.exact.ToString());
       }
     }
     std::printf("replayed %llu records in %.1f ms: wire parity %s\n",
-                static_cast<unsigned long long>(replay->records), replay_ms,
-                parity ? "bitwise identical" : "MISMATCH — BUG");
+                static_cast<unsigned long long>(replay->records),
+                out.replay_ms,
+                out.parity ? "bitwise identical" : "MISMATCH — BUG");
   }
   std::remove(journal_path.c_str());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --trace-gate is ours, not bench_util's: strip it before ParseArgs
+  // (which treats unknown flags as positionals).
+  int trace_gate_pct = -1;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-gate") == 0 && i + 1 < argc) {
+      trace_gate_pct = std::atoi(argv[++i]);
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  bench::Args args =
+      bench::ParseArgs(static_cast<int>(filtered.size()), filtered.data());
+  int clients = args.Int(0, args.smoke ? 3 : 8);
+  int requests_per_client = args.Int(1, args.smoke ? 10 : 150);
+  int tenants = args.Int(2, args.smoke ? 3 : 8);
+
+  std::printf("%d clients x %d requests over %d tenants\n", clients,
+              requests_per_client, tenants);
+  bench::Rule();
+
+  // Gated runs take the best of 3 per phase: the gate compares the two
+  // phases' best throughput, not one noisy sample of each.
+  const int repeats = trace_gate_pct >= 0 ? 3 : 1;
+  auto best_of = [&](TraceLevel level) {
+    PhaseResult best;
+    for (int r = 0; r < repeats; ++r) {
+      PhaseResult run =
+          RunPhase(level, clients, requests_per_client, tenants);
+      if (!run.healthy()) return run;  // fail fast, keep the evidence
+      if (run.req_per_sec > best.req_per_sec) best = run;
+    }
+    return best;
+  };
+  PhaseResult off = best_of(TraceLevel::kOff);
+  PhaseResult on = best_of(TraceLevel::kOn);
+
+  double overhead_pct =
+      off.req_per_sec > 0
+          ? 100.0 * (off.req_per_sec - on.req_per_sec) / off.req_per_sec
+          : 0.0;
+  bool gate_ok =
+      trace_gate_pct < 0 || overhead_pct <= static_cast<double>(trace_gate_pct);
+  std::printf("tracing overhead: %.1f%% (off %.1f req/s, on %.1f req/s)%s\n",
+              overhead_pct, off.req_per_sec, on.req_per_sec,
+              trace_gate_pct < 0
+                  ? ""
+                  : (gate_ok ? " — within gate" : " — GATE EXCEEDED"));
 
   bench::JsonLine("daemon")
       .Int("clients", clients)
       .Int("requests_per_client", requests_per_client)
       .Int("tenants", tenants)
-      .Int("requests", static_cast<long long>(total_requests))
-      .Int("errors", static_cast<long long>(errors))
-      .Num("wall_ms", wall_ms)
-      .Num("req_per_sec", req_per_sec)
-      .Int("p50_us", static_cast<long long>(quantile(0.50)))
-      .Int("p99_us", static_cast<long long>(quantile(0.99)))
+      .Int("errors", static_cast<long long>(off.errors + on.errors))
+      .Num("wall_ms", off.wall_ms)
+      .Num("req_per_sec", off.req_per_sec)
+      .Num("req_per_sec_off", off.req_per_sec)
+      .Num("req_per_sec_on", on.req_per_sec)
+      .Num("trace_overhead_pct", overhead_pct)
+      .Int("trace_gate_pct", trace_gate_pct)
+      .Bool("trace_gate_ok", gate_ok)
+      .Int("p50_us", static_cast<long long>(off.p50_us))
+      .Int("p99_us", static_cast<long long>(off.p99_us))
+      .Int("p50_us_on", static_cast<long long>(on.p50_us))
+      .Int("p99_us_on", static_cast<long long>(on.p99_us))
       .Int("journal_records",
-           static_cast<long long>(records.ok() ? records->size() : 0))
-      .Num("replay_ms", replay_ms)
-      .Bool("metrics_ok", metrics_ok)
-      .Bool("wire_parity", parity)
+           static_cast<long long>(off.journal_records + on.journal_records))
+      .Num("replay_ms", off.replay_ms + on.replay_ms)
+      .Bool("metrics_ok", off.metrics_ok && on.metrics_ok)
+      .Bool("wire_parity", off.parity && on.parity)
       .Int("peak_rss_bytes", static_cast<long long>(bench::PeakRssBytes()))
       .Emit();
 
-  return (errors == 0 && metrics_ok && parity) ? 0 : 1;
+  return (off.healthy() && on.healthy() && gate_ok) ? 0 : 1;
 }

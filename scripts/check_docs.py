@@ -7,7 +7,11 @@ Walks every Markdown file (excluding build trees), and fails on:
     (anchors are stripped; http(s)/mailto links are not fetched);
   * unbalanced fenced code blocks (an odd number of ``` fences);
   * a required doc that is missing, or not linked from README.md
-    (docs/ARCHITECTURE.md, docs/METRICS.md, docs/OPERATIONS.md).
+    (docs/ARCHITECTURE.md, docs/METRICS.md, docs/OPERATIONS.md,
+    docs/TRACING.md);
+  * a Prometheus series name (shapcq_*) that the exposition code in
+    src/shapcq/serve/metrics.cc emits but docs/METRICS.md never
+    mentions — every series must be documented.
 
 Run from the repo root (CI and the docs_check ctest target do):
 
@@ -25,7 +29,11 @@ REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/METRICS.md",
     "docs/OPERATIONS.md",
+    "docs/TRACING.md",
 ]
+METRICS_SOURCE = "src/shapcq/serve/metrics.cc"
+METRICS_DOC = "docs/METRICS.md"
+METRIC_NAME_RE = re.compile(r"shapcq_[a-z0-9_]+")
 
 
 def markdown_files(root):
@@ -76,6 +84,28 @@ def check_file(path, root):
     return errors
 
 
+def check_metrics_documented(root):
+    """Every shapcq_* series name the exposition code emits must appear
+    in docs/METRICS.md. Names built by concatenation (histogram
+    _bucket/_sum/_count suffixes, quantile gauges) are covered by the
+    substring test: the source fragment is a prefix of the documented
+    full name."""
+    source_path = os.path.join(root, METRICS_SOURCE)
+    doc_path = os.path.join(root, METRICS_DOC)
+    if not os.path.exists(source_path) or not os.path.exists(doc_path):
+        return []  # missing-required-doc errors already cover this
+    with open(source_path, encoding="utf-8") as f:
+        names = sorted(set(METRIC_NAME_RE.findall(f.read())))
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+    return [
+        f"{METRICS_DOC}: undocumented metric series '{name}'"
+        f" (emitted by {METRICS_SOURCE})"
+        for name in names
+        if name not in doc
+    ]
+
+
 def main():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     errors = []
@@ -93,6 +123,8 @@ def main():
                 errors.append(f"README.md does not link {doc}")
     else:
         errors.append("missing README.md")
+
+    errors.extend(check_metrics_documented(root))
 
     count = 0
     for path in markdown_files(root):

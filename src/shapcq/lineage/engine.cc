@@ -6,6 +6,7 @@
 
 #include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/lineage.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/util/check.h"
 #include "shapcq/util/combinatorics.h"
 #include "shapcq/util/parallel.h"
@@ -217,7 +218,15 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
   std::vector<FactId> endo = db.EndogenousFacts();
   if (endo.empty()) return std::vector<std::pair<FactId, Rational>>{};
 
+  // Span sites here run on the calling thread only (the sweep's thread);
+  // the per-chunk circuit work below never touches options.trace.
+  Span extract_span(options.trace, "lineage_extract");
   const LineageSet lineage = ExtractLineage(a.query, db);
+  extract_span.Annotate("answers",
+                        static_cast<int64_t>(lineage.answers.size()));
+  extract_span.Annotate("players",
+                        static_cast<int64_t>(lineage.players.size()));
+  extract_span.End();
 
   // The cheap per-answer work (weights, constant detection) runs serially
   // so failures land on exactly the answer a serial sweep would hit first.
@@ -244,6 +253,8 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
                         UnsupportedError("unset")));
   const int num_chunks = EffectiveThreadCount(
       options.num_threads, static_cast<int64_t>(tasks.size()));
+  Span compile_span(options.trace, "lineage_compile");
+  compile_span.Annotate("tasks", static_cast<int64_t>(tasks.size()));
   ParallelFor(
       num_chunks,
       [&](int64_t c) {
@@ -263,6 +274,7 @@ StatusOr<std::vector<std::pair<FactId, Rational>>> LineageCircuitScoreAll(
         }
       },
       num_chunks);
+  compile_span.End();
 
   std::vector<Rational> by_player(lineage.players.size());
   for (size_t t = 0; t < per_task.size(); ++t) {

@@ -1,0 +1,83 @@
+#include "shapcq/obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+
+namespace shapcq {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  if (text == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (text == "info") {
+    *level = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (text == "error") {
+    *level = LogLevel::kError;
+  } else if (text == "off") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "off";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return level != LogLevel::kOff &&
+         static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (!LogEnabled(level)) return;
+  char stamp[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  std::string line;
+  line.reserve(message.size() + 48);
+  line += stamp;
+  line += " level=";
+  line += LogLevelName(level);
+  line += " ";
+  line += message;
+  for (char& c : line) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  line += "\n";
+  // One fwrite per line: stderr is unbuffered but fwrite of a single
+  // buffer is atomic enough that concurrent workers don't interleave.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,41 @@
+// Structured stderr logging for the serving stack.
+//
+// One global severity threshold (atomic; default kWarn so in-process
+// tests and benches stay quiet), one line per event:
+//
+//   2026-08-09T12:34:56Z level=info msg="..."
+//
+// The message is pre-formatted by the caller — the daemon's per-request
+// line packs trace id, tenant, outcome, and timings as key=value pairs.
+// Lines are written with a single fwrite so concurrent workers never
+// interleave mid-line. This replaces the ad-hoc printf/fprintf scattered
+// through tools/shapcqd.cc.
+
+#ifndef SHAPCQ_OBS_LOG_H_
+#define SHAPCQ_OBS_LOG_H_
+
+#include <string>
+
+namespace shapcq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Parses "debug" | "info" | "warn" | "error" | "off"; false otherwise.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+const char* LogLevelName(LogLevel level);
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// True when a LogLine at `level` would actually be written — lets callers
+// skip building expensive messages.
+bool LogEnabled(LogLevel level);
+
+// Writes one structured line to stderr if `level` clears the threshold.
+// `message` should be key=value pairs; embedded newlines are replaced
+// with spaces so one event is always one line.
+void LogLine(LogLevel level, const std::string& message);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_OBS_LOG_H_

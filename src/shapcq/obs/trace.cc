@@ -1,0 +1,224 @@
+#include "shapcq/obs/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "shapcq/serve/json.h"
+#include "shapcq/util/clock.h"
+
+namespace shapcq {
+namespace {
+
+// splitmix64 finalizer: bijective, so distinct counter values can never
+// collide, but sequential ids don't look sequential on the wire.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed =
+      Mix64(MonotonicNanos() ^ (static_cast<uint64_t>(::getpid()) << 32));
+  return seed;
+}
+
+}  // namespace
+
+bool ParseTraceLevel(const std::string& text, TraceLevel* level) {
+  if (text == "off") {
+    *level = TraceLevel::kOff;
+  } else if (text == "on") {
+    *level = TraceLevel::kOn;
+  } else if (text == "full") {
+    *level = TraceLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff:
+      return "off";
+    case TraceLevel::kOn:
+      return "on";
+    case TraceLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  // | 1 keeps zero reserved for "no trace id" (v1/v2 journal records).
+  return Mix64(ProcessSeed() + n) | 1;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf, 16);
+}
+
+size_t TraceContext::BeginSpan(std::string stage) {
+  TraceSpan span;
+  span.stage = std::move(stage);
+  span.start_ns = MonotonicNanos();
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void TraceContext::EndSpan(size_t span) {
+  if (span >= spans_.size()) return;
+  if (spans_[span].end_ns == 0) spans_[span].end_ns = MonotonicNanos();
+}
+
+void TraceContext::AddSpan(std::string stage, uint64_t start_ns,
+                           uint64_t end_ns) {
+  TraceSpan span;
+  span.stage = std::move(stage);
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  spans_.push_back(std::move(span));
+}
+
+void TraceContext::Annotate(size_t span, const char* key, int64_t value) {
+  if (span >= spans_.size()) return;
+  TraceAnnotation a;
+  a.key = key;
+  a.is_text = false;
+  a.number = value;
+  spans_[span].annotations.push_back(std::move(a));
+}
+
+void TraceContext::Annotate(size_t span, const char* key, std::string text) {
+  if (span >= spans_.size()) return;
+  TraceAnnotation a;
+  a.key = key;
+  a.is_text = true;
+  a.text = std::move(text);
+  spans_[span].annotations.push_back(std::move(a));
+}
+
+std::string TraceContext::RenderJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Str("trace_id", TraceIdHex(trace_id_));
+  w.BeginArray("spans");
+  for (const TraceSpan& span : spans_) {
+    w.BeginObjectInArray();
+    w.Str("stage", span.stage);
+    w.Uint("us", span.duration_micros());
+    for (const TraceAnnotation& a : span.annotations) {
+      if (a.is_text) {
+        w.Str(a.key, a.text);
+      } else {
+        w.Int(a.key, a.number);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace {
+
+const TraceAnnotation* FindAnnotation(const TraceSpan& span, const char* key) {
+  for (const TraceAnnotation& a : span.annotations) {
+    if (std::string_view(a.key) == key) return &a;
+  }
+  return nullptr;
+}
+
+void AppendCount(std::string* out, const char* what, int64_t n) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld %s", static_cast<long long>(n), what);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string BuildEngineExplanation(const TraceContext& trace) {
+  std::string out;
+  // Context line from the solve span, if present.
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.stage != "solve") continue;
+    out += "solve:";
+    if (const auto* a = FindAnnotation(span, "players")) {
+      out += " ";
+      AppendCount(&out, "players", a->number);
+    }
+    if (const auto* a = FindAnnotation(span, "hierarchy")) {
+      out += " class=" + a->text;
+    }
+    if (const auto* a = FindAnnotation(span, "method")) {
+      out += " method=" + a->text;
+    }
+    if (const auto* a = FindAnnotation(span, "degrade_reason")) {
+      out += " degraded(" + a->text + ")";
+    }
+    break;
+  }
+  // One clause per engine / fallback span, in attempt order.
+  for (const TraceSpan& span : trace.spans()) {
+    const bool is_engine = span.stage.rfind("engine:", 0) == 0;
+    const bool is_fallback =
+        span.stage == "brute_force" || span.stage == "monte_carlo";
+    if (!is_engine && !is_fallback) continue;
+    if (!out.empty()) out += "; ";
+    out += is_engine ? span.stage.substr(7) : span.stage;
+    const auto* solved = FindAnnotation(span, "facts_solved");
+    const auto* facts = FindAnnotation(span, "facts");
+    const auto* reject = FindAnnotation(span, "reject");
+    if (solved != nullptr && solved->number > 0) {
+      out += " scored ";
+      AppendCount(&out, "facts", solved->number);
+    } else if (facts != nullptr) {
+      out += " scored ";
+      AppendCount(&out, "facts", facts->number);
+    }
+    if (const auto* a = FindAnnotation(span, "samples")) {
+      out += " (";
+      AppendCount(&out, "samples/fact", a->number);
+      out += ")";
+    }
+    if (const auto* a = FindAnnotation(span, "circuit_nodes")) {
+      out += " (";
+      AppendCount(&out, "circuit nodes", a->number);
+      if (const auto* b = FindAnnotation(span, "budget_fallbacks")) {
+        if (b->number > 0) {
+          out += ", ";
+          AppendCount(&out, "budget fallbacks", b->number);
+        }
+      }
+      out += ")";
+    }
+    if (reject != nullptr) {
+      if ((solved == nullptr || solved->number == 0) && facts == nullptr) {
+        out += " rejected: " + reject->text;
+      } else {
+        out += "; remainder rejected: " + reject->text;
+      }
+    }
+    if (const auto* a = FindAnnotation(span, "facts_open")) {
+      if (a->number > 0) {
+        out += " (";
+        AppendCount(&out, "facts left", a->number);
+        out += ")";
+      }
+    }
+  }
+  if (out.empty()) out = "no solve recorded";
+  return out;
+}
+
+}  // namespace shapcq

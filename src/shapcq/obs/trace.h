@@ -1,0 +1,152 @@
+// Low-overhead per-request tracing for the attribution stack.
+//
+// A TraceContext is a per-request arena of spans: each span records a
+// stage name, wall-clock bounds (util/clock.h MonotonicNanos), and a
+// small list of typed annotations — the vocabulary is documented in
+// docs/TRACING.md (engine chosen, player count, circuit nodes, cache
+// hit/miss, budget consumed, cancel/degrade reason). The daemon creates
+// one context per admitted request and threads a borrowed pointer down
+// through SolverOptions::trace; shapcq_replay attaches one per record to
+// build engine-decision explanations.
+//
+// Concurrency contract: a TraceContext is NOT thread-safe. It is owned
+// by exactly one thread at a time and handed off with happens-before
+// ordering (the daemon's reader thread builds it, the work queue's mutex
+// publishes it to one worker). Span sites below the session layer record
+// on the CALLING thread only, never inside a ParallelFor shard — the
+// session strips the trace pointer before fanning per-fact work out —
+// so tracing can never perturb scheduling or results: solver output is
+// bitwise-identical with tracing off, on, or at full verbosity.
+//
+// Cost model: a null TraceContext* makes every Span constructor a single
+// pointer test (no allocation, no clock read). Ids are generated even
+// when span collection is off — the journal stamps every record with one
+// (serve/journal.h v3) — via one relaxed atomic increment and a splitmix
+// hash.
+
+#ifndef SHAPCQ_OBS_TRACE_H_
+#define SHAPCQ_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shapcq {
+
+// How much the serving layer traces (ServerOptions::trace_level).
+//   kOff  — no span collection; requests still get trace ids.
+//   kOn   — spans feed the per-stage histograms, the flight recorder,
+//           and the per-request log line; responses carry the trace id.
+//   kFull — kOn, plus every response carries the span dump + explanation
+//           (otherwise only requests with "trace":true get them).
+enum class TraceLevel { kOff = 0, kOn = 1, kFull = 2 };
+
+// Parses "off" | "on" | "full"; false on anything else.
+bool ParseTraceLevel(const std::string& text, TraceLevel* level);
+const char* TraceLevelName(TraceLevel level);
+
+// Process-unique 64-bit trace id: never zero (zero means "no id" — e.g.
+// a record read from a v2 journal), seeded per process so two daemon
+// runs do not reuse ids.
+uint64_t NextTraceId();
+
+// A trace id as the fixed-width lowercase hex the wire and logs use.
+std::string TraceIdHex(uint64_t trace_id);
+
+// One typed key-value annotation. Keys are static-duration strings (the
+// annotation vocabulary); values are an integer or a short text.
+struct TraceAnnotation {
+  const char* key = "";
+  bool is_text = false;
+  int64_t number = 0;
+  std::string text;
+};
+
+struct TraceSpan {
+  std::string stage;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;  // 0 while open
+  std::vector<TraceAnnotation> annotations;
+
+  uint64_t duration_micros() const {
+    return end_ns > start_ns ? (end_ns - start_ns) / 1000 : 0;
+  }
+};
+
+class TraceContext {
+ public:
+  explicit TraceContext(uint64_t trace_id) : trace_id_(trace_id) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  // Opens a span starting now; returns its index (stable — spans are
+  // append-only). Prefer the RAII Span wrapper below.
+  size_t BeginSpan(std::string stage);
+  void EndSpan(size_t span);
+  // Adds a pre-timed span (e.g. queue wait, whose start predates the
+  // context reaching the worker thread).
+  void AddSpan(std::string stage, uint64_t start_ns, uint64_t end_ns);
+
+  void Annotate(size_t span, const char* key, int64_t value);
+  void Annotate(size_t span, const char* key, std::string text);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // The span dump as one JSON object:
+  //   {"trace_id":"....","spans":[{"stage":...,"us":...,...},...]}
+  // Annotation keys land directly in each span object. Open spans render
+  // with "us":0.
+  std::string RenderJson() const;
+
+ private:
+  uint64_t trace_id_;
+  std::vector<TraceSpan> spans_;
+};
+
+// RAII span: records [construction, destruction) into `trace`, or does
+// nothing at all when `trace` is null (one pointer test per call).
+class Span {
+ public:
+  Span(TraceContext* trace, std::string stage) : trace_(trace) {
+    if (trace_ != nullptr) index_ = trace_->BeginSpan(std::move(stage));
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Ends the span now (idempotent; the destructor is then a no-op).
+  void End() {
+    if (trace_ != nullptr) trace_->EndSpan(index_);
+    trace_ = nullptr;
+  }
+
+  void Annotate(const char* key, int64_t value) {
+    if (trace_ != nullptr) trace_->Annotate(index_, key, value);
+  }
+  void Annotate(const char* key, std::string text) {
+    if (trace_ != nullptr) trace_->Annotate(index_, key, std::move(text));
+  }
+
+ private:
+  TraceContext* trace_;
+  size_t index_ = 0;
+};
+
+// The engine-decision explanation: one human-readable line naming the
+// solve context (players, hierarchy class, method) and what happened at
+// each engine/fallback span — which engines were considered, why each
+// was rejected (shape, player count, node budget), and which one scored
+// how many facts. Built purely from the recorded spans, so the daemon
+// (serve/server.h) and shapcq_replay --explain produce the same text
+// for the same solve.
+std::string BuildEngineExplanation(const TraceContext& trace);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_OBS_TRACE_H_

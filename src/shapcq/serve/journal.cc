@@ -8,8 +8,9 @@ namespace shapcq {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'H', 'A', 'P', 'C', 'Q', 'J', 'L'};
-// v1 had no op/fact tail; v1 files decode as op=kSolve.
-constexpr uint32_t kVersion = 2;
+// v1 had no op/fact tail (decodes as op=kSolve); v2 had no trace id
+// (decodes as trace_id=0, "no trace").
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kOldestReadable = 1;
 // A record is a handful of strings and fixed-width fields; anything huge
 // indicates corruption (or an adversarial file), not a real request.
@@ -101,6 +102,7 @@ std::string EncodePayload(const JournalRecord& record, uint64_t sequence) {
   PutI64(&payload, record.request.deadline_ms);
   PutU32(&payload, static_cast<uint32_t>(record.op));
   PutStr(&payload, record.fact);
+  PutU64(&payload, record.trace_id);
   return payload;
 }
 
@@ -131,6 +133,11 @@ bool DecodePayload(const char* data, size_t size, uint32_t version,
   } else {
     record->op = JournalOp::kSolve;
     record->fact.clear();
+  }
+  if (version >= 3) {
+    if (!reader.U64(&record->trace_id)) return false;
+  } else {
+    record->trace_id = 0;
   }
   return reader.AtEnd();
 }

@@ -13,13 +13,15 @@
 // deterministically and compare results bitwise.
 //
 // File layout (all integers little-endian):
-//   8-byte magic "SHAPCQJL", u32 version (2; v1 files read as op=solve)
+//   8-byte magic "SHAPCQJL", u32 version (3; v1 files read as op=solve,
+//   v1/v2 files read as trace_id=0)
 //   per record: u32 payload_length, payload
 //   payload: u64 sequence, u64 timestamp_ns, u64 request id,
 //            str fingerprint, str tenant, str query, str agg, str tau,
 //            str score, str method, i32 threads, i64 samples, u64 seed,
 //            i64 deadline_ms,
-//            u32 op, str fact          (v2 only; str = u32 length + bytes)
+//            u32 op, str fact,         (v2+; str = u32 length + bytes)
+//            u64 trace_id              (v3+)
 //
 // Rotation: with a max segment size configured, the writer starts a new
 // segment — `<path>` first, then `<path>.1`, `<path>.2`, ... — once the
@@ -58,6 +60,7 @@ enum class JournalOp : uint32_t {
 struct JournalRecord {
   uint64_t sequence = 0;      // 0-based, assigned by the writer
   uint64_t timestamp_ns = 0;  // MonotonicNanos() at acceptance
+  uint64_t trace_id = 0;      // obs/trace.h id; 0 in pre-v3 journals
   std::string fingerprint;    // plan fingerprint at serve time ("" for
                               // mutations)
   JournalOp op = JournalOp::kSolve;

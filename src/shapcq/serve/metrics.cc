@@ -8,6 +8,8 @@ namespace shapcq {
 
 namespace {
 
+constexpr const char kOtherLabel[] = "__other__";
+
 void Line(std::string* out, const char* fmt, ...) {
   char buf[256];
   va_list args;
@@ -76,14 +78,50 @@ std::map<std::string, uint64_t> DaemonMetrics::EngineMix() const {
   return engine_facts_;
 }
 
+void DaemonMetrics::RecordStage(const std::string& stage, uint64_t micros) {
+  LatencyHistogram* histogram;
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    std::unique_ptr<LatencyHistogram>& slot = stage_latency_[stage];
+    if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+    histogram = slot.get();
+  }
+  // Histograms are never erased, so the pointer stays valid outside the
+  // lock; Record itself is lock-free.
+  histogram->Record(micros);
+}
+
+std::map<std::string, LatencyHistogram::Snapshot> DaemonMetrics::StageMix()
+    const {
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  std::map<std::string, LatencyHistogram::Snapshot> out;
+  for (const auto& [stage, histogram] : stage_latency_) {
+    out.emplace(stage, histogram->snapshot());
+  }
+  return out;
+}
+
+DaemonMetrics::TenantCounters* DaemonMetrics::OwnSlot(
+    const std::string& tenant) {
+  // A literal "__other__" tenant must never claim the fold slot as its
+  // own label — it would alias every post-cap tenant's traffic.
+  if (tenant == kOtherLabel) return nullptr;
+  auto it = tenant_counters_.find(tenant);
+  if (it != tenant_counters_.end()) return &it->second;
+  // The fold slot does not count toward the cap: exactly kMaxTenantLabels
+  // real labels can exist, plus "__other__" — never kMaxTenantLabels + 1
+  // real ones (the old size-based check let the fold's presence admit one
+  // extra real label, a transient unbounded-cardinality hole).
+  const size_t real_labels =
+      tenant_counters_.size() - tenant_counters_.count(kOtherLabel);
+  if (real_labels >= kMaxTenantLabels) return nullptr;
+  return &tenant_counters_[tenant];
+}
+
 DaemonMetrics::TenantCounters& DaemonMetrics::TenantSlot(
     const std::string& tenant) {
-  auto it = tenant_counters_.find(tenant);
-  if (it != tenant_counters_.end()) return it->second;
-  if (tenant_counters_.size() >= kMaxTenantLabels) {
-    return tenant_counters_["__other__"];
-  }
-  return tenant_counters_[tenant];
+  TenantCounters* own = OwnSlot(tenant);
+  return own != nullptr ? *own : tenant_counters_[kOtherLabel];
 }
 
 void DaemonMetrics::CountTenantRequest(const std::string& tenant,
@@ -106,9 +144,14 @@ void DaemonMetrics::TenantQueueDelta(const std::string& tenant,
 void DaemonMetrics::SetTenantStaleness(const std::string& tenant,
                                        uint64_t epoch, uint64_t tombstones) {
   std::lock_guard<std::mutex> lock(tenant_mu_);
-  TenantCounters& slot = TenantSlot(tenant);
-  slot.epoch = epoch;
-  slot.tombstones = tombstones;
+  // Staleness is a per-tenant gauge: on the shared fold slot it would be
+  // last-writer-wins noise (two post-cap tenants racing to clobber each
+  // other's epoch), so folded tenants simply don't report it. Their
+  // additive counters (requests, circuit-cache) still fold fine.
+  TenantCounters* own = OwnSlot(tenant);
+  if (own == nullptr) return;
+  own->epoch = epoch;
+  own->tombstones = tombstones;
 }
 
 void DaemonMetrics::AddTenantCircuitCache(const std::string& tenant,
@@ -124,6 +167,20 @@ std::map<std::string, DaemonMetrics::TenantCounters> DaemonMetrics::TenantMix()
     const {
   std::lock_guard<std::mutex> lock(tenant_mu_);
   return tenant_counters_;
+}
+
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
 }
 
 std::string RenderPrometheus(const DaemonMetrics& metrics,
@@ -200,22 +257,22 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   for (const auto& [tenant, t] : tenants) {
     Line(&out,
          "shapcq_tenant_requests_total{tenant=\"%s\",status=\"ok\"} %" PRIu64,
-         tenant.c_str(), t.ok);
+         EscapeLabel(tenant).c_str(), t.ok);
     Line(&out,
          "shapcq_tenant_requests_total{tenant=\"%s\",status=\"error\"} "
          "%" PRIu64,
-         tenant.c_str(), t.error);
+         EscapeLabel(tenant).c_str(), t.error);
     Line(&out,
          "shapcq_tenant_requests_total{tenant=\"%s\",status=\"rejected\"} "
          "%" PRIu64,
-         tenant.c_str(), t.rejected);
+         EscapeLabel(tenant).c_str(), t.rejected);
   }
   Line(&out, "# HELP shapcq_tenant_queue_depth "
              "queued requests by tenant");
   Line(&out, "# TYPE shapcq_tenant_queue_depth gauge");
   for (const auto& [tenant, t] : tenants) {
     Line(&out, "shapcq_tenant_queue_depth{tenant=\"%s\"} %lld",
-         tenant.c_str(), static_cast<long long>(t.queue_depth));
+         EscapeLabel(tenant).c_str(), static_cast<long long>(t.queue_depth));
   }
   // Staleness: the tenant's mutation epoch and its dead rows awaiting
   // compaction (how far the columnar store has drifted from its last
@@ -223,7 +280,7 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   Line(&out, "# HELP shapcq_tenant_epoch database mutation epoch by tenant");
   Line(&out, "# TYPE shapcq_tenant_epoch gauge");
   for (const auto& [tenant, t] : tenants) {
-    Line(&out, "shapcq_tenant_epoch{tenant=\"%s\"} %" PRIu64, tenant.c_str(),
+    Line(&out, "shapcq_tenant_epoch{tenant=\"%s\"} %" PRIu64, EscapeLabel(tenant).c_str(),
          t.epoch);
   }
   Line(&out, "# HELP shapcq_tenant_tombstones "
@@ -231,7 +288,7 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   Line(&out, "# TYPE shapcq_tenant_tombstones gauge");
   for (const auto& [tenant, t] : tenants) {
     Line(&out, "shapcq_tenant_tombstones{tenant=\"%s\"} %" PRIu64,
-         tenant.c_str(), t.tombstones);
+         EscapeLabel(tenant).c_str(), t.tombstones);
   }
   // Cross-tenant circuit-cache traffic attributed per tenant: a hit means
   // this tenant's answer reused a circuit some tenant (possibly another
@@ -243,11 +300,11 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
     Line(&out,
          "shapcq_tenant_circuit_cache_total{tenant=\"%s\",result=\"hit\"} "
          "%" PRIu64,
-         tenant.c_str(), t.circuit_hits);
+         EscapeLabel(tenant).c_str(), t.circuit_hits);
     Line(&out,
          "shapcq_tenant_circuit_cache_total{tenant=\"%s\",result=\"miss\"} "
          "%" PRIu64,
-         tenant.c_str(), t.circuit_misses);
+         EscapeLabel(tenant).c_str(), t.circuit_misses);
   }
 
   // Engine mix: facts scored per engine across all ok responses.
@@ -255,7 +312,7 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
   Line(&out, "# TYPE shapcq_engine_facts_total counter");
   for (const auto& [engine, facts] : metrics.EngineMix()) {
     Line(&out, "shapcq_engine_facts_total{engine=\"%s\"} %" PRIu64,
-         engine.c_str(), facts);
+         EscapeLabel(engine).c_str(), facts);
   }
 
   // Plan cache (process-wide, shared with any in-process CLI usage).
@@ -346,6 +403,40 @@ std::string RenderPrometheus(const DaemonMetrics& metrics,
             "admission to response written", total_snap);
   QuantileGauges(&out, "shapcq_request_latency", total_snap);
   QuantileGauges(&out, "shapcq_solve", solve_snap);
+
+  // Per-stage latency histograms from request traces (obs/trace.h). One
+  // metric family, one {stage=...} label per span-site name; absent
+  // entirely while tracing is off.
+  std::map<std::string, LatencyHistogram::Snapshot> stages =
+      metrics.StageMix();
+  if (!stages.empty()) {
+    Line(&out, "# HELP shapcq_stage_seconds "
+               "per-request stage latency from traces");
+    Line(&out, "# TYPE shapcq_stage_seconds histogram");
+    for (const auto& [stage, snap] : stages) {
+      const std::string label = EscapeLabel(stage);
+      uint64_t cumulative = 0;
+      for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        cumulative += snap.counts[static_cast<size_t>(b)];
+        if (b == LatencyHistogram::kBuckets - 1) {
+          Line(&out,
+               "shapcq_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %" PRIu64,
+               label.c_str(), cumulative);
+        } else {
+          double le =
+              static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+              1e6;
+          Line(&out,
+               "shapcq_stage_seconds_bucket{stage=\"%s\",le=\"%.9g\"} %" PRIu64,
+               label.c_str(), le, cumulative);
+        }
+      }
+      Line(&out, "shapcq_stage_seconds_sum{stage=\"%s\"} %.9g", label.c_str(),
+           static_cast<double>(snap.sum_micros) / 1e6);
+      Line(&out, "shapcq_stage_seconds_count{stage=\"%s\"} %" PRIu64,
+           label.c_str(), snap.count);
+    }
+  }
 
   return out;
 }

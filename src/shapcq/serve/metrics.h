@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -82,11 +83,21 @@ class DaemonMetrics {
   void CountEngineFacts(const std::string& engine, uint64_t facts);
   std::map<std::string, uint64_t> EngineMix() const;
 
+  // --- Per-stage latency histograms (obs/trace.h span names) --------------
+  //
+  // Fed from completed request traces: one histogram per stage name
+  // (queue_wait, plan, solve, engine:<name>, lineage_compile, ...). The
+  // vocabulary is fixed by the span sites in the code, so cardinality is
+  // bounded by construction. Rendered as shapcq_stage_seconds{stage=...}.
+  void RecordStage(const std::string& stage, uint64_t micros);
+  std::map<std::string, LatencyHistogram::Snapshot> StageMix() const;
+
   // --- Per-tenant series (bounded label cardinality) ----------------------
   //
   // The first kMaxTenantLabels distinct tenant names get their own label;
-  // every later tenant folds into "__other__", so a tenant-per-request
-  // client cannot grow the exposition without bound.
+  // every later tenant folds into "__other__" (a literal "__other__"
+  // tenant folds too — the fold slot is never addressable as a real
+  // tenant, and it does not count toward the cap).
   static constexpr size_t kMaxTenantLabels = 32;
 
   struct TenantCounters {
@@ -113,14 +124,28 @@ class DaemonMetrics {
   std::map<std::string, TenantCounters> TenantMix() const;
 
  private:
-  // The slot for `tenant`, folding past-cap names into "__other__".
+  // The tenant's own slot when it has (or can still claim) a real label;
+  // nullptr when the name folds — it is the "__other__" literal, or the
+  // real-label population already reached kMaxTenantLabels. Callers hold
+  // tenant_mu_.
+  TenantCounters* OwnSlot(const std::string& tenant);
+  // The slot for `tenant`: its own, else the "__other__" fold slot.
   TenantCounters& TenantSlot(const std::string& tenant);
 
   mutable std::mutex engine_mu_;
   std::map<std::string, uint64_t> engine_facts_;
   mutable std::mutex tenant_mu_;
   std::map<std::string, TenantCounters> tenant_counters_;
+  mutable std::mutex stage_mu_;
+  // unique_ptr because LatencyHistogram (an array of atomics) is neither
+  // copyable nor movable; recording hits the histogram lock-free after
+  // one locked map lookup.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> stage_latency_;
 };
+
+// `value` as a Prometheus label value: escapes backslash, double quote,
+// and newline per the text exposition format.
+std::string EscapeLabel(const std::string& value);
 
 // Renders the full exposition text: daemon counters/gauges/histograms
 // plus the plan-cache, circuit-cache, and lineage counters passed in

@@ -22,6 +22,7 @@ void WriteSolveFields(const SolveRequest& request, JsonWriter* w) {
       .Int("samples", request.samples)
       .Uint("seed", request.seed)
       .Int("deadline_ms", request.deadline_ms);
+  if (request.trace) w->Bool("trace", true);
 }
 
 }  // namespace
@@ -51,6 +52,7 @@ StatusOr<RequestEnvelope> ParseRequestLine(const std::string& line) {
     solve.samples = root.GetInt64("samples", solve.samples);
     solve.seed = root.GetUint64("seed", solve.seed);
     solve.deadline_ms = root.GetInt64("deadline_ms", 0);
+    solve.trace = root.GetBool("trace");
     envelope.id = solve.id;
     if (solve.query.empty()) {
       return InvalidArgumentError("solve request needs a \"query\"");
@@ -259,6 +261,9 @@ std::string SerializeResponse(const SolveResponse& response) {
   }
   w.EndArray();
   if (!response.footer.empty()) w.Str("footer", response.footer);
+  if (!response.trace_id.empty()) w.Str("trace_id", response.trace_id);
+  if (!response.explain.empty()) w.Str("explain", response.explain);
+  if (!response.trace.empty()) w.Str("trace", response.trace);
   w.EndObject();
   return w.TakeString();
 }
@@ -292,6 +297,9 @@ StatusOr<SolveResponse> ParseResponseLine(const std::string& line) {
   response.tombstones = root.GetInt64("tombstones", 0);
   response.dirty_answers = root.GetInt64("dirty_answers", -1);
   response.compacted = root.GetBool("compacted");
+  response.trace_id = root.GetString("trace_id");
+  response.explain = root.GetString("explain");
+  response.trace = root.GetString("trace");
   const JsonValue* results = root.Find("results");
   if (results != nullptr) {
     if (results->kind != JsonValue::Kind::kArray) {

@@ -70,6 +70,10 @@ struct SolveRequest {
   int64_t samples = 10000;     // Monte Carlo sample budget
   uint64_t seed = 1;           // Monte Carlo base seed
   int64_t deadline_ms = 0;     // 0 = no deadline
+  // Ask for the trace summary + engine explanation in the response even
+  // when the server's trace level is below "full". Does not affect the
+  // results — scores are bitwise-identical either way.
+  bool trace = false;
 };
 
 struct RequestEnvelope {
@@ -145,6 +149,11 @@ struct SolveResponse {
   int64_t tombstones = 0;     // dead rows awaiting compaction
   int64_t dirty_answers = -1; // dirty-set size (-1: no "query" given)
   bool compacted = false;     // the mutation triggered auto-compaction
+  // Tracing (obs/trace.h); all optional on the wire, omitted when empty.
+  std::string trace_id;     // 16 hex chars; always set on daemon solve
+                            // responses (journal v3 carries the same id)
+  std::string explain;      // engine-decision explanation
+  std::string trace;        // span dump, JSON-as-string (like `metrics`)
 };
 
 std::string SerializeResponse(const SolveResponse& response);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "shapcq/data/db_io.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/serve/protocol.h"
 #include "shapcq/shapley/plan.h"
 #include "shapcq/util/clock.h"
@@ -169,6 +170,7 @@ StatusOr<ReplayResult> ReplayJournal(
       }
       ++out.mutations;
       out.results.emplace_back();  // keep record indices aligned
+      if (options.collect_explanations) out.explanations.emplace_back();
       continue;
     }
     bool cache_hit = false;
@@ -177,14 +179,25 @@ StatusOr<ReplayResult> ReplayJournal(
                            &cache_hit);
     if (cache_hit) ++out.plan_cache_hits;
     SolverSession session(plan, db_for(&warm_state, prepared[i].tenant));
+    // Journaled ids when present (v3+), fresh ones for older journals.
+    std::optional<TraceContext> trace;
+    SolverOptions solver = prepared[i].solver;
+    if (options.collect_explanations) {
+      trace.emplace(records[i].trace_id != 0 ? records[i].trace_id
+                                             : NextTraceId());
+      solver.trace = &*trace;
+    }
     StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
-        session.ComputeAll(prepared[i].solver);
+        session.ComputeAll(solver);
     if (!results.ok()) {
       return Status(results.status().code(),
                     "record " + std::to_string(i) + " failed on replay: " +
                         results.status().message());
     }
     out.results.push_back(std::move(results).value());
+    if (trace.has_value()) {
+      out.explanations.push_back(BuildEngineExplanation(*trace));
+    }
   }
   out.warm_ms =
       static_cast<double>(MonotonicNanos() - warm_start) / 1e6;

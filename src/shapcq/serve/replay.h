@@ -52,6 +52,11 @@ struct ReplayOptions {
   int num_threads = 0;
   // Skip the per-record compile pass (saves time on huge journals).
   bool run_cold_pass = true;
+  // Attach a TraceContext to every warm-pass solve and build its
+  // engine-decision explanation (obs/trace.h) — what shapcq_replay
+  // --explain prints. Tracing never changes results, so the bitwise
+  // parity checks are unaffected.
+  bool collect_explanations = false;
 };
 
 struct ReplayResult {
@@ -65,6 +70,9 @@ struct ReplayResult {
   // other passes were compared against, and what external harnesses
   // (the daemon smoke test) compare daemon responses to.
   std::vector<std::vector<std::pair<FactId, SolveResult>>> results;
+  // When collect_explanations: one engine-decision explanation per
+  // record, aligned with `results` ("" for mutation records).
+  std::vector<std::string> explanations;
 };
 
 // Replays `records` against `tenants` (name -> database; every tenant

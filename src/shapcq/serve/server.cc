@@ -13,6 +13,7 @@
 #include "shapcq/data/db_io.h"
 #include "shapcq/lineage/circuit_cache.h"
 #include "shapcq/lineage/engine.h"
+#include "shapcq/obs/log.h"
 #include "shapcq/persist/artifact.h"
 #include "shapcq/query/evaluator.h"
 #include "shapcq/query/parser.h"
@@ -79,7 +80,10 @@ void CloseListener(std::atomic<int>* fd) {
 }  // namespace
 
 AttributionServer::AttributionServer(ServerOptions options)
-    : options_(std::move(options)), admission_(options_.limits) {}
+    : options_(std::move(options)),
+      admission_(options_.limits),
+      flight_recorder_(options_.flight_slowest_capacity,
+                       options_.flight_incident_capacity) {}
 
 AttributionServer::~AttributionServer() { Stop(); }
 
@@ -516,6 +520,7 @@ void AttributionServer::HandleMutation(
     record.timestamp_ns = MonotonicNanos();
     record.op = is_insert ? JournalOp::kInsertFact : JournalOp::kDeleteFact;
     record.fact = journal_fact;
+    record.trace_id = NextTraceId();
     record.request.id = envelope.id;
     record.request.tenant = envelope.tenant;
     record.request.query = envelope.dirty_query;
@@ -585,11 +590,20 @@ void AttributionServer::EnqueueSolve(
 
   std::string fingerprint = PlanFingerprint(*query, options.score);
   uint64_t enqueued_ns = MonotonicNanos();
+  // Every admitted request gets a trace id (the journal stamps it even at
+  // trace level off); the span context itself is only allocated when the
+  // server traces or the request asked for a trace.
+  const uint64_t trace_id = NextTraceId();
+  std::unique_ptr<TraceContext> trace;
+  if (options_.trace_level != TraceLevel::kOff || request.trace) {
+    trace = std::make_unique<TraceContext>(trace_id);
+  }
   if (journal_ != nullptr) {
     JournalRecord record;
     record.timestamp_ns = enqueued_ns;
     record.fingerprint = fingerprint;
     record.request = request;
+    record.trace_id = trace_id;
     if (journal_->Append(record).ok()) {
       metrics_.journal_records.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -599,9 +613,10 @@ void AttributionServer::EnqueueSolve(
       metrics_.journal_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  Job job{std::move(request),          std::move(query).value(),
-          std::move(options),          std::move(fingerprint),
-          enqueued_ns,                 connection};
+  Job job{std::move(request),  std::move(query).value(),
+          std::move(options),  std::move(fingerprint),
+          enqueued_ns,         trace_id,
+          std::move(trace),    connection};
 
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
   metrics_.TenantQueueDelta(job.request.tenant, 1);
@@ -635,6 +650,13 @@ void AttributionServer::RunJob(Job job) {
   uint64_t dequeued_ns = MonotonicNanos();
   uint64_t queue_micros = (dequeued_ns - job.enqueued_ns) / 1000;
   metrics_.queue_wait.Record(queue_micros);
+  // The worker owns the trace for the rest of the request (the queue
+  // mutex published it); span sites below only ever see this borrowed
+  // pointer on this thread.
+  TraceContext* trace = job.trace.get();
+  if (trace != nullptr) {
+    trace->AddSpan("queue_wait", job.enqueued_ns, dequeued_ns);
+  }
   if (options_.pre_solve_hook) options_.pre_solve_hook();
 
   SolveResponse response;
@@ -644,6 +666,7 @@ void AttributionServer::RunJob(Job job) {
 
   std::shared_ptr<TenantState> tenant = FindTenant(job.request.tenant);
   Status failure;
+  uint64_t solve_us = 0;
   if (tenant == nullptr) {
     failure = NotFoundError("tenant '" + job.request.tenant +
                             "' disappeared while queued");
@@ -654,18 +677,23 @@ void AttributionServer::RunJob(Job job) {
     std::shared_lock<std::shared_mutex> db_lock(tenant->mu);
     const Database& db = tenant->db;
     bool cache_hit = false;
+    Span plan_span(trace, "plan");
     std::shared_ptr<const AttributionPlan> plan =
         PlanCache::Global().GetOrCompile(job.query, job.options.score,
                                          &cache_hit);
+    plan_span.Annotate("cache", cache_hit ? "hit" : "miss");
+    plan_span.End();
     response.plan_cache_hit = cache_hit;
     SolverSession session(plan, db);
 
     SolverOptions options = job.options;
+    options.trace = trace;
     // Per-request circuit-cache attribution: the lineage shards add their
     // hit/miss traffic here, and it lands on this tenant's metric series.
     CircuitCacheCounters circuit_counters;
     options.lineage.cache_counters = &circuit_counters;
     bool degraded = false;
+    std::string degrade_reason;
     if (job.request.deadline_ms > 0) {
       // The deadline is anchored at admission, so time spent queued
       // counts against it.
@@ -677,6 +705,7 @@ void AttributionServer::RunJob(Job job) {
         // bounded estimate.
         options.method = SolveMethod::kMonteCarlo;
         degraded = true;
+        degrade_reason = "deadline expired in queue";
       } else {
         options.cancelled = [deadline_ns] {
           return MonotonicNanos() > deadline_ns;
@@ -684,6 +713,11 @@ void AttributionServer::RunJob(Job job) {
       }
     }
 
+    Span solve_span(trace, "solve");
+    solve_span.Annotate("players", static_cast<int64_t>(db.num_endogenous()));
+    solve_span.Annotate("hierarchy",
+                        HierarchyClassName(session.classification()));
+    solve_span.Annotate("method", job.request.method);
     LineageStatsSnapshot lineage_before = LineageStats::Global().Snapshot();
     uint64_t solve_start_ns = MonotonicNanos();
     StatusOr<std::vector<std::pair<FactId, SolveResult>>> results =
@@ -691,11 +725,15 @@ void AttributionServer::RunJob(Job job) {
     if (!results.ok() &&
         results.status().code() == StatusCode::kDeadlineExceeded) {
       degraded = true;
+      degrade_reason = results.status().message();
       options.cancelled = nullptr;
       options.method = SolveMethod::kMonteCarlo;
       results = session.ComputeAll(options);
     }
+    if (degraded) solve_span.Annotate("degrade_reason", degrade_reason);
+    solve_span.End();
     uint64_t solve_micros = (MonotonicNanos() - solve_start_ns) / 1000;
+    solve_us = solve_micros;
     metrics_.solve.Record(solve_micros);
     response.solve_ms = static_cast<double>(solve_micros) / 1e3;
     metrics_.AddTenantCircuitCache(
@@ -739,7 +777,37 @@ void AttributionServer::RunJob(Job job) {
     metrics_.CountTenantRequest(job.request.tenant,
                                 DaemonMetrics::Outcome::kOk);
   }
-  metrics_.total.Record((MonotonicNanos() - job.enqueued_ns) / 1000);
+  const uint64_t total_micros = (MonotonicNanos() - job.enqueued_ns) / 1000;
+  metrics_.total.Record(total_micros);
+  const char* outcome = response.status == "ok"
+                            ? (response.degraded ? "degraded" : "ok")
+                            : "error";
+  response.trace_id = TraceIdHex(job.trace_id);
+  if (trace != nullptr) {
+    for (const TraceSpan& span : trace->spans()) {
+      metrics_.RecordStage(span.stage, span.duration_micros());
+    }
+    if (job.request.trace || options_.trace_level == TraceLevel::kFull) {
+      response.explain = BuildEngineExplanation(*trace);
+      response.trace = trace->RenderJson();
+    }
+    TraceRecord flight;
+    flight.trace_id = job.trace_id;
+    flight.tenant = job.request.tenant;
+    flight.request_id = job.request.id;
+    flight.outcome = outcome;
+    flight.total_micros = total_micros;
+    flight.json = trace->RenderJson();
+    flight_recorder_.Record(std::move(flight));
+  }
+  if (LogEnabled(LogLevel::kInfo)) {
+    LogLine(LogLevel::kInfo,
+            "request trace=" + TraceIdHex(job.trace_id) + " tenant=" +
+                job.request.tenant + " id=" + std::to_string(job.request.id) +
+                " outcome=" + outcome + " total_us=" +
+                std::to_string(total_micros) + " solve_us=" +
+                std::to_string(solve_us));
+  }
   WriteResponse(job.connection, response);
   metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
   admission_.OnComplete(job.request.tenant);
@@ -793,17 +861,25 @@ void AttributionServer::MetricsLoop() {
     }
     std::string body;
     const char* status_line = "HTTP/1.1 404 Not Found\r\n";
+    const char* content_type = "text/plain; version=0.0.4";
     if (request.rfind("GET /metrics", 0) == 0) {
       status_line = "HTTP/1.1 200 OK\r\n";
       body = MetricsText();
     } else if (request.rfind("GET /healthz", 0) == 0) {
       status_line = "HTTP/1.1 200 OK\r\n";
       body = "ok\n";
+    } else if (request.rfind("GET /debug/traces", 0) == 0) {
+      status_line = "HTTP/1.1 200 OK\r\n";
+      content_type = "application/json";
+      body = DebugTracesJson();
+      body.push_back('\n');
     } else {
       body = "not found\n";
     }
     std::string reply = status_line;
-    reply += "Content-Type: text/plain; version=0.0.4\r\n";
+    reply += "Content-Type: ";
+    reply += content_type;
+    reply += "\r\n";
     reply += "Content-Length: " + std::to_string(body.size()) + "\r\n";
     reply += "Connection: close\r\n\r\n";
     reply += body;

@@ -49,6 +49,8 @@
 
 #include "shapcq/agg/aggregate.h"
 #include "shapcq/data/database.h"
+#include "shapcq/obs/flight_recorder.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/serve/admission.h"
 #include "shapcq/serve/journal.h"
 #include "shapcq/serve/metrics.h"
@@ -89,6 +91,17 @@ struct ServerOptions {
   // holds at least this many tombstones AND the dead rows exceed a quarter
   // of the live ones. <= 0 disables auto-compaction.
   int compact_min_tombstones = 64;
+  // Tracing (obs/trace.h). Every admitted request gets a trace id at any
+  // level (the journal stamps it); kOn additionally collects spans into
+  // the per-stage histograms, the flight recorder, and the per-request
+  // log line, and kFull puts the span dump + engine explanation on every
+  // response (a request with "trace":true gets them at any level).
+  // Results are bitwise-identical across levels.
+  TraceLevel trace_level = TraceLevel::kOn;
+  // Flight-recorder retention (obs/flight_recorder.h): the N slowest ok
+  // requests, plus a ring of the most recent degraded/errored ones.
+  size_t flight_slowest_capacity = 32;
+  size_t flight_incident_capacity = 128;
   // Test seam: run on the worker thread after dequeue, before solving.
   // Lets tests hold workers to saturate admission or outrun deadlines
   // deterministically.
@@ -134,6 +147,12 @@ class AttributionServer {
   const AdmissionController& admission() const { return admission_; }
   uint64_t journal_records_written() const;
 
+  // The flight recorder's current contents as JSON — what GET
+  // /debug/traces on the metrics port serves (shapcqd also dumps it on
+  // SIGUSR1).
+  std::string DebugTracesJson() const { return flight_recorder_.RenderJson(); }
+  const FlightRecorder& flight_recorder() const { return flight_recorder_; }
+
   // Connections not yet reaped: reaps finished reader threads first,
   // then returns the remaining count. Trends to zero after clients
   // disconnect (observability/test seam).
@@ -173,6 +192,11 @@ class AttributionServer {
     SolverOptions options;
     std::string fingerprint;
     uint64_t enqueued_ns = 0;
+    uint64_t trace_id = 0;  // always set; also journaled
+    // Null when span collection is off (trace_level kOff and the request
+    // didn't ask). Owned by the job; the queue mutex publishes it from
+    // the reader thread to exactly one worker.
+    std::unique_ptr<TraceContext> trace;
     std::shared_ptr<Connection> connection;
   };
 
@@ -231,6 +255,7 @@ class AttributionServer {
 
   AdmissionController admission_;
   DaemonMetrics metrics_;
+  FlightRecorder flight_recorder_;
   std::unique_ptr<JournalWriter> journal_;
 };
 

@@ -1,5 +1,7 @@
 #include "shapcq/shapley/session.h"
 
+#include "shapcq/lineage/engine.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/shapley/brute_force.h"
 #include "shapcq/shapley/solver.h"
 #include "shapcq/util/check.h"
@@ -202,6 +204,36 @@ std::vector<size_t> SolverSession::ExactSweep(
       return remaining;
     }
     ++engines_tried;
+    // One span per engine attempt, recorded on the calling thread only.
+    // The lineage-stats delta attributes circuit work (nodes compiled,
+    // budget fallbacks) to the engine that caused it; `reject` keeps this
+    // engine's own failure even when an earlier engine owns first_failure.
+    const size_t open_before = remaining.size();
+    std::string reject;
+    LineageStatsSnapshot lineage_before;
+    if (options.trace != nullptr) {
+      lineage_before = LineageStats::Global().Snapshot();
+    }
+    Span engine_span(options.trace, "engine:" + engine->name);
+    auto finish_span = [&]() {
+      if (options.trace == nullptr) return;
+      engine_span.Annotate("facts_solved",
+                           static_cast<int64_t>(open_before - remaining.size()));
+      engine_span.Annotate("facts_open",
+                           static_cast<int64_t>(remaining.size()));
+      if (!reject.empty()) engine_span.Annotate("reject", reject);
+      const LineageStatsSnapshot delta = LineageStatsDelta(
+          LineageStats::Global().Snapshot(), lineage_before);
+      if (delta.circuit_nodes > 0) {
+        engine_span.Annotate("circuit_nodes",
+                             static_cast<int64_t>(delta.circuit_nodes));
+      }
+      if (delta.budget_fallbacks > 0) {
+        engine_span.Annotate("budget_fallbacks",
+                             static_cast<int64_t>(delta.budget_fallbacks));
+      }
+      engine_span.End();
+    };
     bool batch_failed = false;
     if (engine->score_all != nullptr) {
       // The batched scorer covers every endogenous fact in one run, so it
@@ -225,32 +257,46 @@ std::vector<size_t> SolverSession::ExactSweep(
                                           engine->name);
           }
           remaining.clear();
+          finish_span();
           break;
         }
-        note_failure(InternalError("engine '" + engine->name +
-                                   "' returned a misaligned batch"));
+        Status misaligned = InternalError("engine '" + engine->name +
+                                          "' returned a misaligned batch");
+        reject = misaligned.message();
+        note_failure(misaligned);
         batch_failed = true;
       } else {
+        reject = batch.status().message();
         note_failure(batch.status());
         batch_failed = true;
       }
     }
-    if (engine->score_one == nullptr && engine->sum_k == nullptr) continue;
+    if (engine->score_one == nullptr && engine->sum_k == nullptr) {
+      finish_span();
+      continue;
+    }
     // A per-fact scorer that merely reruns the batch would repeat the
     // failing computation once per open fact for the same outcome.
-    if (batch_failed && engine->score_one_reruns_batch) continue;
+    if (batch_failed && engine->score_one_reruns_batch) {
+      finish_span();
+      continue;
+    }
     // Per-fact sweep with this engine over the still-open facts, fanned out
     // over the thread pool. Slot i holds remaining[i]'s outcome, so the
     // result is independent of scheduling; failing facts stay open for the
     // next engine instead of dragging the successes along.
     std::vector<StatusOr<Rational>> scores(
         remaining.size(), StatusOr<Rational>(UnsupportedError("unset")));
+    // Shards must never see the trace sink: TraceContext is single-owner
+    // and records on the sweep's thread only (see solver_options.h).
+    SolverOptions shard_options = options;
+    shard_options.trace = nullptr;
     ParallelFor(
         static_cast<int64_t>(remaining.size()),
         [&](int64_t i) {
           FactId fact = facts[remaining[static_cast<size_t>(i)]];
           scores[static_cast<size_t>(i)] =
-              ScoreOneWith(*engine, a(), db_, fact, options);
+              ScoreOneWith(*engine, a(), db_, fact, shard_options);
         },
         options.num_threads);
     std::vector<size_t> still_open;
@@ -259,11 +305,13 @@ std::vector<size_t> SolverSession::ExactSweep(
         (*results)[remaining[i]] =
             ExactResult(std::move(scores[i]).value(), engine->name);
       } else {
+        if (reject.empty()) reject = scores[i].status().message();
         note_failure(scores[i].status());
         still_open.push_back(remaining[i]);
       }
     }
     remaining = std::move(still_open);
+    finish_span();
   }
   if (first_failure != nullptr && !remaining.empty()) *first_failure = failure;
   return remaining;
@@ -331,10 +379,25 @@ SolverSession::MonteCarloAll(const SolverOptions& options) {
 StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
     const SolverOptions& options) {
   switch (options.method) {
-    case SolveMethod::kBruteForce:
-      return BruteForceAll(options);
-    case SolveMethod::kMonteCarlo:
-      return MonteCarloAll(options);
+    case SolveMethod::kBruteForce: {
+      Span span(options.trace, "brute_force");
+      StatusOr<std::vector<std::pair<FactId, SolveResult>>> brute =
+          BruteForceAll(options);
+      if (brute.ok()) {
+        span.Annotate("facts", static_cast<int64_t>(brute->size()));
+      }
+      return brute;
+    }
+    case SolveMethod::kMonteCarlo: {
+      Span span(options.trace, "monte_carlo");
+      StatusOr<std::vector<std::pair<FactId, SolveResult>>> mc =
+          MonteCarloAll(options);
+      if (mc.ok()) {
+        span.Annotate("facts", static_cast<int64_t>(mc->size()));
+        span.Annotate("samples", options.monte_carlo.num_samples);
+      }
+      return mc;
+    }
     case SolveMethod::kExactOnly:
     case SolveMethod::kAuto: {
       std::vector<FactId> facts = db_.EndogenousFacts();
@@ -360,6 +423,8 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
         // Fallback for the unsolved facts only — engine successes stay,
         // exactly like per-fact kAuto calls.
         if (db_.num_endogenous() <= kBruteForceMaxPlayers) {
+          Span span(options.trace, "brute_force");
+          span.Annotate("facts", static_cast<int64_t>(remaining.size()));
           // One shared lattice sweep covers every fact (ascending, aligned
           // with `facts`); the open ones take its values.
           StatusOr<std::vector<std::pair<FactId, Rational>>> brute =
@@ -372,6 +437,9 @@ StatusOr<std::vector<std::pair<FactId, SolveResult>>> SolverSession::ComputeAll(
                                       "brute-force");
           }
         } else {
+          Span span(options.trace, "monte_carlo");
+          span.Annotate("facts", static_cast<int64_t>(remaining.size()));
+          span.Annotate("samples", options.monte_carlo.num_samples);
           Status status = MonteCarloFor(facts, remaining, options, &solved);
           if (!status.ok()) return status;
         }

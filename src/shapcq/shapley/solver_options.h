@@ -19,6 +19,8 @@
 
 namespace shapcq {
 
+class TraceContext;  // obs/trace.h — forward-declared to stay dependency-free
+
 enum class SolveMethod {
   kAuto,        // exact DP, else brute force (small), else Monte Carlo
   kExactOnly,   // exact DP or error
@@ -75,6 +77,12 @@ struct SolverOptions {
   // results that do complete stay bitwise-deterministic. Null means never
   // cancelled.
   std::function<bool()> cancelled;
+  // Optional per-request trace sink (obs/trace.h). Borrowed, not owned,
+  // and NOT thread-safe: span sites record on the calling thread only —
+  // the session strips this pointer from the option copies it hands to
+  // per-fact ParallelFor shards, so tracing can never race or perturb
+  // results. Null means no span collection (one pointer test per site).
+  TraceContext* trace = nullptr;
 };
 
 // True when options carry a cancellation hook and it reports expiry.

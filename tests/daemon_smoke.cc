@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -23,8 +24,10 @@
 
 #include "shapcq/data/db_io.h"
 #include "shapcq/lineage/circuit_cache.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/serve/client.h"
 #include "shapcq/serve/journal.h"
+#include "shapcq/serve/json.h"
 #include "shapcq/serve/protocol.h"
 #include "shapcq/serve/replay.h"
 #include "shapcq/serve/server.h"
@@ -435,6 +438,282 @@ TEST(DaemonSmokeTest, WarmRestartServesBitwiseIdenticalAnswers) {
   std::remove(journal_b.c_str());
   std::remove((artifact_dir + "/plans.shapcq").c_str());
   std::remove((artifact_dir + "/circuits.shapcq").c_str());
+}
+
+// Tracing parity: the same traffic — including a request whose deadline
+// burns out in the queue and degrades to Monte Carlo — served once with
+// tracing off and once at full verbosity must produce bitwise-identical
+// scores. The full server's responses additionally carry trace ids,
+// engine explanations, and a parseable span dump; /debug/traces returns
+// well-formed JSON whose incident ring contains the degraded request;
+// and the v3 journal round-trips every trace id through ReplayJournal
+// (which can rebuild the explanations offline).
+TEST(DaemonSmokeTest, TracingParityAndFlightRecorder) {
+  const std::string suffix = std::to_string(::getpid());
+  const char* acme_text = "+R(1, 2)\n+R(2, 3)\n+S(2)\n+S(3)\n-S(4)\n";
+  const char* globex_text = "+R(5, 6)\n+R(6, 6)\n+S(6)\n+T(5)\n";
+
+  std::vector<SolveRequest> requests;
+  {
+    SolveRequest request;
+    request.id = 1;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    requests.push_back(request);
+    request = SolveRequest{};
+    request.id = 2;
+    request.tenant = "globex";
+    request.query = "Q() <- R(x, y), S(y), T(x)";  // lineage-circuit path
+    request.agg = "count";
+    requests.push_back(request);
+    request = SolveRequest{};
+    request.id = 3;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    request.method = "mc";
+    request.samples = 250;
+    request.seed = 11;
+    requests.push_back(request);
+    // The pre_solve_hook below outsleeps this deadline, so it expires in
+    // the queue and the server degrades to the (deterministic) sampled
+    // estimate on both servers.
+    request = SolveRequest{};
+    request.id = 4;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    request.samples = 500;
+    request.seed = 7;
+    request.deadline_ms = 1;
+    requests.push_back(request);
+    // Per-request opt-in: asks for the trace summary even when the
+    // server's level is off. Must not change the scores.
+    request = SolveRequest{};
+    request.id = 5;
+    request.tenant = "acme";
+    request.query = "Q(x) <- R(x, y), S(y)";
+    request.trace = true;
+    requests.push_back(request);
+  }
+
+  auto run_server = [&](TraceLevel level, const std::string& journal_path,
+                        std::map<uint64_t, SolveResponse>* responses,
+                        std::string* metrics_text, std::string* debug_json) {
+    ServerOptions options;
+    options.journal_path = journal_path;
+    options.worker_threads = 1;  // keeps the deadline request queued
+    options.trace_level = level;
+    options.pre_solve_hook = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    };
+    AttributionServer server(options);
+    server.RegisterTenant("acme", MustParseDb(acme_text));
+    server.RegisterTenant("globex", MustParseDb(globex_text));
+    Status started = server.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    auto client = LineClient::Connect(server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (const SolveRequest& request : requests) {
+      auto reply = client->RoundTrip(SerializeSolveRequest(request));
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      auto response = ParseResponseLine(*reply);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, "ok") << response->error;
+      (*responses)[request.id] = std::move(response).value();
+    }
+    auto metrics = HttpGet(server.metrics_port(), "/metrics");
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    *metrics_text = std::move(metrics).value();
+    auto debug = HttpGet(server.metrics_port(), "/debug/traces");
+    ASSERT_TRUE(debug.ok()) << debug.status().ToString();
+    *debug_json = std::move(debug).value();
+    server.Stop();
+  };
+
+  const std::string journal_off =
+      ::testing::TempDir() + "/daemon_trace_off_" + suffix;
+  const std::string journal_full =
+      ::testing::TempDir() + "/daemon_trace_full_" + suffix;
+  std::map<uint64_t, SolveResponse> off, full;
+  std::string off_metrics, full_metrics, off_debug, full_debug;
+  run_server(TraceLevel::kOff, journal_off, &off, &off_metrics, &off_debug);
+  run_server(TraceLevel::kFull, journal_full, &full, &full_metrics,
+             &full_debug);
+  ASSERT_EQ(off.size(), requests.size());
+  ASSERT_EQ(full.size(), requests.size());
+
+  // Scores are bitwise-identical with tracing off vs full.
+  for (const SolveRequest& request : requests) {
+    const SolveResponse& a = off[request.id];
+    const SolveResponse& b = full[request.id];
+    EXPECT_EQ(a.degraded, b.degraded) << "request " << request.id;
+    ASSERT_EQ(a.results.size(), b.results.size()) << "request " << request.id;
+    for (size_t f = 0; f < a.results.size(); ++f) {
+      EXPECT_EQ(a.results[f].fact, b.results[f].fact);
+      EXPECT_EQ(a.results[f].exact, b.results[f].exact);
+      EXPECT_EQ(a.results[f].exact_value, b.results[f].exact_value);
+      EXPECT_TRUE(SameBits(a.results[f].value, b.results[f].value))
+          << "request " << request.id << " fact " << a.results[f].fact;
+      EXPECT_TRUE(SameBits(a.results[f].std_error, b.results[f].std_error));
+      EXPECT_EQ(a.results[f].samples, b.results[f].samples);
+      EXPECT_EQ(a.results[f].algorithm, b.results[f].algorithm);
+    }
+  }
+  ASSERT_TRUE(full[4].degraded) << "deadline_ms=1 request did not degrade";
+
+  // Full-verbosity responses: trace id, explanation, parseable span dump.
+  for (const SolveRequest& request : requests) {
+    const SolveResponse& response = full[request.id];
+    EXPECT_EQ(response.trace_id.size(), 16u) << "request " << request.id;
+    EXPECT_FALSE(response.explain.empty()) << "request " << request.id;
+    auto spans = ParseJson(response.trace);
+    ASSERT_TRUE(spans.ok()) << response.trace;
+    EXPECT_EQ(spans->GetString("trace_id"), response.trace_id);
+    EXPECT_FALSE(spans->Find("spans")->array.empty());
+  }
+  EXPECT_NE(full[4].explain.find("degraded("), std::string::npos)
+      << full[4].explain;
+  // The circuit request's explanation names the engine that scored it.
+  EXPECT_NE(full[2].explain.find("scored"), std::string::npos)
+      << full[2].explain;
+  // Tracing-off responses carry no span payloads unless asked: request 5
+  // opted in and gets the explanation even at level off.
+  EXPECT_TRUE(off[1].explain.empty());
+  EXPECT_TRUE(off[1].trace.empty());
+  EXPECT_FALSE(off[5].explain.empty());
+  ASSERT_TRUE(ParseJson(off[5].trace).ok()) << off[5].trace;
+
+  // Per-stage histograms only exist where tracing ran.
+  EXPECT_NE(full_metrics.find("shapcq_stage_seconds_bucket{stage=\"solve\""),
+            std::string::npos);
+  EXPECT_NE(full_metrics.find("stage=\"queue_wait\""), std::string::npos);
+
+  // /debug/traces: well-formed JSON; the degraded request is an incident.
+  auto flight = ParseJson(full_debug);
+  ASSERT_TRUE(flight.ok()) << full_debug;
+  const JsonValue* incidents = flight->Find("incidents");
+  ASSERT_NE(incidents, nullptr);
+  bool found_degraded = false;
+  for (const JsonValue& entry : incidents->array) {
+    if (entry.GetString("trace_id") == full[4].trace_id) {
+      found_degraded = true;
+      EXPECT_EQ(entry.GetString("outcome"), "degraded");
+      EXPECT_EQ(entry.GetString("tenant"), "acme");
+      ASSERT_TRUE(ParseJson(entry.GetString("trace")).ok());
+    }
+  }
+  EXPECT_TRUE(found_degraded) << full_debug;
+  EXPECT_FALSE(flight->Find("slowest")->array.empty());
+
+  // Journal v3: every record carries the id its response carried, and
+  // replay rebuilds the explanations offline.
+  auto records = ReadJournal(journal_full);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), requests.size());
+  for (const JournalRecord& record : *records) {
+    ASSERT_NE(record.trace_id, 0u);
+    EXPECT_EQ(TraceIdHex(record.trace_id),
+              full[record.request.id].trace_id);
+  }
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  tenants["acme"] = std::make_shared<const Database>(MustParseDb(acme_text));
+  tenants["globex"] =
+      std::make_shared<const Database>(MustParseDb(globex_text));
+  ReplayOptions replay_options;
+  replay_options.collect_explanations = true;
+  auto replay = ReplayJournal(*records, tenants, replay_options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->explanations.size(), records->size());
+  for (const std::string& explanation : replay->explanations) {
+    EXPECT_FALSE(explanation.empty());
+    EXPECT_NE(explanation, "no solve recorded");
+  }
+
+  std::remove(journal_off.c_str());
+  std::remove(journal_full.c_str());
+}
+
+// Backward compatibility: a version-2 journal (no trace ids) — encoded
+// byte-for-byte here the way the PR 8 writer laid it out — still reads
+// (trace_id decodes as 0) and still replays, explanations included (a
+// pre-v3 record gets a fresh id).
+TEST(DaemonSmokeTest, JournalV2ReadCompat) {
+  const std::string path = ::testing::TempDir() + "/daemon_v2_journal_" +
+                           std::to_string(::getpid());
+  const char* acme_text = "+R(1, 2)\n+R(2, 3)\n+S(2)\n+S(3)\n";
+
+  SolveRequest request;
+  request.id = 9;
+  request.tenant = "acme";
+  request.query = "Q(x) <- R(x, y), S(y)";
+  auto query = BuildAggregateQuery(request);
+  ASSERT_TRUE(query.ok());
+  auto solver = BuildSolverOptions(request);
+  ASSERT_TRUE(solver.ok());
+  const std::string fingerprint = PlanFingerprint(*query, solver->score);
+
+  // The v2 layout: length-prefixed little-endian payload of
+  //   sequence, timestamp, id, fingerprint, tenant, query, agg, tau,
+  //   score, method, threads, samples, seed, deadline_ms, op, fact
+  // — and nothing after `fact` (v3 appended the trace id there).
+  std::string payload;
+  auto put_u32 = [&](std::string* out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+  };
+  auto put_u64 = [&](std::string* out, uint64_t v) {
+    for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+  };
+  auto put_str = [&](std::string* out, const std::string& s) {
+    put_u32(out, static_cast<uint32_t>(s.size()));
+    out->append(s);
+  };
+  put_u64(&payload, 0);    // sequence
+  put_u64(&payload, 123);  // timestamp_ns
+  put_u64(&payload, request.id);
+  put_str(&payload, fingerprint);
+  put_str(&payload, request.tenant);
+  put_str(&payload, request.query);
+  put_str(&payload, request.agg);
+  put_str(&payload, request.tau);
+  put_str(&payload, request.score);
+  put_str(&payload, request.method);
+  put_u32(&payload, static_cast<uint32_t>(request.threads));
+  put_u64(&payload, static_cast<uint64_t>(request.samples));
+  put_u64(&payload, request.seed);
+  put_u64(&payload, static_cast<uint64_t>(request.deadline_ms));
+  put_u32(&payload, 0);      // op = kSolve
+  put_str(&payload, "");     // fact
+  std::string file_bytes = "SHAPCQJL";
+  put_u32(&file_bytes, 2);   // version 2
+  put_u32(&file_bytes, static_cast<uint32_t>(payload.size()));
+  file_bytes += payload;
+  {
+    FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(file_bytes.data(), 1, file_bytes.size(), file),
+              file_bytes.size());
+    std::fclose(file);
+  }
+
+  auto records = ReadJournal(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].trace_id, 0u);  // "no trace id"
+  EXPECT_EQ((*records)[0].op, JournalOp::kSolve);
+  EXPECT_EQ((*records)[0].request.query, request.query);
+  EXPECT_EQ((*records)[0].fingerprint, fingerprint);
+
+  std::map<std::string, std::shared_ptr<const Database>> tenants;
+  tenants["acme"] = std::make_shared<const Database>(MustParseDb(acme_text));
+  ReplayOptions replay_options;
+  replay_options.collect_explanations = true;
+  auto replay = ReplayJournal(*records, tenants, replay_options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->results.size(), 1u);
+  EXPECT_FALSE(replay->results[0].empty());
+  ASSERT_EQ(replay->explanations.size(), 1u);
+  EXPECT_NE(replay->explanations[0], "no solve recorded");
+
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Tests for DaemonMetrics' Prometheus rendering: label escaping, the
+// bounded per-tenant label space (the "__other__" fold and its cap
+// boundary), histogram bucket well-formedness, and the per-stage
+// latency family fed from request traces.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapcq/lineage/circuit_cache.h"
+#include "shapcq/lineage/stats.h"
+#include "shapcq/serve/metrics.h"
+#include "shapcq/shapley/plan.h"
+
+namespace shapcq {
+namespace {
+
+std::string Render(const DaemonMetrics& metrics) {
+  return RenderPrometheus(metrics, PlanCache::Stats{}, CircuitCache::Stats{},
+                          LineageStatsSnapshot{});
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Label escaping
+// ---------------------------------------------------------------------------
+
+TEST(EscapeLabelTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabel("plain"), "plain");
+  EXPECT_EQ(EscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabel("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabel("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(MetricsRenderTest, HostileTenantNameIsEscapedInExposition) {
+  DaemonMetrics metrics;
+  metrics.CountTenantRequest("bad\"name\nhere", DaemonMetrics::Outcome::kOk);
+  std::string text = Render(metrics);
+  EXPECT_NE(text.find("tenant=\"bad\\\"name\\nhere\""), std::string::npos)
+      << text;
+  // The raw newline must never reach the exposition inside a label.
+  for (const std::string& line : Lines(text)) {
+    EXPECT_EQ(line.find("bad\"name"), std::string::npos) << line;
+  }
+}
+
+TEST(MetricsRenderTest, HostileEngineNameIsEscaped) {
+  DaemonMetrics metrics;
+  metrics.CountEngineFacts("eng\"ine", 3);
+  std::string text = Render(metrics);
+  EXPECT_NE(text.find("engine=\"eng\\\"ine\""), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant label cap and the __other__ fold
+// ---------------------------------------------------------------------------
+
+TEST(TenantFoldTest, PostCapTenantFoldsWithoutTransientLabel) {
+  DaemonMetrics metrics;
+  for (size_t i = 0; i < DaemonMetrics::kMaxTenantLabels; ++i) {
+    metrics.CountTenantRequest("tenant" + std::to_string(i),
+                               DaemonMetrics::Outcome::kOk);
+  }
+  // The boundary tenant (one past the cap) must fold, never claim a slot.
+  metrics.CountTenantRequest("overflow", DaemonMetrics::Outcome::kError);
+  metrics.TenantQueueDelta("overflow", 1);
+  auto mix = metrics.TenantMix();
+  EXPECT_EQ(mix.size(), DaemonMetrics::kMaxTenantLabels + 1);
+  EXPECT_EQ(mix.count("overflow"), 0u);
+  ASSERT_EQ(mix.count("__other__"), 1u);
+  EXPECT_EQ(mix.at("__other__").error, 1u);
+  EXPECT_EQ(mix.at("__other__").queue_depth, 1);
+}
+
+TEST(TenantFoldTest, StalenessGaugeNeverWritesTheFold) {
+  DaemonMetrics metrics;
+  for (size_t i = 0; i < DaemonMetrics::kMaxTenantLabels; ++i) {
+    metrics.CountTenantRequest("tenant" + std::to_string(i),
+                               DaemonMetrics::Outcome::kOk);
+  }
+  // Additive counters fold; a per-tenant gauge on the shared fold slot
+  // would be last-writer-wins noise, so it must be dropped instead.
+  metrics.CountTenantRequest("overflow", DaemonMetrics::Outcome::kOk);
+  metrics.SetTenantStaleness("overflow", 99, 7);
+  auto mix = metrics.TenantMix();
+  ASSERT_EQ(mix.count("__other__"), 1u);
+  EXPECT_EQ(mix.at("__other__").epoch, 0u);
+  EXPECT_EQ(mix.at("__other__").tombstones, 0u);
+  // A tenant with its own label still gets the gauge.
+  metrics.SetTenantStaleness("tenant0", 5, 2);
+  mix = metrics.TenantMix();
+  EXPECT_EQ(mix.at("tenant0").epoch, 5u);
+  EXPECT_EQ(mix.at("tenant0").tombstones, 2u);
+}
+
+TEST(TenantFoldTest, LiteralOtherTenantFoldsAndDoesNotCountTowardCap) {
+  DaemonMetrics metrics;
+  metrics.CountTenantRequest("__other__", DaemonMetrics::Outcome::kError);
+  metrics.SetTenantStaleness("__other__", 42, 42);
+  // Every real tenant can still claim its own label afterwards.
+  for (size_t i = 0; i < DaemonMetrics::kMaxTenantLabels; ++i) {
+    metrics.CountTenantRequest("tenant" + std::to_string(i),
+                               DaemonMetrics::Outcome::kOk);
+  }
+  auto mix = metrics.TenantMix();
+  EXPECT_EQ(mix.size(), DaemonMetrics::kMaxTenantLabels + 1);
+  ASSERT_EQ(mix.count("__other__"), 1u);
+  EXPECT_EQ(mix.at("__other__").error, 1u);
+  // The gauge write targeted the fold, so it was dropped.
+  EXPECT_EQ(mix.at("__other__").epoch, 0u);
+  for (size_t i = 0; i < DaemonMetrics::kMaxTenantLabels; ++i) {
+    EXPECT_EQ(mix.count("tenant" + std::to_string(i)), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage histograms
+// ---------------------------------------------------------------------------
+
+TEST(StageHistogramTest, OmittedWhenNoStagesRecorded) {
+  DaemonMetrics metrics;
+  EXPECT_EQ(Render(metrics).find("shapcq_stage_seconds"), std::string::npos);
+}
+
+TEST(StageHistogramTest, BucketsAreCumulativeAndLeAscending) {
+  DaemonMetrics metrics;
+  metrics.RecordStage("solve", 3);
+  metrics.RecordStage("solve", 300);
+  metrics.RecordStage("solve", 30000);
+  metrics.RecordStage("queue_wait", 10);
+  std::string text = Render(metrics);
+  ASSERT_NE(text.find("# TYPE shapcq_stage_seconds histogram"),
+            std::string::npos);
+
+  uint64_t previous_count = 0;
+  double previous_le = -1.0;
+  bool saw_inf = false;
+  size_t solve_buckets = 0;
+  for (const std::string& line : Lines(text)) {
+    const std::string prefix = "shapcq_stage_seconds_bucket{stage=\"solve\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    ++solve_buckets;
+    EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket: " << line;
+    size_t le_pos = line.find("le=\"");
+    ASSERT_NE(le_pos, std::string::npos);
+    std::string le_text = line.substr(le_pos + 4, line.find('"', le_pos + 4) -
+                                                      (le_pos + 4));
+    uint64_t count = std::strtoull(
+        line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    EXPECT_GE(count, previous_count) << "non-monotonic bucket: " << line;
+    previous_count = count;
+    if (le_text == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(count, 3u);  // every sample lands somewhere
+    } else {
+      double le = std::strtod(le_text.c_str(), nullptr);
+      EXPECT_GT(le, previous_le) << "le not ascending: " << line;
+      previous_le = le;
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(solve_buckets, static_cast<size_t>(LatencyHistogram::kBuckets));
+  EXPECT_NE(text.find("shapcq_stage_seconds_count{stage=\"solve\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("shapcq_stage_seconds_count{stage=\"queue_wait\"} 1"),
+            std::string::npos);
+}
+
+TEST(StageHistogramTest, StageMixSnapshotsEveryStage) {
+  DaemonMetrics metrics;
+  metrics.RecordStage("plan", 5);
+  metrics.RecordStage("engine:frontier", 50);
+  metrics.RecordStage("engine:frontier", 70);
+  auto stages = metrics.StageMix();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages.at("plan").count, 1u);
+  EXPECT_EQ(stages.at("engine:frontier").count, 2u);
+  EXPECT_EQ(stages.at("engine:frontier").sum_micros, 120u);
+}
+
+}  // namespace
+}  // namespace shapcq

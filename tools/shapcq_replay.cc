@@ -9,7 +9,13 @@
 //
 // Usage:
 //   shapcq_replay --journal PATH --tenant NAME=DB_FILE...
-//                 [--threads N] [--no-cold] [--dump]
+//                 [--threads N] [--no-cold] [--dump] [--explain]
+//
+// --explain traces every warm-pass solve (obs/trace.h) and prints one
+// engine-decision explanation per record — the journaled trace id (v3+)
+// followed by which engines were considered, why each was rejected, and
+// which one scored how many facts. Tracing never changes results, so
+// the parity checks are exactly as strict with or without it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include <string>
 
 #include "shapcq/data/db_io.h"
+#include "shapcq/obs/trace.h"
 #include "shapcq/serve/journal.h"
 #include "shapcq/serve/replay.h"
 
@@ -29,7 +36,7 @@ namespace {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --journal PATH --tenant NAME=DB_FILE...\n"
-               "          [--threads N] [--no-cold] [--dump]\n",
+               "          [--threads N] [--no-cold] [--dump] [--explain]\n",
                argv0);
   std::exit(2);
 }
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
       options.run_cold_pass = false;
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--explain") {
+      options.collect_explanations = true;
     } else {
       Usage(argv[0]);
     }
@@ -90,6 +99,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "REPLAY FAILED: %s\n",
                  replay.status().ToString().c_str());
     return 1;
+  }
+
+  if (options.collect_explanations) {
+    for (size_t i = 0; i < replay->explanations.size(); ++i) {
+      const JournalRecord& record = (*records)[i];
+      if (record.op != JournalOp::kSolve) continue;
+      std::printf("record %zu trace=%s  %s\n", i,
+                  record.trace_id != 0 ? TraceIdHex(record.trace_id).c_str()
+                                       : "(pre-v3)",
+                  replay->explanations[i].c_str());
+    }
   }
 
   if (dump) {

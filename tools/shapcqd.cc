@@ -12,6 +12,7 @@
 //           [--tenant NAME=DB_FILE]...
 //           [--max-in-flight N] [--max-queue N] [--no-load-tenant]
 //           [--no-mutations] [--compact-min-tombstones N]
+//           [--trace off|on|full] [--log-level debug|info|warn|error|off]
 //
 // Ports default to 0 (ephemeral; the bound ports are printed on
 // startup). Tenants load from db_io.h plain-text files and can also be
@@ -24,6 +25,11 @@
 // --no-mutations refuses the insert_fact/delete_fact ops;
 // --compact-min-tombstones tunes the auto-compaction trigger (<= 0
 // disables it).
+// --trace sets the server's trace level (docs/TRACING.md; default on),
+// --log-level the stderr logging threshold (default info: one
+// structured line per request with its trace id). SIGUSR1 dumps the
+// flight recorder — the slowest and most recent degraded/errored
+// request traces — to stderr, same JSON as GET /debug/traces.
 
 #include <csignal>
 #include <cstdio>
@@ -33,6 +39,7 @@
 #include <thread>
 
 #include "shapcq/data/db_io.h"
+#include "shapcq/obs/log.h"
 #include "shapcq/serve/server.h"
 
 using namespace shapcq;  // NOLINT: tool brevity
@@ -41,9 +48,11 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_snapshot = 0;
+volatile std::sig_atomic_t g_dump_traces = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 void HandleHup(int) { g_snapshot = 1; }
+void HandleUsr1(int) { g_dump_traces = 1; }
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
@@ -53,7 +62,9 @@ void HandleHup(int) { g_snapshot = 1; }
       "          [--artifact-dir DIR]\n"
       "          [--tenant NAME=DB_FILE]...\n"
       "          [--max-in-flight N] [--max-queue N] [--no-load-tenant]\n"
-      "          [--no-mutations] [--compact-min-tombstones N]\n",
+      "          [--no-mutations] [--compact-min-tombstones N]\n"
+      "          [--trace off|on|full]\n"
+      "          [--log-level debug|info|warn|error|off]\n",
       argv0);
   std::exit(2);
 }
@@ -67,6 +78,9 @@ int IntFlag(const char* argv0, int argc, char** argv, int* i) {
 
 int main(int argc, char** argv) {
   ServerOptions options;
+  // The daemon defaults to one structured stderr line per request (the
+  // library default kWarn keeps in-process tests and benches quiet).
+  LogLevel log_level = LogLevel::kInfo;
   struct Tenant {
     std::string name;
     std::string path;
@@ -101,6 +115,14 @@ int main(int argc, char** argv) {
       options.allow_mutations = false;
     } else if (arg == "--compact-min-tombstones") {
       options.compact_min_tombstones = IntFlag(argv[0], argc, argv, &i);
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      if (!ParseTraceLevel(argv[++i], &options.trace_level)) Usage(argv[0]);
+    } else if (arg == "--log-level") {
+      if (i + 1 >= argc) Usage(argv[0]);
+      LogLevel level;
+      if (!ParseLogLevel(argv[++i], &level)) Usage(argv[0]);
+      log_level = level;
     } else if (arg == "--tenant") {
       if (i + 1 >= argc) Usage(argv[0]);
       std::string spec = argv[++i];
@@ -111,6 +133,8 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
+
+  SetLogLevel(log_level);
 
   AttributionServer server(options);
   for (const Tenant& tenant : tenants) {
@@ -147,17 +171,25 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGHUP, HandleHup);
+  std::signal(SIGUSR1, HandleUsr1);
   while (g_stop == 0) {
     if (g_snapshot != 0) {
       g_snapshot = 0;
       Status saved = server.SaveArtifacts();
       if (saved.ok()) {
-        std::printf("artifact snapshot written\n");
+        LogLine(LogLevel::kInfo, "artifact snapshot written");
       } else {
-        std::fprintf(stderr, "artifact snapshot failed: %s\n",
-                     saved.ToString().c_str());
+        LogLine(LogLevel::kError,
+                "artifact snapshot failed: " + saved.ToString());
       }
-      std::fflush(stdout);
+    }
+    if (g_dump_traces != 0) {
+      g_dump_traces = 0;
+      // The flight recorder as one stderr line — the signal-driven
+      // equivalent of GET /debug/traces for setups with no metrics port.
+      // The operator asked for it explicitly, so it outranks the
+      // threshold: kError clears every level short of off.
+      LogLine(LogLevel::kError, "flight_recorder " + server.DebugTracesJson());
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
